@@ -1,0 +1,42 @@
+/// \file bench_common.hpp
+/// \brief Shared scaffolding for the experiment binaries.
+///
+/// Every bench prints a uniform banner (experiment id, the paper claim it
+/// reproduces, the workload recipe) followed by TextTable rows;
+/// EXPERIMENTS.md quotes these tables verbatim. All binaries accept
+/// `--seed`, `--pairs` and a size scale so reviewers can rerun larger
+/// instances; the defaults complete on a single core in tens of seconds.
+
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace croute::bench {
+
+/// Prints the experiment banner.
+inline void banner(const char* id, const char* claim, const char* workload) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("[%s] %s\n", id, claim);
+  std::printf("workload: %s\n", workload);
+  std::printf("---------------------------------------------------------------"
+              "-----------------\n");
+}
+
+/// Wall-clock stopwatch in seconds.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace croute::bench

@@ -1,0 +1,106 @@
+/// \file bench_f2_space_stretch.cpp
+/// \brief Experiment F2 — the space–stretch trade-off frontier (figure).
+///
+/// Claim (SPAA'01, framed by the Gavoille–Gengler lower bound): the
+/// interesting frontier is table bits vs worst-case stretch. Sweeping
+/// k = 2..5 traces the TZ frontier; the full-table scheme anchors the
+/// "stretch < 3 costs Ω(n)" end, and Cowen's scheme sits strictly above
+/// the TZ point at equal stretch 3. Each row is one plotted point.
+
+#include <cstdio>
+
+#include "baseline/cowen.hpp"
+#include "baseline/full_table.hpp"
+#include "bench_common.hpp"
+#include "core/tz_scheme.hpp"
+#include "sim/experiment.hpp"
+#include "sim/simulator.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace croute;
+  const Flags flags(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 9));
+  const auto n = static_cast<VertexId>(flags.get_int("n", 4096));
+  const auto num_pairs =
+      static_cast<std::uint32_t>(flags.get_int("pairs", 2000));
+
+  bench::banner("F2",
+                "space-stretch frontier: TZ k=2..5 points, full-table "
+                "anchor (stretch<3 regime), Cowen above TZ at stretch 3",
+                "Erdos-Renyi largest component n ~ 4096 m ~ 4n; same pairs "
+                "for every point");
+
+  Rng rng(seed);
+  const Graph g = make_workload(GraphFamily::kErdosRenyi, n, rng);
+  const Simulator sim(g);
+  const auto pairs = sample_pairs(g, num_pairs, rng);
+  const VertexId nv = g.num_vertices();
+
+  TextTable table({"point", "stretch bound", "measured p99", "measured max",
+                   "max table", "avg table"});
+
+  {
+    const FullTableScheme full(g);
+    const StretchReport rep = measure_stretch(
+        pairs,
+        [&](VertexId s, VertexId t) { return route_full(sim, full, s, t); });
+    std::uint64_t max_bits = 0, total = 0;
+    for (VertexId v = 0; v < nv; ++v) {
+      max_bits = std::max(max_bits, full.table_bits(v));
+      total += full.table_bits(v);
+    }
+    table.row()
+        .add("full-table")
+        .add(std::uint64_t{1})
+        .add(rep.stretch.p99, 3)
+        .add(rep.stretch.max, 3)
+        .add(format_bits(static_cast<double>(max_bits)))
+        .add(format_bits(static_cast<double>(total) / nv));
+  }
+  {
+    Rng crng(seed * 29);
+    const CowenScheme cowen(g, crng);
+    const StretchReport rep = measure_stretch(
+        pairs,
+        [&](VertexId s, VertexId t) { return route_cowen(sim, cowen, s, t); });
+    std::uint64_t max_bits = 0, total = 0;
+    for (VertexId v = 0; v < nv; ++v) {
+      max_bits = std::max(max_bits, cowen.table_bits(v));
+      total += cowen.table_bits(v);
+    }
+    table.row()
+        .add("cowen (stretch 3)")
+        .add(std::uint64_t{3})
+        .add(rep.stretch.p99, 3)
+        .add(rep.stretch.max, 3)
+        .add(format_bits(static_cast<double>(max_bits)))
+        .add(format_bits(static_cast<double>(total) / nv));
+  }
+  for (const std::uint32_t k : {2u, 3u, 4u, 5u}) {
+    Rng srng(seed * 31 + k);
+    TZSchemeOptions opt;
+    opt.pre.k = k;
+    const TZScheme scheme(g, opt, srng);
+    const StretchReport rep = measure_stretch(
+        pairs,
+        [&](VertexId s, VertexId t) { return route_tz(sim, scheme, s, t); });
+    table.row()
+        .add("tz k=" + std::to_string(k))
+        .add(static_cast<std::uint64_t>(k == 1 ? 1 : 4 * k - 5))
+        .add(rep.stretch.p99, 3)
+        .add(rep.stretch.max, 3)
+        .add(format_bits(static_cast<double>(scheme.max_table_bits())))
+        .add(format_bits(static_cast<double>(scheme.total_table_bits()) /
+                         nv));
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("expected shape: max table falls with k while the stretch "
+              "budget rises; full-table is the Omega(n) anchor. Cowen "
+              "matches tz k=2's stretch with a worse growth exponent (T1 "
+              "fits it); at one fixed n its smaller per-entry constant "
+              "(bare ports vs tree records) can still win on bits.\n");
+  return 0;
+}

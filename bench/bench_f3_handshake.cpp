@@ -1,0 +1,76 @@
+/// \file bench_f3_handshake.cpp
+/// \brief Experiment F3 — what the handshake buys (figure).
+///
+/// Claim (SPAA'01 §4): one preliminary source↔destination exchange
+/// (running the distance-oracle walk) improves the stretch guarantee from
+/// 4k−5 to 2k−1. We route the same pairs both ways and report the
+/// distribution of the per-pair ratio direct/handshake plus the fraction
+/// of pairs where the handshake strictly shortened the route.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/tz_scheme.hpp"
+#include "sim/experiment.hpp"
+#include "sim/simulator.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace croute;
+  const Flags flags(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 10));
+  const auto n = static_cast<VertexId>(flags.get_int("n", 4096));
+  const auto num_pairs =
+      static_cast<std::uint32_t>(flags.get_int("pairs", 2500));
+
+  bench::banner("F3",
+                "handshake improves 4k-5 to 2k-1: per-pair route-length "
+                "ratio direct/handshake",
+                "Erdos-Renyi and ring-of-cliques, n ~ 4096; same pairs both "
+                "modes");
+
+  TextTable table({"family", "k", "mean ratio", "p99 ratio", "max ratio",
+                   "improved%", "max direct", "max handshake"});
+  for (const GraphFamily family :
+       {GraphFamily::kErdosRenyi, GraphFamily::kRingOfCliques}) {
+    Rng rng(seed);
+    const Graph g = make_workload(family, n, rng);
+    const Simulator sim(g);
+    const auto pairs = sample_pairs(g, num_pairs, rng);
+    for (const std::uint32_t k : {3u, 4u, 5u}) {
+      Rng srng(seed * 37 + k);
+      TZSchemeOptions opt;
+      opt.pre.k = k;
+      const TZScheme scheme(g, opt, srng);
+      std::vector<double> ratios;
+      ratios.reserve(pairs.size());
+      double improved = 0;
+      double max_direct = 0, max_hs = 0;
+      for (const auto& p : pairs) {
+        const RouteResult d = route_tz(sim, scheme, p.s, p.t);
+        const RouteResult h = route_tz_handshake(sim, scheme, p.s, p.t);
+        ratios.push_back(d.length / h.length);
+        improved += d.length > h.length + 1e-12;
+        max_direct = std::max(max_direct, d.length / p.exact);
+        max_hs = std::max(max_hs, h.length / p.exact);
+      }
+      const Summary summary = summarize(ratios);
+      table.row()
+          .add(family_name(family))
+          .add(static_cast<std::uint64_t>(k))
+          .add(summary.mean, 3)
+          .add(summary.p99, 3)
+          .add(summary.max, 3)
+          .add(100.0 * improved / static_cast<double>(pairs.size()), 1)
+          .add(max_direct, 3)
+          .add(max_hs, 3);
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("expected shape: ratios >= 1 in aggregate (handshake "
+              "dominates), max handshake <= 2k-1 strictly below max "
+              "direct's 4k-5 budget\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+/// \file bench_f4_load.cpp
+/// \brief Experiment F4 — the congestion price of compactness (extension).
+///
+/// Not a claim from the paper, but the standard follow-up question about
+/// landmark routing: funneling traffic through pivot trees concentrates
+/// load on the links around landmarks. We route the same uniform traffic
+/// matrix under exact shortest-path forwarding and under TZ k = 2/3 and
+/// compare the hottest link's load. The shape to expect: TZ's maximum
+/// link load exceeds shortest-path routing's by a small factor — the
+/// price paid for Õ(n^{1/k}) state — and the factor grows with k as
+/// traffic funnels through fewer, higher-level trees.
+
+#include <cstdio>
+
+#include "baseline/full_table.hpp"
+#include "bench_common.hpp"
+#include "core/tz_scheme.hpp"
+#include "sim/experiment.hpp"
+#include "sim/simulator.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace croute;
+  const Flags flags(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 14));
+  const auto n = static_cast<VertexId>(flags.get_int("n", 2048));
+  const auto num_pairs =
+      static_cast<std::uint32_t>(flags.get_int("pairs", 4000));
+
+  bench::banner("F4",
+                "extension: link-load concentration — the congestion "
+                "price of landmark routing vs exact forwarding",
+                "torus and Erdos-Renyi, n ~ 2048, 4000 uniform pairs; "
+                "max/p99 link load and the concentration factor max/mean");
+
+  TextTable table({"family", "scheme", "max load", "p99 load", "mean load",
+                   "concentration", "used edges"});
+  for (const GraphFamily family :
+       {GraphFamily::kTorus, GraphFamily::kErdosRenyi}) {
+    Rng rng(seed);
+    const Graph g = make_workload(family, n, rng);
+    const Simulator sim(g);
+    const auto pairs = sample_pairs(g, num_pairs, rng);
+
+    auto add_row = [&](const char* name, const LoadReport& rep) {
+      table.row()
+          .add(family_name(family))
+          .add(name)
+          .add(rep.max_load)
+          .add(rep.p99_load, 0)
+          .add(rep.mean_load, 1)
+          .add(rep.concentration(), 1)
+          .add(rep.used_edges);
+    };
+
+    {
+      const FullTableScheme full(g);
+      add_row("exact", measure_load(g, pairs, [&](VertexId s, VertexId t) {
+                return route_full(sim, full, s, t);
+              }));
+    }
+    for (const std::uint32_t k : {2u, 3u}) {
+      Rng srng(seed * 47 + k);
+      TZSchemeOptions opt;
+      opt.pre.k = k;
+      const TZScheme scheme(g, opt, srng);
+      const std::string name = "tz k=" + std::to_string(k);
+      add_row(name.c_str(),
+              measure_load(g, pairs, [&](VertexId s, VertexId t) {
+                return route_tz(sim, scheme, s, t);
+              }));
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("expected shape: tz max load >= exact max load, growing "
+              "with k (fewer, hotter trees); mean load grows only with "
+              "the stretch factor\n");
+  return 0;
+}

@@ -1,0 +1,161 @@
+/// \file bench_micro_decision.cpp
+/// \brief Experiment micro — O(1) decision costs (google-benchmark).
+///
+/// Claim (SPAA'01): routing decisions are constant time — one table
+/// lookup (hashed: O(1) worst case; binary-searched: O(log of a small
+/// table)) plus an O(1) interval test. We measure the hot operations on
+/// a prebuilt n=2048 scheme: per-hop step with binary search and with the
+/// FKS index, source-side prepare (direct and handshake), the bare tree
+/// decision, the oracle query, and the baselines' decision functions.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/cowen.hpp"
+#include "baseline/full_table.hpp"
+#include "core/tz_router.hpp"
+#include "core/tz_scheme.hpp"
+#include "oracle/distance_oracle.hpp"
+#include "sim/experiment.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace croute;
+
+/// One lazily-built shared fixture: n=2048 ER graph plus every scheme.
+struct Fixture {
+  Graph g;
+  TZScheme* plain;
+  TZScheme* hashed;
+  DistanceOracle* oracle;
+  CowenScheme* cowen;
+  FullTableScheme* full;
+  std::vector<PairSample> pairs;
+
+  static const Fixture& get() {
+    static Fixture f = [] {
+      Fixture x;
+      Rng rng(42);
+      x.g = make_workload(GraphFamily::kErdosRenyi, 2048, rng);
+      TZSchemeOptions opt;
+      opt.pre.k = 3;
+      Rng r1(43), r2(43), r3(44), r4(45);
+      x.plain = new TZScheme(x.g, opt, r1);
+      opt.hash_index = true;
+      x.hashed = new TZScheme(x.g, opt, r2);
+      DistanceOracle::Options oopt;
+      oopt.k = 3;
+      x.oracle = new DistanceOracle(x.g, oopt, r3);
+      x.cowen = new CowenScheme(x.g, r4);
+      x.full = new FullTableScheme(x.g);
+      Rng prng(46);
+      x.pairs = sample_pairs(x.g, 512, prng);
+      return x;
+    }();
+    return f;
+  }
+};
+
+void BM_TZPrepareDirect(benchmark::State& state) {
+  const Fixture& f = Fixture::get();
+  const TZRouter router(*f.plain);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& p = f.pairs[i++ % f.pairs.size()];
+    benchmark::DoNotOptimize(router.prepare(p.s, f.plain->label(p.t)));
+  }
+}
+BENCHMARK(BM_TZPrepareDirect);
+
+void BM_TZPrepareHandshake(benchmark::State& state) {
+  const Fixture& f = Fixture::get();
+  const TZRouter router(*f.plain);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& p = f.pairs[i++ % f.pairs.size()];
+    benchmark::DoNotOptimize(router.prepare_handshake(p.s, p.t));
+  }
+}
+BENCHMARK(BM_TZPrepareHandshake);
+
+void BM_TZStepBinarySearch(benchmark::State& state) {
+  const Fixture& f = Fixture::get();
+  const TZRouter router(*f.plain);
+  const auto& p = f.pairs[0];
+  const TZHeader h = router.prepare(p.s, f.plain->label(p.t));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const VertexId v = f.pairs[i++ % f.pairs.size()].s;
+    // Step in the top-level tree: every vertex holds an entry for it.
+    TZHeader top = h;
+    top.tree_root =
+        f.plain->preprocessing().effective_pivot(2, h.tree_root);
+    benchmark::DoNotOptimize(router.step(v, top));
+  }
+}
+BENCHMARK(BM_TZStepBinarySearch);
+
+void BM_TZStepHashed(benchmark::State& state) {
+  const Fixture& f = Fixture::get();
+  const TZRouter router(*f.hashed);
+  const auto& p = f.pairs[0];
+  const TZHeader h = router.prepare(p.s, f.hashed->label(p.t));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const VertexId v = f.pairs[i++ % f.pairs.size()].s;
+    TZHeader top = h;
+    top.tree_root =
+        f.hashed->preprocessing().effective_pivot(2, h.tree_root);
+    benchmark::DoNotOptimize(router.step(v, top));
+  }
+}
+BENCHMARK(BM_TZStepHashed);
+
+void BM_TreeDecide(benchmark::State& state) {
+  const Fixture& f = Fixture::get();
+  // A record/label pair from the top-level tree of the plain scheme.
+  const auto& p = f.pairs[0];
+  const VertexId root =
+      f.plain->preprocessing().effective_pivot(2, p.t);
+  const TableEntry* e = f.plain->lookup(p.s, root);
+  const TableEntry* et = f.plain->lookup(p.t, root);
+  const TreeLabel dest = f.plain->table(p.t).own_label(*et);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TreeRoutingScheme::decide(e->record, dest));
+  }
+}
+BENCHMARK(BM_TreeDecide);
+
+void BM_OracleQuery(benchmark::State& state) {
+  const Fixture& f = Fixture::get();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& p = f.pairs[i++ % f.pairs.size()];
+    benchmark::DoNotOptimize(f.oracle->query(p.s, p.t));
+  }
+}
+BENCHMARK(BM_OracleQuery);
+
+void BM_CowenStep(benchmark::State& state) {
+  const Fixture& f = Fixture::get();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& p = f.pairs[i++ % f.pairs.size()];
+    benchmark::DoNotOptimize(f.cowen->step(p.s, f.cowen->label(p.t)));
+  }
+}
+BENCHMARK(BM_CowenStep);
+
+void BM_FullTableNextHop(benchmark::State& state) {
+  const Fixture& f = Fixture::get();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& p = f.pairs[i++ % f.pairs.size()];
+    benchmark::DoNotOptimize(f.full->next_hop(p.s, p.t));
+  }
+}
+BENCHMARK(BM_FullTableNextHop);
+
+}  // namespace
+
+BENCHMARK_MAIN();

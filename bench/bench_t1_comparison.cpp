@@ -1,0 +1,170 @@
+/// \file bench_t1_comparison.cpp
+/// \brief Experiment T1 — the paper's comparison against prior art.
+///
+/// Claim (SPAA'01 §1, §3): at equal stretch ≤ 3, Thorup–Zwick tables are
+/// Õ(√n) bits against Cowen's Õ(n^{2/3}); exact (stretch-1) routing costs
+/// Θ(n log deg) bits per vertex — and by Gavoille–Gengler any stretch < 3
+/// scheme must pay Ω(n) on some vertex, so the full table is the honest
+/// representative of that regime.
+///
+/// For each n we build all three schemes on the same graph, route the same
+/// sampled pairs, and report measured max/avg table bits and stretch. The
+/// shape to check: all three stay within their stretch budgets, Cowen's
+/// max-table exponent (≈ 2/3) visibly exceeds TZ's (≈ 1/2), and full
+/// tables are 1–2 orders larger. Log-log slopes are fitted at the bottom.
+
+#include <cstdio>
+#include <vector>
+
+#include "baseline/cowen.hpp"
+#include "baseline/full_table.hpp"
+#include "bench_common.hpp"
+#include "core/stretch3.hpp"
+#include "sim/experiment.hpp"
+#include "sim/simulator.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace croute;
+
+struct Row {
+  const char* scheme;
+  double n;
+  double max_table;
+  double avg_table;
+  double max_entries;
+  double label;
+  double mean_stretch;
+  double max_stretch;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto pairs_per_n =
+      static_cast<std::uint32_t>(flags.get_int("pairs", 1500));
+  const double scale = flags.get_double("scale", 1.0);
+
+  bench::banner(
+      "T1",
+      "stretch-3 comparison: TZ k=2 (sqrt-n tables) vs Cowen (n^{2/3}) vs "
+      "full tables (stretch 1, Omega(n))",
+      "Erdos-Renyi largest component, m ~ 4n, unit weights; identical "
+      "graphs and query pairs per scheme");
+
+  std::vector<VertexId> sizes;
+  for (const VertexId n : {512u, 1024u, 2048u, 4096u, 8192u}) {
+    sizes.push_back(static_cast<VertexId>(n * scale));
+  }
+
+  TextTable table({"scheme", "n", "max table", "avg table", "max entries",
+                   "label", "stretch(avg)", "stretch(max)"});
+  std::vector<Row> rows;
+
+  for (const VertexId n : sizes) {
+    Rng rng(seed + n);
+    const Graph g = make_workload(GraphFamily::kErdosRenyi, n, rng);
+    const Simulator sim(g);
+    const auto pairs = sample_pairs(g, pairs_per_n, rng);
+    const auto nv = g.num_vertices();
+
+    {  // Thorup–Zwick k=2 (this paper).
+      Rng srng(seed * 3 + n);
+      const Stretch3Scheme s3(g, srng);
+      const TZScheme& scheme = s3.scheme();
+      const StretchReport rep = measure_stretch(
+          pairs,
+          [&](VertexId s, VertexId t) { return route_tz(sim, scheme, s, t); });
+      std::uint64_t lbl = 0, entries = 0;
+      for (VertexId v = 0; v < nv; ++v) {
+        lbl = std::max(lbl, scheme.label_bits(v));
+        entries = std::max<std::uint64_t>(
+            entries, scheme.table(v).size() + scheme.directory(v).size());
+      }
+      rows.push_back({"tz-k2", static_cast<double>(nv),
+                      static_cast<double>(scheme.max_table_bits()),
+                      static_cast<double>(scheme.total_table_bits()) / nv,
+                      static_cast<double>(entries), static_cast<double>(lbl),
+                      rep.stretch.mean, rep.stretch.max});
+    }
+    {  // Cowen stretch-3 baseline.
+      Rng srng(seed * 5 + n);
+      const CowenScheme cowen(g, srng);
+      const StretchReport rep =
+          measure_stretch(pairs, [&](VertexId s, VertexId t) {
+            return route_cowen(sim, cowen, s, t);
+          });
+      std::uint64_t max_bits = 0, total = 0, entries = 0;
+      const auto cluster_sizes = cowen.cluster_sizes();
+      for (VertexId v = 0; v < nv; ++v) {
+        max_bits = std::max(max_bits, cowen.table_bits(v));
+        total += cowen.table_bits(v);
+        entries = std::max<std::uint64_t>(
+            entries, cowen.landmarks().size() + cluster_sizes[v]);
+      }
+      rows.push_back({"cowen", static_cast<double>(nv),
+                      static_cast<double>(max_bits),
+                      static_cast<double>(total) / nv,
+                      static_cast<double>(entries),
+                      static_cast<double>(cowen.label_bits()),
+                      rep.stretch.mean, rep.stretch.max});
+    }
+    {  // Full shortest-path tables (stretch-1 anchor).
+      const FullTableScheme full(g);
+      const StretchReport rep =
+          measure_stretch(pairs, [&](VertexId s, VertexId t) {
+            return route_full(sim, full, s, t);
+          });
+      std::uint64_t max_bits = 0, total = 0;
+      for (VertexId v = 0; v < nv; ++v) {
+        max_bits = std::max(max_bits, full.table_bits(v));
+        total += full.table_bits(v);
+      }
+      rows.push_back({"full-table", static_cast<double>(nv),
+                      static_cast<double>(max_bits),
+                      static_cast<double>(total) / nv,
+                      static_cast<double>(nv - 1),
+                      static_cast<double>(full.label_bits()),
+                      rep.stretch.mean, rep.stretch.max});
+    }
+  }
+
+  for (const Row& r : rows) {
+    table.row()
+        .add(r.scheme)
+        .add(static_cast<std::uint64_t>(r.n))
+        .add(format_bits(r.max_table))
+        .add(format_bits(r.avg_table))
+        .add(static_cast<std::uint64_t>(r.max_entries))
+        .add(format_bits(r.label))
+        .add(r.mean_stretch, 3)
+        .add(r.max_stretch, 3);
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  // Scaling exponents (the paper's headline axis), in bits and entries.
+  for (const char* scheme : {"tz-k2", "cowen", "full-table"}) {
+    std::vector<double> xs, bits, entries;
+    for (const Row& r : rows) {
+      if (std::string(r.scheme) == scheme) {
+        xs.push_back(r.n);
+        bits.push_back(r.max_table);
+        entries.push_back(r.max_entries);
+      }
+    }
+    std::printf(
+        "max-table scaling exponent %-11s : %.3f (bits), %.3f (entries)\n",
+        scheme, fit_loglog_slope(xs, bits), fit_loglog_slope(xs, entries));
+  }
+  std::printf(
+      "expected shape: tz-k2 ~ 0.5 (+polylog), cowen ~ 0.67, full-table ~ "
+      "1.0; all stretch(max) <= 3. TZ's per-entry constant is ~20x "
+      "Cowen's (tree records vs bare ports), so the bit crossover lies "
+      "above this n range while the exponents already separate cleanly.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+/// \file bench_t2_table_scaling.cpp
+/// \brief Experiment T2 — routing tables scale as Õ(n^{1/k}).
+///
+/// Claim (SPAA'01 §4): with the center()-sampled hierarchy, every vertex's
+/// routing table (bunch entries + cluster directory) holds
+/// O(n^{1/k} log n) entries, i.e. Õ(n^{1/k}) bits. We sweep n for each k,
+/// report max and average measured table bits, and fit the log-log slope
+/// of the max table against n: it should sit near 1/k (slightly above due
+/// to polylog factors; slightly below is also possible when the log
+/// factor's growth flattens across the measured window).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/tz_scheme.hpp"
+#include "sim/experiment.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace croute;
+  const Flags flags(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2));
+  const auto max_n = static_cast<VertexId>(flags.get_int("max-n", 32768));
+
+  bench::banner("T2",
+                "per-vertex table size scales as n^{1/k} (times polylog)",
+                "Erdos-Renyi largest component, m ~ 4n, unit weights");
+
+  TextTable table({"k", "n", "max table", "avg table", "max entries",
+                   "avg entries", "max label", "build(s)"});
+  std::printf("(building up to n=%u on one core; --max-n to change)\n",
+              max_n);
+
+  for (const std::uint32_t k : {2u, 3u, 4u, 5u}) {
+    std::vector<double> xs, ys;
+    for (VertexId n = 1024; n <= max_n; n *= 2) {
+      Rng rng(seed + n + k);
+      const Graph g = make_workload(GraphFamily::kErdosRenyi, n, rng);
+      bench::Stopwatch watch;
+      Rng srng(seed * 7 + n + k);
+      TZSchemeOptions opt;
+      opt.pre.k = k;
+      const TZScheme scheme(g, opt, srng);
+      const double secs = watch.seconds();
+
+      const auto nv = g.num_vertices();
+      std::uint64_t max_bits = 0, total_bits = 0;
+      std::uint64_t max_entries = 0, total_entries = 0, max_label = 0;
+      for (VertexId v = 0; v < nv; ++v) {
+        const std::uint64_t bits = scheme.table_bits(v);
+        const std::uint64_t entries =
+            scheme.table(v).size() + scheme.directory(v).size();
+        max_bits = std::max(max_bits, bits);
+        total_bits += bits;
+        max_entries = std::max(max_entries, entries);
+        total_entries += entries;
+        max_label = std::max(max_label, scheme.label_bits(v));
+      }
+      table.row()
+          .add(static_cast<std::uint64_t>(k))
+          .add(static_cast<std::uint64_t>(nv))
+          .add(format_bits(static_cast<double>(max_bits)))
+          .add(format_bits(static_cast<double>(total_bits) / nv))
+          .add(max_entries)
+          .add(static_cast<double>(total_entries) / nv, 1)
+          .add(format_bits(static_cast<double>(max_label)))
+          .add(secs, 2);
+      xs.push_back(nv);
+      ys.push_back(static_cast<double>(max_bits));
+    }
+    std::printf("k=%u max-table log-log slope: %.3f (theory: %.3f + polylog)\n",
+                k, fit_loglog_slope(xs, ys), 1.0 / k);
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("expected shape: slopes track 1/k; max/avg gap stays small "
+              "(worst-case cap, not just average)\n");
+  return 0;
+}

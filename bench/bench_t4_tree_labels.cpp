@@ -1,0 +1,110 @@
+/// \file bench_t4_tree_labels.cpp
+/// \brief Experiment T4 — §2 tree routing: label sizes and correctness.
+///
+/// Claim (SPAA'01 §2): trees admit routing with labels of
+/// (1+o(1))·log₂ n bits in the designer-port model and
+/// O(log² n / log log n) bits in the fixed-port model, with O(1)-word
+/// node state and constant decision time. We build both schemes on four
+/// tree families across sizes, report exact measured label bits against
+/// log₂ n, and spot-route pairs to confirm exactness (stretch 1 on the
+/// unique tree path).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "sim/experiment.hpp"
+#include "sim/simulator.hpp"
+#include "tree/interval_router.hpp"
+#include "tree/tree_router.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace croute;
+
+Graph make_tree(const std::string& family, VertexId n, Rng& rng) {
+  if (family == "random") return random_tree(n, rng);
+  if (family == "path") return path_graph(n);
+  if (family == "star") return star_graph(n);
+  return balanced_tree(n, 2);  // "binary"
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 4));
+  const auto max_n = static_cast<VertexId>(flags.get_int("max-n", 65536));
+
+  bench::banner("T4",
+                "tree labels: (1+o(1)) log2 n bits designer-port, "
+                "O(log^2 n / loglog n) fixed-port; decisions O(1)",
+                "random / path / star / balanced-binary trees");
+
+  TextTable table({"family", "n", "log2(n)", "designer bits",
+                   "fixed avg", "fixed max", "max light depth",
+                   "spot stretch"});
+
+  for (const std::string family : {"random", "path", "star", "binary"}) {
+    for (VertexId n = 1024; n <= max_n; n *= 4) {
+      Rng rng(seed + n);
+      const Graph g = make_tree(family, n, rng);
+      const LocalTree tree = make_local_tree(dijkstra(g, 0));
+      const TreeRoutingScheme trs(tree);
+      const IntervalTreeScheme its(tree);
+      const TreeRoutingScheme::Codec codec(tree.size(), g.max_degree());
+
+      std::uint64_t fixed_max = 0;
+      double fixed_total = 0;
+      std::uint32_t light_max = 0;
+      for (std::uint32_t v = 0; v < trs.size(); ++v) {
+        const std::uint64_t bits =
+            TreeRoutingScheme::label_bits(trs.label(v), codec);
+        fixed_max = std::max(fixed_max, bits);
+        fixed_total += static_cast<double>(bits);
+        light_max = std::max(
+            light_max,
+            static_cast<std::uint32_t>(trs.label(v).light_ports.size()));
+      }
+
+      // Spot-route 200 random pairs through the simulator: must be exact.
+      const Simulator sim(g);
+      double worst = 1.0;
+      std::uint32_t bad = 0;
+      for (int i = 0; i < 200; ++i) {
+        const auto s = static_cast<std::uint32_t>(rng.next_below(n));
+        const auto t = static_cast<std::uint32_t>(rng.next_below(n));
+        const RouteResult r = route_tree(sim, tree, trs, s, t);
+        if (!r.delivered()) {
+          ++bad;
+          continue;
+        }
+        if (s != t) {
+          const auto ds = distances_from(g, tree.global[s]);
+          worst = std::max(worst, r.length / ds[tree.global[t]]);
+        }
+      }
+
+      table.row()
+          .add(family)
+          .add(static_cast<std::uint64_t>(n))
+          .add(std::log2(static_cast<double>(n)), 1)
+          .add(static_cast<std::uint64_t>(its.label_bits()))
+          .add(fixed_total / trs.size(), 1)
+          .add(fixed_max)
+          .add(static_cast<std::uint64_t>(light_max))
+          .add(bad == 0 ? std::to_string(worst).substr(0, 5)
+                        : "FAIL(" + std::to_string(bad) + ")");
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "expected shape: designer bits == ceil(log2 n); fixed max grows ~ "
+      "log^2 on binary trees, stays ~ log n on paths/stars; all spot "
+      "stretches == 1.0\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+/// \file bench_t5_construction.cpp
+/// \brief Experiment T5 — preprocessing cost scaling.
+///
+/// Claim (SPAA'01): preprocessing is a polynomial, near-practical
+/// computation — per level, one multi-source Dijkstra plus
+/// cluster-restricted Dijkstras whose total settled mass is the total
+/// cluster mass Σ|C(w)| = Õ(n^{1+1/k}). We time end-to-end scheme
+/// construction across n and k and report seconds and the per-edge rate;
+/// the log-log slope against n should sit near 1 + 1/k (slightly above
+/// due to the log factors, below when Dijkstra constants dominate).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/tz_scheme.hpp"
+#include "sim/experiment.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace croute;
+  const Flags flags(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 5));
+  const auto max_n = static_cast<VertexId>(flags.get_int("max-n", 16384));
+
+  bench::banner("T5",
+                "preprocessing scales ~ n^{1+1/k} (total cluster mass); "
+                "wall-clock on one core",
+                "Erdos-Renyi largest component, m ~ 4n");
+
+  TextTable table({"k", "n", "m", "build(s)", "us/edge", "cluster mass"});
+  for (const std::uint32_t k : {2u, 3u, 4u}) {
+    std::vector<double> xs, ys;
+    for (VertexId n = 2048; n <= max_n; n *= 2) {
+      Rng rng(seed + n + k);
+      const Graph g = make_workload(GraphFamily::kErdosRenyi, n, rng);
+      bench::Stopwatch watch;
+      Rng srng(seed * 13 + n + k);
+      TZSchemeOptions opt;
+      opt.pre.k = k;
+      const TZScheme scheme(g, opt, srng);
+      const double secs = watch.seconds();
+
+      std::uint64_t mass = 0;
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        mass += scheme.table(v).size();  // Σ|B(v)| == Σ|C(w)|
+      }
+      table.row()
+          .add(static_cast<std::uint64_t>(k))
+          .add(static_cast<std::uint64_t>(g.num_vertices()))
+          .add(g.num_edges())
+          .add(secs, 2)
+          .add(secs * 1e6 / static_cast<double>(g.num_edges()), 1)
+          .add(mass);
+      xs.push_back(g.num_vertices());
+      ys.push_back(secs);
+    }
+    std::printf("k=%u build-time log-log slope: %.3f (theory ~ %.3f)\n", k,
+                fit_loglog_slope(xs, ys), 1.0 + 1.0 / k);
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("expected shape: k=2 steepest (sqrt-n clusters), larger k "
+              "flatter; mass ~ n^{1+1/k}\n");
+  return 0;
+}

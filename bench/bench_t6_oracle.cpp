@@ -1,0 +1,74 @@
+/// \file bench_t6_oracle.cpp
+/// \brief Experiment T6 — the companion approximate distance oracle.
+///
+/// Claim (STOC'01 machinery that SPAA'01 §4 reuses; the routing handshake
+/// *is* this query): estimates satisfy d ≤ est ≤ (2k−1)·d with
+/// O(k·n^{1/k}) words per vertex. We sweep k on one graph, compare
+/// measured approximation quality against the bound, and report per-vertex
+/// space.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "oracle/distance_oracle.hpp"
+#include "sim/experiment.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace croute;
+  const Flags flags(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 6));
+  const auto n = static_cast<VertexId>(flags.get_int("n", 4096));
+  const auto num_pairs =
+      static_cast<std::uint32_t>(flags.get_int("pairs", 4000));
+
+  bench::banner("T6",
+                "distance oracle: d <= estimate <= (2k-1) d, space "
+                "~ k n^{1/k} words/vertex",
+                "Erdos-Renyi largest component n ~ 4096 m ~ 4n; 4000 pairs; "
+                "also a weighted variant");
+
+  TextTable table({"weights", "k", "bound", "mean approx", "p99 approx",
+                   "max approx", "avg bits/vertex", "avg bunch"});
+  for (const bool weighted : {false, true}) {
+    Rng rng(seed);
+    const Graph g =
+        make_workload(GraphFamily::kErdosRenyi, n, rng, weighted);
+    const auto pairs = sample_pairs(g, num_pairs, rng);
+    for (const std::uint32_t k : {2u, 3u, 4u, 5u}) {
+      Rng orng(seed * 17 + k);
+      DistanceOracle::Options opt;
+      opt.k = k;
+      const DistanceOracle oracle(g, opt, orng);
+      Summary approx;
+      {
+        std::vector<double> ratios;
+        ratios.reserve(pairs.size());
+        for (const auto& p : pairs) {
+          ratios.push_back(oracle.query(p.s, p.t) / p.exact);
+        }
+        approx = summarize(std::move(ratios));
+      }
+      double bunch_total = 0;
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        bunch_total += oracle.bunch_size(v);
+      }
+      table.row()
+          .add(weighted ? "U[1,10)" : "unit")
+          .add(static_cast<std::uint64_t>(k))
+          .add(static_cast<std::uint64_t>(2 * k - 1))
+          .add(approx.mean, 3)
+          .add(approx.p99, 3)
+          .add(approx.max, 3)
+          .add(format_bits(static_cast<double>(oracle.total_bits()) /
+                           g.num_vertices()))
+          .add(bunch_total / g.num_vertices(), 1);
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("expected shape: max approx <= 2k-1 for every k; space and "
+              "bunch sizes shrink as k grows\n");
+  return 0;
+}

@@ -1,0 +1,164 @@
+/// \file croute_cli.cpp
+/// \brief Command-line front end: generate graphs, preprocess schemes to
+/// disk, and route queries — the full preprocess-once/route-many workflow.
+///
+/// ```
+/// croute_cli gen        --family=er --n=2000 --seed=1 --out=g.gr [--weighted]
+/// croute_cli preprocess --graph=g.gr --k=3 --seed=2 --out=s.bin
+/// croute_cli stats      --graph=g.gr --scheme=s.bin
+/// croute_cli route      --graph=g.gr --scheme=s.bin --s=0 --t=42 [--handshake]
+/// ```
+///
+/// Families: er, geometric, grid, torus, ba, ws, ring, tree, regular.
+
+#include <cstdio>
+#include <string>
+
+#include "core/scheme_io.hpp"
+#include "core/tz_router.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "sim/experiment.hpp"
+#include "sim/simulator.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace croute;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: croute_cli <gen|preprocess|stats|route> [flags]\n"
+               "  gen        --family=er|geometric|grid|torus|ba|ws|ring|"
+               "tree|regular --n=N --seed=S --out=FILE [--weighted]\n"
+               "  preprocess --graph=FILE --k=K --seed=S --out=FILE\n"
+               "  stats      --graph=FILE --scheme=FILE\n"
+               "  route      --graph=FILE --scheme=FILE --s=A --t=B "
+               "[--handshake]\n");
+  return 2;
+}
+
+GraphFamily parse_family(const std::string& name) {
+  if (name == "er") return GraphFamily::kErdosRenyi;
+  if (name == "geometric") return GraphFamily::kGeometric;
+  if (name == "grid") return GraphFamily::kGrid;
+  if (name == "torus") return GraphFamily::kTorus;
+  if (name == "ba") return GraphFamily::kBarabasiAlbert;
+  if (name == "ws") return GraphFamily::kWattsStrogatz;
+  if (name == "ring") return GraphFamily::kRingOfCliques;
+  if (name == "tree") return GraphFamily::kRandomTree;
+  throw std::invalid_argument("unknown family: " + name);
+}
+
+int cmd_gen(const Flags& flags) {
+  const std::string family = flags.get_string("family", "er");
+  const auto n = static_cast<VertexId>(flags.get_int("n", 1000));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const std::string out = flags.get_string("out", "graph.gr");
+  Rng rng(seed);
+  Graph g;
+  if (family == "regular") {
+    g = random_regular(n, 6, rng,
+                       flags.get_bool("weighted", false)
+                           ? WeightModel::uniform_real(1.0, 10.0)
+                           : WeightModel::unit());
+  } else {
+    g = make_workload(parse_family(family), n, rng,
+                      flags.get_bool("weighted", false));
+  }
+  save_graph(out, g, "croute_cli gen --family=" + family);
+  std::printf("wrote %s: n=%u m=%llu connected=%s\n", out.c_str(),
+              g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()),
+              is_connected(g) ? "yes" : "no");
+  return 0;
+}
+
+int cmd_preprocess(const Flags& flags) {
+  const Graph g = load_graph(flags.get_string("graph", "graph.gr"));
+  CROUTE_REQUIRE(is_connected(g),
+                 "graph is disconnected; preprocess per component "
+                 "(PartitionedScheme) or regenerate");
+  const auto k = static_cast<std::uint32_t>(flags.get_int("k", 3));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2));
+  const std::string out = flags.get_string("out", "scheme.bin");
+  Rng rng(seed);
+  TZSchemeOptions opt;
+  opt.pre.k = k;
+  const TZScheme scheme(g, opt, rng);
+  save_scheme_file(out, scheme);
+  std::printf("wrote %s: k=%u, max table %s, avg table %s\n", out.c_str(),
+              k,
+              format_bits(static_cast<double>(scheme.max_table_bits()))
+                  .c_str(),
+              format_bits(static_cast<double>(scheme.total_table_bits()) /
+                          g.num_vertices())
+                  .c_str());
+  return 0;
+}
+
+int cmd_stats(const Flags& flags) {
+  const Graph g = load_graph(flags.get_string("graph", "graph.gr"));
+  const TZScheme scheme =
+      load_scheme_file(flags.get_string("scheme", "scheme.bin"), g);
+  std::printf("graph: n=%u m=%llu max-degree=%u\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()),
+              g.max_degree());
+  std::printf("scheme: k=%u, stretch bound %u (direct) / %u (handshake)\n",
+              scheme.k(), scheme.k() == 1 ? 1 : 4 * scheme.k() - 5,
+              2 * scheme.k() - 1);
+  std::vector<double> table_bits, label_bits;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    table_bits.push_back(static_cast<double>(scheme.table_bits(v)));
+    label_bits.push_back(static_cast<double>(scheme.label_bits(v)));
+  }
+  const Summary tb = summarize(std::move(table_bits));
+  const Summary lb = summarize(std::move(label_bits));
+  std::printf("tables: mean %s  p99 %s  max %s\n",
+              format_bits(tb.mean).c_str(), format_bits(tb.p99).c_str(),
+              format_bits(tb.max).c_str());
+  std::printf("labels: mean %s  max %s\n", format_bits(lb.mean).c_str(),
+              format_bits(lb.max).c_str());
+  return 0;
+}
+
+int cmd_route(const Flags& flags) {
+  const Graph g = load_graph(flags.get_string("graph", "graph.gr"));
+  const TZScheme scheme =
+      load_scheme_file(flags.get_string("scheme", "scheme.bin"), g);
+  const auto s = static_cast<VertexId>(flags.get_int("s", 0));
+  const auto t =
+      static_cast<VertexId>(flags.get_int("t", g.num_vertices() - 1));
+  const Simulator sim(g);
+  const RouteResult r = flags.get_bool("handshake", false)
+                            ? route_tz_handshake(sim, scheme, s, t)
+                            : route_tz(sim, scheme, s, t);
+  std::printf("%s\n", r.describe().c_str());
+  const Weight exact = distances_from(g, s)[t];
+  if (r.delivered() && exact > 0) {
+    std::printf("exact %.6g, stretch %.4f, header %llu bits\n", exact,
+                r.length / exact,
+                static_cast<unsigned long long>(r.header_bits));
+  }
+  return r.delivered() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.positional().empty()) return usage();
+  const std::string cmd = flags.positional().front();
+  try {
+    if (cmd == "gen") return cmd_gen(flags);
+    if (cmd == "preprocess") return cmd_preprocess(flags);
+    if (cmd == "stats") return cmd_stats(flags);
+    if (cmd == "route") return cmd_route(flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

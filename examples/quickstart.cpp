@@ -1,0 +1,71 @@
+/// \file quickstart.cpp
+/// \brief 60-second tour of the croute public API.
+///
+/// Builds a small synthetic network, preprocesses the Thorup–Zwick
+/// stretch-3 scheme (§3 of SPAA'01), routes a few packets hop by hop
+/// through the port-level simulator, and prints the space/stretch numbers
+/// the paper is about.
+///
+///   ./quickstart [--n=2000] [--seed=7]
+
+#include <cstdio>
+
+#include "core/stretch3.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "sim/experiment.hpp"
+#include "sim/simulator.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace croute;
+  const Flags flags(argc, argv);
+  const auto n = static_cast<VertexId>(flags.get_int("n", 2000));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+
+  // 1. A connected workload: Erdős–Rényi with average degree 8.
+  Rng rng(seed);
+  const Graph g = make_workload(GraphFamily::kErdosRenyi, n, rng);
+  std::printf("graph: n=%u m=%llu (Erdos-Renyi, largest component)\n",
+              g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+
+  // 2. Preprocess the stretch-3 scheme: landmarks A = center(G, sqrt(n)),
+  //    clusters capped at 4*sqrt(n), one shortest-path tree per cluster.
+  const Stretch3Scheme s3(g, rng);
+  std::printf("landmarks: |A| = %zu\n", s3.landmarks().size());
+
+  // 3. Space accounting — the paper's headline: Õ(sqrt(n)) bits per table,
+  //    O(log n)-bit address labels.
+  const TZScheme& scheme = s3.scheme();
+  std::printf("max table:   %s\n",
+              format_bits(static_cast<double>(scheme.max_table_bits()))
+                  .c_str());
+  std::printf("avg table:   %s\n",
+              format_bits(static_cast<double>(scheme.total_table_bits()) /
+                          g.num_vertices())
+                  .c_str());
+
+  // 4. Route sampled pairs through the hop-by-hop simulator and measure
+  //    stretch against exact Dijkstra distances.
+  const Simulator sim(g);
+  const std::vector<PairSample> pairs = sample_pairs(g, 500, rng);
+  const StretchReport report = measure_stretch(
+      pairs, [&](VertexId s, VertexId t) {
+        return route_tz(sim, scheme, s, t);
+      });
+  std::printf("routed %llu/%llu pairs: mean stretch %.3f, max %.3f "
+              "(bound: 3)\n",
+              static_cast<unsigned long long>(report.delivered),
+              static_cast<unsigned long long>(report.pairs),
+              report.stretch.mean, report.stretch.max);
+
+  // 5. One packet in detail.
+  const RouteResult one = route_tz(sim, scheme, pairs[0].s, pairs[0].t);
+  std::printf("sample route: %s\n", one.describe().c_str());
+  std::printf("  exact distance %.0f, header %llu bits\n", pairs[0].exact,
+              static_cast<unsigned long long>(one.header_bits));
+
+  return report.all_delivered() && report.stretch.max <= 3.0 ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+#include "core/clusters.hpp"
+
+#include "graph/connectivity.hpp"
+
+namespace croute {
+
+TZPreprocessing::TZPreprocessing(const Graph& g,
+                                 const PreprocessOptions& options, Rng& rng)
+    : g_(&g) {
+  CROUTE_REQUIRE(g.num_vertices() >= 1, "graph must be non-empty");
+  CROUTE_REQUIRE(is_connected(g),
+                 "TZ preprocessing requires a connected graph "
+                 "(run per component, see connectivity.hpp)");
+  rank_ = rng.permutation(g.num_vertices());
+  hierarchy_ = build_hierarchy(g, options.k, rank_, rng, options.hierarchy);
+
+  // Pivots per level. Level 0 is trivial (every vertex is its own pivot);
+  // computing it via the same code path keeps invariants uniform.
+  pivots_.reserve(k());
+  for (std::uint32_t i = 0; i < k(); ++i) {
+    pivots_.push_back(multi_source_dijkstra(g, hierarchy_.levels[i], rank_));
+    // Connectivity ⇒ every vertex has a level-i pivot.
+    CROUTE_ASSERT(pivots_.back().reached(0) || g.num_vertices() == 0,
+                  "pivot computation failed");
+  }
+}
+
+std::uint32_t TZPreprocessing::effective_level(std::uint32_t level,
+                                               VertexId v) const {
+  CROUTE_REQUIRE(level < k(), "level out of range");
+  std::uint32_t j = level;
+  while (j + 1 < k() && pivots_[j].owner[v] == pivots_[j + 1].owner[v]) {
+    ++j;
+  }
+  return j;
+}
+
+LocalTree TZPreprocessing::build_cluster(VertexId w) const {
+  RestrictedDijkstra rd(*g_);
+  const std::uint32_t level = center_level(w);
+  auto guard_fn = [&](VertexId v) { return cluster_guard(level, v); };
+  return make_local_tree(rd.run(w, rank_[w], guard_fn));
+}
+
+void TZPreprocessing::for_each_cluster(
+    const std::function<void(VertexId, const LocalTree&)>& consumer) const {
+  RestrictedDijkstra rd(*g_);
+  for (VertexId w = 0; w < g_->num_vertices(); ++w) {
+    const std::uint32_t level = center_level(w);
+    auto guard_fn = [&](VertexId v) { return cluster_guard(level, v); };
+    const LocalTree tree = make_local_tree(rd.run(w, rank_[w], guard_fn));
+    consumer(w, tree);
+  }
+}
+
+std::vector<std::uint32_t> TZPreprocessing::cluster_sizes() const {
+  RestrictedDijkstra rd(*g_);
+  std::vector<std::uint32_t> sizes(g_->num_vertices(), 0);
+  for (VertexId w = 0; w < g_->num_vertices(); ++w) {
+    const std::uint32_t level = center_level(w);
+    auto guard_fn = [&](VertexId v) { return cluster_guard(level, v); };
+    sizes[w] =
+        static_cast<std::uint32_t>(rd.run(w, rank_[w], guard_fn).size());
+  }
+  return sizes;
+}
+
+}  // namespace croute

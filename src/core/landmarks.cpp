@@ -1,0 +1,166 @@
+#include "core/landmarks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace croute {
+
+namespace {
+
+/// Sorts and dedupes a landmark set.
+void normalize(std::vector<VertexId>& a) {
+  std::sort(a.begin(), a.end());
+  a.erase(std::unique(a.begin(), a.end()), a.end());
+}
+
+}  // namespace
+
+std::vector<VertexId> center_sample_level(
+    const Graph& g, const std::vector<VertexId>& candidates,
+    double target_size, double cluster_cap,
+    const std::vector<std::uint32_t>& rank, Rng& rng,
+    std::uint32_t max_rounds) {
+  CROUTE_REQUIRE(!candidates.empty(), "candidate set must be non-empty");
+  CROUTE_REQUIRE(cluster_cap >= 1, "cluster cap must be at least 1");
+  if (target_size >= static_cast<double>(candidates.size())) {
+    return candidates;
+  }
+
+  const std::uint32_t cap =
+      static_cast<std::uint32_t>(std::min<double>(cluster_cap, 4e9));
+  std::vector<std::uint8_t> in_a(g.num_vertices(), 0);
+  std::vector<VertexId> a;
+  std::vector<VertexId> overweight = candidates;  // W in the paper
+  RestrictedDijkstra rd(g);
+
+  for (std::uint32_t round = 0; round < max_rounds; ++round) {
+    // sample(W, s): keep each element with probability s/|W|.
+    const double p =
+        std::min(1.0, target_size / static_cast<double>(overweight.size()));
+    for (const VertexId w : overweight) {
+      if (!in_a[w] && rng.next_bernoulli(p)) {
+        in_a[w] = 1;
+        a.push_back(w);
+      }
+    }
+    if (a.empty()) continue;  // unlucky round: resample
+
+    // Guards d(A, ·) for the current A, then re-measure every candidate
+    // cluster, aborting a run as soon as it exceeds the cap.
+    const MultiSourceResult guards = multi_source_dijkstra(g, a, rank);
+    auto guard_fn = [&](VertexId v) { return guards.guard(v, rank); };
+    std::vector<VertexId> still_over;
+    for (const VertexId w : candidates) {
+      if (in_a[w]) continue;
+      const auto members = rd.run(w, rank[w], guard_fn, cap + 1);
+      if (members.size() > cap) still_over.push_back(w);
+    }
+    if (still_over.empty()) {
+      normalize(a);
+      return a;
+    }
+    overweight = std::move(still_over);
+  }
+
+  // Deterministic fallback: promote every remaining overweight vertex.
+  // (Its own cluster is then no longer counted, so all caps hold.)
+  for (const VertexId w : overweight) {
+    if (!in_a[w]) {
+      in_a[w] = 1;
+      a.push_back(w);
+    }
+  }
+  normalize(a);
+  return a;
+}
+
+LandmarkHierarchy build_hierarchy(const Graph& g, std::uint32_t k,
+                                  const std::vector<std::uint32_t>& rank,
+                                  Rng& rng, const HierarchyOptions& options) {
+  const VertexId n = g.num_vertices();
+  CROUTE_REQUIRE(k >= 1, "hierarchy needs at least one level");
+  CROUTE_REQUIRE(n >= 1, "graph must be non-empty");
+  CROUTE_REQUIRE(rank.size() == n, "rank permutation size mismatch");
+
+  LandmarkHierarchy h;
+  h.k = k;
+  h.levels.resize(k);
+  h.levels[0].resize(n);
+  for (VertexId v = 0; v < n; ++v) h.levels[0][v] = v;
+
+  const double nd = static_cast<double>(n);
+  for (std::uint32_t i = 1; i < k; ++i) {
+    const std::vector<VertexId>& prev = h.levels[i - 1];
+    if (prev.empty()) break;  // degenerate; fixed up below
+    const double target =
+        std::pow(nd, 1.0 - static_cast<double>(i) / static_cast<double>(k));
+    if (options.mode == SamplingMode::kCentered) {
+      const double cap =
+          options.cap_factor *
+          std::pow(nd, static_cast<double>(i) / static_cast<double>(k));
+      h.levels[i] = center_sample_level(g, prev, target, cap, rank, rng,
+                                        options.max_rounds);
+    } else {
+      const double p = std::pow(nd, -1.0 / static_cast<double>(k));
+      for (const VertexId w : prev) {
+        if (rng.next_bernoulli(p)) h.levels[i].push_back(w);
+      }
+    }
+  }
+
+  // Guarantee non-empty levels: an empty A_i (possible for tiny n or
+  // unlucky Bernoulli draws) would make level-(i-1) clusters span V.
+  // Promote the rank-smallest vertex of the previous level.
+  for (std::uint32_t i = 1; i < k; ++i) {
+    if (!h.levels[i].empty()) continue;
+    const std::vector<VertexId>& prev = h.levels[i - 1];
+    VertexId best = prev.front();
+    for (const VertexId w : prev) {
+      if (rank[w] < rank[best]) best = w;
+    }
+    h.levels[i].push_back(best);
+  }
+
+  h.level_of.assign(n, 0);
+  for (std::uint32_t i = 1; i < k; ++i) {
+    for (const VertexId w : h.levels[i]) h.level_of[w] = i;
+  }
+  // Nestedness sanity: every A_i member must be in A_{i-1}. Bernoulli and
+  // centered sampling both draw from the previous level, so this is
+  // structural; verify cheaply in debug builds.
+#ifndef NDEBUG
+  for (std::uint32_t i = 1; i < k; ++i) {
+    std::unordered_set<VertexId> prev(h.levels[i - 1].begin(),
+                                      h.levels[i - 1].end());
+    for (const VertexId w : h.levels[i]) {
+      CROUTE_ASSERT(prev.contains(w), "hierarchy levels must be nested");
+    }
+  }
+#endif
+  return h;
+}
+
+std::vector<std::uint32_t> exact_cluster_sizes(
+    const Graph& g, const std::vector<VertexId>& candidates,
+    const std::vector<VertexId>& landmark_set,
+    const std::vector<std::uint32_t>& rank) {
+  std::unordered_set<VertexId> in_a(landmark_set.begin(), landmark_set.end());
+  const MultiSourceResult guards =
+      multi_source_dijkstra(g, landmark_set, rank);
+  auto guard_fn = [&](VertexId v) { return guards.guard(v, rank); };
+  RestrictedDijkstra rd(g);
+  std::vector<std::uint32_t> sizes;
+  sizes.reserve(candidates.size());
+  for (const VertexId w : candidates) {
+    if (in_a.contains(w)) {
+      sizes.push_back(0);
+      continue;
+    }
+    sizes.push_back(
+        static_cast<std::uint32_t>(rd.run(w, rank[w], guard_fn).size()));
+  }
+  return sizes;
+}
+
+}  // namespace croute

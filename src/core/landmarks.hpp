@@ -1,0 +1,91 @@
+/// \file landmarks.hpp
+/// \brief Landmark ("center") selection and level hierarchies (§3–§4).
+///
+/// Two samplers are provided:
+///
+///  - **Bernoulli** (the STOC'01 distance-oracle sampler): level A_{i+1}
+///    keeps each vertex of A_i independently with probability n^{-1/k}.
+///    Bunches then have *expected* size O(k·n^{1/k}), but individual
+///    clusters — and hence individual routing tables — can exceed the
+///    bound.
+///
+///  - **Centered** (the SPAA'01 routing sampler): each level is grown by
+///    the iterated `center()` procedure — sample, measure every remaining
+///    cluster, resample from the overweight ones — until **every** cluster
+///    at the level has at most `cap = cap_factor · n^{(i+1)/k}` vertices.
+///    This converts the expected bound into a worst-case per-table bound,
+///    which is the paper's key refinement over Cowen's scheme and what the
+///    `Õ(n^{1/k})` table guarantee rests on. Expected landmark count per
+///    level is O(target · log n).
+///
+/// All cluster membership tests use the shared lexicographic order of
+/// dijkstra.hpp, keyed by one fixed random rank permutation.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dijkstra.hpp"
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace croute {
+
+/// Which level sampler to use.
+enum class SamplingMode {
+  kBernoulli,  ///< i.i.d. sampling; expected-size guarantees only
+  kCentered,   ///< center() resampling; worst-case cluster caps
+};
+
+/// Knobs for hierarchy construction.
+struct HierarchyOptions {
+  SamplingMode mode = SamplingMode::kCentered;
+  /// Cluster cap = cap_factor * n^{(i+1)/k} in centered mode (paper: 4).
+  double cap_factor = 4.0;
+  /// Safety bound on center() resampling rounds per level.
+  std::uint32_t max_rounds = 64;
+};
+
+/// The nested landmark sets A_0 ⊇ A_1 ⊇ … ⊇ A_{k-1}.
+struct LandmarkHierarchy {
+  std::uint32_t k = 0;
+  /// levels[i] = A_i, ascending vertex ids. levels[0] is all of V and
+  /// levels[k-1] is non-empty.
+  std::vector<std::vector<VertexId>> levels;
+  /// level_of[v] = max i with v ∈ A_i.
+  std::vector<std::uint32_t> level_of;
+
+  std::uint64_t level_size(std::uint32_t i) const {
+    return levels.at(i).size();
+  }
+};
+
+/// One level of center() sampling (§3): returns A ⊆ candidates such that
+/// every w ∈ candidates \ A has |C(w)| ≤ cluster_cap, where
+/// C(w) = {v : (d(w,v), rank(w)) <lex (d(A,v), rank(p_A(v)))}.
+/// Expected |A| = O(target_size · log n). If target_size >= |candidates|
+/// the whole candidate set is returned.
+std::vector<VertexId> center_sample_level(const Graph& g,
+                                          const std::vector<VertexId>& candidates,
+                                          double target_size,
+                                          double cluster_cap,
+                                          const std::vector<std::uint32_t>& rank,
+                                          Rng& rng,
+                                          std::uint32_t max_rounds = 64);
+
+/// Builds the k-level hierarchy over a connected graph.
+/// Level sizes target n^{1-i/k}; A_{k-1} is guaranteed non-empty.
+LandmarkHierarchy build_hierarchy(const Graph& g, std::uint32_t k,
+                                  const std::vector<std::uint32_t>& rank,
+                                  Rng& rng,
+                                  const HierarchyOptions& options = {});
+
+/// Measures |C(w)| for every w ∈ candidates against landmark set A
+/// (exact, no cap). Used by tests and the T7 bench.
+std::vector<std::uint32_t> exact_cluster_sizes(
+    const Graph& g, const std::vector<VertexId>& candidates,
+    const std::vector<VertexId>& landmark_set,
+    const std::vector<std::uint32_t>& rank);
+
+}  // namespace croute

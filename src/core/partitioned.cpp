@@ -1,0 +1,60 @@
+#include "core/partitioned.hpp"
+
+#include "util/bit_io.hpp"
+
+namespace croute {
+
+PartitionedScheme::PartitionedScheme(const Graph& g,
+                                     const TZSchemeOptions& options,
+                                     Rng& rng)
+    : g_(&g) {
+  const Components cc = connected_components(g);
+  comp_ = cc.comp;
+  parts_ = split_components(g);
+  to_local_.assign(g.num_vertices(), kNoVertex);
+  for (const Subgraph& part : parts_) {
+    const auto count = static_cast<VertexId>(part.to_original.size());
+    for (VertexId local = 0; local < count; ++local) {
+      to_local_[part.to_original[local]] = local;
+    }
+  }
+  schemes_.reserve(parts_.size());
+  routers_.reserve(parts_.size());
+  for (const Subgraph& part : parts_) {
+    schemes_.push_back(
+        std::make_unique<TZScheme>(part.graph, options, rng));
+    routers_.push_back(std::make_unique<TZRouter>(*schemes_.back()));
+  }
+#ifndef NDEBUG
+  // The port-identity property split_components guarantees: every host
+  // vertex has the same degree (hence the same port universe) in its
+  // component graph.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    CROUTE_ASSERT(parts_[comp_[v]].graph.degree(to_local_[v]) ==
+                      g.degree(v),
+                  "component extraction changed a port universe");
+  }
+#endif
+}
+
+std::optional<TZHeader> PartitionedScheme::prepare(VertexId s,
+                                                   VertexId t) const {
+  CROUTE_REQUIRE(s < g_->num_vertices() && t < g_->num_vertices(),
+                 "vertex out of range");
+  if (!reachable(s, t)) return std::nullopt;
+  const std::uint32_t c = comp_[s];
+  return routers_[c]->prepare(to_local_[s],
+                              schemes_[c]->label(to_local_[t]));
+}
+
+TreeDecision PartitionedScheme::step(VertexId v,
+                                     const TZHeader& header) const {
+  return routers_[comp_[v]]->step(to_local_[v], header);
+}
+
+std::uint64_t PartitionedScheme::label_bits(VertexId t) const {
+  return schemes_[comp_[t]]->label_bits(to_local_[t]) +
+         bits_for_universe(schemes_.size());
+}
+
+}  // namespace croute

@@ -1,0 +1,76 @@
+/// \file partitioned.hpp
+/// \brief Routing over disconnected graphs: one scheme per component.
+///
+/// The paper (and TZScheme) assume a connected graph; real inputs often
+/// are not. PartitionedScheme splits the host graph into its connected
+/// components, builds an independent TZScheme per component, and
+/// translates between host and component coordinates. Because
+/// split_components renumbers vertices monotonically, every vertex's port
+/// numbering in its component equals its port numbering in the host graph
+/// — so component-level routing decisions drive the host-level simulator
+/// directly, with only vertex-id translation.
+///
+/// Cross-component queries report "unreachable" instead of routing; the
+/// component id is part of every address label (as the paper's schemes
+/// assume for disconnected inputs).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/tz_router.hpp"
+#include "core/tz_scheme.hpp"
+#include "graph/connectivity.hpp"
+
+namespace croute {
+
+/// A TZ routing scheme over a possibly-disconnected graph.
+class PartitionedScheme {
+ public:
+  /// Preprocesses every component of \p g (which must outlive *this).
+  PartitionedScheme(const Graph& g, const TZSchemeOptions& options, Rng& rng);
+
+  const Graph& graph() const noexcept { return *g_; }
+  std::uint32_t num_components() const noexcept {
+    return static_cast<std::uint32_t>(schemes_.size());
+  }
+
+  /// Component id of \p v (part of its address).
+  std::uint32_t component_of(VertexId v) const { return comp_[v]; }
+  bool reachable(VertexId s, VertexId t) const {
+    return comp_[s] == comp_[t];
+  }
+
+  /// The scheme of one component (sizes, labels — component-local ids).
+  const TZScheme& component_scheme(std::uint32_t c) const {
+    return *schemes_[c];
+  }
+
+  /// Source decision in HOST coordinates: nullopt if t is unreachable.
+  /// The header's target/tree_root are component-local ids; use step().
+  std::optional<TZHeader> prepare(VertexId s, VertexId t) const;
+
+  /// Per-hop decision at host vertex \p v for a header from prepare().
+  /// Ports are host ports (identical to component ports by construction).
+  TreeDecision step(VertexId v, const TZHeader& header) const;
+
+  /// Host-coordinate accounting (table bits of v in its component scheme).
+  std::uint64_t table_bits(VertexId v) const {
+    return schemes_[comp_[v]]->table_bits(to_local_[v]);
+  }
+  /// Label bits of t plus the component id the address must carry.
+  std::uint64_t label_bits(VertexId t) const;
+
+ private:
+  const Graph* g_;
+  std::vector<std::uint32_t> comp_;      ///< host vertex -> component
+  std::vector<VertexId> to_local_;       ///< host vertex -> component-local
+  std::vector<Subgraph> parts_;          ///< keeps component graphs alive
+  std::vector<std::unique_ptr<TZScheme>> schemes_;
+  std::vector<std::unique_ptr<TZRouter>> routers_;
+};
+
+}  // namespace croute

@@ -1,0 +1,19 @@
+#include "core/stretch3.hpp"
+
+namespace croute {
+
+TZSchemeOptions Stretch3Scheme::make_options(const Options& o) {
+  TZSchemeOptions out;
+  out.pre.k = 2;
+  out.pre.hierarchy.mode = SamplingMode::kCentered;
+  out.pre.hierarchy.cap_factor = o.cap_factor;
+  out.hash_index = o.hash_index;
+  out.labels_carry_distances = false;
+  return out;
+}
+
+Stretch3Scheme::Stretch3Scheme(const Graph& g, Rng& rng,
+                               const Options& options)
+    : scheme_(g, make_options(options), rng), router_(scheme_) {}
+
+}  // namespace croute

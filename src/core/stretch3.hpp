@@ -1,0 +1,80 @@
+/// \file stretch3.hpp
+/// \brief The k = 2 stretch-3 scheme (§3) — the paper's headline result.
+///
+/// Specializes the general hierarchy to two levels with `center()`-based
+/// landmark selection: A_1 = center(G, √n), so that
+///   - |A_1| = O(√n · log n) in expectation,
+///   - every cluster |C(w)| ≤ 4·√n worst case,
+/// giving routing tables of Õ(√n) bits at *every* vertex and stretch
+/// exactly ≤ 3:
+///   - if t ∈ C(s), s's cluster directory yields t's label in T_s and the
+///     packet descends an exact shortest path (stretch 1); likewise if
+///     s ∈ C(t) the packet ascends T_t exactly;
+///   - otherwise t ∉ C(s) certifies d(t, a_t) ≤ d(s, t) for t's home
+///     landmark a_t = ŵ_1(t), and the T_{a_t} route costs
+///     ≤ d(s,a_t) + d(a_t,t) ≤ 3·d(s,t).
+///
+/// This improves Cowen's stretch-3 scheme (tables Õ(n^{2/3}),
+/// baseline/cowen.hpp) and is stretch-optimal among schemes with o(n)-bit
+/// tables (Gavoille–Gengler). Benches T1/F2 reproduce the comparison.
+
+#pragma once
+
+#include "core/tz_router.hpp"
+#include "core/tz_scheme.hpp"
+
+namespace croute {
+
+/// Two-level Thorup–Zwick scheme with worst-case table bounds.
+class Stretch3Scheme {
+ public:
+  struct Options {
+    double cap_factor = 4.0;   ///< cluster cap = cap_factor · √n
+    bool hash_index = false;   ///< FKS index over tables
+  };
+
+  Stretch3Scheme(const Graph& g, Rng& rng, const Options& options);
+  Stretch3Scheme(const Graph& g, Rng& rng)
+      : Stretch3Scheme(g, rng, Options{}) {}
+
+  const TZScheme& scheme() const noexcept { return scheme_; }
+  const TZRouter& router() const noexcept { return router_; }
+
+  /// The landmark set A_1.
+  const std::vector<VertexId>& landmarks() const {
+    return scheme_.preprocessing().hierarchy().levels[1];
+  }
+
+  /// t's home landmark a_t (its effective level-1 pivot).
+  VertexId home_landmark(VertexId t) const {
+    return scheme_.preprocessing().effective_pivot(1, t);
+  }
+
+  /// True if s routes to t on an exact shortest path: either t ∈ C(s)
+  /// (descent of T_s) or s ∈ C(t) with t its own level-0 pivot (ascent of
+  /// T_t straight to the root).
+  bool routes_directly(VertexId s, VertexId t) const {
+    if (scheme_.directory(s).contains(t)) return true;
+    const RoutingLabel& l = scheme_.label(t);
+    return l.entries.front().w == t &&
+           scheme_.lookup(s, l.entries.front().w) != nullptr;
+  }
+
+  /// Source decision (stretch ≤ 3).
+  TZHeader prepare(VertexId s, VertexId t) const {
+    return router_.prepare(s, scheme_.label(t), RoutingPolicy::kMinLevel);
+  }
+
+  /// Per-hop decision.
+  TreeDecision step(VertexId v, const TZHeader& h) const {
+    return router_.step(v, h);
+  }
+
+ private:
+  static TZSchemeOptions make_options(const Options& o);
+
+  TZScheme scheme_;
+  TZRouter router_;
+};
+
+}  // namespace croute

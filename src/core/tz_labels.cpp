@@ -1,0 +1,60 @@
+#include "core/tz_labels.hpp"
+
+#include <bit>
+
+namespace croute {
+
+const LabelEntry& RoutingLabel::entry_for_level(std::uint32_t level) const {
+  CROUTE_REQUIRE(!entries.empty(), "empty routing label");
+  // Entries ascend by level; find the last with entry.level <= level.
+  const LabelEntry* best = &entries.front();
+  for (const LabelEntry& e : entries) {
+    if (e.level <= level) {
+      best = &e;
+    } else {
+      break;
+    }
+  }
+  return *best;
+}
+
+LabelCodec::LabelCodec(VertexId n, Port max_degree, bool carry_distances)
+    : id_bits_(bits_for_universe(n)),
+      tree_codec_(n, max_degree),
+      carry_distances_(carry_distances) {}
+
+void LabelCodec::encode(const RoutingLabel& l, BitWriter& w) const {
+  CROUTE_REQUIRE(!l.entries.empty(), "cannot encode an empty label");
+  w.write_bits(l.t, id_bits_);
+  w.write_gamma(l.entries.size());
+  for (const LabelEntry& e : l.entries) {
+    w.write_gamma(std::uint64_t{e.level} + 1);
+    w.write_bits(e.w, id_bits_);
+    if (carry_distances_) {
+      w.write_bits(std::bit_cast<std::uint64_t>(e.dist), 64);
+    }
+    TreeRoutingScheme::encode_label(e.tree, tree_codec_, w);
+  }
+}
+
+RoutingLabel LabelCodec::decode(BitReader& r) const {
+  RoutingLabel l;
+  l.t = static_cast<VertexId>(r.read_bits(id_bits_));
+  const std::uint64_t count = r.read_gamma();
+  l.entries.resize(count);
+  for (LabelEntry& e : l.entries) {
+    e.level = static_cast<std::uint32_t>(r.read_gamma() - 1);
+    e.w = static_cast<VertexId>(r.read_bits(id_bits_));
+    e.dist = carry_distances_ ? std::bit_cast<Weight>(r.read_bits(64)) : 0;
+    e.tree = TreeRoutingScheme::decode_label(tree_codec_, r);
+  }
+  return l;
+}
+
+std::uint64_t LabelCodec::label_bits(const RoutingLabel& l) const {
+  BitWriter w;
+  encode(l, w);
+  return w.bit_size();
+}
+
+}  // namespace croute

@@ -1,0 +1,65 @@
+/// \file tz_labels.hpp
+/// \brief Destination address labels for the Thorup–Zwick schemes.
+///
+/// The label of a destination t lists, per hierarchy level i, its
+/// *effective pivot* ŵ_i(t) together with t's tree-routing label in the
+/// pivot's cluster tree T_{ŵ_i(t)} (see clusters.hpp for why effective
+/// pivots). Runs of levels sharing a pivot are stored once — a label has
+/// at most k entries, ascending by level.
+///
+/// The 4k−5 routing algorithm needs only pivot identities; the optional
+/// `kMinEstimate` policy additionally uses d(ŵ_i(t), t), so labels carry
+/// the distance in memory and the codec includes it only when asked
+/// (`carry_distances`), keeping default bit accounting faithful to the
+/// paper.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "tree/tree_router.hpp"
+#include "util/bit_io.hpp"
+
+namespace croute {
+
+/// One label entry: levels [level, next entry's level) share this pivot.
+struct LabelEntry {
+  std::uint32_t level = 0;  ///< first level covered by this entry
+  VertexId w = kNoVertex;   ///< effective pivot
+  Weight dist = 0;          ///< d(w, t)
+  TreeLabel tree;           ///< t's tree label in T_w
+};
+
+/// The full address label of a destination.
+struct RoutingLabel {
+  VertexId t = kNoVertex;
+  std::vector<LabelEntry> entries;  ///< ascending level, first is level 0
+
+  /// The entry whose level-run covers \p level.
+  const LabelEntry& entry_for_level(std::uint32_t level) const;
+};
+
+/// Bit codec for labels.
+class LabelCodec {
+ public:
+  LabelCodec() = default;  ///< placeholder; overwritten by deserialization
+
+  /// \p n vertices, \p max_degree for port widths, \p carry_distances to
+  /// include 64-bit distances per entry.
+  LabelCodec(VertexId n, Port max_degree, bool carry_distances);
+
+  void encode(const RoutingLabel& l, BitWriter& w) const;
+  RoutingLabel decode(BitReader& r) const;
+  std::uint64_t label_bits(const RoutingLabel& l) const;
+
+  bool carries_distances() const noexcept { return carry_distances_; }
+
+ private:
+  std::uint32_t id_bits_ = 1;
+  TreeRoutingScheme::Codec tree_codec_;
+  bool carry_distances_ = false;
+};
+
+}  // namespace croute

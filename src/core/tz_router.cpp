@@ -1,0 +1,84 @@
+#include "core/tz_router.hpp"
+
+namespace croute {
+
+TZHeader TZRouter::prepare(VertexId s, const RoutingLabel& dest,
+                           RoutingPolicy policy) const {
+  CROUTE_REQUIRE(!dest.entries.empty(), "malformed destination label");
+  // Rule 0 (the paper's first case): t ∈ C(s) — s's own cluster directory
+  // has t's tree label in T_s, and the packet descends T_s on an exact
+  // shortest path. Skipping this rule still routes correctly but only
+  // guarantees stretch 4k−3; with it the failure of rule 0 certifies
+  // d(t, A_1) ≤ d(s, t), which is what the 4k−5 induction starts from.
+  if (policy != RoutingPolicy::kLabelOnly) {
+    if (auto own = scheme_->directory(s).find(dest.t)) {
+      return TZHeader{dest.t, s, *std::move(own)};
+    }
+  }
+  const LabelEntry* chosen = nullptr;
+  if (policy != RoutingPolicy::kMinEstimate) {
+    for (const LabelEntry& e : dest.entries) {
+      if (scheme_->lookup(s, e.w) != nullptr) {
+        chosen = &e;
+        break;
+      }
+    }
+  } else {
+    CROUTE_REQUIRE(scheme_->options().labels_carry_distances,
+                   "kMinEstimate needs labels built with "
+                   "labels_carry_distances");
+    Weight best = kInfiniteWeight;
+    for (const LabelEntry& e : dest.entries) {
+      const TableEntry* te = scheme_->lookup(s, e.w);
+      if (te == nullptr) continue;
+      const Weight estimate = te->dist + e.dist;
+      if (estimate < best) {
+        best = estimate;
+        chosen = &e;
+      }
+    }
+  }
+  CROUTE_ASSERT(chosen != nullptr,
+                "no candidate pivot found: top-level landmark missing from "
+                "the source bunch");
+  return TZHeader{dest.t, chosen->w, chosen->tree};
+}
+
+TZHeader TZRouter::prepare_handshake(VertexId s, VertexId t) const {
+  const TZPreprocessing& pre = scheme_->preprocessing();
+  const std::uint32_t k = scheme_->k();
+  // Bidirectional pivot walk (the distance-oracle loop with effective
+  // pivots): terminates by level k-1 because A_{k-1} ⊆ B(x) for all x.
+  VertexId u = s, v = t;
+  VertexId w = u;  // ŵ_0(u) = u
+  std::uint32_t i = 0;
+  while (scheme_->lookup(v, w) == nullptr) {
+    ++i;
+    CROUTE_ASSERT(i < k, "handshake walk exceeded the hierarchy height");
+    std::swap(u, v);
+    w = pre.effective_pivot(i, u);
+  }
+  // Both endpoints are in C(w): v via the bunch lookup, u because w is an
+  // effective pivot of u (or u itself when i == 0).
+  const TableEntry* te = scheme_->lookup(t, w);
+  CROUTE_ASSERT(te != nullptr,
+                "handshake meeting tree misses the destination");
+  return TZHeader{t, w, scheme_->table(t).own_label(*te)};
+}
+
+TreeDecision TZRouter::step(VertexId v, const TZHeader& header) const {
+  const TableEntry* te = scheme_->lookup(v, header.tree_root);
+  CROUTE_ASSERT(te != nullptr,
+                "packet left the routing tree: vertex has no entry for it");
+  return TreeRoutingScheme::decide(te->record, header.tree_label);
+}
+
+std::uint64_t TZRouter::header_bits(const TZHeader& header) const {
+  BitWriter w;
+  w.write_bits(header.tree_root,
+               bits_for_universe(scheme_->graph().num_vertices()));
+  TreeRoutingScheme::encode_label(header.tree_label, scheme_->tree_codec(), w);
+  return w.bit_size();
+}
+
+}  // namespace croute

@@ -1,0 +1,93 @@
+/// \file tz_router.hpp
+/// \brief Routing algorithms over a TZScheme: 4k−5 direct, 2k−1 handshake.
+///
+/// ### Direct (source-directed) routing — stretch ≤ 4k−5
+/// The source s holds the destination label Λ(t) and its own table
+/// (bunch entries + cluster directory). Two rules, in order:
+///
+///  0. **t ∈ C(s)**: s's cluster directory has t's tree label in T_s;
+///     the packet descends T_s along an exact shortest path (stretch 1).
+///  1. Otherwise s scans Λ(t)'s entries in ascending level and picks the
+///     first pivot w = ŵ_i(t) present in B(s) (the top-level entry always
+///     is, because top-level clusters span V). The packet then carries
+///     (w, tree label of t in T_w).
+///
+/// Every hop performs one table lookup plus the O(1) tree decision;
+/// intermediate vertices lie on the T_w path between s and t and
+/// therefore hold the needed entry. Stretch: failure of rule 0 certifies
+/// d(t, A_1) ≤ d(s,t); failure of level j certifies
+/// d(s, ŵ_j(t)) ≥ d(s, A_{j+1}); chaining gives d(t, ŵ_i(t)) ≤ (2i−1)·d
+/// and route length ≤ d(s,w) + d(w,t) ≤ (4i−1)·d ≤ (4k−5)·d(s,t).
+/// Without rule 0 the same scan only guarantees 4k−3 — rule 0 *is* the
+/// paper's improvement, and the reason tables carry cluster directories.
+///
+/// ### Handshake routing — stretch ≤ 2k−1
+/// One preliminary exchange lets s and t run the bidirectional
+/// distance-oracle walk (w ← ŵ_i(u); swap roles while w ∉ B(v)); the
+/// meeting pivot w satisfies d(s,w) + d(w,t) ≤ (2k−1)·d(s,t) and both
+/// endpoints lie in C(w), so the data path is the T_w route. The
+/// handshake itself is one round trip; benches report its cost
+/// separately (F3).
+///
+/// ### Policies
+///  - kMinLevel: the paper's rule (rule 0, then the first level whose
+///    pivot is in B(s)).
+///  - kMinEstimate: rule 0, then among label entries with pivot in B(s)
+///    take the one minimizing d(s,w) + d(w,t) (requires
+///    labels_carry_distances). Never worse than kMinLevel's bound; an
+///    ablation, not the paper.
+///  - kLabelOnly: ablation that SKIPS rule 0 (no cluster-directory
+///    consultation). Still correct and loop-free, but the guarantee
+///    degrades to 4k−3 — bench `a1` measures the gap; this is the
+///    pre-Thorup–Zwick behavior of label-pivot-only routing.
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/tz_scheme.hpp"
+
+namespace croute {
+
+/// Candidate-selection policy at the source.
+enum class RoutingPolicy {
+  kMinLevel,
+  kMinEstimate,
+  kLabelOnly,  ///< ablation: skip rule 0; guarantee weakens to 4k−3
+};
+
+/// The packet header used by TZ routing: which tree to follow and the
+/// destination's label in it.
+struct TZHeader {
+  VertexId target = kNoVertex;  ///< destination vertex (diagnostics)
+  VertexId tree_root = kNoVertex;
+  TreeLabel tree_label;
+};
+
+/// Stateless routing algorithms over a TZScheme.
+class TZRouter {
+ public:
+  explicit TZRouter(const TZScheme& scheme) : scheme_(&scheme) {}
+
+  /// Source decision without handshake (stretch ≤ 4k−5).
+  /// \p dest is the address label of t (usually scheme.label(t), but the
+  /// caller may pass a label decoded from the wire).
+  TZHeader prepare(VertexId s, const RoutingLabel& dest,
+                   RoutingPolicy policy = RoutingPolicy::kMinLevel) const;
+
+  /// Source decision with handshake (stretch ≤ 2k−1). Consults both
+  /// endpoints' structures, modeling the preliminary exchange.
+  TZHeader prepare_handshake(VertexId s, VertexId t) const;
+
+  /// Per-hop decision at vertex v. Requires v ∈ C(header.tree_root),
+  /// which holds along the whole route by construction.
+  TreeDecision step(VertexId v, const TZHeader& header) const;
+
+  /// Exact bit size of a header on the wire: tree root id + tree label.
+  std::uint64_t header_bits(const TZHeader& header) const;
+
+ private:
+  const TZScheme* scheme_;
+};
+
+}  // namespace croute

@@ -1,0 +1,131 @@
+#include "core/tz_scheme.hpp"
+
+#include <unordered_map>
+
+namespace croute {
+
+namespace {
+
+/// Scatter buffers for one vertex's table under construction.
+struct PendingTable {
+  std::vector<TableEntry> entries;
+  std::vector<Port> light_pool;
+};
+
+}  // namespace
+
+TZScheme::TZScheme(const Graph& g, const TZSchemeOptions& options, Rng& rng)
+    : g_(&g),
+      options_(options),
+      pre_(g, options.pre, rng),
+      tree_codec_(g.num_vertices(), g.max_degree()),
+      codec_(g.num_vertices(), g.max_degree(),
+             options.labels_carry_distances) {
+  const VertexId n = g.num_vertices();
+  const std::uint32_t k = pre_.k();
+  const std::uint32_t id_bits = bits_for_universe(n);
+
+  // ---- label skeletons: per destination, the distinct effective pivots.
+  // needed[w] lists (destination, entry index) pairs whose tree label must
+  // be extracted from T_w during the cluster sweep.
+  labels_.resize(n);
+  std::vector<std::vector<std::pair<VertexId, std::uint32_t>>> needed(n);
+  for (VertexId t = 0; t < n; ++t) {
+    RoutingLabel& label = labels_[t];
+    label.t = t;
+    VertexId last_pivot = kNoVertex;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const std::uint32_t j = pre_.effective_level(i, t);
+      const VertexId w = pre_.pivot(j, t);
+      CROUTE_ASSERT(w != kNoVertex, "missing pivot on a connected graph");
+      if (w == last_pivot) continue;  // same run
+      last_pivot = w;
+      LabelEntry e;
+      e.level = i;
+      e.w = w;
+      e.dist = pre_.pivot_dist(i, t);  // == pivot_dist(j, t) along the run
+      label.entries.push_back(std::move(e));
+      needed[w].emplace_back(
+          t, static_cast<std::uint32_t>(label.entries.size() - 1));
+    }
+  }
+
+  // ---- cluster sweep: build T_w, scatter records, extract labels, and
+  //      record w's cluster directory (rule-0 routing state).
+  std::vector<PendingTable> pending(n);
+  dirs_.resize(n);
+  std::unordered_map<VertexId, std::uint32_t> local_index;
+  pre_.for_each_cluster([&](VertexId w, const LocalTree& tree) {
+    const TreeRoutingScheme trs(tree);
+    const std::uint32_t level = pre_.center_level(w);
+    // Rule-0 directories exist only for level-0 centers. For a landmark
+    // source s ∈ A_1 the rule-0 certificate d(t, A_1) ≤ d(s, t) holds
+    // trivially (s itself is in A_1), so its directory may be empty —
+    // and must be, or top-level centers (C(w) = V) would store Θ(n log n)
+    // bits and break the paper's Õ(n^{1/k}) per-vertex table bound.
+    if (level == 0) {
+      dirs_[w] = ClusterDirectory(tree, trs, tree_codec_, id_bits);
+    }
+    for (std::uint32_t i = 0; i < tree.size(); ++i) {
+      const VertexId v = tree.global[i];
+      PendingTable& pt = pending[v];
+      TableEntry e;
+      e.w = w;
+      e.level = level;
+      e.dist = tree.dist[i];
+      e.record = trs.record(i);
+      const TreeLabel& own = trs.label(i);
+      e.light_off = static_cast<std::uint32_t>(pt.light_pool.size());
+      e.light_len = static_cast<std::uint32_t>(own.light_ports.size());
+      pt.light_pool.insert(pt.light_pool.end(), own.light_ports.begin(),
+                           own.light_ports.end());
+      pt.entries.push_back(std::move(e));
+    }
+    if (!needed[w].empty()) {
+      local_index.clear();
+      for (std::uint32_t i = 0; i < tree.size(); ++i) {
+        local_index.emplace(tree.global[i], i);
+      }
+      for (const auto& [t, entry_idx] : needed[w]) {
+        const auto it = local_index.find(t);
+        CROUTE_ASSERT(it != local_index.end(),
+                      "label references a tree that misses its destination "
+                      "(effective-pivot invariant violated)");
+        labels_[t].entries[entry_idx].tree = trs.label(it->second);
+      }
+    }
+  });
+
+  // ---- finalize tables.
+  tables_.reserve(n);
+  for (VertexId v = 0; v < n; ++v) {
+    tables_.emplace_back(std::move(pending[v].entries),
+                         std::move(pending[v].light_pool), tree_codec_,
+                         id_bits);
+    if (options.hash_index) tables_.back().build_hash_index(rng);
+  }
+}
+
+std::uint64_t TZScheme::total_table_bits() const {
+  std::uint64_t total = 0;
+  for (VertexId v = 0; v < g_->num_vertices(); ++v) total += table_bits(v);
+  return total;
+}
+
+std::uint64_t TZScheme::max_table_bits() const {
+  std::uint64_t best = 0;
+  for (VertexId v = 0; v < g_->num_vertices(); ++v) {
+    best = std::max(best, table_bits(v));
+  }
+  return best;
+}
+
+std::vector<std::uint32_t> TZScheme::bunch_sizes() const {
+  std::vector<std::uint32_t> sizes(g_->num_vertices());
+  for (VertexId v = 0; v < g_->num_vertices(); ++v) {
+    sizes[v] = tables_[v].size();
+  }
+  return sizes;
+}
+
+}  // namespace croute

@@ -1,0 +1,103 @@
+#include "core/tz_tables.hpp"
+
+#include <algorithm>
+
+namespace croute {
+
+VertexTable::VertexTable(std::vector<TableEntry> entries,
+                         std::vector<Port> light_pool,
+                         const TreeRoutingScheme::Codec& codec,
+                         std::uint32_t vertex_id_bits)
+    : entries_(std::move(entries)), light_pool_(std::move(light_pool)) {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const TableEntry& a, const TableEntry& b) { return a.w < b.w; });
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    CROUTE_REQUIRE(entries_[i - 1].w != entries_[i].w,
+                   "duplicate tree root in a vertex table");
+  }
+  // Exact serialized size: key + level + record + own tree label.
+  BitWriter w;
+  const std::uint32_t id_bits = vertex_id_bits;
+  for (const TableEntry& e : entries_) {
+    w.write_bits(e.w, id_bits);
+    w.write_gamma(std::uint64_t{e.level} + 1);
+    TreeRoutingScheme::encode_record(e.record, codec, w);
+    TreeRoutingScheme::encode_label(own_label(e), codec, w);
+  }
+  bit_size_ = w.bit_size();
+}
+
+const TableEntry* VertexTable::find(VertexId w) const noexcept {
+  if (hash_) {
+    const auto idx = hash_->find(w);
+    if (!idx) return nullptr;
+    return &entries_[*idx];
+  }
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), w,
+      [](const TableEntry& e, VertexId key) { return e.w < key; });
+  if (it == entries_.end() || it->w != w) return nullptr;
+  return &*it;
+}
+
+TreeLabel VertexTable::own_label(const TableEntry& e) const {
+  CROUTE_DCHECK(std::uint64_t{e.light_off} + e.light_len <= light_pool_.size(),
+                "light pool slice out of range");
+  TreeLabel l;
+  l.dfs_in = e.record.dfs_in;
+  l.light_ports.assign(light_pool_.begin() + e.light_off,
+                       light_pool_.begin() + e.light_off + e.light_len);
+  return l;
+}
+
+ClusterDirectory::ClusterDirectory(const LocalTree& tree,
+                                   const TreeRoutingScheme& trs,
+                                   const TreeRoutingScheme::Codec& codec,
+                                   std::uint32_t vertex_id_bits) {
+  const std::uint32_t n = tree.size();
+  // Sort member indices by global vertex id for binary-searchable keys.
+  std::vector<std::uint32_t> order(n);
+  for (std::uint32_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return tree.global[a] < tree.global[b];
+            });
+  ts_.resize(n);
+  dfs_.resize(n);
+  light_off_.resize(std::size_t{n} + 1, 0);
+  BitWriter w;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t local = order[i];
+    const TreeLabel& l = trs.label(local);
+    ts_[i] = tree.global[local];
+    dfs_[i] = l.dfs_in;
+    light_off_[i] = static_cast<std::uint32_t>(pool_.size());
+    pool_.insert(pool_.end(), l.light_ports.begin(), l.light_ports.end());
+    w.write_bits(ts_[i], vertex_id_bits);
+    TreeRoutingScheme::encode_label(l, codec, w);
+  }
+  light_off_[n] = static_cast<std::uint32_t>(pool_.size());
+  bit_size_ = w.bit_size();
+}
+
+std::optional<TreeLabel> ClusterDirectory::find(VertexId t) const {
+  const auto it = std::lower_bound(ts_.begin(), ts_.end(), t);
+  if (it == ts_.end() || *it != t) return std::nullopt;
+  const auto i = static_cast<std::size_t>(it - ts_.begin());
+  TreeLabel l;
+  l.dfs_in = dfs_[i];
+  l.light_ports.assign(pool_.begin() + light_off_[i],
+                       pool_.begin() + light_off_[i + 1]);
+  return l;
+}
+
+void VertexTable::build_hash_index(Rng& rng) {
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> kv;
+  kv.reserve(entries_.size());
+  for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+    kv.emplace_back(entries_[i].w, i);
+  }
+  hash_ = PerfectHashMap::build(kv, rng);
+}
+
+}  // namespace croute

@@ -1,0 +1,143 @@
+#include "graph/connectivity.hpp"
+
+#include <algorithm>
+
+namespace croute {
+
+UnionFind::UnionFind(std::uint32_t n)
+    : parent_(n), size_(n, 1), sets_(n) {
+  for (std::uint32_t i = 0; i < n; ++i) parent_[i] = i;
+}
+
+std::uint32_t UnionFind::find(std::uint32_t x) {
+  CROUTE_DCHECK(x < parent_.size(), "element out of range");
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(std::uint32_t a, std::uint32_t b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (size_[a] < size_[b]) std::swap(a, b);
+  parent_[b] = a;
+  size_[a] += size_[b];
+  --sets_;
+  return true;
+}
+
+std::uint32_t UnionFind::size_of(std::uint32_t x) { return size_[find(x)]; }
+
+Components connected_components(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  Components out;
+  out.comp.assign(n, ~std::uint32_t{0});
+  std::vector<VertexId> stack;
+  for (VertexId s = 0; s < n; ++s) {
+    if (out.comp[s] != ~std::uint32_t{0}) continue;
+    const std::uint32_t id = out.count++;
+    out.comp[s] = id;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      for (const Arc& a : g.arcs(v)) {
+        if (out.comp[a.head] == ~std::uint32_t{0}) {
+          out.comp[a.head] = id;
+          stack.push_back(a.head);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  return connected_components(g).count == 1;
+}
+
+Subgraph largest_component(const Graph& g) {
+  const Components cc = connected_components(g);
+  const VertexId n = g.num_vertices();
+  std::vector<std::uint64_t> size(cc.count, 0);
+  for (VertexId v = 0; v < n; ++v) ++size[cc.comp[v]];
+  std::uint32_t best = 0;
+  for (std::uint32_t c = 1; c < cc.count; ++c) {
+    if (size[c] > size[best]) best = c;
+  }
+
+  Subgraph out;
+  std::vector<VertexId> to_new(n, kNoVertex);
+  for (VertexId v = 0; v < n; ++v) {
+    if (cc.comp[v] == best) {
+      to_new[v] = static_cast<VertexId>(out.to_original.size());
+      out.to_original.push_back(v);
+    }
+  }
+  GraphBuilder b(static_cast<VertexId>(out.to_original.size()));
+  for (VertexId v = 0; v < n; ++v) {
+    if (cc.comp[v] != best) continue;
+    for (const Arc& a : g.arcs(v)) {
+      if (a.head > v) b.add_edge(to_new[v], to_new[a.head], a.weight);
+    }
+  }
+  out.graph = b.build();
+  return out;
+}
+
+std::vector<Subgraph> split_components(const Graph& g) {
+  const Components cc = connected_components(g);
+  const VertexId n = g.num_vertices();
+  std::vector<Subgraph> out(cc.count);
+  // Monotone renumbering: scanning v in ascending id assigns ascending
+  // local ids within each component (the port-identity property).
+  std::vector<VertexId> to_new(n, kNoVertex);
+  for (VertexId v = 0; v < n; ++v) {
+    Subgraph& s = out[cc.comp[v]];
+    to_new[v] = static_cast<VertexId>(s.to_original.size());
+    s.to_original.push_back(v);
+  }
+  std::vector<GraphBuilder> builders;
+  builders.reserve(cc.count);
+  for (std::uint32_t c = 0; c < cc.count; ++c) {
+    builders.emplace_back(
+        static_cast<VertexId>(out[c].to_original.size()));
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    for (const Arc& a : g.arcs(v)) {
+      if (a.head > v) {
+        builders[cc.comp[v]].add_edge(to_new[v], to_new[a.head], a.weight);
+      }
+    }
+  }
+  for (std::uint32_t c = 0; c < cc.count; ++c) {
+    out[c].graph = builders[c].build();
+  }
+  return out;
+}
+
+Graph ensure_connected(const Graph& g, Weight bridge_weight) {
+  const Components cc = connected_components(g);
+  if (cc.count <= 1) return g;
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> representative(cc.count, kNoVertex);
+  for (VertexId v = 0; v < n; ++v) {
+    if (representative[cc.comp[v]] == kNoVertex) representative[cc.comp[v]] = v;
+  }
+  GraphBuilder b(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (const Arc& a : g.arcs(v)) {
+      if (a.head > v) b.add_edge(v, a.head, a.weight);
+    }
+  }
+  for (std::uint32_t c = 0; c + 1 < cc.count; ++c) {
+    b.add_edge(representative[c], representative[c + 1], bridge_weight);
+  }
+  return b.build();
+}
+
+}  // namespace croute

@@ -1,0 +1,69 @@
+/// \file connectivity.hpp
+/// \brief Connected components, union-find, and connectivity repair.
+///
+/// Routing schemes in this library assume a connected input graph (as does
+/// the paper). Generators may produce disconnected graphs; callers either
+/// extract the largest component or stitch components together.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace croute {
+
+/// Union-find with path halving and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(std::uint32_t n);
+
+  std::uint32_t find(std::uint32_t x);
+
+  /// Merges the sets of a and b; returns true if they were distinct.
+  bool unite(std::uint32_t a, std::uint32_t b);
+
+  /// Size of x's set.
+  std::uint32_t size_of(std::uint32_t x);
+
+  std::uint32_t set_count() const noexcept { return sets_; }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+  std::uint32_t sets_;
+};
+
+/// Component labeling: comp[v] in [0, count), numbered by first appearance.
+struct Components {
+  std::vector<std::uint32_t> comp;
+  std::uint32_t count = 0;
+};
+Components connected_components(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+/// An induced subgraph together with its vertex mapping back to the host.
+struct Subgraph {
+  Graph graph;
+  std::vector<VertexId> to_original;  ///< new id -> original id
+};
+
+/// Extracts the largest connected component (ties: smallest component id).
+Subgraph largest_component(const Graph& g);
+
+/// Splits \p g into its connected components, ordered by component id
+/// (first appearance). Vertices within each component keep their relative
+/// order, so for any vertex the port numbering in its component subgraph
+/// is IDENTICAL to its port numbering in \p g (arcs sort by head and the
+/// renumbering is monotone) — the property PartitionedScheme relies on to
+/// run per-component schemes against host-graph ports.
+std::vector<Subgraph> split_components(const Graph& g);
+
+/// Returns a connected supergraph: adds one bridge edge of weight
+/// \p bridge_weight between the lowest-id vertices of consecutive
+/// components. Returns \p g unchanged if already connected.
+Graph ensure_connected(const Graph& g, Weight bridge_weight = 1.0);
+
+}  // namespace croute

@@ -1,0 +1,157 @@
+#include "graph/dijkstra.hpp"
+
+#include "util/parallel.hpp"
+
+namespace croute {
+
+ShortestPathTree dijkstra(const Graph& g, VertexId source) {
+  const VertexId n = g.num_vertices();
+  CROUTE_REQUIRE(source < n, "source out of range");
+  ShortestPathTree out;
+  out.source = source;
+  out.dist.assign(n, kInfiniteWeight);
+  out.parent.assign(n, kNoVertex);
+  out.parent_port.assign(n, kNoPort);
+  out.down_port.assign(n, kNoPort);
+
+  DHeap<Weight> heap(n);
+  out.dist[source] = 0;
+  heap.push_or_decrease(source, 0);
+  while (!heap.empty()) {
+    const VertexId v = heap.pop();
+    const Weight dv = out.dist[v];
+    const auto adj = g.arcs(v);
+    for (Port p = 0; p < adj.size(); ++p) {
+      const Arc& a = adj[p];
+      const Weight cand = dv + a.weight;
+      if (cand < out.dist[a.head]) {
+        out.dist[a.head] = cand;
+        out.parent[a.head] = v;
+        out.parent_port[a.head] = a.reverse_port;
+        out.down_port[a.head] = p;
+        heap.push_or_decrease(a.head, cand);
+      }
+    }
+  }
+  return out;
+}
+
+MultiSourceResult multi_source_dijkstra(
+    const Graph& g, const std::vector<VertexId>& sources,
+    const std::vector<std::uint32_t>& rank) {
+  const VertexId n = g.num_vertices();
+  CROUTE_REQUIRE(rank.size() == n, "rank must have one entry per vertex");
+  MultiSourceResult out;
+  out.dist.assign(n, kInfiniteWeight);
+  out.owner.assign(n, kNoVertex);
+  out.parent.assign(n, kNoVertex);
+  out.parent_port.assign(n, kNoPort);
+
+  DHeap<LexDist> heap(n);
+  for (const VertexId s : sources) {
+    CROUTE_REQUIRE(s < n, "source out of range");
+    // Duplicate sources: keep the lexicographically smaller rank.
+    const LexDist key{0, rank[s]};
+    if (out.owner[s] == kNoVertex || key < LexDist{0, rank[out.owner[s]]}) {
+      out.dist[s] = 0;
+      out.owner[s] = s;
+      heap.push_or_decrease(s, key);
+    }
+  }
+  while (!heap.empty()) {
+    const LexDist kv = heap.top_key();
+    const VertexId v = heap.pop();
+    const auto adj = g.arcs(v);
+    for (Port p = 0; p < adj.size(); ++p) {
+      const Arc& a = adj[p];
+      const LexDist cand{kv.d + a.weight, kv.rank};
+      const VertexId u = a.head;
+      const LexDist current =
+          out.owner[u] == kNoVertex
+              ? LexDist{}
+              : LexDist{out.dist[u], rank[out.owner[u]]};
+      if (cand < current) {
+        out.dist[u] = cand.d;
+        out.owner[u] = out.owner[v];
+        out.parent[u] = v;
+        out.parent_port[u] = a.reverse_port;
+        heap.push_or_decrease(u, cand);
+      }
+    }
+  }
+  return out;
+}
+
+RestrictedDijkstra::RestrictedDijkstra(const Graph& g)
+    : g_(&g),
+      heap_(g.num_vertices()),
+      tentative_(g.num_vertices(), kInfiniteWeight),
+      parent_(g.num_vertices(), kNoVertex),
+      parent_port_(g.num_vertices(), kNoPort),
+      down_port_(g.num_vertices(), kNoPort),
+      touched_version_(g.num_vertices(), 0) {}
+
+std::vector<ClusterVertex> RestrictedDijkstra::run(
+    VertexId center, std::uint32_t center_rank,
+    const std::function<LexDist(VertexId)>& guard,
+    std::uint32_t max_members) {
+  const VertexId n = g_->num_vertices();
+  CROUTE_REQUIRE(center < n, "center out of range");
+  ++version_;
+  heap_.clear();
+
+  auto touch = [&](VertexId v) {
+    if (touched_version_[v] != version_) {
+      touched_version_[v] = version_;
+      tentative_[v] = kInfiniteWeight;
+      parent_[v] = kNoVertex;
+      parent_port_[v] = kNoPort;
+      down_port_[v] = kNoPort;
+    }
+  };
+
+  std::vector<ClusterVertex> members;
+  touch(center);
+  tentative_[center] = 0;
+  heap_.push_or_decrease(center, 0);
+  while (!heap_.empty()) {
+    const VertexId v = heap_.pop();
+    const Weight dv = tentative_[v];
+    members.push_back(
+        ClusterVertex{v, dv, parent_[v], parent_port_[v], down_port_[v]});
+    if (max_members > 0 && members.size() >= max_members) return members;
+    const auto adj = g_->arcs(v);
+    for (Port p = 0; p < adj.size(); ++p) {
+      const Arc& a = adj[p];
+      const VertexId u = a.head;
+      const Weight cand = dv + a.weight;
+      // Membership test: strictly closer to the center (lexicographically)
+      // than to the guarding landmark set.
+      if (!(LexDist{cand, center_rank} < guard(u))) continue;
+      touch(u);
+      if (cand < tentative_[u]) {
+        tentative_[u] = cand;
+        parent_[u] = v;
+        parent_port_[u] = a.reverse_port;
+        down_port_[u] = p;
+        heap_.push_or_decrease(u, cand);
+      }
+    }
+  }
+  return members;
+}
+
+std::vector<Weight> distances_from(const Graph& g, VertexId source) {
+  return dijkstra(g, source).dist;
+}
+
+std::vector<std::vector<Weight>> all_pairs_distances(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<std::vector<Weight>> out(n);
+  parallel_for(n, [&](std::uint64_t s) {
+    out[s] = distances_from(g, static_cast<VertexId>(s));
+  });
+  return out;
+}
+
+}  // namespace croute

@@ -1,0 +1,145 @@
+/// \file dijkstra.hpp
+/// \brief Shortest paths: single-source, multi-source, and cluster-restricted
+/// Dijkstra with exact lexicographic tie-breaking.
+///
+/// ## Why lexicographic keys
+///
+/// Thorup–Zwick's clusters C(w) = {v : d(w,v) < d(A,v)} implicitly assume
+/// distances are in general position; on unit-weight graphs ties are the
+/// common case and naive strict/non-strict choices break either the cluster
+/// size bounds or the subpath-closure property that cluster-restricted
+/// Dijkstra depends on. We order "labeled distances" (d, rank(source))
+/// lexicographically, where rank is a random permutation of vertex ids.
+/// This is equivalent to adding an infinitesimal ε·rank(w) to every
+/// distance measured from source w:
+///
+///   - minima over source sets are unique, so "the nearest landmark" p(v)
+///     is well defined;
+///   - clusters defined by the strict lexicographic comparison are closed
+///     under shortest-path subpaths: if v ∈ C(w) and u lies on ANY
+///     shortest w–v path, then d'(w,u) = d'(w,v) − d(u,v) and any landmark
+///     p with d'(p,u) < d'(w,u) would give d'(p,v) ≤ d'(p,u) + d(u,v)
+///     < d'(w,v), contradicting v ∈ C(w). Hence restricted Dijkstra that
+///     expands only vertices passing the membership test computes exact
+///     distances for the entire cluster while touching only cluster
+///     vertices and their out-edges.
+///
+/// All comparisons throughout core/ use the same LexDist order, so cluster
+/// construction, bunches, pivots, and labels are mutually consistent.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/dheap.hpp"
+
+namespace croute {
+
+/// A distance labeled with the rank of the source it was measured from.
+/// Ordered lexicographically; rank ties are impossible across distinct
+/// sources because ranks are a permutation.
+struct LexDist {
+  Weight d = kInfiniteWeight;
+  std::uint32_t rank = ~std::uint32_t{0};
+
+  friend bool operator<(const LexDist& a, const LexDist& b) noexcept {
+    if (a.d != b.d) return a.d < b.d;
+    return a.rank < b.rank;
+  }
+  friend bool operator==(const LexDist& a, const LexDist& b) noexcept {
+    return a.d == b.d && a.rank == b.rank;
+  }
+};
+
+/// Result of a full single-source run.
+struct ShortestPathTree {
+  VertexId source = kNoVertex;
+  std::vector<Weight> dist;        ///< dist[v] or kInfiniteWeight
+  std::vector<VertexId> parent;    ///< parent[v] on the SPT, kNoVertex at root/unreached
+  std::vector<Port> parent_port;   ///< port at v leading to parent[v]
+  std::vector<Port> down_port;     ///< port at parent[v] leading to v
+
+  bool reached(VertexId v) const { return dist[v] < kInfiniteWeight; }
+};
+
+/// Full Dijkstra from \p source. O((n + m) log n).
+ShortestPathTree dijkstra(const Graph& g, VertexId source);
+
+/// Result of a multi-source run: for every vertex, the lexicographically
+/// nearest source ("pivot"), its distance, and the SPT forest.
+struct MultiSourceResult {
+  std::vector<Weight> dist;       ///< d(A, v)
+  std::vector<VertexId> owner;    ///< nearest source (pivot p(v)), kNoVertex if unreached
+  std::vector<VertexId> parent;   ///< forest parent (kNoVertex at sources)
+  std::vector<Port> parent_port;  ///< port at v toward parent
+
+  bool reached(VertexId v) const { return owner[v] != kNoVertex; }
+  /// The lexicographic guard (d(A,v), rank(p(v))) used by cluster tests.
+  LexDist guard(VertexId v, const std::vector<std::uint32_t>& rank) const {
+    return reached(v) ? LexDist{dist[v], rank[owner[v]]} : LexDist{};
+  }
+};
+
+/// Multi-source Dijkstra from \p sources under the (distance, rank) order.
+/// \p rank must be a permutation of 0..n-1 (see Rng::permutation).
+/// An empty source set yields all-unreached.
+MultiSourceResult multi_source_dijkstra(const Graph& g,
+                                        const std::vector<VertexId>& sources,
+                                        const std::vector<std::uint32_t>& rank);
+
+/// One member of a restricted (cluster) Dijkstra's output.
+struct ClusterVertex {
+  VertexId v;
+  Weight dist;
+  VertexId parent;     ///< kNoVertex at the cluster center
+  Port parent_port;    ///< port at v toward parent
+  Port down_port;      ///< port at parent toward v
+};
+
+/// Reusable workspace for many restricted runs over the same graph
+/// (versioned arrays avoid O(n) reinitialization per run). Not
+/// thread-safe: use one workspace per thread.
+class RestrictedDijkstra {
+ public:
+  explicit RestrictedDijkstra(const Graph& g);
+
+  /// Grows the cluster of \p center: vertices v whose labeled distance
+  /// (d(center, v), center_rank) is strictly smaller than guard(v).
+  /// \p guard returns the lexicographic bound d(A, v) for each vertex;
+  /// the center itself is always included (its guard is ignored).
+  ///
+  /// Returns cluster members in settle (non-decreasing distance) order,
+  /// members[0] == {center, 0, ...}. Exact for every member thanks to
+  /// subpath closure (see file comment).
+  ///
+  /// If \p max_members > 0 the run aborts (returning a partial list of
+  /// exactly max_members settled vertices) as soon as that many members
+  /// were produced — used by the center() algorithm, which only needs to
+  /// know whether |C(w)| exceeds a cap, in O(cap · deg) time.
+  std::vector<ClusterVertex> run(
+      VertexId center, std::uint32_t center_rank,
+      const std::function<LexDist(VertexId)>& guard,
+      std::uint32_t max_members = 0);
+
+ private:
+  const Graph* g_;
+  DHeap<Weight> heap_;
+  std::vector<Weight> tentative_;
+  std::vector<VertexId> parent_;
+  std::vector<Port> parent_port_;
+  std::vector<Port> down_port_;
+  std::vector<std::uint32_t> touched_version_;
+  std::uint32_t version_ = 0;
+};
+
+/// All-pairs distances via repeated Dijkstra, parallelized over sources.
+/// Memory O(n^2) — intended for ground truth on small graphs.
+std::vector<std::vector<Weight>> all_pairs_distances(const Graph& g);
+
+/// Distances from \p source to all vertices (convenience wrapper).
+std::vector<Weight> distances_from(const Graph& g, VertexId source);
+
+}  // namespace croute

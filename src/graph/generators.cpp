@@ -1,0 +1,380 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+namespace croute {
+
+Weight WeightModel::draw(Rng& rng) const {
+  switch (kind) {
+    case Kind::kUnit:
+      return 1.0;
+    case Kind::kUniformReal:
+      return rng.next_double(lo, hi);
+    case Kind::kUniformInteger:
+      return static_cast<Weight>(
+          rng.next_int(static_cast<std::int64_t>(lo),
+                       static_cast<std::int64_t>(hi)));
+  }
+  return 1.0;
+}
+
+namespace {
+constexpr std::uint64_t edge_key(VertexId u, VertexId v) noexcept {
+  const VertexId a = u < v ? u : v;
+  const VertexId b = u < v ? v : u;
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+}  // namespace
+
+Graph erdos_renyi_gnm(VertexId n, std::uint64_t m, Rng& rng,
+                      const WeightModel& weights) {
+  CROUTE_REQUIRE(n >= 1, "need at least one vertex");
+  const std::uint64_t max_edges =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  CROUTE_REQUIRE(m <= max_edges, "too many edges requested for G(n, m)");
+  GraphBuilder b(n);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(m * 2);
+  while (seen.size() < m) {
+    const VertexId u = static_cast<VertexId>(rng.next_below(n));
+    const VertexId v = static_cast<VertexId>(rng.next_below(n));
+    if (u == v) continue;
+    if (!seen.insert(edge_key(u, v)).second) continue;
+    b.add_edge(u, v, weights.draw(rng));
+  }
+  return b.build();
+}
+
+Graph random_geometric(VertexId n, double radius, Rng& rng) {
+  CROUTE_REQUIRE(n >= 1, "need at least one vertex");
+  CROUTE_REQUIRE(radius > 0, "radius must be positive");
+  std::vector<double> x(n), y(n);
+  for (VertexId v = 0; v < n; ++v) {
+    x[v] = rng.next_double();
+    y[v] = rng.next_double();
+  }
+  // Grid-bucketed neighbor search: O(n) buckets of side `radius`.
+  const std::uint32_t cells =
+      static_cast<std::uint32_t>(std::max(1.0, std::floor(1.0 / radius)));
+  std::vector<std::vector<VertexId>> bucket(
+      static_cast<std::size_t>(cells) * cells);
+  auto cell_of = [&](VertexId v) -> std::pair<std::uint32_t, std::uint32_t> {
+    auto clampc = [&](double t) {
+      return static_cast<std::uint32_t>(
+          std::min<double>(cells - 1, std::max(0.0, std::floor(t * cells))));
+    };
+    return {clampc(x[v]), clampc(y[v])};
+  };
+  for (VertexId v = 0; v < n; ++v) {
+    const auto [cx, cy] = cell_of(v);
+    bucket[static_cast<std::size_t>(cx) * cells + cy].push_back(v);
+  }
+  GraphBuilder b(n);
+  const double r2 = radius * radius;
+  for (VertexId v = 0; v < n; ++v) {
+    const auto [cx, cy] = cell_of(v);
+    for (int dx = -1; dx <= 1; ++dx) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        const std::int64_t nx = static_cast<std::int64_t>(cx) + dx;
+        const std::int64_t ny = static_cast<std::int64_t>(cy) + dy;
+        if (nx < 0 || ny < 0 || nx >= static_cast<std::int64_t>(cells) ||
+            ny >= static_cast<std::int64_t>(cells)) {
+          continue;
+        }
+        for (const VertexId u :
+             bucket[static_cast<std::size_t>(nx) * cells +
+                    static_cast<std::size_t>(ny)]) {
+          if (u <= v) continue;  // each pair once
+          const double ddx = x[u] - x[v], ddy = y[u] - y[v];
+          const double d2 = ddx * ddx + ddy * ddy;
+          if (d2 <= r2) {
+            b.add_edge(v, u, std::max(1e-9, std::sqrt(d2)));
+          }
+        }
+      }
+    }
+  }
+  return b.build();
+}
+
+Graph grid2d(VertexId rows, VertexId cols, bool torus, Rng& rng,
+             const WeightModel& weights) {
+  CROUTE_REQUIRE(rows >= 1 && cols >= 1, "grid dimensions must be positive");
+  const std::uint64_t n64 = static_cast<std::uint64_t>(rows) * cols;
+  CROUTE_REQUIRE(n64 < kNoVertex, "grid too large");
+  GraphBuilder b(static_cast<VertexId>(n64));
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        b.add_edge(id(r, c), id(r, c + 1), weights.draw(rng));
+      } else if (torus && cols > 2) {
+        b.add_edge(id(r, cols - 1), id(r, 0), weights.draw(rng));
+      }
+      if (r + 1 < rows) {
+        b.add_edge(id(r, c), id(r + 1, c), weights.draw(rng));
+      } else if (torus && rows > 2) {
+        b.add_edge(id(rows - 1, c), id(0, c), weights.draw(rng));
+      }
+    }
+  }
+  return b.build();
+}
+
+Graph barabasi_albert(VertexId n, VertexId attach, Rng& rng,
+                      const WeightModel& weights) {
+  CROUTE_REQUIRE(attach >= 1, "attach degree must be >= 1");
+  CROUTE_REQUIRE(n > attach, "need n > attach");
+  GraphBuilder b(n);
+  // Seed: a clique on attach+1 vertices.
+  const VertexId seed = attach + 1;
+  std::vector<VertexId> endpoints;  // degree-proportional sampling pool
+  for (VertexId u = 0; u < seed; ++u) {
+    for (VertexId v = u + 1; v < seed; ++v) {
+      b.add_edge(u, v, weights.draw(rng));
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  std::unordered_set<VertexId> chosen;
+  for (VertexId v = seed; v < n; ++v) {
+    chosen.clear();
+    while (chosen.size() < attach) {
+      const VertexId target =
+          endpoints[rng.next_below(endpoints.size())];
+      chosen.insert(target);
+    }
+    for (const VertexId u : chosen) {
+      b.add_edge(v, u, weights.draw(rng));
+      endpoints.push_back(v);
+      endpoints.push_back(u);
+    }
+  }
+  return b.build();
+}
+
+Graph watts_strogatz(VertexId n, VertexId k, double beta, Rng& rng,
+                     const WeightModel& weights) {
+  CROUTE_REQUIRE(k >= 2 && k % 2 == 0, "k must be even and >= 2");
+  CROUTE_REQUIRE(k < n, "k must be < n");
+  CROUTE_REQUIRE(beta >= 0 && beta <= 1, "beta must be in [0, 1]");
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId j = 1; j <= k / 2; ++j) {
+      const VertexId u = static_cast<VertexId>((v + j) % n);
+      if (seen.insert(edge_key(v, u)).second) edges.push_back({v, u});
+    }
+  }
+  // Rewire: with probability beta replace the far endpoint uniformly.
+  for (auto& [u, v] : edges) {
+    if (!rng.next_bernoulli(beta)) continue;
+    for (int attempts = 0; attempts < 32; ++attempts) {
+      const VertexId w = static_cast<VertexId>(rng.next_below(n));
+      if (w == u || w == v) continue;
+      if (seen.contains(edge_key(u, w))) continue;
+      seen.erase(edge_key(u, v));
+      seen.insert(edge_key(u, w));
+      v = w;
+      break;
+    }
+  }
+  GraphBuilder b(n);
+  for (const auto& [u, v] : edges) b.add_edge(u, v, weights.draw(rng));
+  return b.build();
+}
+
+Graph ring_of_cliques(VertexId cliques, VertexId clique_size, Rng& rng,
+                      const WeightModel& weights) {
+  CROUTE_REQUIRE(cliques >= 3, "need at least three cliques for a ring");
+  CROUTE_REQUIRE(clique_size >= 2, "cliques need at least two vertices");
+  const std::uint64_t n64 =
+      static_cast<std::uint64_t>(cliques) * clique_size;
+  CROUTE_REQUIRE(n64 < kNoVertex, "graph too large");
+  GraphBuilder b(static_cast<VertexId>(n64));
+  auto id = [clique_size](VertexId c, VertexId i) {
+    return c * clique_size + i;
+  };
+  for (VertexId c = 0; c < cliques; ++c) {
+    for (VertexId i = 0; i < clique_size; ++i) {
+      for (VertexId j = i + 1; j < clique_size; ++j) {
+        b.add_edge(id(c, i), id(c, j), weights.draw(rng));
+      }
+    }
+    // Bridge: last vertex of clique c to first vertex of clique c+1.
+    const VertexId next = static_cast<VertexId>((c + 1) % cliques);
+    b.add_edge(id(c, clique_size - 1), id(next, 0), weights.draw(rng));
+  }
+  return b.build();
+}
+
+Graph random_tree(VertexId n, Rng& rng, const WeightModel& weights) {
+  CROUTE_REQUIRE(n >= 1, "need at least one vertex");
+  GraphBuilder b(n);
+  if (n == 1) return b.build();
+  if (n == 2) {
+    b.add_edge(0, 1, weights.draw(rng));
+    return b.build();
+  }
+  // Random Prüfer sequence of length n-2 decodes to a uniform labeled tree.
+  std::vector<VertexId> prufer(n - 2);
+  for (auto& p : prufer) p = static_cast<VertexId>(rng.next_below(n));
+  std::vector<std::uint32_t> deg(n, 1);
+  for (const VertexId p : prufer) ++deg[p];
+  // Min-heap over current leaves by id for determinism.
+  std::vector<VertexId> leaves;
+  for (VertexId v = 0; v < n; ++v) {
+    if (deg[v] == 1) leaves.push_back(v);
+  }
+  std::make_heap(leaves.begin(), leaves.end(), std::greater<>{});
+  for (const VertexId p : prufer) {
+    std::pop_heap(leaves.begin(), leaves.end(), std::greater<>{});
+    const VertexId leaf = leaves.back();
+    leaves.pop_back();
+    b.add_edge(leaf, p, weights.draw(rng));
+    if (--deg[p] == 1) {
+      leaves.push_back(p);
+      std::push_heap(leaves.begin(), leaves.end(), std::greater<>{});
+    }
+  }
+  CROUTE_ASSERT(leaves.size() == 2, "Prüfer decoding must end with 2 leaves");
+  b.add_edge(leaves[0], leaves[1], weights.draw(rng));
+  return b.build();
+}
+
+Graph caterpillar(VertexId spine, VertexId legs, const WeightModel& weights,
+                  Rng& rng) {
+  CROUTE_REQUIRE(spine >= 1, "need at least one spine vertex");
+  const std::uint64_t n64 =
+      static_cast<std::uint64_t>(spine) * (1 + static_cast<std::uint64_t>(legs));
+  CROUTE_REQUIRE(n64 < kNoVertex, "graph too large");
+  GraphBuilder b(static_cast<VertexId>(n64));
+  for (VertexId s = 0; s + 1 < spine; ++s) {
+    b.add_edge(s, s + 1, weights.draw(rng));
+  }
+  VertexId next = spine;
+  for (VertexId s = 0; s < spine; ++s) {
+    for (VertexId l = 0; l < legs; ++l) {
+      b.add_edge(s, next++, weights.draw(rng));
+    }
+  }
+  return b.build();
+}
+
+Graph path_graph(VertexId n) {
+  CROUTE_REQUIRE(n >= 1, "need at least one vertex");
+  GraphBuilder b(n);
+  for (VertexId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.build();
+}
+
+Graph cycle_graph(VertexId n) {
+  CROUTE_REQUIRE(n >= 3, "a cycle needs at least three vertices");
+  GraphBuilder b(n);
+  for (VertexId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  b.add_edge(n - 1, 0);
+  return b.build();
+}
+
+Graph star_graph(VertexId n) {
+  CROUTE_REQUIRE(n >= 1, "need at least one vertex");
+  GraphBuilder b(n);
+  for (VertexId v = 1; v < n; ++v) b.add_edge(0, v);
+  return b.build();
+}
+
+Graph complete_graph(VertexId n) {
+  CROUTE_REQUIRE(n >= 1, "need at least one vertex");
+  GraphBuilder b(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+Graph balanced_tree(VertexId n, VertexId arity) {
+  CROUTE_REQUIRE(n >= 1, "need at least one vertex");
+  CROUTE_REQUIRE(arity >= 1, "arity must be >= 1");
+  GraphBuilder b(n);
+  for (VertexId v = 1; v < n; ++v) {
+    b.add_edge(v, (v - 1) / arity);
+  }
+  return b.build();
+}
+
+Graph hypercube(std::uint32_t dim, const WeightModel& weights) {
+  CROUTE_REQUIRE(dim >= 1 && dim < 31, "dimension must be in [1, 30]");
+  const VertexId n = VertexId{1} << dim;
+  GraphBuilder b(n);
+  Rng unused(0);  // unit weights need no randomness; others do
+  for (VertexId v = 0; v < n; ++v) {
+    for (std::uint32_t bit = 0; bit < dim; ++bit) {
+      const VertexId u = v ^ (VertexId{1} << bit);
+      if (v < u) b.add_edge(v, u, weights.draw(unused));
+    }
+  }
+  return b.build();
+}
+
+Graph random_regular(VertexId n, VertexId degree, Rng& rng,
+                     const WeightModel& weights) {
+  CROUTE_REQUIRE(degree >= 1, "degree must be positive");
+  CROUTE_REQUIRE(n > degree, "need n > degree");
+  CROUTE_REQUIRE(std::uint64_t{n} * degree % 2 == 0, "n*degree must be even");
+
+  // Stub matching, then repair: while the pairing has conflicts
+  // (self-loops or duplicate edges), rewire each conflicted pair with a
+  // uniformly random partner edge (the classic double-edge swap). Every
+  // round removes each conflict with constant probability, so a handful
+  // of rounds suffice for d << n; a full restart backstops pathologies.
+  std::vector<VertexId> stubs;
+  stubs.reserve(std::size_t{n} * degree);
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId i = 0; i < degree; ++i) stubs.push_back(v);
+  }
+  std::vector<std::pair<VertexId, VertexId>> edges(stubs.size() / 2);
+  const auto key = [](VertexId a, VertexId b) {
+    return (static_cast<std::uint64_t>(a < b ? a : b) << 32) |
+           (a < b ? b : a);
+  };
+
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    CROUTE_ASSERT(attempt < 64, "random_regular failed to converge");
+    rng.shuffle(stubs);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      edges[i] = {stubs[2 * i], stubs[2 * i + 1]};
+    }
+    bool simple = false;
+    for (std::uint32_t round = 0; round < 200 && !simple; ++round) {
+      // Conflicts: self-loops plus every copy of a duplicated pair beyond
+      // the first.
+      std::unordered_set<std::uint64_t> seen;
+      seen.reserve(edges.size() * 2);
+      std::vector<std::size_t> bad;
+      for (std::size_t i = 0; i < edges.size(); ++i) {
+        const auto [u, v] = edges[i];
+        if (u == v || !seen.insert(key(u, v)).second) bad.push_back(i);
+      }
+      if (bad.empty()) {
+        simple = true;
+        break;
+      }
+      for (const std::size_t i : bad) {
+        const std::size_t j = rng.next_below(edges.size());
+        if (i == j) continue;
+        std::swap(edges[i].second, edges[j].second);
+      }
+    }
+    if (simple) break;
+  }
+
+  GraphBuilder b(n);
+  for (const auto& [u, v] : edges) b.add_edge(u, v, weights.draw(rng));
+  return b.build();
+}
+
+}  // namespace croute

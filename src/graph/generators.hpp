@@ -1,0 +1,112 @@
+/// \file generators.hpp
+/// \brief Synthetic graph families used as workloads.
+///
+/// The SPAA'01 paper has no testbed; the experiment suite exercises the
+/// schemes on standard synthetic families covering the behaviors that
+/// matter for compact routing:
+///  - Erdős–Rényi G(n, m): expander-like, tiny diameter, hard for
+///    landmark locality;
+///  - random geometric / 2D grids / tori: large diameter, strong locality
+///    (mesh/NoC-style networks);
+///  - Barabási–Albert: heavy-tailed degrees (Internet AS-like);
+///  - Watts–Strogatz: ring lattice + shortcuts (small-world);
+///  - ring of cliques: the classic bad case for ball-based landmarks;
+///  - trees (uniform random, caterpillar, star, path): the §2 tree scheme's
+///    own workloads.
+///
+/// All generators take an Rng and are deterministic given the seed. Unless
+/// stated otherwise they may return disconnected graphs; call
+/// largest_component() or ensure_connected() from connectivity.hpp.
+
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace croute {
+
+/// How edge weights are drawn.
+struct WeightModel {
+  enum class Kind {
+    kUnit,            ///< every edge weight = 1
+    kUniformReal,     ///< uniform in [lo, hi)
+    kUniformInteger,  ///< uniform integer in [lo, hi]
+  };
+  Kind kind = Kind::kUnit;
+  double lo = 1.0;
+  double hi = 1.0;
+
+  static WeightModel unit() { return {}; }
+  static WeightModel uniform_real(double lo, double hi) {
+    return {Kind::kUniformReal, lo, hi};
+  }
+  static WeightModel uniform_int(std::int64_t lo, std::int64_t hi) {
+    return {Kind::kUniformInteger, static_cast<double>(lo),
+            static_cast<double>(hi)};
+  }
+
+  Weight draw(Rng& rng) const;
+};
+
+/// Erdős–Rényi G(n, m): exactly \p m distinct edges chosen uniformly.
+/// Requires m <= n*(n-1)/2.
+Graph erdos_renyi_gnm(VertexId n, std::uint64_t m, Rng& rng,
+                      const WeightModel& weights = WeightModel::unit());
+
+/// Random geometric graph: n points uniform in the unit square, edge when
+/// the Euclidean distance is <= radius; weight = the distance (or per
+/// \p weights if not unit... weights override: kUnit means "use distance").
+Graph random_geometric(VertexId n, double radius, Rng& rng);
+
+/// rows x cols grid; 4-neighborhood; optional wraparound (torus).
+Graph grid2d(VertexId rows, VertexId cols, bool torus, Rng& rng,
+             const WeightModel& weights = WeightModel::unit());
+
+/// Barabási–Albert preferential attachment: starts from a small clique and
+/// attaches each new vertex with \p attach edges. Always connected.
+Graph barabasi_albert(VertexId n, VertexId attach, Rng& rng,
+                      const WeightModel& weights = WeightModel::unit());
+
+/// Watts–Strogatz: ring lattice with k nearest neighbors per side, each
+/// edge rewired with probability beta. Requires even k >= 2, k < n.
+Graph watts_strogatz(VertexId n, VertexId k, double beta, Rng& rng,
+                     const WeightModel& weights = WeightModel::unit());
+
+/// \p cliques cliques of size \p clique_size arranged in a cycle, adjacent
+/// cliques joined by one bridge edge. The classic stress test for
+/// landmark-based schemes (dense local balls, long global cycle).
+Graph ring_of_cliques(VertexId cliques, VertexId clique_size, Rng& rng,
+                      const WeightModel& weights = WeightModel::unit());
+
+/// Uniform random labeled tree (random Prüfer sequence). Always connected.
+Graph random_tree(VertexId n, Rng& rng,
+                  const WeightModel& weights = WeightModel::unit());
+
+/// Caterpillar: a spine path of \p spine vertices, each with \p legs leaves.
+Graph caterpillar(VertexId spine, VertexId legs,
+                  const WeightModel& weights, Rng& rng);
+
+/// Simple deterministic families.
+Graph path_graph(VertexId n);
+Graph cycle_graph(VertexId n);
+Graph star_graph(VertexId n);  ///< vertex 0 is the hub; n >= 1
+Graph complete_graph(VertexId n);
+
+/// Balanced b-ary tree with n vertices (vertex 0 the root).
+Graph balanced_tree(VertexId n, VertexId arity);
+
+/// d-dimensional hypercube: 2^dim vertices, edges between ids differing in
+/// one bit. Diameter dim, degree dim — a classic structured interconnect.
+Graph hypercube(std::uint32_t dim,
+                const WeightModel& weights = WeightModel::unit());
+
+/// Uniform-ish random d-regular simple graph via stub matching with
+/// conflict repair (random edge swaps until simple). Requires n > d and
+/// n*d even. Expander-like for d >= 3 — the hardest family for
+/// locality-based landmarks.
+Graph random_regular(VertexId n, VertexId degree, Rng& rng,
+                     const WeightModel& weights = WeightModel::unit());
+
+}  // namespace croute

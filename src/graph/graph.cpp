@@ -1,0 +1,114 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace croute {
+
+Port Graph::port_to(VertexId v, VertexId u) const {
+  const auto adj = arcs(v);
+  // Arcs are sorted by head: binary search.
+  std::size_t lo = 0, hi = adj.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (adj[mid].head < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < adj.size() && adj[lo].head == u) return static_cast<Port>(lo);
+  return kNoPort;
+}
+
+namespace {
+constexpr std::uint64_t edge_key(VertexId u, VertexId v) noexcept {
+  const VertexId a = u < v ? u : v;
+  const VertexId b = u < v ? v : u;
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+}  // namespace
+
+GraphBuilder& GraphBuilder::add_edge(VertexId u, VertexId v, Weight w) {
+  CROUTE_REQUIRE(u < n_ && v < n_, "edge endpoint out of range");
+  CROUTE_REQUIRE(u != v, "self-loops are not allowed");
+  CROUTE_REQUIRE(w > 0, "edge weights must be positive");
+  edges_.push_back(E{u, v, w});
+  return *this;
+}
+
+bool GraphBuilder::has_edge(VertexId u, VertexId v) const {
+  const std::uint64_t key = edge_key(u, v);
+  for (const E& e : edges_) {
+    if (edge_key(e.u, e.v) == key) return true;
+  }
+  return false;
+}
+
+Graph GraphBuilder::build() const {
+  // Deduplicate, keeping the minimum weight per undirected edge.
+  std::vector<E> dedup = edges_;
+  std::sort(dedup.begin(), dedup.end(), [](const E& a, const E& b) {
+    const std::uint64_t ka = edge_key(a.u, a.v), kb = edge_key(b.u, b.v);
+    return ka != kb ? ka < kb : a.w < b.w;
+  });
+  dedup.erase(std::unique(dedup.begin(), dedup.end(),
+                          [](const E& a, const E& b) {
+                            return edge_key(a.u, a.v) == edge_key(b.u, b.v);
+                          }),
+              dedup.end());
+
+  Graph g;
+  const std::uint64_t n = n_;
+  std::vector<std::uint64_t> deg(n, 0);
+  for (const E& e : dedup) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  g.offsets_.assign(n + 1, 0);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    g.offsets_[v + 1] = g.offsets_[v] + deg[v];
+  }
+  g.arcs_.assign(g.offsets_[n], Arc{});
+
+  // Fill arcs sorted by head: iterate edges sorted by (min, max) endpoint;
+  // within one tail the heads arrive in nondecreasing order only for the
+  // canonical orientation, so place arcs then sort each bucket.
+  std::vector<std::uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const E& e : dedup) {
+    g.arcs_[cursor[e.u]++] = Arc{e.v, e.w, kNoPort};
+    g.arcs_[cursor[e.v]++] = Arc{e.u, e.w, kNoPort};
+  }
+  for (std::uint64_t v = 0; v < n; ++v) {
+    std::sort(g.arcs_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]),
+              g.arcs_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]),
+              [](const Arc& a, const Arc& b) { return a.head < b.head; });
+  }
+
+  // Wire reverse ports: for the arc (v → u) at port p, find the arc (u → v)
+  // by binary search and record each other's port numbers.
+  for (VertexId v = 0; v < n_; ++v) {
+    const std::uint64_t begin = g.offsets_[v];
+    const Port d = static_cast<Port>(g.offsets_[v + 1] - begin);
+    for (Port p = 0; p < d; ++p) {
+      Arc& a = g.arcs_[begin + p];
+      if (a.reverse_port != kNoPort) continue;  // already wired from the mate
+      const Port q = g.port_to(a.head, v);
+      CROUTE_ASSERT(q != kNoPort, "missing reverse arc");
+      a.reverse_port = q;
+      g.arcs_[g.offsets_[a.head] + q].reverse_port = p;
+    }
+    g.max_degree_ = std::max(g.max_degree_, d);
+  }
+
+  if (!dedup.empty()) {
+    g.min_weight_ = kInfiniteWeight;
+    g.max_weight_ = 0;
+    for (const E& e : dedup) {
+      g.min_weight_ = std::min(g.min_weight_, e.w);
+      g.max_weight_ = std::max(g.max_weight_, e.w);
+    }
+  }
+  return g;
+}
+
+}  // namespace croute

@@ -1,0 +1,135 @@
+/// \file graph.hpp
+/// \brief Weighted undirected graph in CSR form, with explicit ports.
+///
+/// Routing schemes are stated in the *port model*: a vertex of degree d has
+/// ports 0..d-1 and a routing decision is "send the packet out of port p".
+/// Graph therefore exposes adjacency as a per-vertex array of arcs, where
+/// the index of an arc within its tail's array IS the port number. Each
+/// undirected edge {u, v} appears as two arcs (u→v and v→u); every arc also
+/// stores the port of its reverse arc so simulators and tree builders can
+/// translate "the edge to my parent" into "the parent's port back to me"
+/// in O(1).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace croute {
+
+using VertexId = std::uint32_t;
+using Port = std::uint32_t;
+using Weight = double;
+
+/// Sentinel for "no vertex" (roots' parents, unreachable vertices).
+inline constexpr VertexId kNoVertex = ~VertexId{0};
+/// Sentinel for "no port".
+inline constexpr Port kNoPort = ~Port{0};
+/// Distance of unreachable vertices.
+inline constexpr Weight kInfiniteWeight = 1e300;
+
+/// One directed half of an undirected edge, as seen from its tail.
+struct Arc {
+  VertexId head = kNoVertex;  ///< the neighbor this arc leads to
+  Weight weight = 0;          ///< positive edge weight
+  Port reverse_port = kNoPort;  ///< port of the arc head→tail at `head`
+};
+
+class GraphBuilder;
+
+/// Immutable weighted undirected graph (CSR). Construct via GraphBuilder.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Number of vertices.
+  VertexId num_vertices() const noexcept {
+    return static_cast<VertexId>(offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges.
+  std::uint64_t num_edges() const noexcept { return arcs_.size() / 2; }
+
+  /// Degree of \p v (== number of ports).
+  Port degree(VertexId v) const {
+    CROUTE_DCHECK(v < num_vertices(), "vertex out of range");
+    return static_cast<Port>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// All arcs out of \p v; the span index is the port number.
+  std::span<const Arc> arcs(VertexId v) const {
+    CROUTE_DCHECK(v < num_vertices(), "vertex out of range");
+    return {arcs_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  /// The arc out of \p v through \p port.
+  const Arc& arc(VertexId v, Port port) const {
+    CROUTE_DCHECK(port < degree(v), "port out of range");
+    return arcs_[offsets_[v] + port];
+  }
+
+  /// Neighbor reached from \p v through \p port.
+  VertexId neighbor(VertexId v, Port port) const { return arc(v, port).head; }
+
+  /// Port of the edge {v, u} at \p v, or kNoPort if not adjacent.
+  /// O(log deg(v)) — arcs are sorted by head.
+  Port port_to(VertexId v, VertexId u) const;
+
+  /// True if {u, v} is an edge.
+  bool has_edge(VertexId u, VertexId v) const {
+    return port_to(u, v) != kNoPort;
+  }
+
+  /// Largest degree over all vertices (0 for the empty graph).
+  Port max_degree() const noexcept { return max_degree_; }
+
+  /// Smallest / largest edge weight (1 and 1 for edgeless graphs).
+  Weight min_weight() const noexcept { return min_weight_; }
+  Weight max_weight() const noexcept { return max_weight_; }
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<std::uint64_t> offsets_{0};  ///< size n+1
+  std::vector<Arc> arcs_;                  ///< size 2m, sorted by head per vertex
+  Port max_degree_ = 0;
+  Weight min_weight_ = 1;
+  Weight max_weight_ = 1;
+};
+
+/// Accumulates undirected edges, then freezes them into a Graph.
+///
+/// Self-loops are rejected. Duplicate edges are merged keeping the minimum
+/// weight (documented behavior: all generators in this library avoid
+/// duplicates anyway, but user input may not).
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(VertexId num_vertices) : n_(num_vertices) {}
+
+  VertexId num_vertices() const noexcept { return n_; }
+  std::uint64_t num_edges_added() const noexcept { return edges_.size(); }
+
+  /// Adds the undirected edge {u, v} with weight \p w (> 0 required).
+  GraphBuilder& add_edge(VertexId u, VertexId v, Weight w = 1.0);
+
+  /// True if {u,v} was added before (linear scan of u's bucket; intended
+  /// for generators that need incremental duplicate checks).
+  bool has_edge(VertexId u, VertexId v) const;
+
+  /// Freezes into an immutable Graph. The builder may be reused afterwards
+  /// (its edges are retained).
+  Graph build() const;
+
+ private:
+  struct E {
+    VertexId u, v;
+    Weight w;
+  };
+  VertexId n_;
+  std::vector<E> edges_;
+};
+
+}  // namespace croute

@@ -1,0 +1,83 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace croute {
+
+void write_graph(std::ostream& os, const Graph& g, const std::string& comment) {
+  if (!comment.empty()) {
+    std::istringstream lines(comment);
+    std::string line;
+    while (std::getline(lines, line)) os << "c " << line << '\n';
+  }
+  os << "p croute " << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  os << std::setprecision(17);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const Arc& a : g.arcs(v)) {
+      if (a.head > v) os << "e " << v << ' ' << a.head << ' ' << a.weight << '\n';
+    }
+  }
+  if (!os) throw std::runtime_error("write_graph: stream failure");
+}
+
+Graph read_graph(std::istream& is) {
+  std::string line;
+  bool have_header = false;
+  VertexId n = 0;
+  std::uint64_t m = 0, seen = 0;
+  GraphBuilder builder(0);
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream ls(line);
+    char kind = 0;
+    ls >> kind;
+    if (kind == 'p') {
+      std::string fmt;
+      ls >> fmt >> n >> m;
+      if (!ls || fmt != "croute") {
+        throw std::invalid_argument("read_graph: bad problem line: " + line);
+      }
+      builder = GraphBuilder(n);
+      have_header = true;
+    } else if (kind == 'e') {
+      if (!have_header) {
+        throw std::invalid_argument("read_graph: edge before problem line");
+      }
+      VertexId u = 0, v = 0;
+      Weight w = 1;
+      ls >> u >> v >> w;
+      if (!ls) throw std::invalid_argument("read_graph: bad edge line: " + line);
+      builder.add_edge(u, v, w);
+      ++seen;
+    } else {
+      throw std::invalid_argument("read_graph: unknown line type: " + line);
+    }
+  }
+  if (!have_header) throw std::invalid_argument("read_graph: missing header");
+  if (seen != m) {
+    throw std::invalid_argument("read_graph: edge count mismatch (header says " +
+                                std::to_string(m) + ", saw " +
+                                std::to_string(seen) + ")");
+  }
+  return builder.build();
+}
+
+void save_graph(const std::string& path, const Graph& g,
+                const std::string& comment) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_graph: cannot open " + path);
+  write_graph(os, g, comment);
+}
+
+Graph load_graph(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_graph: cannot open " + path);
+  return read_graph(is);
+}
+
+}  // namespace croute

@@ -1,0 +1,35 @@
+/// \file io.hpp
+/// \brief Plain-text graph serialization (DIMACS-flavored).
+///
+/// Format:
+/// ```
+/// c <comment lines>
+/// p croute <num_vertices> <num_edges>
+/// e <u> <v> <weight>
+/// ```
+/// Vertices are 0-based. Weights print with enough digits to round-trip
+/// doubles exactly.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace croute {
+
+/// Writes \p g to \p os. Throws on stream failure.
+void write_graph(std::ostream& os, const Graph& g,
+                 const std::string& comment = {});
+
+/// Parses a graph from \p is. Throws std::invalid_argument on malformed
+/// input (unknown line types, inconsistent counts, bad endpoints).
+Graph read_graph(std::istream& is);
+
+/// Convenience file wrappers.
+void save_graph(const std::string& path, const Graph& g,
+                const std::string& comment = {});
+Graph load_graph(const std::string& path);
+
+}  // namespace croute

@@ -1,0 +1,74 @@
+#include "graph/spt.hpp"
+
+#include <algorithm>
+
+namespace croute {
+
+LocalTree make_local_tree(const std::vector<ClusterVertex>& members) {
+  CROUTE_REQUIRE(!members.empty(), "cannot build a tree from no vertices");
+  LocalTree t;
+  const std::uint32_t size = static_cast<std::uint32_t>(members.size());
+  t.global.resize(size);
+  t.parent.resize(size);
+  t.parent_port.resize(size);
+  t.down_port.resize(size);
+  t.dist.resize(size);
+  std::unordered_map<VertexId, std::uint32_t> local;
+  local.reserve(size * 2);
+  for (std::uint32_t i = 0; i < size; ++i) {
+    const ClusterVertex& m = members[i];
+    t.global[i] = m.v;
+    t.dist[i] = m.dist;
+    t.parent_port[i] = m.parent_port;
+    t.down_port[i] = m.down_port;
+    if (m.parent == kNoVertex) {
+      CROUTE_ASSERT(i == 0, "only the center may lack a parent");
+      t.parent[i] = kNoLocal;
+    } else {
+      const auto it = local.find(m.parent);
+      CROUTE_ASSERT(it != local.end(),
+                    "settle order violated: parent not seen before child");
+      t.parent[i] = it->second;
+    }
+    const bool inserted = local.emplace(m.v, i).second;
+    CROUTE_ASSERT(inserted, "duplicate vertex in cluster membership");
+  }
+  return t;
+}
+
+LocalTree make_local_tree(const ShortestPathTree& spt) {
+  // Sort reached vertices by (dist, id) so parents precede children, then
+  // reuse the member-list construction.
+  std::vector<ClusterVertex> members;
+  members.reserve(spt.dist.size());
+  for (VertexId v = 0; v < spt.dist.size(); ++v) {
+    if (spt.dist[v] >= kInfiniteWeight) continue;
+    members.push_back(ClusterVertex{v, spt.dist[v], spt.parent[v],
+                                    spt.parent_port[v], spt.down_port[v]});
+  }
+  std::sort(members.begin(), members.end(),
+            [](const ClusterVertex& a, const ClusterVertex& b) {
+              if (a.dist != b.dist) return a.dist < b.dist;
+              // Roots first among zero-distance ties; otherwise id order.
+              const bool ra = a.parent == kNoVertex, rb = b.parent == kNoVertex;
+              if (ra != rb) return ra;
+              return a.v < b.v;
+            });
+  // With zero-weight-free graphs, (dist, root-first) ordering puts every
+  // parent strictly before its children because parent.dist < child.dist.
+  return make_local_tree(members);
+}
+
+std::vector<VertexId> extract_path(const ShortestPathTree& spt, VertexId t) {
+  CROUTE_REQUIRE(t < spt.dist.size(), "vertex out of range");
+  CROUTE_REQUIRE(spt.reached(t), "target unreachable from the SPT source");
+  std::vector<VertexId> path;
+  for (VertexId v = t; v != kNoVertex; v = spt.parent[v]) {
+    path.push_back(v);
+    CROUTE_ASSERT(path.size() <= spt.dist.size(), "parent cycle detected");
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace croute

@@ -1,0 +1,50 @@
+/// \file spt.hpp
+/// \brief Shortest-path-tree extraction into compact local index space.
+///
+/// Cluster trees T_w span only C(w) ⊆ V, so tree-routing structures are
+/// built over *local* indices 0..|C(w)|-1 with a mapping back to graph
+/// vertices. Local index 0 is always the root. Ports stored here are graph
+/// ports (indices into Graph::arcs of the respective vertex), which is what
+/// the routing simulator consumes.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/dijkstra.hpp"
+#include "graph/graph.hpp"
+
+namespace croute {
+
+/// Sentinel for "no local vertex".
+inline constexpr std::uint32_t kNoLocal = ~std::uint32_t{0};
+
+/// A rooted tree over a subset of graph vertices, in local index space.
+struct LocalTree {
+  std::vector<VertexId> global;       ///< local index -> graph vertex
+  std::vector<std::uint32_t> parent;  ///< local parent; kNoLocal at root (local 0)
+  std::vector<Port> parent_port;      ///< graph port at global[i] toward its parent
+  std::vector<Port> down_port;        ///< graph port at the parent toward global[i]
+  std::vector<Weight> dist;           ///< distance from the root
+
+  std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(global.size());
+  }
+  VertexId root() const { return global.at(0); }
+};
+
+/// Builds a LocalTree from the members of a restricted Dijkstra run
+/// (settle order guarantees parents precede children). members[0] is the
+/// center and becomes the root.
+LocalTree make_local_tree(const std::vector<ClusterVertex>& members);
+
+/// Builds a LocalTree spanning all reached vertices of a full SPT.
+LocalTree make_local_tree(const ShortestPathTree& spt);
+
+/// Vertices of the path source → t following SPT parents (inclusive).
+/// Requires t reached.
+std::vector<VertexId> extract_path(const ShortestPathTree& spt, VertexId t);
+
+}  // namespace croute

@@ -1,0 +1,20 @@
+#include "hash/pairwise.hpp"
+
+namespace croute {
+
+PairwiseHash PairwiseHash::draw(std::uint64_t range, Rng& rng) {
+  CROUTE_REQUIRE(range >= 1, "hash range must be at least 1");
+  const std::uint64_t a = 1 + rng.next_below(kPrime - 1);  // a in [1, p)
+  const std::uint64_t b = rng.next_below(kPrime);          // b in [0, p)
+  return PairwiseHash(a, b, range);
+}
+
+PairwiseHash::PairwiseHash(std::uint64_t a, std::uint64_t b,
+                           std::uint64_t range)
+    : a_(a), b_(b), range_(range) {
+  CROUTE_REQUIRE(range >= 1, "hash range must be at least 1");
+  CROUTE_REQUIRE(a >= 1 && a < kPrime, "a must be in [1, p)");
+  CROUTE_REQUIRE(b < kPrime, "b must be in [0, p)");
+}
+
+}  // namespace croute

@@ -1,0 +1,69 @@
+/// \file pairwise.hpp
+/// \brief Pairwise-independent hash family over a Mersenne-prime field.
+///
+/// h_{a,b}(x) = ((a·x + b) mod p) mod m with p = 2^61 − 1. For a, b drawn
+/// uniformly (a ≠ 0), (h(x), h(y)) is uniform over pairs for x ≠ y — the
+/// property FKS perfect hashing needs for its expected-constant build and
+/// that Thorup–Zwick invoke for their O(1)-decision routing tables.
+
+#pragma once
+
+#include <cstdint>
+
+#include "util/random.hpp"
+
+namespace croute {
+
+/// One member of the pairwise-independent family, mapping uint64 → [0, m).
+class PairwiseHash {
+ public:
+  static constexpr std::uint64_t kPrime = (std::uint64_t{1} << 61) - 1;
+
+  /// Draws a uniformly random member with range size \p range (>= 1).
+  static PairwiseHash draw(std::uint64_t range, Rng& rng);
+
+  /// Deterministic member from explicit parameters (range >= 1, 0 < a < p,
+  /// b < p). Used when reproducing a published seed.
+  PairwiseHash(std::uint64_t a, std::uint64_t b, std::uint64_t range);
+
+  std::uint64_t operator()(std::uint64_t x) const noexcept {
+    return eval(a_, b_, range_, x);
+  }
+
+  /// Stateless evaluation — lets containers store raw (a, b) parameters.
+  static std::uint64_t eval(std::uint64_t a, std::uint64_t b,
+                            std::uint64_t range, std::uint64_t x) noexcept {
+    return mod_p(mul_mod_p(a, mod_p(x)) + b) % range;
+  }
+
+  std::uint64_t range() const noexcept { return range_; }
+  std::uint64_t a() const noexcept { return a_; }
+  std::uint64_t b() const noexcept { return b_; }
+
+ private:
+  /// x mod (2^61 − 1) without division, valid for x < 2^62 + p.
+  static std::uint64_t mod_p(std::uint64_t x) noexcept {
+    std::uint64_t r = (x & kPrime) + (x >> 61);
+    if (r >= kPrime) r -= kPrime;
+    return r;
+  }
+  // 128-bit multiply; __extension__ silences -Wpedantic for __int128,
+  // which GCC and Clang both provide on all 64-bit targets we support.
+  __extension__ typedef unsigned __int128 uint128;
+
+  static std::uint64_t mul_mod_p(std::uint64_t x, std::uint64_t y) noexcept {
+    const uint128 z = static_cast<uint128>(x) * static_cast<uint128>(y);
+    const std::uint64_t lo = static_cast<std::uint64_t>(z) & kPrime;
+    const std::uint64_t hi = static_cast<std::uint64_t>(z >> 61);
+    std::uint64_t r = lo + hi;  // <= 2p: up to two subtractions needed
+    if (r >= kPrime) r -= kPrime;
+    if (r >= kPrime) r -= kPrime;
+    return r;
+  }
+
+  std::uint64_t a_;
+  std::uint64_t b_;
+  std::uint64_t range_;
+};
+
+}  // namespace croute

@@ -1,0 +1,126 @@
+#include "oracle/distance_oracle.hpp"
+
+#include <algorithm>
+
+#include "util/bit_io.hpp"
+
+namespace croute {
+
+DistanceOracle::DistanceOracle(const Graph& g, const Options& options,
+                               Rng& rng)
+    : k_(options.k),
+      id_bits_(bits_for_universe(g.num_vertices())),
+      n_(g.num_vertices()) {
+  PreprocessOptions pre_options;
+  pre_options.k = options.k;
+  pre_options.hierarchy = options.hierarchy;
+  const TZPreprocessing pre(g, pre_options, rng);
+
+  // Effective pivots per (level, vertex): d(ŵ_i(v), v) == d(A_i, v).
+  pivot_.resize(std::size_t{k_} * n_);
+  pivot_dist_.resize(std::size_t{k_} * n_);
+  for (std::uint32_t i = 0; i < k_; ++i) {
+    for (VertexId v = 0; v < n_; ++v) {
+      pivot_[std::size_t{i} * n_ + v] = pre.effective_pivot(i, v);
+      pivot_dist_[std::size_t{i} * n_ + v] = pre.pivot_dist(i, v);
+    }
+  }
+
+  // Bunches: invert the clusters. First pass counts, second fills.
+  std::vector<std::uint32_t> counts(n_, 0);
+  pre.for_each_cluster([&](VertexId, const LocalTree& tree) {
+    for (const VertexId v : tree.global) ++counts[v];
+  });
+  bunch_offset_.assign(std::size_t{n_} + 1, 0);
+  for (VertexId v = 0; v < n_; ++v) {
+    bunch_offset_[v + 1] = bunch_offset_[v] + counts[v];
+  }
+  bunch_w_.assign(bunch_offset_[n_], kNoVertex);
+  bunch_dist_.assign(bunch_offset_[n_], 0);
+  std::vector<std::uint64_t> cursor(bunch_offset_.begin(),
+                                    bunch_offset_.end() - 1);
+  pre.for_each_cluster([&](VertexId w, const LocalTree& tree) {
+    for (std::uint32_t i = 0; i < tree.size(); ++i) {
+      const VertexId v = tree.global[i];
+      bunch_w_[cursor[v]] = w;
+      bunch_dist_[cursor[v]] = tree.dist[i];
+      ++cursor[v];
+    }
+  });
+  // Clusters stream in ascending center id, so each bunch slice is
+  // already sorted by w; verify in debug builds.
+#ifndef NDEBUG
+  for (VertexId v = 0; v < n_; ++v) {
+    CROUTE_ASSERT(
+        std::is_sorted(
+            bunch_w_.begin() +
+                static_cast<std::ptrdiff_t>(bunch_offset_[v]),
+            bunch_w_.begin() +
+                static_cast<std::ptrdiff_t>(bunch_offset_[v + 1])),
+        "bunch slice not sorted");
+  }
+#endif
+
+  if (options.hash_index) {
+    hash_.reserve(n_);
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> kv;
+    for (VertexId v = 0; v < n_; ++v) {
+      kv.clear();
+      for (std::uint64_t s = bunch_offset_[v]; s < bunch_offset_[v + 1];
+           ++s) {
+        kv.emplace_back(bunch_w_[s],
+                        static_cast<std::uint32_t>(s - bunch_offset_[v]));
+      }
+      hash_.push_back(PerfectHashMap::build(kv, rng));
+    }
+  }
+}
+
+std::optional<Weight> DistanceOracle::bunch_distance(VertexId v,
+                                                     VertexId w) const {
+  CROUTE_REQUIRE(v < n_ && w < n_, "vertex out of range");
+  const std::uint64_t begin = bunch_offset_[v], end = bunch_offset_[v + 1];
+  if (!hash_.empty()) {
+    const auto idx = hash_[v].find(w);
+    if (!idx) return std::nullopt;
+    return bunch_dist_[begin + *idx];
+  }
+  const auto first = bunch_w_.begin() + static_cast<std::ptrdiff_t>(begin);
+  const auto last = bunch_w_.begin() + static_cast<std::ptrdiff_t>(end);
+  const auto it = std::lower_bound(first, last, w);
+  if (it == last || *it != w) return std::nullopt;
+  return bunch_dist_[static_cast<std::uint64_t>(it - bunch_w_.begin())];
+}
+
+Weight DistanceOracle::query(VertexId u, VertexId v) const {
+  CROUTE_REQUIRE(u < n_ && v < n_, "vertex out of range");
+  if (u == v) return 0;
+  VertexId w = u;
+  Weight d_uw = 0;
+  std::uint32_t i = 0;
+  std::optional<Weight> d_vw;
+  while (!(d_vw = bunch_distance(v, w)).has_value()) {
+    ++i;
+    CROUTE_ASSERT(i < k_, "oracle walk exceeded the hierarchy height");
+    std::swap(u, v);
+    w = pivot_[std::size_t{i} * n_ + u];
+    d_uw = pivot_dist_[std::size_t{i} * n_ + u];
+  }
+  return d_uw + *d_vw;
+}
+
+std::uint64_t DistanceOracle::vertex_bits(VertexId v) const {
+  const std::uint64_t entries = bunch_offset_[v + 1] - bunch_offset_[v];
+  std::uint64_t bits = entries * (id_bits_ + 64)  // bunch: (w, dist)
+                       + std::uint64_t{k_} * (id_bits_ + 64);  // pivots
+  if (!hash_.empty()) bits += hash_[v].overhead_bits();
+  return bits;
+}
+
+std::uint64_t DistanceOracle::total_bits() const {
+  std::uint64_t total = 0;
+  for (VertexId v = 0; v < n_; ++v) total += vertex_bits(v);
+  return total;
+}
+
+}  // namespace croute

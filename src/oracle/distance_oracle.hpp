@@ -1,0 +1,73 @@
+/// \file distance_oracle.hpp
+/// \brief Thorup–Zwick approximate distance oracle (stretch 2k−1).
+///
+/// The companion machinery of the routing scheme (STOC'01): store per
+/// vertex its bunch B(v) with exact distances plus its (effective) pivots
+/// per level; answer dist(u, v) queries by the bidirectional pivot walk.
+/// The routing scheme's handshake (tz_router.hpp) *is* this query — the
+/// oracle is packaged separately so experiments can validate the
+/// space/stretch trade-off on its own (bench T6), and because downstream
+/// users of the library often want distances without routing.
+///
+/// Guarantees: d(u,v) ≤ query(u,v) ≤ (2k−1)·d(u,v); space
+/// O(k·n^{1+1/k}) words in expectation (Bernoulli) or worst case
+/// (centered sampling); query time O(k) with binary-searched bunches or
+/// O(k) hashed with the optional FKS index.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/clusters.hpp"
+#include "hash/perfect_hash.hpp"
+
+namespace croute {
+
+/// Immutable approximate distance oracle over one connected graph.
+class DistanceOracle {
+ public:
+  struct Options {
+    std::uint32_t k = 3;
+    HierarchyOptions hierarchy;
+    bool hash_index = false;  ///< FKS index per bunch
+  };
+
+  DistanceOracle(const Graph& g, const Options& options, Rng& rng);
+
+  std::uint32_t k() const noexcept { return k_; }
+
+  /// Distance estimate with stretch ≤ 2k−1 (w.h.p. over preprocessing).
+  Weight query(VertexId u, VertexId v) const;
+
+  /// Exact distance d(v, w) if w ∈ B(v).
+  std::optional<Weight> bunch_distance(VertexId v, VertexId w) const;
+
+  /// |B(v)|.
+  std::uint32_t bunch_size(VertexId v) const {
+    return static_cast<std::uint32_t>(bunch_offset_[v + 1] -
+                                      bunch_offset_[v]);
+  }
+
+  /// Exact storage accounting: bunches (id + 64-bit distance each) and
+  /// pivot rows (k ids + k distances), plus optional hash overhead.
+  std::uint64_t vertex_bits(VertexId v) const;
+  std::uint64_t total_bits() const;
+
+ private:
+  std::uint32_t k_;
+  std::uint32_t id_bits_;
+  VertexId n_;
+  // Flattened bunches, sorted by w within each vertex slice.
+  std::vector<std::uint64_t> bunch_offset_;
+  std::vector<VertexId> bunch_w_;
+  std::vector<Weight> bunch_dist_;
+  // Effective pivots: pivot_[i*n + v], pivot_dist_[i*n + v].
+  std::vector<VertexId> pivot_;
+  std::vector<Weight> pivot_dist_;
+  // Optional per-vertex FKS indexes.
+  std::vector<PerfectHashMap> hash_;
+};
+
+}  // namespace croute

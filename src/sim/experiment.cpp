@@ -1,0 +1,235 @@
+#include "sim/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "graph/connectivity.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/generators.hpp"
+#include "util/assert.hpp"
+#include "util/parallel.hpp"
+
+namespace croute {
+
+const char* family_name(GraphFamily f) noexcept {
+  switch (f) {
+    case GraphFamily::kErdosRenyi:
+      return "erdos-renyi";
+    case GraphFamily::kGeometric:
+      return "geometric";
+    case GraphFamily::kGrid:
+      return "grid";
+    case GraphFamily::kTorus:
+      return "torus";
+    case GraphFamily::kBarabasiAlbert:
+      return "barabasi-albert";
+    case GraphFamily::kWattsStrogatz:
+      return "watts-strogatz";
+    case GraphFamily::kRingOfCliques:
+      return "ring-of-cliques";
+    case GraphFamily::kRandomTree:
+      return "random-tree";
+    case GraphFamily::kPath:
+      return "path";
+    case GraphFamily::kCaterpillar:
+      return "caterpillar";
+  }
+  return "unknown";
+}
+
+std::vector<GraphFamily> standard_families() {
+  return {GraphFamily::kErdosRenyi, GraphFamily::kGeometric,
+          GraphFamily::kTorus, GraphFamily::kBarabasiAlbert,
+          GraphFamily::kWattsStrogatz, GraphFamily::kRingOfCliques};
+}
+
+std::vector<GraphFamily> tree_families() {
+  return {GraphFamily::kRandomTree, GraphFamily::kPath,
+          GraphFamily::kCaterpillar};
+}
+
+Graph make_workload(GraphFamily family, VertexId n, Rng& rng,
+                    bool weighted) {
+  CROUTE_REQUIRE(n >= 2, "workloads need at least two vertices");
+  const WeightModel w =
+      weighted ? WeightModel::uniform_real(1.0, 10.0) : WeightModel::unit();
+  switch (family) {
+    case GraphFamily::kErdosRenyi: {
+      const std::uint64_t m = std::uint64_t{n} * 4;  // average degree 8
+      Graph g = erdos_renyi_gnm(
+          n, std::min<std::uint64_t>(m, std::uint64_t{n} * (n - 1) / 2), rng,
+          w);
+      return largest_component(g).graph;
+    }
+    case GraphFamily::kGeometric: {
+      // 1.5x the connectivity-threshold radius sqrt(ln n / (pi n)).
+      const double nd = static_cast<double>(n);
+      const double radius =
+          1.5 * std::sqrt(std::log(nd) / (3.14159265358979 * nd));
+      Graph g = random_geometric(n, radius, rng);
+      return largest_component(g).graph;
+    }
+    case GraphFamily::kGrid: {
+      const auto side = static_cast<VertexId>(std::lround(std::sqrt(n)));
+      return grid2d(std::max<VertexId>(side, 2), std::max<VertexId>(side, 2),
+                    /*torus=*/false, rng, w);
+    }
+    case GraphFamily::kTorus: {
+      const auto side = static_cast<VertexId>(std::lround(std::sqrt(n)));
+      return grid2d(std::max<VertexId>(side, 2), std::max<VertexId>(side, 2),
+                    /*torus=*/true, rng, w);
+    }
+    case GraphFamily::kBarabasiAlbert:
+      return barabasi_albert(n, 4, rng, w);
+    case GraphFamily::kWattsStrogatz: {
+      const VertexId k = std::min<VertexId>(8, n > 2 ? n - 2 : 2);
+      Graph g = watts_strogatz(n, k - k % 2, 0.05, rng, w);
+      return largest_component(g).graph;
+    }
+    case GraphFamily::kRingOfCliques: {
+      const auto clique = static_cast<VertexId>(
+          std::max<long>(3, std::lround(std::sqrt(n))));
+      const VertexId cliques = std::max<VertexId>(3, n / clique);
+      return ring_of_cliques(cliques, clique, rng, w);
+    }
+    case GraphFamily::kRandomTree:
+      return random_tree(n, rng, w);
+    case GraphFamily::kPath:
+      return path_graph(n);
+    case GraphFamily::kCaterpillar: {
+      const VertexId legs = 4;
+      const VertexId spine = std::max<VertexId>(2, n / (legs + 1));
+      return caterpillar(spine, legs, w, rng);
+    }
+  }
+  CROUTE_ASSERT(false, "unhandled graph family");
+  return Graph{};
+}
+
+std::vector<PairSample> sample_pairs(const Graph& g, std::uint32_t count,
+                                     Rng& rng) {
+  const VertexId n = g.num_vertices();
+  CROUTE_REQUIRE(n >= 2, "pair sampling needs at least two vertices");
+  std::vector<PairSample> pairs(count);
+  for (auto& p : pairs) {
+    p.s = static_cast<VertexId>(rng.next_below(n));
+    do {
+      p.t = static_cast<VertexId>(rng.next_below(n));
+    } while (p.t == p.s);
+  }
+
+  // One Dijkstra per distinct source, in parallel.
+  std::vector<VertexId> sources;
+  sources.reserve(count);
+  for (const auto& p : pairs) sources.push_back(p.s);
+  std::sort(sources.begin(), sources.end());
+  sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
+
+  std::unordered_map<VertexId, std::uint32_t> source_slot;
+  source_slot.reserve(sources.size());
+  for (std::uint32_t i = 0; i < sources.size(); ++i) {
+    source_slot.emplace(sources[i], i);
+  }
+  std::vector<std::vector<Weight>> dist(sources.size());
+  parallel_for(sources.size(), [&](std::uint64_t i) {
+    dist[i] = distances_from(g, sources[i]);
+  });
+  for (auto& p : pairs) {
+    p.exact = dist[source_slot.at(p.s)][p.t];
+    CROUTE_ASSERT(p.exact < kInfiniteWeight,
+                  "sampled pair is disconnected (use a connected workload)");
+  }
+  return pairs;
+}
+
+std::vector<PairSample> all_pairs(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<std::vector<Weight>> d = all_pairs_distances(g);
+  std::vector<PairSample> pairs;
+  pairs.reserve(std::size_t{n} * (n - 1));
+  for (VertexId s = 0; s < n; ++s) {
+    for (VertexId t = 0; t < n; ++t) {
+      if (s == t || d[s][t] >= kInfiniteWeight) continue;
+      pairs.push_back({s, t, d[s][t]});
+    }
+  }
+  return pairs;
+}
+
+LoadReport measure_load(
+    const Graph& g, const std::vector<PairSample>& pairs,
+    const std::function<RouteResult(VertexId, VertexId)>& route) {
+  // Undirected edge ids: prefix offsets of "arcs with tail < head".
+  const VertexId n = g.num_vertices();
+  std::vector<std::uint64_t> base(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    std::uint64_t forward = 0;
+    for (const Arc& a : g.arcs(v)) forward += v < a.head;
+    base[v + 1] = base[v] + forward;
+  }
+  auto edge_id = [&](VertexId u, VertexId v) -> std::uint64_t {
+    const VertexId tail = u < v ? u : v;
+    const VertexId head = u < v ? v : u;
+    std::uint64_t offset = 0;
+    for (const Arc& a : g.arcs(tail)) {
+      if (a.head == head) return base[tail] + offset;
+      offset += tail < a.head;
+    }
+    CROUTE_ASSERT(false, "path crosses a non-edge");
+    return 0;
+  };
+
+  LoadReport report;
+  report.edge_load.assign(base[n], 0);
+  for (const auto& p : pairs) {
+    const RouteResult r = route(p.s, p.t);
+    if (!r.delivered()) continue;
+    ++report.delivered;
+    CROUTE_REQUIRE(!r.path.empty(),
+                   "measure_load needs record_path-enabled results");
+    for (std::size_t i = 1; i < r.path.size(); ++i) {
+      ++report.edge_load[edge_id(r.path[i - 1], r.path[i])];
+    }
+  }
+  std::vector<double> loads;
+  loads.reserve(report.edge_load.size());
+  double sum = 0;
+  for (const std::uint64_t l : report.edge_load) {
+    report.max_load = std::max(report.max_load, l);
+    report.used_edges += l > 0;
+    sum += static_cast<double>(l);
+    loads.push_back(static_cast<double>(l));
+  }
+  if (!loads.empty()) {
+    report.mean_load = sum / static_cast<double>(loads.size());
+    std::sort(loads.begin(), loads.end());
+    report.p99_load = percentile_sorted(loads, 99);
+  }
+  return report;
+}
+
+StretchReport measure_stretch(
+    const std::vector<PairSample>& pairs,
+    const std::function<RouteResult(VertexId, VertexId)>& route) {
+  StretchReport report;
+  report.pairs = pairs.size();
+  report.stretches.reserve(pairs.size());
+  double hop_sum = 0;
+  for (const auto& p : pairs) {
+    const RouteResult r = route(p.s, p.t);
+    if (!r.delivered()) continue;
+    ++report.delivered;
+    hop_sum += r.hops;
+    report.max_header_bits = std::max(report.max_header_bits, r.header_bits);
+    report.stretches.push_back(p.exact > 0 ? r.length / p.exact : 1.0);
+  }
+  if (report.delivered > 0) {
+    hop_sum /= static_cast<double>(report.delivered);
+  }
+  report.mean_hops = hop_sum;
+  report.stretch = summarize(report.stretches);
+  return report;
+}
+
+}  // namespace croute

@@ -1,0 +1,116 @@
+/// \file experiment.hpp
+/// \brief Shared workload harness: graph families, pair sampling, stretch
+/// measurement.
+///
+/// Every bench and every integration test draws its inputs from here so
+/// that "ER n=4096" means the same instance everywhere (same generator,
+/// same connectivity repair, same density conventions) and results are
+/// comparable across experiments.
+///
+/// Densities (edges per vertex) follow common practice for routing
+/// evaluations: ER at average degree 8, BA with 4 attachments, WS with
+/// k = 8 and 5% rewiring, geometric at the connectivity-threshold radius
+/// scaled 1.5x. The exact recipes are in make_workload().
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/packet.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+
+namespace croute {
+
+/// Named synthetic workload families (see generators.hpp for semantics).
+enum class GraphFamily {
+  kErdosRenyi,
+  kGeometric,
+  kGrid,
+  kTorus,
+  kBarabasiAlbert,
+  kWattsStrogatz,
+  kRingOfCliques,
+  kRandomTree,
+  kPath,
+  kCaterpillar,
+};
+
+const char* family_name(GraphFamily f) noexcept;
+
+/// The families used by the main experiment sweeps (general graphs).
+std::vector<GraphFamily> standard_families();
+
+/// The tree families (for the §2 tree-routing experiments).
+std::vector<GraphFamily> tree_families();
+
+/// Builds a connected instance of \p family with ~\p n vertices (the
+/// largest component is extracted when the generator may disconnect, so
+/// the result can be slightly smaller). Unit weights unless \p weighted,
+/// in which case weights are uniform reals in [1, 10).
+Graph make_workload(GraphFamily family, VertexId n, Rng& rng,
+                    bool weighted = false);
+
+/// One source–destination query with its exact distance.
+struct PairSample {
+  VertexId s = kNoVertex;
+  VertexId t = kNoVertex;
+  Weight exact = 0;
+};
+
+/// Samples \p count uniform ordered pairs s ≠ t and computes exact
+/// distances (one Dijkstra per distinct source, parallelized). Requires a
+/// connected graph with ≥ 2 vertices.
+std::vector<PairSample> sample_pairs(const Graph& g, std::uint32_t count,
+                                     Rng& rng);
+
+/// All n·(n−1) ordered pairs (small graphs / exhaustive property tests).
+std::vector<PairSample> all_pairs(const Graph& g);
+
+/// Stretch measurements over a pair workload.
+struct StretchReport {
+  std::uint64_t pairs = 0;
+  std::uint64_t delivered = 0;
+  Summary stretch;                 ///< over delivered pairs
+  std::vector<double> stretches;   ///< raw values (CDF input)
+  double mean_hops = 0;
+  std::uint64_t max_header_bits = 0;
+
+  bool all_delivered() const noexcept { return delivered == pairs; }
+};
+
+/// Routes every pair through \p route and aggregates stretch.
+/// \p route must return a RouteResult (adapters in simulator.hpp).
+StretchReport measure_stretch(
+    const std::vector<PairSample>& pairs,
+    const std::function<RouteResult(VertexId, VertexId)>& route);
+
+/// Link-load profile of a routed workload: how many routed paths cross
+/// each undirected edge. Landmark schemes concentrate traffic near
+/// landmark trees; this quantifies the congestion cost of compactness
+/// (experiment F4). Requires route results with recorded paths.
+struct LoadReport {
+  std::vector<std::uint64_t> edge_load;  ///< per undirected edge (see edge_ids)
+  std::uint64_t max_load = 0;
+  double mean_load = 0;       ///< over all edges (including unused)
+  double p99_load = 0;
+  std::uint64_t used_edges = 0;
+  std::uint64_t delivered = 0;
+
+  /// max/mean — the concentration factor compared across schemes.
+  double concentration() const {
+    return mean_load > 0 ? static_cast<double>(max_load) / mean_load : 0;
+  }
+};
+
+/// Routes every pair and counts edge traversals. Edges are indexed in
+/// graph order (arcs with tail < head, per-vertex ascending).
+LoadReport measure_load(
+    const Graph& g, const std::vector<PairSample>& pairs,
+    const std::function<RouteResult(VertexId, VertexId)>& route);
+
+}  // namespace croute

@@ -1,0 +1,55 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace croute {
+
+Graph relabel_vertices(const Graph& g, const std::vector<VertexId>& perm) {
+  const VertexId n = g.num_vertices();
+  CROUTE_REQUIRE(perm.size() == n, "permutation size mismatch");
+#ifndef NDEBUG
+  {
+    std::vector<std::uint8_t> seen(n, 0);
+    for (const VertexId p : perm) {
+      CROUTE_ASSERT(p < n && !seen[p], "perm must be a permutation");
+      seen[p] = 1;
+    }
+  }
+#endif
+  GraphBuilder b(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (const Arc& a : g.arcs(v)) {
+      if (v < a.head) b.add_edge(perm[v], perm[a.head], a.weight);
+    }
+  }
+  return b.build();
+}
+
+Graph random_relabel(const Graph& g, Rng& rng,
+                     std::vector<VertexId>* perm_out) {
+  std::vector<VertexId> perm = rng.permutation(g.num_vertices());
+  Graph out = relabel_vertices(g, perm);
+  if (perm_out != nullptr) *perm_out = std::move(perm);
+  return out;
+}
+
+void validate_ports(const Graph& g) {
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto adj = g.arcs(v);
+    for (Port p = 0; p < adj.size(); ++p) {
+      const Arc& a = adj[p];
+      CROUTE_ASSERT(a.head < g.num_vertices(), "arc head out of range");
+      CROUTE_ASSERT(a.weight > 0, "non-positive arc weight");
+      CROUTE_ASSERT(a.reverse_port < g.degree(a.head),
+                    "reverse port out of range");
+      const Arc& back = g.arc(a.head, a.reverse_port);
+      CROUTE_ASSERT(back.head == v, "reverse arc does not return");
+      CROUTE_ASSERT(back.weight == a.weight, "reverse arc weight mismatch");
+      CROUTE_ASSERT(back.reverse_port == p, "reverse-port not an involution");
+    }
+  }
+}
+
+}  // namespace croute

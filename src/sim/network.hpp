@@ -1,0 +1,41 @@
+/// \file network.hpp
+/// \brief Port-model utilities: adversarial port reassignment & validation.
+///
+/// The Graph class already *is* the fixed-port network: the index of an arc
+/// within a vertex's adjacency array is its port number, and the builder
+/// assigns ports by ascending neighbor id — an ordering the routing scheme
+/// does not control, as the fixed-port model demands. Because port order is
+/// a pure function of vertex ids, *relabeling the vertices* by a random
+/// permutation is exactly an adversarial reassignment of every vertex's
+/// port numbers (and of all tie-breaking inputs). The property tests route
+/// on `relabel_vertices(g, perm)` to show the schemes' guarantees are
+/// invariant under port/name assignment — i.e. that they really are
+/// fixed-port schemes and do not exploit the builder's canonical order.
+///
+/// validate_ports() checks the reverse-port involution the simulator relies
+/// on: following arc(v,p) and then its reverse_port must return to v over
+/// an identical weight.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace croute {
+
+/// Rebuilds \p g with vertex v renamed perm[v]. \p perm must be a
+/// permutation of 0..n-1. Edge weights are preserved.
+Graph relabel_vertices(const Graph& g, const std::vector<VertexId>& perm);
+
+/// relabel_vertices with a uniformly random permutation; returns the
+/// permutation used through \p perm_out (old id -> new id) when non-null.
+Graph random_relabel(const Graph& g, Rng& rng,
+                     std::vector<VertexId>* perm_out = nullptr);
+
+/// Verifies the reverse-port involution on every arc.
+/// Throws std::logic_error on violation.
+void validate_ports(const Graph& g);
+
+}  // namespace croute

@@ -1,0 +1,40 @@
+#include "sim/packet.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace croute {
+
+const char* to_string(RouteStatus status) noexcept {
+  switch (status) {
+    case RouteStatus::kDelivered:
+      return "delivered";
+    case RouteStatus::kHopLimit:
+      return "hop-limit";
+    case RouteStatus::kBadPort:
+      return "bad-port";
+    case RouteStatus::kWrongDeliver:
+      return "wrong-deliver";
+  }
+  return "unknown";
+}
+
+double RouteResult::stretch(Weight exact) const {
+  CROUTE_REQUIRE(delivered(), "stretch of an undelivered packet");
+  CROUTE_REQUIRE(exact > 0, "stretch needs a positive exact distance");
+  return length / exact;
+}
+
+std::string RouteResult::describe() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i > 0) os << " -> ";
+    os << path[i];
+  }
+  os << " (" << hops << " hops, length " << length << ", "
+     << to_string(status) << ')';
+  return os.str();
+}
+
+}  // namespace croute

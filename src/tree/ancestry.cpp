@@ -1,0 +1,26 @@
+#include "tree/ancestry.hpp"
+
+namespace croute {
+
+AncestryLabeling::AncestryLabeling(const Tree& tree)
+    : field_bits_(bits_for_universe(tree.size() + 1)) {
+  const HeavyPathDecomposition hpd(tree);
+  labels_.resize(tree.size());
+  for (std::uint32_t v = 0; v < tree.size(); ++v) {
+    labels_[v] = AncestryLabel{hpd.dfs_in(v), hpd.dfs_out(v)};
+  }
+}
+
+void AncestryLabeling::encode(const AncestryLabel& l, BitWriter& w) const {
+  w.write_bits(l.in, field_bits_);
+  w.write_bits(l.out, field_bits_);
+}
+
+AncestryLabel AncestryLabeling::decode(BitReader& r) const {
+  AncestryLabel l;
+  l.in = static_cast<std::uint32_t>(r.read_bits(field_bits_));
+  l.out = static_cast<std::uint32_t>(r.read_bits(field_bits_));
+  return l;
+}
+
+}  // namespace croute

@@ -1,0 +1,50 @@
+/// \file ancestry.hpp
+/// \brief O(log n)-bit ancestry labels for trees (DFS intervals).
+///
+/// The classic Kannan–Naor–Rudich scheme: label(v) = [dfs_in(v), dfs_out(v));
+/// u is an ancestor of v iff u's interval contains v's. Used directly by
+/// tests and as the skeleton of the tree-routing labels.
+
+#pragma once
+
+#include <cstdint>
+
+#include "tree/heavy_path.hpp"
+#include "util/bit_io.hpp"
+
+namespace croute {
+
+/// Interval ancestry label of one node.
+struct AncestryLabel {
+  std::uint32_t in = 0;
+  std::uint32_t out = 0;  ///< exclusive
+
+  /// True if *this labels an ancestor of (or equals) \p other.
+  bool is_ancestor_of(const AncestryLabel& other) const noexcept {
+    return in <= other.in && other.out <= out;
+  }
+  bool operator==(const AncestryLabel&) const = default;
+};
+
+/// Assigns ancestry labels to all nodes of a tree.
+class AncestryLabeling {
+ public:
+  explicit AncestryLabeling(const Tree& tree);
+
+  AncestryLabel label(std::uint32_t v) const { return labels_[v]; }
+  std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(labels_.size());
+  }
+
+  /// Exact encoded size of one label in bits: 2 * ceil(log2 n).
+  std::uint32_t label_bits() const noexcept { return 2 * field_bits_; }
+
+  void encode(const AncestryLabel& l, BitWriter& w) const;
+  AncestryLabel decode(BitReader& r) const;
+
+ private:
+  std::vector<AncestryLabel> labels_;
+  std::uint32_t field_bits_;
+};
+
+}  // namespace croute

@@ -1,0 +1,90 @@
+/// \file interval_router.hpp
+/// \brief Designer-port interval routing on trees: single-word labels.
+///
+/// Thorup–Zwick §2 also give a tree scheme for the *designer-port* model
+/// (the scheme designer chooses how each node numbers its ports). There the
+/// label of a destination is just its heavy-first DFS index — exactly
+/// ceil(log2 n) bits, i.e. (1+o(1))·log2 n — and the routing decision uses
+/// only locally stored information:
+///
+///   - port 0 of every non-root node leads to its parent;
+///   - ports 1..deg lead to the children in heavy-first DFS order, so the
+///     children's DFS intervals are consecutive: child i (1-based) covers
+///     [start_i, start_{i+1}) where start_1 = dfs_in(v)+1 and
+///     start_{deg+1} = dfs_out(v).
+///
+/// A node therefore only needs the boundaries of its children's intervals
+/// to route: given dest label x, deliver if x == dfs_in(v); go to port 0 if
+/// x outside (dfs_in(v), dfs_out(v)); otherwise binary-search the child
+/// whose interval contains x. This implementation stores the boundary
+/// array (O(deg(v)) words per node, O(n) total per tree) and reports the
+/// label size of exactly ceil(log2 n) bits; the paper's refinement that
+/// compresses per-node state to O(1) words by rounding interval boundaries
+/// is noted in DESIGN.md as not implemented (the graph schemes use the
+/// fixed-port scheme of tree_router.hpp anyway).
+///
+/// The simulator maps designer ports to graph ports through the
+/// permutation exposed by to_graph_port().
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/spt.hpp"
+#include "tree/heavy_path.hpp"
+
+namespace croute {
+
+/// Designer-port interval routing scheme over a LocalTree.
+class IntervalTreeScheme {
+ public:
+  explicit IntervalTreeScheme(const LocalTree& tree);
+
+  std::uint32_t size() const noexcept { return n_; }
+
+  /// The label of a node: its heavy-first DFS index.
+  std::uint32_t label(std::uint32_t local) const { return dfs_in_[local]; }
+
+  /// Exact label length in bits.
+  std::uint32_t label_bits() const noexcept { return label_bits_; }
+
+  /// Routing decision at \p local toward destination label \p dest.
+  /// Returns {deliver=true} or the *designer* port to take.
+  struct Decision {
+    bool deliver = false;
+    std::uint32_t designer_port = 0;
+  };
+  Decision decide(std::uint32_t local, std::uint32_t dest) const;
+
+  /// Translates a designer port at \p local into the underlying graph port.
+  Port to_graph_port(std::uint32_t local, std::uint32_t designer_port) const;
+
+  /// Node identified by a DFS label (for tests/simulation).
+  std::uint32_t node_at(std::uint32_t dfs_label) const {
+    return order_[dfs_label];
+  }
+
+  /// Words of local state stored at \p local (boundary array length + 2).
+  std::uint32_t node_state_words(std::uint32_t local) const {
+    return static_cast<std::uint32_t>(child_starts(local).size()) + 2;
+  }
+
+ private:
+  std::span<const std::uint32_t> child_starts(std::uint32_t local) const {
+    return {starts_.data() + start_offset_[local],
+            start_offset_[local + 1] - start_offset_[local]};
+  }
+
+  std::uint32_t n_ = 0;
+  std::uint32_t label_bits_ = 0;
+  std::vector<std::uint32_t> dfs_in_;
+  std::vector<std::uint32_t> dfs_out_;
+  std::vector<std::uint32_t> order_;
+  std::vector<std::size_t> start_offset_;   ///< CSR offsets into starts_
+  std::vector<std::uint32_t> starts_;       ///< child interval start per child
+  std::vector<std::size_t> port_offset_;    ///< CSR offsets into graph_port_
+  std::vector<Port> graph_port_;            ///< designer port -> graph port
+};
+
+}  // namespace croute

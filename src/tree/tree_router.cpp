@@ -1,0 +1,134 @@
+#include "tree/tree_router.hpp"
+
+namespace croute {
+
+TreeRoutingScheme::TreeRoutingScheme(const LocalTree& local) {
+  const Tree tree = Tree::from_local_tree(local);
+  const HeavyPathDecomposition hpd(tree);
+  const std::uint32_t n = tree.size();
+  records_.resize(n);
+  labels_.resize(n);
+
+  for (std::uint32_t v = 0; v < n; ++v) {
+    TreeNodeRecord& r = records_[v];
+    r.dfs_in = hpd.dfs_in(v);
+    r.dfs_out = hpd.dfs_out(v);
+    r.parent_port = local.parent_port[v];  // kNoPort at the root
+    r.light_depth = hpd.light_depth(v);
+    const std::uint32_t h = hpd.heavy_child(v);
+    if (h != kNoLocal) {
+      r.heavy_in = hpd.dfs_in(h);
+      r.heavy_out = hpd.dfs_out(h);
+      r.heavy_port = local.down_port[h];
+    } else {
+      r.heavy_in = r.heavy_out = 0;  // empty interval
+      r.heavy_port = kNoPort;
+    }
+  }
+
+  // Labels along the heavy-first preorder: maintain the stack of light
+  // ports taken on the root path.
+  std::vector<Port> light_stack;
+  // Iterative DFS mirroring HeavyPathDecomposition's visit order.
+  struct Frame {
+    std::uint32_t node;
+    std::uint32_t next_child;
+  };
+  std::vector<Frame> stack;
+  const std::uint32_t root = tree.root();
+  labels_[root] = TreeLabel{hpd.dfs_in(root), {}};
+  stack.push_back(Frame{root, 0});
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const auto& kids = hpd.visit_order(f.node);
+    if (f.next_child < kids.size()) {
+      const std::uint32_t c = kids[f.next_child++];
+      if (hpd.is_light(c)) light_stack.push_back(local.down_port[c]);
+      labels_[c].dfs_in = hpd.dfs_in(c);
+      labels_[c].light_ports = light_stack;
+      stack.push_back(Frame{c, 0});
+    } else {
+      const std::uint32_t v = f.node;
+      stack.pop_back();
+      if (v != root && hpd.is_light(v)) light_stack.pop_back();
+    }
+  }
+}
+
+TreeDecision TreeRoutingScheme::decide(const TreeNodeRecord& here,
+                                       const TreeLabel& dest) {
+  if (dest.dfs_in == here.dfs_in) return TreeDecision{true, kNoPort};
+  if (dest.dfs_in < here.dfs_in || dest.dfs_in >= here.dfs_out) {
+    CROUTE_ASSERT(here.parent_port != kNoPort,
+                  "destination outside the tree reached the root");
+    return TreeDecision{false, here.parent_port};
+  }
+  if (dest.dfs_in >= here.heavy_in && dest.dfs_in < here.heavy_out &&
+      here.heavy_port != kNoPort) {
+    return TreeDecision{false, here.heavy_port};
+  }
+  CROUTE_ASSERT(here.light_depth < dest.light_ports.size(),
+                "label misses the light port for this branch point");
+  return TreeDecision{false, dest.light_ports[here.light_depth]};
+}
+
+void TreeRoutingScheme::encode_label(const TreeLabel& l, const Codec& c,
+                                     BitWriter& w) {
+  w.write_bits(l.dfs_in, c.dfs_bits);
+  w.write_gamma(l.light_ports.size() + 1);
+  for (const Port p : l.light_ports) w.write_bits(p, c.port_bits);
+}
+
+TreeLabel TreeRoutingScheme::decode_label(const Codec& c, BitReader& r) {
+  TreeLabel l;
+  l.dfs_in = static_cast<std::uint32_t>(r.read_bits(c.dfs_bits));
+  const std::uint64_t count = r.read_gamma() - 1;
+  l.light_ports.resize(count);
+  for (auto& p : l.light_ports) {
+    p = static_cast<Port>(r.read_bits(c.port_bits));
+  }
+  return l;
+}
+
+std::uint64_t TreeRoutingScheme::label_bits(const TreeLabel& l,
+                                            const Codec& c) {
+  BitWriter w;
+  encode_label(l, c, w);
+  return w.bit_size();
+}
+
+void TreeRoutingScheme::encode_record(const TreeNodeRecord& rec,
+                                      const Codec& c, BitWriter& w) {
+  w.write_bits(rec.dfs_in, c.dfs_bits);
+  w.write_bits(rec.dfs_out, c.dfs_bits);
+  w.write_bits(rec.heavy_in, c.dfs_bits);
+  w.write_bits(rec.heavy_out, c.dfs_bits);
+  // Ports may be kNoPort (root / leaf): shift by one so 0 means "none".
+  w.write_gamma(rec.heavy_port == kNoPort ? 1 : std::uint64_t{rec.heavy_port} + 2);
+  w.write_gamma(rec.parent_port == kNoPort ? 1
+                                           : std::uint64_t{rec.parent_port} + 2);
+  w.write_gamma(std::uint64_t{rec.light_depth} + 1);
+}
+
+TreeNodeRecord TreeRoutingScheme::decode_record(const Codec& c, BitReader& r) {
+  TreeNodeRecord rec;
+  rec.dfs_in = static_cast<std::uint32_t>(r.read_bits(c.dfs_bits));
+  rec.dfs_out = static_cast<std::uint32_t>(r.read_bits(c.dfs_bits));
+  rec.heavy_in = static_cast<std::uint32_t>(r.read_bits(c.dfs_bits));
+  rec.heavy_out = static_cast<std::uint32_t>(r.read_bits(c.dfs_bits));
+  const std::uint64_t hp = r.read_gamma();
+  rec.heavy_port = hp == 1 ? kNoPort : static_cast<Port>(hp - 2);
+  const std::uint64_t pp = r.read_gamma();
+  rec.parent_port = pp == 1 ? kNoPort : static_cast<Port>(pp - 2);
+  rec.light_depth = static_cast<std::uint32_t>(r.read_gamma() - 1);
+  return rec;
+}
+
+std::uint64_t TreeRoutingScheme::record_bits(const TreeNodeRecord& rec,
+                                             const Codec& c) {
+  BitWriter w;
+  encode_record(rec, c, w);
+  return w.bit_size();
+}
+
+}  // namespace croute

@@ -1,0 +1,55 @@
+/// \file assert.hpp
+/// \brief Assertion and precondition macros used throughout croute.
+///
+/// Three levels, following the C++ Core Guidelines (I.6, E.12):
+///  - CROUTE_REQUIRE: precondition on a public API; always on; throws
+///    std::invalid_argument so callers can test misuse.
+///  - CROUTE_ASSERT: internal invariant; always on (cheap checks only);
+///    throws std::logic_error because a failure is a library bug.
+///  - CROUTE_DCHECK: expensive invariant; compiled out under NDEBUG.
+
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace croute::detail {
+
+[[noreturn]] inline void throw_require(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_assert(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace croute::detail
+
+#define CROUTE_REQUIRE(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::croute::detail::throw_require(#cond, __FILE__, __LINE__, (msg));   \
+  } while (false)
+
+#define CROUTE_ASSERT(cond, msg)                                           \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::croute::detail::throw_assert(#cond, __FILE__, __LINE__, (msg));    \
+  } while (false)
+
+#ifdef NDEBUG
+#define CROUTE_DCHECK(cond, msg) \
+  do {                           \
+  } while (false)
+#else
+#define CROUTE_DCHECK(cond, msg) CROUTE_ASSERT(cond, msg)
+#endif

@@ -1,0 +1,106 @@
+#include "util/bit_io.hpp"
+
+namespace croute {
+
+void BitWriter::write_bits(std::uint64_t value, std::uint32_t width) {
+  CROUTE_REQUIRE(width <= 64, "bit width must be at most 64");
+  if (width < 64) {
+    CROUTE_REQUIRE(value < (std::uint64_t{1} << width),
+                   "value does not fit in the requested width");
+  }
+  if (width == 0) return;
+  const std::uint64_t word_index = bits_ >> 6;
+  const std::uint32_t offset = static_cast<std::uint32_t>(bits_ & 63);
+  if (word_index >= words_.size()) words_.push_back(0);
+  words_[word_index] |= value << offset;
+  if (offset + width > 64) {
+    // Spill the high part into the next word.
+    words_.push_back(value >> (64 - offset));
+  }
+  bits_ += width;
+}
+
+void BitWriter::write_unary(std::uint64_t value) {
+  while (value >= 32) {
+    write_bits(0, 32);
+    value -= 32;
+  }
+  write_bits(std::uint64_t{1} << value, static_cast<std::uint32_t>(value) + 1);
+}
+
+void BitWriter::write_gamma(std::uint64_t value) {
+  CROUTE_REQUIRE(value >= 1, "gamma codes are defined for values >= 1");
+  const std::uint32_t len = floor_log2(value);
+  write_unary(len);
+  if (len > 0) write_bits(value & ((std::uint64_t{1} << len) - 1), len);
+}
+
+void BitWriter::write_delta(std::uint64_t value) {
+  CROUTE_REQUIRE(value >= 1, "delta codes are defined for values >= 1");
+  const std::uint32_t len = floor_log2(value);
+  write_gamma(std::uint64_t{len} + 1);
+  if (len > 0) write_bits(value & ((std::uint64_t{1} << len) - 1), len);
+}
+
+void BitWriter::write_varint(std::uint64_t value) {
+  while (value >= 0x80) {
+    write_bits((value & 0x7f) | 0x80, 8);
+    value >>= 7;
+  }
+  write_bits(value, 8);
+}
+
+std::uint64_t BitReader::read_bits(std::uint32_t width) {
+  CROUTE_REQUIRE(width <= 64, "bit width must be at most 64");
+  CROUTE_REQUIRE(pos_ + width <= limit_, "bit stream exhausted");
+  if (width == 0) return 0;
+  const std::uint64_t word_index = pos_ >> 6;
+  const std::uint32_t offset = static_cast<std::uint32_t>(pos_ & 63);
+  std::uint64_t value = (*words_)[word_index] >> offset;
+  if (offset + width > 64) {
+    value |= (*words_)[word_index + 1] << (64 - offset);
+  }
+  pos_ += width;
+  if (width < 64) value &= (std::uint64_t{1} << width) - 1;
+  return value;
+}
+
+std::uint64_t BitReader::read_unary() {
+  std::uint64_t count = 0;
+  while (read_bits(1) == 0) {
+    ++count;
+    CROUTE_ASSERT(count <= limit_, "malformed unary code");
+  }
+  return count;
+}
+
+std::uint64_t BitReader::read_gamma() {
+  const std::uint64_t len = read_unary();
+  CROUTE_REQUIRE(len < 64, "malformed gamma code");
+  const std::uint64_t mantissa =
+      (len > 0) ? read_bits(static_cast<std::uint32_t>(len)) : 0;
+  return (std::uint64_t{1} << len) | mantissa;
+}
+
+std::uint64_t BitReader::read_delta() {
+  const std::uint64_t len = read_gamma() - 1;
+  CROUTE_REQUIRE(len < 64, "malformed delta code");
+  const std::uint64_t mantissa =
+      (len > 0) ? read_bits(static_cast<std::uint32_t>(len)) : 0;
+  return (std::uint64_t{1} << len) | mantissa;
+}
+
+std::uint64_t BitReader::read_varint() {
+  std::uint64_t value = 0;
+  std::uint32_t shift = 0;
+  while (true) {
+    const std::uint64_t byte = read_bits(8);
+    value |= (byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    CROUTE_REQUIRE(shift < 64, "malformed varint");
+  }
+  return value;
+}
+
+}  // namespace croute

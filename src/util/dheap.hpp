@@ -1,0 +1,159 @@
+/// \file dheap.hpp
+/// \brief Indexed d-ary min-heap (d = 4) with decrease-key.
+///
+/// Dijkstra dominates the preprocessing cost of every scheme in this
+/// library. An indexed 4-ary heap beats std::priority_queue with lazy
+/// deletion on the cluster-restricted Dijkstras (Section "clusters" of
+/// DESIGN.md) because those runs touch few vertices and re-use the heap
+/// many times; this implementation supports O(1) `contains`, true
+/// decrease-key, and cheap `clear` via versioning so a single heap can be
+/// reused across thousands of restricted runs without O(n) reinitialization.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace croute {
+
+/// Min-heap over item ids [0, capacity) with priorities of type Key.
+/// Key must be totally ordered by operator<.
+template <typename Key>
+class DHeap {
+ public:
+  static constexpr std::uint32_t kArity = 4;
+  static constexpr std::uint32_t kNpos = ~std::uint32_t{0};
+
+  explicit DHeap(std::uint32_t capacity = 0) { reset_capacity(capacity); }
+
+  /// Grows/shrinks the id universe and empties the heap.
+  void reset_capacity(std::uint32_t capacity) {
+    slot_.assign(capacity, Entry{});
+    heap_.clear();
+    version_ = 1;
+  }
+
+  std::uint32_t capacity() const noexcept {
+    return static_cast<std::uint32_t>(slot_.size());
+  }
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(heap_.size());
+  }
+
+  /// Empties the heap in O(size) without touching untouched slots.
+  void clear() noexcept {
+    heap_.clear();
+    ++version_;  // invalidates all slots lazily
+  }
+
+  bool contains(std::uint32_t id) const noexcept {
+    return slot_[id].version == version_ && slot_[id].pos != kNpos;
+  }
+
+  /// Priority of a contained item.
+  const Key& key_of(std::uint32_t id) const {
+    CROUTE_DCHECK(contains(id), "key_of on absent item");
+    return heap_[slot_[id].pos].key;
+  }
+
+  /// Inserts a new item or decreases the key of an existing one. Returns
+  /// true if the heap changed (insert, or key strictly decreased).
+  bool push_or_decrease(std::uint32_t id, const Key& key) {
+    CROUTE_DCHECK(id < slot_.size(), "heap id out of range");
+    if (contains(id)) {
+      const std::uint32_t pos = slot_[id].pos;
+      if (!(key < heap_[pos].key)) return false;
+      heap_[pos].key = key;
+      sift_up(pos);
+      return true;
+    }
+    heap_.push_back(Node{key, id});
+    slot_[id] = Entry{version_, static_cast<std::uint32_t>(heap_.size() - 1)};
+    sift_up(static_cast<std::uint32_t>(heap_.size() - 1));
+    return true;
+  }
+
+  /// Id of the minimum item. Requires non-empty.
+  std::uint32_t top_id() const {
+    CROUTE_DCHECK(!heap_.empty(), "top of empty heap");
+    return heap_.front().id;
+  }
+
+  /// Key of the minimum item. Requires non-empty.
+  const Key& top_key() const {
+    CROUTE_DCHECK(!heap_.empty(), "top of empty heap");
+    return heap_.front().key;
+  }
+
+  /// Removes and returns the id of the minimum item.
+  std::uint32_t pop() {
+    CROUTE_DCHECK(!heap_.empty(), "pop of empty heap");
+    const std::uint32_t id = heap_.front().id;
+    slot_[id].pos = kNpos;
+    if (heap_.size() > 1) {
+      heap_.front() = heap_.back();
+      heap_.pop_back();
+      slot_[heap_.front().id].pos = 0;
+      sift_down(0);
+    } else {
+      heap_.pop_back();
+    }
+    return id;
+  }
+
+ private:
+  struct Node {
+    Key key;
+    std::uint32_t id;
+  };
+  struct Entry {
+    std::uint64_t version = 0;
+    std::uint32_t pos = kNpos;
+  };
+
+  void sift_up(std::uint32_t pos) {
+    Node moving = heap_[pos];
+    while (pos > 0) {
+      const std::uint32_t parent = (pos - 1) / kArity;
+      if (!(moving.key < heap_[parent].key)) break;
+      heap_[pos] = heap_[parent];
+      slot_[heap_[pos].id].pos = pos;
+      pos = parent;
+    }
+    heap_[pos] = moving;
+    slot_[moving.id].pos = pos;
+  }
+
+  void sift_down(std::uint32_t pos) {
+    const std::uint32_t n = static_cast<std::uint32_t>(heap_.size());
+    Node moving = heap_[pos];
+    while (true) {
+      const std::uint64_t first_child =
+          std::uint64_t{pos} * kArity + 1;
+      if (first_child >= n) break;
+      std::uint32_t best = static_cast<std::uint32_t>(first_child);
+      const std::uint32_t last_child = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(first_child + kArity, n));
+      for (std::uint32_t c = best + 1; c < last_child; ++c) {
+        if (heap_[c].key < heap_[best].key) best = c;
+      }
+      if (!(heap_[best].key < moving.key)) break;
+      heap_[pos] = heap_[best];
+      slot_[heap_[pos].id].pos = pos;
+      pos = best;
+    }
+    heap_[pos] = moving;
+    slot_[moving.id].pos = pos;
+  }
+
+  std::vector<Node> heap_;
+  std::vector<Entry> slot_;
+  std::uint64_t version_ = 1;
+};
+
+}  // namespace croute

@@ -1,0 +1,44 @@
+/// \file flags.hpp
+/// \brief Tiny command-line flag parser for the example and bench binaries.
+///
+/// Accepts `--name=value` and `--name value` forms plus bare `--flag`
+/// booleans. Unknown positional arguments are collected in order.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace croute {
+
+/// Parsed command line. Typed getters fall back to the supplied default
+/// when the flag is absent and throw std::invalid_argument on malformed
+/// values, so binaries fail loudly on typos.
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// argv[0] as given.
+  const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace croute

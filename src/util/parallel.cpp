@@ -1,0 +1,65 @@
+#include "util/parallel.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace croute {
+
+unsigned worker_count() noexcept {
+  if (const char* env = std::getenv("CROUTE_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void parallel_for(std::uint64_t count,
+                  const std::function<void(std::uint64_t)>& fn,
+                  std::uint64_t grain) {
+  if (grain == 0) grain = 1;
+  const unsigned workers = worker_count();
+  if (count == 0) return;
+  if (workers <= 1 || count <= grain) {
+    for (std::uint64_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::uint64_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto body = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::uint64_t begin = next.fetch_add(grain);
+      if (begin >= count) return;
+      const std::uint64_t end = std::min(begin + grain, count);
+      for (std::uint64_t i = begin; i < end; ++i) {
+        try {
+          fn(i);
+        } catch (...) {
+          std::scoped_lock lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+          return;  // stop this worker; others drain quickly
+        }
+      }
+    }
+  };
+
+  const unsigned spawned = static_cast<unsigned>(
+      std::min<std::uint64_t>(workers, (count + grain - 1) / grain));
+  std::vector<std::thread> threads;
+  threads.reserve(spawned);
+  for (unsigned t = 1; t < spawned; ++t) threads.emplace_back(body);
+  body();  // caller participates
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace croute

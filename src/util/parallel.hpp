@@ -1,0 +1,36 @@
+/// \file parallel.hpp
+/// \brief Minimal shared-memory parallelism: a thread pool and parallel_for.
+///
+/// Preprocessing in croute is embarrassingly parallel across landmarks and
+/// vertices (independent Dijkstra runs). We use a plain std::thread pool
+/// with an atomic work counter — the OpenMP "parallel for, dynamic
+/// schedule" pattern expressed in ISO C++ (the environment's HPC guides
+/// recommend standard C++ over vendor extensions where a dozen lines
+/// suffice). Determinism: tasks write only to disjoint, pre-sized output
+/// slots, and any per-task randomness must come from an Rng forked per
+/// index *before* dispatch, so results are independent of thread count.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace croute {
+
+/// Number of worker threads used by parallel_for: the value of the
+/// CROUTE_THREADS environment variable if set and positive, otherwise
+/// std::thread::hardware_concurrency() (at least 1).
+unsigned worker_count() noexcept;
+
+/// Runs fn(i) for every i in [0, count), distributing indices dynamically
+/// over worker_count() threads in chunks of \p grain. Falls back to a serial
+/// loop when count is small or only one worker is available.
+///
+/// fn must be safe to call concurrently for distinct indices. Exceptions
+/// thrown by fn are captured; the first one is rethrown on the caller's
+/// thread after all workers finish.
+void parallel_for(std::uint64_t count,
+                  const std::function<void(std::uint64_t)>& fn,
+                  std::uint64_t grain = 1);
+
+}  // namespace croute

@@ -1,0 +1,65 @@
+#include "util/random.hpp"
+
+#include <unordered_set>
+
+namespace croute {
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless unbiased bounded sampling.
+  if (bound <= 1) return 0;
+  while (true) {
+    const std::uint64_t x = (*this)();
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(x) * static_cast<unsigned __int128>(bound);
+    const std::uint64_t lo = static_cast<std::uint64_t>(m);
+    if (lo >= bound || lo >= static_cast<std::uint64_t>(-bound) % bound) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+std::int64_t Rng::next_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  // span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+  const std::uint64_t draw = (span == 0) ? (*this)() : next_below(span);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + draw);
+}
+
+std::vector<std::uint32_t> Rng::permutation(std::uint32_t n) {
+  std::vector<std::uint32_t> p(n);
+  for (std::uint32_t i = 0; i < n; ++i) p[i] = i;
+  shuffle(p);
+  return p;
+}
+
+std::vector<std::uint32_t> Rng::sample_without_replacement(std::uint32_t n,
+                                                           std::uint32_t count) {
+  CROUTE_REQUIRE(count <= n, "cannot sample more values than the universe");
+  if (count == 0) return {};
+  // Dense case: partial Fisher-Yates over the whole universe.
+  if (count > n / 4) {
+    std::vector<std::uint32_t> pool(n);
+    for (std::uint32_t i = 0; i < n; ++i) pool[i] = i;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint32_t j =
+          i + static_cast<std::uint32_t>(next_below(n - i));
+      std::swap(pool[i], pool[j]);
+    }
+    pool.resize(count);
+    return pool;
+  }
+  // Sparse case: Floyd's algorithm, O(count) expected.
+  std::unordered_set<std::uint32_t> chosen;
+  std::vector<std::uint32_t> out;
+  out.reserve(count);
+  for (std::uint32_t j = n - count; j < n; ++j) {
+    const std::uint32_t t = static_cast<std::uint32_t>(next_below(j + 1));
+    const std::uint32_t pick = chosen.contains(t) ? j : t;
+    chosen.insert(pick);
+    out.push_back(pick);
+  }
+  return out;
+}
+
+}  // namespace croute

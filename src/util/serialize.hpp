@@ -1,0 +1,133 @@
+/// \file serialize.hpp
+/// \brief Minimal binary (de)serialization for persisting schemes.
+///
+/// Fixed little-endian layout, explicit sizes, a magic/version header per
+/// top-level object, and fail-loud reads (std::invalid_argument on
+/// truncation or corruption). Used by core/scheme_io to persist
+/// preprocessed routing schemes so that routers can load tables instead
+/// of re-running preprocessing.
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace croute {
+
+/// Streaming binary writer (little-endian scalars, length-prefixed arrays).
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& os) : os_(&os) {}
+
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void u32(std::uint32_t v) { scalar(v); }
+  void u64(std::uint64_t v) { scalar(v); }
+  void f64(double v) {
+    static_assert(sizeof(double) == 8);
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    scalar(bits);
+  }
+
+  template <typename T>
+  void vec_u32(const std::vector<T>& v) {
+    static_assert(sizeof(T) == 4);
+    u64(v.size());
+    if (!v.empty()) raw(v.data(), v.size() * 4);
+  }
+  void vec_u64(const std::vector<std::uint64_t>& v) {
+    u64(v.size());
+    if (!v.empty()) raw(v.data(), v.size() * 8);
+  }
+  void vec_f64(const std::vector<double>& v) {
+    u64(v.size());
+    if (!v.empty()) raw(v.data(), v.size() * 8);
+  }
+
+ private:
+  template <typename T>
+  void scalar(T v) {
+    static_assert(std::endian::native == std::endian::little,
+                  "big-endian hosts need byte swaps here");
+    raw(&v, sizeof v);
+  }
+  void raw(const void* p, std::size_t bytes) {
+    os_->write(static_cast<const char*>(p),
+               static_cast<std::streamsize>(bytes));
+    CROUTE_REQUIRE(os_->good(), "write failed");
+  }
+  std::ostream* os_;
+};
+
+/// Streaming binary reader; throws std::invalid_argument on short reads.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& is) : is_(&is) {}
+
+  std::uint8_t u8() {
+    std::uint8_t v;
+    raw(&v, 1);
+    return v;
+  }
+  std::uint32_t u32() { return scalar<std::uint32_t>(); }
+  std::uint64_t u64() { return scalar<std::uint64_t>(); }
+  double f64() {
+    const std::uint64_t bits = scalar<std::uint64_t>();
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+  }
+
+  template <typename T>
+  std::vector<T> vec_u32() {
+    static_assert(sizeof(T) == 4);
+    const std::uint64_t count = checked_count(4);
+    std::vector<T> v(count);
+    if (count > 0) raw(v.data(), count * 4);
+    return v;
+  }
+  std::vector<std::uint64_t> vec_u64() {
+    const std::uint64_t count = checked_count(8);
+    std::vector<std::uint64_t> v(count);
+    if (count > 0) raw(v.data(), count * 8);
+    return v;
+  }
+  std::vector<double> vec_f64() {
+    const std::uint64_t count = checked_count(8);
+    std::vector<double> v(count);
+    if (count > 0) raw(v.data(), count * 8);
+    return v;
+  }
+
+ private:
+  template <typename T>
+  T scalar() {
+    static_assert(std::endian::native == std::endian::little,
+                  "big-endian hosts need byte swaps here");
+    T v;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::uint64_t checked_count(std::uint64_t elem_bytes) {
+    const std::uint64_t count = u64();
+    // Guard against hostile/corrupt length prefixes.
+    CROUTE_REQUIRE(count < (std::uint64_t{1} << 40) / elem_bytes,
+                   "implausible array length in stream");
+    return count;
+  }
+  void raw(void* p, std::size_t bytes) {
+    is_->read(static_cast<char*>(p), static_cast<std::streamsize>(bytes));
+    CROUTE_REQUIRE(is_->gcount() == static_cast<std::streamsize>(bytes),
+                   "truncated stream");
+  }
+  std::istream* is_;
+};
+
+}  // namespace croute

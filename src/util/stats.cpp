@@ -1,0 +1,103 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace croute {
+
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  CROUTE_REQUIRE(q >= 0.0 && q <= 100.0, "percentile must be in [0, 100]");
+  if (sorted.empty()) return 0.0;
+  // Nearest-rank: smallest value with at least q% of the sample <= it.
+  const double rank = std::ceil(q / 100.0 * static_cast<double>(sorted.size()));
+  const std::size_t index = static_cast<std::size_t>(
+      std::max(1.0, std::min(rank, static_cast<double>(sorted.size()))));
+  return sorted[index - 1];
+}
+
+Summary summarize(std::vector<double> sample) {
+  Summary s;
+  if (sample.empty()) return s;
+  std::sort(sample.begin(), sample.end());
+  s.count = sample.size();
+  s.min = sample.front();
+  s.max = sample.back();
+  double sum = 0;
+  for (const double v : sample) sum += v;
+  s.mean = sum / static_cast<double>(sample.size());
+  double var = 0;
+  for (const double v : sample) var += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(sample.size()));
+  s.p50 = percentile_sorted(sample, 50);
+  s.p90 = percentile_sorted(sample, 90);
+  s.p99 = percentile_sorted(sample, 99);
+  return s;
+}
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double> sample,
+                                    std::uint32_t points) {
+  std::vector<CdfPoint> out;
+  if (sample.empty() || points == 0) return out;
+  std::sort(sample.begin(), sample.end());
+  out.reserve(points);
+  for (std::uint32_t i = 1; i <= points; ++i) {
+    const double frac = static_cast<double>(i) / static_cast<double>(points);
+    const std::size_t index = static_cast<std::size_t>(std::min<double>(
+        std::ceil(frac * static_cast<double>(sample.size())),
+        static_cast<double>(sample.size())));
+    out.push_back(CdfPoint{sample[index == 0 ? 0 : index - 1], frac});
+  }
+  return out;
+}
+
+LinearFit fit_line(const std::vector<double>& x, const std::vector<double>& y) {
+  CROUTE_REQUIRE(x.size() == y.size(), "fit_line needs equal-length vectors");
+  CROUTE_REQUIRE(x.size() >= 2, "fit_line needs at least two points");
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  CROUTE_REQUIRE(denom != 0.0, "fit_line: x values are all equal");
+  LinearFit f;
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  return f;
+}
+
+double fit_loglog_slope(const std::vector<double>& x,
+                        const std::vector<double>& y) {
+  CROUTE_REQUIRE(x.size() == y.size(), "equal-length vectors required");
+  std::vector<double> lx, ly;
+  lx.reserve(x.size());
+  ly.reserve(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    CROUTE_REQUIRE(x[i] > 0 && y[i] > 0, "log-log fit needs positive data");
+    lx.push_back(std::log(x[i]));
+    ly.push_back(std::log(y[i]));
+  }
+  return fit_line(lx, ly).slope;
+}
+
+std::string format_bits(double bits) {
+  char buf[32];
+  if (bits >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2fGb", bits / 1e9);
+  } else if (bits >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2fMb", bits / 1e6);
+  } else if (bits >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.2fKb", bits / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0fb", bits);
+  }
+  return buf;
+}
+
+}  // namespace croute

@@ -1,0 +1,59 @@
+/// \file stats.hpp
+/// \brief Descriptive statistics used by the experiment harness.
+///
+/// The benches report distributions (stretch, table bits, label bits) and
+/// scaling exponents (fitted log-log slopes). Everything here is exact and
+/// deterministic: percentiles use the nearest-rank definition on the sorted
+/// sample, the slope fit is ordinary least squares in log-log space.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace croute {
+
+/// Five-number-style summary of a sample.
+struct Summary {
+  std::uint64_t count = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double stddev = 0;  ///< population standard deviation
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+};
+
+/// Computes a Summary of \p sample (empty sample yields all zeros).
+Summary summarize(std::vector<double> sample);
+
+/// Nearest-rank percentile (q in [0,100]) of a *sorted* sample.
+double percentile_sorted(const std::vector<double>& sorted, double q);
+
+/// Empirical CDF evaluated at evenly spaced quantiles; returns
+/// `points` (value, cumulative fraction) pairs suitable for plotting.
+struct CdfPoint {
+  double value;
+  double fraction;
+};
+std::vector<CdfPoint> empirical_cdf(std::vector<double> sample,
+                                    std::uint32_t points = 50);
+
+/// Ordinary least squares fit y = a + b*x. Returns {a, b}.
+struct LinearFit {
+  double intercept = 0;
+  double slope = 0;
+};
+LinearFit fit_line(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Fits log(y) = a + b*log(x) and returns b — the empirical scaling
+/// exponent of y in x. Requires positive inputs.
+double fit_loglog_slope(const std::vector<double>& x,
+                        const std::vector<double>& y);
+
+/// Human-readable rendering like "12.3Kb" / "4.56Mb" for bit counts.
+std::string format_bits(double bits);
+
+}  // namespace croute

@@ -1,0 +1,74 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace croute {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  CROUTE_REQUIRE(!header_.empty(), "a table needs at least one column");
+}
+
+TextTable& TextTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::add(const std::string& cell) {
+  CROUTE_REQUIRE(!rows_.empty(), "call row() before add()");
+  CROUTE_REQUIRE(rows_.back().size() < header_.size(),
+                 "row has more cells than the header has columns");
+  rows_.back().push_back(cell);
+  return *this;
+}
+
+TextTable& TextTable::add(const char* cell) { return add(std::string(cell)); }
+
+TextTable& TextTable::add(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return add(std::string(buf));
+}
+
+TextTable& TextTable::add(std::uint64_t value) {
+  return add(std::to_string(value));
+}
+
+TextTable& TextTable::add(std::int64_t value) {
+  return add(std::to_string(value));
+}
+
+TextTable& TextTable::add(int value) { return add(std::to_string(value)); }
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << "| " << cell << std::string(width[c] - cell.size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+  emit_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << '|' << std::string(width[c] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& r : rows_) emit_row(r);
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << to_string(); }
+
+}  // namespace croute

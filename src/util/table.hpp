@@ -1,0 +1,46 @@
+/// \file table.hpp
+/// \brief Aligned ASCII table printer for experiment output.
+///
+/// Every bench binary prints the rows of its paper table/figure through
+/// TextTable so the output is uniform and diffable (EXPERIMENTS.md quotes
+/// these tables verbatim).
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace croute {
+
+/// A simple right-padded column table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent add() calls fill it left to right.
+  TextTable& row();
+
+  TextTable& add(const std::string& cell);
+  TextTable& add(const char* cell);
+  TextTable& add(double value, int precision = 3);
+  TextTable& add(std::uint64_t value);
+  TextTable& add(std::int64_t value);
+  TextTable& add(int value);
+
+  /// Number of data rows so far.
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders the table (header, separator, rows) with aligned columns.
+  std::string to_string() const;
+
+  /// Convenience: streams to_string() to \p os.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace croute

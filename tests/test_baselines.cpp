@@ -1,0 +1,237 @@
+// Unit tests for baseline/full_table (stretch 1) and baseline/cowen
+// (stretch ≤ 3, the pre-TZ state of the art): routing correctness,
+// structural invariants (landmarks hit every ball), and space accounting.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "baseline/cowen.hpp"
+#include "baseline/full_table.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "sim/experiment.hpp"
+#include "sim/simulator.hpp"
+#include "util/random.hpp"
+
+namespace croute {
+namespace {
+
+// ------------------------------------------------------------ full table ---
+
+TEST(FullTable, ExhaustiveStretchOne) {
+  Rng graph_rng(1);
+  const Graph g0 = erdos_renyi_gnm(60, 180, graph_rng,
+                                   WeightModel::uniform_real(0.5, 2.0));
+  const Graph g = largest_component(g0).graph;
+  const FullTableScheme scheme(g);
+  const Simulator sim(g);
+  const auto exact = all_pairs_distances(g);
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    for (VertexId t = 0; t < g.num_vertices(); ++t) {
+      if (s == t) continue;
+      const RouteResult r = route_full(sim, scheme, s, t);
+      ASSERT_TRUE(r.delivered());
+      ASSERT_NEAR(r.length, exact[s][t], 1e-9) << s << "->" << t;
+    }
+  }
+}
+
+TEST(FullTable, SelfDelivery) {
+  Rng graph_rng(2);
+  const Graph g =
+      largest_component(erdos_renyi_gnm(20, 60, graph_rng)).graph;
+  const FullTableScheme scheme(g);
+  const Simulator sim(g);
+  const RouteResult r = route_full(sim, scheme, 3, 3);
+  EXPECT_TRUE(r.delivered());
+  EXPECT_EQ(r.hops, 0u);
+}
+
+TEST(FullTable, TableBitsFormula) {
+  const Graph g = star_graph(17);
+  const FullTableScheme scheme(g);
+  // Hub degree 16 → 5-bit ports ((n-1) × ceil(log2(deg+1))).
+  EXPECT_EQ(scheme.table_bits(0), 16u * 5);
+  // Leaf degree 1 → 1-bit ports.
+  EXPECT_EQ(scheme.table_bits(3), 16u * 1);
+  EXPECT_EQ(scheme.label_bits(), 5u);  // ceil(log2 17)
+}
+
+TEST(FullTable, NextHopIsShortestFirstEdge) {
+  Rng graph_rng(3);
+  const Graph g =
+      largest_component(erdos_renyi_gnm(40, 120, graph_rng)).graph;
+  const FullTableScheme scheme(g);
+  const auto exact = all_pairs_distances(g);
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    for (VertexId t = 0; t < g.num_vertices(); ++t) {
+      if (s == t) continue;
+      const Port p = scheme.next_hop(s, t);
+      ASSERT_NE(p, kNoPort);
+      const Arc& a = g.arc(s, p);
+      // First-hop optimality: w(s,x) + d(x,t) == d(s,t).
+      ASSERT_NEAR(a.weight + exact[a.head][t], exact[s][t], 1e-9);
+    }
+  }
+}
+
+// ----------------------------------------------------------------- cowen ---
+
+CowenScheme make_cowen(const Graph& g, std::uint64_t seed) {
+  Rng rng(seed);
+  return CowenScheme(g, rng);
+}
+
+TEST(Cowen, ExhaustiveStretchThreeSmall) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    Rng graph_rng(seed);
+    const Graph g =
+        largest_component(erdos_renyi_gnm(80, 240, graph_rng)).graph;
+    const CowenScheme scheme = make_cowen(g, seed + 100);
+    const Simulator sim(g);
+    const auto exact = all_pairs_distances(g);
+    for (VertexId s = 0; s < g.num_vertices(); ++s) {
+      for (VertexId t = 0; t < g.num_vertices(); ++t) {
+        if (s == t) continue;
+        const RouteResult r = route_cowen(sim, scheme, s, t);
+        ASSERT_TRUE(r.delivered()) << s << "->" << t << " " << r.describe();
+        ASSERT_LE(r.length, 3.0 * exact[s][t] + 1e-9)
+            << "seed " << seed << ": " << s << "->" << t;
+      }
+    }
+  }
+}
+
+TEST(Cowen, WeightedGraphStretchThree) {
+  Rng graph_rng(5);
+  const Graph g = largest_component(
+                      erdos_renyi_gnm(100, 300, graph_rng,
+                                      WeightModel::uniform_real(1.0, 8.0)))
+                      .graph;
+  const CowenScheme scheme = make_cowen(g, 55);
+  const Simulator sim(g);
+  const auto exact = all_pairs_distances(g);
+  for (VertexId s = 0; s < g.num_vertices(); s += 3) {
+    for (VertexId t = 0; t < g.num_vertices(); t += 3) {
+      if (s == t) continue;
+      const RouteResult r = route_cowen(sim, scheme, s, t);
+      ASSERT_TRUE(r.delivered());
+      ASSERT_LE(r.length, 3.0 * exact[s][t] + 1e-9);
+    }
+  }
+}
+
+TEST(Cowen, TreesAndRings) {
+  Rng rng(6);
+  for (const GraphFamily f :
+       {GraphFamily::kRandomTree, GraphFamily::kRingOfCliques}) {
+    const Graph g = make_workload(f, 150, rng);
+    const CowenScheme scheme = make_cowen(g, 66);
+    const Simulator sim(g);
+    const auto pairs = sample_pairs(g, 400, rng);
+    for (const auto& p : pairs) {
+      const RouteResult r = route_cowen(sim, scheme, p.s, p.t);
+      ASSERT_TRUE(r.delivered());
+      ASSERT_LE(r.length, 3.0 * p.exact + 1e-9) << family_name(f);
+    }
+  }
+}
+
+TEST(Cowen, LandmarksHitEveryBall) {
+  // Structural invariant behind the stretch proof: every vertex has a
+  // landmark among its b lexicographically nearest vertices, i.e.
+  // d(t, L) is no larger than t's b-th nearest distance.
+  Rng graph_rng(7);
+  const Graph g =
+      largest_component(erdos_renyi_gnm(120, 480, graph_rng)).graph;
+  const CowenScheme scheme = make_cowen(g, 77);
+  ASSERT_FALSE(scheme.landmarks().empty());
+  const std::set<VertexId> lm(scheme.landmarks().begin(),
+                              scheme.landmarks().end());
+  const auto b = static_cast<std::uint32_t>(
+      std::ceil(std::pow(g.num_vertices(), 1.0 / 3.0)));
+  for (VertexId t = 0; t < g.num_vertices(); ++t) {
+    if (lm.contains(t)) continue;
+    // b-th smallest positive distance from t.
+    auto d = distances_from(g, t);
+    std::sort(d.begin(), d.end());
+    const Weight kth = d[b];  // d[0] == 0 (t itself)
+    Weight nearest_lm = kInfiniteWeight;
+    const auto dt = distances_from(g, t);
+    for (const VertexId l : scheme.landmarks()) {
+      nearest_lm = std::min(nearest_lm, dt[l]);
+    }
+    ASSERT_LE(nearest_lm, kth + 1e-9) << "t=" << t;
+  }
+}
+
+TEST(Cowen, ClusterSizesAndTableBits) {
+  Rng graph_rng(8);
+  const Graph g =
+      largest_component(erdos_renyi_gnm(100, 400, graph_rng)).graph;
+  const CowenScheme scheme = make_cowen(g, 88);
+  const auto sizes = scheme.cluster_sizes();
+  ASSERT_EQ(sizes.size(), g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_GT(scheme.table_bits(v), 0u);
+  }
+  EXPECT_GT(scheme.label_bits(), 0u);
+  // Landmarks have empty clusters by definition.
+  for (const VertexId l : scheme.landmarks()) {
+    EXPECT_EQ(sizes[l], 0u);
+  }
+}
+
+TEST(Cowen, SelfDelivery) {
+  Rng graph_rng(9);
+  const Graph g =
+      largest_component(erdos_renyi_gnm(30, 90, graph_rng)).graph;
+  const CowenScheme scheme = make_cowen(g, 99);
+  const Simulator sim(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const RouteResult r = route_cowen(sim, scheme, v, v);
+    ASSERT_TRUE(r.delivered());
+    ASSERT_EQ(r.hops, 0u);
+  }
+}
+
+TEST(Cowen, RoutingToLandmarksIsExact) {
+  // A landmark destination's home is itself; the scheme follows the
+  // landmark SPT, which is a shortest path.
+  Rng graph_rng(10);
+  const Graph g =
+      largest_component(erdos_renyi_gnm(80, 320, graph_rng)).graph;
+  const CowenScheme scheme = make_cowen(g, 111);
+  const Simulator sim(g);
+  const auto exact = all_pairs_distances(g);
+  for (const VertexId t : scheme.landmarks()) {
+    for (VertexId s = 0; s < g.num_vertices(); s += 7) {
+      if (s == t) continue;
+      const RouteResult r = route_cowen(sim, scheme, s, t);
+      ASSERT_TRUE(r.delivered());
+      ASSERT_NEAR(r.length, exact[s][t], 1e-9);
+    }
+  }
+}
+
+TEST(Cowen, CapFactorPromotesOverweightClusters) {
+  Rng graph_rng(11);
+  const Graph g = barabasi_albert(400, 3, graph_rng);
+  Rng rng_a(5), rng_b(5);
+  CowenScheme::Options capped;
+  capped.cluster_cap_factor = 4.0;
+  const CowenScheme plain(g, rng_a);
+  const CowenScheme with_cap(g, rng_b, capped);
+  const auto cap = static_cast<std::uint32_t>(
+      4.0 * std::ceil(std::pow(400.0, 1.0 / 3.0)));
+  const auto sizes = with_cap.cluster_sizes();
+  for (const auto s : sizes) ASSERT_LE(s, cap);
+  // The cap can only add landmarks.
+  EXPECT_GE(with_cap.landmarks().size(), plain.landmarks().size());
+}
+
+}  // namespace
+}  // namespace croute

@@ -1,0 +1,233 @@
+// Unit tests for core/clusters (TZPreprocessing): pivots against brute
+// force, the effective-pivot invariant (the correctness linchpin of labels
+// and routing), cluster/bunch duality, and cluster-tree exactness.
+
+#include "core/clusters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "graph/generators.hpp"
+#include "util/random.hpp"
+
+namespace croute {
+namespace {
+
+TZPreprocessing make_pre(const Graph& g, std::uint32_t k,
+                         std::uint64_t seed) {
+  Rng rng(seed);
+  PreprocessOptions opt;
+  opt.k = k;
+  return TZPreprocessing(g, opt, rng);
+}
+
+TEST(Preprocessing, RequiresConnectedGraph) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  Rng rng(1);
+  PreprocessOptions opt;
+  EXPECT_THROW(TZPreprocessing(g, opt, rng), std::invalid_argument);
+}
+
+TEST(Preprocessing, PivotsAreLexNearestLandmarks) {
+  Rng graph_rng(2);
+  const Graph g = erdos_renyi_gnm(120, 480, graph_rng,
+                                  WeightModel::uniform_int(1, 3));
+  const TZPreprocessing pre = make_pre(g, 3, 7);
+  const auto& rank = pre.rank();
+  for (std::uint32_t i = 0; i < pre.k(); ++i) {
+    // Brute force the lexicographic nearest A_i member per vertex.
+    const auto& level = pre.hierarchy().levels[i];
+    std::vector<std::vector<Weight>> d;
+    for (const VertexId w : level) d.push_back(distances_from(g, w));
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      LexDist best{};
+      VertexId best_w = kNoVertex;
+      for (std::size_t j = 0; j < level.size(); ++j) {
+        const LexDist cand{d[j][v], rank[level[j]]};
+        if (cand < best) {
+          best = cand;
+          best_w = level[j];
+        }
+      }
+      ASSERT_EQ(pre.pivot(i, v), best_w) << "level " << i << " v " << v;
+      ASSERT_NEAR(pre.pivot_dist(i, v), best.d, 1e-9);
+    }
+  }
+}
+
+TEST(Preprocessing, Level0PivotIsSelf) {
+  Rng graph_rng(3);
+  const Graph g = erdos_renyi_gnm(80, 240, graph_rng);
+  const TZPreprocessing pre = make_pre(g, 3, 11);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(pre.pivot(0, v), v);
+    EXPECT_EQ(pre.pivot_dist(0, v), 0);
+  }
+}
+
+TEST(Preprocessing, PivotDistancesMonotoneInLevel) {
+  Rng graph_rng(4);
+  const Graph g = erdos_renyi_gnm(100, 400, graph_rng);
+  const TZPreprocessing pre = make_pre(g, 4, 13);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (std::uint32_t i = 1; i < pre.k(); ++i) {
+      ASSERT_LE(pre.pivot_dist(i - 1, v), pre.pivot_dist(i, v) + 1e-12);
+    }
+  }
+}
+
+TEST(Preprocessing, EffectivePivotMembershipInvariant) {
+  // The linchpin: v ∈ C(ŵ_i(v)) for every level i — what the labels and
+  // the routing correctness rest on (clusters.hpp file comment).
+  Rng graph_rng(5);
+  const Graph g = erdos_renyi_gnm(150, 600, graph_rng);
+  const TZPreprocessing pre = make_pre(g, 3, 17);
+
+  // Collect cluster membership.
+  std::map<VertexId, std::set<VertexId>> members;
+  pre.for_each_cluster([&](VertexId w, const LocalTree& tree) {
+    for (const VertexId v : tree.global) members[w].insert(v);
+  });
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (std::uint32_t i = 0; i < pre.k(); ++i) {
+      const VertexId w = pre.effective_pivot(i, v);
+      ASSERT_TRUE(members.at(w).contains(v))
+          << "v=" << v << " level=" << i << " pivot=" << w;
+      // Effective pivot preserves the level-i distance.
+      ASSERT_NEAR(pre.pivot_dist(pre.effective_level(i, v), v),
+                  pre.pivot_dist(i, v), 1e-9);
+    }
+  }
+}
+
+TEST(Preprocessing, EffectiveLevelIsFirstChange) {
+  Rng graph_rng(6);
+  const Graph g = erdos_renyi_gnm(100, 300, graph_rng);
+  const TZPreprocessing pre = make_pre(g, 4, 19);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (std::uint32_t i = 0; i < pre.k(); ++i) {
+      const std::uint32_t j = pre.effective_level(i, v);
+      ASSERT_GE(j, i);
+      // Same pivot all along the run [i, j].
+      for (std::uint32_t l = i; l <= j; ++l) {
+        ASSERT_EQ(pre.pivot(l, v), pre.pivot(i, v));
+      }
+      // And it changes right after j (unless j is the top).
+      if (j + 1 < pre.k()) {
+        ASSERT_NE(pre.pivot(j + 1, v), pre.pivot(j, v));
+      }
+    }
+  }
+}
+
+TEST(Preprocessing, TopLevelClustersSpanV) {
+  Rng graph_rng(7);
+  const Graph g = erdos_renyi_gnm(90, 270, graph_rng);
+  const TZPreprocessing pre = make_pre(g, 3, 23);
+  const auto& top = pre.hierarchy().levels[pre.k() - 1];
+  std::map<VertexId, std::uint32_t> sizes;
+  pre.for_each_cluster([&](VertexId w, const LocalTree& tree) {
+    sizes[w] = tree.size();
+  });
+  for (const VertexId w : top) {
+    EXPECT_EQ(sizes.at(w), g.num_vertices()) << "top landmark " << w;
+  }
+}
+
+TEST(Preprocessing, ClusterBunchDuality) {
+  // B(v) = {w : v ∈ C(w)}: stream clusters twice and verify the inverse
+  // relation is consistent with what build_cluster reports.
+  Rng graph_rng(8);
+  const Graph g = erdos_renyi_gnm(70, 210, graph_rng);
+  const TZPreprocessing pre = make_pre(g, 3, 29);
+  std::map<VertexId, std::set<VertexId>> bunch;  // v -> {w}
+  pre.for_each_cluster([&](VertexId w, const LocalTree& tree) {
+    for (const VertexId v : tree.global) bunch[v].insert(w);
+  });
+  // Every vertex's bunch contains its own cluster center (v ∈ C(v)) —
+  // v is level_of(v)-maximal so its own cluster always includes itself.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_TRUE(bunch[v].contains(v));
+  }
+  // Spot-check duality against build_cluster for a few centers.
+  for (const VertexId w : {VertexId{0}, VertexId{33}, VertexId{69}}) {
+    const LocalTree tree = pre.build_cluster(w);
+    for (const VertexId v : tree.global) {
+      ASSERT_TRUE(bunch[v].contains(w));
+    }
+  }
+}
+
+TEST(Preprocessing, ClusterTreeDistancesAreGraphDistances) {
+  Rng graph_rng(9);
+  const Graph g = erdos_renyi_gnm(80, 320, graph_rng,
+                                  WeightModel::uniform_real(0.5, 2.0));
+  const TZPreprocessing pre = make_pre(g, 3, 31);
+  for (const VertexId w : {VertexId{5}, VertexId{40}, VertexId{79}}) {
+    const LocalTree tree = pre.build_cluster(w);
+    const auto dw = distances_from(g, w);
+    for (std::uint32_t i = 0; i < tree.size(); ++i) {
+      ASSERT_NEAR(tree.dist[i], dw[tree.global[i]], 1e-9);
+    }
+  }
+}
+
+TEST(Preprocessing, ClusterSizesMatchStreamedTrees) {
+  Rng graph_rng(10);
+  const Graph g = erdos_renyi_gnm(60, 180, graph_rng);
+  const TZPreprocessing pre = make_pre(g, 2, 37);
+  const auto sizes = pre.cluster_sizes();
+  std::vector<std::uint32_t> streamed(g.num_vertices(), 0);
+  pre.for_each_cluster([&](VertexId w, const LocalTree& tree) {
+    streamed[w] = tree.size();
+  });
+  EXPECT_EQ(sizes, streamed);
+}
+
+TEST(Preprocessing, CenteredModeCapsClusterSizes) {
+  Rng graph_rng(11);
+  const Graph g = erdos_renyi_gnm(500, 2000, graph_rng);
+  PreprocessOptions opt;
+  opt.k = 2;
+  opt.hierarchy.cap_factor = 4.0;
+  Rng rng(41);
+  const TZPreprocessing pre(g, opt, rng);
+  const double cap = 4.0 * std::sqrt(500.0);
+  const auto sizes = pre.cluster_sizes();
+  for (VertexId w = 0; w < g.num_vertices(); ++w) {
+    if (pre.center_level(w) == pre.k() - 1) continue;  // top level spans V
+    ASSERT_LE(sizes[w], static_cast<std::uint32_t>(cap) + 1)
+        << "center " << w;
+  }
+}
+
+TEST(Preprocessing, SingleVertexGraph) {
+  const Graph g = GraphBuilder(1).build();
+  const TZPreprocessing pre = make_pre(g, 3, 43);
+  EXPECT_EQ(pre.pivot(0, 0), 0u);
+  EXPECT_EQ(pre.effective_pivot(2, 0), 0u);
+  const LocalTree t = pre.build_cluster(0);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(Preprocessing, DeterministicGivenSeed) {
+  Rng graph_rng(12);
+  const Graph g = erdos_renyi_gnm(100, 400, graph_rng);
+  const TZPreprocessing a = make_pre(g, 3, 47);
+  const TZPreprocessing b = make_pre(g, 3, 47);
+  EXPECT_EQ(a.hierarchy().levels, b.hierarchy().levels);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      ASSERT_EQ(a.pivot(i, v), b.pivot(i, v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace croute

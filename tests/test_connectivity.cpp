@@ -1,0 +1,141 @@
+// Unit tests for graph/connectivity: union-find, components, largest
+// component extraction and connectivity repair.
+
+#include "graph/connectivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "util/random.hpp"
+
+namespace croute {
+namespace {
+
+TEST(UnionFind, BasicMerging) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.set_count(), 5u);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));  // already merged
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_EQ(uf.set_count(), 3u);
+  EXPECT_EQ(uf.find(0), uf.find(1));
+  EXPECT_NE(uf.find(0), uf.find(2));
+  EXPECT_EQ(uf.size_of(0), 2u);
+  uf.unite(0, 2);
+  EXPECT_EQ(uf.size_of(3), 4u);
+  EXPECT_EQ(uf.set_count(), 2u);
+}
+
+TEST(UnionFind, SingletonSelfFind) {
+  UnionFind uf(3);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(uf.find(i), i);
+    EXPECT_EQ(uf.size_of(i), 1u);
+  }
+}
+
+TEST(Components, TwoIslands) {
+  GraphBuilder b(6);
+  b.add_edge(0, 1).add_edge(1, 2);
+  b.add_edge(3, 4).add_edge(4, 5);
+  const Graph g = b.build();
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 2u);
+  EXPECT_EQ(c.comp[0], c.comp[1]);
+  EXPECT_EQ(c.comp[0], c.comp[2]);
+  EXPECT_EQ(c.comp[3], c.comp[4]);
+  EXPECT_NE(c.comp[0], c.comp[3]);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Components, NumberedByFirstAppearance) {
+  GraphBuilder b(4);
+  b.add_edge(2, 3);
+  const Graph g = b.build();
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.comp[0], 0u);  // vertex 0 appears first
+  EXPECT_EQ(c.comp[1], 1u);
+  EXPECT_EQ(c.comp[2], 2u);
+  EXPECT_EQ(c.comp[3], 2u);
+}
+
+TEST(Components, IsolatedVertices) {
+  const Graph g = GraphBuilder(4).build();
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 4u);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Components, SingleVertexIsConnected) {
+  const Graph g = GraphBuilder(1).build();
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(LargestComponent, PicksTheBiggest) {
+  GraphBuilder b(7);
+  b.add_edge(0, 1);              // size 2
+  b.add_edge(2, 3).add_edge(3, 4).add_edge(4, 5);  // size 4
+  const Graph g = b.build();     // vertex 6 isolated
+  const Subgraph s = largest_component(g);
+  EXPECT_EQ(s.graph.num_vertices(), 4u);
+  EXPECT_EQ(s.graph.num_edges(), 3u);
+  // Mapping points back at {2,3,4,5}.
+  const std::set<VertexId> back(s.to_original.begin(), s.to_original.end());
+  EXPECT_EQ(back, (std::set<VertexId>{2, 3, 4, 5}));
+  EXPECT_TRUE(is_connected(s.graph));
+}
+
+TEST(LargestComponent, PreservesWeights) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 2.5);
+  const Graph g = b.build();
+  const Subgraph s = largest_component(g);
+  ASSERT_EQ(s.graph.num_edges(), 1u);
+  EXPECT_EQ(s.graph.arc(0, 0).weight, 2.5);
+}
+
+TEST(LargestComponent, ConnectedGraphIsIdentityMapping) {
+  Rng rng(3);
+  const Graph g = random_tree(20, rng);
+  const Subgraph s = largest_component(g);
+  EXPECT_EQ(s.graph.num_vertices(), 20u);
+  for (VertexId v = 0; v < 20; ++v) EXPECT_EQ(s.to_original[v], v);
+}
+
+TEST(EnsureConnected, BridgesComponents) {
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Graph g = b.build();  // {0,1}, {2,3}, {4}, {5}
+  const Graph h = ensure_connected(g, 9.0);
+  EXPECT_TRUE(is_connected(h));
+  EXPECT_EQ(h.num_edges(), g.num_edges() + 3);  // 4 components → 3 bridges
+}
+
+TEST(EnsureConnected, AlreadyConnectedUnchanged) {
+  Rng rng(4);
+  const Graph g = random_tree(15, rng);
+  const Graph h = ensure_connected(g);
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+}
+
+TEST(Components, RandomGraphAgreesWithUnionFind) {
+  Rng rng(5);
+  const Graph g = erdos_renyi_gnm(200, 150, rng);  // sparse: disconnected
+  const Components c = connected_components(g);
+  UnionFind uf(200);
+  for (VertexId v = 0; v < 200; ++v) {
+    for (const Arc& a : g.arcs(v)) uf.unite(v, a.head);
+  }
+  EXPECT_EQ(c.count, uf.set_count());
+  for (VertexId u = 0; u < 200; ++u) {
+    for (VertexId v = 0; v < 200; ++v) {
+      ASSERT_EQ(c.comp[u] == c.comp[v], uf.find(u) == uf.find(v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace croute

@@ -1,0 +1,157 @@
+// Unit tests for util/dheap: ordering, decrease-key semantics, versioned
+// clear, and a randomized cross-check against std::sort.
+
+#include "util/dheap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/dijkstra.hpp"  // LexDist, used as a composite key
+#include "util/random.hpp"
+
+namespace croute {
+namespace {
+
+TEST(DHeap, EmptyInvariants) {
+  DHeap<double> h(10);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.size(), 0u);
+  EXPECT_EQ(h.capacity(), 10u);
+  EXPECT_FALSE(h.contains(3));
+}
+
+TEST(DHeap, PushPopSingle) {
+  DHeap<double> h(4);
+  EXPECT_TRUE(h.push_or_decrease(2, 1.5));
+  EXPECT_TRUE(h.contains(2));
+  EXPECT_EQ(h.top_id(), 2u);
+  EXPECT_EQ(h.top_key(), 1.5);
+  EXPECT_EQ(h.pop(), 2u);
+  EXPECT_TRUE(h.empty());
+  EXPECT_FALSE(h.contains(2));
+}
+
+TEST(DHeap, PopsInKeyOrder) {
+  DHeap<int> h(8);
+  const std::vector<std::pair<std::uint32_t, int>> items = {
+      {0, 5}, {1, 3}, {2, 8}, {3, 1}, {4, 9}, {5, 2}, {6, 7}, {7, 4}};
+  for (const auto& [id, key] : items) h.push_or_decrease(id, key);
+  int last = -1;
+  while (!h.empty()) {
+    const int key = h.top_key();
+    h.pop();
+    ASSERT_GE(key, last);
+    last = key;
+  }
+}
+
+TEST(DHeap, DecreaseKeyMovesUp) {
+  DHeap<int> h(4);
+  h.push_or_decrease(0, 10);
+  h.push_or_decrease(1, 20);
+  EXPECT_EQ(h.top_id(), 0u);
+  EXPECT_TRUE(h.push_or_decrease(1, 5));  // strictly smaller: accepted
+  EXPECT_EQ(h.top_id(), 1u);
+  EXPECT_EQ(h.key_of(1), 5);
+}
+
+TEST(DHeap, IncreaseKeyIsIgnored) {
+  DHeap<int> h(4);
+  h.push_or_decrease(0, 10);
+  EXPECT_FALSE(h.push_or_decrease(0, 15));  // larger: no change
+  EXPECT_FALSE(h.push_or_decrease(0, 10));  // equal: no change
+  EXPECT_EQ(h.key_of(0), 10);
+}
+
+TEST(DHeap, ClearIsLazyAndComplete) {
+  DHeap<int> h(100);
+  for (std::uint32_t i = 0; i < 100; ++i) h.push_or_decrease(i, 100 - static_cast<int>(i));
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  for (std::uint32_t i = 0; i < 100; ++i) EXPECT_FALSE(h.contains(i));
+  // Reusable after clear.
+  h.push_or_decrease(5, 1);
+  EXPECT_EQ(h.top_id(), 5u);
+}
+
+TEST(DHeap, ManyClearCyclesStayConsistent) {
+  DHeap<int> h(16);
+  for (int cycle = 0; cycle < 1000; ++cycle) {
+    h.push_or_decrease(static_cast<std::uint32_t>(cycle % 16), cycle);
+    ASSERT_EQ(h.size(), 1u);
+    h.clear();
+  }
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(DHeap, RandomizedAgainstSort) {
+  Rng rng(99);
+  for (int round = 0; round < 30; ++round) {
+    const std::uint32_t n = 1 + static_cast<std::uint32_t>(rng.next_below(500));
+    DHeap<std::uint64_t> h(n);
+    std::vector<std::uint64_t> keys(n);
+    std::vector<std::uint32_t> ids;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      keys[i] = rng.next_below(1000);
+      h.push_or_decrease(i, keys[i]);
+      ids.push_back(i);
+    }
+    // Random decrease-keys.
+    for (std::uint32_t i = 0; i < n / 2; ++i) {
+      const std::uint32_t id =
+          static_cast<std::uint32_t>(rng.next_below(n));
+      const std::uint64_t nk = rng.next_below(1000);
+      if (nk < keys[id]) keys[id] = nk;
+      h.push_or_decrease(id, nk);
+    }
+    std::sort(ids.begin(), ids.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return keys[a] < keys[b];
+    });
+    std::vector<std::uint64_t> popped;
+    while (!h.empty()) {
+      popped.push_back(h.top_key());
+      const std::uint32_t id = h.pop();
+      ASSERT_EQ(popped.back(), keys[id]);
+    }
+    ASSERT_EQ(popped.size(), n);
+    ASSERT_TRUE(std::is_sorted(popped.begin(), popped.end()));
+  }
+}
+
+TEST(DHeap, LexDistKeysOrderLexicographically) {
+  DHeap<LexDist> h(4);
+  h.push_or_decrease(0, LexDist{2.0, 1});
+  h.push_or_decrease(1, LexDist{2.0, 0});  // same distance, smaller rank
+  h.push_or_decrease(2, LexDist{1.0, 9});
+  EXPECT_EQ(h.pop(), 2u);  // smallest distance first
+  EXPECT_EQ(h.pop(), 1u);  // then rank breaks the tie
+  EXPECT_EQ(h.pop(), 0u);
+}
+
+TEST(DHeap, ResetCapacityEmptiesAndResizes) {
+  DHeap<int> h(4);
+  h.push_or_decrease(0, 1);
+  h.reset_capacity(1000);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.capacity(), 1000u);
+  h.push_or_decrease(999, 3);
+  EXPECT_EQ(h.top_id(), 999u);
+}
+
+TEST(LexDist, DefaultIsInfinitelyFar) {
+  const LexDist guard{};
+  const LexDist reachable{123.0, 5};
+  EXPECT_TRUE(reachable < guard);
+  EXPECT_FALSE(guard < reachable);
+}
+
+TEST(LexDist, EqualityNeedsBothFields) {
+  EXPECT_EQ((LexDist{1.0, 2}), (LexDist{1.0, 2}));
+  EXPECT_FALSE((LexDist{1.0, 2}) == (LexDist{1.0, 3}));
+  EXPECT_FALSE((LexDist{1.5, 2}) == (LexDist{1.0, 2}));
+}
+
+}  // namespace
+}  // namespace croute

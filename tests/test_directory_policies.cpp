@@ -1,0 +1,214 @@
+// Tests for the cluster directory (rule 0 of the routing algorithm), the
+// routing-policy ablations, and referee robustness under a desynchronized
+// network (ports shifted after preprocessing).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/tz_router.hpp"
+#include "core/tz_scheme.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "sim/experiment.hpp"
+#include "sim/simulator.hpp"
+#include "util/random.hpp"
+
+namespace croute {
+namespace {
+
+TZScheme make_scheme(const Graph& g, std::uint32_t k, std::uint64_t seed) {
+  Rng rng(seed);
+  TZSchemeOptions opt;
+  opt.pre.k = k;
+  return TZScheme(g, opt, rng);
+}
+
+TEST(Directory, MatchesClusterMembershipAtLevelZero) {
+  Rng graph_rng(1);
+  const Graph g =
+      largest_component(erdos_renyi_gnm(120, 480, graph_rng)).graph;
+  const TZScheme scheme = make_scheme(g, 3, 5);
+  const TZPreprocessing& pre = scheme.preprocessing();
+  std::map<VertexId, std::set<VertexId>> members;
+  pre.for_each_cluster([&](VertexId w, const LocalTree& tree) {
+    for (const VertexId v : tree.global) members[w].insert(v);
+  });
+  for (VertexId w = 0; w < g.num_vertices(); ++w) {
+    const ClusterDirectory& dir = scheme.directory(w);
+    if (pre.center_level(w) > 0) {
+      // Landmarks carry no directory (rule 0 is trivial for them).
+      EXPECT_EQ(dir.size(), 0u) << "landmark " << w;
+      continue;
+    }
+    ASSERT_EQ(dir.size(), members[w].size()) << "center " << w;
+    for (const VertexId t : members[w]) {
+      ASSERT_TRUE(dir.contains(t)) << "w=" << w << " t=" << t;
+    }
+    // Members are sorted and consistent with contains().
+    const auto span = dir.members();
+    for (std::size_t i = 1; i < span.size(); ++i) {
+      ASSERT_LT(span[i - 1], span[i]);
+    }
+  }
+}
+
+TEST(Directory, LabelsMatchTreeRoutingScheme) {
+  Rng graph_rng(2);
+  const Graph g =
+      largest_component(erdos_renyi_gnm(80, 320, graph_rng)).graph;
+  const TZScheme scheme = make_scheme(g, 2, 7);
+  const TZPreprocessing& pre = scheme.preprocessing();
+  pre.for_each_cluster([&](VertexId w, const LocalTree& tree) {
+    if (pre.center_level(w) > 0) return;
+    const TreeRoutingScheme trs(tree);
+    for (std::uint32_t i = 0; i < tree.size(); ++i) {
+      const auto got = scheme.directory(w).find(tree.global[i]);
+      ASSERT_TRUE(got.has_value());
+      ASSERT_EQ(*got, trs.label(i)) << "w=" << w;
+    }
+  });
+}
+
+TEST(Directory, FindAbsentReturnsNullopt) {
+  Rng graph_rng(3);
+  const Graph g =
+      largest_component(erdos_renyi_gnm(60, 240, graph_rng)).graph;
+  const TZScheme scheme = make_scheme(g, 3, 9);
+  const TZPreprocessing& pre = scheme.preprocessing();
+  std::map<VertexId, std::set<VertexId>> members;
+  pre.for_each_cluster([&](VertexId w, const LocalTree& tree) {
+    for (const VertexId v : tree.global) members[w].insert(v);
+  });
+  for (VertexId w = 0; w < g.num_vertices(); ++w) {
+    if (pre.center_level(w) > 0) continue;
+    for (VertexId t = 0; t < g.num_vertices(); ++t) {
+      ASSERT_EQ(scheme.directory(w).find(t).has_value(),
+                members[w].contains(t));
+    }
+  }
+}
+
+TEST(Directory, BitSizeIsPositiveIffNonEmpty) {
+  Rng graph_rng(4);
+  const Graph g =
+      largest_component(erdos_renyi_gnm(70, 280, graph_rng)).graph;
+  const TZScheme scheme = make_scheme(g, 2, 11);
+  for (VertexId w = 0; w < g.num_vertices(); ++w) {
+    const ClusterDirectory& dir = scheme.directory(w);
+    EXPECT_EQ(dir.bit_size() > 0, dir.size() > 0);
+  }
+}
+
+TEST(RuleZero, DirectoryHitsRouteExactly) {
+  Rng graph_rng(5);
+  const Graph g =
+      largest_component(erdos_renyi_gnm(100, 400, graph_rng)).graph;
+  const TZScheme scheme = make_scheme(g, 3, 13);
+  const Simulator sim(g);
+  const auto exact = all_pairs_distances(g);
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    for (const VertexId t : scheme.directory(s).members()) {
+      if (s == t) continue;
+      const RouteResult r = route_tz(sim, scheme, s, t);
+      ASSERT_TRUE(r.delivered());
+      ASSERT_NEAR(r.length, exact[s][t], 1e-9)
+          << s << "->" << t << " should be a rule-0 exact descent";
+    }
+  }
+}
+
+TEST(Policies, LabelOnlyStillDeliversWithin4kMinus3) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    Rng graph_rng(seed);
+    const Graph g =
+        largest_component(erdos_renyi_gnm(80, 240, graph_rng)).graph;
+    for (const std::uint32_t k : {2u, 3u, 4u}) {
+      const TZScheme scheme = make_scheme(g, k, seed * 100 + k);
+      const Simulator sim(g);
+      const auto pairs = all_pairs(g);
+      const double bound = 4.0 * k - 3.0;
+      for (const auto& p : pairs) {
+        const RouteResult r =
+            route_tz(sim, scheme, p.s, p.t, RoutingPolicy::kLabelOnly);
+        ASSERT_TRUE(r.delivered()) << p.s << "->" << p.t;
+        ASSERT_LE(r.length, bound * p.exact + 1e-9)
+            << "k=" << k << " " << p.s << "->" << p.t;
+      }
+    }
+  }
+}
+
+TEST(Policies, LabelOnlyNeverBeatsRuleZeroInAggregate) {
+  Rng rng(6);
+  const Graph g = make_workload(GraphFamily::kGeometric, 400, rng);
+  const TZScheme scheme = make_scheme(g, 2, 15);
+  const Simulator sim(g);
+  const auto pairs = sample_pairs(g, 500, rng);
+  double with = 0, without = 0;
+  for (const auto& p : pairs) {
+    with += route_tz(sim, scheme, p.s, p.t, RoutingPolicy::kMinLevel).length;
+    without +=
+        route_tz(sim, scheme, p.s, p.t, RoutingPolicy::kLabelOnly).length;
+  }
+  EXPECT_LE(with, without + 1e-6);
+}
+
+TEST(Referee, DesynchronizedNetworkNeverFalselyDelivers) {
+  // Build the scheme on g, then simulate on a *different* graph (one edge
+  // removed, which shifts port numbers at its endpoints). The simulator
+  // must referee honestly: any "delivered" verdict means the packet is
+  // physically at t; everything else surfaces as an explicit failure
+  // status or a thrown invariant (packet left its tree) — never a silent
+  // wrong answer.
+  Rng graph_rng(7);
+  const Graph g =
+      largest_component(erdos_renyi_gnm(60, 200, graph_rng)).graph;
+  const TZScheme scheme = make_scheme(g, 2, 17);
+
+  // Remove one edge of a mid-degree vertex.
+  GraphBuilder b(g.num_vertices());
+  bool skipped = false;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const Arc& a : g.arcs(v)) {
+      if (v < a.head) {
+        if (!skipped && g.degree(v) > 2 && g.degree(a.head) > 2) {
+          skipped = true;
+          continue;
+        }
+        b.add_edge(v, a.head, a.weight);
+      }
+    }
+  }
+  const Graph broken = b.build();
+  const Simulator sim(broken);
+  const TZRouter router(scheme);
+  std::uint32_t delivered = 0, failed = 0, thrown = 0;
+  for (VertexId s = 0; s < broken.num_vertices(); s += 3) {
+    for (VertexId t = 0; t < broken.num_vertices(); t += 5) {
+      try {
+        const TZHeader h = router.prepare(s, scheme.label(t));
+        const RouteResult r = sim.run(s, t, [&](VertexId v) {
+          const TreeDecision d = router.step(v, h);
+          return Simulator::Decision{d.deliver, d.port};
+        });
+        if (r.delivered()) {
+          // The referee already verified arrival; cross-check anyway.
+          ASSERT_EQ(r.path.empty() ? t : r.path.back(), t);
+          ++delivered;
+        } else {
+          ++failed;
+        }
+      } catch (const std::logic_error&) {
+        ++thrown;  // "packet left the routing tree" — an honest failure
+      }
+    }
+  }
+  // Sanity: the sweep exercised all three outcomes ranges.
+  EXPECT_GT(delivered, 0u);
+  EXPECT_GT(failed + thrown, 0u);
+}
+
+}  // namespace
+}  // namespace croute

@@ -1,0 +1,180 @@
+// Seeded fuzz / differential tests: random configurations (family, size,
+// weights, k) are drawn per seed and every guarantee is asserted on every
+// routed pair. Complements the structured sweeps with coverage of odd
+// corners: k = 1 and k > log n, extreme weight ranges, dense graphs,
+// structured interconnects (hypercube, expander), and scheme/oracle
+// consistency on identical preprocessing inputs.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "baseline/cowen.hpp"
+#include "baseline/full_table.hpp"
+#include "core/tz_router.hpp"
+#include "core/tz_scheme.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "oracle/distance_oracle.hpp"
+#include "sim/experiment.hpp"
+#include "sim/simulator.hpp"
+#include "util/random.hpp"
+
+namespace croute {
+namespace {
+
+struct FuzzConfig {
+  Graph graph;
+  std::uint32_t k;
+  std::string description;
+};
+
+/// Derives a full random configuration from one seed.
+FuzzConfig make_config(std::uint64_t seed) {
+  Rng rng(mix64(seed));
+  FuzzConfig cfg;
+  const std::uint64_t family = rng.next_below(8);
+  const VertexId n = 60 + static_cast<VertexId>(rng.next_below(200));
+  const std::uint64_t weight_kind = rng.next_below(3);
+  const WeightModel weights =
+      weight_kind == 0   ? WeightModel::unit()
+      : weight_kind == 1 ? WeightModel::uniform_real(1e-3, 1e3)
+                         : WeightModel::uniform_int(1, 1000000);
+  switch (family) {
+    case 0:
+      cfg.graph = largest_component(
+                      erdos_renyi_gnm(n, std::uint64_t{n} * 3, rng, weights))
+                      .graph;
+      cfg.description = "er";
+      break;
+    case 1:
+      cfg.graph = barabasi_albert(n, 2, rng, weights);
+      cfg.description = "ba";
+      break;
+    case 2:
+      cfg.graph = random_tree(n, rng, weights);
+      cfg.description = "tree";
+      break;
+    case 3:
+      cfg.graph = complete_graph(std::min<VertexId>(n, 70));
+      cfg.description = "complete";
+      break;
+    case 4:
+      cfg.graph = cycle_graph(n);
+      cfg.description = "cycle";
+      break;
+    case 5:
+      cfg.graph = hypercube(7, weights);
+      cfg.description = "hypercube";
+      break;
+    case 6:
+      cfg.graph = random_regular(n - n % 2, 4, rng, weights);
+      cfg.description = "regular";
+      break;
+    default:
+      cfg.graph =
+          grid2d(8 + static_cast<VertexId>(rng.next_below(8)), 12, true,
+                 rng, weights);
+      cfg.description = "torus";
+      break;
+  }
+  cfg.k = 1 + static_cast<std::uint32_t>(rng.next_below(8));  // 1..8
+  return cfg;
+}
+
+class FuzzSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSweep, AllGuaranteesOnRandomConfiguration) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const FuzzConfig cfg = make_config(seed);
+  const Graph& g = cfg.graph;
+  ASSERT_GE(g.num_vertices(), 2u) << cfg.description;
+
+  Rng scheme_rng(seed * 1013 + 7);
+  TZSchemeOptions opt;
+  opt.pre.k = cfg.k;
+  const TZScheme scheme(g, opt, scheme_rng);
+  Rng oracle_rng(seed * 1013 + 7);
+  DistanceOracle::Options oopt;
+  oopt.k = cfg.k;
+  const DistanceOracle oracle(g, oopt, oracle_rng);
+
+  const Simulator sim(g);
+  Rng pair_rng(seed * 31 + 1);
+  const auto pairs = sample_pairs(g, 300, pair_rng);
+  const double direct_bound = cfg.k == 1 ? 1.0 : 4.0 * cfg.k - 5.0;
+  const double hs_bound = 2.0 * cfg.k - 1.0;
+
+  for (const auto& p : pairs) {
+    const RouteResult direct = route_tz(sim, scheme, p.s, p.t);
+    ASSERT_TRUE(direct.delivered())
+        << cfg.description << " k=" << cfg.k << " " << p.s << "->" << p.t;
+    ASSERT_GE(direct.length, p.exact - 1e-9 * p.exact)
+        << "route shorter than the shortest path?!";
+    ASSERT_LE(direct.length, direct_bound * p.exact * (1 + 1e-12) + 1e-9)
+        << cfg.description << " k=" << cfg.k;
+
+    const RouteResult hs = route_tz_handshake(sim, scheme, p.s, p.t);
+    ASSERT_TRUE(hs.delivered());
+    ASSERT_LE(hs.length, hs_bound * p.exact * (1 + 1e-12) + 1e-9);
+
+    const Weight est = oracle.query(p.s, p.t);
+    ASSERT_GE(est, p.exact - 1e-9 * p.exact);
+    ASSERT_LE(est, hs_bound * p.exact * (1 + 1e-12) + 1e-9);
+  }
+}
+
+TEST_P(FuzzSweep, PreparationIsDeterministic) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const FuzzConfig cfg = make_config(seed);
+  Rng r1(seed), r2(seed);
+  TZSchemeOptions opt;
+  opt.pre.k = cfg.k;
+  const TZScheme a(cfg.graph, opt, r1);
+  const TZScheme b(cfg.graph, opt, r2);
+  const TZRouter ra(a), rb(b);
+  Rng pair_rng(seed + 5);
+  const auto pairs = sample_pairs(cfg.graph, 50, pair_rng);
+  for (const auto& p : pairs) {
+    const TZHeader ha = ra.prepare(p.s, a.label(p.t));
+    const TZHeader hb = rb.prepare(p.s, b.label(p.t));
+    ASSERT_EQ(ha.tree_root, hb.tree_root);
+    ASSERT_EQ(ha.tree_label, hb.tree_label);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::Range(1, 25));
+
+TEST(Determinism, IndependentOfThreadCount) {
+  // DESIGN.md promises: same seed => identical schemes regardless of
+  // worker count. parallel_for is used by Cowen and full-table
+  // construction and by pair sampling; rerun both under 1 and 3 workers.
+  Rng graph_rng(99);
+  const Graph g =
+      largest_component(erdos_renyi_gnm(120, 480, graph_rng)).graph;
+
+  setenv("CROUTE_THREADS", "1", 1);
+  Rng c1(5);
+  const CowenScheme cowen1(g, c1);
+  const FullTableScheme full1(g);
+  setenv("CROUTE_THREADS", "3", 1);
+  Rng c3(5);
+  const CowenScheme cowen3(g, c3);
+  const FullTableScheme full3(g);
+  unsetenv("CROUTE_THREADS");
+
+  ASSERT_EQ(cowen1.landmarks(), cowen3.landmarks());
+  ASSERT_EQ(cowen1.cluster_sizes(), cowen3.cluster_sizes());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(cowen1.table_bits(v), cowen3.table_bits(v));
+    ASSERT_EQ(cowen1.label(v).home, cowen3.label(v).home);
+    ASSERT_EQ(cowen1.label(v).port_at_home, cowen3.label(v).port_at_home);
+    for (VertexId t = 0; t < g.num_vertices(); ++t) {
+      ASSERT_EQ(full1.next_hop(v, t), full3.next_hop(v, t));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace croute

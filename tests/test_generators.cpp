@@ -1,0 +1,305 @@
+// Unit tests for graph/generators: structural properties of every family,
+// seed determinism, and weight-model contracts.
+
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/connectivity.hpp"
+#include "sim/network.hpp"
+#include "util/random.hpp"
+
+namespace croute {
+namespace {
+
+bool same_graph(const Graph& a, const Graph& b) {
+  if (a.num_vertices() != b.num_vertices() || a.num_edges() != b.num_edges()) {
+    return false;
+  }
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    if (a.degree(v) != b.degree(v)) return false;
+    for (Port p = 0; p < a.degree(v); ++p) {
+      if (a.arc(v, p).head != b.arc(v, p).head ||
+          a.arc(v, p).weight != b.arc(v, p).weight) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(ErdosRenyi, ExactEdgeCount) {
+  Rng rng(1);
+  const Graph g = erdos_renyi_gnm(100, 250, rng);
+  EXPECT_EQ(g.num_vertices(), 100u);
+  EXPECT_EQ(g.num_edges(), 250u);
+}
+
+TEST(ErdosRenyi, CompleteWhenMMax) {
+  Rng rng(2);
+  const Graph g = erdos_renyi_gnm(10, 45, rng);
+  EXPECT_EQ(g.num_edges(), 45u);
+  for (VertexId v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 9u);
+}
+
+TEST(ErdosRenyi, TooManyEdgesRejected) {
+  Rng rng(3);
+  EXPECT_THROW(erdos_renyi_gnm(10, 46, rng), std::invalid_argument);
+}
+
+TEST(ErdosRenyi, SeedDeterminism) {
+  Rng a(7), b(7), c(8);
+  const Graph ga = erdos_renyi_gnm(64, 128, a);
+  const Graph gb = erdos_renyi_gnm(64, 128, b);
+  const Graph gc = erdos_renyi_gnm(64, 128, c);
+  EXPECT_TRUE(same_graph(ga, gb));
+  EXPECT_FALSE(same_graph(ga, gc));
+}
+
+TEST(RandomGeometric, EdgesRespectRadius) {
+  Rng rng(11);
+  const double radius = 0.2;
+  const Graph g = random_geometric(200, radius, rng);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const Arc& a : g.arcs(v)) {
+      EXPECT_LE(a.weight, radius + 1e-12);
+      EXPECT_GT(a.weight, 0);
+    }
+  }
+}
+
+TEST(RandomGeometric, DenseRadiusConnects) {
+  Rng rng(12);
+  const Graph g = random_geometric(100, 1.5, rng);  // radius covers the square
+  EXPECT_EQ(g.num_edges(), 100ull * 99 / 2);
+}
+
+TEST(Grid2d, StructureNoTorus) {
+  Rng rng(13);
+  const Graph g = grid2d(4, 5, false, rng);
+  EXPECT_EQ(g.num_vertices(), 20u);
+  // 4*4 horizontal + 3*5 vertical edges.
+  EXPECT_EQ(g.num_edges(), 4u * 4 + 3 * 5);
+  EXPECT_TRUE(is_connected(g));
+  // Interior vertex has degree 4, corner 2.
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(6), 4u);
+}
+
+TEST(Grid2d, TorusIsRegular) {
+  Rng rng(14);
+  const Graph g = grid2d(5, 6, true, rng);
+  EXPECT_EQ(g.num_vertices(), 30u);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_EQ(g.num_edges(), 2u * 30);
+}
+
+TEST(BarabasiAlbert, ConnectedWithExpectedEdges) {
+  Rng rng(15);
+  const VertexId n = 300, attach = 3;
+  const Graph g = barabasi_albert(n, attach, rng);
+  EXPECT_EQ(g.num_vertices(), n);
+  EXPECT_TRUE(is_connected(g));
+  // Seed clique (attach+1 choose 2) + attach per newcomer.
+  EXPECT_EQ(g.num_edges(),
+            std::uint64_t{attach + 1} * attach / 2 +
+                std::uint64_t{n - attach - 1} * attach);
+}
+
+TEST(BarabasiAlbert, HeavyTail) {
+  Rng rng(16);
+  const Graph g = barabasi_albert(2000, 2, rng);
+  // The maximum degree of a BA graph far exceeds the mean (heavy tail).
+  const double mean_degree =
+      2.0 * static_cast<double>(g.num_edges()) / g.num_vertices();
+  EXPECT_GT(g.max_degree(), 5 * mean_degree);
+}
+
+TEST(WattsStrogatz, NoRewireIsRingLattice) {
+  Rng rng(17);
+  const Graph g = watts_strogatz(20, 4, 0.0, rng);
+  EXPECT_EQ(g.num_vertices(), 20u);
+  EXPECT_EQ(g.num_edges(), 40u);
+  for (VertexId v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(WattsStrogatz, RewirePreservesEdgeCount) {
+  Rng rng(18);
+  const Graph g = watts_strogatz(100, 6, 0.3, rng);
+  EXPECT_EQ(g.num_edges(), 300u);
+}
+
+TEST(WattsStrogatz, InvalidKRejected) {
+  Rng rng(19);
+  EXPECT_THROW(watts_strogatz(10, 3, 0.1, rng), std::invalid_argument);
+  EXPECT_THROW(watts_strogatz(4, 4, 0.1, rng), std::invalid_argument);
+}
+
+TEST(RingOfCliques, Structure) {
+  Rng rng(20);
+  const VertexId cliques = 5, size = 4;
+  const Graph g = ring_of_cliques(cliques, size, rng);
+  EXPECT_EQ(g.num_vertices(), cliques * size);
+  // cliques * C(size,2) internal + cliques bridges.
+  EXPECT_EQ(g.num_edges(),
+            std::uint64_t{cliques} * (size * (size - 1) / 2) + cliques);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(RandomTree, IsATree) {
+  Rng rng(21);
+  for (const VertexId n : {1u, 2u, 3u, 10u, 500u}) {
+    const Graph g = random_tree(n, rng);
+    EXPECT_EQ(g.num_vertices(), n);
+    EXPECT_EQ(g.num_edges(), std::uint64_t{n} - 1) << "n=" << n;
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(RandomTree, UniformishLeafCount) {
+  // A uniform labeled tree on n vertices has ~n/e leaves in expectation.
+  Rng rng(22);
+  const Graph g = random_tree(1000, rng);
+  std::uint32_t leaves = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) leaves += g.degree(v) == 1;
+  EXPECT_NEAR(leaves, 1000.0 / 2.718, 60.0);
+}
+
+TEST(Caterpillar, Structure) {
+  Rng rng(23);
+  const Graph g = caterpillar(10, 3, WeightModel::unit(), rng);
+  EXPECT_EQ(g.num_vertices(), 40u);
+  EXPECT_EQ(g.num_edges(), 39u);  // a tree
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.degree(0), 1u + 3u);  // spine end: 1 spine edge + legs
+}
+
+TEST(DeterministicFamilies, PathCycleStarComplete) {
+  const Graph p = path_graph(5);
+  EXPECT_EQ(p.num_edges(), 4u);
+  EXPECT_EQ(p.degree(0), 1u);
+  EXPECT_EQ(p.degree(2), 2u);
+
+  const Graph c = cycle_graph(5);
+  EXPECT_EQ(c.num_edges(), 5u);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(c.degree(v), 2u);
+
+  const Graph s = star_graph(6);
+  EXPECT_EQ(s.num_edges(), 5u);
+  EXPECT_EQ(s.degree(0), 5u);
+  EXPECT_EQ(s.degree(3), 1u);
+
+  const Graph k = complete_graph(6);
+  EXPECT_EQ(k.num_edges(), 15u);
+  EXPECT_EQ(k.max_degree(), 5u);
+}
+
+TEST(BalancedTree, ParentArityBound) {
+  const Graph g = balanced_tree(15, 2);
+  EXPECT_EQ(g.num_edges(), 14u);
+  EXPECT_TRUE(is_connected(g));
+  // The root of a full binary tree with 15 nodes has exactly 2 children.
+  EXPECT_EQ(g.degree(0), 2u);
+}
+
+TEST(WeightModel, UnitDrawsOne) {
+  Rng rng(24);
+  const WeightModel m = WeightModel::unit();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(m.draw(rng), 1.0);
+}
+
+TEST(WeightModel, UniformRealInRange) {
+  Rng rng(25);
+  const WeightModel m = WeightModel::uniform_real(2.0, 5.0);
+  for (int i = 0; i < 1000; ++i) {
+    const Weight w = m.draw(rng);
+    ASSERT_GE(w, 2.0);
+    ASSERT_LT(w, 5.0);
+  }
+}
+
+TEST(WeightModel, UniformIntegerInclusive) {
+  Rng rng(26);
+  const WeightModel m = WeightModel::uniform_int(1, 3);
+  bool saw[4] = {false, false, false, false};
+  for (int i = 0; i < 1000; ++i) {
+    const Weight w = m.draw(rng);
+    ASSERT_GE(w, 1.0);
+    ASSERT_LE(w, 3.0);
+    ASSERT_EQ(w, std::floor(w));
+    saw[static_cast<int>(w)] = true;
+  }
+  EXPECT_TRUE(saw[1] && saw[2] && saw[3]);
+}
+
+TEST(AllFamilies, PortsValid) {
+  Rng rng(27);
+  EXPECT_NO_THROW(validate_ports(erdos_renyi_gnm(80, 200, rng)));
+  EXPECT_NO_THROW(validate_ports(random_geometric(80, 0.25, rng)));
+  EXPECT_NO_THROW(validate_ports(grid2d(8, 8, true, rng)));
+  EXPECT_NO_THROW(validate_ports(barabasi_albert(80, 3, rng)));
+  EXPECT_NO_THROW(validate_ports(watts_strogatz(80, 4, 0.2, rng)));
+  EXPECT_NO_THROW(validate_ports(ring_of_cliques(5, 5, rng)));
+  EXPECT_NO_THROW(validate_ports(random_tree(80, rng)));
+  EXPECT_NO_THROW(
+      validate_ports(caterpillar(10, 2, WeightModel::unit(), rng)));
+}
+
+TEST(Hypercube, Structure) {
+  const Graph g = hypercube(4);
+  EXPECT_EQ(g.num_vertices(), 16u);
+  EXPECT_EQ(g.num_edges(), 32u);  // n * dim / 2
+  for (VertexId v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_TRUE(is_connected(g));
+  // Diameter equals the dimension: distance 0 -> 15 (all bits flipped).
+  Rng rng(1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 8));
+  EXPECT_FALSE(g.has_edge(0, 3));  // differs in two bits
+}
+
+TEST(Hypercube, DimensionOneIsAnEdge) {
+  const Graph g = hypercube(1);
+  EXPECT_EQ(g.num_vertices(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(RandomRegular, ExactRegularity) {
+  Rng rng(30);
+  for (const auto& [n, d] : std::vector<std::pair<VertexId, VertexId>>{
+           {10, 3}, {100, 4}, {501, 8}, {2000, 6}}) {
+    const Graph g = random_regular(n, d, rng);
+    ASSERT_EQ(g.num_vertices(), n);
+    ASSERT_EQ(g.num_edges(), std::uint64_t{n} * d / 2);
+    for (VertexId v = 0; v < n; ++v) {
+      ASSERT_EQ(g.degree(v), d) << "n=" << n << " d=" << d << " v=" << v;
+    }
+  }
+}
+
+TEST(RandomRegular, ConnectedForDegreeAtLeastThree) {
+  // Random d-regular graphs with d >= 3 are connected w.h.p.
+  Rng rng(31);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = random_regular(400, 3, rng);
+    EXPECT_TRUE(is_connected(g)) << "trial " << trial;
+  }
+}
+
+TEST(RandomRegular, OddProductRejected) {
+  Rng rng(32);
+  EXPECT_THROW(random_regular(5, 3, rng), std::invalid_argument);
+  EXPECT_THROW(random_regular(3, 3, rng), std::invalid_argument);
+}
+
+TEST(RandomRegular, PortsValid) {
+  Rng rng(33);
+  EXPECT_NO_THROW(validate_ports(random_regular(200, 5, rng)));
+  EXPECT_NO_THROW(validate_ports(hypercube(6)));
+}
+
+}  // namespace
+}  // namespace croute

@@ -1,0 +1,245 @@
+// Unit tests for graph/graph: builder contracts, CSR/port invariants,
+// reverse-port involution, and the io round-trip.
+
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/io.hpp"
+#include "sim/network.hpp"
+#include "util/random.hpp"
+
+namespace croute {
+namespace {
+
+Graph triangle() {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 1.0).add_edge(1, 2, 2.0).add_edge(0, 2, 3.0);
+  return b.build();
+}
+
+TEST(GraphBuilder, EmptyGraph) {
+  const Graph g = GraphBuilder(5).build();
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+}
+
+TEST(GraphBuilder, SelfLoopRejected) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(1, 1), std::invalid_argument);
+}
+
+TEST(GraphBuilder, OutOfRangeRejected) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(0, 3), std::invalid_argument);
+  EXPECT_THROW(b.add_edge(7, 0), std::invalid_argument);
+}
+
+TEST(GraphBuilder, NonPositiveWeightRejected) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(0, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(b.add_edge(0, 1, -1.0), std::invalid_argument);
+}
+
+TEST(GraphBuilder, DuplicateEdgesKeepMinimumWeight) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 5.0);
+  b.add_edge(1, 0, 2.0);  // same undirected edge, either orientation
+  b.add_edge(0, 1, 9.0);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.arc(0, 0).weight, 2.0);
+}
+
+TEST(GraphBuilder, HasEdgeSeesBothOrientations) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  EXPECT_TRUE(b.has_edge(0, 1));
+  EXPECT_TRUE(b.has_edge(1, 0));
+  EXPECT_FALSE(b.has_edge(0, 2));
+}
+
+TEST(GraphBuilder, ReusableAfterBuild) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const Graph g1 = b.build();
+  b.add_edge(1, 2);
+  const Graph g2 = b.build();
+  EXPECT_EQ(g1.num_edges(), 1u);
+  EXPECT_EQ(g2.num_edges(), 2u);
+}
+
+TEST(Graph, DegreesAndMaxDegree) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(Graph, ArcsSortedByHead) {
+  Rng rng(5);
+  GraphBuilder b(50);
+  for (int i = 0; i < 200; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(50));
+    const auto v = static_cast<VertexId>(rng.next_below(50));
+    if (u != v) b.add_edge(u, v);
+  }
+  const Graph g = b.build();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto adj = g.arcs(v);
+    for (std::size_t i = 1; i < adj.size(); ++i) {
+      ASSERT_LT(adj[i - 1].head, adj[i].head);
+    }
+  }
+}
+
+TEST(Graph, PortToFindsEveryNeighbor) {
+  const Graph g = triangle();
+  for (VertexId v = 0; v < 3; ++v) {
+    for (Port p = 0; p < g.degree(v); ++p) {
+      const VertexId u = g.neighbor(v, p);
+      EXPECT_EQ(g.port_to(v, u), p);
+    }
+  }
+  EXPECT_EQ(g.port_to(0, 0), kNoPort);  // no self arc
+}
+
+TEST(Graph, HasEdge) {
+  const Graph g = triangle();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  const Graph h = b.build();
+  EXPECT_FALSE(h.has_edge(2, 3));
+}
+
+TEST(Graph, ReversePortInvolution) {
+  Rng rng(17);
+  GraphBuilder b(100);
+  for (int i = 0; i < 400; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(100));
+    const auto v = static_cast<VertexId>(rng.next_below(100));
+    if (u != v) b.add_edge(u, v, 1.0 + rng.next_double());
+  }
+  const Graph g = b.build();
+  EXPECT_NO_THROW(validate_ports(g));
+}
+
+TEST(Graph, WeightExtremes) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 0.5);
+  b.add_edge(1, 2, 7.0);
+  const Graph g = b.build();
+  EXPECT_EQ(g.min_weight(), 0.5);
+  EXPECT_EQ(g.max_weight(), 7.0);
+}
+
+// ------------------------------------------------------------------- io ---
+
+TEST(GraphIo, RoundTripPreservesStructure) {
+  const Graph g = triangle();
+  std::stringstream ss;
+  write_graph(ss, g, "unit test");
+  const Graph h = read_graph(ss);
+  ASSERT_EQ(h.num_vertices(), g.num_vertices());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(h.degree(v), g.degree(v));
+    for (Port p = 0; p < g.degree(v); ++p) {
+      EXPECT_EQ(h.arc(v, p).head, g.arc(v, p).head);
+      EXPECT_EQ(h.arc(v, p).weight, g.arc(v, p).weight);
+    }
+  }
+}
+
+TEST(GraphIo, RoundTripExactDoubleWeights) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 0.1 + 0.2);  // a value that truncation would corrupt
+  const Graph g = b.build();
+  std::stringstream ss;
+  write_graph(ss, g);
+  const Graph h = read_graph(ss);
+  EXPECT_EQ(h.arc(0, 0).weight, g.arc(0, 0).weight);
+}
+
+TEST(GraphIo, MalformedInputThrows) {
+  std::stringstream bad1("p croute 2\n");  // missing edge count
+  EXPECT_THROW(read_graph(bad1), std::invalid_argument);
+  std::stringstream bad2("p croute 2 1\ne 0 5 1.0\n");  // endpoint range
+  EXPECT_THROW(read_graph(bad2), std::invalid_argument);
+  std::stringstream bad3("q nonsense\n");
+  EXPECT_THROW(read_graph(bad3), std::invalid_argument);
+}
+
+TEST(GraphIo, CommentsIgnored) {
+  std::stringstream ss("c hello\nc world\np croute 2 1\ne 0 1 2.5\n");
+  const Graph g = read_graph(ss);
+  EXPECT_EQ(g.num_vertices(), 2u);
+  EXPECT_EQ(g.arc(0, 0).weight, 2.5);
+}
+
+// ------------------------------------------------------------ relabeling --
+
+TEST(Relabel, PreservesDegreesAndWeights) {
+  Rng rng(23);
+  GraphBuilder b(30);
+  for (int i = 0; i < 100; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(30));
+    const auto v = static_cast<VertexId>(rng.next_below(30));
+    if (u != v) b.add_edge(u, v, 1 + rng.next_double());
+  }
+  const Graph g = b.build();
+  std::vector<VertexId> perm;
+  const Graph h = random_relabel(g, rng, &perm);
+  ASSERT_EQ(h.num_vertices(), g.num_vertices());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(h.degree(perm[v]), g.degree(v));
+    for (const Arc& a : g.arcs(v)) {
+      const Port p = h.port_to(perm[v], perm[a.head]);
+      ASSERT_NE(p, kNoPort);
+      EXPECT_EQ(h.arc(perm[v], p).weight, a.weight);
+    }
+  }
+  EXPECT_NO_THROW(validate_ports(h));
+}
+
+TEST(Relabel, IdentityPermutationIsIdentity) {
+  const Graph g = triangle();
+  const Graph h = relabel_vertices(g, {0, 1, 2});
+  for (VertexId v = 0; v < 3; ++v) {
+    ASSERT_EQ(h.degree(v), g.degree(v));
+    for (Port p = 0; p < g.degree(v); ++p) {
+      EXPECT_EQ(h.arc(v, p).head, g.arc(v, p).head);
+    }
+  }
+}
+
+TEST(Relabel, WrongSizeRejected) {
+  const Graph g = triangle();
+  EXPECT_THROW(relabel_vertices(g, {0, 1}), std::invalid_argument);
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  const Graph g = triangle();
+  const std::string path = "/tmp/croute_graph_io_test.gr";
+  save_graph(path, g, "file round-trip");
+  const Graph h = load_graph(path);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW(load_graph("/nonexistent/croute.gr"), std::exception);
+}
+
+}  // namespace
+}  // namespace croute

@@ -1,0 +1,169 @@
+// Unit tests for hash/pairwise and hash/perfect_hash: family contracts,
+// FKS build invariants (Σ bᵢ² ≤ 4n), exact membership, and scale.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "hash/pairwise.hpp"
+#include "hash/perfect_hash.hpp"
+#include "util/random.hpp"
+
+namespace croute {
+namespace {
+
+TEST(PairwiseHash, StaysInRange) {
+  Rng rng(1);
+  for (const std::uint64_t range : {1ull, 2ull, 7ull, 1000ull}) {
+    const PairwiseHash h = PairwiseHash::draw(range, rng);
+    for (std::uint64_t x = 0; x < 2000; ++x) {
+      ASSERT_LT(h(x * 0x9E3779B97F4A7C15ull), range);
+    }
+  }
+}
+
+TEST(PairwiseHash, DeterministicGivenParameters) {
+  const PairwiseHash h(12345, 678, 100);
+  const PairwiseHash g(12345, 678, 100);
+  for (std::uint64_t x = 0; x < 100; ++x) ASSERT_EQ(h(x), g(x));
+  EXPECT_EQ(h.a(), 12345u);
+  EXPECT_EQ(h.b(), 678u);
+  EXPECT_EQ(h.range(), 100u);
+}
+
+TEST(PairwiseHash, StatelessEvalMatchesInstance) {
+  Rng rng(2);
+  const PairwiseHash h = PairwiseHash::draw(64, rng);
+  for (std::uint64_t x = 0; x < 500; ++x) {
+    ASSERT_EQ(h(x), PairwiseHash::eval(h.a(), h.b(), h.range(), x));
+  }
+}
+
+TEST(PairwiseHash, RoughlyUniform) {
+  Rng rng(3);
+  const std::uint64_t range = 16;
+  const PairwiseHash h = PairwiseHash::draw(range, rng);
+  std::vector<int> bucket(range, 0);
+  const int trials = 64000;
+  for (int i = 0; i < trials; ++i) {
+    ++bucket[h(static_cast<std::uint64_t>(i) * 0x100000001B3ull)];
+  }
+  for (const int b : bucket) {
+    EXPECT_NEAR(b, trials / 16, trials / 16 / 2);
+  }
+}
+
+TEST(PairwiseHash, CollisionRateNearUniform) {
+  // Pairwise independence ⇒ collision probability ≈ 1/m.
+  Rng rng(4);
+  const std::uint64_t m = 256;
+  int collisions = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    const PairwiseHash h = PairwiseHash::draw(m, rng);
+    if (h(2 * static_cast<std::uint64_t>(t)) ==
+        h(2 * static_cast<std::uint64_t>(t) + 1)) {
+      ++collisions;
+    }
+  }
+  EXPECT_LT(collisions, 10);  // expectation ≈ trials/m < 1
+}
+
+// ----------------------------------------------------------- perfect hash --
+
+std::vector<std::pair<std::uint64_t, std::uint32_t>> random_entries(
+    std::uint32_t count, Rng& rng) {
+  std::set<std::uint64_t> keys;
+  while (keys.size() < count) keys.insert(rng());
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> entries;
+  std::uint32_t i = 0;
+  for (const auto k : keys) entries.emplace_back(k, i++);
+  return entries;
+}
+
+TEST(PerfectHash, EmptyMap) {
+  Rng rng(5);
+  const PerfectHashMap m = PerfectHashMap::build({}, rng);
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_FALSE(m.contains(42));
+}
+
+TEST(PerfectHash, SingleEntry) {
+  Rng rng(6);
+  const PerfectHashMap m = PerfectHashMap::build({{7, 99}}, rng);
+  EXPECT_EQ(m.size(), 1u);
+  ASSERT_TRUE(m.find(7).has_value());
+  EXPECT_EQ(*m.find(7), 99u);
+  EXPECT_FALSE(m.find(8).has_value());
+}
+
+TEST(PerfectHash, FindsEveryKeyExactly) {
+  Rng rng(7);
+  for (const std::uint32_t n : {2u, 10u, 100u, 5000u}) {
+    const auto entries = random_entries(n, rng);
+    const PerfectHashMap m = PerfectHashMap::build(entries, rng);
+    EXPECT_EQ(m.size(), n);
+    for (const auto& [k, v] : entries) {
+      const auto got = m.find(k);
+      ASSERT_TRUE(got.has_value());
+      ASSERT_EQ(*got, v);
+    }
+  }
+}
+
+TEST(PerfectHash, AbsentKeysReturnNullopt) {
+  Rng rng(8);
+  const auto entries = random_entries(1000, rng);
+  const PerfectHashMap m = PerfectHashMap::build(entries, rng);
+  std::set<std::uint64_t> present;
+  for (const auto& [k, v] : entries) present.insert(k);
+  int checked = 0;
+  while (checked < 1000) {
+    const std::uint64_t probe = rng();
+    if (present.contains(probe)) continue;
+    ASSERT_FALSE(m.find(probe).has_value());
+    ++checked;
+  }
+}
+
+TEST(PerfectHash, DuplicateKeysRejected) {
+  Rng rng(9);
+  EXPECT_THROW(PerfectHashMap::build({{5, 0}, {5, 1}}, rng),
+               std::invalid_argument);
+}
+
+TEST(PerfectHash, FksSpaceBound) {
+  Rng rng(10);
+  for (const std::uint32_t n : {10u, 100u, 2000u}) {
+    const auto entries = random_entries(n, rng);
+    const PerfectHashMap m = PerfectHashMap::build(entries, rng);
+    EXPECT_LE(m.slot_count(), 4u * n) << "n = " << n;
+    EXPECT_GT(m.overhead_bits(), 0u);
+  }
+}
+
+TEST(PerfectHash, AdversarialSequentialKeys) {
+  // Sequential keys (vertex ids — the library's real workload).
+  Rng rng(11);
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> entries;
+  for (std::uint32_t i = 0; i < 3000; ++i) entries.emplace_back(i, i * 2);
+  const PerfectHashMap m = PerfectHashMap::build(entries, rng);
+  for (std::uint32_t i = 0; i < 3000; ++i) {
+    ASSERT_EQ(*m.find(i), i * 2);
+  }
+  EXPECT_FALSE(m.find(3000).has_value());
+  EXPECT_LE(m.slot_count(), 4u * 3000);
+}
+
+TEST(PerfectHash, ValuesNeedNotBeDistinct) {
+  Rng rng(12);
+  const PerfectHashMap m =
+      PerfectHashMap::build({{1, 7}, {2, 7}, {3, 7}}, rng);
+  EXPECT_EQ(*m.find(1), 7u);
+  EXPECT_EQ(*m.find(2), 7u);
+  EXPECT_EQ(*m.find(3), 7u);
+}
+
+}  // namespace
+}  // namespace croute

@@ -1,0 +1,190 @@
+// Unit tests for core/landmarks: the center() resampling guarantee (every
+// non-landmark cluster ≤ cap — the paper's §3 lemma and the key difference
+// from Bernoulli sampling), hierarchy nesting and level sizing.
+
+#include "core/landmarks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "graph/generators.hpp"
+#include "util/random.hpp"
+
+namespace croute {
+namespace {
+
+TEST(CenterSample, CapHoldsForEveryRemainingVertex) {
+  Rng rng(1);
+  const Graph g = erdos_renyi_gnm(400, 1600, rng);
+  const auto rank = rng.permutation(400);
+  std::vector<VertexId> all(400);
+  for (VertexId v = 0; v < 400; ++v) all[v] = v;
+
+  const double s = 20.0;  // target landmark count ~ sqrt(400)
+  const double cap = 4.0 * 400 / s;
+  const auto a = center_sample_level(g, all, s, cap, rank, rng);
+  ASSERT_FALSE(a.empty());
+
+  const auto sizes = exact_cluster_sizes(g, all, a, rank);
+  const std::set<VertexId> in_a(a.begin(), a.end());
+  for (VertexId v = 0; v < 400; ++v) {
+    if (in_a.contains(v)) continue;
+    ASSERT_LE(sizes[v], static_cast<std::uint32_t>(cap)) << "vertex " << v;
+  }
+}
+
+TEST(CenterSample, ReturnsAllWhenTargetCoversCandidates) {
+  Rng rng(2);
+  const Graph g = erdos_renyi_gnm(50, 150, rng);
+  const auto rank = rng.permutation(50);
+  std::vector<VertexId> all(50);
+  for (VertexId v = 0; v < 50; ++v) all[v] = v;
+  const auto a = center_sample_level(g, all, 50.0, 4.0, rank, rng);
+  EXPECT_EQ(a, all);
+}
+
+TEST(CenterSample, OutputIsSortedSubsetOfCandidates) {
+  Rng rng(3);
+  const Graph g = erdos_renyi_gnm(200, 800, rng);
+  const auto rank = rng.permutation(200);
+  std::vector<VertexId> candidates;
+  for (VertexId v = 0; v < 200; v += 2) candidates.push_back(v);  // evens
+  const auto a =
+      center_sample_level(g, candidates, 10.0, 80.0, rank, rng);
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+  for (const VertexId w : a) EXPECT_EQ(w % 2, 0u);
+}
+
+TEST(CenterSample, ExpectedSizeIsNearTarget) {
+  // |A| = O(target · log n): loose sanity that resampling doesn't blow up.
+  Rng rng(4);
+  const Graph g = erdos_renyi_gnm(1000, 4000, rng);
+  const auto rank = rng.permutation(1000);
+  std::vector<VertexId> all(1000);
+  for (VertexId v = 0; v < 1000; ++v) all[v] = v;
+  const double s = std::sqrt(1000.0);
+  const auto a = center_sample_level(g, all, s, 4.0 * 1000 / s, rank, rng);
+  EXPECT_LE(a.size(), static_cast<std::size_t>(s * std::log2(1000.0) * 2));
+  EXPECT_GE(a.size(), 1u);
+}
+
+TEST(Hierarchy, LevelsAreNestedAndNonEmpty) {
+  Rng rng(5);
+  const Graph g = erdos_renyi_gnm(300, 1200, rng);
+  const auto rank = rng.permutation(300);
+  for (const std::uint32_t k : {1u, 2u, 3u, 4u, 5u}) {
+    const LandmarkHierarchy h = build_hierarchy(g, k, rank, rng);
+    ASSERT_EQ(h.k, k);
+    ASSERT_EQ(h.levels.size(), k);
+    ASSERT_EQ(h.levels[0].size(), 300u);
+    for (std::uint32_t i = 1; i < k; ++i) {
+      ASSERT_FALSE(h.levels[i].empty());
+      const std::set<VertexId> prev(h.levels[i - 1].begin(),
+                                    h.levels[i - 1].end());
+      for (const VertexId w : h.levels[i]) ASSERT_TRUE(prev.contains(w));
+    }
+  }
+}
+
+TEST(Hierarchy, LevelOfIsMaxLevel) {
+  Rng rng(6);
+  const Graph g = erdos_renyi_gnm(200, 800, rng);
+  const auto rank = rng.permutation(200);
+  const LandmarkHierarchy h = build_hierarchy(g, 3, rank, rng);
+  for (VertexId v = 0; v < 200; ++v) {
+    const std::uint32_t lv = h.level_of[v];
+    for (std::uint32_t i = 0; i < h.k; ++i) {
+      const bool member = std::binary_search(h.levels[i].begin(),
+                                             h.levels[i].end(), v);
+      ASSERT_EQ(member, i <= lv) << "v=" << v << " level " << i;
+    }
+  }
+}
+
+TEST(Hierarchy, LevelSizesShrinkGeometrically) {
+  Rng rng(7);
+  const Graph g = erdos_renyi_gnm(2000, 8000, rng);
+  const auto rank = rng.permutation(2000);
+  const LandmarkHierarchy h = build_hierarchy(g, 4, rank, rng);
+  for (std::uint32_t i = 1; i < 4; ++i) {
+    // Each level should be meaningfully smaller than the previous one
+    // (target ratio n^{-1/4} ≈ 0.15; allow generous noise).
+    EXPECT_LT(h.level_size(i), h.level_size(i - 1)) << "level " << i;
+  }
+}
+
+TEST(Hierarchy, BernoulliModeAlsoNested) {
+  Rng rng(8);
+  const Graph g = erdos_renyi_gnm(500, 2000, rng);
+  const auto rank = rng.permutation(500);
+  HierarchyOptions opt;
+  opt.mode = SamplingMode::kBernoulli;
+  const LandmarkHierarchy h = build_hierarchy(g, 4, rank, rng, opt);
+  for (std::uint32_t i = 1; i < 4; ++i) {
+    ASSERT_FALSE(h.levels[i].empty());
+    const std::set<VertexId> prev(h.levels[i - 1].begin(),
+                                  h.levels[i - 1].end());
+    for (const VertexId w : h.levels[i]) ASSERT_TRUE(prev.contains(w));
+  }
+}
+
+TEST(Hierarchy, KOneIsJustV) {
+  Rng rng(9);
+  const Graph g = erdos_renyi_gnm(50, 120, rng);
+  const auto rank = rng.permutation(50);
+  const LandmarkHierarchy h = build_hierarchy(g, 1, rank, rng);
+  EXPECT_EQ(h.levels.size(), 1u);
+  EXPECT_EQ(h.levels[0].size(), 50u);
+}
+
+TEST(Hierarchy, TinyGraphsDoNotDegenerate) {
+  Rng rng(10);
+  for (const VertexId n : {1u, 2u, 3u, 5u}) {
+    const Graph g = n == 1 ? GraphBuilder(1).build() : path_graph(n);
+    const auto rank = rng.permutation(n);
+    const LandmarkHierarchy h = build_hierarchy(g, 3, rank, rng);
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      ASSERT_FALSE(h.levels[i].empty()) << "n=" << n << " level " << i;
+    }
+  }
+}
+
+TEST(ExactClusterSizes, LandmarksReportZero) {
+  Rng rng(11);
+  const Graph g = erdos_renyi_gnm(100, 300, rng);
+  const auto rank = rng.permutation(100);
+  std::vector<VertexId> all(100);
+  for (VertexId v = 0; v < 100; ++v) all[v] = v;
+  const std::vector<VertexId> a = {3, 50, 97};
+  const auto sizes = exact_cluster_sizes(g, all, a, rank);
+  EXPECT_EQ(sizes[3], 0u);
+  EXPECT_EQ(sizes[50], 0u);
+  EXPECT_EQ(sizes[97], 0u);
+  // Non-landmarks have at least themselves.
+  EXPECT_GE(sizes[0], 1u);
+}
+
+TEST(CenterVsBernoulli, CenteredCapsWorstCaseOnSkewedGraph) {
+  // On a star-like skewed graph, Bernoulli sampling leaves the hub with a
+  // huge cluster with decent probability; center() never does. This is the
+  // T7 story in miniature.
+  Rng rng(12);
+  const Graph g = barabasi_albert(600, 2, rng);
+  const auto rank = rng.permutation(600);
+  std::vector<VertexId> all(600);
+  for (VertexId v = 0; v < 600; ++v) all[v] = v;
+  const double s = std::sqrt(600.0);
+  const double cap = 4.0 * 600 / s;
+  const auto a = center_sample_level(g, all, s, cap, rank, rng);
+  const auto sizes = exact_cluster_sizes(g, all, a, rank);
+  const std::set<VertexId> in_a(a.begin(), a.end());
+  for (VertexId v = 0; v < 600; ++v) {
+    if (!in_a.contains(v)) ASSERT_LE(sizes[v], static_cast<std::uint32_t>(cap));
+  }
+}
+
+}  // namespace
+}  // namespace croute

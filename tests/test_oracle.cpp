@@ -1,0 +1,148 @@
+// Unit and property tests for oracle/distance_oracle: the 2k−1 stretch
+// sandwich on exhaustive small instances and sampled large ones, bunch
+// exactness, and space accounting.
+
+#include "oracle/distance_oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "sim/experiment.hpp"
+#include "util/random.hpp"
+
+namespace croute {
+namespace {
+
+DistanceOracle make_oracle(const Graph& g, std::uint32_t k,
+                           std::uint64_t seed, bool hash = false) {
+  Rng rng(seed);
+  DistanceOracle::Options opt;
+  opt.k = k;
+  opt.hash_index = hash;
+  return DistanceOracle(g, opt, rng);
+}
+
+TEST(Oracle, ExhaustiveSandwichSmallGraphs) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    Rng graph_rng(seed);
+    const Graph g = erdos_renyi_gnm(60, 150, graph_rng,
+                                    WeightModel::uniform_int(1, 4));
+    const Graph c = largest_component(g).graph;
+    const auto exact = all_pairs_distances(c);
+    for (const std::uint32_t k : {1u, 2u, 3u, 4u}) {
+      const DistanceOracle oracle = make_oracle(c, k, seed * 100 + k);
+      const double bound = 2.0 * k - 1.0;
+      for (VertexId u = 0; u < c.num_vertices(); ++u) {
+        for (VertexId v = 0; v < c.num_vertices(); ++v) {
+          const Weight est = oracle.query(u, v);
+          ASSERT_GE(est, exact[u][v] - 1e-9)
+              << "k=" << k << " " << u << "->" << v;
+          ASSERT_LE(est, bound * exact[u][v] + 1e-9)
+              << "k=" << k << " " << u << "->" << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(Oracle, SelfDistanceIsZero) {
+  Rng graph_rng(4);
+  const Graph g = erdos_renyi_gnm(40, 120, graph_rng);
+  const DistanceOracle oracle = make_oracle(g, 3, 7);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(oracle.query(v, v), 0);
+  }
+}
+
+TEST(Oracle, KOneIsExact) {
+  // k = 1 stores full bunches (every vertex): stretch bound 2·1−1 = 1.
+  Rng graph_rng(5);
+  const Graph g = erdos_renyi_gnm(50, 180, graph_rng,
+                                  WeightModel::uniform_real(0.5, 2.0));
+  const DistanceOracle oracle = make_oracle(g, 1, 9);
+  const auto exact = all_pairs_distances(g);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_NEAR(oracle.query(u, v), exact[u][v], 1e-9);
+    }
+  }
+}
+
+TEST(Oracle, BunchDistancesAreExact) {
+  Rng graph_rng(6);
+  const Graph g = erdos_renyi_gnm(70, 280, graph_rng);
+  const DistanceOracle oracle = make_oracle(g, 3, 11);
+  for (VertexId v = 0; v < g.num_vertices(); v += 5) {
+    const auto dv = distances_from(g, v);
+    for (VertexId w = 0; w < g.num_vertices(); ++w) {
+      const auto d = oracle.bunch_distance(v, w);
+      if (d.has_value()) {
+        ASSERT_NEAR(*d, dv[w], 1e-9) << "v=" << v << " w=" << w;
+      }
+    }
+  }
+}
+
+TEST(Oracle, HashIndexAgrees) {
+  Rng graph_rng(7);
+  const Graph g = erdos_renyi_gnm(60, 240, graph_rng);
+  const DistanceOracle plain = make_oracle(g, 3, 13, false);
+  const DistanceOracle hashed = make_oracle(g, 3, 13, true);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(plain.query(u, v), hashed.query(u, v));
+    }
+  }
+}
+
+TEST(Oracle, SampledLargeInstanceHoldsBound) {
+  Rng rng(8);
+  const Graph g = make_workload(GraphFamily::kBarabasiAlbert, 3000, rng);
+  const std::uint32_t k = 3;
+  const DistanceOracle oracle = make_oracle(g, k, 15);
+  const auto pairs = sample_pairs(g, 2000, rng);
+  for (const auto& p : pairs) {
+    const Weight est = oracle.query(p.s, p.t);
+    ASSERT_GE(est, p.exact - 1e-9);
+    ASSERT_LE(est, (2.0 * k - 1.0) * p.exact + 1e-9);
+  }
+}
+
+TEST(Oracle, SpaceScalesDownWithK) {
+  // Total space should drop sharply from k=1 (≈ n² words) to k=3.
+  Rng graph_rng(9);
+  const Graph g = erdos_renyi_gnm(400, 1600, graph_rng);
+  const DistanceOracle k1 = make_oracle(g, 1, 17);
+  const DistanceOracle k3 = make_oracle(g, 3, 17);
+  EXPECT_LT(k3.total_bits(), k1.total_bits() / 4);
+}
+
+TEST(Oracle, BunchSizeAccounting) {
+  Rng graph_rng(10);
+  const Graph g = erdos_renyi_gnm(80, 320, graph_rng);
+  const DistanceOracle oracle = make_oracle(g, 3, 19);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_GE(oracle.bunch_size(v), 1u);
+    ASSERT_GT(oracle.vertex_bits(v), 0u);
+  }
+}
+
+TEST(Oracle, WeightedGraphsHoldBound) {
+  Rng rng(11);
+  const Graph g = make_workload(GraphFamily::kErdosRenyi, 800, rng,
+                                /*weighted=*/true);
+  const std::uint32_t k = 4;
+  const DistanceOracle oracle = make_oracle(g, k, 21);
+  const auto pairs = sample_pairs(g, 1000, rng);
+  for (const auto& p : pairs) {
+    const Weight est = oracle.query(p.s, p.t);
+    ASSERT_GE(est, p.exact - 1e-9);
+    ASSERT_LE(est, (2.0 * k - 1.0) * p.exact + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace croute

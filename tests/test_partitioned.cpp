@@ -1,0 +1,153 @@
+// Tests for core/partitioned and split_components: per-component routing
+// on disconnected graphs with host-graph ports.
+
+#include "core/partitioned.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "sim/experiment.hpp"
+#include "sim/simulator.hpp"
+#include "util/random.hpp"
+
+namespace croute {
+namespace {
+
+/// Two ER blobs and one isolated vertex, as a single host graph.
+Graph disconnected_graph(std::uint64_t seed, VertexId a, VertexId b) {
+  Rng rng(seed);
+  const Graph ga = ensure_connected(erdos_renyi_gnm(a, 3 * a, rng));
+  const Graph gb = ensure_connected(erdos_renyi_gnm(b, 3 * b, rng));
+  GraphBuilder builder(a + b + 1);
+  for (VertexId v = 0; v < a; ++v) {
+    for (const Arc& arc : ga.arcs(v)) {
+      if (v < arc.head) builder.add_edge(v, arc.head, arc.weight);
+    }
+  }
+  for (VertexId v = 0; v < b; ++v) {
+    for (const Arc& arc : gb.arcs(v)) {
+      if (v < arc.head) {
+        builder.add_edge(a + v, a + arc.head, arc.weight);
+      }
+    }
+  }
+  return builder.build();  // vertex a+b stays isolated
+}
+
+TEST(SplitComponents, PartitionCoversEverything) {
+  const Graph g = disconnected_graph(1, 40, 30);
+  const auto parts = split_components(g);
+  ASSERT_EQ(parts.size(), 3u);
+  std::uint64_t total_v = 0, total_e = 0;
+  for (const auto& p : parts) {
+    total_v += p.graph.num_vertices();
+    total_e += p.graph.num_edges();
+    EXPECT_TRUE(is_connected(p.graph));
+  }
+  EXPECT_EQ(total_v, g.num_vertices());
+  EXPECT_EQ(total_e, g.num_edges());
+}
+
+TEST(SplitComponents, PortIdentityProperty) {
+  // The key contract: a vertex's arcs in its component subgraph appear in
+  // the same order (same ports) as in the host graph.
+  const Graph g = disconnected_graph(2, 50, 20);
+  const auto parts = split_components(g);
+  for (const auto& p : parts) {
+    for (VertexId local = 0; local < p.graph.num_vertices(); ++local) {
+      const VertexId host = p.to_original[local];
+      ASSERT_EQ(p.graph.degree(local), g.degree(host));
+      for (Port port = 0; port < g.degree(host); ++port) {
+        ASSERT_EQ(p.to_original[p.graph.arc(local, port).head],
+                  g.arc(host, port).head)
+            << "host " << host << " port " << port;
+        ASSERT_EQ(p.graph.arc(local, port).weight,
+                  g.arc(host, port).weight);
+      }
+    }
+  }
+}
+
+TEST(SplitComponents, ConnectedGraphYieldsOnePart) {
+  Rng rng(3);
+  const Graph g = random_tree(30, rng);
+  const auto parts = split_components(g);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].graph.num_vertices(), 30u);
+}
+
+PartitionedScheme make_partitioned(const Graph& g, std::uint32_t k,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  TZSchemeOptions opt;
+  opt.pre.k = k;
+  return PartitionedScheme(g, opt, rng);
+}
+
+TEST(Partitioned, ComponentBookkeeping) {
+  const Graph g = disconnected_graph(4, 40, 25);
+  const PartitionedScheme ps = make_partitioned(g, 2, 7);
+  EXPECT_EQ(ps.num_components(), 3u);
+  EXPECT_TRUE(ps.reachable(0, 1));
+  EXPECT_FALSE(ps.reachable(0, 45));
+  EXPECT_FALSE(ps.reachable(0, g.num_vertices() - 1));
+  EXPECT_EQ(ps.component_of(0), ps.component_of(39));
+  EXPECT_NE(ps.component_of(0), ps.component_of(40));
+}
+
+TEST(Partitioned, CrossComponentIsUnreachable) {
+  const Graph g = disconnected_graph(5, 30, 30);
+  const PartitionedScheme ps = make_partitioned(g, 3, 9);
+  EXPECT_FALSE(ps.prepare(0, 35).has_value());
+  EXPECT_TRUE(ps.prepare(0, 10).has_value());
+}
+
+TEST(Partitioned, RoutesWithinEveryComponentWithinBounds) {
+  const Graph g = disconnected_graph(6, 60, 45);
+  const std::uint32_t k = 2;
+  const PartitionedScheme ps = make_partitioned(g, k, 11);
+  const Simulator sim(g);
+  // Exact distances per pair (host ids; infinite across components).
+  const auto d = all_pairs_distances(g);
+  std::uint32_t routed = 0;
+  for (VertexId s = 0; s < g.num_vertices(); s += 3) {
+    for (VertexId t = 0; t < g.num_vertices(); t += 4) {
+      const auto header = ps.prepare(s, t);
+      ASSERT_EQ(header.has_value(), ps.reachable(s, t));
+      if (!header) {
+        ASSERT_GE(d[s][t], kInfiniteWeight);
+        continue;
+      }
+      const RouteResult r = sim.run(s, t, [&](VertexId v) {
+        const TreeDecision dec = ps.step(v, *header);
+        return Simulator::Decision{dec.deliver, dec.port};
+      });
+      ASSERT_TRUE(r.delivered()) << s << "->" << t;
+      ASSERT_LE(r.length, 3.0 * d[s][t] + 1e-9) << s << "->" << t;
+      ++routed;
+    }
+  }
+  EXPECT_GT(routed, 0u);
+}
+
+TEST(Partitioned, IsolatedVertexSelfRoute) {
+  const Graph g = disconnected_graph(7, 20, 20);
+  const PartitionedScheme ps = make_partitioned(g, 2, 13);
+  const VertexId isolated = g.num_vertices() - 1;
+  const auto header = ps.prepare(isolated, isolated);
+  ASSERT_TRUE(header.has_value());
+  const TreeDecision dec = ps.step(isolated, *header);
+  EXPECT_TRUE(dec.deliver);
+}
+
+TEST(Partitioned, AccountingCoversAllVertices) {
+  const Graph g = disconnected_graph(8, 35, 25);
+  const PartitionedScheme ps = make_partitioned(g, 2, 15);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_GT(ps.table_bits(v), 0u);
+    EXPECT_GT(ps.label_bits(v), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace croute

@@ -1,0 +1,174 @@
+// Unit tests for util/random: determinism, range contracts, permutation and
+// sampling validity, and coarse uniformity (loose chi-square-style bounds so
+// the tests are seed-stable).
+
+#include "util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace croute {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (const std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) ASSERT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextIntInclusiveRange) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.next_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 2000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanNearHalf) {
+  Rng rng(17);
+  double sum = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / trials, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bernoulli(0.0));
+    EXPECT_TRUE(rng.next_bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) hits += rng.next_bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(29);
+  for (const std::uint32_t n : {0u, 1u, 2u, 17u, 1000u}) {
+    const auto p = rng.permutation(n);
+    ASSERT_EQ(p.size(), n);
+    std::vector<bool> seen(n, false);
+    for (const auto v : p) {
+      ASSERT_LT(v, n);
+      ASSERT_FALSE(seen[v]);
+      seen[v] = true;
+    }
+  }
+}
+
+TEST(Rng, PermutationNotIdentityForLargeN) {
+  Rng rng(31);
+  const auto p = rng.permutation(1000);
+  std::uint32_t fixed = 0;
+  for (std::uint32_t i = 0; i < p.size(); ++i) fixed += p[i] == i;
+  // Expected number of fixed points is 1.
+  EXPECT_LT(fixed, 10u);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(37);
+  for (const std::uint32_t n : {1u, 5u, 100u, 1000u}) {
+    for (const std::uint32_t c :
+         {std::uint32_t{0}, std::uint32_t{1}, n / 2, n}) {
+      const auto s = rng.sample_without_replacement(n, c);
+      ASSERT_EQ(s.size(), c);
+      std::set<std::uint32_t> distinct(s.begin(), s.end());
+      ASSERT_EQ(distinct.size(), c);
+      for (const auto v : s) ASSERT_LT(v, n);
+    }
+  }
+}
+
+TEST(Rng, SampleCoversUniverseOverManyDraws) {
+  Rng rng(41);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    for (const auto v : rng.sample_without_replacement(50, 5)) seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 50u);
+}
+
+TEST(Rng, ForkDiverges) {
+  Rng parent(43);
+  Rng child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ShuffleIsPermutationOfInput) {
+  Rng rng(47);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<int> original = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Mix64, StatelessAndNonTrivial) {
+  EXPECT_EQ(mix64(123), mix64(123));
+  EXPECT_NE(mix64(123), mix64(124));
+  EXPECT_NE(mix64(0), 0u);
+}
+
+TEST(Rng, UniformBucketsLoose) {
+  // 16 buckets, 160k draws: each bucket within 10% of expectation.
+  Rng rng(53);
+  std::vector<int> bucket(16, 0);
+  const int trials = 160000;
+  for (int i = 0; i < trials; ++i) {
+    ++bucket[rng.next_below(16)];
+  }
+  for (const int b : bucket) {
+    EXPECT_NEAR(b, trials / 16, trials / 160);
+  }
+}
+
+}  // namespace
+}  // namespace croute

@@ -1,0 +1,344 @@
+// Integration and property tests for the full Thorup–Zwick routing stack:
+// graph → preprocessing → tables/labels → hop-by-hop simulation. The
+// parameterized sweeps check, on every routed pair:
+//
+//   * delivery (no loops, no bad ports, no wrong delivery),
+//   * stretch ≤ 4k−5 without handshake (≤ 3 for k = 2),
+//   * stretch ≤ 2k−1 with handshake,
+//   * the same bounds after adversarial vertex/port relabeling,
+//   * the same bounds under Bernoulli (expected-size) sampling,
+//   * k = 1 degenerates to exact shortest-path routing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "core/stretch3.hpp"
+#include "core/tz_router.hpp"
+#include "core/tz_scheme.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "sim/experiment.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/random.hpp"
+
+namespace croute {
+namespace {
+
+double direct_bound(std::uint32_t k) {
+  return k == 1 ? 1.0 : 4.0 * k - 5.0;
+}
+double handshake_bound(std::uint32_t k) { return 2.0 * k - 1.0; }
+
+TZScheme make_scheme(const Graph& g, std::uint32_t k, std::uint64_t seed,
+                     SamplingMode mode = SamplingMode::kCentered) {
+  Rng rng(seed);
+  TZSchemeOptions opt;
+  opt.pre.k = k;
+  opt.pre.hierarchy.mode = mode;
+  return TZScheme(g, opt, rng);
+}
+
+// ------------------------------------------------------- exhaustive small --
+
+class ExhaustiveSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ExhaustiveSweep, AllPairsWithinBounds) {
+  const auto [k_int, seed_int] = GetParam();
+  const auto k = static_cast<std::uint32_t>(k_int);
+  const auto seed = static_cast<std::uint64_t>(seed_int);
+  Rng graph_rng(seed);
+  const Graph g =
+      largest_component(erdos_renyi_gnm(70, 200, graph_rng)).graph;
+  const TZScheme scheme = make_scheme(g, k, seed * 31 + k);
+  const TZRouter router(scheme);
+  const Simulator sim(g);
+  const auto pairs = all_pairs(g);
+  for (const auto& p : pairs) {
+    const RouteResult direct = route_tz(sim, scheme, p.s, p.t);
+    ASSERT_TRUE(direct.delivered())
+        << "k=" << k << " " << p.s << "->" << p.t << ": "
+        << direct.describe();
+    ASSERT_LE(direct.length, direct_bound(k) * p.exact + 1e-9)
+        << "k=" << k << " " << p.s << "->" << p.t;
+    const RouteResult hs = route_tz_handshake(sim, scheme, p.s, p.t);
+    ASSERT_TRUE(hs.delivered());
+    ASSERT_LE(hs.length, handshake_bound(k) * p.exact + 1e-9)
+        << "k=" << k << " " << p.s << "->" << p.t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KTimesSeeds, ExhaustiveSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(1, 2, 3)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ------------------------------------------------------- family sweeps ----
+
+struct FamilyCase {
+  GraphFamily family;
+  VertexId n;
+  std::uint32_t k;
+  bool weighted;
+  std::uint64_t seed;
+};
+
+class FamilySweep : public ::testing::TestWithParam<FamilyCase> {};
+
+TEST_P(FamilySweep, SampledPairsWithinBounds) {
+  const FamilyCase c = GetParam();
+  Rng rng(c.seed);
+  const Graph g = make_workload(c.family, c.n, rng, c.weighted);
+  const TZScheme scheme = make_scheme(g, c.k, c.seed * 97 + 5);
+  const Simulator sim(g);
+  const auto pairs = sample_pairs(g, 600, rng);
+  for (const auto& p : pairs) {
+    const RouteResult direct = route_tz(sim, scheme, p.s, p.t);
+    ASSERT_TRUE(direct.delivered())
+        << family_name(c.family) << " " << direct.describe();
+    ASSERT_LE(direct.length, direct_bound(c.k) * p.exact + 1e-9)
+        << family_name(c.family) << " k=" << c.k << " " << p.s << "->"
+        << p.t;
+    const RouteResult hs = route_tz_handshake(sim, scheme, p.s, p.t);
+    ASSERT_TRUE(hs.delivered());
+    ASSERT_LE(hs.length, handshake_bound(c.k) * p.exact + 1e-9);
+  }
+}
+
+std::string family_case_name(
+    const ::testing::TestParamInfo<FamilyCase>& info) {
+  std::string name = family_name(info.param.family);
+  for (auto& ch : name) {
+    if (ch == '-') ch = '_';
+  }
+  return name + "_n" + std::to_string(info.param.n) + "_k" +
+         std::to_string(info.param.k) +
+         (info.param.weighted ? "_weighted" : "_unit");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, FamilySweep,
+    ::testing::Values(
+        FamilyCase{GraphFamily::kErdosRenyi, 500, 2, false, 11},
+        FamilyCase{GraphFamily::kErdosRenyi, 500, 3, true, 12},
+        FamilyCase{GraphFamily::kGeometric, 500, 2, false, 13},
+        FamilyCase{GraphFamily::kGeometric, 500, 3, false, 14},
+        FamilyCase{GraphFamily::kTorus, 400, 3, false, 15},
+        FamilyCase{GraphFamily::kTorus, 400, 2, true, 16},
+        FamilyCase{GraphFamily::kBarabasiAlbert, 600, 2, false, 17},
+        FamilyCase{GraphFamily::kBarabasiAlbert, 600, 4, false, 18},
+        FamilyCase{GraphFamily::kWattsStrogatz, 500, 3, false, 19},
+        FamilyCase{GraphFamily::kRingOfCliques, 400, 2, false, 20},
+        FamilyCase{GraphFamily::kRingOfCliques, 400, 3, true, 21},
+        FamilyCase{GraphFamily::kRandomTree, 400, 3, false, 22},
+        FamilyCase{GraphFamily::kPath, 200, 2, false, 23}),
+    family_case_name);
+
+// ---------------------------------------------------------- stretch-3 -----
+
+TEST(Stretch3, FacadeMatchesBoundsExhaustively) {
+  Rng graph_rng(30);
+  const Graph g =
+      largest_component(erdos_renyi_gnm(90, 270, graph_rng)).graph;
+  Rng rng(31);
+  const Stretch3Scheme s3(g, rng);
+  const Simulator sim(g);
+  const auto exact = all_pairs_distances(g);
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    for (VertexId t = 0; t < g.num_vertices(); ++t) {
+      if (s == t) continue;
+      const TZHeader h = s3.prepare(s, t);
+      const RouteResult r = sim.run(s, t, [&](VertexId v) {
+        const TreeDecision d = s3.step(v, h);
+        return Simulator::Decision{d.deliver, d.port};
+      });
+      ASSERT_TRUE(r.delivered());
+      ASSERT_LE(r.length, 3.0 * exact[s][t] + 1e-9) << s << "->" << t;
+      // When the level-0 cluster is hit, the route is an exact path.
+      if (s3.routes_directly(s, t)) {
+        ASSERT_NEAR(r.length, exact[s][t], 1e-9) << s << "->" << t;
+      }
+    }
+  }
+}
+
+TEST(Stretch3, HomeLandmarkIsNearestLandmark) {
+  Rng graph_rng(32);
+  const Graph g =
+      largest_component(erdos_renyi_gnm(100, 300, graph_rng)).graph;
+  Rng rng(33);
+  const Stretch3Scheme s3(g, rng);
+  for (VertexId t = 0; t < g.num_vertices(); ++t) {
+    const VertexId home = s3.home_landmark(t);
+    const auto dt = distances_from(g, t);
+    Weight nearest = kInfiniteWeight;
+    for (const VertexId l : s3.landmarks()) {
+      nearest = std::min(nearest, dt[l]);
+    }
+    ASSERT_NEAR(dt[home], nearest, 1e-9) << "t=" << t;
+  }
+}
+
+// ------------------------------------------------ port/name independence --
+
+TEST(Relabeling, BoundsSurviveAdversarialRelabel) {
+  // Same underlying metric under a random vertex relabeling (which permutes
+  // every adjacency order): the scheme rebuilt on the relabeled graph must
+  // meet identical guarantees.
+  Rng rng(40);
+  const Graph g = make_workload(GraphFamily::kErdosRenyi, 300, rng);
+  const Graph h = random_relabel(g, rng);
+  const std::uint32_t k = 3;
+  const TZScheme scheme = make_scheme(h, k, 41);
+  const Simulator sim(h);
+  const auto pairs = sample_pairs(h, 500, rng);
+  for (const auto& p : pairs) {
+    const RouteResult r = route_tz(sim, scheme, p.s, p.t);
+    ASSERT_TRUE(r.delivered());
+    ASSERT_LE(r.length, direct_bound(k) * p.exact + 1e-9);
+  }
+}
+
+// --------------------------------------------------- sampling-mode sweep --
+
+TEST(Bernoulli, StretchBoundsHoldWithoutCaps) {
+  // The stretch analysis is independent of how levels were sampled; only
+  // table-size guarantees differ. Bernoulli mode must still route within
+  // bounds.
+  Rng rng(50);
+  const Graph g = make_workload(GraphFamily::kBarabasiAlbert, 500, rng);
+  for (const std::uint32_t k : {2u, 3u}) {
+    const TZScheme scheme =
+        make_scheme(g, k, 51 + k, SamplingMode::kBernoulli);
+    const Simulator sim(g);
+    const auto pairs = sample_pairs(g, 400, rng);
+    for (const auto& p : pairs) {
+      const RouteResult r = route_tz(sim, scheme, p.s, p.t);
+      ASSERT_TRUE(r.delivered());
+      ASSERT_LE(r.length, direct_bound(k) * p.exact + 1e-9) << "k=" << k;
+    }
+  }
+}
+
+// ------------------------------------------------------------- policies ---
+
+TEST(Policies, MinEstimateNeverExceedsBoundAndRarelyLoses) {
+  Rng rng(60);
+  const Graph g = make_workload(GraphFamily::kGeometric, 400, rng);
+  Rng scheme_rng(61);
+  TZSchemeOptions opt;
+  opt.pre.k = 3;
+  opt.labels_carry_distances = true;
+  const TZScheme scheme(g, opt, scheme_rng);
+  const Simulator sim(g);
+  const auto pairs = sample_pairs(g, 400, rng);
+  double min_level_total = 0, min_estimate_total = 0;
+  for (const auto& p : pairs) {
+    const RouteResult a =
+        route_tz(sim, scheme, p.s, p.t, RoutingPolicy::kMinLevel);
+    const RouteResult b =
+        route_tz(sim, scheme, p.s, p.t, RoutingPolicy::kMinEstimate);
+    ASSERT_TRUE(a.delivered());
+    ASSERT_TRUE(b.delivered());
+    ASSERT_LE(b.length, direct_bound(3) * p.exact + 1e-9);
+    min_level_total += a.length;
+    min_estimate_total += b.length;
+  }
+  // In aggregate the estimate-guided policy must not be worse.
+  EXPECT_LE(min_estimate_total, min_level_total + 1e-6);
+}
+
+TEST(Policies, MinEstimateRequiresDistances) {
+  Rng rng(62);
+  const Graph g = make_workload(GraphFamily::kErdosRenyi, 100, rng);
+  const TZScheme scheme = make_scheme(g, 2, 63);  // no distances in labels
+  const TZRouter router(scheme);
+  EXPECT_THROW(
+      router.prepare(0, scheme.label(1), RoutingPolicy::kMinEstimate),
+      std::invalid_argument);
+}
+
+// ------------------------------------------------------------ k = 1 -------
+
+TEST(KOne, DegeneratesToExactRouting) {
+  Rng rng(70);
+  const Graph g = make_workload(GraphFamily::kWattsStrogatz, 200, rng);
+  const TZScheme scheme = make_scheme(g, 1, 71);
+  const Simulator sim(g);
+  const auto pairs = sample_pairs(g, 300, rng);
+  for (const auto& p : pairs) {
+    const RouteResult r = route_tz(sim, scheme, p.s, p.t);
+    ASSERT_TRUE(r.delivered());
+    ASSERT_NEAR(r.length, p.exact, 1e-9);
+  }
+}
+
+// ---------------------------------------------------------- header size ---
+
+TEST(Headers, BitsAreBoundedByTreeLabelPlusId) {
+  Rng rng(80);
+  const Graph g = make_workload(GraphFamily::kErdosRenyi, 400, rng);
+  const TZScheme scheme = make_scheme(g, 3, 81);
+  const TZRouter router(scheme);
+  const Simulator sim(g);
+  const auto pairs = sample_pairs(g, 200, rng);
+  const double logn = std::log2(static_cast<double>(g.num_vertices()));
+  for (const auto& p : pairs) {
+    const RouteResult r = route_tz(sim, scheme, p.s, p.t);
+    ASSERT_TRUE(r.delivered());
+    // id + O(log²n) tree label; generous constant.
+    ASSERT_LE(static_cast<double>(r.header_bits), 3 * logn * logn + 64);
+  }
+}
+
+// ----------------------------------------------------- self-delivery ------
+
+TEST(SelfRouting, ZeroHops) {
+  Rng rng(90);
+  const Graph g = make_workload(GraphFamily::kTorus, 100, rng);
+  const TZScheme scheme = make_scheme(g, 3, 91);
+  const Simulator sim(g);
+  for (VertexId v = 0; v < g.num_vertices(); v += 11) {
+    const RouteResult r = route_tz(sim, scheme, v, v);
+    ASSERT_TRUE(r.delivered());
+    ASSERT_EQ(r.hops, 0u);
+    const RouteResult h = route_tz_handshake(sim, scheme, v, v);
+    ASSERT_TRUE(h.delivered());
+    ASSERT_EQ(h.hops, 0u);
+  }
+}
+
+// ------------------------------------------------- wire-format routing ----
+
+TEST(WireFormat, RoutingFromDecodedLabelMatches) {
+  // Labels survive the wire: encode → decode → route must behave exactly
+  // like routing from the in-memory label.
+  Rng rng(100);
+  const Graph g = make_workload(GraphFamily::kErdosRenyi, 200, rng);
+  const TZScheme scheme = make_scheme(g, 3, 101);
+  const TZRouter router(scheme);
+  const Simulator sim(g);
+  const auto pairs = sample_pairs(g, 100, rng);
+  for (const auto& p : pairs) {
+    BitWriter w;
+    scheme.label_codec().encode(scheme.label(p.t), w);
+    BitReader r(w);
+    const RoutingLabel wire = scheme.label_codec().decode(r);
+    const TZHeader h1 = router.prepare(p.s, wire);
+    const TZHeader h2 = router.prepare(p.s, scheme.label(p.t));
+    ASSERT_EQ(h1.tree_root, h2.tree_root);
+    ASSERT_EQ(h1.tree_label, h2.tree_label);
+  }
+}
+
+}  // namespace
+}  // namespace croute

@@ -1,0 +1,272 @@
+// Unit tests for the simulator itself: it must detect loops, invalid ports
+// and wrong deliveries — the referee cannot trust the schemes it referees.
+// Also covers experiment.hpp workload plumbing.
+
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "sim/experiment.hpp"
+#include "util/random.hpp"
+
+namespace croute {
+namespace {
+
+TEST(Simulator, DetectsRoutingLoop) {
+  const Graph g = cycle_graph(6);
+  const Simulator sim(g);
+  // Adversarial scheme: always leave through port 0 — loops forever.
+  const RouteResult r =
+      sim.run(0, 3, [&](VertexId) { return Simulator::Decision{false, 0}; });
+  EXPECT_EQ(r.status, RouteStatus::kHopLimit);
+  EXPECT_FALSE(r.delivered());
+}
+
+TEST(Simulator, DetectsBadPort) {
+  const Graph g = path_graph(4);
+  const Simulator sim(g);
+  const RouteResult r = sim.run(
+      0, 3, [&](VertexId) { return Simulator::Decision{false, 99}; });
+  EXPECT_EQ(r.status, RouteStatus::kBadPort);
+}
+
+TEST(Simulator, DetectsWrongDelivery) {
+  const Graph g = path_graph(4);
+  const Simulator sim(g);
+  const RouteResult r = sim.run(
+      0, 3, [&](VertexId) { return Simulator::Decision{true, kNoPort}; });
+  EXPECT_EQ(r.status, RouteStatus::kWrongDeliver);
+}
+
+TEST(Simulator, AccumulatesWeightsAndPath) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 2.5);
+  b.add_edge(1, 2, 4.0);
+  const Graph g = b.build();
+  const Simulator sim(g);
+  // Walk right via port_to, deliver at 2.
+  const RouteResult r = sim.run(0, 2, [&](VertexId v) {
+    if (v == 2) return Simulator::Decision{true, kNoPort};
+    const Port p = g.port_to(v, v + 1);
+    return Simulator::Decision{false, p};
+  });
+  ASSERT_TRUE(r.delivered());
+  EXPECT_EQ(r.hops, 2u);
+  EXPECT_DOUBLE_EQ(r.length, 6.5);
+  ASSERT_EQ(r.path.size(), 3u);
+  EXPECT_EQ(r.path[0], 0u);
+  EXPECT_EQ(r.path[1], 1u);
+  EXPECT_EQ(r.path[2], 2u);
+}
+
+TEST(Simulator, CustomHopBudget) {
+  const Graph g = cycle_graph(8);
+  SimOptions opt;
+  opt.max_hops = 5;
+  const Simulator sim(g, opt);
+  const RouteResult r =
+      sim.run(0, 4, [&](VertexId) { return Simulator::Decision{false, 0}; });
+  EXPECT_EQ(r.status, RouteStatus::kHopLimit);
+  EXPECT_EQ(r.hops, 5u);
+}
+
+TEST(Simulator, NoPathRecordingWhenDisabled) {
+  const Graph g = path_graph(5);
+  SimOptions opt;
+  opt.record_path = false;
+  const Simulator sim(g, opt);
+  const RouteResult r = sim.run(0, 4, [&](VertexId v) {
+    if (v == 4) return Simulator::Decision{true, kNoPort};
+    return Simulator::Decision{false, g.port_to(v, v + 1)};
+  });
+  ASSERT_TRUE(r.delivered());
+  EXPECT_TRUE(r.path.empty());
+  EXPECT_EQ(r.hops, 4u);
+}
+
+TEST(Simulator, OutOfRangeEndpointRejected) {
+  const Graph g = path_graph(3);
+  const Simulator sim(g);
+  EXPECT_THROW(
+      sim.run(0, 9, [](VertexId) { return Simulator::Decision{}; }),
+      std::invalid_argument);
+}
+
+TEST(RouteResult, DescribeAndStretch) {
+  RouteResult r;
+  r.status = RouteStatus::kDelivered;
+  r.path = {1, 2, 3};
+  r.hops = 2;
+  r.length = 6.0;
+  EXPECT_DOUBLE_EQ(r.stretch(3.0), 2.0);
+  EXPECT_NE(r.describe().find("1 -> 2 -> 3"), std::string::npos);
+  EXPECT_NE(r.describe().find("delivered"), std::string::npos);
+}
+
+TEST(RouteResult, StretchRequiresDelivery) {
+  RouteResult r;
+  r.status = RouteStatus::kHopLimit;
+  EXPECT_THROW(r.stretch(1.0), std::invalid_argument);
+}
+
+TEST(RouteStatus, Names) {
+  EXPECT_STREQ(to_string(RouteStatus::kDelivered), "delivered");
+  EXPECT_STREQ(to_string(RouteStatus::kHopLimit), "hop-limit");
+  EXPECT_STREQ(to_string(RouteStatus::kBadPort), "bad-port");
+  EXPECT_STREQ(to_string(RouteStatus::kWrongDeliver), "wrong-deliver");
+}
+
+// ------------------------------------------------------------ experiment ---
+
+TEST(Experiment, MakeWorkloadFamiliesAreConnected) {
+  Rng rng(1);
+  for (const GraphFamily f : standard_families()) {
+    const Graph g = make_workload(f, 300, rng);
+    EXPECT_TRUE(is_connected(g)) << family_name(f);
+    EXPECT_GE(g.num_vertices(), 100u) << family_name(f);
+  }
+  for (const GraphFamily f : tree_families()) {
+    const Graph g = make_workload(f, 300, rng);
+    EXPECT_TRUE(is_connected(g)) << family_name(f);
+    EXPECT_EQ(g.num_edges(), std::uint64_t{g.num_vertices()} - 1)
+        << family_name(f);
+  }
+}
+
+TEST(Experiment, WeightedWorkloads) {
+  Rng rng(2);
+  const Graph g = make_workload(GraphFamily::kErdosRenyi, 200, rng,
+                                /*weighted=*/true);
+  bool nonunit = false;
+  for (VertexId v = 0; v < g.num_vertices() && !nonunit; ++v) {
+    for (const Arc& a : g.arcs(v)) {
+      if (a.weight != 1.0) {
+        nonunit = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(nonunit);
+  EXPECT_GE(g.min_weight(), 1.0);
+  EXPECT_LT(g.max_weight(), 10.0);
+}
+
+TEST(Experiment, FamilyNamesAreUnique) {
+  std::set<std::string> names;
+  for (const GraphFamily f : standard_families()) names.insert(family_name(f));
+  for (const GraphFamily f : tree_families()) names.insert(family_name(f));
+  EXPECT_EQ(names.size(),
+            standard_families().size() + tree_families().size());
+}
+
+TEST(Experiment, SamplePairsExactDistances) {
+  Rng rng(3);
+  const Graph g = make_workload(GraphFamily::kTorus, 100, rng);
+  const auto pairs = sample_pairs(g, 200, rng);
+  ASSERT_EQ(pairs.size(), 200u);
+  for (const auto& p : pairs) {
+    ASSERT_NE(p.s, p.t);
+    ASSERT_LT(p.s, g.num_vertices());
+    ASSERT_LT(p.t, g.num_vertices());
+    ASSERT_GT(p.exact, 0);
+    // Cross-check a sample against direct Dijkstra.
+  }
+  const auto d = distances_from(g, pairs[0].s);
+  EXPECT_NEAR(pairs[0].exact, d[pairs[0].t], 1e-12);
+}
+
+TEST(Experiment, AllPairsEnumerates) {
+  const Graph g = path_graph(5);
+  const auto pairs = all_pairs(g);
+  EXPECT_EQ(pairs.size(), 20u);  // 5*4 ordered pairs
+  for (const auto& p : pairs) {
+    EXPECT_NEAR(p.exact,
+                static_cast<double>(p.s > p.t ? p.s - p.t : p.t - p.s),
+                1e-12);
+  }
+}
+
+TEST(Experiment, MeasureStretchAggregates) {
+  Rng rng(4);
+  const Graph g = make_workload(GraphFamily::kErdosRenyi, 150, rng);
+  const Simulator sim(g);
+  const auto pairs = sample_pairs(g, 100, rng);
+  // A fake "scheme" that returns exact routes via a closure over Dijkstra.
+  const StretchReport report =
+      measure_stretch(pairs, [&](VertexId s, VertexId t) {
+        const ShortestPathTree spt = dijkstra(g, s);
+        RouteResult r;
+        r.status = RouteStatus::kDelivered;
+        r.length = spt.dist[t];
+        r.hops = 1;
+        r.header_bits = 10;
+        return r;
+      });
+  EXPECT_EQ(report.pairs, 100u);
+  EXPECT_TRUE(report.all_delivered());
+  EXPECT_DOUBLE_EQ(report.stretch.max, 1.0);
+  EXPECT_DOUBLE_EQ(report.stretch.mean, 1.0);
+  EXPECT_EQ(report.max_header_bits, 10u);
+}
+
+TEST(Experiment, MeasureStretchCountsFailures) {
+  Rng rng(5);
+  const Graph g = make_workload(GraphFamily::kErdosRenyi, 100, rng);
+  const auto pairs = sample_pairs(g, 50, rng);
+  const StretchReport report =
+      measure_stretch(pairs, [&](VertexId, VertexId) {
+        RouteResult r;
+        r.status = RouteStatus::kHopLimit;
+        return r;
+      });
+  EXPECT_EQ(report.delivered, 0u);
+  EXPECT_FALSE(report.all_delivered());
+  EXPECT_EQ(report.stretch.count, 0u);
+}
+
+TEST(Experiment, MeasureLoadOnAPath) {
+  // Routing 0->4 and 1->3 on a path: edge loads are deterministic.
+  const Graph g = path_graph(5);
+  std::vector<PairSample> pairs = {{0, 4, 4.0}, {1, 3, 2.0}};
+  const Simulator sim(g);
+  const LoadReport rep =
+      measure_load(g, pairs, [&](VertexId s, VertexId t) {
+        return sim.run(s, t, [&](VertexId v) {
+          if (v == t) return Simulator::Decision{true, kNoPort};
+          const Port p = g.port_to(v, v < t ? v + 1 : v - 1);
+          return Simulator::Decision{false, p};
+        });
+      });
+  ASSERT_EQ(rep.edge_load.size(), 4u);
+  // Edge (0,1): only 0->4. Edges (1,2),(2,3): both. Edge (3,4): only 0->4.
+  EXPECT_EQ(rep.edge_load[0], 1u);
+  EXPECT_EQ(rep.edge_load[1], 2u);
+  EXPECT_EQ(rep.edge_load[2], 2u);
+  EXPECT_EQ(rep.edge_load[3], 1u);
+  EXPECT_EQ(rep.max_load, 2u);
+  EXPECT_EQ(rep.used_edges, 4u);
+  EXPECT_EQ(rep.delivered, 2u);
+  EXPECT_DOUBLE_EQ(rep.mean_load, 1.5);
+  EXPECT_DOUBLE_EQ(rep.concentration(), 2.0 / 1.5);
+}
+
+TEST(Experiment, MeasureLoadCountsOnlyDelivered) {
+  const Graph g = path_graph(4);
+  std::vector<PairSample> pairs = {{0, 3, 3.0}};
+  const LoadReport rep =
+      measure_load(g, pairs, [&](VertexId, VertexId) {
+        RouteResult r;
+        r.status = RouteStatus::kHopLimit;
+        return r;
+      });
+  EXPECT_EQ(rep.delivered, 0u);
+  EXPECT_EQ(rep.max_load, 0u);
+}
+
+}  // namespace
+}  // namespace croute

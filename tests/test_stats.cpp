@@ -1,0 +1,117 @@
+// Unit tests for util/stats: summaries, percentiles, CDFs and the log-log
+// slope fits that experiments T2/F2 use to verify scaling exponents.
+
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace croute {
+namespace {
+
+TEST(Summarize, EmptySampleIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0);
+  EXPECT_EQ(s.max, 0);
+}
+
+TEST(Summarize, SingleValue) {
+  const Summary s = summarize({5.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min, 5.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_EQ(s.mean, 5.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.p50, 5.0);
+  EXPECT_EQ(s.p99, 5.0);
+}
+
+TEST(Summarize, KnownSample) {
+  const Summary s = summarize({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  EXPECT_EQ(s.count, 10u);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 10.0);
+  EXPECT_DOUBLE_EQ(s.mean, 5.5);
+  EXPECT_NEAR(s.stddev, 2.8723, 1e-3);  // population stddev
+  EXPECT_EQ(s.p50, 5.0);                // nearest-rank on sorted sample
+}
+
+TEST(Summarize, OrderInvariant) {
+  const Summary a = summarize({3, 1, 4, 1, 5, 9, 2, 6});
+  const Summary b = summarize({9, 6, 5, 4, 3, 2, 1, 1});
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.p50, b.p50);
+  EXPECT_EQ(a.p90, b.p90);
+}
+
+TEST(PercentileSorted, NearestRankDefinition) {
+  const std::vector<double> s = {10, 20, 30, 40, 50};
+  EXPECT_EQ(percentile_sorted(s, 0), 10.0);
+  EXPECT_EQ(percentile_sorted(s, 20), 10.0);   // ceil(0.2*5) = 1st
+  EXPECT_EQ(percentile_sorted(s, 40), 20.0);
+  EXPECT_EQ(percentile_sorted(s, 50), 30.0);
+  EXPECT_EQ(percentile_sorted(s, 100), 50.0);
+}
+
+TEST(EmpiricalCdf, MonotoneAndComplete) {
+  std::vector<double> sample;
+  for (int i = 100; i >= 1; --i) sample.push_back(i);
+  const auto cdf = empirical_cdf(sample, 20);
+  ASSERT_FALSE(cdf.empty());
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GE(cdf[i].fraction, cdf[i - 1].fraction);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+  EXPECT_EQ(cdf.back().value, 100.0);
+}
+
+TEST(FitLine, ExactLine) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {3, 5, 7, 9, 11};  // y = 1 + 2x
+  const LinearFit f = fit_line(x, y);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(f.slope, 2.0, 1e-9);
+}
+
+TEST(FitLogLogSlope, ExactPowerLaw) {
+  // y = 7 * x^0.5 must fit slope 0.5 exactly.
+  std::vector<double> x, y;
+  for (double v = 16; v <= 65536; v *= 2) {
+    x.push_back(v);
+    y.push_back(7.0 * std::sqrt(v));
+  }
+  EXPECT_NEAR(fit_loglog_slope(x, y), 0.5, 1e-9);
+}
+
+TEST(FitLogLogSlope, CubeRootLaw) {
+  std::vector<double> x, y;
+  for (double v = 8; v <= 1u << 24; v *= 2) {
+    x.push_back(v);
+    y.push_back(3.0 * std::cbrt(v));
+  }
+  EXPECT_NEAR(fit_loglog_slope(x, y), 1.0 / 3.0, 1e-9);
+}
+
+TEST(FitLogLogSlope, PolylogPerturbationStaysClose) {
+  // y = sqrt(x) * log2(x): slope fitted over a dyadic range stays within
+  // ~0.15 of 1/2 — the tolerance T2 uses.
+  std::vector<double> x, y;
+  for (double v = 1024; v <= 1 << 20; v *= 2) {
+    x.push_back(v);
+    y.push_back(std::sqrt(v) * std::log2(v));
+  }
+  EXPECT_NEAR(fit_loglog_slope(x, y), 0.5, 0.15);
+}
+
+TEST(FormatBits, HumanReadable) {
+  EXPECT_EQ(format_bits(12), "12b");
+  EXPECT_NE(format_bits(12345).find("Kb"), std::string::npos);
+  EXPECT_NE(format_bits(3.5e6).find("Mb"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace croute
