@@ -7,8 +7,13 @@
 /// a prebuilt n=2048 scheme: per-hop step with binary search and with the
 /// FKS index, source-side prepare (direct and handshake), the bare tree
 /// decision, the oracle query, and the baselines' decision functions.
+/// Accepts --seed=N (fixture reseed) ahead of google-benchmark's own flags.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "baseline/cowen.hpp"
 #include "baseline/full_table.hpp"
@@ -21,6 +26,10 @@
 namespace {
 
 using namespace croute;
+
+/// Base seed for the fixture, settable via --seed=N (every derived Rng
+/// offsets from it, so one flag reseeds the whole fixture).
+std::uint64_t g_seed = 42;
 
 /// One lazily-built shared fixture: n=2048 ER graph plus every scheme.
 struct Fixture {
@@ -35,11 +44,11 @@ struct Fixture {
   static const Fixture& get() {
     static Fixture f = [] {
       Fixture x;
-      Rng rng(42);
+      Rng rng(g_seed);
       x.g = make_workload(GraphFamily::kErdosRenyi, 2048, rng);
       TZSchemeOptions opt;
       opt.pre.k = 3;
-      Rng r1(43), r2(43), r3(44), r4(45);
+      Rng r1(g_seed + 1), r2(g_seed + 1), r3(g_seed + 2), r4(g_seed + 3);
       x.plain = new TZScheme(x.g, opt, r1);
       opt.hash_index = true;
       x.hashed = new TZScheme(x.g, opt, r2);
@@ -48,7 +57,7 @@ struct Fixture {
       x.oracle = new DistanceOracle(x.g, oopt, r3);
       x.cowen = new CowenScheme(x.g, r4);
       x.full = new FullTableScheme(x.g);
-      Rng prng(46);
+      Rng prng(g_seed + 4);
       x.pairs = sample_pairs(x.g, 512, prng);
       return x;
     }();
@@ -158,4 +167,23 @@ BENCHMARK(BM_FullTableNextHop);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN: peel off --seed=N (google-benchmark
+// rejects flags it does not know) before handing argv to the library.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--seed=", 0) == 0) {
+      g_seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

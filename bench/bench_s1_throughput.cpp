@@ -1,0 +1,176 @@
+/// \file bench_s1_throughput.cpp
+/// \brief Experiment S1 — serving throughput of the sharded route service.
+///
+/// Claim: route-query handling over an immutable compact-routing scheme is
+/// embarrassingly parallel — the service scales near-linearly with worker
+/// threads while producing byte-identical answers at every thread count
+/// (the dynamic shard schedule affects only *when* a query runs, never its
+/// result). We serve the same traffic at 1, 2, 4, ... threads, report
+/// throughput, latency percentiles and stretch, and cross-check every
+/// multi-threaded run's answers against the single-threaded reference.
+///
+/// Flags: --n --family --scheme --workload --queries --batch --k --seed
+///        --threads (comma list) --json out.json
+///
+/// Note: the speedup column reflects the machine's core count; on a
+/// single-core container every thread count serves at the same rate.
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "service/route_service.hpp"
+#include "service/workload.hpp"
+#include "sim/experiment.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+using namespace croute;
+
+std::vector<unsigned> parse_thread_list(const std::string& spec) {
+  std::vector<unsigned> threads;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const long v = std::strtol(item.c_str(), nullptr, 10);
+    if (v > 0) threads.push_back(static_cast<unsigned>(v));
+  }
+  if (threads.empty()) threads = {1, 2, 4};
+  return threads;
+}
+
+GraphFamily parse_family(const std::string& name) {
+  if (name == "er") return GraphFamily::kErdosRenyi;
+  if (name == "geometric") return GraphFamily::kGeometric;
+  if (name == "ba") return GraphFamily::kBarabasiAlbert;
+  if (name == "ws") return GraphFamily::kWattsStrogatz;
+  if (name == "ring") return GraphFamily::kRingOfCliques;
+  throw std::invalid_argument("unknown family: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const Flags flags(argc, argv);
+  const auto n = static_cast<VertexId>(flags.get_int("n", 10000));
+  const std::string family = flags.get_string("family", "er");
+  const SchemeKind scheme = parse_scheme(flags.get_string("scheme", "tz"));
+  const WorkloadKind workload =
+      parse_workload(flags.get_string("workload", "uniform"));
+  const auto queries =
+      static_cast<std::uint32_t>(flags.get_int("queries", 50000));
+  const auto batch = static_cast<std::uint32_t>(flags.get_int("batch", 2048));
+  const auto k = static_cast<std::uint32_t>(flags.get_int("k", 3));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const std::vector<unsigned> thread_counts =
+      parse_thread_list(flags.get_string("threads", "1,2,4"));
+  const std::string json_path = flags.get_string("json", "");
+
+  bench::banner(
+      "S1",
+      "sharded serving scales with threads; answers are thread-count-"
+      "invariant",
+      ("family=" + family + " n=" + std::to_string(n) +
+       " scheme=" + scheme_name(scheme) + " traffic=" +
+       workload_name(workload) + " queries=" + std::to_string(queries))
+          .c_str());
+
+  Rng grng(seed);
+  const Graph g = make_workload(parse_family(family), n, grng);
+
+  // Bound the frontend fleet so exact-stretch accounting (one Dijkstra
+  // per distinct source) stays cheap at any query count.
+  TrafficOptions topt;
+  topt.source_pool = 64;
+  Rng trng(seed + 1);
+  std::vector<RouteQuery> traffic =
+      make_traffic(g, workload, queries, trng, topt);
+  attach_exact_distances(g, traffic);
+
+  std::printf("%8s %12s %9s %10s %10s %10s %8s %6s\n", "threads", "qps",
+              "speedup", "p50_us", "p95_us", "p99_us", "stretch", "ok");
+  bench::JsonReport report;
+  report.set("experiment", std::string("s1_throughput"))
+      .set("family", family)
+      .set("n", std::uint64_t{n})
+      .set("scheme", std::string(scheme_name(scheme)))
+      .set("workload", std::string(workload_name(workload)))
+      .set("queries", std::uint64_t{queries})
+      .set("seed", seed);
+
+  double qps_at_1 = 0;
+  std::vector<RouteAnswer> reference;
+  bool all_identical = true;
+  for (const unsigned t : thread_counts) {
+    RouteServiceOptions opt;
+    opt.scheme = scheme;
+    opt.threads = t;
+    opt.k = k;
+    opt.seed = seed + 2;
+    bench::Stopwatch preprocess_watch;
+    RouteService service(g, opt);
+    const double preprocess_s = preprocess_watch.seconds();
+
+    // Warm one batch (first-touch, pool spin-up), then measure.
+    const std::vector<RouteQuery> warm(
+        traffic.begin(),
+        traffic.begin() + std::min<std::size_t>(traffic.size(), batch));
+    service.route_batch(warm);
+
+    DriverOptions dopt;
+    dopt.batch_size = batch;
+    const DriverReport r = run_closed_loop(service, traffic, dopt);
+
+    // Thread-count invariance: all answers equal the 1-thread run's.
+    std::vector<RouteAnswer> answers = service.route_batch(traffic);
+    bool identical = true;
+    if (reference.empty()) {
+      reference = std::move(answers);
+    } else {
+      for (std::size_t i = 0; i < reference.size(); ++i) {
+        if (!same_route(reference[i], answers[i])) {
+          identical = false;
+          break;
+        }
+      }
+    }
+    all_identical = all_identical && identical;
+
+    if (qps_at_1 == 0) qps_at_1 = r.qps;
+    const double speedup = qps_at_1 > 0 ? r.qps / qps_at_1 : 0;
+    std::printf("%8u %12.0f %8.2fx %10.2f %10.2f %10.2f %8.3f %6s\n", t,
+                r.qps, speedup, r.latency_p50_us, r.latency_p95_us,
+                r.latency_p99_us, r.stretch.mean, identical ? "yes" : "NO");
+
+    report.add_row("runs")
+        .set("threads", std::uint64_t{t})
+        .set("qps", r.qps)
+        .set("speedup", speedup)
+        .set("p50_us", r.latency_p50_us)
+        .set("p95_us", r.latency_p95_us)
+        .set("p99_us", r.latency_p99_us)
+        .set("mean_stretch", r.stretch.mean)
+        .set("max_stretch", r.stretch.max)
+        .set("mean_hops", r.mean_hops)
+        .set("preprocess_s", preprocess_s)
+        .set("delivered", r.delivered)
+        .set("identical", std::string(identical ? "yes" : "no"));
+  }
+
+  std::printf("answers identical across thread counts: %s\n",
+              all_identical ? "yes" : "NO");
+  report.set("identical_across_threads",
+             std::string(all_identical ? "yes" : "no"));
+  if (!json_path.empty()) {
+    report.write(json_path);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return all_identical ? 0 : 1;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,129 @@
+/// \file route_service.cpp
+/// \brief CLI front end for the concurrent route-query engine.
+///
+/// Spins up a RouteService over a generated (or loaded) graph, drives one
+/// of the traffic scenarios through it in a closed loop, and prints the
+/// serving report: throughput, latency percentiles, stretch, and space.
+///
+/// ```
+/// ./route_service --scheme=tz --workload=hotspot --threads=4 --seed=7
+/// ./route_service --family=ba --n=20000 --scheme=cowen --workload=gravity
+/// ./route_service --graph=g.gr --warm=scheme.bin --workload=far
+/// ```
+///
+/// Flags: --scheme=tz|tz-handshake|cowen|full  --workload=uniform|gravity|
+/// hotspot|far  --threads=N (0 = all cores)  --seed=S  --family --n
+/// [--weighted]  --graph=FILE (instead of --family/--n)  --warm=FILE
+/// (scheme_io warm start, TZ only)  --queries --batch --k --source-pool
+/// [--exact] (attach exact distances for stretch even off the far workload)
+
+#include <cstdio>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "service/route_service.hpp"
+#include "service/workload.hpp"
+#include "sim/experiment.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace croute;
+
+GraphFamily parse_family(const std::string& name) {
+  if (name == "er") return GraphFamily::kErdosRenyi;
+  if (name == "geometric") return GraphFamily::kGeometric;
+  if (name == "grid") return GraphFamily::kGrid;
+  if (name == "torus") return GraphFamily::kTorus;
+  if (name == "ba") return GraphFamily::kBarabasiAlbert;
+  if (name == "ws") return GraphFamily::kWattsStrogatz;
+  if (name == "ring") return GraphFamily::kRingOfCliques;
+  throw std::invalid_argument("unknown family: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  try {
+    const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+
+    Graph g;
+    const std::string graph_path = flags.get_string("graph", "");
+    if (!graph_path.empty()) {
+      g = load_graph(graph_path);
+    } else {
+      Rng grng(seed);
+      g = make_workload(parse_family(flags.get_string("family", "er")),
+                        static_cast<VertexId>(flags.get_int("n", 10000)),
+                        grng, flags.get_bool("weighted", false));
+    }
+
+    RouteServiceOptions opt;
+    opt.scheme = parse_scheme(flags.get_string("scheme", "tz"));
+    opt.threads = static_cast<unsigned>(flags.get_int("threads", 0));
+    opt.k = static_cast<std::uint32_t>(flags.get_int("k", 3));
+    opt.seed = seed + 1;
+    opt.warm_start_path = flags.get_string("warm", "");
+
+    std::printf("graph: n=%u m=%llu\n", g.num_vertices(),
+                static_cast<unsigned long long>(g.num_edges()));
+    RouteService service(g, opt);
+    std::printf("service: scheme=%s threads=%u%s\n",
+                scheme_name(opt.scheme), service.threads(),
+                opt.warm_start_path.empty()
+                    ? ""
+                    : (" (warm start: " + opt.warm_start_path + ")").c_str());
+
+    const WorkloadKind workload =
+        parse_workload(flags.get_string("workload", "uniform"));
+    TrafficOptions topt;
+    topt.source_pool =
+        static_cast<std::uint32_t>(flags.get_int("source-pool", 64));
+    Rng trng(seed + 2);
+    std::vector<RouteQuery> traffic = make_traffic(
+        g, workload,
+        static_cast<std::uint32_t>(flags.get_int("queries", 100000)), trng,
+        topt);
+    if (flags.get_bool("exact", false) ||
+        workload == WorkloadKind::kFarPairs) {
+      attach_exact_distances(g, traffic);
+    }
+
+    DriverOptions dopt;
+    dopt.batch_size =
+        static_cast<std::uint32_t>(flags.get_int("batch", 2048));
+    const DriverReport r = run_closed_loop(service, traffic, dopt);
+
+    std::printf("traffic: %s, %llu queries in batches of %u\n",
+                workload_name(workload),
+                static_cast<unsigned long long>(r.queries),
+                dopt.batch_size);
+    std::printf("served:  %.0f qps, wall %.3fs, delivered %llu/%llu\n",
+                r.qps, r.wall_seconds,
+                static_cast<unsigned long long>(r.delivered),
+                static_cast<unsigned long long>(r.queries));
+    std::printf("latency: p50 %.2fus  p95 %.2fus  p99 %.2fus\n",
+                r.latency_p50_us, r.latency_p95_us, r.latency_p99_us);
+    if (r.stretch.count > 0) {
+      std::printf("stretch: mean %.4f  p99 %.4f  max %.4f (%llu measured)\n",
+                  r.stretch.mean, r.stretch.p99, r.stretch.max,
+                  static_cast<unsigned long long>(r.stretch.count));
+    }
+    std::printf("hops:    mean %.2f, max header %llu bits\n", r.mean_hops,
+                static_cast<unsigned long long>(r.max_header_bits));
+
+    const ServiceTelemetry tel = service.telemetry();
+    std::printf("telemetry: %llu queries over %llu batches, busy %.3fs "
+                "across %u workers\n",
+                static_cast<unsigned long long>(tel.queries),
+                static_cast<unsigned long long>(tel.batches),
+                tel.busy_seconds, service.threads());
+    return r.all_delivered() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

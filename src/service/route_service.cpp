@@ -1,0 +1,166 @@
+#include "service/route_service.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "core/scheme_io.hpp"
+#include "graph/connectivity.hpp"
+#include "util/random.hpp"
+
+namespace croute {
+
+const char* scheme_name(SchemeKind kind) noexcept {
+  switch (kind) {
+    case SchemeKind::kTZDirect: return "tz";
+    case SchemeKind::kTZHandshake: return "tz-handshake";
+    case SchemeKind::kCowen: return "cowen";
+    case SchemeKind::kFullTable: return "full";
+  }
+  return "?";
+}
+
+SchemeKind parse_scheme(const std::string& name) {
+  if (name == "tz") return SchemeKind::kTZDirect;
+  if (name == "tz-handshake" || name == "handshake")
+    return SchemeKind::kTZHandshake;
+  if (name == "cowen") return SchemeKind::kCowen;
+  if (name == "full" || name == "full-table") return SchemeKind::kFullTable;
+  throw std::invalid_argument("unknown scheme: " + name +
+                              " (want tz|tz-handshake|cowen|full)");
+}
+
+bool same_route(const RouteAnswer& a, const RouteAnswer& b) noexcept {
+  return a.status == b.status && a.length == b.length && a.hops == b.hops &&
+         a.header_bits == b.header_bits && a.stretch == b.stretch &&
+         a.path == b.path;
+}
+
+/// Per-worker telemetry scratch. Padded to a cache line so neighboring
+/// shards never false-share under concurrent increments.
+struct alignas(64) RouteService::Shard {
+  std::uint64_t queries = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t total_hops = 0;
+  std::uint64_t max_header_bits = 0;
+  double busy_seconds = 0;
+};
+
+RouteService::RouteService(const Graph& g, const RouteServiceOptions& options)
+    : g_(&g),
+      options_(options),
+      sim_(g, SimOptions{0, options.record_paths}) {
+  CROUTE_REQUIRE(g.num_vertices() >= 2, "RouteService needs >= 2 vertices");
+  CROUTE_REQUIRE(is_connected(g),
+                 "RouteService requires a connected graph (route per "
+                 "component via PartitionedScheme upstream)");
+  const bool is_tz = options.scheme == SchemeKind::kTZDirect ||
+                     options.scheme == SchemeKind::kTZHandshake;
+  CROUTE_REQUIRE(options.warm_start_path.empty() || is_tz,
+                 "warm start (scheme_io) is available for TZ schemes only");
+  switch (options.scheme) {
+    case SchemeKind::kTZDirect:
+    case SchemeKind::kTZHandshake: {
+      if (!options.warm_start_path.empty()) {
+        tz_ = std::make_unique<TZScheme>(
+            load_scheme_file(options.warm_start_path, g));
+      } else {
+        TZSchemeOptions opt;
+        opt.pre.k = options.k;
+        Rng rng(options.seed);
+        tz_ = std::make_unique<TZScheme>(g, opt, rng);
+      }
+      break;
+    }
+    case SchemeKind::kCowen: {
+      Rng rng(options.seed);
+      cowen_ = std::make_unique<CowenScheme>(g, rng);
+      break;
+    }
+    case SchemeKind::kFullTable:
+      full_ = std::make_unique<FullTableScheme>(g);
+      break;
+  }
+  pool_ = std::make_unique<ThreadPool>(options.threads);
+  shards_.resize(pool_->size());
+}
+
+RouteService::~RouteService() = default;
+
+RouteAnswer RouteService::route_one(const RouteQuery& query) const {
+  RouteResult r;
+  switch (options_.scheme) {
+    case SchemeKind::kTZDirect:
+      r = route_tz(sim_, *tz_, query.s, query.t);
+      break;
+    case SchemeKind::kTZHandshake:
+      r = route_tz_handshake(sim_, *tz_, query.s, query.t);
+      break;
+    case SchemeKind::kCowen:
+      r = route_cowen(sim_, *cowen_, query.s, query.t);
+      break;
+    case SchemeKind::kFullTable:
+      r = route_full(sim_, *full_, query.s, query.t);
+      break;
+  }
+  RouteAnswer a;
+  a.status = r.status;
+  a.length = r.length;
+  a.hops = r.hops;
+  a.header_bits = r.header_bits;
+  if (r.delivered() && query.exact > 0) a.stretch = r.length / query.exact;
+  if (options_.record_paths) a.path = std::move(r.path);
+  return a;
+}
+
+std::vector<RouteAnswer> RouteService::route_batch(
+    const std::vector<RouteQuery>& queries) {
+  using clock = std::chrono::steady_clock;
+  std::vector<RouteAnswer> answers(queries.size());
+  // Chunks of 32 amortize the queue handshake while keeping the dynamic
+  // schedule responsive to skewed per-query cost (far pairs walk longer).
+  pool_->for_each(
+      queries.size(),
+      [&](std::uint64_t i, unsigned worker) {
+        const auto begin = clock::now();
+        answers[i] = route_one(queries[i]);
+        const auto end = clock::now();
+        const double sec = std::chrono::duration<double>(end - begin).count();
+        answers[i].latency_us = sec * 1e6;
+        Shard& shard = shards_[worker];
+        ++shard.queries;
+        if (answers[i].delivered()) ++shard.delivered;
+        shard.total_hops += answers[i].hops;
+        if (answers[i].header_bits > shard.max_header_bits)
+          shard.max_header_bits = answers[i].header_bits;
+        shard.busy_seconds += sec;
+      },
+      32);
+  ++batches_;
+  return answers;
+}
+
+ServiceTelemetry RouteService::telemetry() const {
+  ServiceTelemetry t;
+  t.batches = batches_;
+  for (const Shard& s : shards_) {
+    t.queries += s.queries;
+    t.delivered += s.delivered;
+    t.total_hops += s.total_hops;
+    t.busy_seconds += s.busy_seconds;
+    if (s.max_header_bits > t.max_header_bits)
+      t.max_header_bits = s.max_header_bits;
+  }
+  return t;
+}
+
+std::uint64_t RouteService::table_bits(VertexId v) const {
+  switch (options_.scheme) {
+    case SchemeKind::kTZDirect:
+    case SchemeKind::kTZHandshake: return tz_->table_bits(v);
+    case SchemeKind::kCowen: return cowen_->table_bits(v);
+    case SchemeKind::kFullTable: return full_->table_bits(v);
+  }
+  return 0;
+}
+
+}  // namespace croute

@@ -1,0 +1,160 @@
+/// \file route_service.hpp
+/// \brief RouteService: a concurrent, sharded route-query engine.
+///
+/// The Thorup–Zwick scheme exists to answer routing queries with tiny
+/// per-node state; this layer turns the single-packet `sim/` harness into
+/// a serving engine in the sense of "On Compact Routing for the Internet"
+/// (Krioukov et al.): one immutable scheme, preprocessed once (optionally
+/// warm-started from a scheme_io file), answering batched route queries
+/// from a persistent pool of worker threads.
+///
+/// Concurrency model — *immutable scheme, sharded queries*:
+///  - preprocessing happens once in the constructor; afterwards every
+///    structure consulted on the query path (tables, directories, labels,
+///    the graph CSR) is const and shared by all workers without locks;
+///  - a batch is sharded dynamically over the pool's MPMC queue in chunks;
+///    answer i is written to pre-sized slot i, so results are byte-equal
+///    for every thread count and queue interleaving;
+///  - per-worker scratch (telemetry shards) is indexed by worker id; the
+///    hot path takes no lock and touches no shared cache line.
+///
+/// Telemetry: every answer records status, walk length, hops, header bits
+/// and — when the query carries its exact distance — stretch; the service
+/// aggregates totals per worker and merges on demand.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/cowen.hpp"
+#include "baseline/full_table.hpp"
+#include "core/tz_scheme.hpp"
+#include "graph/graph.hpp"
+#include "sim/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/parallel.hpp"
+
+namespace croute {
+
+/// Which routing scheme the service runs. Fixed at construction: the
+/// scheme is immutable for the service's lifetime (hot-swap is a roadmap
+/// item, not a promise of this class).
+enum class SchemeKind {
+  kTZDirect,     ///< Thorup–Zwick without handshake (stretch ≤ 4k−5)
+  kTZHandshake,  ///< Thorup–Zwick with handshake (stretch ≤ 2k−1)
+  kCowen,        ///< Cowen's stretch-3 baseline
+  kFullTable,    ///< full shortest-path tables (stretch 1; small graphs)
+};
+
+const char* scheme_name(SchemeKind kind) noexcept;
+
+/// Parses "tz" / "tz-handshake" / "cowen" / "full" (throws on others).
+SchemeKind parse_scheme(const std::string& name);
+
+/// Construction-time options for RouteService.
+struct RouteServiceOptions {
+  SchemeKind scheme = SchemeKind::kTZDirect;
+  /// Worker threads (0 = worker_count()).
+  unsigned threads = 0;
+  /// TZ hierarchy depth (TZ schemes only).
+  std::uint32_t k = 3;
+  /// Preprocessing seed (landmark sampling; ignored on warm start).
+  std::uint64_t seed = 1;
+  /// Record full vertex paths in answers (tests want them; throughput
+  /// runs usually don't).
+  bool record_paths = false;
+  /// Optional scheme_io file to warm-start from instead of preprocessing
+  /// (TZ schemes only; the file must match the graph's fingerprint).
+  std::string warm_start_path;
+};
+
+/// One route query. \p exact is the true shortest-path distance when the
+/// caller knows it (workload generators attach it); 0 means unknown, in
+/// which case the answer's stretch is reported as 0.
+struct RouteQuery {
+  VertexId s = kNoVertex;
+  VertexId t = kNoVertex;
+  Weight exact = 0;
+};
+
+/// One served answer. Everything except \p latency_us is a pure function
+/// of the query and the scheme — identical across runs and thread counts.
+struct RouteAnswer {
+  RouteStatus status = RouteStatus::kHopLimit;
+  Weight length = 0;            ///< weighted length of the traversed walk
+  std::uint32_t hops = 0;       ///< edges traversed
+  std::uint64_t header_bits = 0;  ///< wire size of the carried header
+  double stretch = 0;           ///< length / exact (delivered, exact > 0)
+  double latency_us = 0;        ///< service time at the worker (telemetry)
+  std::vector<VertexId> path;   ///< visited vertices (when record_paths)
+
+  bool delivered() const noexcept {
+    return status == RouteStatus::kDelivered;
+  }
+};
+
+/// Deterministic comparison ignoring telemetry (latency).
+bool same_route(const RouteAnswer& a, const RouteAnswer& b) noexcept;
+
+/// Aggregate counters since construction, merged over worker shards.
+struct ServiceTelemetry {
+  std::uint64_t queries = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t total_hops = 0;
+  std::uint64_t max_header_bits = 0;
+  double busy_seconds = 0;  ///< summed worker time inside query handling
+};
+
+/// A concurrent route-query engine over one immutable scheme.
+///
+/// Queries may target any connected graph; the graph must outlive the
+/// service. route_batch is externally synchronized: one driver thread
+/// submits batches (concurrent batches would interleave telemetry shards;
+/// the answers themselves would still be correct).
+class RouteService {
+ public:
+  RouteService(const Graph& g, const RouteServiceOptions& options);
+  ~RouteService();
+
+  RouteService(const RouteService&) = delete;
+  RouteService& operator=(const RouteService&) = delete;
+
+  const Graph& graph() const noexcept { return *g_; }
+  const RouteServiceOptions& options() const noexcept { return options_; }
+  unsigned threads() const noexcept { return pool_->size(); }
+
+  /// Serves a batch: answers[i] is the route for queries[i]. Sharded over
+  /// the worker pool; deterministic for every thread count.
+  std::vector<RouteAnswer> route_batch(const std::vector<RouteQuery>& queries);
+
+  /// Serves one query on the calling thread (no pool dispatch).
+  RouteAnswer route_one(const RouteQuery& query) const;
+
+  /// Merged telemetry over all worker shards.
+  ServiceTelemetry telemetry() const;
+
+  /// Bits of routing state the scheme stores at vertex v (space story).
+  std::uint64_t table_bits(VertexId v) const;
+
+  /// The underlying TZ scheme, or nullptr for non-TZ kinds (stats, IO).
+  const TZScheme* tz_scheme() const noexcept { return tz_.get(); }
+
+ private:
+  struct Shard;  ///< per-worker telemetry scratch, cache-line padded
+
+  const Graph* g_;
+  RouteServiceOptions options_;
+  Simulator sim_;
+  std::unique_ptr<TZScheme> tz_;
+  std::unique_ptr<CowenScheme> cowen_;
+  std::unique_ptr<FullTableScheme> full_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<Shard> shards_;
+  std::uint64_t batches_ = 0;
+};
+
+}  // namespace croute

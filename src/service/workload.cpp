@@ -1,0 +1,252 @@
+#include "service/workload.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "graph/dijkstra.hpp"
+#include "util/parallel.hpp"
+
+namespace croute {
+
+const char* workload_name(WorkloadKind kind) noexcept {
+  switch (kind) {
+    case WorkloadKind::kUniform: return "uniform";
+    case WorkloadKind::kGravity: return "gravity";
+    case WorkloadKind::kHotspot: return "hotspot";
+    case WorkloadKind::kFarPairs: return "far-pairs";
+  }
+  return "?";
+}
+
+WorkloadKind parse_workload(const std::string& name) {
+  if (name == "uniform") return WorkloadKind::kUniform;
+  if (name == "gravity") return WorkloadKind::kGravity;
+  if (name == "hotspot") return WorkloadKind::kHotspot;
+  if (name == "far" || name == "far-pairs") return WorkloadKind::kFarPairs;
+  throw std::invalid_argument("unknown workload: " + name +
+                              " (want uniform|gravity|hotspot|far)");
+}
+
+namespace {
+
+/// Draws sources either uniformly or from a bounded pool of distinct
+/// frontends (TrafficOptions::source_pool).
+class SourceSampler {
+ public:
+  SourceSampler(VertexId n, std::uint32_t pool, Rng& rng) {
+    if (pool > 0 && pool < n) pool_ = rng.sample_without_replacement(n, pool);
+    n_ = n;
+  }
+  VertexId draw(Rng& rng) const {
+    if (pool_.empty()) return static_cast<VertexId>(rng.next_below(n_));
+    return pool_[rng.next_below(pool_.size())];
+  }
+
+ private:
+  VertexId n_ = 0;
+  std::vector<VertexId> pool_;
+};
+
+/// Cumulative-degree sampler: P(v) ∝ degree(v) (gravity-model endpoint
+/// mass). Binary search over the prefix-sum array.
+class DegreeSampler {
+ public:
+  explicit DegreeSampler(const Graph& g) {
+    cum_.reserve(g.num_vertices());
+    std::uint64_t total = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      total += g.degree(v);
+      cum_.push_back(total);
+    }
+  }
+  VertexId draw(Rng& rng) const {
+    const std::uint64_t x = rng.next_below(cum_.back());
+    return static_cast<VertexId>(
+        std::upper_bound(cum_.begin(), cum_.end(), x) - cum_.begin());
+  }
+
+ private:
+  std::vector<std::uint64_t> cum_;
+};
+
+std::vector<RouteQuery> far_pair_traffic(const Graph& g, std::uint32_t count,
+                                         Rng& rng,
+                                         const TrafficOptions& options) {
+  const VertexId n = g.num_vertices();
+  const std::uint32_t roots = std::max<std::uint32_t>(
+      1, std::min<std::uint32_t>(options.far_roots, n));
+  // Deterministic parallel harvest: roots and per-root candidate picks are
+  // fixed before dispatch; each root writes its own slot.
+  const std::vector<std::uint32_t> root_ids =
+      rng.sample_without_replacement(n, roots);
+  std::vector<Rng> forks;
+  forks.reserve(roots);
+  for (std::uint32_t r = 0; r < roots; ++r) forks.push_back(rng.fork());
+
+  const std::uint32_t per_root = (count + roots - 1) / roots;
+  std::vector<std::vector<RouteQuery>> harvest(roots);
+  parallel_for(roots, [&](std::uint64_t r) {
+    const VertexId root = root_ids[r];
+    const std::vector<Weight> dist = distances_from(g, root);
+    // Sort vertices by distance and keep the far tail.
+    std::vector<VertexId> order(n);
+    for (VertexId v = 0; v < n; ++v) order[v] = v;
+    std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+      return dist[a] != dist[b] ? dist[a] < dist[b] : a < b;
+    });
+    const std::uint32_t tail = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(
+               static_cast<double>(n) * std::min(1.0, options.far_tail)));
+    Rng local = forks[r];
+    auto& out = harvest[r];
+    out.reserve(per_root);
+    for (std::uint32_t q = 0; q < per_root; ++q) {
+      const VertexId t = order[n - 1 - local.next_below(tail)];
+      if (t == root) {
+        out.push_back({root, order[n - 1], dist[order[n - 1]]});
+      } else {
+        out.push_back({root, t, dist[t]});
+      }
+    }
+  });
+
+  std::vector<RouteQuery> traffic;
+  traffic.reserve(static_cast<std::size_t>(per_root) * roots);
+  // Interleave root-by-root so truncation to `count` keeps root diversity.
+  for (std::uint32_t q = 0; q < per_root; ++q) {
+    for (std::uint32_t r = 0; r < roots && traffic.size() < count; ++r) {
+      if (q < harvest[r].size()) traffic.push_back(harvest[r][q]);
+    }
+  }
+  traffic.resize(std::min<std::size_t>(traffic.size(), count));
+  return traffic;
+}
+
+}  // namespace
+
+std::vector<RouteQuery> make_traffic(const Graph& g, WorkloadKind kind,
+                                     std::uint32_t count, Rng& rng,
+                                     const TrafficOptions& options) {
+  const VertexId n = g.num_vertices();
+  CROUTE_REQUIRE(n >= 2, "traffic needs >= 2 vertices");
+  if (kind == WorkloadKind::kFarPairs)
+    return far_pair_traffic(g, count, rng, options);
+
+  std::vector<RouteQuery> traffic;
+  traffic.reserve(count);
+  const SourceSampler sources(n, options.source_pool, rng);
+
+  switch (kind) {
+    case WorkloadKind::kUniform: {
+      while (traffic.size() < count) {
+        const VertexId s = sources.draw(rng);
+        const VertexId t = static_cast<VertexId>(rng.next_below(n));
+        if (s != t) traffic.push_back({s, t, 0});
+      }
+      break;
+    }
+    case WorkloadKind::kGravity: {
+      CROUTE_REQUIRE(g.num_edges() > 0, "gravity traffic needs edges");
+      const DegreeSampler deg(g);
+      while (traffic.size() < count) {
+        const VertexId s =
+            options.source_pool > 0 ? sources.draw(rng) : deg.draw(rng);
+        const VertexId t = deg.draw(rng);
+        if (s != t) traffic.push_back({s, t, 0});
+      }
+      break;
+    }
+    case WorkloadKind::kHotspot: {
+      const std::uint32_t hot_count = std::max<std::uint32_t>(
+          1, std::min<std::uint32_t>(options.hotspots, n));
+      const std::vector<std::uint32_t> hot =
+          rng.sample_without_replacement(n, hot_count);
+      while (traffic.size() < count) {
+        const VertexId s = sources.draw(rng);
+        VertexId t;
+        if (rng.next_double() < options.hotspot_fraction) {
+          t = hot[rng.next_below(hot.size())];
+        } else {
+          t = static_cast<VertexId>(rng.next_below(n));
+        }
+        if (s != t) traffic.push_back({s, t, 0});
+      }
+      break;
+    }
+    case WorkloadKind::kFarPairs:
+      break;  // handled above
+  }
+  return traffic;
+}
+
+void attach_exact_distances(const Graph& g, std::vector<RouteQuery>& queries) {
+  // Group query indices by source; one Dijkstra per distinct source.
+  std::unordered_map<VertexId, std::vector<std::size_t>> by_source;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (queries[i].exact <= 0) by_source[queries[i].s].push_back(i);
+  }
+  std::vector<std::pair<VertexId, std::vector<std::size_t>>> groups(
+      by_source.begin(), by_source.end());
+  // Deterministic order for reproducible parallel slot writes.
+  std::sort(groups.begin(), groups.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  parallel_for(groups.size(), [&](std::uint64_t gi) {
+    const std::vector<Weight> dist = distances_from(g, groups[gi].first);
+    for (const std::size_t i : groups[gi].second) {
+      queries[i].exact = dist[queries[i].t];
+    }
+  });
+}
+
+DriverReport run_closed_loop(RouteService& service,
+                             const std::vector<RouteQuery>& traffic,
+                             const DriverOptions& options) {
+  using clock = std::chrono::steady_clock;
+  const std::uint32_t batch =
+      std::max<std::uint32_t>(1, options.batch_size);
+
+  DriverReport report;
+  std::vector<double> latencies;
+  latencies.reserve(traffic.size());
+  std::vector<double> stretches;
+  std::uint64_t hops = 0;
+
+  const auto start = clock::now();
+  for (std::size_t begin = 0; begin < traffic.size(); begin += batch) {
+    const std::size_t end = std::min(traffic.size(), begin + batch);
+    const std::vector<RouteQuery> slice(traffic.begin() + begin,
+                                        traffic.begin() + end);
+    const std::vector<RouteAnswer> answers = service.route_batch(slice);
+    for (std::size_t i = 0; i < answers.size(); ++i) {
+      const RouteAnswer& a = answers[i];
+      ++report.queries;
+      if (a.delivered()) ++report.delivered;
+      hops += a.hops;
+      latencies.push_back(a.latency_us);
+      if (a.stretch > 0) stretches.push_back(a.stretch);
+      if (a.header_bits > report.max_header_bits)
+        report.max_header_bits = a.header_bits;
+      if (options.verify_against_serial) {
+        RouteAnswer ref = service.route_one(slice[i]);
+        if (!same_route(a, ref)) ++report.mismatches;
+      }
+    }
+  }
+  report.wall_seconds =
+      std::chrono::duration<double>(clock::now() - start).count();
+  report.qps = report.wall_seconds > 0
+                   ? static_cast<double>(report.queries) / report.wall_seconds
+                   : 0;
+  report.mean_hops =
+      report.queries > 0 ? static_cast<double>(hops) / report.queries : 0;
+  std::sort(latencies.begin(), latencies.end());
+  report.latency_p50_us = percentile_sorted(latencies, 50);
+  report.latency_p95_us = percentile_sorted(latencies, 95);
+  report.latency_p99_us = percentile_sorted(latencies, 99);
+  report.stretch = summarize(std::move(stretches));
+  return report;
+}
+
+}  // namespace croute

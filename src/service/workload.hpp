@@ -1,0 +1,111 @@
+/// \file workload.hpp
+/// \brief Traffic scenarios and the closed-loop serving driver.
+///
+/// "Compact Oblivious Routing" (Räcke & Schmid) makes the case that a
+/// routing scheme's quality is a property of the *traffic matrix*, not of
+/// single s→t probes. This module generates query streams under four
+/// matrices that bracket serving reality:
+///
+///  - **uniform** — every ordered pair equally likely; the neutral
+///    baseline every bench already uses;
+///  - **gravity** — endpoint probability proportional to degree (the
+///    standard gravity-model proxy: traffic mass follows node size),
+///    which on heavy-tailed graphs concentrates load on hubs;
+///  - **hotspot** — a handful of hot destinations receive a fixed
+///    fraction of all traffic (flash crowds, popular services);
+///  - **far-pairs** — adversarially distant pairs (sampled from the far
+///    tail of BFS/Dijkstra distance from random roots): maximizes hop
+///    counts and stresses the landmark detour worst case.
+///
+/// Generators are deterministic given (graph, seed) and independent of
+/// thread count. The closed-loop driver feeds batches to a RouteService,
+/// waits for each to drain (closed loop: offered load = service rate) and
+/// reports throughput, per-query latency percentiles, and stretch through
+/// the same Summary machinery the benches print.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/route_service.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+
+namespace croute {
+
+/// Named traffic matrices.
+enum class WorkloadKind {
+  kUniform,
+  kGravity,
+  kHotspot,
+  kFarPairs,
+};
+
+const char* workload_name(WorkloadKind kind) noexcept;
+
+/// Parses "uniform" / "gravity" / "hotspot" / "far" (throws on others).
+WorkloadKind parse_workload(const std::string& name);
+
+/// Shape parameters of a traffic scenario.
+struct TrafficOptions {
+  /// If > 0, sources are drawn from a random pool of this many distinct
+  /// vertices (modeling a bounded frontend fleet). Bounds the number of
+  /// Dijkstra runs attach_exact_distances needs, so exact-stretch
+  /// accounting stays affordable on large graphs. 0 = unrestricted.
+  std::uint32_t source_pool = 0;
+  /// Hotspot scenario: number of hot destinations and the fraction of
+  /// queries aimed at them (the rest are uniform).
+  std::uint32_t hotspots = 8;
+  double hotspot_fraction = 0.9;
+  /// Far-pairs scenario: number of Dijkstra roots used to harvest the
+  /// far tail, and the tail fraction considered "far".
+  std::uint32_t far_roots = 32;
+  double far_tail = 0.05;
+};
+
+/// Generates \p count queries over \p g under \p kind. Deterministic in
+/// (g, kind, options, rng state). Queries' \p exact fields are 0 except
+/// for far-pairs, whose construction computes distances anyway.
+std::vector<RouteQuery> make_traffic(const Graph& g, WorkloadKind kind,
+                                     std::uint32_t count, Rng& rng,
+                                     const TrafficOptions& options = {});
+
+/// Fills \p queries' exact distances (one Dijkstra per distinct source,
+/// parallelized over sources). Skips queries that already carry one.
+void attach_exact_distances(const Graph& g, std::vector<RouteQuery>& queries);
+
+/// Knobs of one closed-loop run.
+struct DriverOptions {
+  std::uint32_t batch_size = 1024;
+  /// Verify that every answer in every batch matches route_one (the
+  /// single-threaded reference) — used by tests and the bench's
+  /// cross-thread-count identity check. Slows the run; off by default.
+  bool verify_against_serial = false;
+};
+
+/// What one closed-loop run observed.
+struct DriverReport {
+  std::uint64_t queries = 0;
+  std::uint64_t delivered = 0;
+  double wall_seconds = 0;
+  double qps = 0;             ///< queries / wall_seconds
+  double latency_p50_us = 0;  ///< per-query service-time percentiles
+  double latency_p95_us = 0;
+  double latency_p99_us = 0;
+  Summary stretch;            ///< over delivered queries with exact > 0
+  double mean_hops = 0;
+  std::uint64_t max_header_bits = 0;
+  std::uint64_t mismatches = 0;  ///< verify_against_serial failures
+
+  bool all_delivered() const noexcept { return delivered == queries; }
+};
+
+/// Feeds \p traffic to \p service in batches, waiting for each batch to
+/// drain before submitting the next, and aggregates the report.
+DriverReport run_closed_loop(RouteService& service,
+                             const std::vector<RouteQuery>& traffic,
+                             const DriverOptions& options = {});
+
+}  // namespace croute
