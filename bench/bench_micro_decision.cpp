@@ -1,189 +1,262 @@
 /// \file bench_micro_decision.cpp
-/// \brief Experiment micro — O(1) decision costs (google-benchmark).
+/// \brief Experiment micro — O(1) decision costs, legacy vs flat layout.
 ///
 /// Claim (SPAA'01): routing decisions are constant time — one table
-/// lookup (hashed: O(1) worst case; binary-searched: O(log of a small
-/// table)) plus an O(1) interval test. We measure the hot operations on
-/// a prebuilt n=2048 scheme: per-hop step with binary search and with the
-/// FKS index, source-side prepare (direct and handshake), the bare tree
-/// decision, the oracle query, and the baselines' decision functions.
-/// Accepts --seed=N (fixture reseed) ahead of google-benchmark's own flags.
+/// lookup plus an O(1) interval test. What that costs in practice is a
+/// memory-layout question, and this bench tracks it across PRs: the
+/// legacy pointer-rich structures (per-vertex VertexTable binary search,
+/// ClusterDirectory probe, TreeLabel-allocating prepare) against the flat
+/// structure-of-arrays view of core/flat_scheme.hpp in both lookup
+/// layouts (Eytzinger descent and the global FKS perfect hash).
+///
+/// "decision" is the full source decision: prepare (rule 0 + label scan)
+/// followed by the first per-hop step — exactly the per-packet work the
+/// paper bounds. The headline `flat_speedup` scalar is
+/// legacy_decision_ns / flat_decision_ns for the default (FKS) layout.
+///
+/// Flags: --n (default 10000) --k --pairs --iters --seed
+///        --json out.json (JsonReport trajectory file)
+/// Baseline decisions (Cowen step, full-table next-hop, oracle query,
+/// bare tree decide) are additionally measured when n <= 4096 (their
+/// preprocessing is quadratic-ish; the default n skips them).
 
-#include <benchmark/benchmark.h>
-
-#include <cstdlib>
+#include <cstdio>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "baseline/cowen.hpp"
 #include "baseline/full_table.hpp"
+#include "bench_common.hpp"
+#include "core/flat_scheme.hpp"
 #include "core/tz_router.hpp"
 #include "core/tz_scheme.hpp"
 #include "oracle/distance_oracle.hpp"
 #include "sim/experiment.hpp"
+#include "util/flags.hpp"
 #include "util/random.hpp"
 
 namespace {
 
 using namespace croute;
 
-/// Base seed for the fixture, settable via --seed=N (every derived Rng
-/// offsets from it, so one flag reseeds the whole fixture).
-std::uint64_t g_seed = 42;
+/// Accumulator the optimizer cannot remove.
+volatile std::uint64_t g_sink = 0;
 
-/// One lazily-built shared fixture: n=2048 ER graph plus every scheme.
-struct Fixture {
-  Graph g;
-  TZScheme* plain;
-  TZScheme* hashed;
-  DistanceOracle* oracle;
-  CowenScheme* cowen;
-  FullTableScheme* full;
-  std::vector<PairSample> pairs;
-
-  static const Fixture& get() {
-    static Fixture f = [] {
-      Fixture x;
-      Rng rng(g_seed);
-      x.g = make_workload(GraphFamily::kErdosRenyi, 2048, rng);
-      TZSchemeOptions opt;
-      opt.pre.k = 3;
-      Rng r1(g_seed + 1), r2(g_seed + 1), r3(g_seed + 2), r4(g_seed + 3);
-      x.plain = new TZScheme(x.g, opt, r1);
-      opt.hash_index = true;
-      x.hashed = new TZScheme(x.g, opt, r2);
-      DistanceOracle::Options oopt;
-      oopt.k = 3;
-      x.oracle = new DistanceOracle(x.g, oopt, r3);
-      x.cowen = new CowenScheme(x.g, r4);
-      x.full = new FullTableScheme(x.g);
-      Rng prng(g_seed + 4);
-      x.pairs = sample_pairs(x.g, 512, prng);
-      return x;
-    }();
-    return f;
-  }
-};
-
-void BM_TZPrepareDirect(benchmark::State& state) {
-  const Fixture& f = Fixture::get();
-  const TZRouter router(*f.plain);
-  std::size_t i = 0;
-  for (auto _ : state) {
-    const auto& p = f.pairs[i++ % f.pairs.size()];
-    benchmark::DoNotOptimize(router.prepare(p.s, f.plain->label(p.t)));
-  }
+/// Runs fn(i) for iters iterations (after a 1/8 warmup) and returns the
+/// mean cost in nanoseconds.
+template <typename Fn>
+double measure_ns(std::uint64_t iters, Fn&& fn) {
+  std::uint64_t sink = 0;
+  for (std::uint64_t i = 0; i < iters / 8; ++i) sink += fn(i);
+  bench::Stopwatch sw;
+  for (std::uint64_t i = 0; i < iters; ++i) sink += fn(i);
+  const double ns = sw.seconds() * 1e9 / static_cast<double>(iters);
+  g_sink = g_sink + sink;
+  return ns;
 }
-BENCHMARK(BM_TZPrepareDirect);
-
-void BM_TZPrepareHandshake(benchmark::State& state) {
-  const Fixture& f = Fixture::get();
-  const TZRouter router(*f.plain);
-  std::size_t i = 0;
-  for (auto _ : state) {
-    const auto& p = f.pairs[i++ % f.pairs.size()];
-    benchmark::DoNotOptimize(router.prepare_handshake(p.s, p.t));
-  }
-}
-BENCHMARK(BM_TZPrepareHandshake);
-
-void BM_TZStepBinarySearch(benchmark::State& state) {
-  const Fixture& f = Fixture::get();
-  const TZRouter router(*f.plain);
-  const auto& p = f.pairs[0];
-  const TZHeader h = router.prepare(p.s, f.plain->label(p.t));
-  std::size_t i = 0;
-  for (auto _ : state) {
-    const VertexId v = f.pairs[i++ % f.pairs.size()].s;
-    // Step in the top-level tree: every vertex holds an entry for it.
-    TZHeader top = h;
-    top.tree_root =
-        f.plain->preprocessing().effective_pivot(2, h.tree_root);
-    benchmark::DoNotOptimize(router.step(v, top));
-  }
-}
-BENCHMARK(BM_TZStepBinarySearch);
-
-void BM_TZStepHashed(benchmark::State& state) {
-  const Fixture& f = Fixture::get();
-  const TZRouter router(*f.hashed);
-  const auto& p = f.pairs[0];
-  const TZHeader h = router.prepare(p.s, f.hashed->label(p.t));
-  std::size_t i = 0;
-  for (auto _ : state) {
-    const VertexId v = f.pairs[i++ % f.pairs.size()].s;
-    TZHeader top = h;
-    top.tree_root =
-        f.hashed->preprocessing().effective_pivot(2, h.tree_root);
-    benchmark::DoNotOptimize(router.step(v, top));
-  }
-}
-BENCHMARK(BM_TZStepHashed);
-
-void BM_TreeDecide(benchmark::State& state) {
-  const Fixture& f = Fixture::get();
-  // A record/label pair from the top-level tree of the plain scheme.
-  const auto& p = f.pairs[0];
-  const VertexId root =
-      f.plain->preprocessing().effective_pivot(2, p.t);
-  const TableEntry* e = f.plain->lookup(p.s, root);
-  const TableEntry* et = f.plain->lookup(p.t, root);
-  const TreeLabel dest = f.plain->table(p.t).own_label(*et);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(TreeRoutingScheme::decide(e->record, dest));
-  }
-}
-BENCHMARK(BM_TreeDecide);
-
-void BM_OracleQuery(benchmark::State& state) {
-  const Fixture& f = Fixture::get();
-  std::size_t i = 0;
-  for (auto _ : state) {
-    const auto& p = f.pairs[i++ % f.pairs.size()];
-    benchmark::DoNotOptimize(f.oracle->query(p.s, p.t));
-  }
-}
-BENCHMARK(BM_OracleQuery);
-
-void BM_CowenStep(benchmark::State& state) {
-  const Fixture& f = Fixture::get();
-  std::size_t i = 0;
-  for (auto _ : state) {
-    const auto& p = f.pairs[i++ % f.pairs.size()];
-    benchmark::DoNotOptimize(f.cowen->step(p.s, f.cowen->label(p.t)));
-  }
-}
-BENCHMARK(BM_CowenStep);
-
-void BM_FullTableNextHop(benchmark::State& state) {
-  const Fixture& f = Fixture::get();
-  std::size_t i = 0;
-  for (auto _ : state) {
-    const auto& p = f.pairs[i++ % f.pairs.size()];
-    benchmark::DoNotOptimize(f.full->next_hop(p.s, p.t));
-  }
-}
-BENCHMARK(BM_FullTableNextHop);
 
 }  // namespace
 
-// Custom main instead of BENCHMARK_MAIN: peel off --seed=N (google-benchmark
-// rejects flags it does not know) before handing argv to the library.
-int main(int argc, char** argv) {
-  std::vector<char*> args;
-  for (int i = 0; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--seed=", 0) == 0) {
-      g_seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
-    } else {
-      args.push_back(argv[i]);
-    }
+int main(int argc, char** argv) try {
+  const Flags flags(argc, argv);
+  const auto n = static_cast<VertexId>(flags.get_int("n", 10000));
+  const auto k = static_cast<std::uint32_t>(flags.get_int("k", 3));
+  const auto num_pairs =
+      static_cast<std::uint32_t>(flags.get_int("pairs", 512));
+  const auto iters = static_cast<std::uint64_t>(
+      flags.get_int("iters", 200000));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  const std::string json_path = flags.get_string("json", "");
+
+  bench::banner("micro",
+                "O(1) decision time: flat SoA layout vs legacy structures",
+                ("family=er n=" + std::to_string(n) +
+                 " k=" + std::to_string(k) +
+                 " pairs=" + std::to_string(num_pairs))
+                    .c_str());
+
+  Rng grng(seed);
+  const Graph g = make_workload(GraphFamily::kErdosRenyi, n, grng);
+  TZSchemeOptions opt;
+  opt.pre.k = k;
+  Rng srng(seed + 1);
+  bench::Stopwatch build_watch;
+  const TZScheme scheme(g, opt, srng);
+  const double preprocess_s = build_watch.seconds();
+
+  build_watch.reset();
+  FlatSchemeOptions eopt;
+  eopt.lookup = FlatLookup::kEytzinger;
+  const FlatScheme flat_eytz(scheme, eopt);
+  FlatSchemeOptions fopt;
+  fopt.lookup = FlatLookup::kFKS;
+  const FlatScheme flat_fks(scheme, fopt);
+  const double compile_s = build_watch.seconds();
+
+  const TZRouter router(scheme);
+  const FlatRouter router_eytz(flat_eytz);
+  const FlatRouter router_fks(flat_fks);
+
+  Rng prng(seed + 2);
+  const std::vector<PairSample> pairs = sample_pairs(g, num_pairs, prng);
+  const auto pair_at = [&](std::uint64_t i) -> const PairSample& {
+    return pairs[i % pairs.size()];
+  };
+  // Per-hop step fixture: headers in the top-level tree (every vertex
+  // holds an entry for a top-level center).
+  const VertexId top_root =
+      scheme.preprocessing().effective_pivot(k - 1, pairs[0].t);
+  const TZHeader top_legacy{pairs[0].t, top_root,
+                            scheme.table(pairs[0].t)
+                                .own_label(*scheme.lookup(pairs[0].t,
+                                                          top_root))};
+  const FlatHeader top_eytz = [&] {
+    FlatHeader h = router_eytz.prepare(pairs[0].s, pairs[0].t);
+    const std::uint32_t idx = flat_eytz.find(pairs[0].t, top_root);
+    h.tree_root = top_root;
+    h.dfs_in = flat_eytz.own_dfs(idx);
+    h.light = flat_eytz.own_light_ports(idx).data();
+    h.light_len =
+        static_cast<std::uint32_t>(flat_eytz.own_light_ports(idx).size());
+    return h;
+  }();
+  const FlatHeader top_fks = [&] {
+    FlatHeader h = top_eytz;
+    const std::uint32_t idx = flat_fks.find(pairs[0].t, top_root);
+    h.light = flat_fks.own_light_ports(idx).data();
+    return h;
+  }();
+
+  bench::JsonReport report;
+  report.set("experiment", std::string("micro_decision"))
+      .set("family", std::string("er"))
+      .set("n", std::uint64_t{n})
+      .set("k", std::uint64_t{k})
+      .set("pairs", std::uint64_t{num_pairs})
+      .set("iters", iters)
+      .set("seed", seed)
+      .set("preprocess_s", preprocess_s)
+      .set("flat_compile_s", compile_s);
+
+  std::printf("%-28s %12s\n", "operation", "ns/op");
+  const auto run = [&](const char* name, double ns) {
+    std::printf("%-28s %12.1f\n", name, ns);
+    report.add_row("ops").set("name", std::string(name)).set("ns_per_op", ns);
+    return ns;
+  };
+
+  // --- source-side prepare ------------------------------------------------
+  const double prep_legacy = run("prepare/legacy", measure_ns(iters, [&](std::uint64_t i) {
+    const PairSample& p = pair_at(i);
+    const TZHeader h = router.prepare(p.s, scheme.label(p.t));
+    return std::uint64_t{h.tree_root} + h.tree_label.dfs_in;
+  }));
+  run("prepare/flat-eytzinger", measure_ns(iters, [&](std::uint64_t i) {
+    const PairSample& p = pair_at(i);
+    const FlatHeader h = router_eytz.prepare(p.s, p.t);
+    return std::uint64_t{h.tree_root} + h.dfs_in;
+  }));
+  const double prep_fks = run("prepare/flat-fks", measure_ns(iters, [&](std::uint64_t i) {
+    const PairSample& p = pair_at(i);
+    const FlatHeader h = router_fks.prepare(p.s, p.t);
+    return std::uint64_t{h.tree_root} + h.dfs_in;
+  }));
+
+  // --- handshake prepare --------------------------------------------------
+  run("handshake/legacy", measure_ns(iters, [&](std::uint64_t i) {
+    const PairSample& p = pair_at(i);
+    const TZHeader h = router.prepare_handshake(p.s, p.t);
+    return std::uint64_t{h.tree_root} + h.tree_label.dfs_in;
+  }));
+  run("handshake/flat-fks", measure_ns(iters, [&](std::uint64_t i) {
+    const PairSample& p = pair_at(i);
+    const FlatHeader h = router_fks.prepare_handshake(p.s, p.t);
+    return std::uint64_t{h.tree_root} + h.dfs_in;
+  }));
+
+  // --- per-hop step (top-level tree: every vertex has the entry) ----------
+  const double step_legacy = run("step/legacy-binsearch", measure_ns(iters, [&](std::uint64_t i) {
+    const VertexId v = pair_at(i).s;
+    const TreeDecision d = router.step(v, top_legacy);
+    return std::uint64_t{d.port} + d.deliver;
+  }));
+  run("step/flat-eytzinger", measure_ns(iters, [&](std::uint64_t i) {
+    const VertexId v = pair_at(i).s;
+    const TreeDecision d = router_eytz.step(v, top_eytz);
+    return std::uint64_t{d.port} + d.deliver;
+  }));
+  const double step_fks = run("step/flat-fks", measure_ns(iters, [&](std::uint64_t i) {
+    const VertexId v = pair_at(i).s;
+    const TreeDecision d = router_fks.step(v, top_fks);
+    return std::uint64_t{d.port} + d.deliver;
+  }));
+
+  // --- the full source decision: prepare + first step ---------------------
+  const double dec_legacy = run("decision/legacy", measure_ns(iters, [&](std::uint64_t i) {
+    const PairSample& p = pair_at(i);
+    const TZHeader h = router.prepare(p.s, scheme.label(p.t));
+    const TreeDecision d = router.step(p.s, h);
+    return std::uint64_t{h.tree_root} + d.port;
+  }));
+  const double dec_eytz =
+      run("decision/flat-eytzinger", measure_ns(iters, [&](std::uint64_t i) {
+        const PairSample& p = pair_at(i);
+        const FlatHeader h = router_eytz.prepare(p.s, p.t);
+        const TreeDecision d = router_eytz.step(p.s, h);
+        return std::uint64_t{h.tree_root} + d.port;
+      }));
+  const double dec_fks = run("decision/flat-fks", measure_ns(iters, [&](std::uint64_t i) {
+    const PairSample& p = pair_at(i);
+    const FlatHeader h = router_fks.prepare(p.s, p.t);
+    const TreeDecision d = router_fks.step(p.s, h);
+    return std::uint64_t{h.tree_root} + d.port;
+  }));
+
+  // --- baselines (preprocessing too heavy beyond a few thousand) ----------
+  if (n <= 4096) {
+    Rng orng(seed + 3), crng(seed + 4);
+    DistanceOracle::Options oopt;
+    oopt.k = k;
+    const DistanceOracle oracle(g, oopt, orng);
+    const CowenScheme cowen(g, crng);
+    const FullTableScheme full(g);
+    run("oracle/query", measure_ns(iters, [&](std::uint64_t i) {
+      const PairSample& p = pair_at(i);
+      return static_cast<std::uint64_t>(oracle.query(p.s, p.t));
+    }));
+    run("cowen/step", measure_ns(iters, [&](std::uint64_t i) {
+      const PairSample& p = pair_at(i);
+      const auto d = cowen.step(p.s, cowen.label(p.t));
+      return std::uint64_t{d.port} + d.deliver;
+    }));
+    run("full/next-hop", measure_ns(iters, [&](std::uint64_t i) {
+      const PairSample& p = pair_at(i);
+      return std::uint64_t{full.next_hop(p.s, p.t)};
+    }));
   }
-  int filtered_argc = static_cast<int>(args.size());
-  benchmark::Initialize(&filtered_argc, args.data());
-  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
-    return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+
+  const double speedup = dec_fks > 0 ? dec_legacy / dec_fks : 0;
+  const double speedup_eytz = dec_eytz > 0 ? dec_legacy / dec_eytz : 0;
+  std::printf("----------------------------------------------\n");
+  std::printf("legacy decision %.1f ns, flat %.1f ns (fks) / %.1f ns "
+              "(eytzinger): %.2fx / %.2fx\n",
+              dec_legacy, dec_fks, dec_eytz, speedup, speedup_eytz);
+  report.set("legacy_decision_ns", dec_legacy)
+      .set("flat_decision_ns", dec_fks)
+      .set("flat_eytzinger_decision_ns", dec_eytz)
+      .set("flat_speedup", speedup)
+      .set("flat_speedup_eytzinger", speedup_eytz)
+      .set("legacy_prepare_ns", prep_legacy)
+      .set("flat_prepare_ns", prep_fks)
+      .set("legacy_step_ns", step_legacy)
+      .set("flat_step_ns", step_fks);
+  if (!json_path.empty()) {
+    report.write(json_path);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

@@ -5,18 +5,23 @@
 /// embarrassingly parallel — the service scales near-linearly with worker
 /// threads while producing byte-identical answers at every thread count
 /// (the dynamic shard schedule affects only *when* a query runs, never its
-/// result). We serve the same traffic at 1, 2, 4, ... threads, report
-/// throughput, latency percentiles and stretch, and cross-check every
-/// multi-threaded run's answers against the single-threaded reference.
+/// result). We serve the same traffic through BOTH serving paths (the
+/// legacy sim/-adapter path and the default flat compiled view) at 1, 2,
+/// 4, ... threads each, report throughput, latency percentiles and
+/// stretch, and cross-check every run's answers against the legacy
+/// single-threaded reference — the flat path must be faster AND
+/// answer-identical.
 ///
 /// Flags: --n --family --scheme --workload --queries --batch --k --seed
-///        --threads (comma list) --json out.json
+///        --threads (comma list) --json out.json --flat-only
 ///
 /// Note: the speedup column reflects the machine's core count; on a
-/// single-core container every thread count serves at the same rate.
+/// single-core container every thread count serves at the same rate, but
+/// the flat-vs-legacy ratio is visible at any core count.
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -91,8 +96,9 @@ int main(int argc, char** argv) try {
       make_traffic(g, workload, queries, trng, topt);
   attach_exact_distances(g, traffic);
 
-  std::printf("%8s %12s %9s %10s %10s %10s %8s %6s\n", "threads", "qps",
-              "speedup", "p50_us", "p95_us", "p99_us", "stretch", "ok");
+  std::printf("%8s %8s %12s %9s %10s %10s %10s %8s %6s\n", "path", "threads",
+              "qps", "speedup", "p50_us", "p95_us", "p99_us", "stretch",
+              "ok");
   bench::JsonReport report;
   report.set("experiment", std::string("s1_throughput"))
       .set("family", family)
@@ -102,69 +108,97 @@ int main(int argc, char** argv) try {
       .set("queries", std::uint64_t{queries})
       .set("seed", seed);
 
-  double qps_at_1 = 0;
+  const bool flat_only = flags.get_bool("flat-only", false);
+  std::vector<bool> flat_modes;
+  if (!flat_only) flat_modes.push_back(false);
+  flat_modes.push_back(true);
+
+  double qps_base = 0;           // legacy (or first) run at 1 thread
+  double legacy_qps_1t = 0, flat_qps_1t = 0;
+  // Identity is checked over status/length/hops/header_bits/stretch —
+  // paths are off here (recording them would tax the timed runs);
+  // path-level flat-vs-legacy equivalence is test_flat_scheme's job.
+  // The reference service stays alive anyway so reference answers could
+  // never dangle if paths were ever enabled.
   std::vector<RouteAnswer> reference;
+  std::unique_ptr<RouteService> reference_service;
   bool all_identical = true;
-  for (const unsigned t : thread_counts) {
-    RouteServiceOptions opt;
-    opt.scheme = scheme;
-    opt.threads = t;
-    opt.k = k;
-    opt.seed = seed + 2;
-    bench::Stopwatch preprocess_watch;
-    RouteService service(g, opt);
-    const double preprocess_s = preprocess_watch.seconds();
+  for (const bool use_flat : flat_modes) {
+    for (const unsigned t : thread_counts) {
+      RouteServiceOptions opt;
+      opt.scheme = scheme;
+      opt.threads = t;
+      opt.k = k;
+      opt.seed = seed + 2;
+      opt.use_flat = use_flat;
+      bench::Stopwatch preprocess_watch;
+      auto service = std::make_unique<RouteService>(g, opt);
+      const double preprocess_s = preprocess_watch.seconds();
 
-    // Warm one batch (first-touch, pool spin-up), then measure.
-    const std::vector<RouteQuery> warm(
-        traffic.begin(),
-        traffic.begin() + std::min<std::size_t>(traffic.size(), batch));
-    service.route_batch(warm);
+      // Warm one batch (first-touch, pool spin-up), then measure.
+      const std::vector<RouteQuery> warm(
+          traffic.begin(),
+          traffic.begin() + std::min<std::size_t>(traffic.size(), batch));
+      service->route_batch(warm);
 
-    DriverOptions dopt;
-    dopt.batch_size = batch;
-    const DriverReport r = run_closed_loop(service, traffic, dopt);
+      DriverOptions dopt;
+      dopt.batch_size = batch;
+      const DriverReport r = run_closed_loop(*service, traffic, dopt);
 
-    // Thread-count invariance: all answers equal the 1-thread run's.
-    std::vector<RouteAnswer> answers = service.route_batch(traffic);
-    bool identical = true;
-    if (reference.empty()) {
-      reference = std::move(answers);
-    } else {
-      for (std::size_t i = 0; i < reference.size(); ++i) {
-        if (!same_route(reference[i], answers[i])) {
-          identical = false;
-          break;
+      // Invariance: every run (either path, any thread count) serves the
+      // same answers as the first run.
+      std::vector<RouteAnswer> answers = service->route_batch(traffic);
+      bool identical = true;
+      if (reference.empty()) {
+        reference = std::move(answers);
+        reference_service = std::move(service);
+      } else {
+        for (std::size_t i = 0; i < reference.size(); ++i) {
+          if (!same_route(reference[i], answers[i])) {
+            identical = false;
+            break;
+          }
         }
       }
+      all_identical = all_identical && identical;
+
+      if (qps_base == 0) qps_base = r.qps;
+      if (t == thread_counts.front()) {
+        (use_flat ? flat_qps_1t : legacy_qps_1t) = r.qps;
+      }
+      const double speedup = qps_base > 0 ? r.qps / qps_base : 0;
+      const char* path_name = use_flat ? "flat" : "legacy";
+      std::printf("%8s %8u %12.0f %8.2fx %10.2f %10.2f %10.2f %8.3f %6s\n",
+                  path_name, t, r.qps, speedup, r.latency_p50_us,
+                  r.latency_p95_us, r.latency_p99_us, r.stretch.mean,
+                  identical ? "yes" : "NO");
+
+      report.add_row("runs")
+          .set("path", std::string(path_name))
+          .set("threads", std::uint64_t{t})
+          .set("qps", r.qps)
+          .set("speedup", speedup)
+          .set("p50_us", r.latency_p50_us)
+          .set("p95_us", r.latency_p95_us)
+          .set("p99_us", r.latency_p99_us)
+          .set("mean_stretch", r.stretch.mean)
+          .set("max_stretch", r.stretch.max)
+          .set("mean_hops", r.mean_hops)
+          .set("preprocess_s", preprocess_s)
+          .set("delivered", r.delivered)
+          .set("identical", std::string(identical ? "yes" : "no"));
     }
-    all_identical = all_identical && identical;
-
-    if (qps_at_1 == 0) qps_at_1 = r.qps;
-    const double speedup = qps_at_1 > 0 ? r.qps / qps_at_1 : 0;
-    std::printf("%8u %12.0f %8.2fx %10.2f %10.2f %10.2f %8.3f %6s\n", t,
-                r.qps, speedup, r.latency_p50_us, r.latency_p95_us,
-                r.latency_p99_us, r.stretch.mean, identical ? "yes" : "NO");
-
-    report.add_row("runs")
-        .set("threads", std::uint64_t{t})
-        .set("qps", r.qps)
-        .set("speedup", speedup)
-        .set("p50_us", r.latency_p50_us)
-        .set("p95_us", r.latency_p95_us)
-        .set("p99_us", r.latency_p99_us)
-        .set("mean_stretch", r.stretch.mean)
-        .set("max_stretch", r.stretch.max)
-        .set("mean_hops", r.mean_hops)
-        .set("preprocess_s", preprocess_s)
-        .set("delivered", r.delivered)
-        .set("identical", std::string(identical ? "yes" : "no"));
   }
 
-  std::printf("answers identical across thread counts: %s\n",
+  std::printf("answers identical across paths and thread counts: %s\n",
               all_identical ? "yes" : "NO");
-  report.set("identical_across_threads",
+  report.set("identical_across_runs",
              std::string(all_identical ? "yes" : "no"));
+  if (legacy_qps_1t > 0 && flat_qps_1t > 0) {
+    std::printf("flat vs legacy at %u thread(s): %.2fx\n",
+                thread_counts.front(), flat_qps_1t / legacy_qps_1t);
+    report.set("flat_vs_legacy_1t", flat_qps_1t / legacy_qps_1t);
+  }
   if (!json_path.empty()) {
     report.write(json_path);
     std::printf("wrote %s\n", json_path.c_str());

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Runs the trajectory benches and writes BENCH_*.json at the repo root so
+# the perf story is tracked PR over PR (ROADMAP: BENCH trajectory).
+#
+#   bench/run_benches.sh [build-dir]
+#
+# Expects a Release build (cmake -B build -S . && cmake --build build -j).
+# Knobs via env: MICRO_ARGS / S1_ARGS are appended to the bench commands.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+if [[ ! -x "$build_dir/bench_micro_decision" ]]; then
+  echo "error: $build_dir/bench_micro_decision not built" >&2
+  echo "hint: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+# micro: per-decision cost, legacy vs flat, n=10k k=3 (the acceptance
+# configuration — flat_speedup is the headline scalar).
+"$build_dir/bench_micro_decision" \
+    --json "$repo_root/BENCH_micro.json" ${MICRO_ARGS:-}
+
+# S1: serving throughput, legacy vs flat at several thread counts.
+"$build_dir/bench_s1_throughput" \
+    --n 10000 --queries 50000 --threads 1,2,4 \
+    --json "$repo_root/BENCH_s1.json" ${S1_ARGS:-}
+
+echo "wrote $repo_root/BENCH_micro.json and $repo_root/BENCH_s1.json"

@@ -16,6 +16,8 @@
 /// [--weighted]  --graph=FILE (instead of --family/--n)  --warm=FILE
 /// (scheme_io warm start, TZ only)  --queries --batch --k --source-pool
 /// [--exact] (attach exact distances for stretch even off the far workload)
+/// [--legacy] (serve through the sim/ adapters instead of the flat view)
+/// --lookup=fks|eytzinger (flat lookup layout)
 
 #include <cstdio>
 #include <string>
@@ -67,12 +69,20 @@ int main(int argc, char** argv) {
     opt.k = static_cast<std::uint32_t>(flags.get_int("k", 3));
     opt.seed = seed + 1;
     opt.warm_start_path = flags.get_string("warm", "");
+    opt.use_flat = !flags.get_bool("legacy", false);
+    const std::string lookup = flags.get_string("lookup", "eytzinger");
+    opt.flat_lookup =
+        lookup == "fks" ? FlatLookup::kFKS : FlatLookup::kEytzinger;
 
     std::printf("graph: n=%u m=%llu\n", g.num_vertices(),
                 static_cast<unsigned long long>(g.num_edges()));
     RouteService service(g, opt);
-    std::printf("service: scheme=%s threads=%u%s\n",
+    std::printf("service: scheme=%s threads=%u path=%s%s\n",
                 scheme_name(opt.scheme), service.threads(),
+                opt.use_flat
+                    ? (std::string("flat/") + flat_lookup_name(opt.flat_lookup))
+                          .c_str()
+                    : "legacy",
                 opt.warm_start_path.empty()
                     ? ""
                     : (" (warm start: " + opt.warm_start_path + ")").c_str());

@@ -1,0 +1,377 @@
+#include "core/flat_scheme.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <type_traits>
+
+namespace croute {
+
+namespace {
+
+/// Packs a (vertex, key) pair into one 64-bit FKS key.
+inline std::uint64_t pack_key(VertexId v, VertexId w) noexcept {
+  return (std::uint64_t{v} << 32) | w;
+}
+
+/// Fills perm[eytzinger_pos] = sorted_pos for a slice of \p len keys.
+/// Standard in-order construction over the implicit heap (1-based \p k).
+std::uint32_t fill_eytzinger(std::vector<std::uint32_t>& perm,
+                             std::uint32_t len, std::uint32_t k,
+                             std::uint32_t next) {
+  if (k <= len) {
+    next = fill_eytzinger(perm, len, 2 * k, next);
+    perm[k - 1] = next++;
+    next = fill_eytzinger(perm, len, 2 * k + 1, next);
+  }
+  return next;
+}
+
+/// Branch-free Eytzinger lower-bound probe over one slice. Returns the
+/// 0-based slice position of the key equal to \p x, or len (miss).
+inline std::uint32_t eytzinger_find(const VertexId* keys, std::uint32_t len,
+                                    VertexId x) noexcept {
+  std::uint32_t i = 1;
+  while (i <= len) i = 2 * i + (keys[i - 1] < x);
+  i >>= std::countr_one(i) + 1;
+  if (i == 0 || keys[i - 1] != x) return len;
+  return i - 1;
+}
+
+/// Bits of the Elias gamma code of \p value (>= 1).
+inline std::uint64_t gamma_bits(std::uint64_t value) noexcept {
+  return 2 * floor_log2(value) + 1;
+}
+
+}  // namespace
+
+const char* flat_lookup_name(FlatLookup lookup) noexcept {
+  switch (lookup) {
+    case FlatLookup::kEytzinger: return "eytzinger";
+    case FlatLookup::kFKS: return "fks";
+  }
+  return "?";
+}
+
+FlatScheme::FlatScheme(const TZScheme& scheme, const FlatSchemeOptions& options)
+    : base_(&scheme), options_(options) {
+  Rng rng(options.hash_seed);
+  compile_tables(rng);
+  compile_directories(rng);
+  compile_labels();
+
+  // Precompute wire sizes: tree root id + dfs + gamma-coded light count +
+  // the light ports themselves (the exact layout TZRouter::header_bits
+  // serializes through a BitWriter).
+  const std::uint32_t id_bits = bits_for_universe(graph().num_vertices());
+  const TreeRoutingScheme::Codec& codec = base_->tree_codec();
+  header_fixed_bits_ = std::uint64_t{id_bits} + codec.dfs_bits;
+  port_bits_ = codec.port_bits;
+  std::uint32_t max_len = 0;
+  for (const std::uint32_t len : tbl_own_light_len_) {
+    max_len = std::max(max_len, len);
+  }
+  for (const std::uint32_t len : dir_light_len_) {
+    max_len = std::max(max_len, len);
+  }
+  for (const LabelEntryView& e : lab_entries_) {
+    max_len = std::max(max_len, e.light_len);
+  }
+  bits_by_len_.resize(std::size_t{max_len} + 1);
+  for (std::uint32_t len = 0; len <= max_len; ++len) {
+    bits_by_len_[len] = id_bits + codec.dfs_bits +
+                        gamma_bits(std::uint64_t{len} + 1) +
+                        std::uint64_t{len} * codec.port_bits;
+  }
+}
+
+void FlatScheme::compile_tables(Rng& rng) {
+  const VertexId n = graph().num_vertices();
+  tbl_off_.assign(std::size_t{n} + 1, 0);
+  std::uint64_t running = 0;  // 64-bit: detect overflow before it wraps
+  for (VertexId v = 0; v < n; ++v) {
+    running += base_->table(v).size();
+    CROUTE_REQUIRE(running < kNotFound, "table pool exceeds the index space");
+    tbl_off_[v + 1] = static_cast<std::uint32_t>(running);
+  }
+  const std::uint32_t total = tbl_off_[n];
+  tbl_key_.resize(total);
+  tbl_record_.resize(total);
+  tbl_dist_.resize(total);
+  tbl_level_.resize(total);
+  tbl_own_dfs_.resize(total);
+  tbl_own_light_off_.resize(total);
+  tbl_own_light_len_.resize(total);
+
+  std::vector<std::uint32_t> perm;
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexTable& table = base_->table(v);
+    const std::span<const TableEntry> entries = table.entries();  // sorted
+    const auto len = static_cast<std::uint32_t>(entries.size());
+    perm.resize(len);
+    if (options_.lookup == FlatLookup::kEytzinger) {
+      fill_eytzinger(perm, len, 1, 0);
+    } else {
+      for (std::uint32_t p = 0; p < len; ++p) perm[p] = p;
+    }
+    for (std::uint32_t p = 0; p < len; ++p) {
+      const TableEntry& e = entries[perm[p]];
+      const std::uint32_t idx = tbl_off_[v] + p;
+      tbl_key_[idx] = e.w;
+      tbl_record_[idx] = e.record;
+      tbl_dist_[idx] = e.dist;
+      tbl_level_[idx] = e.level;
+      const TreeLabel own = table.own_label(e);
+      tbl_own_dfs_[idx] = own.dfs_in;
+      CROUTE_REQUIRE(tbl_light_pool_.size() < kNotFound,
+                     "light-port pool exceeds the index space");
+      tbl_own_light_off_[idx] =
+          static_cast<std::uint32_t>(tbl_light_pool_.size());
+      tbl_own_light_len_[idx] =
+          static_cast<std::uint32_t>(own.light_ports.size());
+      tbl_light_pool_.insert(tbl_light_pool_.end(), own.light_ports.begin(),
+                             own.light_ports.end());
+    }
+  }
+
+  if (options_.lookup == FlatLookup::kFKS) {
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> kv;
+    kv.reserve(total);
+    for (VertexId v = 0; v < n; ++v) {
+      for (std::uint32_t idx = tbl_off_[v]; idx < tbl_off_[v + 1]; ++idx) {
+        kv.emplace_back(pack_key(v, tbl_key_[idx]), idx);
+      }
+    }
+    tbl_hash_ = PerfectHashMap::build(kv, rng);
+  }
+}
+
+void FlatScheme::compile_directories(Rng& rng) {
+  const VertexId n = graph().num_vertices();
+  dir_off_.assign(std::size_t{n} + 1, 0);
+  std::uint64_t running = 0;  // 64-bit: detect overflow before it wraps
+  for (VertexId v = 0; v < n; ++v) {
+    running += base_->directory(v).size();
+    CROUTE_REQUIRE(running < kNotFound,
+                   "directory pool exceeds the index space");
+    dir_off_[v + 1] = static_cast<std::uint32_t>(running);
+  }
+  const std::uint32_t total = dir_off_[n];
+  dir_key_.resize(total);
+  dir_dfs_.resize(total);
+  dir_light_off_.resize(total);
+  dir_light_len_.resize(total);
+
+  std::vector<std::uint32_t> perm;
+  for (VertexId v = 0; v < n; ++v) {
+    const ClusterDirectory& dir = base_->directory(v);
+    const std::span<const VertexId> members = dir.members();  // sorted
+    const auto len = static_cast<std::uint32_t>(members.size());
+    perm.resize(len);
+    if (options_.lookup == FlatLookup::kEytzinger) {
+      fill_eytzinger(perm, len, 1, 0);
+    } else {
+      for (std::uint32_t p = 0; p < len; ++p) perm[p] = p;
+    }
+    for (std::uint32_t p = 0; p < len; ++p) {
+      const std::uint32_t src = perm[p];
+      const std::uint32_t idx = dir_off_[v] + p;
+      dir_key_[idx] = members[src];
+      dir_dfs_[idx] = dir.dfs_at(src);
+      const std::span<const Port> ports = dir.light_ports_at(src);
+      CROUTE_REQUIRE(dir_light_pool_.size() < kNotFound,
+                     "light-port pool exceeds the index space");
+      dir_light_off_[idx] = static_cast<std::uint32_t>(dir_light_pool_.size());
+      dir_light_len_[idx] = static_cast<std::uint32_t>(ports.size());
+      dir_light_pool_.insert(dir_light_pool_.end(), ports.begin(),
+                             ports.end());
+    }
+  }
+
+  if (options_.lookup == FlatLookup::kFKS) {
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> kv;
+    kv.reserve(total);
+    for (VertexId v = 0; v < n; ++v) {
+      for (std::uint32_t idx = dir_off_[v]; idx < dir_off_[v + 1]; ++idx) {
+        kv.emplace_back(pack_key(v, dir_key_[idx]), idx);
+      }
+    }
+    dir_hash_ = PerfectHashMap::build(kv, rng);
+  }
+}
+
+void FlatScheme::compile_labels() {
+  const VertexId n = graph().num_vertices();
+  lab_off_.assign(std::size_t{n} + 1, 0);
+  std::uint64_t running = 0;  // 64-bit: detect overflow before it wraps
+  for (VertexId t = 0; t < n; ++t) {
+    running += base_->label(t).entries.size();
+    CROUTE_REQUIRE(running < kNotFound, "label pool exceeds the index space");
+    lab_off_[t + 1] = static_cast<std::uint32_t>(running);
+  }
+  lab_entries_.resize(lab_off_[n]);
+  for (VertexId t = 0; t < n; ++t) {
+    const RoutingLabel& label = base_->label(t);
+    for (std::size_t j = 0; j < label.entries.size(); ++j) {
+      const LabelEntry& e = label.entries[j];
+      LabelEntryView& out = lab_entries_[lab_off_[t] + j];
+      out.level = e.level;
+      out.w = e.w;
+      out.dist = e.dist;
+      out.dfs_in = e.tree.dfs_in;
+      CROUTE_REQUIRE(lab_light_pool_.size() < kNotFound,
+                     "light-port pool exceeds the index space");
+      out.light_off = static_cast<std::uint32_t>(lab_light_pool_.size());
+      out.light_len = static_cast<std::uint32_t>(e.tree.light_ports.size());
+      lab_light_pool_.insert(lab_light_pool_.end(), e.tree.light_ports.begin(),
+                             e.tree.light_ports.end());
+    }
+  }
+}
+
+std::uint32_t FlatScheme::find(VertexId v, VertexId w) const noexcept {
+  if (tbl_hash_) {
+    const auto idx = tbl_hash_->find(pack_key(v, w));
+    return idx ? *idx : kNotFound;
+  }
+  const std::uint32_t off = tbl_off_[v];
+  const std::uint32_t len = tbl_off_[v + 1] - off;
+  const std::uint32_t pos = eytzinger_find(tbl_key_.data() + off, len, w);
+  return pos == len ? kNotFound : off + pos;
+}
+
+std::uint32_t FlatScheme::dir_find(VertexId v, VertexId t) const noexcept {
+  if (dir_hash_) {
+    const auto idx = dir_hash_->find(pack_key(v, t));
+    return idx ? *idx : kNotFound;
+  }
+  const std::uint32_t off = dir_off_[v];
+  const std::uint32_t len = dir_off_[v + 1] - off;
+  const std::uint32_t pos = eytzinger_find(dir_key_.data() + off, len, t);
+  return pos == len ? kNotFound : off + pos;
+}
+
+std::uint64_t FlatScheme::pool_bytes() const noexcept {
+  auto bytes = [](const auto& vec) {
+    return vec.size() * sizeof(typename std::decay_t<decltype(vec)>::value_type);
+  };
+  std::uint64_t total = bytes(tbl_off_) + bytes(tbl_key_) + bytes(tbl_record_) +
+                        bytes(tbl_dist_) + bytes(tbl_level_) +
+                        bytes(tbl_own_dfs_) + bytes(tbl_own_light_off_) +
+                        bytes(tbl_own_light_len_) + bytes(tbl_light_pool_) +
+                        bytes(dir_off_) + bytes(dir_key_) + bytes(dir_dfs_) +
+                        bytes(dir_light_off_) + bytes(dir_light_len_) +
+                        bytes(dir_light_pool_) + bytes(lab_off_) +
+                        bytes(lab_entries_) + bytes(lab_light_pool_) +
+                        bytes(bits_by_len_);
+  if (tbl_hash_) total += tbl_hash_->overhead_bits() / 8;
+  if (dir_hash_) total += dir_hash_->overhead_bits() / 8;
+  return total;
+}
+
+FlatHeader FlatRouter::prepare(VertexId s, VertexId t,
+                               RoutingPolicy policy) const {
+  return prepare_resolved(s, t, flat_->label(t), policy);
+}
+
+FlatHeader FlatRouter::prepare_resolved(
+    VertexId s, VertexId t, std::span<const FlatScheme::LabelEntryView> label,
+    RoutingPolicy policy) const {
+  const FlatScheme& f = *flat_;
+  CROUTE_REQUIRE(!label.empty(), "malformed destination label");
+  // Rule 0: t ∈ C(s) — one directory probe (index + payload views).
+  if (policy != RoutingPolicy::kLabelOnly) {
+    const std::uint32_t di = f.dir_find(s, t);
+    if (di != FlatScheme::kNotFound) {
+      const std::span<const Port> ports = f.dir_light_ports(di);
+      return FlatHeader{t,
+                        s,
+                        f.dir_dfs(di),
+                        ports.data(),
+                        static_cast<std::uint32_t>(ports.size()),
+                        f.header_bits_for(
+                            static_cast<std::uint32_t>(ports.size()))};
+    }
+  }
+  const FlatScheme::LabelEntryView* chosen = nullptr;
+  if (policy != RoutingPolicy::kMinEstimate) {
+    for (const FlatScheme::LabelEntryView& e : label) {
+      if (f.find(s, e.w) != FlatScheme::kNotFound) {
+        chosen = &e;
+        break;
+      }
+    }
+  } else {
+    CROUTE_REQUIRE(f.base().options().labels_carry_distances,
+                   "kMinEstimate needs labels built with "
+                   "labels_carry_distances");
+    Weight best = kInfiniteWeight;
+    for (const FlatScheme::LabelEntryView& e : label) {
+      const std::uint32_t idx = f.find(s, e.w);
+      if (idx == FlatScheme::kNotFound) continue;
+      const Weight estimate = f.dist(idx) + e.dist;
+      if (estimate < best) {
+        best = estimate;
+        chosen = &e;
+      }
+    }
+  }
+  CROUTE_ASSERT(chosen != nullptr,
+                "no candidate pivot found: top-level landmark missing from "
+                "the source bunch");
+  return FlatHeader{t,
+                    chosen->w,
+                    chosen->dfs_in,
+                    f.label_light_pool() + chosen->light_off,
+                    chosen->light_len,
+                    f.header_bits_for(chosen->light_len)};
+}
+
+FlatHeader FlatRouter::prepare_handshake(VertexId s, VertexId t) const {
+  const FlatScheme& f = *flat_;
+  const TZPreprocessing& pre = f.base().preprocessing();
+  const std::uint32_t k = f.k();
+  // Bidirectional pivot walk, as TZRouter::prepare_handshake, with flat
+  // membership probes.
+  VertexId u = s, v = t;
+  VertexId w = u;  // ŵ_0(u) = u
+  std::uint32_t i = 0;
+  while (f.find(v, w) == FlatScheme::kNotFound) {
+    ++i;
+    CROUTE_ASSERT(i < k, "handshake walk exceeded the hierarchy height");
+    std::swap(u, v);
+    w = pre.effective_pivot(i, u);
+  }
+  const std::uint32_t idx = f.find(t, w);
+  CROUTE_ASSERT(idx != FlatScheme::kNotFound,
+                "handshake meeting tree misses the destination");
+  const std::span<const Port> ports = f.own_light_ports(idx);
+  return FlatHeader{t,
+                    w,
+                    f.own_dfs(idx),
+                    ports.data(),
+                    static_cast<std::uint32_t>(ports.size()),
+                    f.header_bits_for(static_cast<std::uint32_t>(ports.size()))};
+}
+
+TreeDecision FlatRouter::step(VertexId v, const FlatHeader& header) const {
+  const std::uint32_t idx = flat_->find(v, header.tree_root);
+  CROUTE_ASSERT(idx != FlatScheme::kNotFound,
+                "packet left the routing tree: vertex has no entry for it");
+  // TreeRoutingScheme::decide over non-owning label pieces.
+  const TreeNodeRecord& here = flat_->record(idx);
+  if (header.dfs_in == here.dfs_in) return TreeDecision{true, kNoPort};
+  if (header.dfs_in < here.dfs_in || header.dfs_in >= here.dfs_out) {
+    CROUTE_ASSERT(here.parent_port != kNoPort,
+                  "destination outside the tree reached the root");
+    return TreeDecision{false, here.parent_port};
+  }
+  if (header.dfs_in >= here.heavy_in && header.dfs_in < here.heavy_out &&
+      here.heavy_port != kNoPort) {
+    return TreeDecision{false, here.heavy_port};
+  }
+  CROUTE_ASSERT(here.light_depth < header.light_len,
+                "label misses the light port for this branch point");
+  return TreeDecision{false, header.light[here.light_depth]};
+}
+
+}  // namespace croute

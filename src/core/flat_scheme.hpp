@@ -1,0 +1,253 @@
+/// \file flat_scheme.hpp
+/// \brief Flat, read-optimized compilation of a TZScheme for the serving
+/// hot path.
+///
+/// The mutable-friendly structures a TZScheme is built into (one
+/// `VertexTable` object per vertex, `ClusterDirectory` objects with their
+/// own little vectors, `RoutingLabel`s whose tree labels each own a
+/// `std::vector<Port>`) are exactly wrong for serving: every query chases
+/// pointers across unrelated heap blocks, and every `prepare` materializes
+/// a TreeLabel — a heap allocation per query. FlatScheme recompiles an
+/// immutable scheme into structure-of-arrays pools shared by all vertices:
+///
+///  - **tables**: one CSR over all vertices' bunch entries. The *hot* key
+///    array (tree roots, the only field a lookup compares) is contiguous
+///    and separated from the cold payloads (distance, level, node record,
+///    own-label slices), so a search touches the minimum number of cache
+///    lines;
+///  - **directories**: the rule-0 member ids pooled the same way, with
+///    dfs indices and light-port slices alongside;
+///  - **labels**: every destination's entries in one pool; tree labels are
+///    (dfs, slice-into-port-pool) views — nothing owns memory per entry.
+///
+/// Two lookup layouts sit behind the same `find` contract:
+///
+///  - **kEytzinger**: per-vertex keys permuted into the Eytzinger
+///    (BFS-of-a-binary-tree) order, searched by the branch-free descent
+///    `i = 2i + (key[i] < w)`. Same O(log |B(v)|) probe count as
+///    `std::lower_bound`, but the first few probes share cache lines and
+///    the loop has no unpredictable branches;
+///  - **kFKS** (default): one *global* FKS perfect-hash table keyed by the
+///    packed pair (v, w) — the paper's "2-level hash table" giving O(1)
+///    worst-case decisions, flattened across vertices so a probe is two
+///    multiply-shift hashes plus one contiguous-array compare.
+///
+/// FlatRouter mirrors TZRouter::prepare / prepare_handshake / step over
+/// the flat view with **zero heap allocation per query**: headers carry a
+/// pointer into the pooled light ports instead of owning a vector, and
+/// wire sizes come from a precomputed bits-by-length table instead of a
+/// BitWriter run. Answers are bit-identical to the legacy path
+/// (tests/test_flat_scheme.cpp proves it pairwise).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/tz_router.hpp"
+#include "core/tz_scheme.hpp"
+#include "hash/perfect_hash.hpp"
+
+namespace croute {
+
+/// Which index sits behind FlatScheme::find / dir_find.
+enum class FlatLookup {
+  kEytzinger,  ///< branch-optimized in-place binary search
+  kFKS,        ///< global two-level perfect hash, O(1) worst case
+};
+
+const char* flat_lookup_name(FlatLookup lookup) noexcept;
+
+/// Compilation options.
+struct FlatSchemeOptions {
+  FlatLookup lookup = FlatLookup::kFKS;
+  /// Seed for the FKS hash draws (compilation is deterministic in it).
+  std::uint64_t hash_seed = 0x9e3779b97f4a7c15ULL;
+};
+
+/// The header carried by packets on the flat path. Unlike TZHeader it owns
+/// nothing: `light` points into the FlatScheme pools (or a caller-decoded
+/// buffer) and stays valid as long as the scheme does.
+struct FlatHeader {
+  VertexId target = kNoVertex;     ///< destination vertex (diagnostics)
+  VertexId tree_root = kNoVertex;  ///< which tree the packet descends
+  std::uint32_t dfs_in = 0;        ///< destination's dfs index in that tree
+  const Port* light = nullptr;     ///< light ports of the root → t path
+  std::uint32_t light_len = 0;
+  std::uint64_t bits = 0;          ///< exact wire size (root id + label)
+};
+
+/// An immutable, read-optimized view compiled from a TZScheme. The base
+/// scheme must stay alive (pools reference its preprocessing only, but
+/// equivalence and diagnostics go through it).
+class FlatScheme {
+ public:
+  /// "not found" sentinel of find / dir_find.
+  static constexpr std::uint32_t kNotFound = ~std::uint32_t{0};
+
+  /// One pooled label entry (fixed-size view of LabelEntry).
+  struct LabelEntryView {
+    std::uint32_t level = 0;
+    VertexId w = kNoVertex;
+    Weight dist = 0;              ///< d(w, t); 0 unless labels carry them
+    std::uint32_t dfs_in = 0;     ///< t's dfs index in T_w
+    std::uint32_t light_off = 0;  ///< slice into label_light_pool()
+    std::uint32_t light_len = 0;
+  };
+
+  explicit FlatScheme(const TZScheme& scheme,
+                      const FlatSchemeOptions& options = {});
+
+  const TZScheme& base() const noexcept { return *base_; }
+  const Graph& graph() const noexcept { return base_->graph(); }
+  std::uint32_t k() const noexcept { return base_->k(); }
+  FlatLookup lookup_kind() const noexcept { return options_.lookup; }
+
+  /// --- bunch lookups ------------------------------------------------------
+  /// Pool index of v's entry for tree root w, or kNotFound. This is the
+  /// per-hop operation: Eytzinger descent or one perfect-hash probe.
+  std::uint32_t find(VertexId v, VertexId w) const noexcept;
+
+  std::uint32_t table_size(VertexId v) const noexcept {
+    return tbl_off_[v + 1] - tbl_off_[v];
+  }
+  const TreeNodeRecord& record(std::uint32_t idx) const noexcept {
+    return tbl_record_[idx];
+  }
+  Weight dist(std::uint32_t idx) const noexcept { return tbl_dist_[idx]; }
+  std::uint32_t level(std::uint32_t idx) const noexcept {
+    return tbl_level_[idx];
+  }
+  /// v's own tree label in T_w for entry \p idx (handshake destination
+  /// side), as non-owning pieces.
+  std::uint32_t own_dfs(std::uint32_t idx) const noexcept {
+    return tbl_own_dfs_[idx];
+  }
+  std::span<const Port> own_light_ports(std::uint32_t idx) const noexcept {
+    return {tbl_light_pool_.data() + tbl_own_light_off_[idx],
+            tbl_own_light_len_[idx]};
+  }
+
+  /// --- rule-0 directory lookups -------------------------------------------
+  /// Pool index of t within v's cluster directory, or kNotFound.
+  std::uint32_t dir_find(VertexId v, VertexId t) const noexcept;
+
+  std::uint32_t dir_size(VertexId v) const noexcept {
+    return dir_off_[v + 1] - dir_off_[v];
+  }
+  std::uint32_t dir_dfs(std::uint32_t idx) const noexcept {
+    return dir_dfs_[idx];
+  }
+  std::span<const Port> dir_light_ports(std::uint32_t idx) const noexcept {
+    return {dir_light_pool_.data() + dir_light_off_[idx],
+            dir_light_len_[idx]};
+  }
+
+  /// --- pooled destination labels ------------------------------------------
+  std::span<const LabelEntryView> label(VertexId t) const noexcept {
+    return {lab_entries_.data() + lab_off_[t],
+            lab_off_[t + 1] - lab_off_[t]};
+  }
+  std::span<const Port> label_light_ports(
+      const LabelEntryView& e) const noexcept {
+    return {lab_light_pool_.data() + e.light_off, e.light_len};
+  }
+  const Port* label_light_pool() const noexcept {
+    return lab_light_pool_.data();
+  }
+
+  /// Exact wire size of a header whose tree label has \p light_len light
+  /// ports: root id + dfs + gamma(len+1) + len ports. Precomputed table
+  /// for every length the pools contain, closed form beyond it (a
+  /// caller-decoded label may be longer); agrees bit-for-bit with
+  /// TZRouter::header_bits.
+  std::uint64_t header_bits_for(std::uint32_t light_len) const noexcept {
+    if (light_len < bits_by_len_.size()) return bits_by_len_[light_len];
+    return header_fixed_bits_ +
+           2 * floor_log2(std::uint64_t{light_len} + 1) + 1 +
+           std::uint64_t{light_len} * port_bits_;
+  }
+
+  /// Total bytes held by the pools (diagnostics for the layout story).
+  std::uint64_t pool_bytes() const noexcept;
+
+ private:
+  void compile_tables(Rng& rng);
+  void compile_directories(Rng& rng);
+  void compile_labels();
+
+  const TZScheme* base_;
+  FlatSchemeOptions options_;
+
+  // Tables: CSR over all vertices, keys separated from payloads. In
+  // Eytzinger mode every per-vertex slice of ALL arrays is stored in that
+  // vertex's Eytzinger permutation (one shared order, no indirection); in
+  // FKS mode slices stay sorted by key.
+  std::vector<std::uint32_t> tbl_off_;       ///< n+1
+  std::vector<VertexId> tbl_key_;            ///< hot: tree roots
+  std::vector<TreeNodeRecord> tbl_record_;   ///< cold payloads …
+  std::vector<Weight> tbl_dist_;
+  std::vector<std::uint32_t> tbl_level_;
+  std::vector<std::uint32_t> tbl_own_dfs_;
+  std::vector<std::uint32_t> tbl_own_light_off_;
+  std::vector<std::uint32_t> tbl_own_light_len_;
+  std::vector<Port> tbl_light_pool_;
+  std::optional<PerfectHashMap> tbl_hash_;   ///< FKS mode: (v,w) → index
+
+  // Directories, pooled the same way (keys = member ids).
+  std::vector<std::uint32_t> dir_off_;  ///< n+1
+  std::vector<VertexId> dir_key_;
+  std::vector<std::uint32_t> dir_dfs_;
+  std::vector<std::uint32_t> dir_light_off_;
+  std::vector<std::uint32_t> dir_light_len_;
+  std::vector<Port> dir_light_pool_;
+  std::optional<PerfectHashMap> dir_hash_;  ///< FKS mode: (v,t) → index
+
+  // Labels.
+  std::vector<std::uint32_t> lab_off_;  ///< n+1
+  std::vector<LabelEntryView> lab_entries_;
+  std::vector<Port> lab_light_pool_;
+
+  std::vector<std::uint64_t> bits_by_len_;  ///< header bits by light count
+  std::uint64_t header_fixed_bits_ = 0;     ///< root id bits + dfs bits
+  std::uint32_t port_bits_ = 1;
+};
+
+/// TZRouter's algorithms over the flat view; every operation is
+/// allocation-free. Stateless: safe to share across threads.
+class FlatRouter {
+ public:
+  explicit FlatRouter(const FlatScheme& flat) : flat_(&flat) {}
+
+  const FlatScheme& scheme() const noexcept { return *flat_; }
+
+  /// Source decision without handshake (stretch ≤ 4k−5). Uses the pooled
+  /// label of \p t; chooses the same pivot as TZRouter::prepare under
+  /// every policy.
+  FlatHeader prepare(VertexId s, VertexId t,
+                     RoutingPolicy policy = RoutingPolicy::kMinLevel) const;
+
+  /// prepare with the label already resolved (the batched serving path
+  /// resolves each distinct destination once per batch and reuses it).
+  FlatHeader prepare_resolved(
+      VertexId s, VertexId t, std::span<const FlatScheme::LabelEntryView> label,
+      RoutingPolicy policy = RoutingPolicy::kMinLevel) const;
+
+  /// Source decision with handshake (stretch ≤ 2k−1).
+  FlatHeader prepare_handshake(VertexId s, VertexId t) const;
+
+  /// Per-hop decision at vertex v. Requires v ∈ C(header.tree_root).
+  TreeDecision step(VertexId v, const FlatHeader& header) const;
+
+  /// Exact wire size of \p header (precomputed at compile time).
+  std::uint64_t header_bits(const FlatHeader& header) const noexcept {
+    return header.bits;
+  }
+
+ private:
+  const FlatScheme* flat_;
+};
+
+}  // namespace croute

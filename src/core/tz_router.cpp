@@ -11,8 +11,10 @@ TZHeader TZRouter::prepare(VertexId s, const RoutingLabel& dest,
   // guarantees stretch 4k−3; with it the failure of rule 0 certifies
   // d(t, A_1) ≤ d(s, t), which is what the 4k−5 induction starts from.
   if (policy != RoutingPolicy::kLabelOnly) {
-    if (auto own = scheme_->directory(s).find(dest.t)) {
-      return TZHeader{dest.t, s, *std::move(own)};
+    const ClusterDirectory& dir = scheme_->directory(s);
+    const std::uint32_t i = dir.find_index(dest.t);
+    if (i != ClusterDirectory::kNoIndex) {
+      return TZHeader{dest.t, s, dir.label_at(i)};
     }
   }
   const LabelEntry* chosen = nullptr;

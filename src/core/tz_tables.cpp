@@ -80,15 +80,25 @@ ClusterDirectory::ClusterDirectory(const LocalTree& tree,
   bit_size_ = w.bit_size();
 }
 
-std::optional<TreeLabel> ClusterDirectory::find(VertexId t) const {
+std::uint32_t ClusterDirectory::find_index(VertexId t) const noexcept {
   const auto it = std::lower_bound(ts_.begin(), ts_.end(), t);
-  if (it == ts_.end() || *it != t) return std::nullopt;
-  const auto i = static_cast<std::size_t>(it - ts_.begin());
+  if (it == ts_.end() || *it != t) return kNoIndex;
+  return static_cast<std::uint32_t>(it - ts_.begin());
+}
+
+TreeLabel ClusterDirectory::label_at(std::uint32_t index) const {
+  CROUTE_DCHECK(index < ts_.size(), "directory index out of range");
   TreeLabel l;
-  l.dfs_in = dfs_[i];
-  l.light_ports.assign(pool_.begin() + light_off_[i],
-                       pool_.begin() + light_off_[i + 1]);
+  l.dfs_in = dfs_[index];
+  l.light_ports.assign(pool_.begin() + light_off_[index],
+                       pool_.begin() + light_off_[index + 1]);
   return l;
+}
+
+std::optional<TreeLabel> ClusterDirectory::find(VertexId t) const {
+  const std::uint32_t i = find_index(t);
+  if (i == kNoIndex) return std::nullopt;
+  return label_at(i);
 }
 
 void VertexTable::build_hash_index(Rng& rng) {

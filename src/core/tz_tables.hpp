@@ -112,13 +112,36 @@ class ClusterDirectory {
                    const TreeRoutingScheme::Codec& codec,
                    std::uint32_t vertex_id_bits);
 
+  /// Sentinel returned by find_index when t ∉ C(w).
+  static constexpr std::uint32_t kNoIndex = ~std::uint32_t{0};
+
+  /// Index of member \p t, or kNoIndex. One binary search — the rule-0
+  /// probe of TZRouter::prepare (and any contains-then-find caller) pays
+  /// for a single lookup instead of two.
+  std::uint32_t find_index(VertexId t) const noexcept;
+
   /// Tree label of \p t in T_w, or nullopt if t ∉ C(w).
   /// O(log |C(w)|).
   std::optional<TreeLabel> find(VertexId t) const;
 
-  bool contains(VertexId t) const {
-    return std::binary_search(ts_.begin(), ts_.end(), t);
+  bool contains(VertexId t) const noexcept {
+    return find_index(t) != kNoIndex;
   }
+
+  /// Label pieces of member \p index without materializing a TreeLabel
+  /// (the flat compiler reads these straight into its pools).
+  std::uint32_t dfs_at(std::uint32_t index) const {
+    CROUTE_DCHECK(index < ts_.size(), "directory index out of range");
+    return dfs_[index];
+  }
+  std::span<const Port> light_ports_at(std::uint32_t index) const {
+    CROUTE_DCHECK(index < ts_.size(), "directory index out of range");
+    return {pool_.data() + light_off_[index],
+            light_off_[index + 1] - light_off_[index]};
+  }
+
+  /// Materializes the tree label of member \p index.
+  TreeLabel label_at(std::uint32_t index) const;
 
   std::uint32_t size() const noexcept {
     return static_cast<std::uint32_t>(ts_.size());

@@ -1,5 +1,6 @@
 #include "service/route_service.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 
@@ -32,7 +33,8 @@ SchemeKind parse_scheme(const std::string& name) {
 bool same_route(const RouteAnswer& a, const RouteAnswer& b) noexcept {
   return a.status == b.status && a.length == b.length && a.hops == b.hops &&
          a.header_bits == b.header_bits && a.stretch == b.stretch &&
-         a.path == b.path;
+         a.path.size() == b.path.size() &&
+         std::equal(a.path.begin(), a.path.end(), b.path.begin());
 }
 
 /// Per-worker telemetry scratch. Padded to a cache line so neighboring
@@ -44,6 +46,41 @@ struct alignas(64) RouteService::Shard {
   std::uint64_t max_header_bits = 0;
   double busy_seconds = 0;
 };
+
+namespace {
+
+/// The hop-by-hop walk of the flat serving path: same contract as
+/// Simulator::run (statuses, hop budget, path recording) but monomorphic —
+/// the step callable inlines, and the path lands in a caller-owned arena.
+template <typename StepFn>
+void walk(const Graph& g, VertexId s, VertexId t, std::uint32_t max_hops,
+          StepFn&& step, std::vector<VertexId>* path, RouteAnswer& a) {
+  if (path) path->push_back(s);
+  VertexId here = s;
+  while (true) {
+    const TreeDecision d = step(here);
+    if (d.deliver) {
+      a.status = here == t ? RouteStatus::kDelivered
+                           : RouteStatus::kWrongDeliver;
+      return;
+    }
+    if (d.port >= g.degree(here)) {
+      a.status = RouteStatus::kBadPort;
+      return;
+    }
+    const Arc& arc = g.arc(here, d.port);
+    a.length += arc.weight;
+    ++a.hops;
+    here = arc.head;
+    if (path) path->push_back(here);
+    if (a.hops >= max_hops) {
+      a.status = RouteStatus::kHopLimit;
+      return;
+    }
+  }
+}
+
+}  // namespace
 
 RouteService::RouteService(const Graph& g, const RouteServiceOptions& options)
     : g_(&g),
@@ -69,6 +106,13 @@ RouteService::RouteService(const Graph& g, const RouteServiceOptions& options)
         Rng rng(options.seed);
         tz_ = std::make_unique<TZScheme>(g, opt, rng);
       }
+      if (options.use_flat) {
+        FlatSchemeOptions fopt;
+        fopt.lookup = options.flat_lookup;
+        fopt.hash_seed = mix64(options.seed ^ 0xf1a7c0def1a7c0deULL);
+        flat_ = std::make_unique<FlatScheme>(*tz_, fopt);
+        flat_router_ = std::make_unique<FlatRouter>(*flat_);
+      }
       break;
     }
     case SchemeKind::kCowen: {
@@ -82,11 +126,15 @@ RouteService::RouteService(const Graph& g, const RouteServiceOptions& options)
   }
   pool_ = std::make_unique<ThreadPool>(options.threads);
   shards_.resize(pool_->size());
+  arenas_.resize(pool_->size());
+  dest_slot_.resize(g.num_vertices(), 0);
+  dest_epoch_.resize(g.num_vertices(), 0);
 }
 
 RouteService::~RouteService() = default;
 
-RouteAnswer RouteService::route_one(const RouteQuery& query) const {
+RouteAnswer RouteService::serve_legacy(const RouteQuery& query,
+                                       std::vector<VertexId>* path_out) const {
   RouteResult r;
   switch (options_.scheme) {
     case SchemeKind::kTZDirect:
@@ -107,23 +155,152 @@ RouteAnswer RouteService::route_one(const RouteQuery& query) const {
   a.length = r.length;
   a.hops = r.hops;
   a.header_bits = r.header_bits;
-  if (r.delivered() && query.exact > 0) a.stretch = r.length / query.exact;
-  if (options_.record_paths) a.path = std::move(r.path);
+  if (path_out) {
+    path_out->insert(path_out->end(), r.path.begin(), r.path.end());
+  }
   return a;
+}
+
+RouteAnswer RouteService::serve(const RouteQuery& query,
+                                std::vector<VertexId>* path_out,
+                                const DestMemo* memo) const {
+  const VertexId n = g_->num_vertices();
+  CROUTE_REQUIRE(query.s < n && query.t < n, "endpoint out of range");
+  RouteAnswer a;
+  if (!options_.use_flat) {
+    a = serve_legacy(query, path_out);
+  } else {
+    const std::uint32_t max_hops = 4 * n + 16;
+    switch (options_.scheme) {
+      case SchemeKind::kTZDirect: {
+        const FlatHeader h =
+            memo != nullptr
+                ? flat_router_->prepare_resolved(query.s, query.t, memo->label)
+                : flat_router_->prepare(query.s, query.t);
+        a.header_bits = h.bits;
+        walk(
+            *g_, query.s, query.t, max_hops,
+            [&](VertexId v) { return flat_router_->step(v, h); }, path_out, a);
+        break;
+      }
+      case SchemeKind::kTZHandshake: {
+        const FlatHeader h = flat_router_->prepare_handshake(query.s, query.t);
+        a.header_bits = h.bits;
+        walk(
+            *g_, query.s, query.t, max_hops,
+            [&](VertexId v) { return flat_router_->step(v, h); }, path_out, a);
+        break;
+      }
+      case SchemeKind::kCowen: {
+        const CowenScheme::Label label = cowen_->label(query.t);
+        a.header_bits = cowen_->label_bits();
+        walk(
+            *g_, query.s, query.t, max_hops,
+            [&](VertexId v) {
+              const CowenScheme::Decision d = cowen_->step(v, label);
+              return TreeDecision{d.deliver, d.port};
+            },
+            path_out, a);
+        break;
+      }
+      case SchemeKind::kFullTable: {
+        a.header_bits = full_->label_bits();
+        walk(
+            *g_, query.s, query.t, max_hops,
+            [&](VertexId v) {
+              if (v == query.t) return TreeDecision{true, kNoPort};
+              return TreeDecision{false, full_->next_hop(v, query.t)};
+            },
+            path_out, a);
+        break;
+      }
+    }
+  }
+  if (a.delivered() && query.exact > 0) a.stretch = a.length / query.exact;
+  return a;
+}
+
+RouteAnswer RouteService::route_one(const RouteQuery& query) const {
+  // Touch the arena only when paths are recorded: with record_paths off,
+  // route_one stays a pure const read and concurrent callers are safe.
+  if (!options_.record_paths) return serve(query, nullptr, nullptr);
+  one_arena_.clear();
+  RouteAnswer a = serve(query, &one_arena_, nullptr);
+  a.path = {one_arena_.data(), one_arena_.size()};
+  return a;
+}
+
+void RouteService::group_by_destination(
+    const std::vector<RouteQuery>& queries) {
+  const auto nq = static_cast<std::uint32_t>(queries.size());
+  order_.resize(nq);
+  ++epoch_;
+  dest_memos_.clear();
+  // Pass 1: one memo slot per distinct destination (epoch-gated, so the
+  // n-sized maps never need clearing).
+  for (std::uint32_t i = 0; i < nq; ++i) {
+    const VertexId t = queries[i].t;
+    CROUTE_REQUIRE(t < g_->num_vertices(), "endpoint out of range");
+    if (dest_epoch_[t] != epoch_) {
+      dest_epoch_[t] = epoch_;
+      dest_slot_[t] = static_cast<std::uint32_t>(dest_memos_.size());
+      dest_memos_.push_back(DestMemo{t, 0, 0, {}});
+    }
+    ++dest_memos_[dest_slot_[t]].count;
+  }
+  // Pass 2: group offsets; pass 3: stable scatter.
+  std::uint32_t off = 0;
+  for (DestMemo& m : dest_memos_) {
+    m.begin = off;
+    off += m.count;
+    m.count = 0;
+  }
+  for (std::uint32_t i = 0; i < nq; ++i) {
+    DestMemo& m = dest_memos_[dest_slot_[queries[i].t]];
+    order_[m.begin + m.count++] = i;
+  }
+  // Resolve each destination's pooled label once per batch (flat TZ
+  // direct: the per-query prepare starts from the resolved view).
+  if (flat_ && options_.scheme == SchemeKind::kTZDirect) {
+    for (DestMemo& m : dest_memos_) m.label = flat_->label(m.t);
+  }
 }
 
 std::vector<RouteAnswer> RouteService::route_batch(
     const std::vector<RouteQuery>& queries) {
   using clock = std::chrono::steady_clock;
   std::vector<RouteAnswer> answers(queries.size());
+  const bool grouped = options_.use_flat;
+  if (grouped) {
+    group_by_destination(queries);
+  }
+  const bool memo_active = flat_ && options_.scheme == SchemeKind::kTZDirect;
+  if (options_.record_paths) {
+    path_refs_.assign(queries.size(), PathRef{});
+    for (auto& arena : arenas_) arena.clear();  // keeps capacity
+  }
   // Chunks of 32 amortize the queue handshake while keeping the dynamic
   // schedule responsive to skewed per-query cost (far pairs walk longer).
   pool_->for_each(
       queries.size(),
-      [&](std::uint64_t i, unsigned worker) {
+      [&](std::uint64_t slot, unsigned worker) {
+        const std::uint32_t i =
+            grouped ? order_[slot] : static_cast<std::uint32_t>(slot);
+        const RouteQuery& q = queries[i];
+        const DestMemo* memo =
+            memo_active ? &dest_memos_[dest_slot_[q.t]] : nullptr;
+        std::vector<VertexId>* path =
+            options_.record_paths ? &arenas_[worker] : nullptr;
+        const std::uint32_t path_off =
+            path ? static_cast<std::uint32_t>(path->size()) : 0;
         const auto begin = clock::now();
-        answers[i] = route_one(queries[i]);
+        answers[i] = serve(q, path, memo);
         const auto end = clock::now();
+        if (path) {
+          path_refs_[i] = PathRef{
+              worker, path_off,
+              static_cast<std::uint32_t>(path->size()) - path_off};
+        }
         const double sec = std::chrono::duration<double>(end - begin).count();
         answers[i].latency_us = sec * 1e6;
         Shard& shard = shards_[worker];
@@ -135,6 +312,13 @@ std::vector<RouteAnswer> RouteService::route_batch(
         shard.busy_seconds += sec;
       },
       32);
+  if (options_.record_paths) {
+    // Arenas are append-only during the batch; pointers are stable now.
+    for (std::size_t i = 0; i < answers.size(); ++i) {
+      const PathRef& r = path_refs_[i];
+      answers[i].path = {arenas_[r.worker].data() + r.off, r.len};
+    }
+  }
   ++batches_;
   return answers;
 }

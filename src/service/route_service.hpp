@@ -15,8 +15,23 @@
 ///  - a batch is sharded dynamically over the pool's MPMC queue in chunks;
 ///    answer i is written to pre-sized slot i, so results are byte-equal
 ///    for every thread count and queue interleaving;
-///  - per-worker scratch (telemetry shards) is indexed by worker id; the
-///    hot path takes no lock and touches no shared cache line.
+///  - per-worker scratch (telemetry shards, path arenas) is indexed by
+///    worker id; the hot path takes no lock, touches no shared cache line,
+///    and performs **no heap allocation per query**.
+///
+/// Serving path — *flat by default*: TZ schemes are compiled into a
+/// FlatScheme (core/flat_scheme.hpp) at construction and queries run
+/// against the pooled structure-of-arrays view through FlatRouter; Cowen
+/// and full-table queries walk the graph directly (no simulator, no
+/// std::function). `use_flat = false` keeps the legacy sim/-adapter path
+/// for comparison benches. Answers are identical either way
+/// (tests/test_flat_scheme.cpp).
+///
+/// Batched prepare: each batch is processed grouped by destination and a
+/// per-batch memo resolves every distinct destination's pooled label once
+/// (hotspot and gravity traffic repeat destinations heavily — the label
+/// cache lines stay hot and the per-query prepare starts from the
+/// resolved view).
 ///
 /// Telemetry: every answer records status, walk length, hops, header bits
 /// and — when the query carries its exact distance — stretch; the service
@@ -26,11 +41,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "baseline/cowen.hpp"
 #include "baseline/full_table.hpp"
+#include "core/flat_scheme.hpp"
 #include "core/tz_scheme.hpp"
 #include "graph/graph.hpp"
 #include "sim/packet.hpp"
@@ -64,8 +81,18 @@ struct RouteServiceOptions {
   /// Preprocessing seed (landmark sampling; ignored on warm start).
   std::uint64_t seed = 1;
   /// Record full vertex paths in answers (tests want them; throughput
-  /// runs usually don't).
+  /// runs usually don't). Paths land in per-worker arenas — see
+  /// RouteAnswer::path for the validity contract.
   bool record_paths = false;
+  /// Serve from the flat compiled view (default). false = legacy
+  /// sim/-adapter path, kept for comparison benches.
+  bool use_flat = true;
+  /// Lookup layout of the flat view (TZ schemes only). The FlatScheme
+  /// default is kFKS (the paper's O(1) hash-table story); the service
+  /// defaults to the Eytzinger descent, which wins end-to-end on walks —
+  /// per-hop probes of the per-vertex key slices stay in cache where the
+  /// global hash's slot arrays do not (bench_micro_decision shows both).
+  FlatLookup flat_lookup = FlatLookup::kEytzinger;
   /// Optional scheme_io file to warm-start from instead of preprocessing
   /// (TZ schemes only; the file must match the graph's fingerprint).
   std::string warm_start_path;
@@ -82,6 +109,14 @@ struct RouteQuery {
 
 /// One served answer. Everything except \p latency_us is a pure function
 /// of the query and the scheme — identical across runs and thread counts.
+///
+/// \p path is a non-owning view into a service-owned arena (per-worker
+/// arenas for batches, a separate dedicated arena for route_one). A
+/// route_batch call invalidates all previously returned views; a
+/// route_one call invalidates only the previous route_one answer's view
+/// (the closed-loop driver interleaves route_one verification with live
+/// batch answers and relies on this). All views die with the service;
+/// copy a path out to keep it longer.
 struct RouteAnswer {
   RouteStatus status = RouteStatus::kHopLimit;
   Weight length = 0;            ///< weighted length of the traversed walk
@@ -89,14 +124,15 @@ struct RouteAnswer {
   std::uint64_t header_bits = 0;  ///< wire size of the carried header
   double stretch = 0;           ///< length / exact (delivered, exact > 0)
   double latency_us = 0;        ///< service time at the worker (telemetry)
-  std::vector<VertexId> path;   ///< visited vertices (when record_paths)
+  std::span<const VertexId> path;  ///< visited vertices (record_paths)
 
   bool delivered() const noexcept {
     return status == RouteStatus::kDelivered;
   }
 };
 
-/// Deterministic comparison ignoring telemetry (latency).
+/// Deterministic comparison ignoring telemetry (latency). Paths compare
+/// by content, not by storage.
 bool same_route(const RouteAnswer& a, const RouteAnswer& b) noexcept;
 
 /// Aggregate counters since construction, merged over worker shards.
@@ -112,9 +148,8 @@ struct ServiceTelemetry {
 /// A concurrent route-query engine over one immutable scheme.
 ///
 /// Queries may target any connected graph; the graph must outlive the
-/// service. route_batch is externally synchronized: one driver thread
-/// submits batches (concurrent batches would interleave telemetry shards;
-/// the answers themselves would still be correct).
+/// service. route_batch and route_one are externally synchronized: one
+/// driver thread at a time (they share the per-batch scratch and arenas).
 class RouteService {
  public:
   RouteService(const Graph& g, const RouteServiceOptions& options);
@@ -128,10 +163,17 @@ class RouteService {
   unsigned threads() const noexcept { return pool_->size(); }
 
   /// Serves a batch: answers[i] is the route for queries[i]. Sharded over
-  /// the worker pool; deterministic for every thread count.
+  /// the worker pool in destination-grouped order; deterministic for
+  /// every thread count. Answers' paths point into per-worker arenas and
+  /// stay valid until the next route_batch call (route_one does not
+  /// touch them — see RouteAnswer::path).
   std::vector<RouteAnswer> route_batch(const std::vector<RouteQuery>& queries);
 
-  /// Serves one query on the calling thread (no pool dispatch).
+  /// Serves one query on the calling thread (no pool dispatch). The
+  /// answer's path points into a dedicated arena: it invalidates only the
+  /// previous route_one answer's path, never a batch's (see
+  /// RouteAnswer::path). With record_paths off this is a pure const read,
+  /// safe to call concurrently.
   RouteAnswer route_one(const RouteQuery& query) const;
 
   /// Merged telemetry over all worker shards.
@@ -143,18 +185,62 @@ class RouteService {
   /// The underlying TZ scheme, or nullptr for non-TZ kinds (stats, IO).
   const TZScheme* tz_scheme() const noexcept { return tz_.get(); }
 
+  /// The compiled flat view, or nullptr (non-TZ kinds or use_flat off).
+  const FlatScheme* flat_scheme() const noexcept { return flat_.get(); }
+
  private:
   struct Shard;  ///< per-worker telemetry scratch, cache-line padded
+
+  /// Per-batch memo for one distinct destination: its slice of the
+  /// processing order and, on the flat TZ path, the resolved pooled label
+  /// (looked up once per batch, reused by every query aimed at t).
+  struct DestMemo {
+    VertexId t = kNoVertex;
+    std::uint32_t begin = 0;  ///< first slot in order_
+    std::uint32_t count = 0;
+    std::span<const FlatScheme::LabelEntryView> label;
+  };
+
+  /// Where a batch answer's path landed: worker arena + slice.
+  struct PathRef {
+    std::uint32_t worker = 0;
+    std::uint32_t off = 0;
+    std::uint32_t len = 0;
+  };
+
+  /// Serves one query, writing the path (if any) into \p path_out.
+  RouteAnswer serve(const RouteQuery& query, std::vector<VertexId>* path_out,
+                    const DestMemo* memo) const;
+  RouteAnswer serve_legacy(const RouteQuery& query,
+                           std::vector<VertexId>* path_out) const;
+
+  /// Fills order_ / dest_memos_ / dest_slot_ for this batch.
+  void group_by_destination(const std::vector<RouteQuery>& queries);
 
   const Graph* g_;
   RouteServiceOptions options_;
   Simulator sim_;
   std::unique_ptr<TZScheme> tz_;
+  std::unique_ptr<FlatScheme> flat_;
+  std::unique_ptr<FlatRouter> flat_router_;
   std::unique_ptr<CowenScheme> cowen_;
   std::unique_ptr<FullTableScheme> full_;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<Shard> shards_;
   std::uint64_t batches_ = 0;
+
+  // Per-worker path arenas (capacity persists across batches) and the
+  // dedicated route_one arena.
+  std::vector<std::vector<VertexId>> arenas_;
+  mutable std::vector<VertexId> one_arena_;
+
+  // Reusable per-batch scratch (amortized allocation-free).
+  std::vector<std::uint32_t> order_;      ///< destination-grouped indices
+  std::vector<PathRef> path_refs_;
+  std::vector<DestMemo> dest_memos_;
+  std::vector<std::uint32_t> dest_slot_;   ///< t → memo slot (epoch-gated)
+  std::vector<std::uint64_t> dest_epoch_;  ///< t → last batch touching it
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace croute

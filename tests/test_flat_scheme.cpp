@@ -1,0 +1,273 @@
+// Randomized equivalence suite for core/flat_scheme.hpp: the flat
+// compiled view must agree with the legacy VertexTable / ClusterDirectory
+// / RoutingLabel structures answer-for-answer — same find results, same
+// prepared headers (pivot, tree label, exact wire bits), same per-hop
+// decisions — across k ∈ {2,3,4}, both lookup layouts (Eytzinger + FKS),
+// and all three routing policies; and the flat RouteService must serve
+// byte-identical answers to the legacy path at every thread count.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/flat_scheme.hpp"
+#include "core/tz_router.hpp"
+#include "service/route_service.hpp"
+#include "service/workload.hpp"
+#include "sim/experiment.hpp"
+#include "util/random.hpp"
+
+namespace croute {
+namespace {
+
+constexpr FlatLookup kLayouts[] = {FlatLookup::kEytzinger, FlatLookup::kFKS};
+constexpr RoutingPolicy kPolicies[] = {RoutingPolicy::kMinLevel,
+                                       RoutingPolicy::kMinEstimate,
+                                       RoutingPolicy::kLabelOnly};
+
+struct FlatFixture {
+  Graph g;
+  std::unique_ptr<TZScheme> scheme;
+
+  FlatFixture(std::uint32_t k, VertexId n, std::uint64_t seed,
+              GraphFamily family = GraphFamily::kErdosRenyi) {
+    Rng grng(seed);
+    g = make_workload(family, n, grng);
+    TZSchemeOptions opt;
+    opt.pre.k = k;
+    opt.labels_carry_distances = true;  // enables kMinEstimate
+    Rng rng(seed + 1);
+    scheme = std::make_unique<TZScheme>(g, opt, rng);
+  }
+};
+
+void expect_same_header(const TZHeader& legacy, const FlatHeader& flat,
+                        const TZRouter& router) {
+  ASSERT_EQ(legacy.target, flat.target);
+  ASSERT_EQ(legacy.tree_root, flat.tree_root);
+  ASSERT_EQ(legacy.tree_label.dfs_in, flat.dfs_in);
+  ASSERT_EQ(legacy.tree_label.light_ports.size(), flat.light_len);
+  for (std::uint32_t j = 0; j < flat.light_len; ++j) {
+    ASSERT_EQ(legacy.tree_label.light_ports[j], flat.light[j]);
+  }
+  // The precomputed bits table must agree with the BitWriter encoding.
+  ASSERT_EQ(router.header_bits(legacy), flat.bits);
+}
+
+// Walk the route stepping BOTH routers at every vertex; they must agree
+// hop for hop until delivery.
+void expect_same_walk(const Graph& g, VertexId s, VertexId t,
+                      const TZRouter& router, const TZHeader& lh,
+                      const FlatRouter& frouter, const FlatHeader& fh) {
+  VertexId here = s;
+  for (std::uint32_t hops = 0;; ++hops) {
+    ASSERT_LT(hops, 4 * g.num_vertices() + 16) << "routing loop";
+    const TreeDecision dl = router.step(here, lh);
+    const TreeDecision df = frouter.step(here, fh);
+    ASSERT_EQ(dl.deliver, df.deliver) << "s=" << s << " t=" << t;
+    if (dl.deliver) {
+      ASSERT_EQ(here, t);
+      return;
+    }
+    ASSERT_EQ(dl.port, df.port) << "s=" << s << " t=" << t << " at " << here;
+    here = g.arc(here, dl.port).head;
+  }
+}
+
+TEST(FlatScheme, FindMatchesLegacyLookup) {
+  for (const std::uint32_t k : {2u, 3u, 4u}) {
+    const FlatFixture fx(k, 150, 100 + k);
+    for (const FlatLookup layout : kLayouts) {
+      FlatSchemeOptions fopt;
+      fopt.lookup = layout;
+      const FlatScheme flat(*fx.scheme, fopt);
+      Rng probe_rng(7);
+      for (VertexId v = 0; v < fx.g.num_vertices(); ++v) {
+        // Every present key must be found with identical payloads.
+        for (const TableEntry& e : fx.scheme->table(v).entries()) {
+          const std::uint32_t idx = flat.find(v, e.w);
+          ASSERT_NE(idx, FlatScheme::kNotFound);
+          EXPECT_EQ(flat.dist(idx), e.dist);
+          EXPECT_EQ(flat.level(idx), e.level);
+          EXPECT_EQ(flat.record(idx).dfs_in, e.record.dfs_in);
+          EXPECT_EQ(flat.record(idx).parent_port, e.record.parent_port);
+          const TreeLabel own = fx.scheme->table(v).own_label(e);
+          EXPECT_EQ(flat.own_dfs(idx), own.dfs_in);
+          const auto ports = flat.own_light_ports(idx);
+          ASSERT_EQ(ports.size(), own.light_ports.size());
+          for (std::size_t j = 0; j < ports.size(); ++j) {
+            EXPECT_EQ(ports[j], own.light_ports[j]);
+          }
+        }
+        // Random probes agree on membership (mostly misses).
+        for (int r = 0; r < 16; ++r) {
+          const auto w =
+              static_cast<VertexId>(probe_rng.next_below(fx.g.num_vertices()));
+          EXPECT_EQ(flat.find(v, w) != FlatScheme::kNotFound,
+                    fx.scheme->lookup(v, w) != nullptr);
+        }
+        // Directory membership agrees as well.
+        const ClusterDirectory& dir = fx.scheme->directory(v);
+        for (const VertexId t : dir.members()) {
+          const std::uint32_t di = flat.dir_find(v, t);
+          ASSERT_NE(di, FlatScheme::kNotFound);
+          const std::uint32_t li = dir.find_index(t);
+          ASSERT_NE(li, ClusterDirectory::kNoIndex);
+          EXPECT_EQ(flat.dir_dfs(di), dir.dfs_at(li));
+        }
+        for (int r = 0; r < 16; ++r) {
+          const auto t =
+              static_cast<VertexId>(probe_rng.next_below(fx.g.num_vertices()));
+          EXPECT_EQ(flat.dir_find(v, t) != FlatScheme::kNotFound,
+                    dir.contains(t));
+        }
+      }
+    }
+  }
+}
+
+TEST(FlatScheme, PrepareAndStepMatchLegacyEverywhere) {
+  for (const std::uint32_t k : {2u, 3u, 4u}) {
+    const FlatFixture fx(k, 120, 200 + k);
+    const TZRouter router(*fx.scheme);
+    for (const FlatLookup layout : kLayouts) {
+      FlatSchemeOptions fopt;
+      fopt.lookup = layout;
+      const FlatScheme flat(*fx.scheme, fopt);
+      const FlatRouter frouter(flat);
+      for (const PairSample& p : all_pairs(fx.g)) {
+        for (const RoutingPolicy policy : kPolicies) {
+          const TZHeader lh =
+              router.prepare(p.s, fx.scheme->label(p.t), policy);
+          const FlatHeader fh = frouter.prepare(p.s, p.t, policy);
+          expect_same_header(lh, fh, router);
+          if (policy == RoutingPolicy::kMinLevel) {
+            expect_same_walk(fx.g, p.s, p.t, router, lh, frouter, fh);
+          }
+        }
+        const TZHeader lh = router.prepare_handshake(p.s, p.t);
+        const FlatHeader fh = frouter.prepare_handshake(p.s, p.t);
+        expect_same_header(lh, fh, router);
+        expect_same_walk(fx.g, p.s, p.t, router, lh, frouter, fh);
+      }
+    }
+  }
+}
+
+TEST(FlatScheme, PrepareResolvedMatchesPrepare) {
+  const FlatFixture fx(3, 150, 321);
+  const FlatScheme flat(*fx.scheme, {});
+  const FlatRouter frouter(flat);
+  for (const PairSample& p : all_pairs(fx.g)) {
+    const FlatHeader a = frouter.prepare(p.s, p.t);
+    const FlatHeader b = frouter.prepare_resolved(p.s, p.t, flat.label(p.t));
+    EXPECT_EQ(a.tree_root, b.tree_root);
+    EXPECT_EQ(a.dfs_in, b.dfs_in);
+    EXPECT_EQ(a.light, b.light);
+    EXPECT_EQ(a.light_len, b.light_len);
+    EXPECT_EQ(a.bits, b.bits);
+  }
+}
+
+// The flat service must serve answer-for-answer what the legacy path
+// serves, for every scheme kind, both lookup layouts, and every thread
+// count.
+TEST(FlatService, MatchesLegacyServiceAtEveryThreadCount) {
+  Rng grng(55);
+  const Graph g = make_workload(GraphFamily::kErdosRenyi, 300, grng);
+  Rng prng(56);
+  const std::vector<PairSample> pairs = sample_pairs(g, 400, prng);
+  std::vector<RouteQuery> queries;
+  for (const auto& p : pairs) queries.push_back({p.s, p.t, p.exact});
+
+  for (const SchemeKind kind :
+       {SchemeKind::kTZDirect, SchemeKind::kTZHandshake, SchemeKind::kCowen,
+        SchemeKind::kFullTable}) {
+    RouteServiceOptions legacy_opt;
+    legacy_opt.scheme = kind;
+    legacy_opt.threads = 1;
+    legacy_opt.k = 3;
+    legacy_opt.seed = 77;
+    legacy_opt.record_paths = true;
+    legacy_opt.use_flat = false;
+    RouteService legacy(g, legacy_opt);
+    const std::vector<RouteAnswer> reference = legacy.route_batch(queries);
+
+    for (const FlatLookup layout : kLayouts) {
+      for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+        RouteServiceOptions opt = legacy_opt;
+        opt.use_flat = true;
+        opt.flat_lookup = layout;
+        opt.threads = threads;
+        RouteService flat_service(g, opt);
+        const std::vector<RouteAnswer> answers =
+            flat_service.route_batch(queries);
+        ASSERT_EQ(answers.size(), reference.size());
+        for (std::size_t i = 0; i < answers.size(); ++i) {
+          ASSERT_TRUE(same_route(reference[i], answers[i]))
+              << scheme_name(kind) << "/" << flat_lookup_name(layout)
+              << " diverges at pair " << i << " with " << threads
+              << " threads";
+        }
+      }
+    }
+  }
+}
+
+// Hotspot traffic drives the destination-memo path hard (few distinct
+// destinations per batch). Batched answers must equal unbatched
+// route_one answers query for query.
+TEST(FlatService, DestinationMemoMatchesRouteOne) {
+  Rng grng(91);
+  const Graph g = make_workload(GraphFamily::kBarabasiAlbert, 300, grng);
+  TrafficOptions topt;
+  topt.hotspots = 4;
+  topt.source_pool = 16;
+  Rng trng(92);
+  const std::vector<RouteQuery> traffic =
+      make_traffic(g, WorkloadKind::kHotspot, 600, trng, topt);
+
+  RouteServiceOptions opt;
+  opt.scheme = SchemeKind::kTZDirect;
+  opt.threads = 4;
+  opt.k = 3;
+  opt.seed = 93;
+  opt.record_paths = true;
+  RouteService service(g, opt);
+  const std::vector<RouteAnswer> answers = service.route_batch(traffic);
+  for (std::size_t i = 0; i < answers.size(); ++i) {
+    const RouteAnswer ref = service.route_one(traffic[i]);
+    ASSERT_TRUE(same_route(answers[i], ref)) << "query " << i;
+    ASSERT_TRUE(answers[i].delivered());
+  }
+}
+
+// Steady-state zero allocation is hard to assert portably; what we can
+// pin down is the arena contract: path views from one batch stay valid
+// and correct until the next batch, and batches reuse arena capacity.
+TEST(FlatService, ArenaPathsAreStableWithinBatch) {
+  Rng grng(17);
+  const Graph g = make_workload(GraphFamily::kRingOfCliques, 240, grng);
+  Rng prng(18);
+  const std::vector<PairSample> pairs = sample_pairs(g, 200, prng);
+  std::vector<RouteQuery> queries;
+  for (const auto& p : pairs) queries.push_back({p.s, p.t, p.exact});
+
+  RouteServiceOptions opt;
+  opt.scheme = SchemeKind::kTZDirect;
+  opt.threads = 4;
+  opt.seed = 19;
+  opt.record_paths = true;
+  RouteService service(g, opt);
+  const std::vector<RouteAnswer> answers = service.route_batch(queries);
+  for (std::size_t i = 0; i < answers.size(); ++i) {
+    ASSERT_FALSE(answers[i].path.empty());
+    EXPECT_EQ(answers[i].path.front(), queries[i].s);
+    EXPECT_EQ(answers[i].path.back(), queries[i].t);
+    EXPECT_EQ(answers[i].path.size(), std::size_t{answers[i].hops} + 1);
+  }
+}
+
+}  // namespace
+}  // namespace croute

@@ -192,7 +192,9 @@ TEST(RouteService, MatchesSingleThreadedSimAdapters) {
       EXPECT_EQ(answers[i].length, ref.length);
       EXPECT_EQ(answers[i].hops, ref.hops);
       EXPECT_EQ(answers[i].header_bits, ref.header_bits);
-      EXPECT_EQ(answers[i].path, ref.path);
+      EXPECT_EQ(std::vector<VertexId>(answers[i].path.begin(),
+                                      answers[i].path.end()),
+                ref.path);
       EXPECT_TRUE(answers[i].delivered());
     }
   }
@@ -204,13 +206,18 @@ TEST(RouteService, DeterministicAcrossThreadCounts) {
   for (const SchemeKind kind :
        {SchemeKind::kTZDirect, SchemeKind::kTZHandshake, SchemeKind::kCowen,
         SchemeKind::kFullTable}) {
+    // The reference service must stay alive: answers' paths are views
+    // into its arenas.
+    std::unique_ptr<RouteService> ref_service;
     std::vector<RouteAnswer> reference;
     for (const unsigned threads : {1u, 2u, 3u, 8u}) {
-      RouteService service(fx.g, service_options(kind, threads));
-      std::vector<RouteAnswer> answers = service.route_batch(queries);
+      auto service =
+          std::make_unique<RouteService>(fx.g, service_options(kind, threads));
+      std::vector<RouteAnswer> answers = service->route_batch(queries);
       ASSERT_EQ(answers.size(), queries.size());
       if (reference.empty()) {
         reference = std::move(answers);
+        ref_service = std::move(service);
         continue;
       }
       for (std::size_t i = 0; i < answers.size(); ++i) {
