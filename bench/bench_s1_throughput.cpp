@@ -12,8 +12,18 @@
 /// single-threaded reference — the flat path must be faster AND
 /// answer-identical.
 ///
+/// Churn mode (--churn=C, default 3; 0 disables): after the static runs,
+/// the same traffic is replayed per thread count while a SchemeManager
+/// rebuilds the scheme in the background over C successively perturbed
+/// topologies and hot-swaps each finished generation under the live batch
+/// stream. Reported per run: qps under swap, latency percentiles, swap
+/// count, summed rebuild seconds, and the swap *blackout* — the worst
+/// wall time of one batch that straddled a generation flip. Lands in the
+/// JSON as the `churn_runs` array.
+///
 /// Flags: --n --family --scheme --workload --queries --batch --k --seed
 ///        --threads (comma list) --json out.json --flat-only
+///        --churn=C --churn-seed=S
 ///
 /// Note: the speedup column reflects the machine's core count; on a
 /// single-core container every thread count serves at the same rate, but
@@ -27,6 +37,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "service/hot_swap.hpp"
 #include "service/route_service.hpp"
 #include "service/workload.hpp"
 #include "sim/experiment.hpp"
@@ -199,6 +210,80 @@ int main(int argc, char** argv) try {
                 thread_counts.front(), flat_qps_1t / legacy_qps_1t);
     report.set("flat_vs_legacy_1t", flat_qps_1t / legacy_qps_1t);
   }
+
+  // --- churn mode: qps under background rebuild + hot swap ---------------
+  const auto churn_cycles =
+      static_cast<std::uint32_t>(flags.get_int("churn", 3));
+  bool churn_ok = true;
+  if (churn_cycles > 0) {
+    const auto churn_seed =
+        static_cast<std::uint64_t>(flags.get_int("churn-seed", seed + 3));
+    report.set("churn_cycles", std::uint64_t{churn_cycles});
+    std::printf("\nchurn mode: %u background rebuild+swap cycles per run "
+                "(flat path)\n",
+                churn_cycles);
+    std::printf("%8s %12s %10s %10s %8s %12s %12s %8s\n", "threads", "qps",
+                "p50_us", "p99_us", "swaps", "blackout_us", "rebuild_s",
+                "ok");
+    for (const unsigned t : thread_counts) {
+      RouteServiceOptions opt;
+      opt.scheme = scheme;
+      opt.threads = t;
+      opt.k = k;
+      opt.seed = seed + 2;
+      RouteService service(g, opt);
+      SchemeManager manager(service);
+      service.route_batch(std::vector<RouteQuery>(
+          traffic.begin(),
+          traffic.begin() + std::min<std::size_t>(traffic.size(), batch)));
+
+      DriverOptions dopt;
+      dopt.batch_size = batch;
+      ChurnOptions copt;
+      copt.cycles = churn_cycles;
+      copt.seed = churn_seed;
+      const ChurnReport r =
+          run_closed_loop_churn(service, manager, traffic, dopt, copt);
+
+      // The settled service must serve the final topology byte-equally
+      // to a fresh build on it (the hot-swap determinism contract).
+      RouteService fresh(r.final_graph, opt);
+      const std::vector<RouteQuery> probe(
+          traffic.begin(),
+          traffic.begin() + std::min<std::size_t>(traffic.size(), batch));
+      std::vector<RouteQuery> probe_unknown = probe;
+      for (RouteQuery& q : probe_unknown) q.exact = kUnknownDistance;
+      const std::vector<RouteAnswer> a = service.route_batch(probe_unknown);
+      const std::vector<RouteAnswer> b = fresh.route_batch(probe_unknown);
+      bool identical = a.size() == b.size();
+      for (std::size_t i = 0; identical && i < a.size(); ++i) {
+        identical = same_route(a[i], b[i]);
+      }
+      churn_ok = churn_ok && identical && r.swaps == churn_cycles;
+
+      std::printf("%8u %12.0f %10.2f %10.2f %8llu %12.1f %12.3f %8s\n", t,
+                  r.driver.qps, r.driver.latency_p50_us,
+                  r.driver.latency_p99_us,
+                  static_cast<unsigned long long>(r.swaps),
+                  r.max_blackout_us, r.rebuild_seconds,
+                  identical ? "yes" : "NO");
+      report.add_row("churn_runs")
+          .set("threads", std::uint64_t{t})
+          .set("qps", r.driver.qps)
+          .set("p50_us", r.driver.latency_p50_us)
+          .set("p95_us", r.driver.latency_p95_us)
+          .set("p99_us", r.driver.latency_p99_us)
+          .set("swaps", r.swaps)
+          .set("straddled_batches", r.straddled_batches)
+          .set("blackout_us", r.max_blackout_us)
+          .set("rebuild_s", r.rebuild_seconds)
+          .set("final_identical", std::string(identical ? "yes" : "no"));
+    }
+    std::printf("churn runs settled identical to fresh builds: %s\n",
+                churn_ok ? "yes" : "NO");
+    report.set("churn_identical", std::string(churn_ok ? "yes" : "no"));
+  }
+  all_identical = all_identical && churn_ok;
   if (!json_path.empty()) {
     report.write(json_path);
     std::printf("wrote %s\n", json_path.c_str());

@@ -23,9 +23,11 @@ fi
 "$build_dir/bench_micro_decision" \
     --json "$repo_root/BENCH_micro.json" ${MICRO_ARGS:-}
 
-# S1: serving throughput, legacy vs flat at several thread counts.
+# S1: serving throughput, legacy vs flat at several thread counts, plus
+# the churn mode — 3 background rebuild+swap cycles per thread count with
+# qps-under-swap and swap-blackout telemetry (the hot-swap trajectory).
 "$build_dir/bench_s1_throughput" \
-    --n 10000 --queries 50000 --threads 1,2,4 \
+    --n 10000 --queries 50000 --threads 1,2,4 --churn 3 \
     --json "$repo_root/BENCH_s1.json" ${S1_ARGS:-}
 
 echo "wrote $repo_root/BENCH_micro.json and $repo_root/BENCH_s1.json"

@@ -9,6 +9,7 @@
 /// ./route_service --scheme=tz --workload=hotspot --threads=4 --seed=7
 /// ./route_service --family=ba --n=20000 --scheme=cowen --workload=gravity
 /// ./route_service --graph=g.gr --warm=scheme.bin --workload=far
+/// ./route_service --workload=hotspot --churn=3     # hot-swap under load
 /// ```
 ///
 /// Flags: --scheme=tz|tz-handshake|cowen|full  --workload=uniform|gravity|
@@ -18,12 +19,15 @@
 /// [--exact] (attach exact distances for stretch even off the far workload)
 /// [--legacy] (serve through the sim/ adapters instead of the flat view)
 /// --lookup=fks|eytzinger (flat lookup layout)
+/// --churn=C (run the closed loop under C background rebuild+swap cycles;
+/// prints swap, blackout and rebuild telemetry)
 
 #include <cstdio>
 #include <string>
 
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "service/hot_swap.hpp"
 #include "service/route_service.hpp"
 #include "service/workload.hpp"
 #include "sim/experiment.hpp"
@@ -105,7 +109,27 @@ int main(int argc, char** argv) {
     DriverOptions dopt;
     dopt.batch_size =
         static_cast<std::uint32_t>(flags.get_int("batch", 2048));
-    const DriverReport r = run_closed_loop(service, traffic, dopt);
+
+    const auto churn_cycles =
+        static_cast<std::uint32_t>(flags.get_int("churn", 0));
+    DriverReport r;
+    if (churn_cycles > 0) {
+      SchemeManager manager(service);
+      ChurnOptions copt;
+      copt.cycles = churn_cycles;
+      copt.seed = seed + 3;
+      const ChurnReport churn =
+          run_closed_loop_churn(service, manager, traffic, dopt, copt);
+      r = churn.driver;
+      std::printf("churn:   %llu hot swaps under load; rebuilds %.3fs "
+                  "total; %llu straddled batches; blackout max %.1fus\n",
+                  static_cast<unsigned long long>(churn.swaps),
+                  churn.rebuild_seconds,
+                  static_cast<unsigned long long>(churn.straddled_batches),
+                  churn.max_blackout_us);
+    } else {
+      r = run_closed_loop(service, traffic, dopt);
+    }
 
     std::printf("traffic: %s, %llu queries in batches of %u\n",
                 workload_name(workload),

@@ -170,6 +170,14 @@ class FlatScheme {
            std::uint64_t{light_len} * port_bits_;
   }
 
+  /// Length of the precomputed bits-by-length table (max pooled light
+  /// count + 1). header_bits_for serves lengths below this from the
+  /// table and at/beyond it from the closed form — exposed so tests can
+  /// pin that boundary exactly against TZRouter::header_bits.
+  std::uint32_t header_bits_table_len() const noexcept {
+    return static_cast<std::uint32_t>(bits_by_len_.size());
+  }
+
   /// Total bytes held by the pools (diagnostics for the layout story).
   std::uint64_t pool_bytes() const noexcept;
 

@@ -1,0 +1,144 @@
+#include "graph/delta.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "graph/connectivity.hpp"
+
+namespace croute {
+
+namespace {
+
+/// Canonical 64-bit key of the undirected edge {u, v}.
+inline std::uint64_t edge_key(VertexId u, VertexId v) noexcept {
+  if (u > v) std::swap(u, v);
+  return (std::uint64_t{u} << 32) | v;
+}
+
+inline double clamp01(double x) noexcept {
+  return x < 0 ? 0 : (x > 1 ? 1 : x);
+}
+
+struct Edge {
+  VertexId u, v;
+  Weight w;
+};
+
+/// Edges of \p g in canonical (u < v, ascending) order.
+std::vector<Edge> collect_edges(const Graph& g) {
+  std::vector<Edge> edges;
+  edges.reserve(g.num_edges());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (const Arc& a : g.arcs(u)) {
+      if (u < a.head) edges.push_back({u, a.head, a.weight});
+    }
+  }
+  return edges;
+}
+
+/// Keys of one BFS spanning tree of \p g (the edges churn must keep).
+std::unordered_set<std::uint64_t> spanning_tree_keys(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  std::unordered_set<std::uint64_t> keys;
+  keys.reserve(n);
+  std::vector<bool> seen(n, false);
+  std::vector<VertexId> queue;
+  queue.reserve(n);
+  seen[0] = true;
+  queue.push_back(0);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const VertexId v = queue[head];
+    for (const Arc& a : g.arcs(v)) {
+      if (!seen[a.head]) {
+        seen[a.head] = true;
+        keys.insert(edge_key(v, a.head));
+        queue.push_back(a.head);
+      }
+    }
+  }
+  return keys;
+}
+
+}  // namespace
+
+Graph perturb_graph(const Graph& g, Rng& rng, const DeltaOptions& options) {
+  const VertexId n = g.num_vertices();
+  CROUTE_REQUIRE(n >= 2, "perturb_graph needs >= 2 vertices");
+  CROUTE_REQUIRE(is_connected(g), "perturb_graph requires a connected graph");
+
+  std::vector<Edge> edges = collect_edges(g);
+  const std::unordered_set<std::uint64_t> tree = spanning_tree_keys(g);
+
+  // Removals: sample from the non-tree edges only, so the BFS spanning
+  // tree survives and the result stays connected.
+  std::vector<std::uint32_t> removable;
+  for (std::uint32_t i = 0; i < edges.size(); ++i) {
+    if (!tree.count(edge_key(edges[i].u, edges[i].v))) removable.push_back(i);
+  }
+  const auto remove_count = static_cast<std::uint32_t>(
+      clamp01(options.remove_fraction) * static_cast<double>(removable.size()));
+  std::vector<bool> removed(edges.size(), false);
+  if (remove_count > 0) {
+    const std::vector<std::uint32_t> picks = rng.sample_without_replacement(
+        static_cast<std::uint32_t>(removable.size()), remove_count);
+    for (const std::uint32_t p : picks) removed[removable[p]] = true;
+  }
+
+  // Survivors, with multiplicative weight drift on a sampled fraction.
+  // log-uniform in [1/f, f] keeps weights positive and drift symmetric.
+  const double reweight = clamp01(options.reweight_fraction);
+  const double log_factor = std::log(std::max(1.0, options.weight_factor));
+  GraphBuilder builder(n);
+  for (std::uint32_t i = 0; i < edges.size(); ++i) {
+    if (removed[i]) continue;
+    Weight w = edges[i].w;
+    if (rng.next_bernoulli(reweight) && log_factor > 0) {
+      w *= std::exp(rng.next_double(-log_factor, log_factor));
+    }
+    builder.add_edge(edges[i].u, edges[i].v, w);
+  }
+
+  // Additions: uniform non-adjacent pairs, distinct from ALL original
+  // edges — survivors (no duplicates) and removed ones (a removal is
+  // never silently undone in the same step).
+  std::unordered_set<std::uint64_t> present;
+  present.reserve(edges.size());
+  for (const Edge& e : edges) present.insert(edge_key(e.u, e.v));
+  const auto add_count = static_cast<std::uint64_t>(
+      clamp01(options.add_fraction) * static_cast<double>(edges.size()));
+  // `present` blocks survivors, removed edges AND already-accepted
+  // additions, so its size alone is the used-pair count.
+  const std::uint64_t max_pairs = std::uint64_t{n} * (n - 1) / 2;
+  std::uint64_t added = 0, attempts = 0;
+  const std::uint64_t attempt_budget = 64 * (add_count + 1);
+  while (added < add_count && present.size() < max_pairs &&
+         attempts < attempt_budget) {
+    ++attempts;
+    const auto u = static_cast<VertexId>(rng.next_below(n));
+    const auto v = static_cast<VertexId>(rng.next_below(n));
+    if (u == v) continue;
+    const std::uint64_t key = edge_key(u, v);
+    if (!present.insert(key).second) continue;
+    builder.add_edge(u, v, rng.next_double() *
+                               (g.max_weight() - g.min_weight()) +
+                               g.min_weight());
+    ++added;
+  }
+
+  return builder.build();
+}
+
+std::vector<Graph> churn_schedule(const Graph& g, std::uint32_t steps,
+                                  Rng& rng, const DeltaOptions& options) {
+  std::vector<Graph> schedule;
+  schedule.reserve(steps);
+  const Graph* current = &g;
+  for (std::uint32_t s = 0; s < steps; ++s) {
+    schedule.push_back(perturb_graph(*current, rng, options));
+    current = &schedule.back();
+  }
+  return schedule;
+}
+
+}  // namespace croute

@@ -1,0 +1,59 @@
+/// \file delta.hpp
+/// \brief Topology-churn deltas: connected perturbations of a graph.
+///
+/// The SPAA'01 scheme is built once over a static graph, but serving
+/// reality is link churn: weights drift (load-dependent metrics), links
+/// fail, links appear. "On Compact Routing for the Internet" (Krioukov
+/// et al.) identifies exactly this — update cost under dynamic
+/// topologies, not table size — as the obstacle to compact routing in
+/// practice. This module supplies the churn side of that experiment: a
+/// deterministic, connectivity-preserving perturbation of an existing
+/// graph over the SAME vertex set, so a routing scheme can be rebuilt
+/// and hot-swapped (service/hot_swap.hpp) while queries keep flowing
+/// against stable vertex ids.
+///
+/// Guarantees of perturb_graph:
+///  - the vertex set is unchanged (same n, same ids);
+///  - the result is connected (a BFS spanning tree of the input is
+///    never removed);
+///  - every weight stays positive;
+///  - deterministic in (graph, rng state, options): byte-identical
+///    results across runs and machines.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace croute {
+
+/// Shape of one churn step. Fractions are clamped to [0, 1].
+struct DeltaOptions {
+  /// Fraction of surviving edges whose weight is perturbed
+  /// multiplicatively by a factor uniform (in log space) in
+  /// [1/weight_factor, weight_factor].
+  double reweight_fraction = 0.3;
+  double weight_factor = 4.0;
+  /// Fraction of *removable* (non-spanning-tree) edges deleted.
+  double remove_fraction = 0.05;
+  /// New edges added, as a fraction of the input edge count. New
+  /// endpoints are uniform non-adjacent pairs; new weights are uniform
+  /// in [min_weight, max_weight] of the input graph.
+  double add_fraction = 0.05;
+};
+
+/// One churn step over \p g. See the file comment for the guarantees.
+/// Requires \p g connected with >= 2 vertices.
+Graph perturb_graph(const Graph& g, Rng& rng,
+                    const DeltaOptions& options = {});
+
+/// \p steps successive perturbations: result[0] = perturb(g),
+/// result[i] = perturb(result[i-1]). Each is connected over the same
+/// vertex set — the graph sequence a hot-swap soak test walks through.
+std::vector<Graph> churn_schedule(const Graph& g, std::uint32_t steps,
+                                  Rng& rng, const DeltaOptions& options = {});
+
+}  // namespace croute

@@ -1,0 +1,43 @@
+#include "service/hot_swap.hpp"
+
+#include <utility>
+
+namespace croute {
+
+SchemeManager::~SchemeManager() {
+  if (worker_.joinable()) worker_.join();
+}
+
+SchemePackagePtr SchemeManager::rebuild_now(Graph g) {
+  RouteServiceOptions opt = service_->options();
+  // A mutated graph has a new fingerprint; rebuilds always preprocess.
+  opt.warm_start_path.clear();
+  SchemePackagePtr pkg = build_scheme_package(
+      std::make_shared<const Graph>(std::move(g)), opt);
+  service_->record_rebuild(pkg->build_seconds);
+  service_->publish(pkg);
+  return pkg;
+}
+
+void SchemeManager::rebuild_async(Graph g) {
+  wait();  // at most one rebuild in flight; surfaces a prior failure
+  in_flight_.store(true, std::memory_order_release);
+  worker_ = std::thread([this, g = std::move(g)]() mutable {
+    try {
+      rebuild_now(std::move(g));
+    } catch (...) {
+      error_ = std::current_exception();
+    }
+    in_flight_.store(false, std::memory_order_release);
+  });
+}
+
+void SchemeManager::wait() {
+  if (worker_.joinable()) worker_.join();
+  if (error_) {
+    std::exception_ptr err = std::exchange(error_, nullptr);
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace croute

@@ -1,0 +1,85 @@
+/// \file hot_swap.hpp
+/// \brief SchemeManager: background scheme rebuilds + atomic publication.
+///
+/// The control plane of scheme hot-swap. The data plane lives in
+/// RouteService (RCU package pinning, scheme_package.hpp); this manager
+/// supplies the missing half the ROADMAP names: *rebuild on topology
+/// change in the background and atomically swap the immutable scheme
+/// under live traffic*. The shape follows what distributed-construction
+/// work on compact routing (Dou et al., planar compact routing) measures:
+/// recomputation cost is the dominant price of churn, so the rebuild runs
+/// off the serving path — one dedicated background thread preprocesses
+/// the mutated graph into a fresh SchemePackage while worker threads keep
+/// draining batches against the old generation — and only the final
+/// pointer flip touches the service.
+///
+/// Determinism contract: rebuilds reuse the service's construction
+/// options (seed included, warm start dropped), so a hot-swapped
+/// generation is byte-identical to a fresh RouteService built on the same
+/// graph. tests/test_hot_swap.cpp proves answers match fresh services at
+/// every thread count, across ≥ 3 swap cycles under concurrent batches.
+///
+/// Threading: at most one background rebuild is in flight; rebuild_async
+/// joins any previous one first. wait() joins and rethrows a background
+/// build failure (the service keeps serving the old generation when a
+/// rebuild throws — a failed rebuild never damages the data plane).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <thread>
+
+#include "service/route_service.hpp"
+
+namespace croute {
+
+/// Rebuilds scheme generations for one RouteService and publishes them.
+/// One driver thread calls rebuild_now/rebuild_async/wait; the service's
+/// own telemetry() aggregates the rebuild/swap counters this feeds.
+class SchemeManager {
+ public:
+  explicit SchemeManager(RouteService& service) noexcept
+      : service_(&service) {}
+
+  /// Joins an outstanding background rebuild (swallowing its error, if
+  /// any — call wait() first to observe failures).
+  ~SchemeManager();
+
+  SchemeManager(const SchemeManager&) = delete;
+  SchemeManager& operator=(const SchemeManager&) = delete;
+
+  const RouteService& service() const noexcept { return *service_; }
+
+  /// Rebuilds on the CALLING thread over \p g (taken by value — pass an
+  /// rvalue to avoid the copy; service options with warm start dropped),
+  /// records the rebuild time, publishes the swap, and returns the new
+  /// generation. Blocks for the full preprocessing.
+  SchemePackagePtr rebuild_now(Graph g);
+
+  /// Launches rebuild_now(g) on the background thread and returns
+  /// immediately; the swap publishes the moment the build finishes, with
+  /// batches flowing meanwhile. Joins any previous rebuild first (at most
+  /// one in flight).
+  void rebuild_async(Graph g);
+
+  /// True while a background rebuild is running (its swap has not been
+  /// published yet). Thread-safe.
+  bool rebuild_in_flight() const noexcept {
+    return in_flight_.load(std::memory_order_acquire);
+  }
+
+  /// Joins the background rebuild if one is outstanding; rethrows its
+  /// exception if it failed (the service still serves the old
+  /// generation in that case).
+  void wait();
+
+ private:
+  RouteService* service_;
+  std::thread worker_;
+  std::atomic<bool> in_flight_{false};
+  std::exception_ptr error_;  ///< written by worker_, read after join
+};
+
+}  // namespace croute

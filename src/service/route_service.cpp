@@ -3,51 +3,29 @@
 #include <algorithm>
 #include <chrono>
 #include <stdexcept>
-
-#include "core/scheme_io.hpp"
-#include "graph/connectivity.hpp"
-#include "util/random.hpp"
+#include <utility>
 
 namespace croute {
 
-const char* scheme_name(SchemeKind kind) noexcept {
-  switch (kind) {
-    case SchemeKind::kTZDirect: return "tz";
-    case SchemeKind::kTZHandshake: return "tz-handshake";
-    case SchemeKind::kCowen: return "cowen";
-    case SchemeKind::kFullTable: return "full";
-  }
-  return "?";
-}
-
-SchemeKind parse_scheme(const std::string& name) {
-  if (name == "tz") return SchemeKind::kTZDirect;
-  if (name == "tz-handshake" || name == "handshake")
-    return SchemeKind::kTZHandshake;
-  if (name == "cowen") return SchemeKind::kCowen;
-  if (name == "full" || name == "full-table") return SchemeKind::kFullTable;
-  throw std::invalid_argument("unknown scheme: " + name +
-                              " (want tz|tz-handshake|cowen|full)");
-}
-
-bool same_route(const RouteAnswer& a, const RouteAnswer& b) noexcept {
-  return a.status == b.status && a.length == b.length && a.hops == b.hops &&
-         a.header_bits == b.header_bits && a.stretch == b.stretch &&
-         a.path.size() == b.path.size() &&
-         std::equal(a.path.begin(), a.path.end(), b.path.begin());
-}
-
-/// Per-worker telemetry scratch. Padded to a cache line so neighboring
-/// shards never false-share under concurrent increments.
-struct alignas(64) RouteService::Shard {
-  std::uint64_t queries = 0;
-  std::uint64_t delivered = 0;
-  std::uint64_t total_hops = 0;
-  std::uint64_t max_header_bits = 0;
-  double busy_seconds = 0;
-};
-
 namespace {
+
+/// Monotone max over an atomic double (no fetch_max for floats in C++20).
+void atomic_fetch_max(std::atomic<double>& target, double value) noexcept {
+  double seen = target.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !target.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_fetch_max(std::atomic<std::uint64_t>& target,
+                      std::uint64_t value) noexcept {
+  std::uint64_t seen = target.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !target.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
 
 /// The hop-by-hop walk of the flat serving path: same contract as
 /// Simulator::run (statuses, hop budget, path recording) but monomorphic —
@@ -82,72 +60,84 @@ void walk(const Graph& g, VertexId s, VertexId t, std::uint32_t max_hops,
 
 }  // namespace
 
+bool same_route(const RouteAnswer& a, const RouteAnswer& b) noexcept {
+  return a.status == b.status && a.length == b.length && a.hops == b.hops &&
+         a.header_bits == b.header_bits && a.stretch == b.stretch &&
+         a.path.size() == b.path.size() &&
+         std::equal(a.path.begin(), a.path.end(), b.path.begin());
+}
+
+/// Per-worker telemetry scratch. Padded to a cache line so neighboring
+/// shards never false-share under concurrent increments. Written only by
+/// the owning pool worker during a batch; merged by the driver thread
+/// after the batch drains (the pool's join is the synchronization edge).
+struct alignas(64) RouteService::Shard {
+  std::uint64_t queries = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t total_hops = 0;
+  std::uint64_t max_header_bits = 0;
+  double busy_seconds = 0;
+};
+
 RouteService::RouteService(const Graph& g, const RouteServiceOptions& options)
-    : g_(&g),
-      options_(options),
-      sim_(g, SimOptions{0, options.record_paths}) {
-  CROUTE_REQUIRE(g.num_vertices() >= 2, "RouteService needs >= 2 vertices");
-  CROUTE_REQUIRE(is_connected(g),
-                 "RouteService requires a connected graph (route per "
-                 "component via PartitionedScheme upstream)");
-  const bool is_tz = options.scheme == SchemeKind::kTZDirect ||
-                     options.scheme == SchemeKind::kTZHandshake;
-  CROUTE_REQUIRE(options.warm_start_path.empty() || is_tz,
-                 "warm start (scheme_io) is available for TZ schemes only");
-  switch (options.scheme) {
-    case SchemeKind::kTZDirect:
-    case SchemeKind::kTZHandshake: {
-      if (!options.warm_start_path.empty()) {
-        tz_ = std::make_unique<TZScheme>(
-            load_scheme_file(options.warm_start_path, g));
-      } else {
-        TZSchemeOptions opt;
-        opt.pre.k = options.k;
-        Rng rng(options.seed);
-        tz_ = std::make_unique<TZScheme>(g, opt, rng);
-      }
-      if (options.use_flat) {
-        FlatSchemeOptions fopt;
-        fopt.lookup = options.flat_lookup;
-        fopt.hash_seed = mix64(options.seed ^ 0xf1a7c0def1a7c0deULL);
-        flat_ = std::make_unique<FlatScheme>(*tz_, fopt);
-        flat_router_ = std::make_unique<FlatRouter>(*flat_);
-      }
-      break;
-    }
-    case SchemeKind::kCowen: {
-      Rng rng(options.seed);
-      cowen_ = std::make_unique<CowenScheme>(g, rng);
-      break;
-    }
-    case SchemeKind::kFullTable:
-      full_ = std::make_unique<FullTableScheme>(g);
-      break;
-  }
+    : options_(options) {
+  SchemePackagePtr pkg =
+      build_scheme_package(std::make_shared<const Graph>(g), options);
+  num_vertices_ = pkg->graph->num_vertices();
+  package_current_ = std::move(pkg);
   pool_ = std::make_unique<ThreadPool>(options.threads);
   shards_.resize(pool_->size());
   arenas_.resize(pool_->size());
-  dest_slot_.resize(g.num_vertices(), 0);
-  dest_epoch_.resize(g.num_vertices(), 0);
+  dest_slot_.resize(num_vertices_, 0);
+  dest_epoch_.resize(num_vertices_, 0);
 }
 
 RouteService::~RouteService() = default;
 
-RouteAnswer RouteService::serve_legacy(const RouteQuery& query,
+void RouteService::publish(SchemePackagePtr next) {
+  CROUTE_REQUIRE(next != nullptr, "publish needs a package");
+  CROUTE_REQUIRE(next->graph->num_vertices() == num_vertices_,
+                 "hot swap must preserve the vertex space (same n; churn "
+                 "is link churn)");
+  CROUTE_REQUIRE(next->options.scheme == options_.scheme,
+                 "hot swap must keep the scheme kind");
+  CROUTE_REQUIRE(next->options.use_flat == options_.use_flat,
+                 "hot swap must keep the serving path");
+  CROUTE_REQUIRE(next->options.record_paths == options_.record_paths,
+                 "hot swap must keep path recording (the package's "
+                 "Simulator bakes it in)");
+  SchemePackagePtr retired;
+  {
+    std::lock_guard<std::mutex> lock(package_mutex_);
+    retired = std::exchange(package_current_, std::move(next));
+  }
+  swap_seq_.fetch_add(1, std::memory_order_release);
+  // `retired` drops here — outside the lock. If an in-flight batch (or
+  // an external pin) still holds the old generation, IT destroys the
+  // package when it drains; the flip itself never frees pool memory.
+}
+
+void RouteService::record_rebuild(double seconds) {
+  rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  rebuild_seconds_.fetch_add(seconds, std::memory_order_relaxed);
+}
+
+RouteAnswer RouteService::serve_legacy(const SchemePackage& pkg,
+                                       const RouteQuery& query,
                                        std::vector<VertexId>* path_out) const {
   RouteResult r;
   switch (options_.scheme) {
     case SchemeKind::kTZDirect:
-      r = route_tz(sim_, *tz_, query.s, query.t);
+      r = route_tz(*pkg.sim, *pkg.tz, query.s, query.t);
       break;
     case SchemeKind::kTZHandshake:
-      r = route_tz_handshake(sim_, *tz_, query.s, query.t);
+      r = route_tz_handshake(*pkg.sim, *pkg.tz, query.s, query.t);
       break;
     case SchemeKind::kCowen:
-      r = route_cowen(sim_, *cowen_, query.s, query.t);
+      r = route_cowen(*pkg.sim, *pkg.cowen, query.s, query.t);
       break;
     case SchemeKind::kFullTable:
-      r = route_full(sim_, *full_, query.s, query.t);
+      r = route_full(*pkg.sim, *pkg.full, query.s, query.t);
       break;
   }
   RouteAnswer a;
@@ -161,55 +151,70 @@ RouteAnswer RouteService::serve_legacy(const RouteQuery& query,
   return a;
 }
 
-RouteAnswer RouteService::serve(const RouteQuery& query,
+RouteAnswer RouteService::serve(const SchemePackage& pkg,
+                                const RouteQuery& query,
                                 std::vector<VertexId>* path_out,
                                 const DestMemo* memo) const {
-  const VertexId n = g_->num_vertices();
+  const Graph& g = *pkg.graph;
+  const VertexId n = g.num_vertices();
   CROUTE_REQUIRE(query.s < n && query.t < n, "endpoint out of range");
   RouteAnswer a;
+  if (query.s == query.t) {
+    // Self-query: the packet never leaves the source. Defined answer —
+    // delivered, length 0, 0 hops, 0 header bits, stretch exactly 1
+    // (d(s,s) = 0 is the true distance, not an unknown sentinel).
+    a.status = RouteStatus::kDelivered;
+    a.stretch = 1.0;
+    if (path_out) path_out->push_back(query.s);
+    return a;
+  }
   if (!options_.use_flat) {
-    a = serve_legacy(query, path_out);
+    a = serve_legacy(pkg, query, path_out);
   } else {
     const std::uint32_t max_hops = 4 * n + 16;
     switch (options_.scheme) {
       case SchemeKind::kTZDirect: {
         const FlatHeader h =
             memo != nullptr
-                ? flat_router_->prepare_resolved(query.s, query.t, memo->label)
-                : flat_router_->prepare(query.s, query.t);
+                ? pkg.flat_router->prepare_resolved(query.s, query.t,
+                                                    memo->label)
+                : pkg.flat_router->prepare(query.s, query.t);
         a.header_bits = h.bits;
         walk(
-            *g_, query.s, query.t, max_hops,
-            [&](VertexId v) { return flat_router_->step(v, h); }, path_out, a);
+            g, query.s, query.t, max_hops,
+            [&](VertexId v) { return pkg.flat_router->step(v, h); }, path_out,
+            a);
         break;
       }
       case SchemeKind::kTZHandshake: {
-        const FlatHeader h = flat_router_->prepare_handshake(query.s, query.t);
+        const FlatHeader h = pkg.flat_router->prepare_handshake(query.s,
+                                                                query.t);
         a.header_bits = h.bits;
         walk(
-            *g_, query.s, query.t, max_hops,
-            [&](VertexId v) { return flat_router_->step(v, h); }, path_out, a);
+            g, query.s, query.t, max_hops,
+            [&](VertexId v) { return pkg.flat_router->step(v, h); }, path_out,
+            a);
         break;
       }
       case SchemeKind::kCowen: {
-        const CowenScheme::Label label = cowen_->label(query.t);
-        a.header_bits = cowen_->label_bits();
+        const CowenScheme::Label label = pkg.cowen->label(query.t);
+        a.header_bits = pkg.cowen->label_bits();
         walk(
-            *g_, query.s, query.t, max_hops,
+            g, query.s, query.t, max_hops,
             [&](VertexId v) {
-              const CowenScheme::Decision d = cowen_->step(v, label);
+              const CowenScheme::Decision d = pkg.cowen->step(v, label);
               return TreeDecision{d.deliver, d.port};
             },
             path_out, a);
         break;
       }
       case SchemeKind::kFullTable: {
-        a.header_bits = full_->label_bits();
+        a.header_bits = pkg.full->label_bits();
         walk(
-            *g_, query.s, query.t, max_hops,
+            g, query.s, query.t, max_hops,
             [&](VertexId v) {
               if (v == query.t) return TreeDecision{true, kNoPort};
-              return TreeDecision{false, full_->next_hop(v, query.t)};
+              return TreeDecision{false, pkg.full->next_hop(v, query.t)};
             },
             path_out, a);
         break;
@@ -221,17 +226,32 @@ RouteAnswer RouteService::serve(const RouteQuery& query,
 }
 
 RouteAnswer RouteService::route_one(const RouteQuery& query) const {
-  // Touch the arena only when paths are recorded: with record_paths off,
-  // route_one stays a pure const read and concurrent callers are safe.
-  if (!options_.record_paths) return serve(query, nullptr, nullptr);
-  one_arena_.clear();
-  RouteAnswer a = serve(query, &one_arena_, nullptr);
-  a.path = {one_arena_.data(), one_arena_.size()};
+  using clock = std::chrono::steady_clock;
+  const SchemePackagePtr pkg = package();  // pin this generation
+  const auto begin = clock::now();
+  RouteAnswer a;
+  if (!options_.record_paths) {
+    a = serve(*pkg, query, nullptr, nullptr);
+  } else {
+    // The arena makes route_one single-caller with record_paths on; the
+    // answer's path invalidates only the previous route_one path.
+    one_arena_.clear();
+    a = serve(*pkg, query, &one_arena_, nullptr);
+    a.path = {one_arena_.data(), one_arena_.size()};
+  }
+  const double sec =
+      std::chrono::duration<double>(clock::now() - begin).count();
+  a.latency_us = sec * 1e6;
+  one_slot_.queries.fetch_add(1, std::memory_order_relaxed);
+  if (a.delivered()) one_slot_.delivered.fetch_add(1, std::memory_order_relaxed);
+  one_slot_.total_hops.fetch_add(a.hops, std::memory_order_relaxed);
+  atomic_fetch_max(one_slot_.max_header_bits, a.header_bits);
+  one_slot_.busy_seconds.fetch_add(sec, std::memory_order_relaxed);
   return a;
 }
 
 void RouteService::group_by_destination(
-    const std::vector<RouteQuery>& queries) {
+    const SchemePackage& pkg, const std::vector<RouteQuery>& queries) {
   const auto nq = static_cast<std::uint32_t>(queries.size());
   order_.resize(nq);
   ++epoch_;
@@ -240,7 +260,7 @@ void RouteService::group_by_destination(
   // n-sized maps never need clearing).
   for (std::uint32_t i = 0; i < nq; ++i) {
     const VertexId t = queries[i].t;
-    CROUTE_REQUIRE(t < g_->num_vertices(), "endpoint out of range");
+    CROUTE_REQUIRE(t < num_vertices_, "endpoint out of range");
     if (dest_epoch_[t] != epoch_) {
       dest_epoch_[t] = epoch_;
       dest_slot_[t] = static_cast<std::uint32_t>(dest_memos_.size());
@@ -260,21 +280,33 @@ void RouteService::group_by_destination(
     order_[m.begin + m.count++] = i;
   }
   // Resolve each destination's pooled label once per batch (flat TZ
-  // direct: the per-query prepare starts from the resolved view).
-  if (flat_ && options_.scheme == SchemeKind::kTZDirect) {
-    for (DestMemo& m : dest_memos_) m.label = flat_->label(m.t);
+  // direct: the per-query prepare starts from the resolved view). The
+  // views point into \p pkg, which the caller pins for the whole batch.
+  if (pkg.flat && options_.scheme == SchemeKind::kTZDirect) {
+    for (DestMemo& m : dest_memos_) m.label = pkg.flat->label(m.t);
   }
 }
 
 std::vector<RouteAnswer> RouteService::route_batch(
     const std::vector<RouteQuery>& queries) {
   using clock = std::chrono::steady_clock;
+  // Read the swap sequence BEFORE pinning: a flip landing between the
+  // two then counts as straddled (conservative) instead of hiding a
+  // batch that genuinely served a retired generation across a swap.
+  const std::uint64_t seq_begin = swap_seq_.load(std::memory_order_acquire);
+  // Pin one generation for the whole batch (RCU read-side critical
+  // section): a publish() during the batch retires the old package only
+  // after this shared_ptr drops.
+  const SchemePackagePtr pkg = package();
+  const auto batch_begin = clock::now();
+
   std::vector<RouteAnswer> answers(queries.size());
   const bool grouped = options_.use_flat;
   if (grouped) {
-    group_by_destination(queries);
+    group_by_destination(*pkg, queries);
   }
-  const bool memo_active = flat_ && options_.scheme == SchemeKind::kTZDirect;
+  const bool memo_active =
+      pkg->flat != nullptr && options_.scheme == SchemeKind::kTZDirect;
   if (options_.record_paths) {
     path_refs_.assign(queries.size(), PathRef{});
     for (auto& arena : arenas_) arena.clear();  // keeps capacity
@@ -294,7 +326,7 @@ std::vector<RouteAnswer> RouteService::route_batch(
         const std::uint32_t path_off =
             path ? static_cast<std::uint32_t>(path->size()) : 0;
         const auto begin = clock::now();
-        answers[i] = serve(q, path, memo);
+        answers[i] = serve(*pkg, q, path, memo);
         const auto end = clock::now();
         if (path) {
           path_refs_[i] = PathRef{
@@ -319,13 +351,22 @@ std::vector<RouteAnswer> RouteService::route_batch(
       answers[i].path = {arenas_[r.worker].data() + r.off, r.len};
     }
   }
-  ++batches_;
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  // Blackout accounting: a batch that observed a generation flip ran
+  // concurrently with the swap; its wall time bounds the interruption
+  // any of its queries could have seen.
+  if (swap_seq_.load(std::memory_order_acquire) != seq_begin) {
+    const double batch_sec =
+        std::chrono::duration<double>(clock::now() - batch_begin).count();
+    straddled_batches_.fetch_add(1, std::memory_order_relaxed);
+    atomic_fetch_max(max_swap_blackout_us_, batch_sec * 1e6);
+  }
   return answers;
 }
 
 ServiceTelemetry RouteService::telemetry() const {
   ServiceTelemetry t;
-  t.batches = batches_;
+  t.batches = batches_.load(std::memory_order_relaxed);
   for (const Shard& s : shards_) {
     t.queries += s.queries;
     t.delivered += s.delivered;
@@ -334,17 +375,24 @@ ServiceTelemetry RouteService::telemetry() const {
     if (s.max_header_bits > t.max_header_bits)
       t.max_header_bits = s.max_header_bits;
   }
+  t.queries += one_slot_.queries.load(std::memory_order_relaxed);
+  t.delivered += one_slot_.delivered.load(std::memory_order_relaxed);
+  t.total_hops += one_slot_.total_hops.load(std::memory_order_relaxed);
+  t.busy_seconds += one_slot_.busy_seconds.load(std::memory_order_relaxed);
+  t.max_header_bits = std::max(
+      t.max_header_bits,
+      one_slot_.max_header_bits.load(std::memory_order_relaxed));
+  t.swaps = swap_seq_.load(std::memory_order_acquire);
+  t.rebuilds = rebuilds_.load(std::memory_order_relaxed);
+  t.rebuild_seconds = rebuild_seconds_.load(std::memory_order_relaxed);
+  t.straddled_batches = straddled_batches_.load(std::memory_order_relaxed);
+  t.max_swap_blackout_us =
+      max_swap_blackout_us_.load(std::memory_order_relaxed);
   return t;
 }
 
 std::uint64_t RouteService::table_bits(VertexId v) const {
-  switch (options_.scheme) {
-    case SchemeKind::kTZDirect:
-    case SchemeKind::kTZHandshake: return tz_->table_bits(v);
-    case SchemeKind::kCowen: return cowen_->table_bits(v);
-    case SchemeKind::kFullTable: return full_->table_bits(v);
-  }
-  return 0;
+  return package()->table_bits(v);
 }
 
 }  // namespace croute

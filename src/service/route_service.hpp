@@ -1,26 +1,45 @@
 /// \file route_service.hpp
-/// \brief RouteService: a concurrent, sharded route-query engine.
+/// \brief RouteService: a concurrent, sharded route-query engine with
+/// RCU-style scheme hot-swap.
 ///
 /// The Thorup–Zwick scheme exists to answer routing queries with tiny
 /// per-node state; this layer turns the single-packet `sim/` harness into
 /// a serving engine in the sense of "On Compact Routing for the Internet"
-/// (Krioukov et al.): one immutable scheme, preprocessed once (optionally
-/// warm-started from a scheme_io file), answering batched route queries
-/// from a persistent pool of worker threads.
+/// (Krioukov et al.): an immutable scheme generation (SchemePackage),
+/// preprocessed once (optionally warm-started from a scheme_io file),
+/// answering batched route queries from a persistent pool of worker
+/// threads — and replaceable under live traffic when the topology churns.
 ///
-/// Concurrency model — *immutable scheme, sharded queries*:
-///  - preprocessing happens once in the constructor; afterwards every
-///    structure consulted on the query path (tables, directories, labels,
-///    the graph CSR) is const and shared by all workers without locks;
+/// Concurrency model — *immutable generations, sharded queries*:
+///  - every query-path structure (tables, directories, labels, the graph
+///    CSR, the legacy simulator) lives in one refcounted, immutable
+///    SchemePackage (scheme_package.hpp);
+///  - the service holds the current package in a tiny pin/flip cell.
+///    route_batch pins ONE generation at batch start and serves the whole
+///    batch from it; route_one pins its own. publish() flips the pointer
+///    (RCU-style): queries never synchronize (the pin is once per batch,
+///    two refcount ops), writers never wait for readers, and a retired
+///    generation is destroyed when its last in-flight batch drains;
 ///  - a batch is sharded dynamically over the pool's MPMC queue in chunks;
 ///    answer i is written to pre-sized slot i, so results are byte-equal
-///    for every thread count and queue interleaving;
+///    for every thread count and queue interleaving — and, because the
+///    batch pins one generation, every batch is served entirely before or
+///    entirely after any swap, never half-and-half;
 ///  - per-worker scratch (telemetry shards, path arenas) is indexed by
 ///    worker id; the hot path takes no lock, touches no shared cache line,
 ///    and performs **no heap allocation per query**.
 ///
+/// Hot swap: build a package on a background thread (see
+/// service/hot_swap.hpp for the manager that pairs rebuilds with graph
+/// deltas) and publish() it. The only invariant publish enforces is a
+/// fixed vertex space (same n — churn is link churn) and an unchanged
+/// scheme kind. Swap telemetry records the flip count and the *blackout*:
+/// the maximum wall time of a batch that straddled a swap, the number the
+/// distributed-construction literature (planar compact routing) uses to
+/// price recomputation under traffic.
+///
 /// Serving path — *flat by default*: TZ schemes are compiled into a
-/// FlatScheme (core/flat_scheme.hpp) at construction and queries run
+/// FlatScheme (core/flat_scheme.hpp) at package build and queries run
 /// against the pooled structure-of-arrays view through FlatRouter; Cowen
 /// and full-table queries walk the graph directly (no simulator, no
 /// std::function). `use_flat = false` keeps the legacy sim/-adapter path
@@ -31,84 +50,53 @@
 /// per-batch memo resolves every distinct destination's pooled label once
 /// (hotspot and gravity traffic repeat destinations heavily — the label
 /// cache lines stay hot and the per-query prepare starts from the
-/// resolved view).
+/// resolved view). The memo's label views point into the batch's pinned
+/// package, so a concurrent swap can never dangle them.
 ///
 /// Telemetry: every answer records status, walk length, hops, header bits
 /// and — when the query carries its exact distance — stretch; the service
-/// aggregates totals per worker and merges on demand.
+/// aggregates totals per worker (plus a dedicated atomic slot for
+/// route_one, which may run concurrently) and merges on demand, together
+/// with the swap/rebuild counters above.
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
-#include "baseline/cowen.hpp"
-#include "baseline/full_table.hpp"
-#include "core/flat_scheme.hpp"
-#include "core/tz_scheme.hpp"
-#include "graph/graph.hpp"
-#include "sim/packet.hpp"
-#include "sim/simulator.hpp"
+#include "service/scheme_package.hpp"
 #include "util/parallel.hpp"
 
 namespace croute {
 
-/// Which routing scheme the service runs. Fixed at construction: the
-/// scheme is immutable for the service's lifetime (hot-swap is a roadmap
-/// item, not a promise of this class).
-enum class SchemeKind {
-  kTZDirect,     ///< Thorup–Zwick without handshake (stretch ≤ 4k−5)
-  kTZHandshake,  ///< Thorup–Zwick with handshake (stretch ≤ 2k−1)
-  kCowen,        ///< Cowen's stretch-3 baseline
-  kFullTable,    ///< full shortest-path tables (stretch 1; small graphs)
-};
-
-const char* scheme_name(SchemeKind kind) noexcept;
-
-/// Parses "tz" / "tz-handshake" / "cowen" / "full" (throws on others).
-SchemeKind parse_scheme(const std::string& name);
-
-/// Construction-time options for RouteService.
-struct RouteServiceOptions {
-  SchemeKind scheme = SchemeKind::kTZDirect;
-  /// Worker threads (0 = worker_count()).
-  unsigned threads = 0;
-  /// TZ hierarchy depth (TZ schemes only).
-  std::uint32_t k = 3;
-  /// Preprocessing seed (landmark sampling; ignored on warm start).
-  std::uint64_t seed = 1;
-  /// Record full vertex paths in answers (tests want them; throughput
-  /// runs usually don't). Paths land in per-worker arenas — see
-  /// RouteAnswer::path for the validity contract.
-  bool record_paths = false;
-  /// Serve from the flat compiled view (default). false = legacy
-  /// sim/-adapter path, kept for comparison benches.
-  bool use_flat = true;
-  /// Lookup layout of the flat view (TZ schemes only). The FlatScheme
-  /// default is kFKS (the paper's O(1) hash-table story); the service
-  /// defaults to the Eytzinger descent, which wins end-to-end on walks —
-  /// per-hop probes of the per-vertex key slices stay in cache where the
-  /// global hash's slot arrays do not (bench_micro_decision shows both).
-  FlatLookup flat_lookup = FlatLookup::kEytzinger;
-  /// Optional scheme_io file to warm-start from instead of preprocessing
-  /// (TZ schemes only; the file must match the graph's fingerprint).
-  std::string warm_start_path;
-};
+/// RouteQuery::exact value meaning "true distance unknown". Distances in
+/// croute are nonnegative (weights are positive), so any negative value
+/// is unambiguous — unlike 0, which is the *true* distance of an s == t
+/// self-query.
+inline constexpr Weight kUnknownDistance = -1.0;
 
 /// One route query. \p exact is the true shortest-path distance when the
-/// caller knows it (workload generators attach it); 0 means unknown, in
-/// which case the answer's stretch is reported as 0.
+/// caller knows it (workload generators attach it); kUnknownDistance
+/// (any negative value) means unknown, in which case the answer's
+/// stretch is reported as 0. exact == 0 is a real distance: it asserts
+/// s == t.
 struct RouteQuery {
   VertexId s = kNoVertex;
   VertexId t = kNoVertex;
-  Weight exact = 0;
+  Weight exact = kUnknownDistance;
 };
 
 /// One served answer. Everything except \p latency_us is a pure function
-/// of the query and the scheme — identical across runs and thread counts.
+/// of the query and the scheme generation — identical across runs and
+/// thread counts.
+///
+/// Self-queries (s == t) have the defined answer: delivered, length 0,
+/// 0 hops, 0 header bits (no packet leaves the source), stretch 1.
 ///
 /// \p path is a non-owning view into a service-owned arena (per-worker
 /// arenas for batches, a separate dedicated arena for route_one). A
@@ -122,7 +110,7 @@ struct RouteAnswer {
   Weight length = 0;            ///< weighted length of the traversed walk
   std::uint32_t hops = 0;       ///< edges traversed
   std::uint64_t header_bits = 0;  ///< wire size of the carried header
-  double stretch = 0;           ///< length / exact (delivered, exact > 0)
+  double stretch = 0;           ///< length / exact (delivered, exact known)
   double latency_us = 0;        ///< service time at the worker (telemetry)
   std::span<const VertexId> path;  ///< visited vertices (record_paths)
 
@@ -135,65 +123,120 @@ struct RouteAnswer {
 /// by content, not by storage.
 bool same_route(const RouteAnswer& a, const RouteAnswer& b) noexcept;
 
-/// Aggregate counters since construction, merged over worker shards.
+/// Aggregate counters since construction, merged over worker shards, the
+/// route_one slot, and the swap/rebuild counters.
 struct ServiceTelemetry {
-  std::uint64_t queries = 0;
+  std::uint64_t queries = 0;    ///< batch + route_one answers served
   std::uint64_t delivered = 0;
   std::uint64_t batches = 0;
   std::uint64_t total_hops = 0;
   std::uint64_t max_header_bits = 0;
   double busy_seconds = 0;  ///< summed worker time inside query handling
+  // --- hot-swap seam ---
+  std::uint64_t swaps = 0;     ///< published generation flips
+  std::uint64_t rebuilds = 0;  ///< background/foreground package rebuilds
+  double rebuild_seconds = 0;  ///< summed package build wall time
+  std::uint64_t straddled_batches = 0;  ///< batches overlapping a swap
+  /// Blackout: max wall time (µs) of one batch that straddled a swap —
+  /// the worst interruption any client observed during a flip.
+  double max_swap_blackout_us = 0;
 };
 
-/// A concurrent route-query engine over one immutable scheme.
+/// A concurrent route-query engine over immutable scheme generations.
 ///
-/// Queries may target any connected graph; the graph must outlive the
-/// service. route_batch and route_one are externally synchronized: one
-/// driver thread at a time (they share the per-batch scratch and arenas).
+/// route_batch and route_one are externally synchronized against each
+/// other only through the per-batch scratch: one *driver* thread calls
+/// route_batch at a time; route_one (record_paths off) is safe from any
+/// thread, concurrently with batches AND with publish(). publish() is
+/// safe from any thread. telemetry() is exact from the driver thread
+/// between batches; see its comment for what other threads may read.
 class RouteService {
  public:
+  /// Builds the initial package from a value copy of \p g (the service
+  /// does not keep a reference to the caller's graph — generations own
+  /// their topology).
   RouteService(const Graph& g, const RouteServiceOptions& options);
   ~RouteService();
 
   RouteService(const RouteService&) = delete;
   RouteService& operator=(const RouteService&) = delete;
 
-  const Graph& graph() const noexcept { return *g_; }
+  /// The CURRENT generation's graph. The reference is valid until the
+  /// next publish() retires the generation; pin package() to hold it.
+  const Graph& graph() const noexcept { return *package()->graph; }
   const RouteServiceOptions& options() const noexcept { return options_; }
   unsigned threads() const noexcept { return pool_->size(); }
 
+  /// Pins the current scheme generation (RCU read). The returned package
+  /// stays fully valid for as long as the caller holds the pointer, no
+  /// matter how many swaps happen meanwhile. The pin itself copies the
+  /// shared_ptr under a tiny mutex — two refcount ops, once per *batch*
+  /// (route_batch pins once and serves every query from the pin), so the
+  /// query hot path never touches it.
+  SchemePackagePtr package() const {
+    std::lock_guard<std::mutex> lock(package_mutex_);
+    return package_current_;
+  }
+
+  /// Atomically flips the current generation (RCU publish). The package
+  /// must cover the same vertex space (same n) and the same scheme kind;
+  /// in-flight batches finish on the generation they pinned, and the old
+  /// package is destroyed when its last reader drains. Thread-safe.
+  void publish(SchemePackagePtr next);
+
+  /// Folds a package rebuild's wall time into the telemetry (called by
+  /// SchemeManager; exposed for custom rebuild drivers). Thread-safe.
+  void record_rebuild(double seconds);
+
+  /// Number of publish() flips so far. Thread-safe.
+  std::uint64_t swap_count() const noexcept {
+    return swap_seq_.load(std::memory_order_acquire);
+  }
+
   /// Serves a batch: answers[i] is the route for queries[i]. Sharded over
   /// the worker pool in destination-grouped order; deterministic for
-  /// every thread count. Answers' paths point into per-worker arenas and
-  /// stay valid until the next route_batch call (route_one does not
-  /// touch them — see RouteAnswer::path).
+  /// every thread count. The whole batch is served from one pinned
+  /// generation. Answers' paths point into per-worker arenas and stay
+  /// valid until the next route_batch call (route_one does not touch
+  /// them — see RouteAnswer::path).
   std::vector<RouteAnswer> route_batch(const std::vector<RouteQuery>& queries);
 
-  /// Serves one query on the calling thread (no pool dispatch). The
-  /// answer's path points into a dedicated arena: it invalidates only the
-  /// previous route_one answer's path, never a batch's (see
-  /// RouteAnswer::path). With record_paths off this is a pure const read,
-  /// safe to call concurrently.
+  /// Serves one query on the calling thread (no pool dispatch) against
+  /// the current generation. The answer's path points into a dedicated
+  /// arena: it invalidates only the previous route_one answer's path,
+  /// never a batch's (see RouteAnswer::path). With record_paths off this
+  /// is safe to call concurrently (telemetry lands in an atomic slot).
   RouteAnswer route_one(const RouteQuery& query) const;
 
-  /// Merged telemetry over all worker shards.
+  /// Merged telemetry over all worker shards, the route_one slot, and
+  /// the swap counters. Worker shards are plain counters owned by the
+  /// pool workers: call from the driver thread between batches (the
+  /// pool's batch join is the synchronization edge). Calling from any
+  /// other thread while a batch is in flight would race the shard
+  /// increments; the swap/rebuild counters and the route_one slot alone
+  /// are atomics and safe anywhere.
   ServiceTelemetry telemetry() const;
 
-  /// Bits of routing state the scheme stores at vertex v (space story).
+  /// Bits of routing state the current generation stores at vertex v.
   std::uint64_t table_bits(VertexId v) const;
 
-  /// The underlying TZ scheme, or nullptr for non-TZ kinds (stats, IO).
-  const TZScheme* tz_scheme() const noexcept { return tz_.get(); }
+  /// The current generation's TZ scheme, or nullptr for non-TZ kinds
+  /// (stats, IO). Valid until the next publish(); pin package() to keep.
+  const TZScheme* tz_scheme() const noexcept { return package()->tz.get(); }
 
-  /// The compiled flat view, or nullptr (non-TZ kinds or use_flat off).
-  const FlatScheme* flat_scheme() const noexcept { return flat_.get(); }
+  /// The current generation's flat view, or nullptr (non-TZ kinds or
+  /// use_flat off). Same lifetime contract as tz_scheme().
+  const FlatScheme* flat_scheme() const noexcept {
+    return package()->flat.get();
+  }
 
  private:
   struct Shard;  ///< per-worker telemetry scratch, cache-line padded
 
   /// Per-batch memo for one distinct destination: its slice of the
   /// processing order and, on the flat TZ path, the resolved pooled label
-  /// (looked up once per batch, reused by every query aimed at t).
+  /// (looked up once per batch in the batch's pinned package, reused by
+  /// every query aimed at t).
   struct DestMemo {
     VertexId t = kNoVertex;
     std::uint32_t begin = 0;  ///< first slot in order_
@@ -208,33 +251,62 @@ class RouteService {
     std::uint32_t len = 0;
   };
 
-  /// Serves one query, writing the path (if any) into \p path_out.
-  RouteAnswer serve(const RouteQuery& query, std::vector<VertexId>* path_out,
+  /// Serves one query against \p pkg, writing the path (if any) into
+  /// \p path_out.
+  RouteAnswer serve(const SchemePackage& pkg, const RouteQuery& query,
+                    std::vector<VertexId>* path_out,
                     const DestMemo* memo) const;
-  RouteAnswer serve_legacy(const RouteQuery& query,
+  RouteAnswer serve_legacy(const SchemePackage& pkg, const RouteQuery& query,
                            std::vector<VertexId>* path_out) const;
 
-  /// Fills order_ / dest_memos_ / dest_slot_ for this batch.
-  void group_by_destination(const std::vector<RouteQuery>& queries);
+  /// Fills order_ / dest_memos_ / dest_slot_ for this batch, resolving
+  /// labels in \p pkg.
+  void group_by_destination(const SchemePackage& pkg,
+                            const std::vector<RouteQuery>& queries);
 
-  const Graph* g_;
   RouteServiceOptions options_;
-  Simulator sim_;
-  std::unique_ptr<TZScheme> tz_;
-  std::unique_ptr<FlatScheme> flat_;
-  std::unique_ptr<FlatRouter> flat_router_;
-  std::unique_ptr<CowenScheme> cowen_;
-  std::unique_ptr<FullTableScheme> full_;
+  VertexId num_vertices_ = 0;  ///< fixed across swaps (publish enforces)
   std::unique_ptr<ThreadPool> pool_;
+
+  /// The RCU cell: current generation, flipped by publish(). Guarded by
+  /// a mutex rather than std::atomic<shared_ptr>: the critical section
+  /// is two pointer-sized ops, entered once per batch / per flip (never
+  /// per query), and — unlike libstdc++'s lock-free _Sp_atomic, whose
+  /// internal spin bit ThreadSanitizer cannot see — it keeps the swap
+  /// seam fully TSan-verifiable (the CI TSan job runs test_hot_swap).
+  mutable std::mutex package_mutex_;
+  SchemePackagePtr package_current_;
+  std::atomic<std::uint64_t> swap_seq_{0};
+
+  // Swap/rebuild telemetry (atomic: publish/record_rebuild may run on a
+  // background thread while the driver thread reads telemetry()).
+  std::atomic<std::uint64_t> rebuilds_{0};
+  std::atomic<double> rebuild_seconds_{0};
+  std::atomic<std::uint64_t> straddled_batches_{0};
+  std::atomic<double> max_swap_blackout_us_{0};
+  std::atomic<std::uint64_t> batches_{0};
+
+  // Dedicated route_one telemetry slot (route_one may run concurrently
+  // with batches; worker shards belong to the pool workers alone).
+  struct alignas(64) OneSlot {
+    std::atomic<std::uint64_t> queries{0};
+    std::atomic<std::uint64_t> delivered{0};
+    std::atomic<std::uint64_t> total_hops{0};
+    std::atomic<std::uint64_t> max_header_bits{0};
+    std::atomic<double> busy_seconds{0};
+  };
+  mutable OneSlot one_slot_;
+
   std::vector<Shard> shards_;
-  std::uint64_t batches_ = 0;
 
   // Per-worker path arenas (capacity persists across batches) and the
   // dedicated route_one arena.
   std::vector<std::vector<VertexId>> arenas_;
   mutable std::vector<VertexId> one_arena_;
 
-  // Reusable per-batch scratch (amortized allocation-free).
+  // Reusable per-batch scratch (amortized allocation-free). Touched only
+  // by the driver thread inside route_batch — never by publish() or a
+  // background rebuild, so a swap cannot race an in-flight batch here.
   std::vector<std::uint32_t> order_;      ///< destination-grouped indices
   std::vector<PathRef> path_refs_;
   std::vector<DestMemo> dest_memos_;

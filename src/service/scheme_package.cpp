@@ -1,0 +1,96 @@
+#include "service/scheme_package.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "core/scheme_io.hpp"
+#include "graph/connectivity.hpp"
+#include "util/random.hpp"
+
+namespace croute {
+
+const char* scheme_name(SchemeKind kind) noexcept {
+  switch (kind) {
+    case SchemeKind::kTZDirect: return "tz";
+    case SchemeKind::kTZHandshake: return "tz-handshake";
+    case SchemeKind::kCowen: return "cowen";
+    case SchemeKind::kFullTable: return "full";
+  }
+  return "?";
+}
+
+SchemeKind parse_scheme(const std::string& name) {
+  if (name == "tz") return SchemeKind::kTZDirect;
+  if (name == "tz-handshake" || name == "handshake")
+    return SchemeKind::kTZHandshake;
+  if (name == "cowen") return SchemeKind::kCowen;
+  if (name == "full" || name == "full-table") return SchemeKind::kFullTable;
+  throw std::invalid_argument("unknown scheme: " + name +
+                              " (want tz|tz-handshake|cowen|full)");
+}
+
+std::uint64_t SchemePackage::table_bits(VertexId v) const {
+  switch (options.scheme) {
+    case SchemeKind::kTZDirect:
+    case SchemeKind::kTZHandshake: return tz->table_bits(v);
+    case SchemeKind::kCowen: return cowen->table_bits(v);
+    case SchemeKind::kFullTable: return full->table_bits(v);
+  }
+  return 0;
+}
+
+SchemePackagePtr build_scheme_package(std::shared_ptr<const Graph> graph,
+                                      const RouteServiceOptions& options) {
+  using clock = std::chrono::steady_clock;
+  CROUTE_REQUIRE(graph != nullptr, "build_scheme_package needs a graph");
+  const Graph& g = *graph;
+  CROUTE_REQUIRE(g.num_vertices() >= 2, "RouteService needs >= 2 vertices");
+  CROUTE_REQUIRE(is_connected(g),
+                 "RouteService requires a connected graph (route per "
+                 "component via PartitionedScheme upstream)");
+  const bool is_tz = options.scheme == SchemeKind::kTZDirect ||
+                     options.scheme == SchemeKind::kTZHandshake;
+  CROUTE_REQUIRE(options.warm_start_path.empty() || is_tz,
+                 "warm start (scheme_io) is available for TZ schemes only");
+
+  const auto begin = clock::now();
+  auto pkg = std::make_shared<SchemePackage>();
+  pkg->options = options;
+  pkg->graph = std::move(graph);
+  pkg->sim = std::make_unique<const Simulator>(
+      g, SimOptions{0, options.record_paths});
+  switch (options.scheme) {
+    case SchemeKind::kTZDirect:
+    case SchemeKind::kTZHandshake: {
+      if (!options.warm_start_path.empty()) {
+        pkg->tz = std::make_unique<const TZScheme>(
+            load_scheme_file(options.warm_start_path, g));
+      } else {
+        TZSchemeOptions opt;
+        opt.pre.k = options.k;
+        Rng rng(options.seed);
+        pkg->tz = std::make_unique<const TZScheme>(g, opt, rng);
+      }
+      if (options.use_flat) {
+        FlatSchemeOptions fopt;
+        fopt.lookup = options.flat_lookup;
+        fopt.hash_seed = mix64(options.seed ^ 0xf1a7c0def1a7c0deULL);
+        pkg->flat = std::make_unique<const FlatScheme>(*pkg->tz, fopt);
+        pkg->flat_router = std::make_unique<const FlatRouter>(*pkg->flat);
+      }
+      break;
+    }
+    case SchemeKind::kCowen: {
+      Rng rng(options.seed);
+      pkg->cowen = std::make_unique<const CowenScheme>(g, rng);
+      break;
+    }
+    case SchemeKind::kFullTable:
+      pkg->full = std::make_unique<const FullTableScheme>(g);
+      break;
+  }
+  pkg->build_seconds = std::chrono::duration<double>(clock::now() - begin).count();
+  return pkg;
+}
+
+}  // namespace croute

@@ -1,0 +1,115 @@
+/// \file scheme_package.hpp
+/// \brief SchemePackage: one immutable, refcounted scheme generation.
+///
+/// Hot-swapping a routing scheme under live traffic only works if
+/// *everything* a query touches — the graph CSR, the TZ preprocessing,
+/// the compiled flat view, the baseline state, and the legacy-path
+/// simulator — lives and dies as ONE unit. SchemePackage is that unit:
+/// built once by build_scheme_package(), immutable afterwards, and
+/// shared via `std::shared_ptr<const SchemePackage>` so the reference
+/// count IS the retirement protocol. RouteService publishes a package
+/// with an atomic pointer flip (RCU-style); every in-flight batch pins
+/// the package it started on, and an old generation is destroyed
+/// exactly when its last pinned batch drains — readers never block,
+/// swappers never wait for readers.
+///
+/// Internal ownership order matters and is encoded here: the package
+/// owns its Graph (a value copy — rebuilds serve a *different* topology
+/// than the caller's original), TZScheme points into that graph,
+/// FlatScheme points into the TZScheme, FlatRouter into the FlatScheme,
+/// and the Simulator (legacy serving path) into the graph. Destruction
+/// runs in reverse member order, so no dangling pointers at teardown.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "baseline/cowen.hpp"
+#include "baseline/full_table.hpp"
+#include "core/flat_scheme.hpp"
+#include "core/tz_scheme.hpp"
+#include "graph/graph.hpp"
+#include "sim/simulator.hpp"
+
+namespace croute {
+
+/// Which routing scheme a service runs. Fixed per package; hot swap
+/// replaces the graph and the preprocessing, never the scheme kind.
+enum class SchemeKind {
+  kTZDirect,     ///< Thorup–Zwick without handshake (stretch ≤ 4k−5)
+  kTZHandshake,  ///< Thorup–Zwick with handshake (stretch ≤ 2k−1)
+  kCowen,        ///< Cowen's stretch-3 baseline
+  kFullTable,    ///< full shortest-path tables (stretch 1; small graphs)
+};
+
+const char* scheme_name(SchemeKind kind) noexcept;
+
+/// Parses "tz" / "tz-handshake" / "cowen" / "full" (throws on others).
+SchemeKind parse_scheme(const std::string& name);
+
+/// Construction-time options for RouteService (and for every package a
+/// rebuild produces; only warm_start_path is dropped on rebuilds).
+struct RouteServiceOptions {
+  SchemeKind scheme = SchemeKind::kTZDirect;
+  /// Worker threads (0 = worker_count()).
+  unsigned threads = 0;
+  /// TZ hierarchy depth (TZ schemes only).
+  std::uint32_t k = 3;
+  /// Preprocessing seed (landmark sampling; ignored on warm start).
+  /// Rebuilds reuse it, so a hot-swapped service and a fresh service on
+  /// the same graph preprocess byte-identically.
+  std::uint64_t seed = 1;
+  /// Record full vertex paths in answers (tests want them; throughput
+  /// runs usually don't). Paths land in per-worker arenas — see
+  /// RouteAnswer::path for the validity contract.
+  bool record_paths = false;
+  /// Serve from the flat compiled view (default). false = legacy
+  /// sim/-adapter path, kept for comparison benches.
+  bool use_flat = true;
+  /// Lookup layout of the flat view (TZ schemes only). The FlatScheme
+  /// default is kFKS (the paper's O(1) hash-table story); the service
+  /// defaults to the Eytzinger descent, which wins end-to-end on walks —
+  /// per-hop probes of the per-vertex key slices stay in cache where the
+  /// global hash's slot arrays do not (bench_micro_decision shows both).
+  FlatLookup flat_lookup = FlatLookup::kEytzinger;
+  /// Optional scheme_io file to warm-start from instead of preprocessing
+  /// (TZ schemes only; the file must match the graph's fingerprint).
+  /// Applies to the initial package only — a rebuilt graph has a new
+  /// fingerprint, so rebuilds always preprocess.
+  std::string warm_start_path;
+};
+
+/// One immutable scheme generation: the graph it was built over plus
+/// every query-path structure, owned together. Share as
+/// `std::shared_ptr<const SchemePackage>`; never mutate after build.
+struct SchemePackage {
+  SchemePackage() = default;
+  SchemePackage(const SchemePackage&) = delete;
+  SchemePackage& operator=(const SchemePackage&) = delete;
+
+  RouteServiceOptions options;  ///< the options this generation was built with
+  std::shared_ptr<const Graph> graph;
+  std::unique_ptr<const Simulator> sim;  ///< legacy serving path
+  std::unique_ptr<const TZScheme> tz;
+  std::unique_ptr<const FlatScheme> flat;
+  std::unique_ptr<const FlatRouter> flat_router;
+  std::unique_ptr<const CowenScheme> cowen;
+  std::unique_ptr<const FullTableScheme> full;
+  double build_seconds = 0;  ///< wall time of build_scheme_package
+
+  /// Bits of routing state the scheme stores at vertex v (space story).
+  std::uint64_t table_bits(VertexId v) const;
+};
+
+using SchemePackagePtr = std::shared_ptr<const SchemePackage>;
+
+/// Preprocesses \p graph under \p options into a fresh package.
+/// Deterministic: (graph, options) fixes every byte of the result, so a
+/// hot-swapped generation is indistinguishable from a fresh service's.
+/// Safe to call from a background thread — it touches nothing shared.
+SchemePackagePtr build_scheme_package(std::shared_ptr<const Graph> graph,
+                                      const RouteServiceOptions& options);
+
+}  // namespace croute

@@ -143,7 +143,7 @@ std::vector<RouteQuery> make_traffic(const Graph& g, WorkloadKind kind,
       while (traffic.size() < count) {
         const VertexId s = sources.draw(rng);
         const VertexId t = static_cast<VertexId>(rng.next_below(n));
-        if (s != t) traffic.push_back({s, t, 0});
+        if (s != t) traffic.push_back({s, t, kUnknownDistance});
       }
       break;
     }
@@ -154,7 +154,7 @@ std::vector<RouteQuery> make_traffic(const Graph& g, WorkloadKind kind,
         const VertexId s =
             options.source_pool > 0 ? sources.draw(rng) : deg.draw(rng);
         const VertexId t = deg.draw(rng);
-        if (s != t) traffic.push_back({s, t, 0});
+        if (s != t) traffic.push_back({s, t, kUnknownDistance});
       }
       break;
     }
@@ -171,7 +171,7 @@ std::vector<RouteQuery> make_traffic(const Graph& g, WorkloadKind kind,
         } else {
           t = static_cast<VertexId>(rng.next_below(n));
         }
-        if (s != t) traffic.push_back({s, t, 0});
+        if (s != t) traffic.push_back({s, t, kUnknownDistance});
       }
       break;
     }
@@ -183,9 +183,12 @@ std::vector<RouteQuery> make_traffic(const Graph& g, WorkloadKind kind,
 
 void attach_exact_distances(const Graph& g, std::vector<RouteQuery>& queries) {
   // Group query indices by source; one Dijkstra per distinct source.
+  // exact >= 0 is a KNOWN distance (0 is the true d(s,s) of a self-query,
+  // not a sentinel) — only kUnknownDistance (< 0) queries are solved, so
+  // repeated attach calls never re-run Dijkstra for already-known pairs.
   std::unordered_map<VertexId, std::vector<std::size_t>> by_source;
   for (std::size_t i = 0; i < queries.size(); ++i) {
-    if (queries[i].exact <= 0) by_source[queries[i].s].push_back(i);
+    if (queries[i].exact < 0) by_source[queries[i].s].push_back(i);
   }
   std::vector<std::pair<VertexId, std::vector<std::size_t>>> groups(
       by_source.begin(), by_source.end());
@@ -200,9 +203,20 @@ void attach_exact_distances(const Graph& g, std::vector<RouteQuery>& queries) {
   });
 }
 
-DriverReport run_closed_loop(RouteService& service,
-                             const std::vector<RouteQuery>& traffic,
-                             const DriverOptions& options) {
+namespace {
+
+/// The shared closed-loop skeleton: batches drain one after the other;
+/// \p before_batch runs on the driver thread ahead of batch \p index and
+/// \p after_batch right after it drains, with the batch's wall seconds
+/// (the churn scenario fires rebuild triggers in the former and collects
+/// per-run swap-straddle telemetry in the latter; the plain loop passes
+/// no-ops).
+template <typename BeforeBatch, typename AfterBatch>
+DriverReport closed_loop(RouteService& service,
+                         const std::vector<RouteQuery>& traffic,
+                         const DriverOptions& options,
+                         BeforeBatch&& before_batch,
+                         AfterBatch&& after_batch) {
   using clock = std::chrono::steady_clock;
   const std::uint32_t batch =
       std::max<std::uint32_t>(1, options.batch_size);
@@ -214,11 +228,16 @@ DriverReport run_closed_loop(RouteService& service,
   std::uint64_t hops = 0;
 
   const auto start = clock::now();
+  std::uint64_t batch_index = 0;
   for (std::size_t begin = 0; begin < traffic.size(); begin += batch) {
+    before_batch(batch_index++);
     const std::size_t end = std::min(traffic.size(), begin + batch);
     const std::vector<RouteQuery> slice(traffic.begin() + begin,
                                         traffic.begin() + end);
+    const auto batch_start = clock::now();
     const std::vector<RouteAnswer> answers = service.route_batch(slice);
+    after_batch(
+        std::chrono::duration<double>(clock::now() - batch_start).count());
     for (std::size_t i = 0; i < answers.size(); ++i) {
       const RouteAnswer& a = answers[i];
       ++report.queries;
@@ -246,6 +265,110 @@ DriverReport run_closed_loop(RouteService& service,
   report.latency_p95_us = percentile_sorted(latencies, 95);
   report.latency_p99_us = percentile_sorted(latencies, 99);
   report.stretch = summarize(std::move(stretches));
+  return report;
+}
+
+}  // namespace
+
+DriverReport run_closed_loop(RouteService& service,
+                             const std::vector<RouteQuery>& traffic,
+                             const DriverOptions& options) {
+  return closed_loop(service, traffic, options, [](std::uint64_t) {},
+                     [](double) {});
+}
+
+ChurnReport run_closed_loop_churn(RouteService& service, SchemeManager& manager,
+                                  const std::vector<RouteQuery>& traffic,
+                                  const DriverOptions& options,
+                                  const ChurnOptions& churn) {
+  CROUTE_REQUIRE(!options.verify_against_serial,
+                 "verify_against_serial is meaningless under churn: "
+                 "route_one pins the current generation, a straddling "
+                 "batch pins the previous one");
+  const std::uint32_t batch =
+      std::max<std::uint32_t>(1, options.batch_size);
+  const std::uint64_t total_batches =
+      (traffic.size() + batch - 1) / batch;
+
+  // Exact distances were computed against the pre-churn topology; strip
+  // them so no stale stretch is reported (see kUnknownDistance).
+  std::vector<RouteQuery> stream = traffic;
+  for (RouteQuery& q : stream) q.exact = kUnknownDistance;
+
+  const ServiceTelemetry before = service.telemetry();
+  Graph current = service.graph();  // value copy: generations own graphs
+  Rng rng(churn.seed);
+  std::uint32_t fired = 0;
+
+  // Per-RUN swap-straddle accounting, measured by the driver around its
+  // own route_batch calls (the service-side max_swap_blackout_us is a
+  // service-lifetime high-water mark; a report must not attribute an
+  // earlier run's blackout to this one). The driver's observation window
+  // encloses the service's, so this count is conservative (>=).
+  using churn_clock = std::chrono::steady_clock;
+  std::uint64_t last_seq = service.swap_count();
+  std::uint64_t run_straddled = 0;
+  double run_blackout_us = 0;
+  auto note_batch = [&](double wall_seconds) {
+    const std::uint64_t seq = service.swap_count();
+    if (seq != last_seq) {
+      last_seq = seq;
+      ++run_straddled;
+      run_blackout_us = std::max(run_blackout_us, wall_seconds * 1e6);
+    }
+  };
+
+  // Trigger cycle c ahead of batch floor(total * c / (cycles + 1)) — the
+  // rebuilds overlap the middle of the stream, not its edges. A trigger
+  // that finds the previous rebuild still in flight slides to the next
+  // batch boundary (rebuild_async would otherwise block the loop).
+  auto fire_next = [&]() {
+    current = perturb_graph(current, rng, churn.delta);
+    manager.rebuild_async(current);
+    ++fired;
+  };
+  ChurnReport report;
+  report.driver = closed_loop(
+      service, stream, options,
+      [&](std::uint64_t batch_index) {
+        if (fired >= churn.cycles || manager.rebuild_in_flight()) return;
+        const std::uint64_t due =
+            total_batches * (fired + 1) / (churn.cycles + 1);
+        if (batch_index >= due) fire_next();
+      },
+      note_batch);
+
+  // Cycles the stream was too short to fire (or whose trigger kept
+  // sliding): force them now, and keep batches flowing WHILE each forced
+  // rebuild runs — the publish lands under live traffic, so straddling
+  // batches (the blackout measurement) are observed even when one
+  // rebuild outlasts the whole query stream, which is the common shape
+  // (preprocessing is seconds, draining a stream is milliseconds).
+  const std::vector<RouteQuery> tail(
+      stream.begin(),
+      stream.begin() + std::min<std::size_t>(stream.size(), batch));
+  auto timed_tail_batch = [&]() {
+    const auto t0 = churn_clock::now();
+    service.route_batch(tail);
+    note_batch(
+        std::chrono::duration<double>(churn_clock::now() - t0).count());
+  };
+  while (fired < churn.cycles) {
+    manager.wait();
+    fire_next();
+    while (manager.rebuild_in_flight()) timed_tail_batch();
+    manager.wait();
+    timed_tail_batch();  // observe the new generation under load
+  }
+  manager.wait();
+  timed_tail_batch();  // observe the final generation under load
+
+  const ServiceTelemetry after = service.telemetry();
+  report.swaps = after.swaps - before.swaps;
+  report.straddled_batches = run_straddled;
+  report.max_blackout_us = run_blackout_us;
+  report.rebuild_seconds = after.rebuild_seconds - before.rebuild_seconds;
+  report.final_graph = std::move(current);
   return report;
 }
 

@@ -22,6 +22,13 @@
 /// waits for each to drain (closed loop: offered load = service rate) and
 /// reports throughput, per-query latency percentiles, and stretch through
 /// the same Summary machinery the benches print.
+///
+/// The fifth scenario is *topology churn*: run_closed_loop_churn drives
+/// the same closed loop while a SchemeManager rebuilds the scheme in the
+/// background over successively perturbed graphs (graph/delta.hpp) and
+/// hot-swaps each finished generation under the live batch stream —
+/// measuring qps-under-swap and the swap blackout the way
+/// distributed-construction work prices recomputation cost.
 
 #pragma once
 
@@ -29,6 +36,8 @@
 #include <string>
 #include <vector>
 
+#include "graph/delta.hpp"
+#include "service/hot_swap.hpp"
 #include "service/route_service.hpp"
 #include "util/random.hpp"
 #include "util/stats.hpp"
@@ -66,14 +75,17 @@ struct TrafficOptions {
 };
 
 /// Generates \p count queries over \p g under \p kind. Deterministic in
-/// (g, kind, options, rng state). Queries' \p exact fields are 0 except
-/// for far-pairs, whose construction computes distances anyway.
+/// (g, kind, options, rng state). Queries' \p exact fields are
+/// kUnknownDistance except for far-pairs, whose construction computes
+/// distances anyway.
 std::vector<RouteQuery> make_traffic(const Graph& g, WorkloadKind kind,
                                      std::uint32_t count, Rng& rng,
                                      const TrafficOptions& options = {});
 
 /// Fills \p queries' exact distances (one Dijkstra per distinct source,
-/// parallelized over sources). Skips queries that already carry one.
+/// parallelized over sources). Skips queries that already carry one —
+/// any exact >= 0 counts as known (0 is the true distance of an s == t
+/// self-query, not a sentinel; see kUnknownDistance).
 void attach_exact_distances(const Graph& g, std::vector<RouteQuery>& queries);
 
 /// Knobs of one closed-loop run.
@@ -107,5 +119,48 @@ struct DriverReport {
 DriverReport run_closed_loop(RouteService& service,
                              const std::vector<RouteQuery>& traffic,
                              const DriverOptions& options = {});
+
+/// Knobs of the topology-churn scenario.
+struct ChurnOptions {
+  /// Background rebuild + hot-swap cycles to complete during the run.
+  /// Triggers are spread evenly over the batch stream; any cycle still
+  /// pending when the traffic drains is forced (serving a batch between
+  /// forced swaps) so the returned report always covers exactly this
+  /// many swaps.
+  std::uint32_t cycles = 3;
+  /// Shape of each topology perturbation (applied cumulatively).
+  DeltaOptions delta;
+  /// Seed of the delta sampling (independent of the traffic).
+  std::uint64_t seed = 1;
+};
+
+/// What one churn run observed, beyond the plain closed-loop report.
+/// straddled_batches / max_blackout_us are measured by the driver around
+/// its own batches, so they cover THIS run only (the service-side
+/// telemetry keeps a service-lifetime high-water mark instead); the
+/// driver's observation window encloses the service's, so its straddle
+/// count is conservative (>= the service's increment).
+struct ChurnReport {
+  DriverReport driver;
+  std::uint64_t swaps = 0;              ///< generation flips completed
+  std::uint64_t straddled_batches = 0;  ///< batches overlapping a swap
+  double max_blackout_us = 0;  ///< worst straddling-batch wall time
+  double rebuild_seconds = 0;  ///< summed background preprocessing time
+  Graph final_graph;  ///< the topology of the last published generation
+};
+
+/// Closed loop under churn: serves \p traffic in batches while \p manager
+/// rebuilds the scheme in the background over successively perturbed
+/// graphs and hot-swaps each finished generation. Queries' exact
+/// distances are stripped (set to kUnknownDistance) before serving: they
+/// were computed against the original topology and are stale the moment
+/// the first swap lands, so the report carries no stretch.
+/// DriverOptions::verify_against_serial must be off — route_one pins the
+/// *current* generation and would legitimately diverge from a batch that
+/// pinned the previous one.
+ChurnReport run_closed_loop_churn(RouteService& service, SchemeManager& manager,
+                                  const std::vector<RouteQuery>& traffic,
+                                  const DriverOptions& options = {},
+                                  const ChurnOptions& churn = {});
 
 }  // namespace croute

@@ -170,6 +170,36 @@ TEST(FlatScheme, PrepareResolvedMatchesPrepare) {
   }
 }
 
+// header_bits_for switches from the precomputed bits_by_len_ table to a
+// closed form exactly at light_len == header_bits_table_len(). Both
+// regimes — and in particular the boundary and everything past it (a
+// caller-decoded label may carry more light ports than any pooled one) —
+// must agree bit-for-bit with the BitWriter run TZRouter::header_bits
+// performs, under both lookup layouts.
+TEST(FlatScheme, HeaderBitsExactAtAndBeyondTableEdge) {
+  for (const std::uint32_t k : {2u, 3u, 4u}) {
+    const FlatFixture fx(k, 150, 500 + k);
+    const TZRouter router(*fx.scheme);
+    for (const FlatLookup lookup : kLayouts) {
+      FlatSchemeOptions opt;
+      opt.lookup = lookup;
+      const FlatScheme flat(*fx.scheme, opt);
+      const std::uint32_t edge = flat.header_bits_table_len();
+      ASSERT_GE(edge, 1u);  // length 0 is always pooled
+      for (std::uint32_t len = 0; len <= edge + 8; ++len) {
+        TZHeader legacy;
+        legacy.target = 0;
+        legacy.tree_root = 0;
+        legacy.tree_label.dfs_in = 0;
+        legacy.tree_label.light_ports.assign(len, 0);
+        EXPECT_EQ(flat.header_bits_for(len), router.header_bits(legacy))
+            << "k=" << k << " lookup=" << flat_lookup_name(lookup)
+            << " light_len=" << len << " (table edge at " << edge << ")";
+      }
+    }
+  }
+}
+
 // The flat service must serve answer-for-answer what the legacy path
 // serves, for every scheme kind, both lookup layouts, and every thread
 // count.

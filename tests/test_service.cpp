@@ -385,11 +385,78 @@ TEST(Workload, FarPairsCarryExactDistancesAndAreFar) {
 TEST(Workload, AttachExactMatchesSampledPairs) {
   const ServiceFixture fx;
   std::vector<RouteQuery> queries;
-  for (const auto& p : fx.pairs) queries.push_back({p.s, p.t, 0});
+  for (const auto& p : fx.pairs) {
+    queries.push_back({p.s, p.t, kUnknownDistance});
+  }
   attach_exact_distances(fx.g, queries);
   for (std::size_t i = 0; i < queries.size(); ++i) {
     EXPECT_EQ(queries[i].exact, fx.pairs[i].exact) << i;
   }
+}
+
+TEST(Workload, AttachExactTreatsZeroAndKnownAsSolved) {
+  // exact = 0 is a TRUE distance (s == t), not the unknown sentinel: an
+  // attach pass must leave it alone instead of re-running Dijkstra for
+  // the pair, and must likewise leave any already-known distance alone.
+  const ServiceFixture fx;
+  std::vector<RouteQuery> queries;
+  queries.push_back({5, 5, 0});                       // known self-distance
+  queries.push_back({fx.pairs[0].s, fx.pairs[0].t,    // known (pretend) value
+                     1234.5});
+  queries.push_back({7, 7, kUnknownDistance});        // unknown self-query
+  queries.push_back({fx.pairs[1].s, fx.pairs[1].t, kUnknownDistance});
+  attach_exact_distances(fx.g, queries);
+  EXPECT_EQ(queries[0].exact, 0.0);
+  EXPECT_EQ(queries[1].exact, 1234.5);
+  EXPECT_EQ(queries[2].exact, 0.0);  // solved: d(7,7) = 0
+  EXPECT_EQ(queries[3].exact, fx.pairs[1].exact);
+}
+
+TEST(RouteService, SelfQueriesHaveDefinedAnswers) {
+  // s == t must be delivered with 0 hops, 0 length, 0 header bits and
+  // stretch exactly 1 — on both serving paths, in batches and route_one,
+  // and the generators' sentinel must never make stretch read as 0.
+  const ServiceFixture fx;
+  for (const bool use_flat : {true, false}) {
+    RouteServiceOptions opt = service_options(SchemeKind::kTZDirect, 3);
+    opt.use_flat = use_flat;
+    RouteService service(fx.g, opt);
+    std::vector<RouteQuery> queries;
+    queries.push_back({4, 4, 0});
+    queries.push_back({fx.pairs[0].s, fx.pairs[0].t, fx.pairs[0].exact});
+    queries.push_back({9, 9, kUnknownDistance});
+    const std::vector<RouteAnswer> answers = service.route_batch(queries);
+    for (const std::size_t i : {std::size_t{0}, std::size_t{2}}) {
+      EXPECT_TRUE(answers[i].delivered()) << "flat=" << use_flat;
+      EXPECT_EQ(answers[i].hops, 0u);
+      EXPECT_EQ(answers[i].length, 0.0);
+      EXPECT_EQ(answers[i].header_bits, 0u);
+      EXPECT_EQ(answers[i].stretch, 1.0);
+      ASSERT_EQ(answers[i].path.size(), 1u);
+      EXPECT_EQ(answers[i].path[0], queries[i].s);
+    }
+    EXPECT_GT(answers[1].hops, 0u);
+    const RouteAnswer one = service.route_one({4, 4, 0});
+    EXPECT_TRUE(one.delivered());
+    EXPECT_EQ(one.hops, 0u);
+    EXPECT_EQ(one.stretch, 1.0);
+  }
+}
+
+TEST(RouteService, RouteOneLandsInTelemetry) {
+  const ServiceFixture fx;
+  RouteService service(fx.g, service_options(SchemeKind::kTZDirect, 2,
+                                             /*record_paths=*/false));
+  const std::vector<RouteQuery> queries = fx.queries();
+  service.route_batch(queries);
+  const ServiceTelemetry before = service.telemetry();
+  EXPECT_EQ(before.queries, queries.size());
+  for (int i = 0; i < 5; ++i) service.route_one(queries[i]);
+  const ServiceTelemetry after = service.telemetry();
+  EXPECT_EQ(after.queries, queries.size() + 5);
+  EXPECT_EQ(after.delivered, queries.size() + 5);
+  EXPECT_GE(after.total_hops, before.total_hops);
+  EXPECT_EQ(after.batches, 1u);
 }
 
 // --- closed-loop driver --------------------------------------------------
