@@ -21,6 +21,7 @@
 #include <fstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -166,5 +167,28 @@ class JsonReport {
   std::vector<std::pair<std::string, std::string>> scalars_;
   std::deque<std::pair<std::string, std::deque<Row>>> arrays_;
 };
+
+/// Stamps host metadata into \p report (host_cores, host_compiler,
+/// host_build_flags): the BENCH_*.json trajectory spans machines — dev
+/// container, CI runners, contributors' laptops — and absolute ns/qps
+/// numbers are only interpretable next to the hardware and build that
+/// produced them. CROUTE_BUILD_FLAGS is injected by CMakeLists.txt for
+/// bench targets; a build outside CMake reports "unknown".
+inline void add_host_metadata(JsonReport& report) {
+  report.set("host_cores",
+             std::uint64_t{std::thread::hardware_concurrency()});
+#if defined(__clang__)
+  report.set("host_compiler", std::string("clang ") + __VERSION__);
+#elif defined(__GNUC__)
+  report.set("host_compiler", std::string("gcc ") + __VERSION__);
+#else
+  report.set("host_compiler", std::string("unknown"));
+#endif
+#ifdef CROUTE_BUILD_FLAGS
+  report.set("host_build_flags", std::string(CROUTE_BUILD_FLAGS));
+#else
+  report.set("host_build_flags", std::string("unknown"));
+#endif
+}
 
 }  // namespace croute::bench

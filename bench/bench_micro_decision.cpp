@@ -14,7 +14,20 @@
 /// paper bounds. The headline `flat_speedup` scalar is
 /// legacy_decision_ns / flat_decision_ns for the default (FKS) layout.
 ///
+/// The `route/*` rows measure the *serving* op — prepare plus the whole
+/// per-hop walk to delivery — scalar versus the batch-pipelined engine
+/// (core/flat_batch.hpp, --batch-group lanes interleaved in a software
+/// pipeline). The walk is where pipelining pays: one query's hop chain is
+/// strictly load-dependent (the out-of-order core cannot overlap hop i+1
+/// with hop i), but G queries' chains interleaved keep G misses in
+/// flight. The single prepare+step rows gain little from batching on
+/// wide cores — consecutive scalar iterations already overlap — which is
+/// why the batched trajectory numbers are route-level. Both paths make
+/// identical decisions; `route_decisions_per_query` converts ns/query to
+/// ns/decision.
+///
 /// Flags: --n (default 10000) --k --pairs --iters --seed
+///        --batch-group (pipeline depth of the batched rows, default 16)
 ///        --json out.json (JsonReport trajectory file)
 /// Baseline decisions (Cowen step, full-table next-hop, oracle query,
 /// bare tree decide) are additionally measured when n <= 4096 (their
@@ -28,6 +41,7 @@
 #include "baseline/cowen.hpp"
 #include "baseline/full_table.hpp"
 #include "bench_common.hpp"
+#include "core/flat_batch.hpp"
 #include "core/flat_scheme.hpp"
 #include "core/tz_router.hpp"
 #include "core/tz_scheme.hpp"
@@ -67,6 +81,8 @@ int main(int argc, char** argv) try {
   const auto iters = static_cast<std::uint64_t>(
       flags.get_int("iters", 200000));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  const auto batch_group =
+      static_cast<std::uint32_t>(flags.get_int("batch-group", 16));
   const std::string json_path = flags.get_string("json", "");
 
   bench::banner("micro",
@@ -136,8 +152,10 @@ int main(int argc, char** argv) try {
       .set("pairs", std::uint64_t{num_pairs})
       .set("iters", iters)
       .set("seed", seed)
+      .set("batch_group", std::uint64_t{batch_group})
       .set("preprocess_s", preprocess_s)
       .set("flat_compile_s", compile_s);
+  bench::add_host_metadata(report);
 
   std::printf("%-28s %12s\n", "operation", "ns/op");
   const auto run = [&](const char* name, double ns) {
@@ -213,6 +231,78 @@ int main(int argc, char** argv) try {
     return std::uint64_t{h.tree_root} + d.port;
   }));
 
+  // --- the serving op: prepare + the full per-hop walk to delivery,
+  // scalar vs batch-pipelined. Per-hop decisions are load-dependent
+  // within one query, so this is where interleaving G queries' descents
+  // actually buys memory-level parallelism. ---------------------------------
+  const std::uint32_t max_hops = 4 * n + 16;
+  double route_decisions = 1;  // avg per-hop decisions per routed query
+  const auto measure_route_scalar = [&](const FlatRouter& r) {
+    const std::uint64_t rounds =
+        std::max<std::uint64_t>(1, iters / (pairs.size() * 8));
+    std::uint64_t sink = 0, steps = 0, queries = 0;
+    const auto sweep = [&]() {
+      for (const PairSample& p : pairs) {
+        const FlatHeader h = r.prepare(p.s, p.t);
+        VertexId here = p.s;
+        std::uint32_t hops = 0;
+        while (true) {
+          const TreeDecision d = r.step(here, h);
+          ++steps;
+          if (d.deliver) break;
+          here = g.arc(here, d.port).head;
+          if (++hops >= max_hops) break;
+        }
+        sink += here;
+        ++queries;
+      }
+    };
+    sweep();  // warmup (counts reset below)
+    steps = queries = 0;
+    bench::Stopwatch sw;
+    for (std::uint64_t r2 = 0; r2 < rounds; ++r2) sweep();
+    const double ns = sw.seconds() * 1e9 / static_cast<double>(queries);
+    route_decisions =
+        static_cast<double>(steps) / static_cast<double>(queries);
+    g_sink = g_sink + sink;
+    return ns;
+  };
+  const auto measure_route_batched = [&](const FlatScheme& flat) {
+    FlatBatchTarget target;
+    target.graph = &g;
+    target.kind = FlatServeKind::kTZDirect;
+    target.flat = &flat;
+    FlatBatchEngine engine(batch_group);
+    std::vector<FlatBatchQuery> qs(pairs.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      qs[i] = FlatBatchQuery{pairs[i].s, pairs[i].t,
+                             flat.label(pairs[i].t)};
+    }
+    std::vector<FlatBatchAnswer> as(pairs.size());
+    const std::uint64_t rounds =
+        std::max<std::uint64_t>(1, iters / (pairs.size() * 8));
+    engine.route(target, qs, as);  // warmup
+    bench::Stopwatch sw;
+    std::uint64_t sink = 0;
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+      engine.route(target, qs, as);
+      sink += as[r % as.size()].hops;
+    }
+    const double ns = sw.seconds() * 1e9 /
+                      (static_cast<double>(rounds) *
+                       static_cast<double>(pairs.size()));
+    g_sink = g_sink + sink;
+    return ns;
+  };
+  const double route_eytz =
+      run("route/flat-eytzinger", measure_route_scalar(router_eytz));
+  const double route_eytz_batched =
+      run("route/flat-eytzinger-batched", measure_route_batched(flat_eytz));
+  const double route_fks =
+      run("route/flat-fks", measure_route_scalar(router_fks));
+  const double route_fks_batched =
+      run("route/flat-fks-batched", measure_route_batched(flat_fks));
+
   // --- baselines (preprocessing too heavy beyond a few thousand) ----------
   if (n <= 4096) {
     Rng orng(seed + 3), crng(seed + 4);
@@ -238,15 +328,40 @@ int main(int argc, char** argv) try {
 
   const double speedup = dec_fks > 0 ? dec_legacy / dec_fks : 0;
   const double speedup_eytz = dec_eytz > 0 ? dec_legacy / dec_eytz : 0;
+  const double batched_speedup_eytz =
+      route_eytz_batched > 0 ? route_eytz / route_eytz_batched : 0;
+  const double batched_speedup_fks =
+      route_fks_batched > 0 ? route_fks / route_fks_batched : 0;
+  const double per_dec =
+      route_decisions > 0 ? 1.0 / route_decisions : 0;
   std::printf("----------------------------------------------\n");
   std::printf("legacy decision %.1f ns, flat %.1f ns (fks) / %.1f ns "
               "(eytzinger): %.2fx / %.2fx\n",
               dec_legacy, dec_fks, dec_eytz, speedup, speedup_eytz);
+  std::printf("route (%.1f decisions/query), batched G=%u: eytzinger "
+              "%.1f -> %.1f ns/query (%.2fx, %.1f -> %.1f ns/decision), "
+              "fks %.1f -> %.1f (%.2fx)\n",
+              route_decisions, batch_group, route_eytz, route_eytz_batched,
+              batched_speedup_eytz, route_eytz * per_dec,
+              route_eytz_batched * per_dec, route_fks, route_fks_batched,
+              batched_speedup_fks);
   report.set("legacy_decision_ns", dec_legacy)
       .set("flat_decision_ns", dec_fks)
       .set("flat_eytzinger_decision_ns", dec_eytz)
+      .set("flat_route_ns", route_fks)
+      .set("flat_eytzinger_route_ns", route_eytz)
+      .set("flat_batched_route_ns", route_fks_batched)
+      .set("flat_batched_eytzinger_route_ns", route_eytz_batched)
+      .set("route_decisions_per_query", route_decisions)
+      .set("flat_route_decision_ns", route_fks * per_dec)
+      .set("flat_eytzinger_route_decision_ns", route_eytz * per_dec)
+      .set("flat_batched_route_decision_ns", route_fks_batched * per_dec)
+      .set("flat_batched_eytzinger_route_decision_ns",
+           route_eytz_batched * per_dec)
       .set("flat_speedup", speedup)
       .set("flat_speedup_eytzinger", speedup_eytz)
+      .set("batched_speedup", batched_speedup_fks)
+      .set("batched_speedup_eytzinger", batched_speedup_eytz)
       .set("legacy_prepare_ns", prep_legacy)
       .set("flat_prepare_ns", prep_fks)
       .set("legacy_step_ns", step_legacy)

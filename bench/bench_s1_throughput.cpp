@@ -23,6 +23,7 @@
 ///
 /// Flags: --n --family --scheme --workload --queries --batch --k --seed
 ///        --threads (comma list) --json out.json --flat-only
+///        --batch-group=G (flat pipeline depth; 0 = scalar serving)
 ///        --churn=C --churn-seed=S
 ///
 /// Note: the speedup column reflects the machine's core count; on a
@@ -84,6 +85,8 @@ int main(int argc, char** argv) try {
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const std::vector<unsigned> thread_counts =
       parse_thread_list(flags.get_string("threads", "1,2,4"));
+  const auto batch_group = static_cast<std::uint32_t>(
+      flags.get_int("batch-group", RouteServiceOptions{}.batch_group));
   const std::string json_path = flags.get_string("json", "");
 
   bench::banner(
@@ -117,7 +120,9 @@ int main(int argc, char** argv) try {
       .set("scheme", std::string(scheme_name(scheme)))
       .set("workload", std::string(workload_name(workload)))
       .set("queries", std::uint64_t{queries})
-      .set("seed", seed);
+      .set("seed", seed)
+      .set("batch_group", std::uint64_t{batch_group});
+  bench::add_host_metadata(report);
 
   const bool flat_only = flags.get_bool("flat-only", false);
   std::vector<bool> flat_modes;
@@ -142,6 +147,7 @@ int main(int argc, char** argv) try {
       opt.k = k;
       opt.seed = seed + 2;
       opt.use_flat = use_flat;
+      opt.batch_group = batch_group;
       bench::Stopwatch preprocess_watch;
       auto service = std::make_unique<RouteService>(g, opt);
       const double preprocess_s = preprocess_watch.seconds();
@@ -184,11 +190,19 @@ int main(int argc, char** argv) try {
                   r.latency_p95_us, r.latency_p99_us, r.stretch.mean,
                   identical ? "yes" : "NO");
 
+      // Latency semantics differ by serving mode: scalar rows measure each
+      // query's own wall time, batched rows its amortized share of the
+      // pipeline generation — marked so trajectory readers don't compare
+      // the two as one metric.
+      const char* latency_metric = use_flat && batch_group > 0
+                                       ? "group_amortized"
+                                       : "per_query";
       report.add_row("runs")
           .set("path", std::string(path_name))
           .set("threads", std::uint64_t{t})
           .set("qps", r.qps)
           .set("speedup", speedup)
+          .set("latency_metric", std::string(latency_metric))
           .set("p50_us", r.latency_p50_us)
           .set("p95_us", r.latency_p95_us)
           .set("p99_us", r.latency_p99_us)
@@ -231,6 +245,7 @@ int main(int argc, char** argv) try {
       opt.threads = t;
       opt.k = k;
       opt.seed = seed + 2;
+      opt.batch_group = batch_group;
       RouteService service(g, opt);
       SchemeManager manager(service);
       service.route_batch(std::vector<RouteQuery>(
@@ -270,6 +285,9 @@ int main(int argc, char** argv) try {
       report.add_row("churn_runs")
           .set("threads", std::uint64_t{t})
           .set("qps", r.driver.qps)
+          .set("latency_metric", std::string(batch_group > 0
+                                                 ? "group_amortized"
+                                                 : "per_query"))
           .set("p50_us", r.driver.latency_p50_us)
           .set("p95_us", r.driver.latency_p95_us)
           .set("p99_us", r.driver.latency_p99_us)
@@ -277,6 +295,7 @@ int main(int argc, char** argv) try {
           .set("straddled_batches", r.straddled_batches)
           .set("blackout_us", r.max_blackout_us)
           .set("rebuild_s", r.rebuild_seconds)
+          .set("flat_compile_s", r.flat_compile_seconds)
           .set("final_identical", std::string(identical ? "yes" : "no"));
     }
     std::printf("churn runs settled identical to fresh builds: %s\n",

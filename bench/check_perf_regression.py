@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Perf-smoke regression gate over the micro-decision trajectory.
+
+Compares a fresh BENCH_micro.json against the committed baseline and
+fails (exit 1) when any flat-path variant is more than THRESHOLD times
+slower than the committed number. The threshold is deliberately generous
+(default 2x): shared CI runners are noisy and the smoke instance is
+smaller than the committed one (a smaller instance can only make the
+fresh numbers FASTER, so a >2x slowdown is a real regression, not noise).
+
+Usage: check_perf_regression.py <baseline.json> <fresh.json> [threshold]
+"""
+
+import json
+import sys
+
+# Every flat serving variant the trajectory tracks: scalar decisions in
+# both lookup layouts, and the route-level scalar vs batch-pipelined
+# numbers the batched engine is judged by.
+GATED_KEYS = [
+    "flat_decision_ns",
+    "flat_eytzinger_decision_ns",
+    "flat_route_ns",
+    "flat_eytzinger_route_ns",
+    "flat_batched_route_ns",
+    "flat_batched_eytzinger_route_ns",
+]
+
+
+def main() -> int:
+    if len(sys.argv) < 3:
+        print(__doc__)
+        return 2
+    with open(sys.argv[1]) as f:
+        baseline = json.load(f)
+    with open(sys.argv[2]) as f:
+        fresh = json.load(f)
+    threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 2.0
+
+    failures = []
+    for key in GATED_KEYS:
+        if key not in baseline:
+            # A newly added variant has no committed baseline yet; it
+            # starts gating on the next regeneration.
+            print(f"  skip {key}: not in baseline")
+            continue
+        if key not in fresh:
+            failures.append(f"{key}: missing from fresh measurement")
+            continue
+        base, now = float(baseline[key]), float(fresh[key])
+        ratio = now / base if base > 0 else float("inf")
+        verdict = "FAIL" if ratio > threshold else "ok"
+        print(f"  {verdict} {key}: baseline {base:.1f} ns, fresh {now:.1f} ns"
+              f" ({ratio:.2f}x, limit {threshold:.1f}x)")
+        if ratio > threshold:
+            failures.append(
+                f"{key}: {now:.1f} ns vs baseline {base:.1f} ns "
+                f"({ratio:.2f}x > {threshold:.1f}x)")
+
+    if failures:
+        print("perf regression gate FAILED:")
+        for f_ in failures:
+            print(f"  - {f_}")
+        return 1
+    print("perf regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

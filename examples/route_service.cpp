@@ -19,6 +19,8 @@
 /// [--exact] (attach exact distances for stretch even off the far workload)
 /// [--legacy] (serve through the sim/ adapters instead of the flat view)
 /// --lookup=fks|eytzinger (flat lookup layout)
+/// --batch-group=G (flat pipeline depth: G in-flight descents per worker;
+/// 0 = scalar serving)
 /// --churn=C (run the closed loop under C background rebuild+swap cycles;
 /// prints swap, blackout and rebuild telemetry)
 
@@ -77,16 +79,19 @@ int main(int argc, char** argv) {
     const std::string lookup = flags.get_string("lookup", "eytzinger");
     opt.flat_lookup =
         lookup == "fks" ? FlatLookup::kFKS : FlatLookup::kEytzinger;
+    opt.batch_group = static_cast<std::uint32_t>(
+        flags.get_int("batch-group", opt.batch_group));
 
     std::printf("graph: n=%u m=%llu\n", g.num_vertices(),
                 static_cast<unsigned long long>(g.num_edges()));
     RouteService service(g, opt);
-    std::printf("service: scheme=%s threads=%u path=%s%s\n",
+    std::printf("service: scheme=%s threads=%u path=%s batch-group=%u%s\n",
                 scheme_name(opt.scheme), service.threads(),
                 opt.use_flat
                     ? (std::string("flat/") + flat_lookup_name(opt.flat_lookup))
                           .c_str()
                     : "legacy",
+                opt.use_flat ? opt.batch_group : 0,
                 opt.warm_start_path.empty()
                     ? ""
                     : (" (warm start: " + opt.warm_start_path + ")").c_str());
@@ -122,9 +127,10 @@ int main(int argc, char** argv) {
           run_closed_loop_churn(service, manager, traffic, dopt, copt);
       r = churn.driver;
       std::printf("churn:   %llu hot swaps under load; rebuilds %.3fs "
-                  "total; %llu straddled batches; blackout max %.1fus\n",
+                  "total (%.3fs flat compile); %llu straddled batches; "
+                  "blackout max %.1fus\n",
                   static_cast<unsigned long long>(churn.swaps),
-                  churn.rebuild_seconds,
+                  churn.rebuild_seconds, churn.flat_compile_seconds,
                   static_cast<unsigned long long>(churn.straddled_batches),
                   churn.max_blackout_us);
     } else {

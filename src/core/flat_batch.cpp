@@ -1,0 +1,581 @@
+#include "core/flat_batch.hpp"
+
+#include <algorithm>
+
+namespace croute {
+
+namespace {
+
+/// The serving hop budget (same bound RouteService::serve uses).
+std::uint32_t default_max_hops(const Graph& g) noexcept {
+  return 4 * g.num_vertices() + 16;
+}
+
+}  // namespace
+
+void FlatBatchEngine::route(const FlatBatchTarget& target,
+                            std::span<const FlatBatchQuery> queries,
+                            std::span<FlatBatchAnswer> answers,
+                            std::vector<VertexId>* path_arena) {
+  run(target, queries, answers, path_arena, /*decisions_only=*/false);
+}
+
+void FlatBatchEngine::decide(const FlatBatchTarget& target,
+                             std::span<const FlatBatchQuery> queries,
+                             std::span<FlatBatchAnswer> answers) {
+  run(target, queries, answers, nullptr, /*decisions_only=*/true);
+}
+
+void FlatBatchEngine::finish(Lane& lane, FlatBatchAnswer& answer,
+                             RouteStatus status,
+                             std::vector<VertexId>* path_arena) const {
+  answer.status = status;
+  answer.length = lane.length;
+  answer.hops = lane.hops;
+  answer.header_bits = lane.bits;
+  if (lane.path != nullptr && path_arena != nullptr) {
+    answer.path_off = static_cast<std::uint32_t>(path_arena->size());
+    answer.path_len = static_cast<std::uint32_t>(lane.path->size());
+    path_arena->insert(path_arena->end(), lane.path->begin(),
+                       lane.path->end());
+  }
+}
+
+void FlatBatchEngine::run(const FlatBatchTarget& target,
+                          std::span<const FlatBatchQuery> queries,
+                          std::span<FlatBatchAnswer> answers,
+                          std::vector<VertexId>* path_arena,
+                          bool decisions_only) {
+  CROUTE_REQUIRE(queries.size() == answers.size(),
+                 "answers must be pre-sized to the query count");
+  CROUTE_REQUIRE(target.graph != nullptr, "batch target needs a graph");
+  switch (target.kind) {
+    case FlatServeKind::kTZDirect:
+    case FlatServeKind::kTZHandshake:
+      CROUTE_REQUIRE(target.flat != nullptr,
+                     "TZ batch target needs the flat view");
+      break;
+    case FlatServeKind::kCowen:
+      CROUTE_REQUIRE(target.cowen != nullptr,
+                     "Cowen batch target needs the pooled view");
+      break;
+    case FlatServeKind::kFullTable:
+      CROUTE_REQUIRE(target.full != nullptr,
+                     "full-table batch target needs the pooled view");
+      break;
+  }
+  if (target.kind == FlatServeKind::kTZDirect &&
+      target.policy == RoutingPolicy::kMinEstimate) {
+    CROUTE_REQUIRE(target.flat->base().options().labels_carry_distances,
+                   "kMinEstimate needs labels built with "
+                   "labels_carry_distances");
+  }
+  if (queries.empty()) return;
+
+  const std::uint32_t max_hops = target.max_hops != 0
+                                     ? target.max_hops
+                                     : default_max_hops(*target.graph);
+  const Graph& g = *target.graph;
+  lanes_.resize(group_);
+  live_.resize(group_);
+  if (path_arena != nullptr) lane_paths_.resize(group_);
+  using clock = std::chrono::steady_clock;
+
+  for (std::size_t base = 0; base < queries.size(); base += group_) {
+    const auto m = static_cast<std::uint32_t>(
+        std::min<std::size_t>(group_, queries.size() - base));
+    const auto gen_begin = clock::now();
+    live_count_ = 0;
+    for (std::uint32_t j = 0; j < m; ++j) {
+      Lane& lane = lanes_[j];
+      const FlatBatchQuery& q = queries[base + j];
+      lane.qi = static_cast<std::uint32_t>(base + j);
+      lane.s = q.s;
+      lane.t = q.t;
+      lane.here = q.s;
+      lane.root = kNoVertex;
+      lane.bits = 0;
+      lane.length = 0;
+      lane.hops = 0;
+      lane.path = path_arena != nullptr ? &lane_paths_[j] : nullptr;
+      if (lane.path != nullptr) {
+        lane.path->clear();
+        lane.path->push_back(q.s);
+      }
+      if (q.s == q.t) {
+        // Self-query: the packet never leaves the source — delivered, 0
+        // hops, 0 header bits (same defined answer as the scalar path).
+        FlatBatchAnswer& a = answers[lane.qi];
+        a.tree_root = kNoVertex;
+        a.first_deliver = true;
+        a.first_port = kNoPort;
+        finish(lane, a, RouteStatus::kDelivered, path_arena);
+        continue;
+      }
+      switch (target.kind) {
+        case FlatServeKind::kTZDirect:
+          CROUTE_REQUIRE(!q.label.empty(), "malformed destination label");
+          lane.lab_it = q.label.data();
+          lane.lab_end = q.label.data() + q.label.size();
+          lane.lab_best = nullptr;
+          lane.best_est = kInfiniteWeight;
+          __builtin_prefetch(lane.lab_it);
+          if (target.policy != RoutingPolicy::kLabelOnly) {
+            lane.probe = FlatScheme::FindProbe{q.s, q.t};
+            target.flat->dir_find_stage0(lane.probe);
+          }
+          break;
+        case FlatServeKind::kTZHandshake:
+          lane.hs_u = q.s;
+          lane.hs_v = q.t;
+          lane.hs_w = q.s;  // ŵ_0(u) = u
+          lane.hs_i = 0;
+          lane.hs_done = false;
+          lane.probe = FlatScheme::FindProbe{lane.hs_v, lane.hs_w};
+          target.flat->find_stage0(lane.probe);
+          break;
+        case FlatServeKind::kCowen:
+          lane.bits = target.cowen->label_bits();
+          target.cowen->prefetch_label(q.t);
+          break;
+        case FlatServeKind::kFullTable:
+          lane.bits = target.full->label_bits();
+          target.full->prefetch_hop(q.s, q.t);
+          g.prefetch_offsets(q.s);
+          break;
+      }
+      live_[live_count_++] = j;
+    }
+
+    switch (target.kind) {
+      case FlatServeKind::kTZDirect:
+        prepare_tz_direct(target, answers);
+        walk_tz(target, answers, path_arena, decisions_only, max_hops);
+        break;
+      case FlatServeKind::kTZHandshake:
+        prepare_tz_handshake(target);
+        walk_tz(target, answers, path_arena, decisions_only, max_hops);
+        break;
+      case FlatServeKind::kCowen:
+        walk_cowen(target, answers, path_arena, decisions_only, max_hops);
+        break;
+      case FlatServeKind::kFullTable:
+        walk_full(target, answers, path_arena, decisions_only, max_hops);
+        break;
+    }
+
+    // Each query's latency is its amortized share of the generation's
+    // wall time (the lanes ran interleaved; per-lane wall time would
+    // charge every query for the whole group).
+    const double share_us =
+        std::chrono::duration<double>(clock::now() - gen_begin).count() *
+        1e6 / m;
+    for (std::uint32_t j = 0; j < m; ++j) {
+      answers[base + j].latency_us = share_us;
+    }
+  }
+}
+
+void FlatBatchEngine::prepare_tz_direct(const FlatBatchTarget& target,
+                                        std::span<FlatBatchAnswer> answers) {
+  (void)answers;
+  const FlatScheme* f = target.flat;
+  // Rule 0, lockstep: every lane probes its source's cluster directory
+  // (stage0 prefetches were issued at lane init).
+  if (target.policy != RoutingPolicy::kLabelOnly) {
+    for (std::uint32_t pos = 0; pos < live_count_; ++pos) {
+      f->dir_find_stage1(lanes_[live_[pos]].probe);
+    }
+    for (std::uint32_t pos = 0; pos < live_count_; ++pos) {
+      Lane& lane = lanes_[live_[pos]];
+      lane.pool_idx = f->dir_find_stage2(lane.probe);
+      if (lane.pool_idx != FlatScheme::kNotFound) {
+        f->prefetch_dir_payload(lane.pool_idx);
+      }
+    }
+    for (std::uint32_t pos = 0; pos < live_count_; ++pos) {
+      Lane& lane = lanes_[live_[pos]];
+      if (lane.pool_idx == FlatScheme::kNotFound) continue;
+      const std::span<const Port> ports = f->dir_light_ports(lane.pool_idx);
+      lane.root = lane.s;
+      lane.dfs_in = f->dir_dfs(lane.pool_idx);
+      lane.light = ports.data();
+      lane.light_len = static_cast<std::uint32_t>(ports.size());
+      lane.bits = f->header_bits_for(lane.light_len);
+    }
+  }
+  // Label pivot scan for the rule-0 misses, lockstep over entries: each
+  // round probes every unresolved lane's current entry (three loops =
+  // the three find stages, so lane A's slice prefetch flies while lanes
+  // B…G descend).
+  scan_.clear();
+  for (std::uint32_t pos = 0; pos < live_count_; ++pos) {
+    Lane& lane = lanes_[live_[pos]];
+    if (lane.root != kNoVertex) continue;  // rule-0 hit
+    lane.probe = FlatScheme::FindProbe{lane.s, lane.lab_it->w};
+    f->find_stage0(lane.probe);
+    scan_.push_back(live_[pos]);
+  }
+  while (!scan_.empty()) {
+    for (const std::uint32_t l : scan_) f->find_stage1(lanes_[l].probe);
+    for (std::uint32_t pos = 0; pos < scan_.size();) {
+      Lane& lane = lanes_[scan_[pos]];
+      const std::uint32_t idx = f->find_stage2(lane.probe);
+      const FlatScheme::LabelEntryView* chosen = nullptr;
+      if (target.policy != RoutingPolicy::kMinEstimate) {
+        if (idx != FlatScheme::kNotFound) {
+          chosen = lane.lab_it;
+        } else {
+          ++lane.lab_it;
+          CROUTE_ASSERT(lane.lab_it != lane.lab_end,
+                        "no candidate pivot found: top-level landmark "
+                        "missing from the source bunch");
+        }
+      } else {
+        if (idx != FlatScheme::kNotFound) {
+          const Weight estimate = f->dist(idx) + lane.lab_it->dist;
+          if (estimate < lane.best_est) {
+            lane.best_est = estimate;
+            lane.lab_best = lane.lab_it;
+          }
+        }
+        ++lane.lab_it;
+        if (lane.lab_it == lane.lab_end) {
+          CROUTE_ASSERT(lane.lab_best != nullptr,
+                        "no candidate pivot found: top-level landmark "
+                        "missing from the source bunch");
+          chosen = lane.lab_best;
+        }
+      }
+      if (chosen == nullptr) {  // scan continues with the next entry
+        lane.probe = FlatScheme::FindProbe{lane.s, lane.lab_it->w};
+        f->find_stage0(lane.probe);
+        ++pos;
+        continue;
+      }
+      lane.root = chosen->w;
+      lane.dfs_in = chosen->dfs_in;
+      lane.light = f->label_light_pool() + chosen->light_off;
+      lane.light_len = chosen->light_len;
+      lane.bits = f->header_bits_for(chosen->light_len);
+      scan_[pos] = scan_.back();
+      scan_.pop_back();
+    }
+  }
+  // Enter the walk: every lane decides first at its source.
+  for (std::uint32_t pos = 0; pos < live_count_; ++pos) {
+    Lane& lane = lanes_[live_[pos]];
+    lane.probe = FlatScheme::FindProbe{lane.here, lane.root};
+    f->find_stage0(lane.probe);
+    target.graph->prefetch_offsets(lane.here);
+  }
+}
+
+void FlatBatchEngine::prepare_tz_handshake(const FlatBatchTarget& target) {
+  const FlatScheme* f = target.flat;
+  // Bidirectional pivot walks, lockstep: each round runs one membership
+  // probe per unresolved lane (as TZRouter::prepare_handshake, with flat
+  // probes). A lane whose walk meets switches to the final find(t, w) —
+  // unless the meeting probe already was one — and resolves to its
+  // destination-side own label.
+  scan_.assign(live_.begin(), live_.begin() + live_count_);
+  while (!scan_.empty()) {
+    for (const std::uint32_t l : scan_) f->find_stage1(lanes_[l].probe);
+    for (std::uint32_t pos = 0; pos < scan_.size();) {
+      Lane& lane = lanes_[scan_[pos]];
+      const std::uint32_t idx = f->find_stage2(lane.probe);
+      if (idx != FlatScheme::kNotFound) {
+        if (lane.hs_done || lane.hs_v == lane.t) {
+          lane.pool_idx = idx;
+          f->prefetch_own_label(idx);
+          scan_[pos] = scan_.back();
+          scan_.pop_back();
+          continue;
+        }
+        lane.hs_done = true;  // meeting found; resolve t's own label next
+        lane.probe = FlatScheme::FindProbe{lane.t, lane.hs_w};
+        f->find_stage0(lane.probe);
+        ++pos;
+        continue;
+      }
+      CROUTE_ASSERT(!lane.hs_done,
+                    "handshake meeting tree misses the destination");
+      ++lane.hs_i;
+      CROUTE_ASSERT(lane.hs_i < f->k(),
+                    "handshake walk exceeded the hierarchy height");
+      std::swap(lane.hs_u, lane.hs_v);
+      lane.hs_w =
+          f->base().preprocessing().effective_pivot(lane.hs_i, lane.hs_u);
+      lane.probe = FlatScheme::FindProbe{lane.hs_v, lane.hs_w};
+      f->find_stage0(lane.probe);
+      ++pos;
+    }
+  }
+  for (std::uint32_t pos = 0; pos < live_count_; ++pos) {
+    Lane& lane = lanes_[live_[pos]];
+    const std::span<const Port> ports = f->own_light_ports(lane.pool_idx);
+    lane.root = lane.hs_w;
+    lane.dfs_in = f->own_dfs(lane.pool_idx);
+    lane.light = ports.data();
+    lane.light_len = static_cast<std::uint32_t>(ports.size());
+    lane.bits = f->header_bits_for(lane.light_len);
+    lane.probe = FlatScheme::FindProbe{lane.here, lane.root};
+    f->find_stage0(lane.probe);
+    target.graph->prefetch_offsets(lane.here);
+  }
+}
+
+void FlatBatchEngine::walk_tz(const FlatBatchTarget& target,
+                              std::span<FlatBatchAnswer> answers,
+                              std::vector<VertexId>* path_arena,
+                              bool decisions_only, std::uint32_t max_hops) {
+  const FlatScheme* f = target.flat;
+  const Graph& g = *target.graph;
+  while (live_count_ > 0) {
+    // A: per-vertex index metadata → key memory prefetch.
+    for (std::uint32_t pos = 0; pos < live_count_; ++pos) {
+      f->find_stage1(lanes_[live_[pos]].probe);
+    }
+    // B: resolve the probe, prefetch the node record.
+    for (std::uint32_t pos = 0; pos < live_count_; ++pos) {
+      Lane& lane = lanes_[live_[pos]];
+      const std::uint32_t idx = f->find_stage2(lane.probe);
+      CROUTE_ASSERT(idx != FlatScheme::kNotFound,
+                    "packet left the routing tree: vertex has no entry "
+                    "for it");
+      lane.pool_idx = idx;
+      f->prefetch_record(idx);
+    }
+    // C: the O(1) tree decision (same comparisons as FlatRouter::step, in
+    // the same order); completed lanes retire, survivors prefetch their
+    // arc.
+    for (std::uint32_t pos = 0; pos < live_count_;) {
+      Lane& lane = lanes_[live_[pos]];
+      const TreeNodeRecord& here = f->record(lane.pool_idx);
+      if (lane.dfs_in == here.dfs_in) {
+        lane.deliver = true;
+        lane.port = kNoPort;
+      } else {
+        lane.deliver = false;
+        if (lane.dfs_in < here.dfs_in || lane.dfs_in >= here.dfs_out) {
+          CROUTE_ASSERT(here.parent_port != kNoPort,
+                        "destination outside the tree reached the root");
+          lane.port = here.parent_port;
+        } else if (lane.dfs_in >= here.heavy_in &&
+                   lane.dfs_in < here.heavy_out &&
+                   here.heavy_port != kNoPort) {
+          lane.port = here.heavy_port;
+        } else {
+          CROUTE_ASSERT(here.light_depth < lane.light_len,
+                        "label misses the light port for this branch "
+                        "point");
+          lane.port = lane.light[here.light_depth];
+        }
+      }
+      FlatBatchAnswer& a = answers[lane.qi];
+      if (decisions_only) {
+        a.tree_root = lane.root;
+        a.first_deliver = lane.deliver;
+        a.first_port = lane.port;
+        finish(lane, a,
+               lane.deliver ? (lane.here == lane.t
+                                   ? RouteStatus::kDelivered
+                                   : RouteStatus::kWrongDeliver)
+                            : RouteStatus::kHopLimit,
+               path_arena);
+        retire(pos);
+        continue;
+      }
+      if (lane.deliver) {
+        finish(lane, a,
+               lane.here == lane.t ? RouteStatus::kDelivered
+                                   : RouteStatus::kWrongDeliver,
+               path_arena);
+        retire(pos);
+        continue;
+      }
+      if (lane.port >= g.degree(lane.here)) {
+        finish(lane, a, RouteStatus::kBadPort, path_arena);
+        retire(pos);
+        continue;
+      }
+      g.prefetch_arc(lane.here, lane.port);
+      ++pos;
+    }
+    // D: traverse the arc, prefetch the next vertex's index metadata.
+    for (std::uint32_t pos = 0; pos < live_count_;) {
+      Lane& lane = lanes_[live_[pos]];
+      const Arc& arc = g.arc(lane.here, lane.port);
+      lane.length += arc.weight;
+      ++lane.hops;
+      lane.here = arc.head;
+      if (lane.path != nullptr) lane.path->push_back(lane.here);
+      if (lane.hops >= max_hops) {
+        finish(lane, answers[lane.qi], RouteStatus::kHopLimit, path_arena);
+        retire(pos);
+        continue;
+      }
+      lane.probe = FlatScheme::FindProbe{lane.here, lane.root};
+      f->find_stage0(lane.probe);
+      g.prefetch_offsets(lane.here);
+      ++pos;
+    }
+  }
+}
+
+void FlatBatchEngine::walk_cowen(const FlatBatchTarget& target,
+                                 std::span<FlatBatchAnswer> answers,
+                                 std::vector<VertexId>* path_arena,
+                                 bool decisions_only,
+                                 std::uint32_t max_hops) {
+  const FlatCowen* c = target.cowen;
+  const Graph& g = *target.graph;
+  // Resolve labels (prefetched at init) and issue the first prefetches.
+  for (std::uint32_t pos = 0; pos < live_count_; ++pos) {
+    Lane& lane = lanes_[live_[pos]];
+    lane.cl = c->label(lane.t);
+    c->prefetch_meta(lane.here, lane.cl);
+    g.prefetch_offsets(lane.here);
+  }
+  while (live_count_ > 0) {
+    // A: deliver check + cluster slice metadata → key prefetch.
+    for (std::uint32_t pos = 0; pos < live_count_;) {
+      Lane& lane = lanes_[live_[pos]];
+      if (lane.here == lane.t) {
+        FlatBatchAnswer& a = answers[lane.qi];
+        if (decisions_only) {
+          a.tree_root = kNoVertex;
+          a.first_deliver = true;
+          a.first_port = kNoPort;
+        }
+        finish(lane, a, RouteStatus::kDelivered, path_arena);
+        retire(pos);
+        continue;
+      }
+      c->load_slice(lane.here, lane.probe.off, lane.probe.len);
+      ++pos;
+    }
+    // B: cluster probe; hits prefetch their exact first-hop port.
+    for (std::uint32_t pos = 0; pos < live_count_; ++pos) {
+      Lane& lane = lanes_[live_[pos]];
+      lane.pool_idx = c->find_at(lane.probe.off, lane.probe.len, lane.t);
+      if (lane.pool_idx != FlatCowen::kNotFound) {
+        c->prefetch_cluster_port(lane.pool_idx);
+      }
+    }
+    // C: the per-hop decision (same order as FlatCowen::step): exact
+    // cluster hop, else the label's home port, else toward the home
+    // landmark (that port row entry was prefetched with the metadata).
+    for (std::uint32_t pos = 0; pos < live_count_;) {
+      Lane& lane = lanes_[live_[pos]];
+      if (lane.pool_idx != FlatCowen::kNotFound) {
+        lane.port = c->cluster_port(lane.pool_idx);
+      } else if (lane.here == lane.cl.home) {
+        CROUTE_ASSERT(lane.cl.port_at_home != kNoPort,
+                      "label for a non-landmark destination lacks a home "
+                      "port");
+        lane.port = lane.cl.port_at_home;
+      } else {
+        CROUTE_ASSERT(lane.cl.home_col != FlatCowen::kNoColumn,
+                      "destination's home is not a landmark");
+        lane.port = c->landmark_port(lane.here, lane.cl.home_col);
+        CROUTE_ASSERT(lane.port != kNoPort,
+                      "missing landmark port on a connected graph");
+      }
+      FlatBatchAnswer& a = answers[lane.qi];
+      if (decisions_only) {
+        a.tree_root = kNoVertex;
+        a.first_deliver = false;
+        a.first_port = lane.port;
+        finish(lane, a, RouteStatus::kHopLimit, path_arena);
+        retire(pos);
+        continue;
+      }
+      if (lane.port >= g.degree(lane.here)) {
+        finish(lane, a, RouteStatus::kBadPort, path_arena);
+        retire(pos);
+        continue;
+      }
+      g.prefetch_arc(lane.here, lane.port);
+      ++pos;
+    }
+    // D: traverse, prefetch the next hop's metadata.
+    for (std::uint32_t pos = 0; pos < live_count_;) {
+      Lane& lane = lanes_[live_[pos]];
+      const Arc& arc = g.arc(lane.here, lane.port);
+      lane.length += arc.weight;
+      ++lane.hops;
+      lane.here = arc.head;
+      if (lane.path != nullptr) lane.path->push_back(lane.here);
+      if (lane.hops >= max_hops) {
+        finish(lane, answers[lane.qi], RouteStatus::kHopLimit, path_arena);
+        retire(pos);
+        continue;
+      }
+      c->prefetch_meta(lane.here, lane.cl);
+      g.prefetch_offsets(lane.here);
+      ++pos;
+    }
+  }
+}
+
+void FlatBatchEngine::walk_full(const FlatBatchTarget& target,
+                                std::span<FlatBatchAnswer> answers,
+                                std::vector<VertexId>* path_arena,
+                                bool decisions_only,
+                                std::uint32_t max_hops) {
+  const FlatFullTable* ft = target.full;
+  const Graph& g = *target.graph;
+  while (live_count_ > 0) {
+    // A: deliver check + exact next hop (prefetched on arrival).
+    for (std::uint32_t pos = 0; pos < live_count_;) {
+      Lane& lane = lanes_[live_[pos]];
+      FlatBatchAnswer& a = answers[lane.qi];
+      if (lane.here == lane.t) {
+        if (decisions_only) {
+          a.tree_root = kNoVertex;
+          a.first_deliver = true;
+          a.first_port = kNoPort;
+        }
+        finish(lane, a, RouteStatus::kDelivered, path_arena);
+        retire(pos);
+        continue;
+      }
+      lane.port = ft->next_hop(lane.here, lane.t);
+      if (decisions_only) {
+        a.tree_root = kNoVertex;
+        a.first_deliver = false;
+        a.first_port = lane.port;
+        finish(lane, a, RouteStatus::kHopLimit, path_arena);
+        retire(pos);
+        continue;
+      }
+      if (lane.port >= g.degree(lane.here)) {
+        finish(lane, a, RouteStatus::kBadPort, path_arena);
+        retire(pos);
+        continue;
+      }
+      g.prefetch_arc(lane.here, lane.port);
+      ++pos;
+    }
+    // B: traverse, prefetch the next row entry.
+    for (std::uint32_t pos = 0; pos < live_count_;) {
+      Lane& lane = lanes_[live_[pos]];
+      const Arc& arc = g.arc(lane.here, lane.port);
+      lane.length += arc.weight;
+      ++lane.hops;
+      lane.here = arc.head;
+      if (lane.path != nullptr) lane.path->push_back(lane.here);
+      if (lane.hops >= max_hops) {
+        finish(lane, answers[lane.qi], RouteStatus::kHopLimit, path_arena);
+        retire(pos);
+        continue;
+      }
+      ft->prefetch_hop(lane.here, lane.t);
+      g.prefetch_offsets(lane.here);
+      ++pos;
+    }
+  }
+}
+
+}  // namespace croute

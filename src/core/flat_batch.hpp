@@ -1,0 +1,215 @@
+/// \file flat_batch.hpp
+/// \brief Batch-pipelined decision engine: G in-flight route descents in a
+/// software pipeline with explicit prefetching.
+///
+/// The flat serving path (core/flat_scheme.hpp) made every query-path
+/// structure a pooled array — but a single query still issues one
+/// *dependent* cache-miss chain: offset entry → key slice → payload record
+/// → graph arc, one load waiting on the previous. On the table sizes the
+/// paper's space bound produces, nearly every link of that chain misses
+/// cache, so the scalar decision is bounded by memory latency, not by
+/// memory bandwidth — the core has room for many outstanding misses and
+/// the scalar loop uses one.
+///
+/// This engine runs G ≈ 8–16 *independent* queries' descents interleaved
+/// (the classic batched-Eytzinger / group-prefetch technique): each lane
+/// is a tiny state machine whose stage boundaries sit exactly where the
+/// next dependent load would stall, and every stage ends by issuing
+/// `__builtin_prefetch` for the memory its *next* stage will read. While
+/// lane A's line travels from DRAM, lanes B…G execute their stages, so up
+/// to G misses are in flight instead of one. Answers are byte-identical
+/// to the scalar FlatRouter/FlatCowen/FlatFullTable path — the stages
+/// reorder only *when* a line is fetched, never what is computed
+/// (tests/test_flat_scheme.cpp proves equality over every scheme kind,
+/// lookup layout and group size, ragged tails and self-queries included).
+///
+/// Stage map per hop of the Thorup–Zwick walk at vertex v:
+///   kStepMeta    read CSR offsets (prefetched on arrival), prefetch the
+///                key slice's lines / the FKS slot;
+///   kStepProbe   branch-free descent or slot compare → pool index,
+///                prefetch the node record;
+///   kStepDecide  O(1) tree decision over the record, prefetch the arc;
+///   kStepAdvance traverse the arc, prefetch the next vertex's offsets.
+/// Prepare (rule-0 directory probe + label pivot scan), the handshake's
+/// bidirectional pivot walk, and the Cowen/full-table per-hop reads are
+/// staged the same way.
+///
+/// Scheduling is *lockstep*: queries run in generations of G lanes, and
+/// each pipeline stage is one tight loop over the live lanes (compact
+/// index list; delivered lanes drop out). Adjacent loop iterations are
+/// independent, so the out-of-order core overlaps their loads even
+/// before the explicit prefetches land — the control cost per stage is a
+/// predictable loop branch, not a per-lane state dispatch. Lanes that
+/// finish a phase early (shorter label scan, earlier delivery) idle
+/// until their generation drains; the next generation then refills all
+/// lanes.
+///
+/// The engine is scalar state + scratch: one instance per worker thread,
+/// reused across batches (no allocation once warm). RouteService routes
+/// its destination-grouped chunks through per-worker engines; route_one
+/// and `batch_group = 0` keep the scalar path.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/flat_scheme.hpp"
+#include "sim/packet.hpp"
+
+namespace croute {
+
+/// Which serving algorithm the engine pipelines (mirrors the service's
+/// SchemeKind without depending on the service layer).
+enum class FlatServeKind {
+  kTZDirect,     ///< prepare (rule 0 + label scan) + tree walk
+  kTZHandshake,  ///< bidirectional pivot walk + tree walk
+  kCowen,        ///< cluster probe / home-landmark forwarding
+  kFullTable,    ///< exact next-hop matrix
+};
+
+/// What the engine routes against: one immutable generation's flat views.
+/// The member matching \p kind must be set (flat for the TZ kinds, cowen
+/// for kCowen, full for kFullTable); graph always.
+struct FlatBatchTarget {
+  const Graph* graph = nullptr;
+  FlatServeKind kind = FlatServeKind::kTZDirect;
+  RoutingPolicy policy = RoutingPolicy::kMinLevel;  ///< kTZDirect only
+  const FlatScheme* flat = nullptr;
+  const FlatCowen* cowen = nullptr;
+  const FlatFullTable* full = nullptr;
+  /// Hop budget; 0 = the serving default 4n + 16.
+  std::uint32_t max_hops = 0;
+};
+
+/// One query. For kTZDirect \p label must be the destination's pooled
+/// label (the service's per-batch memo resolves each distinct t once).
+struct FlatBatchQuery {
+  VertexId s = kNoVertex;
+  VertexId t = kNoVertex;
+  std::span<const FlatScheme::LabelEntryView> label;
+};
+
+/// One answer. The deterministic fields (status, length, hops,
+/// header_bits, path) are byte-identical to the scalar serving path;
+/// latency_us is the query's amortized share of its pipeline
+/// generation's wall time (G queries run interleaved — per-lane wall
+/// time would charge every lane for all G).
+struct FlatBatchAnswer {
+  RouteStatus status = RouteStatus::kHopLimit;
+  Weight length = 0;
+  std::uint32_t hops = 0;
+  std::uint64_t header_bits = 0;
+  double latency_us = 0;
+  std::uint32_t path_off = 0;  ///< slice into the caller's path arena
+  std::uint32_t path_len = 0;
+  // --- decide() extras (unset by route()): the first source decision ---
+  VertexId tree_root = kNoVertex;  ///< chosen tree (TZ kinds)
+  bool first_deliver = false;
+  Port first_port = kNoPort;
+};
+
+/// The pipelined engine. Holds only scratch (lane array, per-lane path
+/// buffers): keep one instance per worker thread and reuse it across
+/// batches. Not thread-safe; distinct instances are independent.
+class FlatBatchEngine {
+ public:
+  explicit FlatBatchEngine(std::uint32_t group = 8)
+      : group_(group == 0 ? 1 : group) {}
+
+  std::uint32_t group() const noexcept { return group_; }
+
+  /// Routes queries[i] → answers[i], every query to completion, G lanes
+  /// in flight. When \p path_arena is non-null each query's visited
+  /// vertices are appended to it (contiguous per query, in completion
+  /// order) and answers[i].path_off/path_len index the slice.
+  void route(const FlatBatchTarget& target,
+             std::span<const FlatBatchQuery> queries,
+             std::span<FlatBatchAnswer> answers,
+             std::vector<VertexId>* path_arena = nullptr);
+
+  /// The micro-bench op: only the *source decision* — prepare plus the
+  /// first per-hop step — batched. Fills status/header_bits and the
+  /// decide() extras; no edges are traversed.
+  void decide(const FlatBatchTarget& target,
+              std::span<const FlatBatchQuery> queries,
+              std::span<FlatBatchAnswer> answers);
+
+ private:
+  struct Lane {
+    std::uint32_t qi = 0;
+    VertexId s = kNoVertex, t = kNoVertex, here = kNoVertex;
+    // header under construction / in use
+    VertexId root = kNoVertex;
+    std::uint32_t dfs_in = 0;
+    const Port* light = nullptr;
+    std::uint32_t light_len = 0;
+    std::uint64_t bits = 0;
+    // staged probe
+    FlatScheme::FindProbe probe;
+    std::uint32_t pool_idx = 0;
+    // TZ label scan
+    const FlatScheme::LabelEntryView* lab_it = nullptr;
+    const FlatScheme::LabelEntryView* lab_end = nullptr;
+    const FlatScheme::LabelEntryView* lab_best = nullptr;
+    Weight best_est = 0;
+    // handshake walk
+    VertexId hs_u = kNoVertex, hs_v = kNoVertex, hs_w = kNoVertex;
+    std::uint32_t hs_i = 0;
+    bool hs_done = false;
+    // Cowen label
+    FlatCowen::Label cl;
+    // walk
+    Weight length = 0;
+    std::uint32_t hops = 0;
+    Port port = kNoPort;
+    bool deliver = false;
+    std::vector<VertexId>* path = nullptr;  ///< into lane_paths_, or null
+  };
+
+  void run(const FlatBatchTarget& target,
+           std::span<const FlatBatchQuery> queries,
+           std::span<FlatBatchAnswer> answers,
+           std::vector<VertexId>* path_arena, bool decisions_only);
+
+  /// One generation: lanes_[0..m) are live as live_[0..live_count_).
+  void run_generation(const FlatBatchTarget& target,
+                      std::span<FlatBatchAnswer> answers,
+                      std::vector<VertexId>* path_arena,
+                      bool decisions_only, std::uint32_t max_hops);
+
+  // Lockstep phases (each is one loop over the live lanes).
+  void prepare_tz_direct(const FlatBatchTarget& target,
+                         std::span<FlatBatchAnswer> answers);
+  void prepare_tz_handshake(const FlatBatchTarget& target);
+  void walk_tz(const FlatBatchTarget& target,
+               std::span<FlatBatchAnswer> answers,
+               std::vector<VertexId>* path_arena, bool decisions_only,
+               std::uint32_t max_hops);
+  void walk_cowen(const FlatBatchTarget& target,
+                  std::span<FlatBatchAnswer> answers,
+                  std::vector<VertexId>* path_arena, bool decisions_only,
+                  std::uint32_t max_hops);
+  void walk_full(const FlatBatchTarget& target,
+                 std::span<FlatBatchAnswer> answers,
+                 std::vector<VertexId>* path_arena, bool decisions_only,
+                 std::uint32_t max_hops);
+
+  void finish(Lane& lane, FlatBatchAnswer& answer, RouteStatus status,
+              std::vector<VertexId>* path_arena) const;
+  /// Drops live_[pos] from the live list (swap-with-last).
+  void retire(std::uint32_t pos) {
+    live_[pos] = live_[--live_count_];
+  }
+
+  std::uint32_t group_;
+  std::vector<Lane> lanes_;
+  std::vector<std::uint32_t> live_;  ///< live lane indices, compacted
+  std::uint32_t live_count_ = 0;
+  std::vector<std::uint32_t> scan_;  ///< prepare-phase unresolved lanes
+  std::vector<std::vector<VertexId>> lane_paths_;
+};
+
+}  // namespace croute

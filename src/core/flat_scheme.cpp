@@ -1,17 +1,20 @@
 #include "core/flat_scheme.hpp"
 
 #include <algorithm>
-#include <bit>
+#include <chrono>
+#include <functional>
 #include <type_traits>
+
+#include "baseline/cowen.hpp"
+#include "baseline/full_table.hpp"
+#include "util/parallel.hpp"
 
 namespace croute {
 
 namespace {
 
-/// Packs a (vertex, key) pair into one 64-bit FKS key.
-inline std::uint64_t pack_key(VertexId v, VertexId w) noexcept {
-  return (std::uint64_t{v} << 32) | w;
-}
+using flat_detail::eytzinger_find;
+using flat_detail::pack_key;
 
 /// Fills perm[eytzinger_pos] = sorted_pos for a slice of \p len keys.
 /// Standard in-order construction over the implicit heap (1-based \p k).
@@ -26,20 +29,35 @@ std::uint32_t fill_eytzinger(std::vector<std::uint32_t>& perm,
   return next;
 }
 
-/// Branch-free Eytzinger lower-bound probe over one slice. Returns the
-/// 0-based slice position of the key equal to \p x, or len (miss).
-inline std::uint32_t eytzinger_find(const VertexId* keys, std::uint32_t len,
-                                    VertexId x) noexcept {
-  std::uint32_t i = 1;
-  while (i <= len) i = 2 * i + (keys[i - 1] < x);
-  i >>= std::countr_one(i) + 1;
-  if (i == 0 || keys[i - 1] != x) return len;
-  return i - 1;
-}
-
 /// Bits of the Elias gamma code of \p value (>= 1).
 inline std::uint64_t gamma_bits(std::uint64_t value) noexcept {
   return 2 * floor_log2(value) + 1;
+}
+
+/// Runs fn(v, perm_scratch) for every vertex, sharded over \p pool when it
+/// has more than one worker. Callers write only to slots derived from v
+/// (all offsets are prefix-summed up front), so the result is
+/// byte-identical at every pool size — including the serial fallback.
+void for_vertices(
+    ThreadPool* pool, VertexId n,
+    const std::function<void(VertexId, std::vector<std::uint32_t>&)>& fn) {
+  if (pool != nullptr && pool->size() > 1 && n > 1) {
+    std::vector<std::vector<std::uint32_t>> perms(pool->size());
+    pool->for_each(
+        n,
+        [&](std::uint64_t v, unsigned worker) {
+          fn(static_cast<VertexId>(v), perms[worker]);
+        },
+        64);
+  } else {
+    std::vector<std::uint32_t> perm;
+    for (VertexId v = 0; v < n; ++v) fn(v, perm);
+  }
+}
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
 }  // namespace
@@ -54,10 +72,19 @@ const char* flat_lookup_name(FlatLookup lookup) noexcept {
 
 FlatScheme::FlatScheme(const TZScheme& scheme, const FlatSchemeOptions& options)
     : base_(&scheme), options_(options) {
-  Rng rng(options.hash_seed);
-  compile_tables(rng);
-  compile_directories(rng);
-  compile_labels();
+  using clock = std::chrono::steady_clock;
+  ThreadPool* pool = options.pool;
+  stats_.threads = pool != nullptr ? std::max(1u, pool->size()) : 1;
+
+  const auto t0 = clock::now();
+  compile_tables(pool);
+  const auto t1 = clock::now();
+  compile_directories(pool);
+  const auto t2 = clock::now();
+  compile_labels(pool);
+  const auto t3 = clock::now();
+  compile_hashes(pool);
+  const auto t4 = clock::now();
 
   // Precompute wire sizes: tree root id + dfs + gamma-coded light count +
   // the light ports themselves (the exact layout TZRouter::header_bits
@@ -82,16 +109,33 @@ FlatScheme::FlatScheme(const TZScheme& scheme, const FlatSchemeOptions& options)
                         gamma_bits(std::uint64_t{len} + 1) +
                         std::uint64_t{len} * codec.port_bits;
   }
+
+  stats_.tables_ms = ms_between(t0, t1);
+  stats_.directories_ms = ms_between(t1, t2);
+  stats_.labels_ms = ms_between(t2, t3);
+  stats_.hash_ms = ms_between(t3, t4);
+  stats_.pool_bytes = pool_bytes();
+  stats_.total_ms = ms_between(t0, clock::now());
 }
 
-void FlatScheme::compile_tables(Rng& rng) {
+void FlatScheme::compile_tables(ThreadPool* pool) {
   const VertexId n = graph().num_vertices();
+  // Sizing pass (serial, O(total entries), allocation-free): CSR offsets
+  // plus each vertex's base into the shared light-port pool — the fill
+  // pass can then write disjoint slices in parallel.
   tbl_off_.assign(std::size_t{n} + 1, 0);
-  std::uint64_t running = 0;  // 64-bit: detect overflow before it wraps
+  std::vector<std::uint32_t> light_base(std::size_t{n} + 1, 0);
+  std::uint64_t running = 0;       // 64-bit: detect overflow before it wraps
+  std::uint64_t light_running = 0;
   for (VertexId v = 0; v < n; ++v) {
-    running += base_->table(v).size();
+    const VertexTable& table = base_->table(v);
+    running += table.size();
     CROUTE_REQUIRE(running < kNotFound, "table pool exceeds the index space");
     tbl_off_[v + 1] = static_cast<std::uint32_t>(running);
+    for (const TableEntry& e : table.entries()) light_running += e.light_len;
+    CROUTE_REQUIRE(light_running < kNotFound,
+                   "light-port pool exceeds the index space");
+    light_base[v + 1] = static_cast<std::uint32_t>(light_running);
   }
   const std::uint32_t total = tbl_off_[n];
   tbl_key_.resize(total);
@@ -101,18 +145,20 @@ void FlatScheme::compile_tables(Rng& rng) {
   tbl_own_dfs_.resize(total);
   tbl_own_light_off_.resize(total);
   tbl_own_light_len_.resize(total);
+  tbl_light_pool_.resize(light_base[n]);
 
-  std::vector<std::uint32_t> perm;
-  for (VertexId v = 0; v < n; ++v) {
+  const bool eytz = options_.lookup == FlatLookup::kEytzinger;
+  for_vertices(pool, n, [&](VertexId v, std::vector<std::uint32_t>& perm) {
     const VertexTable& table = base_->table(v);
     const std::span<const TableEntry> entries = table.entries();  // sorted
     const auto len = static_cast<std::uint32_t>(entries.size());
     perm.resize(len);
-    if (options_.lookup == FlatLookup::kEytzinger) {
+    if (eytz) {
       fill_eytzinger(perm, len, 1, 0);
     } else {
       for (std::uint32_t p = 0; p < len; ++p) perm[p] = p;
     }
+    std::uint32_t light_off = light_base[v];
     for (std::uint32_t p = 0; p < len; ++p) {
       const TableEntry& e = entries[perm[p]];
       const std::uint32_t idx = tbl_off_[v] + p;
@@ -120,97 +166,91 @@ void FlatScheme::compile_tables(Rng& rng) {
       tbl_record_[idx] = e.record;
       tbl_dist_[idx] = e.dist;
       tbl_level_[idx] = e.level;
-      const TreeLabel own = table.own_label(e);
-      tbl_own_dfs_[idx] = own.dfs_in;
-      CROUTE_REQUIRE(tbl_light_pool_.size() < kNotFound,
-                     "light-port pool exceeds the index space");
-      tbl_own_light_off_[idx] =
-          static_cast<std::uint32_t>(tbl_light_pool_.size());
-      tbl_own_light_len_[idx] =
-          static_cast<std::uint32_t>(own.light_ports.size());
-      tbl_light_pool_.insert(tbl_light_pool_.end(), own.light_ports.begin(),
-                             own.light_ports.end());
+      tbl_own_dfs_[idx] = e.record.dfs_in;
+      const std::span<const Port> ports = table.own_light_ports(e);
+      tbl_own_light_off_[idx] = light_off;
+      tbl_own_light_len_[idx] = static_cast<std::uint32_t>(ports.size());
+      std::copy(ports.begin(), ports.end(),
+                tbl_light_pool_.begin() + light_off);
+      light_off += static_cast<std::uint32_t>(ports.size());
     }
-  }
-
-  if (options_.lookup == FlatLookup::kFKS) {
-    std::vector<std::pair<std::uint64_t, std::uint32_t>> kv;
-    kv.reserve(total);
-    for (VertexId v = 0; v < n; ++v) {
-      for (std::uint32_t idx = tbl_off_[v]; idx < tbl_off_[v + 1]; ++idx) {
-        kv.emplace_back(pack_key(v, tbl_key_[idx]), idx);
-      }
-    }
-    tbl_hash_ = PerfectHashMap::build(kv, rng);
-  }
+  });
 }
 
-void FlatScheme::compile_directories(Rng& rng) {
+void FlatScheme::compile_directories(ThreadPool* pool) {
   const VertexId n = graph().num_vertices();
   dir_off_.assign(std::size_t{n} + 1, 0);
+  std::vector<std::uint32_t> light_base(std::size_t{n} + 1, 0);
   std::uint64_t running = 0;  // 64-bit: detect overflow before it wraps
+  std::uint64_t light_running = 0;
   for (VertexId v = 0; v < n; ++v) {
-    running += base_->directory(v).size();
+    const ClusterDirectory& dir = base_->directory(v);
+    running += dir.size();
     CROUTE_REQUIRE(running < kNotFound,
                    "directory pool exceeds the index space");
     dir_off_[v + 1] = static_cast<std::uint32_t>(running);
+    light_running += dir.light_pool_size();
+    CROUTE_REQUIRE(light_running < kNotFound,
+                   "light-port pool exceeds the index space");
+    light_base[v + 1] = static_cast<std::uint32_t>(light_running);
   }
   const std::uint32_t total = dir_off_[n];
   dir_key_.resize(total);
   dir_dfs_.resize(total);
   dir_light_off_.resize(total);
   dir_light_len_.resize(total);
+  dir_light_pool_.resize(light_base[n]);
 
-  std::vector<std::uint32_t> perm;
-  for (VertexId v = 0; v < n; ++v) {
+  const bool eytz = options_.lookup == FlatLookup::kEytzinger;
+  for_vertices(pool, n, [&](VertexId v, std::vector<std::uint32_t>& perm) {
     const ClusterDirectory& dir = base_->directory(v);
     const std::span<const VertexId> members = dir.members();  // sorted
     const auto len = static_cast<std::uint32_t>(members.size());
     perm.resize(len);
-    if (options_.lookup == FlatLookup::kEytzinger) {
+    if (eytz) {
       fill_eytzinger(perm, len, 1, 0);
     } else {
       for (std::uint32_t p = 0; p < len; ++p) perm[p] = p;
     }
+    std::uint32_t light_off = light_base[v];
     for (std::uint32_t p = 0; p < len; ++p) {
       const std::uint32_t src = perm[p];
       const std::uint32_t idx = dir_off_[v] + p;
       dir_key_[idx] = members[src];
       dir_dfs_[idx] = dir.dfs_at(src);
       const std::span<const Port> ports = dir.light_ports_at(src);
-      CROUTE_REQUIRE(dir_light_pool_.size() < kNotFound,
-                     "light-port pool exceeds the index space");
-      dir_light_off_[idx] = static_cast<std::uint32_t>(dir_light_pool_.size());
+      dir_light_off_[idx] = light_off;
       dir_light_len_[idx] = static_cast<std::uint32_t>(ports.size());
-      dir_light_pool_.insert(dir_light_pool_.end(), ports.begin(),
-                             ports.end());
+      std::copy(ports.begin(), ports.end(),
+                dir_light_pool_.begin() + light_off);
+      light_off += static_cast<std::uint32_t>(ports.size());
     }
-  }
-
-  if (options_.lookup == FlatLookup::kFKS) {
-    std::vector<std::pair<std::uint64_t, std::uint32_t>> kv;
-    kv.reserve(total);
-    for (VertexId v = 0; v < n; ++v) {
-      for (std::uint32_t idx = dir_off_[v]; idx < dir_off_[v + 1]; ++idx) {
-        kv.emplace_back(pack_key(v, dir_key_[idx]), idx);
-      }
-    }
-    dir_hash_ = PerfectHashMap::build(kv, rng);
-  }
+  });
 }
 
-void FlatScheme::compile_labels() {
+void FlatScheme::compile_labels(ThreadPool* pool) {
   const VertexId n = graph().num_vertices();
   lab_off_.assign(std::size_t{n} + 1, 0);
+  std::vector<std::uint32_t> light_base(std::size_t{n} + 1, 0);
   std::uint64_t running = 0;  // 64-bit: detect overflow before it wraps
-  for (VertexId t = 0; t < n; ++t) {
-    running += base_->label(t).entries.size();
-    CROUTE_REQUIRE(running < kNotFound, "label pool exceeds the index space");
-    lab_off_[t + 1] = static_cast<std::uint32_t>(running);
-  }
-  lab_entries_.resize(lab_off_[n]);
+  std::uint64_t light_running = 0;
   for (VertexId t = 0; t < n; ++t) {
     const RoutingLabel& label = base_->label(t);
+    running += label.entries.size();
+    CROUTE_REQUIRE(running < kNotFound, "label pool exceeds the index space");
+    lab_off_[t + 1] = static_cast<std::uint32_t>(running);
+    for (const LabelEntry& e : label.entries) {
+      light_running += e.tree.light_ports.size();
+    }
+    CROUTE_REQUIRE(light_running < kNotFound,
+                   "light-port pool exceeds the index space");
+    light_base[t + 1] = static_cast<std::uint32_t>(light_running);
+  }
+  lab_entries_.resize(lab_off_[n]);
+  lab_light_pool_.resize(light_base[n]);
+  for_vertices(pool, n, [&](VertexId t, std::vector<std::uint32_t>&) {
+    const RoutingLabel& label = base_->label(t);
+    std::uint32_t light_off = light_base[t];
     for (std::size_t j = 0; j < label.entries.size(); ++j) {
       const LabelEntry& e = label.entries[j];
       LabelEntryView& out = lab_entries_[lab_off_[t] + j];
@@ -218,14 +258,56 @@ void FlatScheme::compile_labels() {
       out.w = e.w;
       out.dist = e.dist;
       out.dfs_in = e.tree.dfs_in;
-      CROUTE_REQUIRE(lab_light_pool_.size() < kNotFound,
-                     "light-port pool exceeds the index space");
-      out.light_off = static_cast<std::uint32_t>(lab_light_pool_.size());
+      out.light_off = light_off;
       out.light_len = static_cast<std::uint32_t>(e.tree.light_ports.size());
-      lab_light_pool_.insert(lab_light_pool_.end(), e.tree.light_ports.begin(),
-                             e.tree.light_ports.end());
+      std::copy(e.tree.light_ports.begin(), e.tree.light_ports.end(),
+                lab_light_pool_.begin() + light_off);
+      light_off += out.light_len;
+    }
+  });
+}
+
+void FlatScheme::compile_hashes(ThreadPool* pool) {
+  if (options_.lookup != FlatLookup::kFKS) return;
+  const VertexId n = graph().num_vertices();
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> tbl_kv;
+  tbl_kv.reserve(tbl_off_[n]);
+  for (VertexId v = 0; v < n; ++v) {
+    for (std::uint32_t idx = tbl_off_[v]; idx < tbl_off_[v + 1]; ++idx) {
+      tbl_kv.emplace_back(pack_key(v, tbl_key_[idx]), idx);
     }
   }
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> dir_kv;
+  dir_kv.reserve(dir_off_[n]);
+  for (VertexId v = 0; v < n; ++v) {
+    for (std::uint32_t idx = dir_off_[v]; idx < dir_off_[v + 1]; ++idx) {
+      dir_kv.emplace_back(pack_key(v, dir_key_[idx]), idx);
+    }
+  }
+
+  // Independent seed streams: the table index's retries must not shift
+  // the directory index's draws (retry-deterministic compilation — and
+  // the two builds can run concurrently).
+  Rng tbl_rng(mix64(options_.hash_seed ^ 0x7ab1e0f15eedULL));
+  Rng dir_rng(mix64(options_.hash_seed ^ 0xd1c709e55eedULL));
+  PerfectHashMap::BuildStats tbl_stats, dir_stats;
+  auto build_one = [&](std::uint64_t which) {
+    if (which == 0) {
+      tbl_hash_ = PerfectHashMap::build(tbl_kv, tbl_rng, &tbl_stats);
+    } else {
+      dir_hash_ = PerfectHashMap::build(dir_kv, dir_rng, &dir_stats);
+    }
+  };
+  if (pool != nullptr && pool->size() > 1) {
+    pool->for_each(2, [&](std::uint64_t which, unsigned) { build_one(which); },
+                   1);
+  } else {
+    build_one(0);
+    build_one(1);
+  }
+  stats_.fks_top_retries = tbl_stats.top_retries + dir_stats.top_retries;
+  stats_.fks_bucket_retries =
+      tbl_stats.bucket_retries + dir_stats.bucket_retries;
 }
 
 std::uint32_t FlatScheme::find(VertexId v, VertexId w) const noexcept {
@@ -372,6 +454,88 @@ TreeDecision FlatRouter::step(VertexId v, const FlatHeader& header) const {
   CROUTE_ASSERT(here.light_depth < header.light_len,
                 "label misses the light port for this branch point");
   return TreeDecision{false, header.light[here.light_depth]};
+}
+
+FlatCowen::FlatCowen(const CowenScheme& cowen, const Graph& g)
+    : g_(&g),
+      n_(g.num_vertices()),
+      id_bits_(bits_for_universe(g.num_vertices())),
+      num_landmarks_(static_cast<std::uint32_t>(cowen.landmarks().size())),
+      label_bits_(cowen.label_bits()) {
+  const std::span<const std::uint64_t> off64 = cowen.cluster_offsets();
+  CROUTE_REQUIRE(off64[n_] < kNotFound,
+                 "cluster pool exceeds the index space");
+  cl_off_.resize(std::size_t{n_} + 1);
+  for (VertexId v = 0; v <= n_; ++v) {
+    cl_off_[v] = static_cast<std::uint32_t>(off64[v]);
+  }
+  const std::span<const VertexId> keys = cowen.cluster_targets();
+  const std::span<const Port> ports = cowen.cluster_first_ports();
+  cl_key_.resize(keys.size());
+  cl_port_.resize(ports.size());
+  std::vector<std::uint32_t> perm;
+  for (VertexId v = 0; v < n_; ++v) {
+    const std::uint32_t off = cl_off_[v];
+    const std::uint32_t len = cl_off_[v + 1] - off;
+    perm.resize(len);
+    fill_eytzinger(perm, len, 1, 0);
+    for (std::uint32_t p = 0; p < len; ++p) {
+      cl_key_[off + p] = keys[off + perm[p]];
+      cl_port_[off + p] = ports[off + perm[p]];
+    }
+  }
+  const std::span<const Port> lp = cowen.landmark_ports();
+  lport_.assign(lp.begin(), lp.end());
+  labels_.resize(n_);
+  for (VertexId t = 0; t < n_; ++t) {
+    const CowenScheme::Label l = cowen.label(t);
+    labels_[t] = Label{l.t, l.home, l.port_at_home,
+                       cowen.landmark_column(l.home)};
+  }
+}
+
+TreeDecision FlatCowen::step(VertexId v, const Label& dest) const {
+  if (v == dest.t) return TreeDecision{true, kNoPort};
+  // Exact hop if t ∈ C(v): one Eytzinger probe with the port alongside.
+  const std::uint32_t off = cl_off_[v];
+  const std::uint32_t len = cl_off_[v + 1] - off;
+  const std::uint32_t pos = eytzinger_find(cl_key_.data() + off, len, dest.t);
+  if (pos != len) return TreeDecision{false, cl_port_[off + pos]};
+  // At the home landmark: the label's pre-recorded first edge.
+  if (v == dest.home) {
+    CROUTE_ASSERT(dest.port_at_home != kNoPort,
+                  "label for a non-landmark destination lacks a home port");
+    return TreeDecision{false, dest.port_at_home};
+  }
+  // Otherwise forward toward the home landmark (column pre-resolved).
+  CROUTE_ASSERT(dest.home_col != kNoColumn,
+                "destination's home is not a landmark");
+  const Port p = lport_[std::size_t{v} * num_landmarks_ + dest.home_col];
+  CROUTE_ASSERT(p != kNoPort, "missing landmark port on a connected graph");
+  return TreeDecision{false, p};
+}
+
+std::uint64_t FlatCowen::table_bits(VertexId v) const noexcept {
+  const std::uint32_t port_bits =
+      bits_for_universe(std::uint64_t{g_->degree(v)} + 1);
+  const std::uint64_t cluster_entries = cl_off_[v + 1] - cl_off_[v];
+  return std::uint64_t{num_landmarks_} * port_bits +
+         cluster_entries * (id_bits_ + port_bits);
+}
+
+FlatFullTable::FlatFullTable(FullTableScheme&& full, const Graph& g)
+    : g_(&g),
+      n_(g.num_vertices()),
+      label_bits_(full.label_bits()),
+      hops_(std::move(full).release_hops()) {
+  CROUTE_REQUIRE(hops_.size() == std::size_t{n_} * n_,
+                 "hop matrix does not match the graph");
+}
+
+std::uint64_t FlatFullTable::table_bits(VertexId v) const noexcept {
+  const std::uint32_t port_bits =
+      bits_for_universe(std::uint64_t{g_->degree(v)} + 1);
+  return std::uint64_t{n_ - 1} * port_bits;
 }
 
 }  // namespace croute

@@ -38,9 +38,27 @@
 /// wire sizes come from a precomputed bits-by-length table instead of a
 /// BitWriter run. Answers are bit-identical to the legacy path
 /// (tests/test_flat_scheme.cpp proves it pairwise).
+///
+/// Compilation parallelizes over an optional ThreadPool (per-vertex table,
+/// directory and label slices are disjoint once the CSR offsets are prefix-
+/// summed, so the fill passes shard by vertex and the result is
+/// byte-identical at every thread count). The two FKS indexes draw from
+/// *independently derived* seeds — a retry in the table hash can no longer
+/// shift the directory hash's stream — and `compile_stats()` reports where
+/// the compile time went (rebuild telemetry surfaces it per swap).
+///
+/// The pooled-SoA story extends to the baselines: `FlatCowen` and
+/// `FlatFullTable` compile Cowen / full-table preprocessing into the same
+/// kind of read-optimized state (Eytzinger cluster keys with ports
+/// alongside, label entries with the landmark column pre-resolved, the hop
+/// matrix taken over wholesale), so every SchemeKind serves from a flat
+/// view and the batch engine (core/flat_batch.hpp) can pipeline all of
+/// them.
 
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -51,6 +69,40 @@
 #include "hash/perfect_hash.hpp"
 
 namespace croute {
+
+class ThreadPool;
+class CowenScheme;
+class FullTableScheme;
+
+namespace flat_detail {
+
+/// Packs a (vertex, key) pair into one 64-bit FKS key.
+inline std::uint64_t pack_key(VertexId v, VertexId w) noexcept {
+  return (std::uint64_t{v} << 32) | w;
+}
+
+/// Branch-free Eytzinger lower-bound probe over one slice. Returns the
+/// 0-based slice position of the key equal to \p x, or len (miss).
+inline std::uint32_t eytzinger_find(const VertexId* keys, std::uint32_t len,
+                                    VertexId x) noexcept {
+  std::uint32_t i = 1;
+  while (i <= len) i = 2 * i + (keys[i - 1] < x);
+  i >>= std::countr_one(i) + 1;
+  if (i == 0 || keys[i - 1] != x) return len;
+  return i - 1;
+}
+
+/// Prefetches the cache lines of [p, p + bytes), capped at 8 lines. The
+/// per-vertex key slices this guards are a few lines; for the rare larger
+/// slice the descent's upper levels (the slice front — that is the point
+/// of the Eytzinger order) are still covered.
+inline void prefetch_span(const void* p, std::size_t bytes) noexcept {
+  const char* c = static_cast<const char*>(p);
+  const std::size_t lines = std::min<std::size_t>((bytes + 63) / 64, 8);
+  for (std::size_t l = 0; l < lines; ++l) __builtin_prefetch(c + 64 * l);
+}
+
+}  // namespace flat_detail
 
 /// Which index sits behind FlatScheme::find / dir_find.
 enum class FlatLookup {
@@ -63,8 +115,27 @@ const char* flat_lookup_name(FlatLookup lookup) noexcept;
 /// Compilation options.
 struct FlatSchemeOptions {
   FlatLookup lookup = FlatLookup::kFKS;
-  /// Seed for the FKS hash draws (compilation is deterministic in it).
+  /// Seed for the FKS hash draws (compilation is deterministic in it;
+  /// the table and directory indexes derive independent streams from it,
+  /// so one index's retries never reseed the other).
   std::uint64_t hash_seed = 0x9e3779b97f4a7c15ULL;
+  /// Optional pool to shard the compile passes over (borrowed for the
+  /// constructor call only; nullptr = serial). The compiled bytes are
+  /// identical at every pool size.
+  ThreadPool* pool = nullptr;
+};
+
+/// Where one flat compile's time and space went (rebuild telemetry).
+struct FlatCompileStats {
+  double tables_ms = 0;       ///< bunch-table pools (offsets + fill)
+  double directories_ms = 0;  ///< rule-0 directory pools
+  double labels_ms = 0;       ///< destination label pools
+  double hash_ms = 0;         ///< FKS index builds (0 for Eytzinger)
+  double total_ms = 0;
+  std::uint64_t fks_top_retries = 0;     ///< level-1 redraws, both indexes
+  std::uint64_t fks_bucket_retries = 0;  ///< level-2 redraws, both indexes
+  std::uint64_t pool_bytes = 0;
+  unsigned threads = 1;  ///< compile workers used
 };
 
 /// The header carried by packets on the flat path. Unlike TZHeader it owns
@@ -109,6 +180,98 @@ class FlatScheme {
   /// Pool index of v's entry for tree root w, or kNotFound. This is the
   /// per-hop operation: Eytzinger descent or one perfect-hash probe.
   std::uint32_t find(VertexId v, VertexId w) const noexcept;
+
+  /// --- staged probes (software-pipelined batch engine) --------------------
+  /// One find split into three rounds so a caller can keep G probes in
+  /// flight and hide each round's cache miss behind the other lanes'
+  /// compute (core/flat_batch.hpp):
+  ///   stage0 — issue prefetches for the index metadata (CSR offset entry
+  ///            in Eytzinger mode, FKS bucket parameters); no loads;
+  ///   stage1 — read the metadata, prefetch the key memory (the key
+  ///            slice's cache lines / the hash slot);
+  ///   stage2 — resolve: branch-free descent or one slot compare.
+  /// stage2 returns exactly find(v, w) / dir_find(v, t); the stages only
+  /// move the dependent misses off the critical path.
+  struct FindProbe {
+    VertexId v = kNoVertex;
+    VertexId w = kNoVertex;
+    std::uint32_t off = 0;   ///< Eytzinger: slice offset
+    std::uint32_t len = 0;   ///< Eytzinger: slice length
+    std::uint64_t slot = 0;  ///< FKS: resolved slot (or kNoSlot)
+  };
+
+  void find_stage0(FindProbe& p) const noexcept {
+    if (tbl_hash_) {
+      tbl_hash_->prefetch_bucket(flat_detail::pack_key(p.v, p.w));
+    } else {
+      __builtin_prefetch(&tbl_off_[p.v]);
+    }
+  }
+  void find_stage1(FindProbe& p) const noexcept {
+    if (tbl_hash_) {
+      p.slot = tbl_hash_->locate_slot(flat_detail::pack_key(p.v, p.w));
+      tbl_hash_->prefetch_slot(p.slot);
+    } else {
+      p.off = tbl_off_[p.v];
+      p.len = tbl_off_[p.v + 1] - p.off;
+      flat_detail::prefetch_span(tbl_key_.data() + p.off,
+                                 p.len * sizeof(VertexId));
+    }
+  }
+  std::uint32_t find_stage2(const FindProbe& p) const noexcept {
+    if (tbl_hash_) {
+      const auto idx = tbl_hash_->value_at(
+          p.slot, flat_detail::pack_key(p.v, p.w));
+      return idx ? *idx : kNotFound;
+    }
+    const std::uint32_t pos =
+        flat_detail::eytzinger_find(tbl_key_.data() + p.off, p.len, p.w);
+    return pos == p.len ? kNotFound : p.off + pos;
+  }
+
+  void dir_find_stage0(FindProbe& p) const noexcept {
+    if (dir_hash_) {
+      dir_hash_->prefetch_bucket(flat_detail::pack_key(p.v, p.w));
+    } else {
+      __builtin_prefetch(&dir_off_[p.v]);
+    }
+  }
+  void dir_find_stage1(FindProbe& p) const noexcept {
+    if (dir_hash_) {
+      p.slot = dir_hash_->locate_slot(flat_detail::pack_key(p.v, p.w));
+      dir_hash_->prefetch_slot(p.slot);
+    } else {
+      p.off = dir_off_[p.v];
+      p.len = dir_off_[p.v + 1] - p.off;
+      flat_detail::prefetch_span(dir_key_.data() + p.off,
+                                 p.len * sizeof(VertexId));
+    }
+  }
+  std::uint32_t dir_find_stage2(const FindProbe& p) const noexcept {
+    if (dir_hash_) {
+      const auto idx = dir_hash_->value_at(
+          p.slot, flat_detail::pack_key(p.v, p.w));
+      return idx ? *idx : kNotFound;
+    }
+    const std::uint32_t pos =
+        flat_detail::eytzinger_find(dir_key_.data() + p.off, p.len, p.w);
+    return pos == p.len ? kNotFound : p.off + pos;
+  }
+
+  /// Payload prefetches for resolved pool indices (next round's loads).
+  void prefetch_record(std::uint32_t idx) const noexcept {
+    __builtin_prefetch(&tbl_record_[idx]);
+  }
+  void prefetch_own_label(std::uint32_t idx) const noexcept {
+    __builtin_prefetch(&tbl_own_dfs_[idx]);
+    __builtin_prefetch(&tbl_own_light_off_[idx]);
+    __builtin_prefetch(&tbl_own_light_len_[idx]);
+  }
+  void prefetch_dir_payload(std::uint32_t idx) const noexcept {
+    __builtin_prefetch(&dir_dfs_[idx]);
+    __builtin_prefetch(&dir_light_off_[idx]);
+    __builtin_prefetch(&dir_light_len_[idx]);
+  }
 
   std::uint32_t table_size(VertexId v) const noexcept {
     return tbl_off_[v + 1] - tbl_off_[v];
@@ -181,13 +344,18 @@ class FlatScheme {
   /// Total bytes held by the pools (diagnostics for the layout story).
   std::uint64_t pool_bytes() const noexcept;
 
+  /// Where this compile's time/space went (set once by the constructor).
+  const FlatCompileStats& compile_stats() const noexcept { return stats_; }
+
  private:
-  void compile_tables(Rng& rng);
-  void compile_directories(Rng& rng);
-  void compile_labels();
+  void compile_tables(ThreadPool* pool);
+  void compile_directories(ThreadPool* pool);
+  void compile_labels(ThreadPool* pool);
+  void compile_hashes(ThreadPool* pool);
 
   const TZScheme* base_;
   FlatSchemeOptions options_;
+  FlatCompileStats stats_;
 
   // Tables: CSR over all vertices, keys separated from payloads. In
   // Eytzinger mode every per-vertex slice of ALL arrays is stored in that
@@ -256,6 +424,111 @@ class FlatRouter {
 
  private:
   const FlatScheme* flat_;
+};
+
+/// Pooled, read-optimized serving state compiled from a CowenScheme. The
+/// source scheme is only read during compilation — afterwards this view
+/// serves alone (SchemePackage drops the preprocessing-layout baseline on
+/// the flat path). Differences from CowenScheme::step's layout:
+///  - per-vertex cluster member keys are Eytzinger-permuted with the
+///    first-hop port alongside (no branchy lower_bound, no separate
+///    offset arithmetic on the cold path);
+///  - the label carries the home landmark's *column* in the port matrix,
+///    resolved once at compile time instead of per hop.
+/// Decisions are identical to CowenScheme::step for every (v, label).
+class FlatCowen {
+ public:
+  static constexpr std::uint32_t kNotFound = ~std::uint32_t{0};
+  static constexpr std::uint32_t kNoColumn = ~std::uint32_t{0};
+
+  struct Label {
+    VertexId t = kNoVertex;
+    VertexId home = kNoVertex;    ///< a_t, t's nearest landmark
+    Port port_at_home = kNoPort;  ///< first hop of the a_t → t path
+    std::uint32_t home_col = kNoColumn;  ///< column of a_t in the port rows
+  };
+
+  /// Compiles the pooled view; \p cowen may be destroyed afterwards.
+  FlatCowen(const CowenScheme& cowen, const Graph& g);
+
+  Label label(VertexId t) const noexcept { return labels_[t]; }
+  std::uint32_t num_landmarks() const noexcept { return num_landmarks_; }
+
+  /// Scalar per-hop decision, same contract as CowenScheme::step.
+  TreeDecision step(VertexId v, const Label& dest) const;
+
+  /// Exact table bits at v (same accounting as CowenScheme::table_bits).
+  std::uint64_t table_bits(VertexId v) const noexcept;
+  std::uint64_t label_bits() const noexcept { return label_bits_; }
+
+  /// --- staged probe pieces for the batch engine ---------------------------
+  void prefetch_label(VertexId t) const noexcept {
+    __builtin_prefetch(&labels_[t]);
+  }
+  void prefetch_meta(VertexId v, const Label& dest) const noexcept {
+    __builtin_prefetch(&cl_off_[v]);
+    if (dest.home_col != kNoColumn) {
+      __builtin_prefetch(
+          &lport_[std::size_t{v} * num_landmarks_ + dest.home_col]);
+    }
+  }
+  void load_slice(VertexId v, std::uint32_t& off,
+                  std::uint32_t& len) const noexcept {
+    off = cl_off_[v];
+    len = cl_off_[v + 1] - off;
+    flat_detail::prefetch_span(cl_key_.data() + off, len * sizeof(VertexId));
+  }
+  std::uint32_t find_at(std::uint32_t off, std::uint32_t len,
+                        VertexId t) const noexcept {
+    const std::uint32_t pos =
+        flat_detail::eytzinger_find(cl_key_.data() + off, len, t);
+    return pos == len ? kNotFound : off + pos;
+  }
+  void prefetch_cluster_port(std::uint32_t idx) const noexcept {
+    __builtin_prefetch(&cl_port_[idx]);
+  }
+  Port cluster_port(std::uint32_t idx) const noexcept { return cl_port_[idx]; }
+  Port landmark_port(VertexId v, std::uint32_t col) const noexcept {
+    return lport_[std::size_t{v} * num_landmarks_ + col];
+  }
+
+ private:
+  const Graph* g_;
+  VertexId n_ = 0;
+  std::uint32_t id_bits_ = 0;
+  std::uint32_t num_landmarks_ = 0;
+  std::uint64_t label_bits_ = 0;
+  std::vector<std::uint32_t> cl_off_;  ///< n+1
+  std::vector<VertexId> cl_key_;       ///< Eytzinger-permuted member ids
+  std::vector<Port> cl_port_;          ///< first-hop ports, same permutation
+  std::vector<Port> lport_;            ///< n × |L| row-major landmark ports
+  std::vector<Label> labels_;
+};
+
+/// Pooled serving state for the full-table baseline: the n×n hop matrix
+/// taken over from FullTableScheme (the matrix *is* already SoA; what
+/// this view adds is ownership without the preprocessing object and the
+/// prefetch hooks the batch engine pipelines through).
+class FlatFullTable {
+ public:
+  /// Takes the hop matrix over (no copy); \p full is empty afterwards.
+  FlatFullTable(FullTableScheme&& full, const Graph& g);
+
+  Port next_hop(VertexId v, VertexId t) const noexcept {
+    return hops_[std::size_t{v} * n_ + t];
+  }
+  void prefetch_hop(VertexId v, VertexId t) const noexcept {
+    __builtin_prefetch(&hops_[std::size_t{v} * n_ + t]);
+  }
+
+  std::uint64_t table_bits(VertexId v) const noexcept;
+  std::uint64_t label_bits() const noexcept { return label_bits_; }
+
+ private:
+  const Graph* g_;
+  VertexId n_ = 0;
+  std::uint64_t label_bits_ = 0;
+  std::vector<Port> hops_;  ///< n*n, row per source
 };
 
 }  // namespace croute

@@ -75,6 +75,13 @@ class VertexTable {
   /// v's own tree label in T_w for a found entry.
   TreeLabel own_label(const TableEntry& e) const;
 
+  /// Light-port slice of v's own label in T_w, without materializing a
+  /// TreeLabel (no allocation — the flat compiler reads these straight
+  /// into its pools; the dfs half is e.record.dfs_in).
+  std::span<const Port> own_light_ports(const TableEntry& e) const noexcept {
+    return {light_pool_.data() + e.light_off, e.light_len};
+  }
+
   std::span<const TableEntry> entries() const noexcept { return entries_; }
   std::uint32_t size() const noexcept {
     return static_cast<std::uint32_t>(entries_.size());
@@ -145,6 +152,11 @@ class ClusterDirectory {
 
   std::uint32_t size() const noexcept {
     return static_cast<std::uint32_t>(ts_.size());
+  }
+
+  /// Total light ports across all members (flat-compile sizing pass).
+  std::uint32_t light_pool_size() const noexcept {
+    return static_cast<std::uint32_t>(pool_.size());
   }
 
   /// Members in ascending id (the keys).

@@ -90,6 +90,16 @@ class Graph {
   Weight min_weight() const noexcept { return min_weight_; }
   Weight max_weight() const noexcept { return max_weight_; }
 
+  /// Prefetch hints for the software-pipelined batch engine: the CSR
+  /// offset entry of \p v (what degree()/arcs() read first), and one arc
+  /// (valid once the offset entry is cached — issue after the first).
+  void prefetch_offsets(VertexId v) const noexcept {
+    __builtin_prefetch(&offsets_[v]);
+  }
+  void prefetch_arc(VertexId v, Port port) const noexcept {
+    __builtin_prefetch(&arcs_[offsets_[v] + port]);
+  }
+
  private:
   friend class GraphBuilder;
 

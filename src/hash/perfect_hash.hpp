@@ -29,14 +29,65 @@ namespace croute {
 /// Immutable perfect-hash map uint64 → uint32 (build once, query forever).
 class PerfectHashMap {
  public:
+  /// Construction-time retry counters: how many level-1 redraws the Σb²
+  /// bound cost and how many level-2 redraws injectivity cost. Expected
+  /// O(1) each; surfaced so scheme-compile telemetry can attribute
+  /// rebuild time to hash seeding luck.
+  struct BuildStats {
+    std::uint64_t top_retries = 0;
+    std::uint64_t bucket_retries = 0;
+  };
+
   /// Builds from distinct keys. Throws std::invalid_argument on duplicate
-  /// keys. Expected O(n) time.
+  /// keys. Expected O(n) time. \p stats, when non-null, receives the
+  /// retry counters.
   static PerfectHashMap build(
       const std::vector<std::pair<std::uint64_t, std::uint32_t>>& entries,
-      Rng& rng);
+      Rng& rng, BuildStats* stats = nullptr);
 
   /// Value for \p key, or std::nullopt. O(1) worst case.
   std::optional<std::uint32_t> find(std::uint64_t key) const noexcept;
+
+  /// --- staged probe (the software-pipelined batch engine) ---------------
+  /// A find is two dependent loads: bucket parameters, then the slot. The
+  /// staged API lets a caller interleave G probes so each load is
+  /// prefetched while other probes compute:
+  ///   prefetch_bucket(key);                    // round 0
+  ///   slot = locate_slot(key); prefetch_slot;  // round 1 (params cached)
+  ///   value_at(slot, key);                     // round 2 (slot cached)
+  /// value_at(locate_slot(key), key) == find(key) for every key.
+
+  /// "no slot" sentinel of locate_slot (empty map or empty bucket).
+  static constexpr std::uint64_t kNoSlot = ~std::uint64_t{0};
+
+  void prefetch_bucket(std::uint64_t key) const noexcept {
+    if (size_ == 0) return;
+    const std::uint64_t i = (*top_)(key);
+    __builtin_prefetch(&bucket_offset_[i]);
+    __builtin_prefetch(&bucket_a_[i]);
+    __builtin_prefetch(&bucket_b_[i]);
+  }
+
+  std::uint64_t locate_slot(std::uint64_t key) const noexcept {
+    if (size_ == 0) return kNoSlot;
+    const std::uint64_t i = (*top_)(key);
+    const std::uint64_t base = bucket_offset_[i];
+    const std::uint64_t width = bucket_offset_[i + 1] - base;
+    if (width == 0) return kNoSlot;
+    return base + PairwiseHash::eval(bucket_a_[i], bucket_b_[i], width, key);
+  }
+
+  void prefetch_slot(std::uint64_t slot) const noexcept {
+    if (slot == kNoSlot) return;
+    __builtin_prefetch(&keys_[slot]);
+    __builtin_prefetch(&values_[slot]);
+  }
+
+  std::optional<std::uint32_t> value_at(std::uint64_t slot,
+                                        std::uint64_t key) const noexcept {
+    if (slot == kNoSlot || keys_[slot] != key) return std::nullopt;
+    return values_[slot];
+  }
 
   bool contains(std::uint64_t key) const noexcept {
     return find(key).has_value();

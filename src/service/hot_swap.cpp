@@ -14,7 +14,7 @@ SchemePackagePtr SchemeManager::rebuild_now(Graph g) {
   opt.warm_start_path.clear();
   SchemePackagePtr pkg = build_scheme_package(
       std::make_shared<const Graph>(std::move(g)), opt);
-  service_->record_rebuild(pkg->build_seconds);
+  service_->record_rebuild(*pkg);
   service_->publish(pkg);
   return pkg;
 }

@@ -23,6 +23,11 @@
 /// joins any previous one first. wait() joins and rethrows a background
 /// build failure (the service keeps serving the old generation when a
 /// rebuild throws — a failed rebuild never damages the data plane).
+///
+/// Each recorded rebuild also folds the package's flat-compile stats
+/// (FlatScheme::compile_stats: per-phase wall time, FKS retry counts,
+/// pool bytes) into the service telemetry, so churn reports can say how
+/// much of a rebuild was preprocessing versus flat compilation.
 
 #pragma once
 

@@ -84,10 +84,21 @@ RouteService::RouteService(const Graph& g, const RouteServiceOptions& options)
   SchemePackagePtr pkg =
       build_scheme_package(std::make_shared<const Graph>(g), options);
   num_vertices_ = pkg->graph->num_vertices();
+  flat_compile_seconds_.store(pkg->flat_stats.total_ms / 1e3,
+                              std::memory_order_relaxed);
+  fks_retries_.store(
+      pkg->flat_stats.fks_top_retries + pkg->flat_stats.fks_bucket_retries,
+      std::memory_order_relaxed);
   package_current_ = std::move(pkg);
   pool_ = std::make_unique<ThreadPool>(options.threads);
   shards_.resize(pool_->size());
   arenas_.resize(pool_->size());
+  if (options_.use_flat && options_.batch_group > 0) {
+    batch_scratch_.reserve(pool_->size());
+    for (unsigned w = 0; w < pool_->size(); ++w) {
+      batch_scratch_.emplace_back(options_.batch_group);
+    }
+  }
   dest_slot_.resize(num_vertices_, 0);
   dest_epoch_.resize(num_vertices_, 0);
 }
@@ -117,9 +128,14 @@ void RouteService::publish(SchemePackagePtr next) {
   // package when it drains; the flip itself never frees pool memory.
 }
 
-void RouteService::record_rebuild(double seconds) {
+void RouteService::record_rebuild(const SchemePackage& pkg) {
   rebuilds_.fetch_add(1, std::memory_order_relaxed);
-  rebuild_seconds_.fetch_add(seconds, std::memory_order_relaxed);
+  rebuild_seconds_.fetch_add(pkg.build_seconds, std::memory_order_relaxed);
+  flat_compile_seconds_.fetch_add(pkg.flat_stats.total_ms / 1e3,
+                                  std::memory_order_relaxed);
+  fks_retries_.fetch_add(
+      pkg.flat_stats.fks_top_retries + pkg.flat_stats.fks_bucket_retries,
+      std::memory_order_relaxed);
 }
 
 RouteAnswer RouteService::serve_legacy(const SchemePackage& pkg,
@@ -197,24 +213,24 @@ RouteAnswer RouteService::serve(const SchemePackage& pkg,
         break;
       }
       case SchemeKind::kCowen: {
-        const CowenScheme::Label label = pkg.cowen->label(query.t);
-        a.header_bits = pkg.cowen->label_bits();
+        // Pooled SoA serving: Eytzinger cluster keys with the first-hop
+        // port alongside, home-landmark column pre-resolved in the label.
+        const FlatCowen::Label label = pkg.flat_cowen->label(query.t);
+        a.header_bits = pkg.flat_cowen->label_bits();
         walk(
             g, query.s, query.t, max_hops,
-            [&](VertexId v) {
-              const CowenScheme::Decision d = pkg.cowen->step(v, label);
-              return TreeDecision{d.deliver, d.port};
-            },
+            [&](VertexId v) { return pkg.flat_cowen->step(v, label); },
             path_out, a);
         break;
       }
       case SchemeKind::kFullTable: {
-        a.header_bits = pkg.full->label_bits();
+        a.header_bits = pkg.flat_full->label_bits();
         walk(
             g, query.s, query.t, max_hops,
             [&](VertexId v) {
               if (v == query.t) return TreeDecision{true, kNoPort};
-              return TreeDecision{false, pkg.full->next_hop(v, query.t)};
+              return TreeDecision{false,
+                                  pkg.flat_full->next_hop(v, query.t)};
             },
             path_out, a);
         break;
@@ -260,7 +276,8 @@ void RouteService::group_by_destination(
   // n-sized maps never need clearing).
   for (std::uint32_t i = 0; i < nq; ++i) {
     const VertexId t = queries[i].t;
-    CROUTE_REQUIRE(t < num_vertices_, "endpoint out of range");
+    CROUTE_REQUIRE(queries[i].s < num_vertices_ && t < num_vertices_,
+                   "endpoint out of range");
     if (dest_epoch_[t] != epoch_) {
       dest_epoch_[t] = epoch_;
       dest_slot_[t] = static_cast<std::uint32_t>(dest_memos_.size());
@@ -311,39 +328,126 @@ std::vector<RouteAnswer> RouteService::route_batch(
     path_refs_.assign(queries.size(), PathRef{});
     for (auto& arena : arenas_) arena.clear();  // keeps capacity
   }
-  // Chunks of 32 amortize the queue handshake while keeping the dynamic
-  // schedule responsive to skewed per-query cost (far pairs walk longer).
-  pool_->for_each(
-      queries.size(),
-      [&](std::uint64_t slot, unsigned worker) {
-        const std::uint32_t i =
-            grouped ? order_[slot] : static_cast<std::uint32_t>(slot);
-        const RouteQuery& q = queries[i];
-        const DestMemo* memo =
-            memo_active ? &dest_memos_[dest_slot_[q.t]] : nullptr;
-        std::vector<VertexId>* path =
-            options_.record_paths ? &arenas_[worker] : nullptr;
-        const std::uint32_t path_off =
-            path ? static_cast<std::uint32_t>(path->size()) : 0;
-        const auto begin = clock::now();
-        answers[i] = serve(*pkg, q, path, memo);
-        const auto end = clock::now();
-        if (path) {
-          path_refs_[i] = PathRef{
-              worker, path_off,
-              static_cast<std::uint32_t>(path->size()) - path_off};
-        }
-        const double sec = std::chrono::duration<double>(end - begin).count();
-        answers[i].latency_us = sec * 1e6;
-        Shard& shard = shards_[worker];
-        ++shard.queries;
-        if (answers[i].delivered()) ++shard.delivered;
-        shard.total_hops += answers[i].hops;
-        if (answers[i].header_bits > shard.max_header_bits)
-          shard.max_header_bits = answers[i].header_bits;
-        shard.busy_seconds += sec;
-      },
-      32);
+  if (options_.use_flat && options_.batch_group > 0) {
+    // Batch-pipelined serving: each worker claims destination-grouped
+    // chunks and routes them through its FlatBatchEngine — batch_group
+    // descents interleaved, every lane's next dependent load prefetched
+    // while the other lanes compute. Answer slots, path slices and shard
+    // telemetry are written exactly as on the scalar path below, so
+    // results stay byte-identical for every group size and thread count.
+    FlatBatchTarget target;
+    target.graph = pkg->graph.get();
+    target.flat = pkg->flat.get();
+    target.cowen = pkg->flat_cowen.get();
+    target.full = pkg->flat_full.get();
+    switch (options_.scheme) {
+      case SchemeKind::kTZDirect:
+        target.kind = FlatServeKind::kTZDirect;
+        break;
+      case SchemeKind::kTZHandshake:
+        target.kind = FlatServeKind::kTZHandshake;
+        break;
+      case SchemeKind::kCowen:
+        target.kind = FlatServeKind::kCowen;
+        break;
+      case SchemeKind::kFullTable:
+        target.kind = FlatServeKind::kFullTable;
+        break;
+    }
+    // A chunk holds a few pipeline generations so refills amortize while
+    // the dynamic schedule stays responsive to skewed per-query cost.
+    const std::uint32_t chunk =
+        std::max<std::uint32_t>(32, 2 * options_.batch_group);
+    const std::uint64_t num_chunks = (queries.size() + chunk - 1) / chunk;
+    pool_->for_each(
+        num_chunks,
+        [&](std::uint64_t c, unsigned worker) {
+          const auto lo = static_cast<std::uint32_t>(c * chunk);
+          const auto hi = static_cast<std::uint32_t>(
+              std::min<std::uint64_t>(queries.size(), c * chunk + chunk));
+          BatchScratch& ws = batch_scratch_[worker];
+          ws.queries.resize(hi - lo);
+          ws.answers.assign(hi - lo, FlatBatchAnswer{});
+          for (std::uint32_t j = 0; j < hi - lo; ++j) {
+            const std::uint32_t i = order_[lo + j];
+            const RouteQuery& q = queries[i];
+            ws.queries[j].s = q.s;
+            ws.queries[j].t = q.t;
+            ws.queries[j].label =
+                memo_active ? dest_memos_[dest_slot_[q.t]].label
+                            : std::span<const FlatScheme::LabelEntryView>{};
+          }
+          std::vector<VertexId>* arena =
+              options_.record_paths ? &arenas_[worker] : nullptr;
+          const auto begin = clock::now();
+          ws.engine.route(target, ws.queries, ws.answers, arena);
+          const auto end = clock::now();
+          Shard& shard = shards_[worker];
+          for (std::uint32_t j = 0; j < hi - lo; ++j) {
+            const std::uint32_t i = order_[lo + j];
+            const RouteQuery& q = queries[i];
+            const FlatBatchAnswer& ba = ws.answers[j];
+            RouteAnswer& out = answers[i];
+            out.status = ba.status;
+            out.length = ba.length;
+            out.hops = ba.hops;
+            out.header_bits = ba.header_bits;
+            out.latency_us = ba.latency_us;
+            if (q.s == q.t) {
+              out.stretch = 1.0;
+            } else if (out.delivered() && q.exact > 0) {
+              out.stretch = out.length / q.exact;
+            }
+            if (options_.record_paths) {
+              path_refs_[i] = PathRef{worker, ba.path_off, ba.path_len};
+            }
+            ++shard.queries;
+            if (out.delivered()) ++shard.delivered;
+            shard.total_hops += out.hops;
+            if (out.header_bits > shard.max_header_bits)
+              shard.max_header_bits = out.header_bits;
+          }
+          shard.busy_seconds +=
+              std::chrono::duration<double>(end - begin).count();
+        },
+        1);
+  } else {
+    // Scalar serving: chunks of 32 amortize the queue handshake while
+    // keeping the dynamic schedule responsive to skewed per-query cost
+    // (far pairs walk longer).
+    pool_->for_each(
+        queries.size(),
+        [&](std::uint64_t slot, unsigned worker) {
+          const std::uint32_t i =
+              grouped ? order_[slot] : static_cast<std::uint32_t>(slot);
+          const RouteQuery& q = queries[i];
+          const DestMemo* memo =
+              memo_active ? &dest_memos_[dest_slot_[q.t]] : nullptr;
+          std::vector<VertexId>* path =
+              options_.record_paths ? &arenas_[worker] : nullptr;
+          const std::uint32_t path_off =
+              path ? static_cast<std::uint32_t>(path->size()) : 0;
+          const auto begin = clock::now();
+          answers[i] = serve(*pkg, q, path, memo);
+          const auto end = clock::now();
+          if (path) {
+            path_refs_[i] = PathRef{
+                worker, path_off,
+                static_cast<std::uint32_t>(path->size()) - path_off};
+          }
+          const double sec =
+              std::chrono::duration<double>(end - begin).count();
+          answers[i].latency_us = sec * 1e6;
+          Shard& shard = shards_[worker];
+          ++shard.queries;
+          if (answers[i].delivered()) ++shard.delivered;
+          shard.total_hops += answers[i].hops;
+          if (answers[i].header_bits > shard.max_header_bits)
+            shard.max_header_bits = answers[i].header_bits;
+          shard.busy_seconds += sec;
+        },
+        32);
+  }
   if (options_.record_paths) {
     // Arenas are append-only during the batch; pointers are stable now.
     for (std::size_t i = 0; i < answers.size(); ++i) {
@@ -388,6 +492,10 @@ ServiceTelemetry RouteService::telemetry() const {
   t.straddled_batches = straddled_batches_.load(std::memory_order_relaxed);
   t.max_swap_blackout_us =
       max_swap_blackout_us_.load(std::memory_order_relaxed);
+  t.flat_compile_seconds =
+      flat_compile_seconds_.load(std::memory_order_relaxed);
+  t.fks_retries = fks_retries_.load(std::memory_order_relaxed);
+  t.flat_pool_bytes = package()->flat_stats.pool_bytes;
   return t;
 }
 

@@ -53,6 +53,14 @@
 /// resolved view). The memo's label views point into the batch's pinned
 /// package, so a concurrent swap can never dangle them.
 ///
+/// Batch-pipelined serving: with `batch_group > 0` (default 16) each
+/// worker routes its chunk through a FlatBatchEngine
+/// (core/flat_batch.hpp) — batch_group queries' descents interleaved in a
+/// software pipeline, each lane's next dependent load prefetched while
+/// the other lanes compute, so one worker keeps G cache misses in flight
+/// instead of one. Answers are byte-identical to scalar serving
+/// (batch_group = 0 keeps the scalar loop; route_one is always scalar).
+///
 /// Telemetry: every answer records status, walk length, hops, header bits
 /// and — when the query carries its exact distance — stretch; the service
 /// aggregates totals per worker (plus a dedicated atomic slot for
@@ -69,6 +77,7 @@
 #include <string>
 #include <vector>
 
+#include "core/flat_batch.hpp"
 #include "service/scheme_package.hpp"
 #include "util/parallel.hpp"
 
@@ -111,7 +120,14 @@ struct RouteAnswer {
   std::uint32_t hops = 0;       ///< edges traversed
   std::uint64_t header_bits = 0;  ///< wire size of the carried header
   double stretch = 0;           ///< length / exact (delivered, exact known)
-  double latency_us = 0;        ///< service time at the worker (telemetry)
+  /// Service time at the worker (telemetry). Scalar serving measures each
+  /// query's own wall time; batch-pipelined serving (batch_group > 0)
+  /// reports the query's amortized share of its pipeline generation's
+  /// wall time — G queries run interleaved, so per-lane wall time would
+  /// charge every query for all G. Latency percentiles from the two modes
+  /// are therefore different metrics (bench rows carry a latency_metric
+  /// marker).
+  double latency_us = 0;
   std::span<const VertexId> path;  ///< visited vertices (record_paths)
 
   bool delivered() const noexcept {
@@ -140,6 +156,15 @@ struct ServiceTelemetry {
   /// Blackout: max wall time (µs) of one batch that straddled a swap —
   /// the worst interruption any client observed during a flip.
   double max_swap_blackout_us = 0;
+  // --- flat-compile attribution (zeros off the flat TZ path) ---
+  /// Summed FlatScheme compile wall time over every build this service
+  /// performed (initial + rebuilds) — the slice of rebuild_seconds the
+  /// flat view costs.
+  double flat_compile_seconds = 0;
+  /// Summed FKS retry counts over those compiles (seeding luck).
+  std::uint64_t fks_retries = 0;
+  /// Pool bytes of the CURRENT generation's flat view.
+  std::uint64_t flat_pool_bytes = 0;
 };
 
 /// A concurrent route-query engine over immutable scheme generations.
@@ -184,9 +209,10 @@ class RouteService {
   /// package is destroyed when its last reader drains. Thread-safe.
   void publish(SchemePackagePtr next);
 
-  /// Folds a package rebuild's wall time into the telemetry (called by
-  /// SchemeManager; exposed for custom rebuild drivers). Thread-safe.
-  void record_rebuild(double seconds);
+  /// Folds a package rebuild's wall time and flat-compile stats into the
+  /// telemetry (called by SchemeManager; exposed for custom rebuild
+  /// drivers). Thread-safe.
+  void record_rebuild(const SchemePackage& pkg);
 
   /// Number of publish() flips so far. Thread-safe.
   std::uint64_t swap_count() const noexcept {
@@ -232,6 +258,17 @@ class RouteService {
 
  private:
   struct Shard;  ///< per-worker telemetry scratch, cache-line padded
+
+  /// Per-worker batched-serving scratch: the pipelined engine plus the
+  /// chunk-local query/answer staging it runs over. Reused across
+  /// batches (allocation-free once warm).
+  struct BatchScratch {
+    FlatBatchEngine engine;
+    std::vector<FlatBatchQuery> queries;
+    std::vector<FlatBatchAnswer> answers;
+
+    explicit BatchScratch(std::uint32_t group) : engine(group) {}
+  };
 
   /// Per-batch memo for one distinct destination: its slice of the
   /// processing order and, on the flat TZ path, the resolved pooled label
@@ -282,6 +319,8 @@ class RouteService {
   // background thread while the driver thread reads telemetry()).
   std::atomic<std::uint64_t> rebuilds_{0};
   std::atomic<double> rebuild_seconds_{0};
+  std::atomic<double> flat_compile_seconds_{0};
+  std::atomic<std::uint64_t> fks_retries_{0};
   std::atomic<std::uint64_t> straddled_batches_{0};
   std::atomic<double> max_swap_blackout_us_{0};
   std::atomic<std::uint64_t> batches_{0};
@@ -303,6 +342,9 @@ class RouteService {
   // dedicated route_one arena.
   std::vector<std::vector<VertexId>> arenas_;
   mutable std::vector<VertexId> one_arena_;
+
+  // Per-worker pipelined engines (batch_group > 0 on the flat path).
+  std::vector<BatchScratch> batch_scratch_;
 
   // Reusable per-batch scratch (amortized allocation-free). Touched only
   // by the driver thread inside route_batch — never by publish() or a

@@ -5,6 +5,7 @@
 
 #include "core/scheme_io.hpp"
 #include "graph/connectivity.hpp"
+#include "util/parallel.hpp"
 #include "util/random.hpp"
 
 namespace croute {
@@ -33,8 +34,12 @@ std::uint64_t SchemePackage::table_bits(VertexId v) const {
   switch (options.scheme) {
     case SchemeKind::kTZDirect:
     case SchemeKind::kTZHandshake: return tz->table_bits(v);
-    case SchemeKind::kCowen: return cowen->table_bits(v);
-    case SchemeKind::kFullTable: return full->table_bits(v);
+    case SchemeKind::kCowen:
+      return flat_cowen != nullptr ? flat_cowen->table_bits(v)
+                                   : cowen->table_bits(v);
+    case SchemeKind::kFullTable:
+      return flat_full != nullptr ? flat_full->table_bits(v)
+                                  : full->table_bits(v);
   }
   return 0;
 }
@@ -57,8 +62,12 @@ SchemePackagePtr build_scheme_package(std::shared_ptr<const Graph> graph,
   auto pkg = std::make_shared<SchemePackage>();
   pkg->options = options;
   pkg->graph = std::move(graph);
-  pkg->sim = std::make_unique<const Simulator>(
-      g, SimOptions{0, options.record_paths});
+  if (!options.use_flat) {
+    // The simulator exists only for the legacy serving path; the flat
+    // path carries pooled views instead of preprocessing-layout state.
+    pkg->sim = std::make_unique<const Simulator>(
+        g, SimOptions{0, options.record_paths});
+  }
   switch (options.scheme) {
     case SchemeKind::kTZDirect:
     case SchemeKind::kTZHandshake: {
@@ -75,18 +84,43 @@ SchemePackagePtr build_scheme_package(std::shared_ptr<const Graph> graph,
         FlatSchemeOptions fopt;
         fopt.lookup = options.flat_lookup;
         fopt.hash_seed = mix64(options.seed ^ 0xf1a7c0def1a7c0deULL);
+        // Shard the compile over a transient pool (per-vertex slices are
+        // disjoint; the compiled bytes are pool-size-invariant). Serial
+        // when only one core is available — the pool would only add
+        // queue overhead.
+        const unsigned compile_threads = options.compile_threads != 0
+                                             ? options.compile_threads
+                                             : worker_count();
+        std::unique_ptr<ThreadPool> compile_pool;
+        if (compile_threads > 1) {
+          compile_pool = std::make_unique<ThreadPool>(compile_threads);
+          fopt.pool = compile_pool.get();
+        }
         pkg->flat = std::make_unique<const FlatScheme>(*pkg->tz, fopt);
         pkg->flat_router = std::make_unique<const FlatRouter>(*pkg->flat);
+        pkg->flat_stats = pkg->flat->compile_stats();
       }
       break;
     }
     case SchemeKind::kCowen: {
       Rng rng(options.seed);
-      pkg->cowen = std::make_unique<const CowenScheme>(g, rng);
+      if (options.use_flat) {
+        // Preprocess, compile the pooled view, drop the preprocessing.
+        const CowenScheme cowen(g, rng);
+        pkg->flat_cowen = std::make_unique<const FlatCowen>(cowen, g);
+      } else {
+        pkg->cowen = std::make_unique<const CowenScheme>(g, rng);
+      }
       break;
     }
     case SchemeKind::kFullTable:
-      pkg->full = std::make_unique<const FullTableScheme>(g);
+      if (options.use_flat) {
+        FullTableScheme full(g);
+        pkg->flat_full =
+            std::make_unique<const FlatFullTable>(std::move(full), g);
+      } else {
+        pkg->full = std::make_unique<const FullTableScheme>(g);
+      }
       break;
   }
   pkg->build_seconds = std::chrono::duration<double>(clock::now() - begin).count();

@@ -74,6 +74,15 @@ struct RouteServiceOptions {
   /// per-hop probes of the per-vertex key slices stay in cache where the
   /// global hash's slot arrays do not (bench_micro_decision shows both).
   FlatLookup flat_lookup = FlatLookup::kEytzinger;
+  /// Pipeline depth of the batched serving engine (core/flat_batch.hpp):
+  /// how many queries' descents one worker keeps in flight, prefetching
+  /// each lane's next load while the others compute. 0 = scalar serving
+  /// (one descent at a time); answers are byte-identical either way.
+  /// Flat path only; 8–16 covers the dev containers we measure on.
+  std::uint32_t batch_group = 16;
+  /// Worker threads for the flat compile passes (0 = worker_count(),
+  /// 1 = serial). The compiled bytes are identical at every count.
+  unsigned compile_threads = 0;
   /// Optional scheme_io file to warm-start from instead of preprocessing
   /// (TZ schemes only; the file must match the graph's fingerprint).
   /// Applies to the initial package only — a rebuilt graph has a new
@@ -84,6 +93,14 @@ struct RouteServiceOptions {
 /// One immutable scheme generation: the graph it was built over plus
 /// every query-path structure, owned together. Share as
 /// `std::shared_ptr<const SchemePackage>`; never mutate after build.
+///
+/// On the flat path (use_flat, the default) every SchemeKind serves from
+/// pooled SoA state — flat/flat_router for the TZ kinds, flat_cowen /
+/// flat_full for the baselines — and the preprocessing-layout objects
+/// (sim, cowen, full) are *not carried*: they exist transiently during
+/// build and are dropped once their pooled views are compiled. With
+/// use_flat off the package instead carries the legacy structures and no
+/// pooled views (the comparison-bench configuration).
 struct SchemePackage {
   SchemePackage() = default;
   SchemePackage(const SchemePackage&) = delete;
@@ -91,13 +108,18 @@ struct SchemePackage {
 
   RouteServiceOptions options;  ///< the options this generation was built with
   std::shared_ptr<const Graph> graph;
-  std::unique_ptr<const Simulator> sim;  ///< legacy serving path
+  std::unique_ptr<const Simulator> sim;  ///< legacy serving path only
   std::unique_ptr<const TZScheme> tz;
   std::unique_ptr<const FlatScheme> flat;
   std::unique_ptr<const FlatRouter> flat_router;
-  std::unique_ptr<const CowenScheme> cowen;
-  std::unique_ptr<const FullTableScheme> full;
+  std::unique_ptr<const FlatCowen> flat_cowen;    ///< flat path, kCowen
+  std::unique_ptr<const FlatFullTable> flat_full; ///< flat path, kFullTable
+  std::unique_ptr<const CowenScheme> cowen;        ///< legacy path only
+  std::unique_ptr<const FullTableScheme> full;     ///< legacy path only
   double build_seconds = 0;  ///< wall time of build_scheme_package
+  /// Where the flat compile's time/space went (zeros off the flat TZ
+  /// path) — surfaced per swap by the rebuild telemetry.
+  FlatCompileStats flat_stats;
 
   /// Bits of routing state the scheme stores at vertex v (space story).
   std::uint64_t table_bits(VertexId v) const;

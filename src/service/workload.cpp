@@ -368,6 +368,8 @@ ChurnReport run_closed_loop_churn(RouteService& service, SchemeManager& manager,
   report.straddled_batches = run_straddled;
   report.max_blackout_us = run_blackout_us;
   report.rebuild_seconds = after.rebuild_seconds - before.rebuild_seconds;
+  report.flat_compile_seconds =
+      after.flat_compile_seconds - before.flat_compile_seconds;
   report.final_graph = std::move(current);
   return report;
 }

@@ -146,6 +146,10 @@ struct ChurnReport {
   std::uint64_t straddled_batches = 0;  ///< batches overlapping a swap
   double max_blackout_us = 0;  ///< worst straddling-batch wall time
   double rebuild_seconds = 0;  ///< summed background preprocessing time
+  /// Slice of rebuild_seconds spent compiling the flat view (this run's
+  /// rebuilds only) — attributes rebuild cost between preprocessing and
+  /// flat compilation.
+  double flat_compile_seconds = 0;
   Graph final_graph;  ///< the topology of the last published generation
 };
 

@@ -11,11 +11,13 @@
 #include <memory>
 #include <vector>
 
+#include "core/flat_batch.hpp"
 #include "core/flat_scheme.hpp"
 #include "core/tz_router.hpp"
 #include "service/route_service.hpp"
 #include "service/workload.hpp"
 #include "sim/experiment.hpp"
+#include "util/parallel.hpp"
 #include "util/random.hpp"
 
 namespace croute {
@@ -270,6 +272,249 @@ TEST(FlatService, DestinationMemoMatchesRouteOne) {
     const RouteAnswer ref = service.route_one(traffic[i]);
     ASSERT_TRUE(same_route(answers[i], ref)) << "query " << i;
     ASSERT_TRUE(answers[i].delivered());
+  }
+}
+
+// The batch-pipelined engine must serve byte-identical answers to scalar
+// serving for every scheme kind, both lookup layouts and every pipeline
+// depth — including a group of 1, ragged final generations (query count
+// not divisible by the group), and self-queries. The scalar reference is
+// the same service with batch_group = 0.
+TEST(FlatBatch, BatchedMatchesScalarAcrossKindsLayoutsAndGroups) {
+  Rng grng(71);
+  const Graph g = make_workload(GraphFamily::kErdosRenyi, 260, grng);
+  Rng prng(72);
+  const std::vector<PairSample> pairs = sample_pairs(g, 395, prng);
+  std::vector<RouteQuery> queries;
+  for (const auto& p : pairs) queries.push_back({p.s, p.t, p.exact});
+  // Self-queries complete at lane issue; sprinkle them through the
+  // stream so generations mix immediate and walking lanes.
+  for (VertexId v = 0; v < 6; ++v) {
+    queries.insert(queries.begin() + 37 * (v + 1), RouteQuery{v, v, 0.0});
+  }
+
+  for (const std::uint32_t k : {2u, 3u, 4u}) {
+    for (const SchemeKind kind :
+         {SchemeKind::kTZDirect, SchemeKind::kTZHandshake, SchemeKind::kCowen,
+          SchemeKind::kFullTable}) {
+      for (const FlatLookup layout : kLayouts) {
+        RouteServiceOptions scalar_opt;
+        scalar_opt.scheme = kind;
+        scalar_opt.threads = 2;
+        scalar_opt.k = k;
+        scalar_opt.seed = 73;
+        scalar_opt.record_paths = true;
+        scalar_opt.flat_lookup = layout;
+        scalar_opt.batch_group = 0;  // scalar reference
+        RouteService scalar(g, scalar_opt);
+        const std::vector<RouteAnswer> reference =
+            scalar.route_batch(queries);
+
+        for (const std::uint32_t group : {1u, 4u, 8u, 16u}) {
+          RouteServiceOptions opt = scalar_opt;
+          opt.batch_group = group;
+          RouteService batched(g, opt);
+          const std::vector<RouteAnswer> answers =
+              batched.route_batch(queries);
+          ASSERT_EQ(answers.size(), reference.size());
+          for (std::size_t i = 0; i < answers.size(); ++i) {
+            ASSERT_TRUE(same_route(reference[i], answers[i]))
+                << scheme_name(kind) << "/" << flat_lookup_name(layout)
+                << " k=" << k << " group=" << group << " diverges at query "
+                << i;
+          }
+        }
+        // Layouts only affect the TZ probes; one pass suffices for the
+        // baselines.
+        if (kind == SchemeKind::kCowen || kind == SchemeKind::kFullTable) {
+          break;
+        }
+      }
+    }
+  }
+}
+
+// The batched path must reject out-of-range endpoints up front like the
+// scalar path does (the engine itself never bounds-checks — the grouping
+// pass is the gate for both endpoints).
+TEST(FlatBatch, RejectsOutOfRangeEndpoints) {
+  Rng grng(41);
+  const Graph g = make_workload(GraphFamily::kErdosRenyi, 80, grng);
+  RouteServiceOptions opt;
+  opt.threads = 1;
+  opt.seed = 42;
+  RouteService service(g, opt);
+  const VertexId n = g.num_vertices();
+  EXPECT_THROW(service.route_batch({RouteQuery{n, 0, kUnknownDistance}}),
+               std::invalid_argument);
+  EXPECT_THROW(service.route_batch({RouteQuery{0, n, kUnknownDistance}}),
+               std::invalid_argument);
+}
+
+// decide() — the micro bench's batched source decision — must agree with
+// scalar prepare + step for every pair, under both layouts.
+TEST(FlatBatch, DecideMatchesScalarPrepareStep) {
+  const FlatFixture fx(3, 200, 81);
+  const Graph& g = fx.g;
+  for (const FlatLookup layout : kLayouts) {
+    FlatSchemeOptions fopt;
+    fopt.lookup = layout;
+    const FlatScheme flat(*fx.scheme, fopt);
+    const FlatRouter router(flat);
+    FlatBatchTarget target;
+    target.graph = &g;
+    target.kind = FlatServeKind::kTZDirect;
+    target.flat = &flat;
+    std::vector<FlatBatchQuery> qs;
+    for (const PairSample& p : all_pairs(g)) {
+      qs.push_back(FlatBatchQuery{p.s, p.t, flat.label(p.t)});
+    }
+    std::vector<FlatBatchAnswer> as(qs.size());
+    FlatBatchEngine engine(8);
+    engine.decide(target, qs, as);
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+      const FlatHeader h = router.prepare(qs[i].s, qs[i].t);
+      const TreeDecision d = router.step(qs[i].s, h);
+      ASSERT_EQ(as[i].tree_root, h.tree_root) << "pair " << i;
+      ASSERT_EQ(as[i].header_bits, h.bits) << "pair " << i;
+      ASSERT_EQ(as[i].first_deliver, d.deliver) << "pair " << i;
+      if (!d.deliver) {
+        ASSERT_EQ(as[i].first_port, d.port) << "pair " << i;
+      }
+    }
+  }
+}
+
+// Handshake routes through the engine: equivalence against the scalar
+// walk at the engine level (the service matrix above covers it too, but
+// this pins prepare_handshake's staged bidirectional pivot walk
+// directly).
+TEST(FlatBatch, HandshakeRouteMatchesScalarWalk) {
+  const FlatFixture fx(3, 150, 91);
+  const Graph& g = fx.g;
+  const FlatScheme flat(*fx.scheme, {});
+  const FlatRouter router(flat);
+  FlatBatchTarget target;
+  target.graph = &g;
+  target.kind = FlatServeKind::kTZHandshake;
+  target.flat = &flat;
+  std::vector<FlatBatchQuery> qs;
+  for (const PairSample& p : all_pairs(g)) {
+    if (p.s != p.t) qs.push_back(FlatBatchQuery{p.s, p.t, {}});
+  }
+  std::vector<FlatBatchAnswer> as(qs.size());
+  FlatBatchEngine engine(16);
+  engine.route(target, qs, as);
+  const std::uint32_t max_hops = 4 * g.num_vertices() + 16;
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    const FlatHeader h = router.prepare_handshake(qs[i].s, qs[i].t);
+    Weight length = 0;
+    std::uint32_t hops = 0;
+    VertexId here = qs[i].s;
+    while (true) {
+      const TreeDecision d = router.step(here, h);
+      if (d.deliver) break;
+      const Arc& arc = g.arc(here, d.port);
+      length += arc.weight;
+      here = arc.head;
+      if (++hops >= max_hops) break;
+    }
+    ASSERT_EQ(as[i].status, RouteStatus::kDelivered) << "pair " << i;
+    ASSERT_EQ(as[i].header_bits, h.bits) << "pair " << i;
+    ASSERT_EQ(as[i].hops, hops) << "pair " << i;
+    ASSERT_EQ(as[i].length, length) << "pair " << i;
+  }
+}
+
+// Compiling the flat view over a ThreadPool must produce byte-identical
+// pools to the serial compile: same indices from find, same payloads,
+// same pooled labels, same wire-size table, same pool footprint. (The
+// TSan CI job runs this test, so the parallel fill passes and the
+// concurrent FKS index builds are race-checked too.)
+TEST(FlatScheme, ParallelCompileMatchesSerial) {
+  const FlatFixture fx(3, 220, 61);
+  ThreadPool pool(4);
+  for (const FlatLookup layout : kLayouts) {
+    FlatSchemeOptions serial_opt;
+    serial_opt.lookup = layout;
+    const FlatScheme serial(*fx.scheme, serial_opt);
+    FlatSchemeOptions par_opt = serial_opt;
+    par_opt.pool = &pool;
+    const FlatScheme parallel(*fx.scheme, par_opt);
+
+    ASSERT_EQ(serial.pool_bytes(), parallel.pool_bytes());
+    ASSERT_EQ(serial.header_bits_table_len(), parallel.header_bits_table_len());
+    EXPECT_EQ(parallel.compile_stats().threads, 4u);
+    for (VertexId v = 0; v < fx.g.num_vertices(); ++v) {
+      ASSERT_EQ(serial.table_size(v), parallel.table_size(v));
+      for (const TableEntry& e : fx.scheme->table(v).entries()) {
+        const std::uint32_t a = serial.find(v, e.w);
+        const std::uint32_t b = parallel.find(v, e.w);
+        ASSERT_EQ(a, b);
+        ASSERT_NE(a, FlatScheme::kNotFound);
+        ASSERT_EQ(serial.dist(a), parallel.dist(b));
+        ASSERT_EQ(serial.own_dfs(a), parallel.own_dfs(b));
+        const auto pa = serial.own_light_ports(a);
+        const auto pb = parallel.own_light_ports(b);
+        ASSERT_TRUE(std::equal(pa.begin(), pa.end(), pb.begin(), pb.end()));
+      }
+      const ClusterDirectory& dir = fx.scheme->directory(v);
+      for (const VertexId t : dir.members()) {
+        const std::uint32_t a = serial.dir_find(v, t);
+        const std::uint32_t b = parallel.dir_find(v, t);
+        ASSERT_EQ(a, b);
+        ASSERT_EQ(serial.dir_dfs(a), parallel.dir_dfs(b));
+      }
+      const auto la = serial.label(v);
+      const auto lb = parallel.label(v);
+      ASSERT_EQ(la.size(), lb.size());
+      for (std::size_t j = 0; j < la.size(); ++j) {
+        ASSERT_EQ(la[j].w, lb[j].w);
+        ASSERT_EQ(la[j].dfs_in, lb[j].dfs_in);
+        ASSERT_EQ(la[j].light_len, lb[j].light_len);
+      }
+    }
+  }
+}
+
+// On the flat path every kind serves from pooled SoA state and the
+// package must NOT carry the preprocessing-layout baseline objects (nor
+// the legacy simulator); with use_flat off it carries exactly those.
+TEST(FlatService, FlatPackagesDropLegacyBaselineState) {
+  Rng grng(31);
+  const Graph g = make_workload(GraphFamily::kErdosRenyi, 150, grng);
+  for (const SchemeKind kind :
+       {SchemeKind::kTZDirect, SchemeKind::kCowen, SchemeKind::kFullTable}) {
+    RouteServiceOptions opt;
+    opt.scheme = kind;
+    opt.threads = 1;
+    opt.seed = 32;
+    RouteService flat_service(g, opt);
+    const SchemePackagePtr pkg = flat_service.package();
+    EXPECT_EQ(pkg->sim, nullptr) << scheme_name(kind);
+    EXPECT_EQ(pkg->cowen, nullptr) << scheme_name(kind);
+    EXPECT_EQ(pkg->full, nullptr) << scheme_name(kind);
+    switch (kind) {
+      case SchemeKind::kTZDirect:
+        EXPECT_NE(pkg->flat, nullptr);
+        break;
+      case SchemeKind::kCowen:
+        EXPECT_NE(pkg->flat_cowen, nullptr);
+        break;
+      case SchemeKind::kFullTable:
+        EXPECT_NE(pkg->flat_full, nullptr);
+        break;
+      default: break;
+    }
+    // table_bits serves from the pooled state and matches the legacy
+    // accounting.
+    RouteServiceOptions legacy_opt = opt;
+    legacy_opt.use_flat = false;
+    RouteService legacy(g, legacy_opt);
+    for (VertexId v = 0; v < g.num_vertices(); v += 17) {
+      EXPECT_EQ(flat_service.table_bits(v), legacy.table_bits(v))
+          << scheme_name(kind) << " v=" << v;
+    }
   }
 }
 

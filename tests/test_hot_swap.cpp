@@ -278,6 +278,14 @@ TEST(SchemeManager, RebuildNowSwapsSynchronously) {
   const ServiceTelemetry tel = service.telemetry();
   EXPECT_EQ(tel.rebuilds, 1u);
   EXPECT_GT(tel.rebuild_seconds, 0.0);
+  // Flat-compile attribution: the TZ flat path reports where the rebuild
+  // time went (compile seconds over initial build + rebuild, and the
+  // current generation's pool footprint).
+  EXPECT_GT(tel.flat_compile_seconds, 0.0);
+  EXPECT_LT(tel.flat_compile_seconds, tel.rebuild_seconds + 10.0);
+  EXPECT_GT(tel.flat_pool_bytes, 0u);
+  EXPECT_EQ(tel.flat_pool_bytes, pkg->flat_stats.pool_bytes);
+  EXPECT_EQ(pkg->flat_stats.pool_bytes, pkg->flat->pool_bytes());
 }
 
 TEST(ChurnDriver, CompletesAllCyclesAndReportsSwapTelemetry) {
@@ -307,6 +315,10 @@ TEST(ChurnDriver, CompletesAllCyclesAndReportsSwapTelemetry) {
   // churn report.
   EXPECT_EQ(report.driver.stretch.count, 0u);
   EXPECT_GT(report.rebuild_seconds, 0.0);
+  // Compile attribution covers this run's rebuilds and stays a slice of
+  // the total rebuild time.
+  EXPECT_GT(report.flat_compile_seconds, 0.0);
+  EXPECT_LE(report.flat_compile_seconds, report.rebuild_seconds);
   EXPECT_TRUE(is_connected(report.final_graph));
 
   // The service now serves the final topology: byte-equal to a fresh
