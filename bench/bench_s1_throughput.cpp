@@ -16,15 +16,28 @@
 /// the same traffic is replayed per thread count while a SchemeManager
 /// rebuilds the scheme in the background over C successively perturbed
 /// topologies and hot-swaps each finished generation under the live batch
-/// stream. Reported per run: qps under swap, latency percentiles, swap
-/// count, summed rebuild seconds, and the swap *blackout* — the worst
-/// wall time of one batch that straddled a generation flip. Lands in the
-/// JSON as the `churn_runs` array.
+/// stream. Each thread count runs TWICE — once on the default delta-aware
+/// incremental rebuild path and once with the full-rebuild escape hatch —
+/// so the `churn_runs` rows directly attribute rebuild seconds between
+/// the two on identical deltas. Reported per run: qps under swap, latency
+/// percentiles, swap count, summed rebuild seconds with the
+/// flat-compile / TZ-preprocess split, the SPT reuse ratio, and the swap
+/// *blackout* — the worst wall time of one batch that straddled a
+/// generation flip.
+///
+/// The churn delta defaults model *localized link churn* (a few dozen
+/// link events per cycle — the regime where reusing untouched SPT
+/// subtrees pays); --churn-reweight/--churn-remove/--churn-add set the
+/// per-cycle edge fractions explicitly (pass PR-4's 0.3/0.05/0.05 for
+/// the old full-re-metric regime).
 ///
 /// Flags: --n --family --scheme --workload --queries --batch --k --seed
 ///        --threads (comma list) --json out.json --flat-only
 ///        --batch-group=G (flat pipeline depth; 0 = scalar serving)
 ///        --churn=C --churn-seed=S
+///        --churn-reweight=F --churn-remove=F --churn-add=F
+///        --sampling=centered|bernoulli (landmark sampler; bernoulli's
+///        graph-independent hierarchy roughly doubles churn SPT reuse)
 ///
 /// Note: the speedup column reflects the machine's core count; on a
 /// single-core container every thread count serves at the same rate, but
@@ -87,6 +100,11 @@ int main(int argc, char** argv) try {
       parse_thread_list(flags.get_string("threads", "1,2,4"));
   const auto batch_group = static_cast<std::uint32_t>(
       flags.get_int("batch-group", RouteServiceOptions{}.batch_group));
+  // Landmark sampler (TZ): centered is the paper default; bernoulli's
+  // hierarchy is churn-stable, which roughly doubles the SPT reuse the
+  // incremental churn rows report.
+  const SamplingMode sampling =
+      parse_sampling(flags.get_string("sampling", "centered"));
   const std::string json_path = flags.get_string("json", "");
 
   bench::banner(
@@ -121,7 +139,8 @@ int main(int argc, char** argv) try {
       .set("workload", std::string(workload_name(workload)))
       .set("queries", std::uint64_t{queries})
       .set("seed", seed)
-      .set("batch_group", std::uint64_t{batch_group});
+      .set("batch_group", std::uint64_t{batch_group})
+      .set("sampling", std::string(sampling_name(sampling)));
   bench::add_host_metadata(report);
 
   const bool flat_only = flags.get_bool("flat-only", false);
@@ -146,6 +165,7 @@ int main(int argc, char** argv) try {
       opt.threads = t;
       opt.k = k;
       opt.seed = seed + 2;
+      opt.sampling = sampling;
       opt.use_flat = use_flat;
       opt.batch_group = batch_group;
       bench::Stopwatch preprocess_watch;
@@ -232,71 +252,95 @@ int main(int argc, char** argv) try {
   if (churn_cycles > 0) {
     const auto churn_seed =
         static_cast<std::uint64_t>(flags.get_int("churn-seed", seed + 3));
+    // Localized link churn by default: ~20 link events per cycle at the
+    // committed n=10k/m=40k instance (tens of flaps among tens of
+    // thousands of links — the BGP-churn regime the delta-aware rebuild
+    // targets). PR 4's full-re-metric regime is reproducible with
+    // --churn-reweight=0.3 --churn-remove=0.05 --churn-add=0.05.
+    DeltaOptions delta;
+    delta.reweight_fraction = flags.get_double("churn-reweight", 2.5e-4);
+    delta.remove_fraction = flags.get_double("churn-remove", 1.25e-4);
+    delta.add_fraction = flags.get_double("churn-add", 1.25e-4);
     report.set("churn_cycles", std::uint64_t{churn_cycles});
+    report.set("churn_reweight_fraction", delta.reweight_fraction);
+    report.set("churn_remove_fraction", delta.remove_fraction);
+    report.set("churn_add_fraction", delta.add_fraction);
     std::printf("\nchurn mode: %u background rebuild+swap cycles per run "
-                "(flat path)\n",
+                "(flat path), incremental vs full rebuild\n",
                 churn_cycles);
-    std::printf("%8s %12s %10s %10s %8s %12s %12s %8s\n", "threads", "qps",
-                "p50_us", "p99_us", "swaps", "blackout_us", "rebuild_s",
-                "ok");
+    std::printf("%8s %12s %12s %10s %8s %12s %12s %8s %8s\n", "threads",
+                "rebuild", "qps", "p99_us", "swaps", "blackout_us",
+                "rebuild_s", "reuse", "ok");
     for (const unsigned t : thread_counts) {
-      RouteServiceOptions opt;
-      opt.scheme = scheme;
-      opt.threads = t;
-      opt.k = k;
-      opt.seed = seed + 2;
-      opt.batch_group = batch_group;
-      RouteService service(g, opt);
-      SchemeManager manager(service);
-      service.route_batch(std::vector<RouteQuery>(
-          traffic.begin(),
-          traffic.begin() + std::min<std::size_t>(traffic.size(), batch)));
+      for (const bool full_rebuild : {true, false}) {
+        RouteServiceOptions opt;
+        opt.scheme = scheme;
+        opt.threads = t;
+        opt.k = k;
+        opt.seed = seed + 2;
+        opt.sampling = sampling;
+        opt.batch_group = batch_group;
+        RouteService service(g, opt);
+        SchemeManager manager(service);
+        service.route_batch(std::vector<RouteQuery>(
+            traffic.begin(),
+            traffic.begin() + std::min<std::size_t>(traffic.size(), batch)));
 
-      DriverOptions dopt;
-      dopt.batch_size = batch;
-      ChurnOptions copt;
-      copt.cycles = churn_cycles;
-      copt.seed = churn_seed;
-      const ChurnReport r =
-          run_closed_loop_churn(service, manager, traffic, dopt, copt);
+        DriverOptions dopt;
+        dopt.batch_size = batch;
+        ChurnOptions copt;
+        copt.cycles = churn_cycles;
+        copt.seed = churn_seed;  // same seed: both modes see identical deltas
+        copt.delta = delta;
+        copt.full_rebuild = full_rebuild;
+        const ChurnReport r =
+            run_closed_loop_churn(service, manager, traffic, dopt, copt);
 
-      // The settled service must serve the final topology byte-equally
-      // to a fresh build on it (the hot-swap determinism contract).
-      RouteService fresh(r.final_graph, opt);
-      const std::vector<RouteQuery> probe(
-          traffic.begin(),
-          traffic.begin() + std::min<std::size_t>(traffic.size(), batch));
-      std::vector<RouteQuery> probe_unknown = probe;
-      for (RouteQuery& q : probe_unknown) q.exact = kUnknownDistance;
-      const std::vector<RouteAnswer> a = service.route_batch(probe_unknown);
-      const std::vector<RouteAnswer> b = fresh.route_batch(probe_unknown);
-      bool identical = a.size() == b.size();
-      for (std::size_t i = 0; identical && i < a.size(); ++i) {
-        identical = same_route(a[i], b[i]);
+        // The settled service must serve the final topology byte-equally
+        // to a fresh build on it (the hot-swap determinism contract).
+        RouteService fresh(r.final_graph, opt);
+        const std::vector<RouteQuery> probe(
+            traffic.begin(),
+            traffic.begin() + std::min<std::size_t>(traffic.size(), batch));
+        std::vector<RouteQuery> probe_unknown = probe;
+        for (RouteQuery& q : probe_unknown) q.exact = kUnknownDistance;
+        const std::vector<RouteAnswer> a = service.route_batch(probe_unknown);
+        const std::vector<RouteAnswer> b = fresh.route_batch(probe_unknown);
+        bool identical = a.size() == b.size();
+        for (std::size_t i = 0; identical && i < a.size(); ++i) {
+          identical = same_route(a[i], b[i]);
+        }
+        churn_ok = churn_ok && identical && r.swaps == churn_cycles;
+
+        const char* rebuild_name = full_rebuild ? "full" : "incremental";
+        std::printf(
+            "%8u %12s %12.0f %10.2f %8llu %12.1f %12.3f %7.1f%% %8s\n", t,
+            rebuild_name, r.driver.qps, r.driver.latency_p99_us,
+            static_cast<unsigned long long>(r.swaps), r.max_blackout_us,
+            r.rebuild_seconds, 100 * r.reuse_ratio(),
+            identical ? "yes" : "NO");
+        report.add_row("churn_runs")
+            .set("threads", std::uint64_t{t})
+            .set("rebuild", std::string(rebuild_name))
+            .set("qps", r.driver.qps)
+            .set("latency_metric", std::string(batch_group > 0
+                                                   ? "group_amortized"
+                                                   : "per_query"))
+            .set("p50_us", r.driver.latency_p50_us)
+            .set("p95_us", r.driver.latency_p95_us)
+            .set("p99_us", r.driver.latency_p99_us)
+            .set("swaps", r.swaps)
+            .set("straddled_batches", r.straddled_batches)
+            .set("blackout_us", r.max_blackout_us)
+            .set("rebuild_s", r.rebuild_seconds)
+            .set("flat_compile_s", r.flat_compile_seconds)
+            .set("tz_incremental_s", r.incremental_preprocess_seconds)
+            .set("incremental_rebuilds", r.incremental_rebuilds)
+            .set("reuse_ratio", r.reuse_ratio())
+            .set("clusters_reused", r.clusters_reused)
+            .set("clusters_total", r.clusters_total)
+            .set("final_identical", std::string(identical ? "yes" : "no"));
       }
-      churn_ok = churn_ok && identical && r.swaps == churn_cycles;
-
-      std::printf("%8u %12.0f %10.2f %10.2f %8llu %12.1f %12.3f %8s\n", t,
-                  r.driver.qps, r.driver.latency_p50_us,
-                  r.driver.latency_p99_us,
-                  static_cast<unsigned long long>(r.swaps),
-                  r.max_blackout_us, r.rebuild_seconds,
-                  identical ? "yes" : "NO");
-      report.add_row("churn_runs")
-          .set("threads", std::uint64_t{t})
-          .set("qps", r.driver.qps)
-          .set("latency_metric", std::string(batch_group > 0
-                                                 ? "group_amortized"
-                                                 : "per_query"))
-          .set("p50_us", r.driver.latency_p50_us)
-          .set("p95_us", r.driver.latency_p95_us)
-          .set("p99_us", r.driver.latency_p99_us)
-          .set("swaps", r.swaps)
-          .set("straddled_batches", r.straddled_batches)
-          .set("blackout_us", r.max_blackout_us)
-          .set("rebuild_s", r.rebuild_seconds)
-          .set("flat_compile_s", r.flat_compile_seconds)
-          .set("final_identical", std::string(identical ? "yes" : "no"));
     }
     std::printf("churn runs settled identical to fresh builds: %s\n",
                 churn_ok ? "yes" : "NO");

@@ -1,23 +1,34 @@
 #!/usr/bin/env python3
-"""Perf-smoke regression gate over the micro-decision trajectory.
+"""Perf-smoke regression gate over the micro-decision and S1 trajectories.
 
-Compares a fresh BENCH_micro.json against the committed baseline and
-fails (exit 1) when any flat-path variant is more than THRESHOLD times
-slower than the committed number. The threshold is deliberately generous
-(default 2x): shared CI runners are noisy and the smoke instance is
-smaller than the committed one (a smaller instance can only make the
-fresh numbers FASTER, so a >2x slowdown is a real regression, not noise).
+Compares fresh bench JSON against the committed baselines and fails
+(exit 1) when a gated number regressed more than THRESHOLD times. The
+threshold is deliberately generous (default 2x): shared CI runners are
+noisy and the smoke instances are smaller than the committed ones (a
+smaller instance can only make the fresh numbers FASTER, so a >2x
+slowdown is a real regression, not noise).
 
-Usage: check_perf_regression.py <baseline.json> <fresh.json> [threshold]
+Gated:
+  - micro: every flat serving variant's ns/decision (scalar + batched);
+  - S1 serving: qps of every flat run row (matched by threads);
+  - S1 churn: per-cycle rebuild seconds — each fresh churn row gates
+    against the committed FULL-rebuild row at the same thread count, so
+    the incremental path must stay at least as fast as the committed
+    full-rebuild baseline (and a regression of the full path itself
+    fails the same gate).
+
+Usage:
+  check_perf_regression.py <micro_baseline> <micro_fresh> [threshold]
+                           [--s1 <s1_baseline> <s1_fresh>]
 """
 
 import json
 import sys
 
-# Every flat serving variant the trajectory tracks: scalar decisions in
-# both lookup layouts, and the route-level scalar vs batch-pipelined
-# numbers the batched engine is judged by.
-GATED_KEYS = [
+# Every flat serving variant the micro trajectory tracks: scalar
+# decisions in both lookup layouts, and the route-level scalar vs
+# batch-pipelined numbers the batched engine is judged by.
+GATED_MICRO_KEYS = [
     "flat_decision_ns",
     "flat_eytzinger_decision_ns",
     "flat_route_ns",
@@ -27,35 +38,107 @@ GATED_KEYS = [
 ]
 
 
-def main() -> int:
-    if len(sys.argv) < 3:
-        print(__doc__)
-        return 2
-    with open(sys.argv[1]) as f:
-        baseline = json.load(f)
-    with open(sys.argv[2]) as f:
-        fresh = json.load(f)
-    threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 2.0
+def load(path):
+    with open(path) as f:
+        return json.load(f)
 
-    failures = []
-    for key in GATED_KEYS:
+
+def gate_micro(baseline, fresh, threshold, failures):
+    for key in GATED_MICRO_KEYS:
         if key not in baseline:
             # A newly added variant has no committed baseline yet; it
             # starts gating on the next regeneration.
-            print(f"  skip {key}: not in baseline")
+            print(f"  skip micro/{key}: not in baseline")
             continue
         if key not in fresh:
-            failures.append(f"{key}: missing from fresh measurement")
+            failures.append(f"micro/{key}: missing from fresh measurement")
             continue
         base, now = float(baseline[key]), float(fresh[key])
         ratio = now / base if base > 0 else float("inf")
         verdict = "FAIL" if ratio > threshold else "ok"
-        print(f"  {verdict} {key}: baseline {base:.1f} ns, fresh {now:.1f} ns"
-              f" ({ratio:.2f}x, limit {threshold:.1f}x)")
+        print(f"  {verdict} micro/{key}: baseline {base:.1f} ns, fresh "
+              f"{now:.1f} ns ({ratio:.2f}x, limit {threshold:.1f}x)")
         if ratio > threshold:
             failures.append(
-                f"{key}: {now:.1f} ns vs baseline {base:.1f} ns "
+                f"micro/{key}: {now:.1f} ns vs baseline {base:.1f} ns "
                 f"({ratio:.2f}x > {threshold:.1f}x)")
+
+
+def gate_s1_serving(baseline, fresh, threshold, failures):
+    fresh_flat = {int(r["threads"]): float(r["qps"])
+                  for r in fresh.get("runs", []) if r.get("path") == "flat"}
+    for row in baseline.get("runs", []):
+        if row.get("path") != "flat":
+            continue
+        threads = int(row["threads"])
+        if threads not in fresh_flat:
+            print(f"  skip s1/qps@{threads}t: not measured fresh")
+            continue
+        base, now = float(row["qps"]), fresh_flat[threads]
+        ratio = base / now if now > 0 else float("inf")  # slowdown factor
+        verdict = "FAIL" if ratio > threshold else "ok"
+        print(f"  {verdict} s1/qps@{threads}t: baseline {base:.0f}, fresh "
+              f"{now:.0f} ({ratio:.2f}x slowdown, limit {threshold:.1f}x)")
+        if ratio > threshold:
+            failures.append(
+                f"s1/qps@{threads}t: {now:.0f} qps vs baseline {base:.0f} "
+                f"({ratio:.2f}x slowdown > {threshold:.1f}x)")
+
+
+def rebuild_per_cycle(row):
+    swaps = int(row.get("swaps", 0))
+    return float(row["rebuild_s"]) / swaps if swaps > 0 else float("inf")
+
+
+def gate_s1_churn(baseline, fresh, threshold, failures):
+    # Committed full-rebuild rows are the yardstick. Rows from before the
+    # rebuild-mode split carry no "rebuild" marker and count as full.
+    base_full = {int(r["threads"]): rebuild_per_cycle(r)
+                 for r in baseline.get("churn_runs", [])
+                 if r.get("rebuild", "full") == "full"}
+    if not base_full:
+        print("  skip s1/churn: baseline has no full-rebuild churn rows")
+        return
+    for row in fresh.get("churn_runs", []):
+        threads = int(row["threads"])
+        if threads not in base_full:
+            print(f"  skip s1/churn@{threads}t: no baseline row")
+            continue
+        mode = row.get("rebuild", "full")
+        base, now = base_full[threads], rebuild_per_cycle(row)
+        ratio = now / base if base > 0 else float("inf")
+        verdict = "FAIL" if ratio > threshold else "ok"
+        print(f"  {verdict} s1/churn@{threads}t[{mode}]: "
+              f"{now:.3f} s/cycle vs full baseline {base:.3f} "
+              f"({ratio:.2f}x, limit {threshold:.1f}x)")
+        if ratio > threshold:
+            failures.append(
+                f"s1/churn@{threads}t[{mode}]: {now:.3f} s/cycle vs "
+                f"committed full baseline {base:.3f} "
+                f"({ratio:.2f}x > {threshold:.1f}x)")
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    s1_paths = None
+    if "--s1" in args:
+        i = args.index("--s1")
+        s1_paths = args[i + 1:i + 3]
+        if len(s1_paths) != 2:
+            print(__doc__)
+            return 2
+        args = args[:i] + args[i + 3:]
+    if len(args) < 2:
+        print(__doc__)
+        return 2
+    threshold = float(args[2]) if len(args) > 2 else 2.0
+
+    failures = []
+    gate_micro(load(args[0]), load(args[1]), threshold, failures)
+    if s1_paths is not None:
+        s1_baseline, s1_fresh = load(s1_paths[0]), load(s1_paths[1])
+        gate_s1_serving(s1_baseline, s1_fresh, threshold, failures)
+        gate_s1_churn(s1_baseline, s1_fresh, threshold, failures)
 
     if failures:
         print("perf regression gate FAILED:")

@@ -22,7 +22,13 @@
 /// --batch-group=G (flat pipeline depth: G in-flight descents per worker;
 /// 0 = scalar serving)
 /// --churn=C (run the closed loop under C background rebuild+swap cycles;
-/// prints swap, blackout and rebuild telemetry)
+/// prints swap, blackout and rebuild telemetry incl. the delta-aware
+/// rebuild's SPT reuse ratio)
+/// [--full-rebuild] (churn escape hatch: full preprocessing per rebuild
+/// instead of the default delta-aware incremental path)
+/// --sampling=centered|bernoulli (TZ landmark sampler; bernoulli's
+/// graph-independent hierarchy roughly doubles churn SPT reuse at the
+/// price of expected- instead of worst-case table bounds)
 
 #include <cstdio>
 #include <string>
@@ -73,6 +79,7 @@ int main(int argc, char** argv) {
     opt.scheme = parse_scheme(flags.get_string("scheme", "tz"));
     opt.threads = static_cast<unsigned>(flags.get_int("threads", 0));
     opt.k = static_cast<std::uint32_t>(flags.get_int("k", 3));
+    opt.sampling = parse_sampling(flags.get_string("sampling", "centered"));
     opt.seed = seed + 1;
     opt.warm_start_path = flags.get_string("warm", "");
     opt.use_flat = !flags.get_bool("legacy", false);
@@ -123,6 +130,7 @@ int main(int argc, char** argv) {
       ChurnOptions copt;
       copt.cycles = churn_cycles;
       copt.seed = seed + 3;
+      copt.full_rebuild = flags.get_bool("full-rebuild", false);
       const ChurnReport churn =
           run_closed_loop_churn(service, manager, traffic, dopt, copt);
       r = churn.driver;
@@ -133,6 +141,15 @@ int main(int argc, char** argv) {
                   churn.rebuild_seconds, churn.flat_compile_seconds,
                   static_cast<unsigned long long>(churn.straddled_batches),
                   churn.max_blackout_us);
+      if (churn.incremental_rebuilds > 0) {
+        std::printf("         delta-aware: %llu/%llu rebuilds incremental, "
+                    "%.1f%% SPT reuse, %.3fs TZ preprocessing\n",
+                    static_cast<unsigned long long>(
+                        churn.incremental_rebuilds),
+                    static_cast<unsigned long long>(churn.swaps),
+                    100 * churn.reuse_ratio(),
+                    churn.incremental_preprocess_seconds);
+      }
     } else {
       r = run_closed_loop(service, traffic, dopt);
     }

@@ -35,18 +35,42 @@ std::uint32_t TZPreprocessing::effective_level(std::uint32_t level,
   return j;
 }
 
+namespace {
+
+/// Top-level clusters span all of V (their guard is +∞): build the
+/// canonical tree of the plain-Dijkstra distance field. Canonical trees
+/// are pure functions of the distances, which is what lets delta-aware
+/// rebuilds recompute only orphaned regions
+/// (core/incremental_rebuild.hpp) and still match a fresh build
+/// byte-for-byte.
+LocalTree canonical_top_tree(const Graph& g, VertexId w) {
+  return make_canonical_spt(g, w, dijkstra(g, w).dist);
+}
+
+}  // namespace
+
 LocalTree TZPreprocessing::build_cluster(VertexId w) const {
-  RestrictedDijkstra rd(*g_);
   const std::uint32_t level = center_level(w);
+  if (level + 1 >= k()) return canonical_top_tree(*g_, w);
+  RestrictedDijkstra rd(*g_);
   auto guard_fn = [&](VertexId v) { return cluster_guard(level, v); };
   return make_local_tree(rd.run(w, rank_[w], guard_fn));
 }
 
 void TZPreprocessing::for_each_cluster(
     const std::function<void(VertexId, const LocalTree&)>& consumer) const {
+  // One shared restricted-Dijkstra workspace serves every sub-top-level
+  // cluster; top-level centers (few, whole-graph trees) each run a plain
+  // Dijkstra and the canonical tree construction instead.
   RestrictedDijkstra rd(*g_);
   for (VertexId w = 0; w < g_->num_vertices(); ++w) {
     const std::uint32_t level = center_level(w);
+    if (level + 1 >= k()) {
+      // Same dispatch as build_cluster (top-level short-circuits before
+      // its workspace is ever constructed).
+      consumer(w, build_cluster(w));
+      continue;
+    }
     auto guard_fn = [&](VertexId v) { return cluster_guard(level, v); };
     const LocalTree tree = make_local_tree(rd.run(w, rank_[w], guard_fn));
     consumer(w, tree);

@@ -89,7 +89,13 @@ class TZPreprocessing {
   LocalTree build_cluster(VertexId w) const;
 
   /// Streams every cluster in ascending center id: consumer(w, tree).
-  /// Sequential; reuses one Dijkstra workspace across calls.
+  /// Sequential; sub-top-level clusters share one restricted-Dijkstra
+  /// workspace, while each top-level center (whole-graph cluster) runs a
+  /// plain Dijkstra and the canonical tree construction
+  /// (make_canonical_spt). The incremental rebuilder
+  /// (core/incremental_rebuild.hpp) replays this exact sweep order
+  /// through the public pieces, re-running Dijkstra only from
+  /// invalidated roots.
   void for_each_cluster(
       const std::function<void(VertexId, const LocalTree&)>& consumer) const;
 
@@ -99,6 +105,7 @@ class TZPreprocessing {
  private:
   friend class SchemeSerializer;
   friend class TZScheme;  // default-constructs pre_ during deserialization
+  friend class IncrementalRebuilder;  // moves a fresh pre_ into the scheme
   TZPreprocessing() = default;
 
   const Graph* g_ = nullptr;

@@ -29,11 +29,6 @@ std::uint32_t fill_eytzinger(std::vector<std::uint32_t>& perm,
   return next;
 }
 
-/// Bits of the Elias gamma code of \p value (>= 1).
-inline std::uint64_t gamma_bits(std::uint64_t value) noexcept {
-  return 2 * floor_log2(value) + 1;
-}
-
 /// Runs fn(v, perm_scratch) for every vertex, sharded over \p pool when it
 /// has more than one worker. Callers write only to slots derived from v
 /// (all offsets are prefix-summed up front), so the result is

@@ -14,6 +14,26 @@ void normalize(std::vector<VertexId>& a) {
   a.erase(std::unique(a.begin(), a.end()), a.end());
 }
 
+/// Keyed Bernoulli draw: keep \p w with probability \p p, where the coin
+/// is a stateless mix of (base seed, round, candidate) instead of a draw
+/// from a shared stream. Sampling stays deterministic in (graph, rng
+/// state, options) and each candidate's coins stay i.i.d. across rounds
+/// — but, crucially, one candidate's coin no longer depends on how many
+/// draws happened before it. Under topology churn a perturbed graph can
+/// flip a single cluster measurement; with streamed draws that shifted
+/// every later coin and resampled the whole hierarchy, which destroyed
+/// the SPT reuse incremental rebuilds (core/incremental_rebuild.hpp)
+/// depend on. Keyed coins keep the resample *local* to the candidates
+/// whose measurements actually changed.
+bool keyed_bernoulli(std::uint64_t base, std::uint64_t round, VertexId w,
+                     double p) noexcept {
+  const std::uint64_t u =
+      mix64(base ^ (round * 0x9e3779b97f4a7c15ULL) ^ (std::uint64_t{w} << 20));
+  // Match Rng::next_double's 53-bit mantissa construction.
+  const double x = static_cast<double>(u >> 11) * 0x1.0p-53;
+  return x < p;
+}
+
 }  // namespace
 
 std::vector<VertexId> center_sample_level(
@@ -23,6 +43,12 @@ std::vector<VertexId> center_sample_level(
     std::uint32_t max_rounds) {
   CROUTE_REQUIRE(!candidates.empty(), "candidate set must be non-empty");
   CROUTE_REQUIRE(cluster_cap >= 1, "cluster cap must be at least 1");
+  // One stream draw seeds every keyed coin of this level (see
+  // keyed_bernoulli for why coins are keyed, not streamed). Drawn before
+  // the trivial-level early return so the stream advances identically no
+  // matter how the candidate count compares to the target — the level
+  // draw count must not depend on the graph.
+  const std::uint64_t coin_base = rng();
   if (target_size >= static_cast<double>(candidates.size())) {
     return candidates;
   }
@@ -39,19 +65,23 @@ std::vector<VertexId> center_sample_level(
     const double p =
         std::min(1.0, target_size / static_cast<double>(overweight.size()));
     for (const VertexId w : overweight) {
-      if (!in_a[w] && rng.next_bernoulli(p)) {
+      if (!in_a[w] && keyed_bernoulli(coin_base, round, w, p)) {
         in_a[w] = 1;
         a.push_back(w);
       }
     }
     if (a.empty()) continue;  // unlucky round: resample
 
-    // Guards d(A, ·) for the current A, then re-measure every candidate
-    // cluster, aborting a run as soon as it exceeds the cap.
+    // Guards d(A, ·) for the current A, then re-measure the clusters
+    // that were still over the cap last round, aborting a run as soon as
+    // it exceeds the cap. Only they need re-measuring: growing A only
+    // tightens guards lexicographically, so clusters shrink monotonically
+    // and a candidate once under the cap stays under it — rounds after
+    // the first measure a small and shrinking set.
     const MultiSourceResult guards = multi_source_dijkstra(g, a, rank);
     auto guard_fn = [&](VertexId v) { return guards.guard(v, rank); };
     std::vector<VertexId> still_over;
-    for (const VertexId w : candidates) {
+    for (const VertexId w : overweight) {
       if (in_a[w]) continue;
       const auto members = rd.run(w, rank[w], guard_fn, cap + 1);
       if (members.size() > cap) still_over.push_back(w);
@@ -103,8 +133,9 @@ LandmarkHierarchy build_hierarchy(const Graph& g, std::uint32_t k,
                                         options.max_rounds);
     } else {
       const double p = std::pow(nd, -1.0 / static_cast<double>(k));
+      const std::uint64_t coin_base = rng();
       for (const VertexId w : prev) {
-        if (rng.next_bernoulli(p)) h.levels[i].push_back(w);
+        if (keyed_bernoulli(coin_base, 0, w, p)) h.levels[i].push_back(w);
       }
     }
   }

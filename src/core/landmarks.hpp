@@ -20,6 +20,20 @@
 ///
 /// All cluster membership tests use the shared lexicographic order of
 /// dijkstra.hpp, keyed by one fixed random rank permutation.
+///
+/// Sampling coins are **keyed, not streamed**: each candidate's
+/// Bernoulli draw is a stateless mix of (one seed draw per level, round,
+/// candidate id). Distributionally identical to streamed draws and just
+/// as deterministic — but under topology churn a single flipped cluster
+/// measurement no longer shifts every later coin, so a perturbed graph
+/// resamples only the candidates whose measurements actually changed.
+/// That stability is what gives delta-aware rebuilds
+/// (core/incremental_rebuild.hpp) a near-identical hierarchy — and with
+/// it reusable pivots and cluster trees — after a localized delta.
+/// Centered resampling also re-measures only the clusters still over
+/// the cap: growing A tightens guards lexicographically, so cluster
+/// sizes shrink monotonically and a candidate once under the cap stays
+/// under it.
 
 #pragma once
 

@@ -2,17 +2,9 @@
 
 #include <unordered_map>
 
+#include "core/tz_build.hpp"
+
 namespace croute {
-
-namespace {
-
-/// Scatter buffers for one vertex's table under construction.
-struct PendingTable {
-  std::vector<TableEntry> entries;
-  std::vector<Port> light_pool;
-};
-
-}  // namespace
 
 TZScheme::TZScheme(const Graph& g, const TZSchemeOptions& options, Rng& rng)
     : g_(&g),
@@ -22,78 +14,24 @@ TZScheme::TZScheme(const Graph& g, const TZSchemeOptions& options, Rng& rng)
       codec_(g.num_vertices(), g.max_degree(),
              options.labels_carry_distances) {
   const VertexId n = g.num_vertices();
-  const std::uint32_t k = pre_.k();
   const std::uint32_t id_bits = bits_for_universe(n);
 
-  // ---- label skeletons: per destination, the distinct effective pivots.
-  // needed[w] lists (destination, entry index) pairs whose tree label must
-  // be extracted from T_w during the cluster sweep.
-  labels_.resize(n);
-  std::vector<std::vector<std::pair<VertexId, std::uint32_t>>> needed(n);
-  for (VertexId t = 0; t < n; ++t) {
-    RoutingLabel& label = labels_[t];
-    label.t = t;
-    VertexId last_pivot = kNoVertex;
-    for (std::uint32_t i = 0; i < k; ++i) {
-      const std::uint32_t j = pre_.effective_level(i, t);
-      const VertexId w = pre_.pivot(j, t);
-      CROUTE_ASSERT(w != kNoVertex, "missing pivot on a connected graph");
-      if (w == last_pivot) continue;  // same run
-      last_pivot = w;
-      LabelEntry e;
-      e.level = i;
-      e.w = w;
-      e.dist = pre_.pivot_dist(i, t);  // == pivot_dist(j, t) along the run
-      label.entries.push_back(std::move(e));
-      needed[w].emplace_back(
-          t, static_cast<std::uint32_t>(label.entries.size() - 1));
-    }
-  }
+  // ---- label skeletons: per destination, the distinct effective pivots;
+  // needed[w] lists the tree labels the cluster sweep must extract.
+  // Shared with the delta-aware rebuilder (core/tz_build.hpp), which
+  // must reproduce this construction byte-for-byte.
+  const tz_build::NeededLabels needed =
+      tz_build::label_skeletons(pre_, labels_);
 
   // ---- cluster sweep: build T_w, scatter records, extract labels, and
   //      record w's cluster directory (rule-0 routing state).
-  std::vector<PendingTable> pending(n);
+  std::vector<tz_build::PendingTable> pending(n);
   dirs_.resize(n);
   std::unordered_map<VertexId, std::uint32_t> local_index;
   pre_.for_each_cluster([&](VertexId w, const LocalTree& tree) {
-    const TreeRoutingScheme trs(tree);
-    const std::uint32_t level = pre_.center_level(w);
-    // Rule-0 directories exist only for level-0 centers. For a landmark
-    // source s ∈ A_1 the rule-0 certificate d(t, A_1) ≤ d(s, t) holds
-    // trivially (s itself is in A_1), so its directory may be empty —
-    // and must be, or top-level centers (C(w) = V) would store Θ(n log n)
-    // bits and break the paper's Õ(n^{1/k}) per-vertex table bound.
-    if (level == 0) {
-      dirs_[w] = ClusterDirectory(tree, trs, tree_codec_, id_bits);
-    }
-    for (std::uint32_t i = 0; i < tree.size(); ++i) {
-      const VertexId v = tree.global[i];
-      PendingTable& pt = pending[v];
-      TableEntry e;
-      e.w = w;
-      e.level = level;
-      e.dist = tree.dist[i];
-      e.record = trs.record(i);
-      const TreeLabel& own = trs.label(i);
-      e.light_off = static_cast<std::uint32_t>(pt.light_pool.size());
-      e.light_len = static_cast<std::uint32_t>(own.light_ports.size());
-      pt.light_pool.insert(pt.light_pool.end(), own.light_ports.begin(),
-                           own.light_ports.end());
-      pt.entries.push_back(std::move(e));
-    }
-    if (!needed[w].empty()) {
-      local_index.clear();
-      for (std::uint32_t i = 0; i < tree.size(); ++i) {
-        local_index.emplace(tree.global[i], i);
-      }
-      for (const auto& [t, entry_idx] : needed[w]) {
-        const auto it = local_index.find(t);
-        CROUTE_ASSERT(it != local_index.end(),
-                      "label references a tree that misses its destination "
-                      "(effective-pivot invariant violated)");
-        labels_[t].entries[entry_idx].tree = trs.label(it->second);
-      }
-    }
+    tz_build::consume_cluster(w, pre_.center_level(w), tree, tree_codec_,
+                              id_bits, pending, dirs_, labels_, needed,
+                              local_index);
   });
 
   // ---- finalize tables.

@@ -91,6 +91,7 @@ class TZScheme {
 
  private:
   friend class SchemeSerializer;
+  friend class IncrementalRebuilder;  // delta-aware rebuilds fill members
   TZScheme() = default;
 
   const Graph* g_ = nullptr;

@@ -16,15 +16,14 @@ VertexTable::VertexTable(std::vector<TableEntry> entries,
                    "duplicate tree root in a vertex table");
   }
   // Exact serialized size: key + level + record + own tree label.
-  BitWriter w;
-  const std::uint32_t id_bits = vertex_id_bits;
+  // Accounted arithmetically (record_bits/label_bits mirror the
+  // encoders bit-for-bit) — finalization is on the rebuild path and
+  // actually writing the bits was a measurable slice of it.
   for (const TableEntry& e : entries_) {
-    w.write_bits(e.w, id_bits);
-    w.write_gamma(std::uint64_t{e.level} + 1);
-    TreeRoutingScheme::encode_record(e.record, codec, w);
-    TreeRoutingScheme::encode_label(own_label(e), codec, w);
+    bit_size_ += vertex_id_bits + gamma_bits(std::uint64_t{e.level} + 1) +
+                 TreeRoutingScheme::record_bits(e.record, codec) +
+                 TreeRoutingScheme::label_bits(e.light_len, codec);
   }
-  bit_size_ = w.bit_size();
 }
 
 const TableEntry* VertexTable::find(VertexId w) const noexcept {
@@ -65,7 +64,6 @@ ClusterDirectory::ClusterDirectory(const LocalTree& tree,
   ts_.resize(n);
   dfs_.resize(n);
   light_off_.resize(std::size_t{n} + 1, 0);
-  BitWriter w;
   for (std::uint32_t i = 0; i < n; ++i) {
     const std::uint32_t local = order[i];
     const TreeLabel& l = trs.label(local);
@@ -73,11 +71,10 @@ ClusterDirectory::ClusterDirectory(const LocalTree& tree,
     dfs_[i] = l.dfs_in;
     light_off_[i] = static_cast<std::uint32_t>(pool_.size());
     pool_.insert(pool_.end(), l.light_ports.begin(), l.light_ports.end());
-    w.write_bits(ts_[i], vertex_id_bits);
-    TreeRoutingScheme::encode_label(l, codec, w);
+    bit_size_ += vertex_id_bits +
+                 TreeRoutingScheme::label_bits(l.light_ports.size(), codec);
   }
   light_off_[n] = static_cast<std::uint32_t>(pool_.size());
-  bit_size_ = w.bit_size();
 }
 
 std::uint32_t ClusterDirectory::find_index(VertexId t) const noexcept {

@@ -99,6 +99,7 @@ class VertexTable {
 
  private:
   friend class SchemeSerializer;
+  friend class IncrementalRebuilder;  // wholesale table reuse (zero delta)
 
   std::vector<TableEntry> entries_;  ///< sorted by w
   std::vector<Port> light_pool_;
@@ -167,6 +168,7 @@ class ClusterDirectory {
 
  private:
   friend class SchemeSerializer;
+  friend class IncrementalRebuilder;  // directory splice + re-accounting
 
   std::vector<VertexId> ts_;            ///< sorted member ids
   std::vector<std::uint32_t> dfs_;      ///< label dfs index per member

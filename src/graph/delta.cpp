@@ -129,6 +129,54 @@ Graph perturb_graph(const Graph& g, Rng& rng, const DeltaOptions& options) {
   return builder.build();
 }
 
+GraphDelta diff_graphs(const Graph& before, const Graph& after) {
+  CROUTE_REQUIRE(before.num_vertices() == after.num_vertices(),
+                 "diff_graphs requires a fixed vertex set (link churn)");
+  GraphDelta delta;
+  delta.n = before.num_vertices();
+  std::vector<bool> touched(delta.n, false);
+  auto touch_pair = [&](VertexId u, VertexId v) {
+    touched[u] = true;
+    touched[v] = true;
+  };
+  // Arc lists are sorted by head, so one linear merge per vertex (kept
+  // to u < head arcs — each undirected edge classified exactly once).
+  for (VertexId u = 0; u < delta.n; ++u) {
+    const auto a = before.arcs(u);
+    const auto b = after.arcs(u);
+    std::size_t i = 0, j = 0;
+    while (i < a.size() || j < b.size()) {
+      const VertexId ah = i < a.size() ? a[i].head : kNoVertex;
+      const VertexId bh = j < b.size() ? b[j].head : kNoVertex;
+      if (ah < bh) {
+        if (u < ah) {
+          delta.removed.emplace_back(u, ah);
+          touch_pair(u, ah);
+        }
+        ++i;
+      } else if (bh < ah) {
+        if (u < bh) {
+          delta.added.emplace_back(u, bh);
+          touch_pair(u, bh);
+        }
+        ++j;
+      } else {
+        if (u < ah && a[i].weight != b[j].weight) {
+          delta.reweighted.push_back(
+              EdgeReweight{u, ah, a[i].weight, b[j].weight});
+          touch_pair(u, ah);
+        }
+        ++i;
+        ++j;
+      }
+    }
+  }
+  for (VertexId v = 0; v < delta.n; ++v) {
+    if (touched[v]) delta.touched.push_back(v);
+  }
+  return delta;
+}
+
 std::vector<Graph> churn_schedule(const Graph& g, std::uint32_t steps,
                                   Rng& rng, const DeltaOptions& options) {
   std::vector<Graph> schedule;

@@ -50,6 +50,45 @@ struct DeltaOptions {
 Graph perturb_graph(const Graph& g, Rng& rng,
                     const DeltaOptions& options = {});
 
+/// One reweighted undirected edge {u, v} (u < v).
+struct EdgeReweight {
+  VertexId u = kNoVertex;
+  VertexId v = kNoVertex;
+  Weight old_weight = 0;
+  Weight new_weight = 0;
+};
+
+/// The exact difference between two graphs over the SAME vertex set —
+/// what a delta-aware rebuild consumes. All edge lists are canonical
+/// (u < v, ascending); \p touched is the sorted, deduplicated set of
+/// endpoints of any changed edge. A vertex outside \p touched keeps the
+/// same heads, weights and OWN-port numbering in both graphs (arcs are
+/// sorted by head, so a vertex's port numbering is a pure function of
+/// its incident edge set) — but NOT necessarily the same
+/// Arc::reverse_port values: the reverse port of an arc into a touched
+/// neighbor shifts when that neighbor gains or loses a lower-head edge.
+/// Reuse logic may therefore trust reverse ports only on arcs whose
+/// BOTH endpoints are untouched.
+struct GraphDelta {
+  VertexId n = 0;
+  std::vector<std::pair<VertexId, VertexId>> added;
+  std::vector<std::pair<VertexId, VertexId>> removed;
+  std::vector<EdgeReweight> reweighted;
+  std::vector<VertexId> touched;
+
+  bool empty() const noexcept {
+    return added.empty() && removed.empty() && reweighted.empty();
+  }
+  std::size_t changed_edges() const noexcept {
+    return added.size() + removed.size() + reweighted.size();
+  }
+};
+
+/// Computes the exact delta \p before → \p after in O(n + m). Requires
+/// both graphs to have the same vertex count (croute churn is link
+/// churn; the vertex space is fixed).
+GraphDelta diff_graphs(const Graph& before, const Graph& after);
+
 /// \p steps successive perturbations: result[0] = perturb(g),
 /// result[i] = perturb(result[i-1]). Each is connected over the same
 /// vertex set — the graph sequence a hot-swap soak test walks through.

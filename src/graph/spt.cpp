@@ -59,6 +59,52 @@ LocalTree make_local_tree(const ShortestPathTree& spt) {
   return make_local_tree(members);
 }
 
+LocalTree make_canonical_spt(const Graph& g, VertexId root,
+                             const std::vector<Weight>& dist) {
+  const VertexId n = g.num_vertices();
+  CROUTE_REQUIRE(dist.size() == n, "distance field size mismatch");
+  CROUTE_REQUIRE(root < n && dist[root] == 0, "root must have distance 0");
+  LocalTree t;
+  t.global.resize(n);
+  for (VertexId v = 0; v < n; ++v) t.global[v] = v;
+  std::sort(t.global.begin(), t.global.end(), [&](VertexId a, VertexId b) {
+    if (dist[a] != dist[b]) return dist[a] < dist[b];
+    return a < b;
+  });
+  CROUTE_ASSERT(t.global[0] == root,
+                "positive weights make the root the unique 0-distance vertex");
+  std::vector<std::uint32_t> local(n);
+  for (std::uint32_t i = 0; i < n; ++i) local[t.global[i]] = i;
+  t.parent.resize(n);
+  t.parent_port.resize(n);
+  t.down_port.resize(n);
+  t.dist.resize(n);
+  t.parent[0] = kNoLocal;
+  t.parent_port[0] = kNoPort;
+  t.down_port[0] = kNoPort;
+  t.dist[0] = 0;
+  for (std::uint32_t i = 1; i < n; ++i) {
+    const VertexId v = t.global[i];
+    CROUTE_REQUIRE(dist[v] < kInfiniteWeight,
+                   "canonical SPT requires a connected graph");
+    t.dist[i] = dist[v];
+    const auto adj = g.arcs(v);
+    Port chosen = kNoPort;
+    for (Port p = 0; p < adj.size(); ++p) {
+      if (dist[adj[p].head] + adj[p].weight == dist[v]) {
+        chosen = p;
+        break;
+      }
+    }
+    CROUTE_ASSERT(chosen != kNoPort,
+                  "exact distance field admits no predecessor");
+    t.parent_port[i] = chosen;
+    t.down_port[i] = adj[chosen].reverse_port;
+    t.parent[i] = local[adj[chosen].head];
+  }
+  return t;
+}
+
 std::vector<VertexId> extract_path(const ShortestPathTree& spt, VertexId t) {
   CROUTE_REQUIRE(t < spt.dist.size(), "vertex out of range");
   CROUTE_REQUIRE(spt.reached(t), "target unreachable from the SPT source");

@@ -43,6 +43,23 @@ LocalTree make_local_tree(const std::vector<ClusterVertex>& members);
 /// Builds a LocalTree spanning all reached vertices of a full SPT.
 LocalTree make_local_tree(const ShortestPathTree& spt);
 
+/// Builds the *canonical* shortest-path tree of an exact distance field:
+/// members ordered by (dist, id) and every non-root vertex parented
+/// through its smallest port p with dist[neighbor] + weight == dist[v]
+/// (such a port exists by the Bellman fixpoint; exact double equality is
+/// deliberate — distance fields are bitwise execution-independent).
+///
+/// Unlike a Dijkstra-produced tree, the result is a pure function of
+/// (graph, dist): it does not depend on heap tie-breaking or settle
+/// order. Top-level (whole-graph) cluster trees are built through this
+/// so an incremental rebuild may recompute the distance field any exact
+/// way — e.g. re-running Dijkstra only over the delta's orphaned region
+/// seeded with still-valid boundary distances — and still reproduce a
+/// from-scratch build byte-for-byte. Requires every vertex reached
+/// (connected graph) and positive weights.
+LocalTree make_canonical_spt(const Graph& g, VertexId root,
+                             const std::vector<Weight>& dist);
+
 /// Vertices of the path source → t following SPT parents (inclusive).
 /// Requires t reached.
 std::vector<VertexId> extract_path(const ShortestPathTree& spt, VertexId t);

@@ -8,23 +8,33 @@ SchemeManager::~SchemeManager() {
   if (worker_.joinable()) worker_.join();
 }
 
-SchemePackagePtr SchemeManager::rebuild_now(Graph g) {
+SchemePackagePtr SchemeManager::rebuild_now(Graph g, RebuildMode mode) {
   RouteServiceOptions opt = service_->options();
   // A mutated graph has a new fingerprint; rebuilds always preprocess.
   opt.warm_start_path.clear();
-  SchemePackagePtr pkg = build_scheme_package(
-      std::make_shared<const Graph>(std::move(g)), opt);
+  auto graph = std::make_shared<const Graph>(std::move(g));
+  SchemePackagePtr pkg;
+  if (mode == RebuildMode::kIncremental) {
+    // Pin the serving generation as the reuse donor. The pin keeps it
+    // alive for the whole build even if a concurrent publish retires
+    // it; a stale donor only costs reuse, never correctness (the result
+    // is byte-identical either way).
+    pkg = build_scheme_package_incremental(service_->package(),
+                                           std::move(graph), opt);
+  } else {
+    pkg = build_scheme_package(std::move(graph), opt);
+  }
   service_->record_rebuild(*pkg);
   service_->publish(pkg);
   return pkg;
 }
 
-void SchemeManager::rebuild_async(Graph g) {
+void SchemeManager::rebuild_async(Graph g, RebuildMode mode) {
   wait();  // at most one rebuild in flight; surfaces a prior failure
   in_flight_.store(true, std::memory_order_release);
-  worker_ = std::thread([this, g = std::move(g)]() mutable {
+  worker_ = std::thread([this, g = std::move(g), mode]() mutable {
     try {
-      rebuild_now(std::move(g));
+      rebuild_now(std::move(g), mode);
     } catch (...) {
       error_ = std::current_exception();
     }

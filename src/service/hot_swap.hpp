@@ -13,6 +13,14 @@
 /// draining batches against the old generation — and only the final
 /// pointer flip touches the service.
 ///
+/// Rebuilds are **delta-aware by default**: the manager diffs the new
+/// topology against the serving generation and reuses every cluster SPT
+/// the delta provably leaves untouched (core/incremental_rebuild.hpp),
+/// byte-identical to a full preprocessing. RebuildMode::kFull is the
+/// per-call escape hatch; RouteServiceOptions::incremental_rebuild=false
+/// disables the delta-aware path service-wide. Reuse ratios and phase
+/// timings land in ServiceTelemetry next to the flat-compile stats.
+///
 /// Determinism contract: rebuilds reuse the service's construction
 /// options (seed included, warm start dropped), so a hot-swapped
 /// generation is byte-identical to a fresh RouteService built on the same
@@ -40,6 +48,20 @@
 
 namespace croute {
 
+/// Which rebuild path a SchemeManager takes for one rebuild.
+enum class RebuildMode {
+  /// Delta-aware: diff the new topology against the serving generation
+  /// and reuse every cluster SPT the delta leaves untouched
+  /// (core/incremental_rebuild.hpp). Byte-identical to a full rebuild;
+  /// falls back to one automatically when no compatible previous
+  /// generation exists or RouteServiceOptions::incremental_rebuild is
+  /// off. The default.
+  kIncremental,
+  /// Full preprocessing from scratch — the escape hatch (and the
+  /// attribution baseline the churn bench prices reuse against).
+  kFull,
+};
+
 /// Rebuilds scheme generations for one RouteService and publishes them.
 /// One driver thread calls rebuild_now/rebuild_async/wait; the service's
 /// own telemetry() aggregates the rebuild/swap counters this feeds.
@@ -60,14 +82,16 @@ class SchemeManager {
   /// Rebuilds on the CALLING thread over \p g (taken by value — pass an
   /// rvalue to avoid the copy; service options with warm start dropped),
   /// records the rebuild time, publishes the swap, and returns the new
-  /// generation. Blocks for the full preprocessing.
-  SchemePackagePtr rebuild_now(Graph g);
+  /// generation. Blocks for the full preprocessing. The default mode
+  /// pins the serving generation and rebuilds delta-aware against it.
+  SchemePackagePtr rebuild_now(Graph g,
+                               RebuildMode mode = RebuildMode::kIncremental);
 
-  /// Launches rebuild_now(g) on the background thread and returns
+  /// Launches rebuild_now(g, mode) on the background thread and returns
   /// immediately; the swap publishes the moment the build finishes, with
   /// batches flowing meanwhile. Joins any previous rebuild first (at most
   /// one in flight).
-  void rebuild_async(Graph g);
+  void rebuild_async(Graph g, RebuildMode mode = RebuildMode::kIncremental);
 
   /// True while a background rebuild is running (its swap has not been
   /// published yet). Thread-safe.

@@ -136,6 +136,15 @@ void RouteService::record_rebuild(const SchemePackage& pkg) {
   fks_retries_.fetch_add(
       pkg.flat_stats.fks_top_retries + pkg.flat_stats.fks_bucket_retries,
       std::memory_order_relaxed);
+  if (pkg.incr_stats.used) {
+    incremental_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+    clusters_reused_.fetch_add(pkg.incr_stats.clusters_reused,
+                               std::memory_order_relaxed);
+    clusters_total_.fetch_add(pkg.incr_stats.clusters_total,
+                              std::memory_order_relaxed);
+    incremental_preprocess_seconds_.fetch_add(pkg.incr_stats.total_s,
+                                              std::memory_order_relaxed);
+  }
 }
 
 RouteAnswer RouteService::serve_legacy(const SchemePackage& pkg,
@@ -496,6 +505,12 @@ ServiceTelemetry RouteService::telemetry() const {
       flat_compile_seconds_.load(std::memory_order_relaxed);
   t.fks_retries = fks_retries_.load(std::memory_order_relaxed);
   t.flat_pool_bytes = package()->flat_stats.pool_bytes;
+  t.incremental_rebuilds =
+      incremental_rebuilds_.load(std::memory_order_relaxed);
+  t.clusters_reused = clusters_reused_.load(std::memory_order_relaxed);
+  t.clusters_total = clusters_total_.load(std::memory_order_relaxed);
+  t.incremental_preprocess_seconds =
+      incremental_preprocess_seconds_.load(std::memory_order_relaxed);
   return t;
 }
 

@@ -165,6 +165,17 @@ struct ServiceTelemetry {
   std::uint64_t fks_retries = 0;
   /// Pool bytes of the CURRENT generation's flat view.
   std::uint64_t flat_pool_bytes = 0;
+  // --- incremental-rebuild attribution (delta-aware rebuilds only) ---
+  /// Rebuilds that ran the delta-aware path (reused SPT subtrees).
+  std::uint64_t incremental_rebuilds = 0;
+  /// Summed cluster-tree counts over those rebuilds: reused verbatim vs
+  /// total — their ratio is the reuse ratio the churn rows report.
+  std::uint64_t clusters_reused = 0;
+  std::uint64_t clusters_total = 0;
+  /// Summed wall time of the delta-aware TZ preprocessing (the slice of
+  /// rebuild_seconds the incremental path spent; complements
+  /// flat_compile_seconds in the rebuild attribution).
+  double incremental_preprocess_seconds = 0;
 };
 
 /// A concurrent route-query engine over immutable scheme generations.
@@ -321,6 +332,10 @@ class RouteService {
   std::atomic<double> rebuild_seconds_{0};
   std::atomic<double> flat_compile_seconds_{0};
   std::atomic<std::uint64_t> fks_retries_{0};
+  std::atomic<std::uint64_t> incremental_rebuilds_{0};
+  std::atomic<std::uint64_t> clusters_reused_{0};
+  std::atomic<std::uint64_t> clusters_total_{0};
+  std::atomic<double> incremental_preprocess_seconds_{0};
   std::atomic<std::uint64_t> straddled_batches_{0};
   std::atomic<double> max_swap_blackout_us_{0};
   std::atomic<std::uint64_t> batches_{0};

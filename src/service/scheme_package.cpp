@@ -30,6 +30,17 @@ SchemeKind parse_scheme(const std::string& name) {
                               " (want tz|tz-handshake|cowen|full)");
 }
 
+const char* sampling_name(SamplingMode mode) noexcept {
+  return mode == SamplingMode::kCentered ? "centered" : "bernoulli";
+}
+
+SamplingMode parse_sampling(const std::string& name) {
+  if (name == "centered") return SamplingMode::kCentered;
+  if (name == "bernoulli") return SamplingMode::kBernoulli;
+  throw std::invalid_argument("unknown sampling mode: " + name +
+                              " (want centered|bernoulli)");
+}
+
 std::uint64_t SchemePackage::table_bits(VertexId v) const {
   switch (options.scheme) {
     case SchemeKind::kTZDirect:
@@ -44,8 +55,16 @@ std::uint64_t SchemePackage::table_bits(VertexId v) const {
   return 0;
 }
 
-SchemePackagePtr build_scheme_package(std::shared_ptr<const Graph> graph,
-                                      const RouteServiceOptions& options) {
+namespace {
+
+/// Shared body of the two public builders. When \p previous is non-null
+/// the TZ preprocessing runs delta-aware (the caller has already
+/// verified compatibility); everything else — flat compile, baselines,
+/// timings — is identical, as are the produced bytes.
+SchemePackagePtr build_package(std::shared_ptr<const Graph> graph,
+                               const RouteServiceOptions& options,
+                               const SchemePackage* previous,
+                               IncrementalRebuildStats incr_stats) {
   using clock = std::chrono::steady_clock;
   CROUTE_REQUIRE(graph != nullptr, "build_scheme_package needs a graph");
   const Graph& g = *graph;
@@ -74,9 +93,21 @@ SchemePackagePtr build_scheme_package(std::shared_ptr<const Graph> graph,
       if (!options.warm_start_path.empty()) {
         pkg->tz = std::make_unique<const TZScheme>(
             load_scheme_file(options.warm_start_path, g));
+      } else if (previous != nullptr) {
+        TZSchemeOptions opt;
+        opt.pre.k = options.k;
+        opt.pre.hierarchy.mode = options.sampling;
+        Rng rng(options.seed);
+        const auto diff_begin = clock::now();
+        const GraphDelta delta = diff_graphs(*previous->graph, g);
+        incr_stats.diff_s =
+            std::chrono::duration<double>(clock::now() - diff_begin).count();
+        pkg->tz = std::make_unique<const TZScheme>(rebuild_tz_incremental(
+            *previous->tz, g, delta, opt, rng, &incr_stats));
       } else {
         TZSchemeOptions opt;
         opt.pre.k = options.k;
+        opt.pre.hierarchy.mode = options.sampling;
         Rng rng(options.seed);
         pkg->tz = std::make_unique<const TZScheme>(g, opt, rng);
       }
@@ -123,8 +154,54 @@ SchemePackagePtr build_scheme_package(std::shared_ptr<const Graph> graph,
       }
       break;
   }
+  pkg->incr_stats = incr_stats;
   pkg->build_seconds = std::chrono::duration<double>(clock::now() - begin).count();
   return pkg;
+}
+
+}  // namespace
+
+SchemePackagePtr build_scheme_package(std::shared_ptr<const Graph> graph,
+                                      const RouteServiceOptions& options) {
+  return build_package(std::move(graph), options, nullptr, {});
+}
+
+SchemePackagePtr build_scheme_package_incremental(
+    SchemePackagePtr previous, std::shared_ptr<const Graph> graph,
+    const RouteServiceOptions& options) {
+  const bool is_tz = options.scheme == SchemeKind::kTZDirect ||
+                     options.scheme == SchemeKind::kTZHandshake;
+  // Every fallback keeps the build correct (full preprocessing produces
+  // the same bytes); the reason is recorded so telemetry can say why a
+  // rebuild did not reuse.
+  const char* fallback = nullptr;
+  if (!is_tz) {
+    fallback = "non-tz scheme";
+  } else if (!options.incremental_rebuild) {
+    fallback = "disabled by options";
+  } else if (!options.warm_start_path.empty()) {
+    fallback = "warm start requested";
+  } else if (previous == nullptr || previous->tz == nullptr ||
+             previous->graph == nullptr) {
+    fallback = "no previous generation";
+  } else if (!previous->options.warm_start_path.empty()) {
+    // A warm-started generation's preprocessing bytes are not a
+    // function of options.seed, so its trees cannot anchor the
+    // byte-identity contract.
+    fallback = "previous generation was warm-started";
+  } else if (previous->graph->num_vertices() != graph->num_vertices()) {
+    fallback = "vertex set changed";
+  } else if (previous->options.k != options.k ||
+             previous->options.seed != options.seed ||
+             previous->options.sampling != options.sampling) {
+    fallback = "construction options changed";
+  }
+  if (fallback != nullptr) {
+    IncrementalRebuildStats stats;
+    stats.fallback_reason = fallback;
+    return build_package(std::move(graph), options, nullptr, stats);
+  }
+  return build_package(std::move(graph), options, previous.get(), {});
 }
 
 }  // namespace croute

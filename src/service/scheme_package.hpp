@@ -29,6 +29,7 @@
 #include "baseline/cowen.hpp"
 #include "baseline/full_table.hpp"
 #include "core/flat_scheme.hpp"
+#include "core/incremental_rebuild.hpp"
 #include "core/tz_scheme.hpp"
 #include "graph/graph.hpp"
 #include "sim/simulator.hpp"
@@ -49,6 +50,11 @@ const char* scheme_name(SchemeKind kind) noexcept;
 /// Parses "tz" / "tz-handshake" / "cowen" / "full" (throws on others).
 SchemeKind parse_scheme(const std::string& name);
 
+const char* sampling_name(SamplingMode mode) noexcept;
+
+/// Parses "centered" / "bernoulli" (throws on others).
+SamplingMode parse_sampling(const std::string& name);
+
 /// Construction-time options for RouteService (and for every package a
 /// rebuild produces; only warm_start_path is dropped on rebuilds).
 struct RouteServiceOptions {
@@ -57,6 +63,13 @@ struct RouteServiceOptions {
   unsigned threads = 0;
   /// TZ hierarchy depth (TZ schemes only).
   std::uint32_t k = 3;
+  /// Landmark sampler (TZ schemes only). Centered (the default) is the
+  /// paper's worst-case-table refinement; Bernoulli trades that bound
+  /// for a hierarchy that is a pure function of (seed, n) — under
+  /// topology churn the landmark set then never flips, which roughly
+  /// doubles the SPT reuse the delta-aware rebuild achieves (the
+  /// centered sampler loses a few cap-marginal landmarks per delta).
+  SamplingMode sampling = SamplingMode::kCentered;
   /// Preprocessing seed (landmark sampling; ignored on warm start).
   /// Rebuilds reuse it, so a hot-swapped service and a fresh service on
   /// the same graph preprocess byte-identically.
@@ -83,6 +96,13 @@ struct RouteServiceOptions {
   /// Worker threads for the flat compile passes (0 = worker_count(),
   /// 1 = serial). The compiled bytes are identical at every count.
   unsigned compile_threads = 0;
+  /// Rebuild path on topology churn (TZ schemes): true lets
+  /// SchemeManager rebuild delta-aware, reusing every cluster SPT the
+  /// delta provably leaves untouched (core/incremental_rebuild.hpp —
+  /// byte-identical to a from-scratch build on the same seed). false
+  /// forces full preprocessing on every rebuild; RebuildMode::kFull is
+  /// the per-call escape hatch.
+  bool incremental_rebuild = true;
   /// Optional scheme_io file to warm-start from instead of preprocessing
   /// (TZ schemes only; the file must match the graph's fingerprint).
   /// Applies to the initial package only — a rebuilt graph has a new
@@ -120,6 +140,10 @@ struct SchemePackage {
   /// Where the flat compile's time/space went (zeros off the flat TZ
   /// path) — surfaced per swap by the rebuild telemetry.
   FlatCompileStats flat_stats;
+  /// What the delta-aware rebuild reused (used=false for initial builds
+  /// and full rebuilds) — the reuse-ratio/phase-timing half of the
+  /// rebuild telemetry.
+  IncrementalRebuildStats incr_stats;
 
   /// Bits of routing state the scheme stores at vertex v (space story).
   std::uint64_t table_bits(VertexId v) const;
@@ -133,5 +157,18 @@ using SchemePackagePtr = std::shared_ptr<const SchemePackage>;
 /// Safe to call from a background thread — it touches nothing shared.
 SchemePackagePtr build_scheme_package(std::shared_ptr<const Graph> graph,
                                       const RouteServiceOptions& options);
+
+/// Like build_scheme_package, but delta-aware: diffs \p graph against
+/// \p previous's topology and reuses every cluster SPT the delta leaves
+/// untouched (core/incremental_rebuild.hpp). The package is
+/// byte-identical to build_scheme_package(graph, options) — incremental
+/// rebuilds change the cost of a generation, never its content. Falls
+/// back to a full build (recording why in incr_stats.fallback_reason)
+/// when the scheme kind is not TZ, the options disable or preclude the
+/// incremental path, or \p previous is missing/incompatible.
+/// Safe to call from a background thread.
+SchemePackagePtr build_scheme_package_incremental(
+    SchemePackagePtr previous, std::shared_ptr<const Graph> graph,
+    const RouteServiceOptions& options);
 
 }  // namespace croute

@@ -322,9 +322,11 @@ ChurnReport run_closed_loop_churn(RouteService& service, SchemeManager& manager,
   // rebuilds overlap the middle of the stream, not its edges. A trigger
   // that finds the previous rebuild still in flight slides to the next
   // batch boundary (rebuild_async would otherwise block the loop).
+  const RebuildMode mode =
+      churn.full_rebuild ? RebuildMode::kFull : RebuildMode::kIncremental;
   auto fire_next = [&]() {
     current = perturb_graph(current, rng, churn.delta);
-    manager.rebuild_async(current);
+    manager.rebuild_async(current, mode);
     ++fired;
   };
   ChurnReport report;
@@ -370,6 +372,13 @@ ChurnReport run_closed_loop_churn(RouteService& service, SchemeManager& manager,
   report.rebuild_seconds = after.rebuild_seconds - before.rebuild_seconds;
   report.flat_compile_seconds =
       after.flat_compile_seconds - before.flat_compile_seconds;
+  report.incremental_rebuilds =
+      after.incremental_rebuilds - before.incremental_rebuilds;
+  report.clusters_reused = after.clusters_reused - before.clusters_reused;
+  report.clusters_total = after.clusters_total - before.clusters_total;
+  report.incremental_preprocess_seconds =
+      after.incremental_preprocess_seconds -
+      before.incremental_preprocess_seconds;
   report.final_graph = std::move(current);
   return report;
 }

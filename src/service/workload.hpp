@@ -132,6 +132,10 @@ struct ChurnOptions {
   DeltaOptions delta;
   /// Seed of the delta sampling (independent of the traffic).
   std::uint64_t seed = 1;
+  /// Force full preprocessing for every rebuild (RebuildMode::kFull) —
+  /// the attribution baseline; the default is the delta-aware
+  /// incremental path (byte-identical results either way).
+  bool full_rebuild = false;
 };
 
 /// What one churn run observed, beyond the plain closed-loop report.
@@ -150,6 +154,20 @@ struct ChurnReport {
   /// rebuilds only) — attributes rebuild cost between preprocessing and
   /// flat compilation.
   double flat_compile_seconds = 0;
+  // --- incremental-rebuild attribution (this run's rebuilds only) ---
+  std::uint64_t incremental_rebuilds = 0;  ///< rebuilds on the delta-aware path
+  std::uint64_t clusters_reused = 0;       ///< cluster SPTs spliced verbatim
+  std::uint64_t clusters_total = 0;
+  /// Slice of rebuild_seconds the delta-aware TZ preprocessing took.
+  double incremental_preprocess_seconds = 0;
+  /// Fraction of cluster SPTs reused verbatim across this run's
+  /// rebuilds (0 when every rebuild ran the full path).
+  double reuse_ratio() const noexcept {
+    return clusters_total == 0
+               ? 0.0
+               : static_cast<double>(clusters_reused) /
+                     static_cast<double>(clusters_total);
+  }
   Graph final_graph;  ///< the topology of the last published generation
 };
 

@@ -90,11 +90,15 @@ TreeLabel TreeRoutingScheme::decode_label(const Codec& c, BitReader& r) {
   return l;
 }
 
+std::uint64_t TreeRoutingScheme::label_bits(std::uint64_t light_port_count,
+                                            const Codec& c) {
+  return c.dfs_bits + gamma_bits(light_port_count + 1) +
+         light_port_count * c.port_bits;
+}
+
 std::uint64_t TreeRoutingScheme::label_bits(const TreeLabel& l,
                                             const Codec& c) {
-  BitWriter w;
-  encode_label(l, c, w);
-  return w.bit_size();
+  return label_bits(l.light_ports.size(), c);
 }
 
 void TreeRoutingScheme::encode_record(const TreeNodeRecord& rec,
@@ -126,9 +130,14 @@ TreeNodeRecord TreeRoutingScheme::decode_record(const Codec& c, BitReader& r) {
 
 std::uint64_t TreeRoutingScheme::record_bits(const TreeNodeRecord& rec,
                                              const Codec& c) {
-  BitWriter w;
-  encode_record(rec, c, w);
-  return w.bit_size();
+  return 4 * std::uint64_t{c.dfs_bits} +
+         gamma_bits(rec.heavy_port == kNoPort
+                        ? 1
+                        : std::uint64_t{rec.heavy_port} + 2) +
+         gamma_bits(rec.parent_port == kNoPort
+                        ? 1
+                        : std::uint64_t{rec.parent_port} + 2) +
+         gamma_bits(std::uint64_t{rec.light_depth} + 1);
 }
 
 }  // namespace croute

@@ -95,6 +95,10 @@ class TreeRoutingScheme {
   static void encode_label(const TreeLabel& l, const Codec& c, BitWriter& w);
   static TreeLabel decode_label(const Codec& c, BitReader& r);
   static std::uint64_t label_bits(const TreeLabel& l, const Codec& c);
+  /// Same accounting from the light-port count alone (no materialized
+  /// label) — the tables' finalize pass sizes pooled labels with this.
+  static std::uint64_t label_bits(std::uint64_t light_port_count,
+                                  const Codec& c);
 
   static void encode_record(const TreeNodeRecord& rec, const Codec& c,
                             BitWriter& w);

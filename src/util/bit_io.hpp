@@ -32,6 +32,13 @@ constexpr std::uint32_t floor_log2(std::uint64_t x) noexcept {
   return r;
 }
 
+/// Length in bits of BitWriter::write_gamma(v): a unary length prefix of
+/// len+1 bits plus len payload bits. The single source of truth for
+/// arithmetic bit accounting — must mirror write_gamma exactly.
+constexpr std::uint64_t gamma_bits(std::uint64_t v) noexcept {
+  return 2 * std::uint64_t{floor_log2(v)} + 1;
+}
+
 /// Append-only bit stream writer (LSB-first within each 64-bit word).
 class BitWriter {
  public:

@@ -182,7 +182,9 @@ TEST(CenterVsBernoulli, CenteredCapsWorstCaseOnSkewedGraph) {
   const auto sizes = exact_cluster_sizes(g, all, a, rank);
   const std::set<VertexId> in_a(a.begin(), a.end());
   for (VertexId v = 0; v < 600; ++v) {
-    if (!in_a.contains(v)) ASSERT_LE(sizes[v], static_cast<std::uint32_t>(cap));
+    if (!in_a.contains(v)) {
+      ASSERT_LE(sizes[v], static_cast<std::uint32_t>(cap));
+    }
   }
 }
 

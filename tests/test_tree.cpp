@@ -36,7 +36,7 @@ TEST(Tree, SingleNode) {
 
 TEST(Tree, SmallExplicitTree) {
   //      0
-  //     / \
+  //     / .
   //    1   2
   //   /|
   //  3 4
@@ -62,7 +62,9 @@ TEST(Tree, PreorderVisitsParentsFirst) {
   std::vector<std::uint32_t> position(t.size());
   for (std::uint32_t i = 0; i < pre.size(); ++i) position[pre[i]] = i;
   for (std::uint32_t v = 0; v < t.size(); ++v) {
-    if (!t.is_root(v)) ASSERT_LT(position[t.parent(v)], position[v]);
+    if (!t.is_root(v)) {
+      ASSERT_LT(position[t.parent(v)], position[v]);
+    }
   }
 }
 
@@ -174,7 +176,9 @@ TEST(HeavyPath, HeavyChildVisitedFirst) {
     // Visit order is by non-increasing subtree size.
     for (std::size_t i = 1; i < order.size(); ++i) {
       ASSERT_GE(t.subtree_size(order[i - 1]), t.subtree_size(order[i]));
-      if (i >= 1) ASSERT_TRUE(h.is_light(order[i]));
+      if (i >= 1) {
+        ASSERT_TRUE(h.is_light(order[i]));
+      }
     }
   }
 }

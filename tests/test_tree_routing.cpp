@@ -212,7 +212,9 @@ TEST(TreeDecision, DeliversOnlyAtDestination) {
       const TreeDecision d =
           TreeRoutingScheme::decide(trs.record(v), trs.label(t));
       ASSERT_EQ(d.deliver, v == t);
-      if (!d.deliver) ASSERT_NE(d.port, kNoPort);
+      if (!d.deliver) {
+        ASSERT_NE(d.port, kNoPort);
+      }
     }
   }
 }

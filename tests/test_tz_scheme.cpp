@@ -128,7 +128,9 @@ TEST(TZLabels, StructureAscendingLevelsStartingAtZero) {
     ASSERT_LE(l.entries.size(), 4u);
     std::set<VertexId> pivots;
     for (std::size_t i = 0; i < l.entries.size(); ++i) {
-      if (i > 0) ASSERT_GT(l.entries[i].level, l.entries[i - 1].level);
+      if (i > 0) {
+        ASSERT_GT(l.entries[i].level, l.entries[i - 1].level);
+      }
       // Pivot dedupe: consecutive entries never repeat a pivot.
       ASSERT_FALSE(pivots.contains(l.entries[i].w));
       pivots.insert(l.entries[i].w);
