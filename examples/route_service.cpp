@@ -29,12 +29,20 @@
 /// --sampling=centered|bernoulli (TZ landmark sampler; bernoulli's
 /// graph-independent hierarchy roughly doubles churn SPT reuse at the
 /// price of expected- instead of worst-case table bounds)
+/// --metrics-out=FILE (write the service's metric registry as Prometheus
+/// text format on exit; under --churn the file is also rewritten every
+/// --metrics-every batches, so a scraper watching it sees the run live)
+/// --trace-out=FILE (write the rebuild/swap trace as Chrome trace-event
+/// JSON on exit — load into chrome://tracing or ui.perfetto.dev)
+/// [--no-metrics] (disable the observability layer entirely — overhead
+/// A/B runs)
 
 #include <cstdio>
 #include <string>
 
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "obs/export.hpp"
 #include "service/hot_swap.hpp"
 #include "service/route_service.hpp"
 #include "service/workload.hpp"
@@ -88,6 +96,11 @@ int main(int argc, char** argv) {
         lookup == "fks" ? FlatLookup::kFKS : FlatLookup::kEytzinger;
     opt.batch_group = static_cast<std::uint32_t>(
         flags.get_int("batch-group", opt.batch_group));
+    opt.metrics = !flags.get_bool("no-metrics", false);
+    const std::string metrics_out = flags.get_string("metrics-out", "");
+    const std::string trace_out = flags.get_string("trace-out", "");
+    const auto metrics_every =
+        static_cast<std::uint64_t>(flags.get_int("metrics-every", 50));
 
     std::printf("graph: n=%u m=%llu\n", g.num_vertices(),
                 static_cast<unsigned long long>(g.num_edges()));
@@ -124,6 +137,20 @@ int main(int argc, char** argv) {
 
     const auto churn_cycles =
         static_cast<std::uint32_t>(flags.get_int("churn", 0));
+    // Periodic metrics dump under churn: rewrite the Prometheus file
+    // every --metrics-every batches so a scraper (or a watching human)
+    // sees the run live, not just its final state.
+    if (!metrics_out.empty() && churn_cycles > 0 &&
+        service.metrics_registry() != nullptr && metrics_every > 0) {
+      dopt.on_batch = [&service, &metrics_out,
+                       metrics_every](std::uint64_t batches_done) {
+        if (batches_done % metrics_every != 0) return;
+        obs::write_text_file(
+            metrics_out,
+            obs::to_prometheus(
+                obs::snapshot_metrics(*service.metrics_registry())));
+      };
+    }
     DriverReport r;
     if (churn_cycles > 0) {
       SchemeManager manager(service);
@@ -162,8 +189,10 @@ int main(int argc, char** argv) {
                 r.qps, r.wall_seconds,
                 static_cast<unsigned long long>(r.delivered),
                 static_cast<unsigned long long>(r.queries));
-    std::printf("latency: p50 %.2fus  p95 %.2fus  p99 %.2fus\n",
-                r.latency_p50_us, r.latency_p95_us, r.latency_p99_us);
+    std::printf("latency: p50 %.2fus  p95 %.2fus  p99 %.2fus  "
+                "(queue wait p99 %.2fus)\n",
+                r.latency_p50_us, r.latency_p95_us, r.latency_p99_us,
+                r.queue_wait_p99_us);
     if (r.stretch.count > 0) {
       std::printf("stretch: mean %.4f  p99 %.4f  max %.4f (%llu measured)\n",
                   r.stretch.mean, r.stretch.p99, r.stretch.max,
@@ -178,6 +207,23 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(tel.queries),
                 static_cast<unsigned long long>(tel.batches),
                 tel.busy_seconds, service.threads());
+
+    // Final exporter dumps (the periodic churn hook may have written an
+    // intermediate metrics file already; this is the complete run).
+    if (!metrics_out.empty() && service.metrics_registry() != nullptr) {
+      obs::write_text_file(
+          metrics_out,
+          obs::to_prometheus(
+              obs::snapshot_metrics(*service.metrics_registry())));
+      std::printf("metrics: wrote %s\n", metrics_out.c_str());
+    }
+    if (!trace_out.empty() && service.trace_recorder() != nullptr) {
+      obs::TraceRecorder& trace = *service.trace_recorder();
+      obs::write_text_file(trace_out, obs::to_chrome_trace(trace.events()));
+      std::printf("trace:   wrote %s (%llu spans%s)\n", trace_out.c_str(),
+                  static_cast<unsigned long long>(trace.total()),
+                  trace.dropped() > 0 ? ", ring wrapped" : "");
+    }
     return r.all_delivered() ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

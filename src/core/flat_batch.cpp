@@ -173,6 +173,22 @@ void FlatBatchEngine::run(const FlatBatchTarget& target,
     for (std::uint32_t j = 0; j < m; ++j) {
       answers[base + j].latency_us = share_us;
     }
+
+    // Sampled occupancy accounting, from the drained generation's
+    // finished answers — the stage loops above never see it.
+    if (stats_sample_every_ != 0 && ++gen_seq_ % stats_sample_every_ == 0) {
+      std::uint32_t longest = 0;
+      std::uint64_t useful = 0;
+      for (std::uint32_t j = 0; j < m; ++j) {
+        const std::uint32_t h = answers[base + j].hops;
+        useful += h;
+        if (h > longest) longest = h;
+      }
+      ++stats_.generations;
+      stats_.lanes += m;
+      stats_.lane_hops += useful;
+      stats_.slots += static_cast<std::uint64_t>(longest) * m;
+    }
   }
 }
 

@@ -111,6 +111,31 @@ struct FlatBatchAnswer {
   Port first_port = kNoPort;
 };
 
+/// Sampled pipeline-occupancy counters (see set_stats_sample_every).
+/// Plain members of a per-worker engine: the owning thread writes them,
+/// anyone else reads only across a synchronization edge (RouteService's
+/// driver reads after the pool join).
+struct FlatBatchStats {
+  std::uint64_t generations = 0;  ///< sampled generations
+  std::uint64_t lanes = 0;        ///< lanes those generations carried
+  /// Useful per-hop pipeline slots: Σ over sampled lanes of their hop
+  /// count (each hop occupies one slot of every stage loop).
+  std::uint64_t lane_hops = 0;
+  /// Issued slots: Σ over sampled generations of lanes × the longest
+  /// lane's hops — a lane that retires early leaves its remaining slots
+  /// idle until the generation drains.
+  std::uint64_t slots = 0;
+
+  /// Fraction of issued pipeline slots doing useful work (0 when no
+  /// generation was sampled). Low occupancy means skewed lane lengths —
+  /// the pipeline drains half-empty and loses memory-level parallelism.
+  double occupancy() const noexcept {
+    return slots > 0
+               ? static_cast<double>(lane_hops) / static_cast<double>(slots)
+               : 0;
+  }
+};
+
 /// The pipelined engine. Holds only scratch (lane array, per-lane path
 /// buffers): keep one instance per worker thread and reuse it across
 /// batches. Not thread-safe; distinct instances are independent.
@@ -120,6 +145,16 @@ class FlatBatchEngine {
       : group_(group == 0 ? 1 : group) {}
 
   std::uint32_t group() const noexcept { return group_; }
+
+  /// Samples every \p n-th generation into stats() (0 — the default —
+  /// disables sampling entirely). Sampling reads the generation's
+  /// finished answers after it drains; the stage loops are untouched, so
+  /// routed bytes are identical with sampling on or off.
+  void set_stats_sample_every(std::uint32_t n) noexcept {
+    stats_sample_every_ = n;
+  }
+  const FlatBatchStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = FlatBatchStats{}; }
 
   /// Routes queries[i] → answers[i], every query to completion, G lanes
   /// in flight. When \p path_arena is non-null each query's visited
@@ -205,6 +240,9 @@ class FlatBatchEngine {
   }
 
   std::uint32_t group_;
+  std::uint32_t stats_sample_every_ = 0;  ///< 0 = sampling off
+  std::uint64_t gen_seq_ = 0;             ///< generations since construction
+  FlatBatchStats stats_;
   std::vector<Lane> lanes_;
   std::vector<std::uint32_t> live_;  ///< live lane indices, compacted
   std::uint32_t live_count_ = 0;

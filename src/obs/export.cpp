@@ -1,0 +1,314 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+namespace croute::obs {
+
+namespace {
+
+/// Splits `name{label="x"}` into (base, `{label="x"}`); labels empty when
+/// the name carries none. Prometheus suffixes (_bucket/_sum/_count) must
+/// attach to the base, with `le` merged into the existing label set.
+std::pair<std::string_view, std::string_view> split_labels(
+    std::string_view name) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string_view::npos) return {name, {}};
+  return {name.substr(0, brace), name.substr(brace)};
+}
+
+/// `base_bucket{...,le="0.5"}` — merges `le` into an existing label set.
+void append_bucket_line(std::string& out, std::string_view base,
+                        std::string_view labels, const char* le,
+                        std::uint64_t cumulative) {
+  out += base;
+  out += "_bucket";
+  if (labels.empty()) {
+    out += "{le=\"";
+    out += le;
+    out += "\"}";
+  } else {
+    // labels is `{...}`; splice le before the closing brace.
+    out.append(labels.data(), labels.size() - 1);
+    out += ",le=\"";
+    out += le;
+    out += "\"}";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), " %llu\n",
+                static_cast<unsigned long long>(cumulative));
+  out += buf;
+}
+
+void append_suffixed(std::string& out, std::string_view base,
+                     std::string_view labels, const char* suffix,
+                     const std::string& value) {
+  out += base;
+  out += suffix;
+  out += labels;
+  out += ' ';
+  out += value;
+  out += '\n';
+}
+
+std::string format_double(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string format_u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// JSON string escaping for metric names / trace strings (control chars,
+/// quotes, backslashes; everything else passes through).
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// JSON numbers must be finite; non-finite doubles degrade to null.
+void append_json_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+std::uint64_t sub_clamped(std::uint64_t a, std::uint64_t b) noexcept {
+  return a > b ? a - b : 0;
+}
+
+}  // namespace
+
+const MetricsSnapshot::HistogramSample* MetricsSnapshot::find_histogram(
+    std::string_view name) const noexcept {
+  for (const HistogramSample& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+const MetricsSnapshot::CounterSample* MetricsSnapshot::find_counter(
+    std::string_view name) const noexcept {
+  for (const CounterSample& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+MetricsSnapshot snapshot_metrics(const MetricRegistry& registry) {
+  MetricsSnapshot snap;
+  snap.counters.reserve(registry.counters().size());
+  for (const auto& e : registry.counters()) {
+    snap.counters.push_back({e.name, e.help, e.metric.value()});
+  }
+  snap.gauges.reserve(registry.gauges().size());
+  for (const auto& e : registry.gauges()) {
+    snap.gauges.push_back({e.name, e.help, e.metric.value()});
+  }
+  snap.histograms.reserve(registry.histograms().size());
+  for (const auto& e : registry.histograms()) {
+    snap.histograms.push_back({e.name, e.help, e.metric.snapshot()});
+  }
+  return snap;
+}
+
+MetricsSnapshot metrics_delta(const MetricsSnapshot& newer,
+                              const MetricsSnapshot& older) {
+  MetricsSnapshot out = newer;
+  for (auto& c : out.counters) {
+    if (const auto* base = older.find_counter(c.name)) {
+      c.value = sub_clamped(c.value, base->value);
+    }
+  }
+  // Gauges: instantaneous, keep the newer value (already copied).
+  for (auto& h : out.histograms) {
+    const auto* base = older.find_histogram(h.name);
+    if (base == nullptr || base->hist.buckets.size() != h.hist.buckets.size()) {
+      continue;
+    }
+    for (std::size_t b = 0; b < h.hist.buckets.size(); ++b) {
+      h.hist.buckets[b] = sub_clamped(h.hist.buckets[b], base->hist.buckets[b]);
+    }
+    h.hist.count = sub_clamped(h.hist.count, base->hist.count);
+    h.hist.sum = h.hist.sum > base->hist.sum ? h.hist.sum - base->hist.sum : 0;
+  }
+  return out;
+}
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+  for (const auto& c : snapshot.counters) {
+    const auto [base, labels] = split_labels(c.name);
+    out += "# HELP ";
+    out += base;
+    out += ' ';
+    out += c.help;
+    out += "\n# TYPE ";
+    out += base;
+    out += " counter\n";
+    out += c.name;
+    out += ' ';
+    out += format_u64(c.value);
+    out += '\n';
+  }
+  for (const auto& g : snapshot.gauges) {
+    const auto [base, labels] = split_labels(g.name);
+    out += "# HELP ";
+    out += base;
+    out += ' ';
+    out += g.help;
+    out += "\n# TYPE ";
+    out += base;
+    out += " gauge\n";
+    out += g.name;
+    out += ' ';
+    out += format_double(g.value);
+    out += '\n';
+  }
+  for (const auto& h : snapshot.histograms) {
+    const auto [base, labels] = split_labels(h.name);
+    out += "# HELP ";
+    out += base;
+    out += ' ';
+    out += h.help;
+    out += "\n# TYPE ";
+    out += base;
+    out += " histogram\n";
+    std::uint64_t cumulative = 0;
+    const std::size_t n = h.hist.buckets.size();
+    for (std::size_t b = 0; b < n; ++b) {
+      cumulative += h.hist.buckets[b];
+      if (b + 1 == n) {
+        // Overflow bucket has no finite upper edge.
+        append_bucket_line(out, base, labels, "+Inf", cumulative);
+      } else {
+        const std::string le = format_double(
+            LogHistogram::bucket_upper(static_cast<std::uint32_t>(b)));
+        append_bucket_line(out, base, labels, le.c_str(), cumulative);
+      }
+    }
+    append_suffixed(out, base, labels, "_sum", format_double(h.hist.sum));
+    append_suffixed(out, base, labels, "_count", format_u64(h.hist.count));
+  }
+  return out;
+}
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(2048);
+  out += "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& c : snapshot.counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, c.name);
+    out += ": ";
+    out += format_u64(c.value);
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& g : snapshot.gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, g.name);
+    out += ": ";
+    append_json_number(out, g.value);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& h : snapshot.histograms) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, h.name);
+    out += ": {\"count\": ";
+    out += format_u64(h.hist.count);
+    out += ", \"sum\": ";
+    append_json_number(out, h.hist.sum);
+    out += ", \"p50\": ";
+    append_json_number(out, h.hist.percentile(50));
+    out += ", \"p95\": ";
+    append_json_number(out, h.hist.percentile(95));
+    out += ", \"p99\": ";
+    append_json_number(out, h.hist.percentile(99));
+    out += "}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+std::string to_chrome_trace(std::span<const TraceEvent> events) {
+  std::string out;
+  out.reserve(256 + events.size() * 160);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (e.name == nullptr) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, e.name);
+    out += ",\"cat\":";
+    append_json_string(out, e.cat == nullptr ? "" : e.cat);
+    out += ",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += format_u64(e.tid);
+    out += ",\"ts\":";
+    append_json_number(out, e.ts_us);
+    out += ",\"dur\":";
+    append_json_number(out, e.dur_us);
+    if (e.num_args > 0) {
+      out += ",\"args\":{";
+      for (std::uint32_t a = 0; a < e.num_args; ++a) {
+        if (a > 0) out += ',';
+        append_json_string(out,
+                           e.arg_name[a] == nullptr ? "" : e.arg_name[a]);
+        out += ':';
+        append_json_number(out, e.arg_value[a]);
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace croute::obs

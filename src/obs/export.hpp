@@ -1,0 +1,90 @@
+/// \file export.hpp
+/// \brief Metric snapshots/deltas and the Prometheus / JSON / Chrome-trace
+/// exporters.
+///
+/// The read side of the observability layer. A MetricsSnapshot is a plain
+/// value copied out of a MetricRegistry: counters and histogram buckets
+/// merged over their shards, gauges sampled. Two snapshot operations give
+/// operators both views they need:
+///
+///  - **cumulative** (snapshot_metrics): lifetime totals, what a
+///    Prometheus scrape wants — the server computes rates;
+///  - **interval** (metrics_delta): newer minus older, what a bench wants
+///    to attribute to one measured run (histogram-derived p50/p95/p99 of
+///    exactly the queries that run served, not of everything before it).
+///
+/// Renderers are allocation-cheap string builders, no JSON library:
+///  - to_prometheus: text exposition format (# HELP / # TYPE, cumulative
+///    `_bucket{le="..."}` rows, `_sum` / `_count`) — scrape-ready;
+///  - to_json: the same data as one flat object, for jq-style tooling
+///    and the tests;
+///  - to_chrome_trace: TraceRecorder events as Chrome trace-event JSON
+///    ({"traceEvents":[{"ph":"X",...}]}) — open chrome://tracing (or
+///    https://ui.perfetto.dev), load the file, and the churn cycle's
+///    rebuild phases render as a flame chart.
+///
+/// Metric names may carry a baked-in label set (`name{scheme="tz"}`);
+/// the renderers split it so suffixes attach correctly
+/// (`name_bucket{scheme="tz",le="..."}`).
+
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace croute::obs {
+
+/// A plain-value read-out of one registry at one moment.
+struct MetricsSnapshot {
+  struct CounterSample {
+    std::string name, help;
+    std::uint64_t value = 0;
+  };
+  struct GaugeSample {
+    std::string name, help;
+    double value = 0;
+  };
+  struct HistogramSample {
+    std::string name, help;
+    HistogramSnapshot hist;
+  };
+
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  /// Lookup helpers (nullptr when absent).
+  const HistogramSample* find_histogram(std::string_view name) const noexcept;
+  const CounterSample* find_counter(std::string_view name) const noexcept;
+};
+
+/// Cumulative snapshot of every instrument in \p registry.
+MetricsSnapshot snapshot_metrics(const MetricRegistry& registry);
+
+/// Interval view: \p newer minus \p older, matched by metric name.
+/// Counters and histogram buckets/sums subtract (clamped at 0 — shard
+/// merges are monotone, so a genuine interval never goes negative);
+/// gauges keep the newer value (they are instantaneous). Metrics absent
+/// from \p older pass through unchanged.
+MetricsSnapshot metrics_delta(const MetricsSnapshot& newer,
+                              const MetricsSnapshot& older);
+
+/// Prometheus text exposition format.
+std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+/// One flat JSON object: counters/gauges as numbers, histograms as
+/// {count, sum, p50, p95, p99}.
+std::string to_json(const MetricsSnapshot& snapshot);
+
+/// Chrome trace-event JSON over completed spans (TraceRecorder::events()).
+std::string to_chrome_trace(std::span<const TraceEvent> events);
+
+/// Writes \p content to \p path (truncating); throws std::runtime_error
+/// on I/O failure.
+void write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace croute::obs

@@ -1,0 +1,111 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace croute::obs {
+
+std::uint32_t LogHistogram::bucket_index(double value) noexcept {
+  if (!(value > 0)) return 0;  // non-positive and NaN → underflow
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
+  const int biased = static_cast<int>((bits >> 52) & 0x7ff);
+  // Subnormals (biased == 0) are far below 2^kMinExp → underflow bucket;
+  // so is any normal value whose octave is below the range.
+  const int octave = biased - 1023;  // value ∈ [2^octave, 2^(octave+1))
+  if (biased == 0 || octave < kMinExp) return 0;
+  if (octave >= kMaxExp) return kBuckets - 1;
+  const auto sub = static_cast<std::uint32_t>(bits >> 50) & 3;
+  return 1 +
+         kSubBuckets * static_cast<std::uint32_t>(octave - kMinExp) + sub;
+}
+
+double LogHistogram::bucket_upper(std::uint32_t index) noexcept {
+  if (index == 0) return std::ldexp(1.0, kMinExp);
+  if (index >= kBuckets - 1) return std::ldexp(1.0, kMaxExp);
+  const std::uint32_t i = index - 1;
+  const int octave = kMinExp + static_cast<int>(i / kSubBuckets);
+  const std::uint32_t sub = i % kSubBuckets;
+  return (1.0 + static_cast<double>(sub + 1) / kSubBuckets) *
+         std::ldexp(1.0, octave);
+}
+
+LogHistogram::LogHistogram(unsigned shards) {
+  const unsigned n = shards == 0 ? 1 : shards;
+  for (unsigned i = 0; i < n; ++i) shards_.emplace_back();
+}
+
+HistogramSnapshot LogHistogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.assign(kBuckets, 0);
+  std::uint64_t fixed_sum = 0;
+  for (const Shard& s : shards_) {
+    for (std::uint32_t b = 0; b < kBuckets; ++b) {
+      snap.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+    fixed_sum += s.sum.v.load(std::memory_order_relaxed);
+  }
+  for (const std::uint64_t c : snap.buckets) snap.count += c;
+  snap.sum = static_cast<double>(fixed_sum) / 256.0;
+  return snap;
+}
+
+double HistogramSnapshot::percentile(double q) const noexcept {
+  if (count == 0) return 0;
+  // Nearest rank, the percentile_sorted definition: the ceil(q/100 * n)-th
+  // smallest sample (1-based), clamped to [1, n].
+  double rank_d = q / 100.0 * static_cast<double>(count);
+  auto rank = static_cast<std::uint64_t>(std::ceil(rank_d));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  std::uint64_t seen = 0;
+  for (std::uint32_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen >= rank) return LogHistogram::bucket_upper(b);
+  }
+  return LogHistogram::bucket_upper(
+      static_cast<std::uint32_t>(buckets.size()) - 1);
+}
+
+Counter& MetricRegistry::counter(std::string name, std::string help,
+                                 unsigned shards) {
+  CROUTE_REQUIRE(find_counter(name) == nullptr,
+                 "duplicate counter registration");
+  counters_.emplace_back(std::move(name), std::move(help), shards);
+  return counters_.back().metric;
+}
+
+Gauge& MetricRegistry::gauge(std::string name, std::string help) {
+  for (const GaugeEntry& e : gauges_) {
+    CROUTE_REQUIRE(e.name != name, "duplicate gauge registration");
+  }
+  gauges_.emplace_back(std::move(name), std::move(help));
+  return gauges_.back().metric;
+}
+
+LogHistogram& MetricRegistry::histogram(std::string name, std::string help,
+                                        unsigned shards) {
+  CROUTE_REQUIRE(find_histogram(name) == nullptr,
+                 "duplicate histogram registration");
+  histograms_.emplace_back(std::move(name), std::move(help), shards);
+  return histograms_.back().metric;
+}
+
+const LogHistogram* MetricRegistry::find_histogram(
+    std::string_view name) const noexcept {
+  for (const HistogramEntry& e : histograms_) {
+    if (e.name == name) return &e.metric;
+  }
+  return nullptr;
+}
+
+const Counter* MetricRegistry::find_counter(
+    std::string_view name) const noexcept {
+  for (const CounterEntry& e : counters_) {
+    if (e.name == name) return &e.metric;
+  }
+  return nullptr;
+}
+
+}  // namespace croute::obs

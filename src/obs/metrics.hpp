@@ -1,0 +1,247 @@
+/// \file metrics.hpp
+/// \brief Always-on serving metrics: sharded counters, gauges, and
+/// log-bucketed latency histograms with a lock-free record path.
+///
+/// The serving layers (src/service/) run millions of queries per second;
+/// the only instrumentation they can afford is a relaxed atomic add on a
+/// cache line the recording worker already owns. Everything here is built
+/// around that constraint:
+///
+///  - **Counter / LogHistogram are sharded per worker**: each shard is a
+///    cache-line-padded array of `std::atomic<std::uint64_t>` cells, so a
+///    worker's record() touches only its own lines (no false sharing, no
+///    locks, no CAS loops). Shards are merged on snapshot — the read side
+///    pays, the record side never does.
+///  - **Histograms are log-bucketed**: a value maps to (octave, 2-bit
+///    sub-bucket) straight from its IEEE-754 bit pattern — no log() call
+///    on the record path. Boundaries are m ∈ {1, 1.25, 1.5, 1.75} × 2^e,
+///    so a bucket's upper/lower ratio is ≤ 1.25: any histogram-derived
+///    percentile is within one bucket's relative error (≤ 25%) of the
+///    exact sorted-sample percentile, over a range of 2^-10 µs .. 2^20 µs
+///    (~1 ns .. ~1 s when recording microseconds; out-of-range values
+///    land in dedicated underflow/overflow buckets, never lost).
+///  - **Snapshots are monotone-consistent, not instantaneous**: a
+///    snapshot taken while workers record merges each shard with relaxed
+///    loads; it observes *some* prefix of each shard's stream, which is
+///    exactly the semantics a periodic scraper (Prometheus) needs.
+///
+/// MetricRegistry names the instruments and owns them (deque-backed, so
+/// references handed out at registration stay stable forever). Metric
+/// names follow Prometheus conventions (`croute_..._total` for counters,
+/// unit suffixes like `_us` on histograms); a fixed label set may be
+/// baked into the name at registration time (`croute_x_total{scheme="tz"}`)
+/// — the exporter (obs/export.hpp) passes it through verbatim.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace croute::obs {
+
+/// One cache-line-padded atomic cell (the shard unit of Counter and the
+/// sum slot of LogHistogram shards).
+struct alignas(64) PaddedCell {
+  std::atomic<std::uint64_t> v{0};
+};
+
+/// A monotone counter, sharded so concurrent recorders never contend.
+/// Shard indices are the caller's worker ids; inc() uses shard 0 (for
+/// driver-thread / low-rate events where sharding buys nothing).
+class Counter {
+ public:
+  explicit Counter(unsigned shards)
+      : cells_(shards == 0 ? 1 : shards) {}
+
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  /// Lock-free, wait-free; \p shard must be < shards().
+  void add(unsigned shard, std::uint64_t n = 1) noexcept {
+    cells_[shard].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Single-shard convenience for unsharded counters.
+  void inc(std::uint64_t n = 1) noexcept { add(0, n); }
+
+  unsigned shards() const noexcept {
+    return static_cast<unsigned>(cells_.size());
+  }
+
+  /// Merged value over all shards (monotone-consistent under concurrent
+  /// recording: some prefix of every shard's adds).
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const PaddedCell& c : cells_) {
+      total += c.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  std::vector<PaddedCell> cells_;
+};
+
+/// A last-write-wins instantaneous value (pool bytes, occupancy ratios).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(double value) noexcept {
+    v_.store(value, std::memory_order_relaxed);
+  }
+  double value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+/// A merged histogram read-out: bucket counts plus count/sum, with
+/// nearest-rank percentiles (the same definition as
+/// util/stats.hpp percentile_sorted, evaluated over buckets). Subtraction
+/// yields interval (delta) histograms — see obs/export.hpp.
+struct HistogramSnapshot {
+  std::vector<std::uint64_t> buckets;  ///< LogHistogram::kBuckets counts
+  std::uint64_t count = 0;
+  double sum = 0;  ///< sum of recorded values (fixed-point accumulated)
+
+  /// Nearest-rank percentile (q in [0,100]) over the buckets; returns the
+  /// containing bucket's upper edge, so the result is an upper bound on
+  /// the exact percentile and within one bucket's relative error (≤ 1.25x)
+  /// of it. 0 for an empty histogram.
+  double percentile(double q) const noexcept;
+  double mean() const noexcept {
+    return count > 0 ? sum / static_cast<double>(count) : 0;
+  }
+};
+
+/// The sharded log-bucket histogram. record() is a handful of integer ops
+/// plus two relaxed atomic adds on the recorder's own shard.
+class LogHistogram {
+ public:
+  /// Sub-buckets per octave: boundaries m ∈ {1, 1.25, 1.5, 1.75} × 2^e.
+  static constexpr std::uint32_t kSubBuckets = 4;
+  /// Values below 2^kMinExp land in the underflow bucket (index 0),
+  /// values at or above 2^kMaxExp in the overflow bucket (last index).
+  /// Recording microseconds this spans ~1 ns .. ~1 s.
+  static constexpr int kMinExp = -10;
+  static constexpr int kMaxExp = 20;
+  static constexpr std::uint32_t kBuckets =
+      kSubBuckets * static_cast<std::uint32_t>(kMaxExp - kMinExp) + 2;
+
+  explicit LogHistogram(unsigned shards);
+
+  LogHistogram(const LogHistogram&) = delete;
+  LogHistogram& operator=(const LogHistogram&) = delete;
+
+  /// Bucket of \p value: 0 for value < 2^kMinExp (and for non-positive /
+  /// NaN values), kBuckets-1 for value >= 2^kMaxExp, else
+  /// 1 + (octave - kMinExp)*4 + top-2-mantissa-bits. Buckets cover
+  /// [lower, upper) half-open ranges.
+  static std::uint32_t bucket_index(double value) noexcept;
+
+  /// Upper edge of bucket \p index (the percentile representative).
+  /// The overflow bucket reports 2^kMaxExp (its lower edge — there is no
+  /// finite upper edge); the exporter renders it as +Inf.
+  static double bucket_upper(std::uint32_t index) noexcept;
+
+  /// Records one sample into \p shard's cells. Lock-free, wait-free.
+  void record(unsigned shard, double value) noexcept {
+    Shard& s = shards_[shard];
+    s.buckets[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    // Fixed-point sum (value * 256) so the hot path never needs a
+    // CAS loop for a floating-point add. At microsecond-scale values the
+    // 2^64/256 headroom is ~2 million years of busy time.
+    s.sum.v.fetch_add(to_fixed(value), std::memory_order_relaxed);
+  }
+
+  /// Records \p n samples of the same value (batched serving amortizes
+  /// one generation's wall time over its lanes — one add, not n).
+  void record_n(unsigned shard, double value, std::uint64_t n) noexcept {
+    Shard& s = shards_[shard];
+    s.buckets[bucket_index(value)].fetch_add(n, std::memory_order_relaxed);
+    s.sum.v.fetch_add(to_fixed(value) * n, std::memory_order_relaxed);
+  }
+
+  unsigned shards() const noexcept {
+    return static_cast<unsigned>(shards_.size());
+  }
+
+  /// Merges all shards (monotone-consistent under concurrent recording).
+  HistogramSnapshot snapshot() const;
+
+ private:
+  struct Shard {
+    explicit Shard() : buckets(kBuckets) {}
+    std::vector<std::atomic<std::uint64_t>> buckets;
+    PaddedCell sum;  ///< fixed-point (x256) sum of recorded values
+  };
+
+  static std::uint64_t to_fixed(double value) noexcept {
+    return value > 0 ? static_cast<std::uint64_t>(value * 256.0) : 0;
+  }
+
+  std::deque<Shard> shards_;  ///< deque: Shard is not movable (atomics)
+};
+
+/// Named instruments, registered once (typically at service construction)
+/// and recorded into forever after. Registration is mutex-free because it
+/// happens before concurrent use; the returned references are stable
+/// (deque-backed). Names must be unique per registry.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter& counter(std::string name, std::string help, unsigned shards = 1);
+  Gauge& gauge(std::string name, std::string help);
+  LogHistogram& histogram(std::string name, std::string help,
+                          unsigned shards = 1);
+
+  /// Lookup by exact registered name (benches read specific histograms);
+  /// nullptr when absent.
+  const LogHistogram* find_histogram(std::string_view name) const noexcept;
+  const Counter* find_counter(std::string_view name) const noexcept;
+
+  // --- exporter iteration (obs/export.hpp) ---
+  struct CounterEntry {
+    CounterEntry(std::string n, std::string h, unsigned shards)
+        : name(std::move(n)), help(std::move(h)), metric(shards) {}
+    std::string name, help;
+    Counter metric;
+  };
+  struct GaugeEntry {
+    GaugeEntry(std::string n, std::string h)
+        : name(std::move(n)), help(std::move(h)) {}
+    std::string name, help;
+    Gauge metric;
+  };
+  struct HistogramEntry {
+    HistogramEntry(std::string n, std::string h, unsigned shards)
+        : name(std::move(n)), help(std::move(h)), metric(shards) {}
+    std::string name, help;
+    LogHistogram metric;
+  };
+  const std::deque<CounterEntry>& counters() const noexcept {
+    return counters_;
+  }
+  const std::deque<GaugeEntry>& gauges() const noexcept { return gauges_; }
+  const std::deque<HistogramEntry>& histograms() const noexcept {
+    return histograms_;
+  }
+
+ private:
+  std::deque<CounterEntry> counters_;
+  std::deque<GaugeEntry> gauges_;
+  std::deque<HistogramEntry> histograms_;
+};
+
+}  // namespace croute::obs

@@ -1,0 +1,78 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <type_traits>
+
+namespace croute::obs {
+
+namespace {
+
+/// Small dense thread ids for the trace (Chrome renders one row per tid).
+std::uint32_t this_thread_id() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::uint32_t capacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      slots_(capacity == 0 ? 1 : capacity) {}
+
+void TraceRecorder::record(TraceEvent event) noexcept {
+  static_assert(std::is_trivially_copyable_v<TraceEvent>);
+  if (event.tid == 0) event.tid = this_thread_id() + 1;
+  const std::uint64_t idx = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[idx % slots_.size()];
+  // Claim the slot by CAS-ing its tag to the busy marker, write the
+  // payload, then publish the claim tag: a reader that sees the same
+  // published tag before and after its copy got a torn-free event;
+  // anything else is skipped as in-flight. Two writers can map to the
+  // same slot only when recording laps the ring within one payload
+  // write; the CAS serializes them — the loser drops its event (the
+  // ring is lossy past capacity anyway, and total()/dropped() already
+  // count it via next_).
+  std::uint64_t cur = slot.seq.load(std::memory_order_relaxed);
+  do {
+    if (cur == kBusy) return;
+  } while (!slot.seq.compare_exchange_weak(cur, kBusy,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed));
+  std::uint64_t buf[kSlotWords] = {};
+  std::memcpy(buf, &event, sizeof(event));
+  for (std::size_t w = 0; w < kSlotWords; ++w) {
+    slot.words[w].store(buf[w], std::memory_order_relaxed);
+  }
+  slot.seq.store(idx + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::vector<std::pair<std::uint64_t, TraceEvent>> tagged;
+  tagged.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    const std::uint64_t before = slot.seq.load(std::memory_order_acquire);
+    if (before == 0 || before == kBusy) continue;  // empty or mid-write
+    std::uint64_t buf[kSlotWords];
+    for (std::size_t w = 0; w < kSlotWords; ++w) {
+      buf[w] = slot.words[w].load(std::memory_order_relaxed);
+    }
+    // Order the word loads before the tag re-check, then discard the
+    // copy if a writer touched the slot in between.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const std::uint64_t after = slot.seq.load(std::memory_order_relaxed);
+    if (after != before) continue;  // overwritten while copying
+    TraceEvent copy;
+    std::memcpy(&copy, buf, sizeof(copy));
+    tagged.emplace_back(before, copy);
+  }
+  std::sort(tagged.begin(), tagged.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<TraceEvent> out;
+  out.reserve(tagged.size());
+  for (auto& [tag, event] : tagged) out.push_back(event);
+  return out;
+}
+
+}  // namespace croute::obs

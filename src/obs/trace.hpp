@@ -1,0 +1,187 @@
+/// \file trace.hpp
+/// \brief Fixed-capacity ring-buffer span recorder for rebuild/swap
+/// attribution, exportable as Chrome trace-event JSON.
+///
+/// The churn telemetry says *how much* a rebuild cost; this recorder says
+/// *where the time went* — one completed span per phase (graph diff,
+/// sampling + pivots, reuse analysis, cluster sweep, finalize, the flat
+/// compile passes, the publish flip, driver-observed blackouts), on a
+/// shared timeline, loadable into chrome://tracing or Perfetto.
+///
+/// Design constraints, in order:
+///  - **never perturb serving**: record() is one relaxed fetch_add to
+///    claim a slot, one uncontended CAS to tag it, plus plain stores;
+///    no locks, no allocation. Spans are
+///    coarse (rebuild phases, batches that straddled a swap) — nothing
+///    records per query.
+///  - **bounded memory**: a fixed ring of slots; when it wraps, the
+///    oldest spans are overwritten (dropped() reports how many). A churn
+///    run emits tens of spans per cycle; the default capacity holds hours
+///    of them.
+///  - **tear-safe reads**: each slot carries a sequence tag written
+///    (release) after the payload; events() re-checks it around the copy
+///    and skips slots that were mid-write. Under concurrent recording a
+///    snapshot is therefore complete up to in-flight writes — exact once
+///    the writers quiesce (the exporters run after a run drains).
+///
+/// Span names and categories are `const char*` by contract: callers pass
+/// string literals (or strings that outlive the recorder). That keeps a
+/// slot POD-sized and the record path store-only.
+///
+/// RAII usage:
+/// ```
+///   {
+///     obs::TraceRecorder::Span span(recorder, "cluster_sweep", "rebuild.tz");
+///     span.arg("clusters_total", total);
+///     ...work...
+///   }  // span records on destruction
+/// ```
+/// A null recorder disables a Span at zero cost, so call sites stay
+/// unconditional. Retrospective spans (phase timings already measured by
+/// existing stats structs) go through record_complete().
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+namespace croute::obs {
+
+/// One completed span ("X" phase in the Chrome trace-event format) or
+/// instant event (dur_us == 0). Timestamps are µs since the recorder's
+/// construction (its epoch).
+struct TraceEvent {
+  static constexpr std::uint32_t kMaxArgs = 3;
+
+  const char* name = nullptr;  ///< static string (caller-owned)
+  const char* cat = "";        ///< category, e.g. "rebuild.tz"
+  double ts_us = 0;            ///< start, µs since recorder epoch
+  double dur_us = 0;
+  std::uint32_t tid = 0;  ///< recorder-assigned small thread id
+  std::uint32_t num_args = 0;
+  const char* arg_name[kMaxArgs] = {nullptr, nullptr, nullptr};
+  double arg_value[kMaxArgs] = {0, 0, 0};
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::uint32_t capacity = 8192);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Microseconds since this recorder's construction (steady clock).
+  double now_us() const noexcept {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// Records a completed event (tid is filled in from the calling thread
+  /// if the event carries 0). Lock-free; overwrites the oldest slot when
+  /// the ring is full.
+  void record(TraceEvent event) noexcept;
+
+  /// Convenience: a retrospective span measured elsewhere (phase stats).
+  void record_complete(const char* name, const char* cat, double ts_us,
+                       double dur_us) noexcept {
+    TraceEvent e;
+    e.name = name;
+    e.cat = cat;
+    e.ts_us = ts_us;
+    e.dur_us = dur_us;
+    record(e);
+  }
+
+  /// Spans recorded so far (monotone; includes overwritten ones).
+  std::uint64_t total() const noexcept {
+    return next_.load(std::memory_order_relaxed);
+  }
+  /// Spans lost to ring wrap-around.
+  std::uint64_t dropped() const noexcept {
+    const std::uint64_t t = total();
+    return t > slots_.size() ? t - slots_.size() : 0;
+  }
+  std::uint32_t capacity() const noexcept {
+    return static_cast<std::uint32_t>(slots_.size());
+  }
+
+  /// Copies the retained events, oldest first (by slot age, which is
+  /// start order of record() calls). Tear-safe under concurrent
+  /// recording; exact when writers are quiescent.
+  std::vector<TraceEvent> events() const;
+
+  /// RAII scope: measures wall time between construction and destruction
+  /// and records one span. A null recorder makes every operation a no-op.
+  class Span {
+   public:
+    Span(TraceRecorder* recorder, const char* name,
+         const char* cat) noexcept
+        : recorder_(recorder) {
+      if (recorder_ != nullptr) {
+        event_.name = name;
+        event_.cat = cat;
+        event_.ts_us = recorder_->now_us();
+      }
+    }
+    ~Span() { finish(); }
+
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    /// Attaches a numeric argument (up to TraceEvent::kMaxArgs; extras
+    /// are dropped). \p key must outlive the recorder (string literal).
+    void arg(const char* key, double value) noexcept {
+      if (recorder_ == nullptr ||
+          event_.num_args >= TraceEvent::kMaxArgs) {
+        return;
+      }
+      event_.arg_name[event_.num_args] = key;
+      event_.arg_value[event_.num_args] = value;
+      ++event_.num_args;
+    }
+
+    /// Records the span now (idempotent; the destructor then no-ops).
+    void finish() noexcept {
+      if (recorder_ == nullptr) return;
+      event_.dur_us = recorder_->now_us() - event_.ts_us;
+      recorder_->record(event_);
+      recorder_ = nullptr;
+    }
+
+   private:
+    TraceRecorder* recorder_;
+    TraceEvent event_;
+  };
+
+ private:
+  /// Slot tag marking a writer mid-payload (readers and racing writers
+  /// skip it). Unreachable as a published tag: it would need 2^64 - 1
+  /// prior record() calls.
+  static constexpr std::uint64_t kBusy = ~std::uint64_t{0};
+
+  /// Payload storage is word-wise atomic (relaxed): the seq-tag protocol
+  /// already discards torn copies, but plain stores racing plain reads
+  /// would still be UB — relaxed atomic words make the seqlock race-free
+  /// by the letter of the memory model at zero cost on real hardware.
+  static constexpr std::size_t kSlotWords =
+      (sizeof(TraceEvent) + sizeof(std::uint64_t) - 1) /
+      sizeof(std::uint64_t);
+
+  struct Slot {
+    /// 0 = empty; kBusy = claimed, payload in flight; claim index + 1
+    /// once the payload is fully written.
+    std::atomic<std::uint64_t> seq{0};
+    std::array<std::atomic<std::uint64_t>, kSlotWords> words{};
+  };
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::uint64_t> next_{0};
+  std::vector<Slot> slots_;  ///< fixed after construction (never resized)
+};
+
+}  // namespace croute::obs

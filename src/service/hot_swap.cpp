@@ -8,10 +8,72 @@ SchemeManager::~SchemeManager() {
   if (worker_.joinable()) worker_.join();
 }
 
+namespace {
+
+/// Emits the rebuild's phase attribution as retrospective child spans of
+/// \p rebuild_start, laid back-to-back in phase order. The phase wall
+/// times come from the build's own stats structs, so the trace's
+/// "rebuild.tz" spans sum to exactly the incremental_preprocess_seconds
+/// (resp. flat_compile_seconds) the telemetry attributes — the trace is
+/// the same accounting on a timeline, not a second clock.
+void emit_rebuild_spans(obs::TraceRecorder& trace, const SchemePackage& pkg,
+                        double rebuild_start_us) {
+  double at = rebuild_start_us;
+  const auto emit = [&](const char* name, const char* cat, double dur_s) {
+    if (dur_s <= 0) return;
+    trace.record_complete(name, cat, at, dur_s * 1e6);
+    at += dur_s * 1e6;
+  };
+  const IncrementalRebuildStats& inc = pkg.incr_stats;
+  emit("diff", "rebuild", inc.diff_s);
+  if (inc.used) {
+    // The delta-aware preprocessing phases (core/incremental_rebuild.hpp);
+    // pre+analysis+sweep+finalize == total_s == what the telemetry adds
+    // to incremental_preprocess_seconds.
+    emit("sampling_pivots", "rebuild.tz", inc.pre_s);
+    emit("reuse_analysis", "rebuild.tz", inc.analysis_s);
+    {
+      obs::TraceEvent e;
+      e.name = "cluster_sweep";
+      e.cat = "rebuild.tz";
+      e.ts_us = at;
+      e.dur_us = inc.sweep_s * 1e6;
+      e.num_args = 3;
+      e.arg_name[0] = "clusters_reused";
+      e.arg_value[0] = static_cast<double>(inc.clusters_reused);
+      e.arg_name[1] = "clusters_total";
+      e.arg_value[1] = static_cast<double>(inc.clusters_total);
+      e.arg_name[2] = "top_update_pops";
+      e.arg_value[2] = static_cast<double>(inc.top_update_pops);
+      if (inc.sweep_s > 0) {
+        trace.record(e);
+        at += inc.sweep_s * 1e6;
+      }
+    }
+    emit("finalize", "rebuild.tz", inc.finalize_s);
+  } else {
+    // Full preprocessing is one opaque phase: everything build_seconds
+    // covers except the separately-attributed diff and flat compile.
+    const double flat_s = pkg.flat_stats.total_ms / 1e3;
+    emit("tz_preprocess", "rebuild.tz",
+         pkg.build_seconds - inc.diff_s - flat_s);
+  }
+  const FlatCompileStats& fs = pkg.flat_stats;
+  emit("flat_tables", "rebuild.flat", fs.tables_ms / 1e3);
+  emit("flat_directories", "rebuild.flat", fs.directories_ms / 1e3);
+  emit("flat_labels", "rebuild.flat", fs.labels_ms / 1e3);
+  emit("flat_hash", "rebuild.flat", fs.hash_ms / 1e3);
+}
+
+}  // namespace
+
 SchemePackagePtr SchemeManager::rebuild_now(Graph g, RebuildMode mode) {
   RouteServiceOptions opt = service_->options();
   // A mutated graph has a new fingerprint; rebuilds always preprocess.
   opt.warm_start_path.clear();
+  obs::TraceRecorder* trace = service_->trace_recorder();
+  obs::TraceRecorder::Span rebuild_span(trace, "rebuild", "rebuild");
+  const double rebuild_start_us = trace != nullptr ? trace->now_us() : 0;
   auto graph = std::make_shared<const Graph>(std::move(g));
   SchemePackagePtr pkg;
   if (mode == RebuildMode::kIncremental) {
@@ -24,8 +86,14 @@ SchemePackagePtr SchemeManager::rebuild_now(Graph g, RebuildMode mode) {
   } else {
     pkg = build_scheme_package(std::move(graph), opt);
   }
+  if (trace != nullptr) emit_rebuild_spans(*trace, *pkg, rebuild_start_us);
   service_->record_rebuild(*pkg);
-  service_->publish(pkg);
+  {
+    obs::TraceRecorder::Span publish_span(trace, "publish_flip", "swap");
+    service_->publish(pkg);
+  }
+  rebuild_span.arg("build_seconds", pkg->build_seconds);
+  rebuild_span.arg("incremental", pkg->incr_stats.used ? 1 : 0);
   return pkg;
 }
 

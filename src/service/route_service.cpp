@@ -68,15 +68,20 @@ bool same_route(const RouteAnswer& a, const RouteAnswer& b) noexcept {
 }
 
 /// Per-worker telemetry scratch. Padded to a cache line so neighboring
-/// shards never false-share under concurrent increments. Written only by
-/// the owning pool worker during a batch; merged by the driver thread
-/// after the batch drains (the pool's join is the synchronization edge).
+/// shards never false-share under concurrent increments. Each shard is
+/// written by its owning pool worker alone (relaxed adds, flushed once
+/// per chunk on the batched path), so the cells never contend; atomics
+/// make them *readable* from any thread — snapshot() merges mid-batch.
+/// Write order is queries first, delivered second (release), and
+/// snapshot() reads delivered first (acquire): every delivered increment
+/// a snapshot observes has its matching queries increment visible too,
+/// so `delivered <= queries` holds in every snapshot.
 struct alignas(64) RouteService::Shard {
-  std::uint64_t queries = 0;
-  std::uint64_t delivered = 0;
-  std::uint64_t total_hops = 0;
-  std::uint64_t max_header_bits = 0;
-  double busy_seconds = 0;
+  std::atomic<std::uint64_t> queries{0};
+  std::atomic<std::uint64_t> delivered{0};
+  std::atomic<std::uint64_t> total_hops{0};
+  std::atomic<std::uint64_t> max_header_bits{0};
+  std::atomic<double> busy_seconds{0};
 };
 
 RouteService::RouteService(const Graph& g, const RouteServiceOptions& options)
@@ -89,9 +94,10 @@ RouteService::RouteService(const Graph& g, const RouteServiceOptions& options)
   fks_retries_.store(
       pkg->flat_stats.fks_top_retries + pkg->flat_stats.fks_bucket_retries,
       std::memory_order_relaxed);
+  const std::uint64_t pool_bytes = pkg->flat_stats.pool_bytes;
   package_current_ = std::move(pkg);
   pool_ = std::make_unique<ThreadPool>(options.threads);
-  shards_.resize(pool_->size());
+  for (unsigned w = 0; w < pool_->size(); ++w) shards_.emplace_back();
   arenas_.resize(pool_->size());
   if (options_.use_flat && options_.batch_group > 0) {
     batch_scratch_.reserve(pool_->size());
@@ -101,6 +107,46 @@ RouteService::RouteService(const Graph& g, const RouteServiceOptions& options)
   }
   dest_slot_.resize(num_vertices_, 0);
   dest_epoch_.resize(num_vertices_, 0);
+  if (options_.metrics) {
+    metrics_ = std::make_unique<obs::MetricRegistry>();
+    trace_ = std::make_unique<obs::TraceRecorder>();
+    // One histogram/counter shard per pool worker plus one for the
+    // driver thread and route_one callers (index pool size).
+    const unsigned ms = pool_->size() + 1;
+    const std::string scheme_label =
+        std::string("{scheme=\"") + scheme_name(options_.scheme) + "\"}";
+    hist_latency_ = &metrics_->histogram(
+        "croute_query_latency_us",
+        "Per-query service time at the worker (amortized per pipeline "
+        "generation when batch_group > 0)",
+        ms);
+    hist_queue_wait_ = &metrics_->histogram(
+        "croute_queue_wait_us",
+        "Batch dispatch to chunk dequeue at the owning worker", ms);
+    hist_batch_ = &metrics_->histogram(
+        "croute_batch_service_us", "route_batch wall time", 1);
+    ctr_queries_ = &metrics_->counter(
+        "croute_queries_total" + scheme_label, "Queries served", ms);
+    ctr_delivered_ = &metrics_->counter(
+        "croute_delivered_total" + scheme_label, "Queries delivered", ms);
+    ctr_batches_ =
+        &metrics_->counter("croute_batches_total", "route_batch calls");
+    ctr_swaps_ = &metrics_->counter("croute_swaps_total",
+                                    "Published generation flips");
+    ctr_rebuilds_ = &metrics_->counter("croute_rebuilds_total",
+                                       "Package rebuilds recorded");
+    ctr_straddled_ = &metrics_->counter(
+        "croute_straddled_batches_total", "Batches that overlapped a swap");
+    gauge_pool_bytes_ = &metrics_->gauge(
+        "croute_flat_pool_bytes", "Pool bytes of the current flat view");
+    gauge_pool_bytes_->set(static_cast<double>(pool_bytes));
+    gauge_lane_occupancy_ = &metrics_->gauge(
+        "croute_batch_lane_occupancy",
+        "Sampled fraction of pipeline slots doing useful work");
+    for (BatchScratch& ws : batch_scratch_) {
+      ws.engine.set_stats_sample_every(64);
+    }
+  }
 }
 
 RouteService::~RouteService() = default;
@@ -123,12 +169,18 @@ void RouteService::publish(SchemePackagePtr next) {
     retired = std::exchange(package_current_, std::move(next));
   }
   swap_seq_.fetch_add(1, std::memory_order_release);
+  if (ctr_swaps_ != nullptr) ctr_swaps_->inc();
+  if (gauge_pool_bytes_ != nullptr) {
+    gauge_pool_bytes_->set(
+        static_cast<double>(package()->flat_stats.pool_bytes));
+  }
   // `retired` drops here — outside the lock. If an in-flight batch (or
   // an external pin) still holds the old generation, IT destroys the
   // package when it drains; the flip itself never frees pool memory.
 }
 
 void RouteService::record_rebuild(const SchemePackage& pkg) {
+  if (ctr_rebuilds_ != nullptr) ctr_rebuilds_->inc();
   rebuilds_.fetch_add(1, std::memory_order_relaxed);
   rebuild_seconds_.fetch_add(pkg.build_seconds, std::memory_order_relaxed);
   flat_compile_seconds_.fetch_add(pkg.flat_stats.total_ms / 1e3,
@@ -267,11 +319,19 @@ RouteAnswer RouteService::route_one(const RouteQuery& query) const {
   const double sec =
       std::chrono::duration<double>(clock::now() - begin).count();
   a.latency_us = sec * 1e6;
+  // queries before delivered (release): pairs with snapshot()'s
+  // delivered-first (acquire) read so delivered <= queries always holds.
   one_slot_.queries.fetch_add(1, std::memory_order_relaxed);
-  if (a.delivered()) one_slot_.delivered.fetch_add(1, std::memory_order_relaxed);
+  if (a.delivered()) one_slot_.delivered.fetch_add(1, std::memory_order_release);
   one_slot_.total_hops.fetch_add(a.hops, std::memory_order_relaxed);
   atomic_fetch_max(one_slot_.max_header_bits, a.header_bits);
   one_slot_.busy_seconds.fetch_add(sec, std::memory_order_relaxed);
+  if (metrics_ != nullptr) {
+    const unsigned shard = pool_->size();  // the driver/route_one shard
+    hist_latency_->record(shard, a.latency_us);
+    ctr_queries_->add(shard, 1);
+    if (a.delivered()) ctr_delivered_->add(shard, 1);
+  }
   return a;
 }
 
@@ -368,6 +428,7 @@ std::vector<RouteAnswer> RouteService::route_batch(
     const std::uint32_t chunk =
         std::max<std::uint32_t>(32, 2 * options_.batch_group);
     const std::uint64_t num_chunks = (queries.size() + chunk - 1) / chunk;
+    const auto dispatch = clock::now();
     pool_->for_each(
         num_chunks,
         [&](std::uint64_t c, unsigned worker) {
@@ -389,9 +450,14 @@ std::vector<RouteAnswer> RouteService::route_batch(
           std::vector<VertexId>* arena =
               options_.record_paths ? &arenas_[worker] : nullptr;
           const auto begin = clock::now();
+          // Queue wait of every query in the chunk: dispatch → this
+          // worker dequeued the chunk (one measurement, chunk-shared).
+          const double wait_us =
+              std::chrono::duration<double>(begin - dispatch).count() * 1e6;
           ws.engine.route(target, ws.queries, ws.answers, arena);
           const auto end = clock::now();
-          Shard& shard = shards_[worker];
+          // Chunk-local accumulation; one atomic flush per chunk below.
+          std::uint64_t nq = 0, nd = 0, nhops = 0, maxhb = 0;
           for (std::uint32_t j = 0; j < hi - lo; ++j) {
             const std::uint32_t i = order_[lo + j];
             const RouteQuery& q = queries[i];
@@ -402,6 +468,7 @@ std::vector<RouteAnswer> RouteService::route_batch(
             out.hops = ba.hops;
             out.header_bits = ba.header_bits;
             out.latency_us = ba.latency_us;
+            out.queue_wait_us = wait_us;
             if (q.s == q.t) {
               out.stretch = 1.0;
             } else if (out.delivered() && q.exact > 0) {
@@ -410,20 +477,45 @@ std::vector<RouteAnswer> RouteService::route_batch(
             if (options_.record_paths) {
               path_refs_[i] = PathRef{worker, ba.path_off, ba.path_len};
             }
-            ++shard.queries;
-            if (out.delivered()) ++shard.delivered;
-            shard.total_hops += out.hops;
-            if (out.header_bits > shard.max_header_bits)
-              shard.max_header_bits = out.header_bits;
+            ++nq;
+            if (out.delivered()) ++nd;
+            nhops += out.hops;
+            if (out.header_bits > maxhb) maxhb = out.header_bits;
           }
-          shard.busy_seconds +=
-              std::chrono::duration<double>(end - begin).count();
+          Shard& shard = shards_[worker];
+          // queries before delivered (release): see the Shard comment.
+          shard.queries.fetch_add(nq, std::memory_order_relaxed);
+          shard.delivered.fetch_add(nd, std::memory_order_release);
+          shard.total_hops.fetch_add(nhops, std::memory_order_relaxed);
+          atomic_fetch_max(shard.max_header_bits, maxhb);
+          shard.busy_seconds.fetch_add(
+              std::chrono::duration<double>(end - begin).count(),
+              std::memory_order_relaxed);
+          if (metrics_ != nullptr) {
+            hist_queue_wait_->record_n(worker, wait_us, hi - lo);
+            ctr_queries_->add(worker, nq);
+            ctr_delivered_->add(worker, nd);
+            // Latencies repeat per pipeline generation — record each run
+            // of equal values once (a few adds per chunk, not per query).
+            std::uint32_t j = 0;
+            while (j < hi - lo) {
+              std::uint32_t run = 1;
+              while (j + run < hi - lo &&
+                     ws.answers[j + run].latency_us ==
+                         ws.answers[j].latency_us) {
+                ++run;
+              }
+              hist_latency_->record_n(worker, ws.answers[j].latency_us, run);
+              j += run;
+            }
+          }
         },
         1);
   } else {
     // Scalar serving: chunks of 32 amortize the queue handshake while
     // keeping the dynamic schedule responsive to skewed per-query cost
     // (far pairs walk longer).
+    const auto dispatch = clock::now();
     pool_->for_each(
         queries.size(),
         [&](std::uint64_t slot, unsigned worker) {
@@ -447,13 +539,23 @@ std::vector<RouteAnswer> RouteService::route_batch(
           const double sec =
               std::chrono::duration<double>(end - begin).count();
           answers[i].latency_us = sec * 1e6;
+          answers[i].queue_wait_us =
+              std::chrono::duration<double>(begin - dispatch).count() * 1e6;
           Shard& shard = shards_[worker];
-          ++shard.queries;
-          if (answers[i].delivered()) ++shard.delivered;
-          shard.total_hops += answers[i].hops;
-          if (answers[i].header_bits > shard.max_header_bits)
-            shard.max_header_bits = answers[i].header_bits;
-          shard.busy_seconds += sec;
+          // queries before delivered (release): see the Shard comment.
+          shard.queries.fetch_add(1, std::memory_order_relaxed);
+          if (answers[i].delivered())
+            shard.delivered.fetch_add(1, std::memory_order_release);
+          shard.total_hops.fetch_add(answers[i].hops,
+                                     std::memory_order_relaxed);
+          atomic_fetch_max(shard.max_header_bits, answers[i].header_bits);
+          shard.busy_seconds.fetch_add(sec, std::memory_order_relaxed);
+          if (metrics_ != nullptr) {
+            hist_latency_->record(worker, answers[i].latency_us);
+            hist_queue_wait_->record(worker, answers[i].queue_wait_us);
+            ctr_queries_->add(worker, 1);
+            if (answers[i].delivered()) ctr_delivered_->add(worker, 1);
+          }
         },
         32);
   }
@@ -465,31 +567,53 @@ std::vector<RouteAnswer> RouteService::route_batch(
     }
   }
   batches_.fetch_add(1, std::memory_order_relaxed);
+  const double batch_sec =
+      std::chrono::duration<double>(clock::now() - batch_begin).count();
   // Blackout accounting: a batch that observed a generation flip ran
   // concurrently with the swap; its wall time bounds the interruption
   // any of its queries could have seen.
-  if (swap_seq_.load(std::memory_order_acquire) != seq_begin) {
-    const double batch_sec =
-        std::chrono::duration<double>(clock::now() - batch_begin).count();
+  const bool straddled =
+      swap_seq_.load(std::memory_order_acquire) != seq_begin;
+  if (straddled) {
     straddled_batches_.fetch_add(1, std::memory_order_relaxed);
     atomic_fetch_max(max_swap_blackout_us_, batch_sec * 1e6);
+  }
+  if (metrics_ != nullptr) {
+    ctr_batches_->inc();
+    if (straddled) ctr_straddled_->inc();
+    hist_batch_->record(0, batch_sec * 1e6);
+    // Fold the engines' sampled pipeline stats (safe here: the pool
+    // join above is the edge that publishes the workers' writes).
+    FlatBatchStats agg;
+    for (const BatchScratch& ws : batch_scratch_) {
+      const FlatBatchStats& s = ws.engine.stats();
+      agg.generations += s.generations;
+      agg.lanes += s.lanes;
+      agg.lane_hops += s.lane_hops;
+      agg.slots += s.slots;
+    }
+    if (agg.slots > 0) gauge_lane_occupancy_->set(agg.occupancy());
   }
   return answers;
 }
 
-ServiceTelemetry RouteService::telemetry() const {
+ServiceTelemetry RouteService::snapshot() const {
   ServiceTelemetry t;
   t.batches = batches_.load(std::memory_order_relaxed);
+  // Per shard, read delivered FIRST (acquire): it pairs with the
+  // recording side's queries-then-delivered(release) order, so every
+  // delivered increment this snapshot sees has its queries increment
+  // visible too — delivered <= queries holds even mid-batch.
   for (const Shard& s : shards_) {
-    t.queries += s.queries;
-    t.delivered += s.delivered;
-    t.total_hops += s.total_hops;
-    t.busy_seconds += s.busy_seconds;
-    if (s.max_header_bits > t.max_header_bits)
-      t.max_header_bits = s.max_header_bits;
+    t.delivered += s.delivered.load(std::memory_order_acquire);
+    t.queries += s.queries.load(std::memory_order_relaxed);
+    t.total_hops += s.total_hops.load(std::memory_order_relaxed);
+    t.busy_seconds += s.busy_seconds.load(std::memory_order_relaxed);
+    const std::uint64_t hb = s.max_header_bits.load(std::memory_order_relaxed);
+    if (hb > t.max_header_bits) t.max_header_bits = hb;
   }
+  t.delivered += one_slot_.delivered.load(std::memory_order_acquire);
   t.queries += one_slot_.queries.load(std::memory_order_relaxed);
-  t.delivered += one_slot_.delivered.load(std::memory_order_relaxed);
   t.total_hops += one_slot_.total_hops.load(std::memory_order_relaxed);
   t.busy_seconds += one_slot_.busy_seconds.load(std::memory_order_relaxed);
   t.max_header_bits = std::max(

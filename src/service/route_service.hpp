@@ -71,6 +71,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -78,6 +79,8 @@
 #include <vector>
 
 #include "core/flat_batch.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/scheme_package.hpp"
 #include "util/parallel.hpp"
 
@@ -127,7 +130,19 @@ struct RouteAnswer {
   /// charge every query for all G. Latency percentiles from the two modes
   /// are therefore different metrics (bench rows carry a latency_metric
   /// marker).
+  ///
+  /// latency_us is pure SERVICE time: the clock starts when a worker
+  /// dequeues the query's chunk, not when route_batch was called. The
+  /// time a query spent parked in the pool's queue behind other chunks is
+  /// reported separately as queue_wait_us — summing the two gives the
+  /// sojourn a client would observe. Earlier versions conflated them for
+  /// grouped destination batches; keep them separate when aggregating.
   double latency_us = 0;
+  /// Queue wait (µs): batch dispatch → the owning worker dequeued this
+  /// query's chunk. Batched serving measures it per chunk (every query in
+  /// a chunk shares the value); scalar serving per query. Zero for
+  /// route_one (no pool dispatch).
+  double queue_wait_us = 0;
   std::span<const VertexId> path;  ///< visited vertices (record_paths)
 
   bool delivered() const noexcept {
@@ -184,8 +199,9 @@ struct ServiceTelemetry {
 /// other only through the per-batch scratch: one *driver* thread calls
 /// route_batch at a time; route_one (record_paths off) is safe from any
 /// thread, concurrently with batches AND with publish(). publish() is
-/// safe from any thread. telemetry() is exact from the driver thread
-/// between batches; see its comment for what other threads may read.
+/// safe from any thread, and so is snapshot()/telemetry() — shards are
+/// relaxed atomics merged with an ordering that keeps delivered <=
+/// queries in every snapshot (see snapshot()).
 class RouteService {
  public:
   /// Builds the initial package from a value copy of \p g (the service
@@ -246,13 +262,31 @@ class RouteService {
   RouteAnswer route_one(const RouteQuery& query) const;
 
   /// Merged telemetry over all worker shards, the route_one slot, and
-  /// the swap counters. Worker shards are plain counters owned by the
-  /// pool workers: call from the driver thread between batches (the
-  /// pool's batch join is the synchronization edge). Calling from any
-  /// other thread while a batch is in flight would race the shard
-  /// increments; the swap/rebuild counters and the route_one slot alone
-  /// are atomics and safe anywhere.
-  ServiceTelemetry telemetry() const;
+  /// the swap counters — a single consistent snapshot, safe from ANY
+  /// thread at any time (shards are relaxed atomics; the merge reads
+  /// each shard's `delivered` before its `queries` under acquire/release
+  /// pairing with the recording order, so `delivered <= queries` holds in
+  /// every snapshot even while batches and route_one calls are in
+  /// flight). Values are monotone-consistent: a concurrent snapshot
+  /// observes some prefix of each shard's stream, exact once recording
+  /// quiesces.
+  ServiceTelemetry snapshot() const;
+
+  /// Alias for snapshot(), kept for existing call sites.
+  ServiceTelemetry telemetry() const { return snapshot(); }
+
+  /// The service's metric registry (histograms, counters, gauges — see
+  /// the croute_* names in README "Observability"), or nullptr when
+  /// options.metrics is off. Snapshot via obs::snapshot_metrics; safe
+  /// concurrently with serving.
+  const obs::MetricRegistry* metrics_registry() const noexcept {
+    return metrics_.get();
+  }
+
+  /// The rebuild/swap trace recorder, or nullptr when options.metrics is
+  /// off. SchemeManager records rebuild phase spans here; the closed-loop
+  /// driver records swap blackouts. Export via obs::to_chrome_trace.
+  obs::TraceRecorder* trace_recorder() const noexcept { return trace_.get(); }
 
   /// Bits of routing state the current generation stores at vertex v.
   std::uint64_t table_bits(VertexId v) const;
@@ -351,7 +385,27 @@ class RouteService {
   };
   mutable OneSlot one_slot_;
 
-  std::vector<Shard> shards_;
+  /// Per-worker telemetry shards (deque: Shard holds atomics, so it is
+  /// neither movable nor copyable — the deque never relocates elements).
+  std::deque<Shard> shards_;
+
+  // --- observability (src/obs/), present iff options.metrics ---
+  std::unique_ptr<obs::MetricRegistry> metrics_;
+  mutable std::unique_ptr<obs::TraceRecorder> trace_;
+  // Instrument handles cached at registration (stable — deque-backed).
+  // Histograms are sharded pool size + 1; the extra shard belongs to the
+  // driver thread / route_one callers.
+  obs::LogHistogram* hist_latency_ = nullptr;     ///< croute_query_latency_us
+  obs::LogHistogram* hist_queue_wait_ = nullptr;  ///< croute_queue_wait_us
+  obs::LogHistogram* hist_batch_ = nullptr;       ///< croute_batch_service_us
+  obs::Counter* ctr_queries_ = nullptr;    ///< ..._total{scheme=...}
+  obs::Counter* ctr_delivered_ = nullptr;  ///< ..._total{scheme=...}
+  obs::Counter* ctr_batches_ = nullptr;
+  obs::Counter* ctr_swaps_ = nullptr;
+  obs::Counter* ctr_rebuilds_ = nullptr;
+  obs::Counter* ctr_straddled_ = nullptr;
+  obs::Gauge* gauge_pool_bytes_ = nullptr;
+  obs::Gauge* gauge_lane_occupancy_ = nullptr;
 
   // Per-worker path arenas (capacity persists across batches) and the
   // dedicated route_one arena.

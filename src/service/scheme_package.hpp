@@ -103,6 +103,12 @@ struct RouteServiceOptions {
   /// forces full preprocessing on every rebuild; RebuildMode::kFull is
   /// the per-call escape hatch.
   bool incremental_rebuild = true;
+  /// Always-on observability (src/obs/): per-worker latency/queue-wait
+  /// histograms, decision counters, and the rebuild trace recorder. The
+  /// record path is a couple of relaxed atomic adds per *batch chunk* (not
+  /// per query), so the default is on; false drops every obs recording
+  /// for apples-to-apples overhead measurements.
+  bool metrics = true;
   /// Optional scheme_io file to warm-start from instead of preprocessing
   /// (TZ schemes only; the file must match the graph's fingerprint).
   /// Applies to the initial package only — a rebuilt graph has a new

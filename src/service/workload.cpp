@@ -224,6 +224,8 @@ DriverReport closed_loop(RouteService& service,
   DriverReport report;
   std::vector<double> latencies;
   latencies.reserve(traffic.size());
+  std::vector<double> queue_waits;
+  queue_waits.reserve(traffic.size());
   std::vector<double> stretches;
   std::uint64_t hops = 0;
 
@@ -244,6 +246,7 @@ DriverReport closed_loop(RouteService& service,
       if (a.delivered()) ++report.delivered;
       hops += a.hops;
       latencies.push_back(a.latency_us);
+      queue_waits.push_back(a.queue_wait_us);
       if (a.stretch > 0) stretches.push_back(a.stretch);
       if (a.header_bits > report.max_header_bits)
         report.max_header_bits = a.header_bits;
@@ -252,6 +255,7 @@ DriverReport closed_loop(RouteService& service,
         if (!same_route(a, ref)) ++report.mismatches;
       }
     }
+    if (options.on_batch) options.on_batch(batch_index);
   }
   report.wall_seconds =
       std::chrono::duration<double>(clock::now() - start).count();
@@ -264,6 +268,10 @@ DriverReport closed_loop(RouteService& service,
   report.latency_p50_us = percentile_sorted(latencies, 50);
   report.latency_p95_us = percentile_sorted(latencies, 95);
   report.latency_p99_us = percentile_sorted(latencies, 99);
+  std::sort(queue_waits.begin(), queue_waits.end());
+  report.queue_wait_p50_us = percentile_sorted(queue_waits, 50);
+  report.queue_wait_p95_us = percentile_sorted(queue_waits, 95);
+  report.queue_wait_p99_us = percentile_sorted(queue_waits, 99);
   report.stretch = summarize(std::move(stretches));
   return report;
 }
@@ -315,6 +323,14 @@ ChurnReport run_closed_loop_churn(RouteService& service, SchemeManager& manager,
       last_seq = seq;
       ++run_straddled;
       run_blackout_us = std::max(run_blackout_us, wall_seconds * 1e6);
+      // The driver-observed blackout, on the same timeline as the
+      // rebuild spans SchemeManager records: the straddling batch's
+      // whole wall time, ending now.
+      if (obs::TraceRecorder* trace = service.trace_recorder()) {
+        trace->record_complete("blackout", "swap",
+                               trace->now_us() - wall_seconds * 1e6,
+                               wall_seconds * 1e6);
+      }
     }
   };
 
@@ -349,11 +365,13 @@ ChurnReport run_closed_loop_churn(RouteService& service, SchemeManager& manager,
   const std::vector<RouteQuery> tail(
       stream.begin(),
       stream.begin() + std::min<std::size_t>(stream.size(), batch));
+  std::uint64_t tail_batches = (traffic.size() + batch - 1) / batch;
   auto timed_tail_batch = [&]() {
     const auto t0 = churn_clock::now();
     service.route_batch(tail);
     note_batch(
         std::chrono::duration<double>(churn_clock::now() - t0).count());
+    if (options.on_batch) options.on_batch(++tail_batches);
   };
   while (fired < churn.cycles) {
     manager.wait();

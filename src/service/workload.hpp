@@ -33,6 +33,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -95,9 +96,23 @@ struct DriverOptions {
   /// single-threaded reference) — used by tests and the bench's
   /// cross-thread-count identity check. Slows the run; off by default.
   bool verify_against_serial = false;
+  /// Invoked on the driver thread after each batch drains, with the
+  /// number of batches served so far — the hook the route_service example
+  /// uses to dump metrics periodically under churn. Keep it cheap; its
+  /// wall time counts against the run (closed loop). Null = no-op.
+  std::function<void(std::uint64_t batches_done)> on_batch;
 };
 
 /// What one closed-loop run observed.
+///
+/// latency_* and queue_wait_* are deliberately SEPARATE distributions:
+/// latency is pure service time at the worker (chunk dequeue → answers
+/// written) while queue wait is the time a query's chunk sat in the
+/// pool's queue behind other chunks (batch dispatch → dequeue). Earlier
+/// versions reported only latency_*, which for grouped destination
+/// batches silently conflated the two — a grouped batch front-loads big
+/// destination runs, so late chunks wait longer without being slower to
+/// serve. Sojourn time as a client sees it is the sum of the two.
 struct DriverReport {
   std::uint64_t queries = 0;
   std::uint64_t delivered = 0;
@@ -106,6 +121,9 @@ struct DriverReport {
   double latency_p50_us = 0;  ///< per-query service-time percentiles
   double latency_p95_us = 0;
   double latency_p99_us = 0;
+  double queue_wait_p50_us = 0;  ///< per-query queue-wait percentiles
+  double queue_wait_p95_us = 0;
+  double queue_wait_p99_us = 0;
   Summary stretch;            ///< over delivered queries with exact > 0
   double mean_hops = 0;
   std::uint64_t max_header_bits = 0;
