@@ -25,6 +25,8 @@
 #include <utility>
 #include <vector>
 
+#include "simd/simd.hpp"
+
 namespace croute::bench {
 
 /// Prints the experiment banner.
@@ -189,6 +191,36 @@ inline void add_host_metadata(JsonReport& report) {
 #else
   report.set("host_build_flags", std::string("unknown"));
 #endif
+  // The SIMD implementation the run dispatched to (honors CROUTE_SIMD /
+  // force()): a 55 ns decision on avx2 and a 70 ns one on generic are
+  // different experiments, so the trajectory files must say which ran.
+  report.set("host_simd_isa", std::string(simd::ops().name));
+}
+
+/// Parses and validates a `--batch-group N` value: the pipeline group
+/// size must be a power of two (the sweep grid is 16/32/64; any power of
+/// two is accepted) or 0 for the scalar path where the caller supports
+/// it. Throws std::runtime_error with a message naming the flag.
+inline std::uint32_t parse_batch_group(const std::string& value,
+                                       bool allow_zero = true) {
+  std::size_t used = 0;
+  unsigned long parsed = 0;
+  try {
+    parsed = std::stoul(value, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  const bool numeric = used == value.size() && !value.empty();
+  const bool zero_ok = allow_zero && parsed == 0;
+  const bool pow2 =
+      parsed > 0 && parsed <= 4096 && (parsed & (parsed - 1)) == 0;
+  if (!numeric || !(zero_ok || pow2)) {
+    throw std::runtime_error(
+        "--batch-group expects a power of two (e.g. 16, 32, 64)" +
+        std::string(allow_zero ? " or 0 for the scalar path" : "") +
+        ", got '" + value + "'");
+  }
+  return static_cast<std::uint32_t>(parsed);
 }
 
 }  // namespace croute::bench

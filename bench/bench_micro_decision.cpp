@@ -27,7 +27,9 @@
 /// ns/decision.
 ///
 /// Flags: --n (default 10000) --k --pairs --iters --seed
-///        --batch-group (pipeline depth of the batched rows, default 16)
+///        --batch-group (pipeline depth of the batched rows; default 32 =
+///        the sweep's best config on the reference container, where the
+///        interleaved AVX2 kernel wants two full 8-lane groups in flight)
 ///        --json out.json (JsonReport trajectory file)
 /// Baseline decisions (Cowen step, full-table next-hop, oracle query,
 /// bare tree decide) are additionally measured when n <= 4096 (their
@@ -81,8 +83,8 @@ int main(int argc, char** argv) try {
   const auto iters = static_cast<std::uint64_t>(
       flags.get_int("iters", 200000));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
-  const auto batch_group =
-      static_cast<std::uint32_t>(flags.get_int("batch-group", 16));
+  const std::uint32_t batch_group = bench::parse_batch_group(
+      flags.get_string("batch-group", "32"), /*allow_zero=*/false);
   const std::string json_path = flags.get_string("json", "");
 
   bench::banner("micro",
@@ -267,12 +269,13 @@ int main(int argc, char** argv) try {
     g_sink = g_sink + sink;
     return ns;
   };
-  const auto measure_route_batched = [&](const FlatScheme& flat) {
+  const auto measure_route_batched = [&](const FlatScheme& flat,
+                                         std::uint32_t group) {
     FlatBatchTarget target;
     target.graph = &g;
     target.kind = FlatServeKind::kTZDirect;
     target.flat = &flat;
-    FlatBatchEngine engine(batch_group);
+    FlatBatchEngine engine(group);
     std::vector<FlatBatchQuery> qs(pairs.size());
     for (std::size_t i = 0; i < pairs.size(); ++i) {
       qs[i] = FlatBatchQuery{pairs[i].s, pairs[i].t,
@@ -296,12 +299,57 @@ int main(int argc, char** argv) try {
   };
   const double route_eytz =
       run("route/flat-eytzinger", measure_route_scalar(router_eytz));
-  const double route_eytz_batched =
-      run("route/flat-eytzinger-batched", measure_route_batched(flat_eytz));
+  const double route_eytz_batched = run(
+      "route/flat-eytzinger-batched", measure_route_batched(flat_eytz,
+                                                            batch_group));
   const double route_fks =
       run("route/flat-fks", measure_route_scalar(router_fks));
   const double route_fks_batched =
-      run("route/flat-fks-batched", measure_route_batched(flat_fks));
+      run("route/flat-fks-batched", measure_route_batched(flat_fks,
+                                                          batch_group));
+
+  // --- G × ISA sweep: the batched route on every SIMD implementation
+  // this binary+CPU supports, at each lane-group size. One row per
+  // config; the best (by the gated Eytzinger route) lands in the
+  // sweep_best_* scalars so the trajectory records which config the
+  // headline should run at. --------------------------------------------------
+  const double per_dec_sweep =
+      route_decisions > 0 ? 1.0 / route_decisions : 0;
+  const simd::Isa initial_isa = simd::selected();
+  std::string best_isa;
+  std::uint32_t best_group = 0;
+  double best_eytz_ns = 0, best_fks_ns = 0;
+  for (const simd::Isa isa : simd::compiled()) {
+    if (!simd::available(isa)) continue;
+    simd::force(isa);
+    for (const std::uint32_t grp : {16u, 32u, 64u}) {
+      const double eytz_ns = measure_route_batched(flat_eytz, grp);
+      const double fks_ns = measure_route_batched(flat_fks, grp);
+      char name[64];
+      std::snprintf(name, sizeof name, "route/batched-%s-G%u",
+                    simd::isa_name(isa), grp);
+      std::printf("%-28s %12.1f  (fks %.1f)\n", name, eytz_ns, fks_ns);
+      report.add_row("simd_sweep")
+          .set("isa", std::string(simd::isa_name(isa)))
+          .set("batch_group", std::uint64_t{grp})
+          .set("eytzinger_route_ns", eytz_ns)
+          .set("eytzinger_route_decision_ns", eytz_ns * per_dec_sweep)
+          .set("fks_route_ns", fks_ns);
+      if (best_group == 0 || eytz_ns < best_eytz_ns) {
+        best_isa = simd::isa_name(isa);
+        best_group = grp;
+        best_eytz_ns = eytz_ns;
+        best_fks_ns = fks_ns;
+      }
+    }
+  }
+  simd::force(initial_isa);
+  report.set("sweep_best_isa", best_isa)
+      .set("sweep_best_batch_group", std::uint64_t{best_group})
+      .set("sweep_best_eytzinger_route_ns", best_eytz_ns)
+      .set("sweep_best_eytzinger_route_decision_ns",
+           best_eytz_ns * per_dec_sweep)
+      .set("sweep_best_fks_route_ns", best_fks_ns);
 
   // --- baselines (preprocessing too heavy beyond a few thousand) ----------
   if (n <= 4096) {

@@ -99,8 +99,9 @@ int main(int argc, char** argv) try {
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const std::vector<unsigned> thread_counts =
       parse_thread_list(flags.get_string("threads", "1,2,4"));
-  const auto batch_group = static_cast<std::uint32_t>(
-      flags.get_int("batch-group", RouteServiceOptions{}.batch_group));
+  const std::uint32_t batch_group = bench::parse_batch_group(
+      flags.get_string("batch-group",
+                       std::to_string(RouteServiceOptions{}.batch_group)));
   // Landmark sampler (TZ): centered is the paper default; bernoulli's
   // hierarchy is churn-stable, which roughly doubles the SPT reuse the
   // incremental churn rows report.

@@ -20,7 +20,9 @@
 /// [--legacy] (serve through the sim/ adapters instead of the flat view)
 /// --lookup=fks|eytzinger (flat lookup layout)
 /// --batch-group=G (flat pipeline depth: G in-flight descents per worker;
-/// 0 = scalar serving)
+/// must be a power of two, or 0 = scalar serving)
+/// env CROUTE_SIMD=generic|sse42|avx2|neon forces the SIMD implementation
+/// the batch kernels dispatch to (unavailable values fall back to generic)
 /// --churn=C (run the closed loop under C background rebuild+swap cycles;
 /// prints swap, blackout and rebuild telemetry incl. the delta-aware
 /// rebuild's SPT reuse ratio)
@@ -47,6 +49,7 @@
 #include "service/route_service.hpp"
 #include "service/workload.hpp"
 #include "sim/experiment.hpp"
+#include "simd/simd.hpp"
 #include "util/flags.hpp"
 #include "util/stats.hpp"
 
@@ -96,6 +99,13 @@ int main(int argc, char** argv) {
         lookup == "fks" ? FlatLookup::kFKS : FlatLookup::kEytzinger;
     opt.batch_group = static_cast<std::uint32_t>(
         flags.get_int("batch-group", opt.batch_group));
+    if (opt.batch_group != 0 &&
+        (opt.batch_group & (opt.batch_group - 1)) != 0) {
+      throw std::invalid_argument(
+          "--batch-group expects 0 (scalar serving) or a power of two "
+          "(e.g. 16, 32, 64), got " +
+          std::to_string(opt.batch_group));
+    }
     opt.metrics = !flags.get_bool("no-metrics", false);
     const std::string metrics_out = flags.get_string("metrics-out", "");
     const std::string trace_out = flags.get_string("trace-out", "");
@@ -105,13 +115,15 @@ int main(int argc, char** argv) {
     std::printf("graph: n=%u m=%llu\n", g.num_vertices(),
                 static_cast<unsigned long long>(g.num_edges()));
     RouteService service(g, opt);
-    std::printf("service: scheme=%s threads=%u path=%s batch-group=%u%s\n",
+    std::printf("service: scheme=%s threads=%u path=%s batch-group=%u "
+                "simd=%s%s\n",
                 scheme_name(opt.scheme), service.threads(),
                 opt.use_flat
                     ? (std::string("flat/") + flat_lookup_name(opt.flat_lookup))
                           .c_str()
                     : "legacy",
                 opt.use_flat ? opt.batch_group : 0,
+                simd::ops().name,
                 opt.warm_start_path.empty()
                     ? ""
                     : (" (warm start: " + opt.warm_start_path + ")").c_str());

@@ -78,6 +78,7 @@ void FlatBatchEngine::run(const FlatBatchTarget& target,
   const Graph& g = *target.graph;
   lanes_.resize(group_);
   live_.resize(group_);
+  batch_.reserve(group_);
   if (path_arena != nullptr) lane_paths_.resize(group_);
   using clock = std::chrono::steady_clock;
 
@@ -119,7 +120,7 @@ void FlatBatchEngine::run(const FlatBatchTarget& target,
           lane.lab_end = q.label.data() + q.label.size();
           lane.lab_best = nullptr;
           lane.best_est = kInfiniteWeight;
-          __builtin_prefetch(lane.lab_it);
+          CROUTE_PREFETCH(lane.lab_it);
           if (target.policy != RoutingPolicy::kLabelOnly) {
             lane.probe = FlatScheme::FindProbe{q.s, q.t};
             target.flat->dir_find_stage0(lane.probe);
@@ -197,14 +198,20 @@ void FlatBatchEngine::prepare_tz_direct(const FlatBatchTarget& target,
   (void)answers;
   const FlatScheme* f = target.flat;
   // Rule 0, lockstep: every lane probes its source's cluster directory
-  // (stage0 prefetches were issued at lane init).
+  // (stage0 prefetches were issued at lane init); the compacted probes
+  // resolve in one SIMD kernel call.
   if (target.policy != RoutingPolicy::kLabelOnly) {
     for (std::uint32_t pos = 0; pos < live_count_; ++pos) {
       f->dir_find_stage1(lanes_[live_[pos]].probe);
     }
+    batch_.clear();
+    for (std::uint32_t pos = 0; pos < live_count_; ++pos) {
+      batch_.push(lanes_[live_[pos]].probe);
+    }
+    f->dir_find_stage2_batch(batch_);
     for (std::uint32_t pos = 0; pos < live_count_; ++pos) {
       Lane& lane = lanes_[live_[pos]];
-      lane.pool_idx = f->dir_find_stage2(lane.probe);
+      lane.pool_idx = batch_.out[pos];
       if (lane.pool_idx != FlatScheme::kNotFound) {
         f->prefetch_dir_payload(lane.pool_idx);
       }
@@ -234,9 +241,13 @@ void FlatBatchEngine::prepare_tz_direct(const FlatBatchTarget& target,
   }
   while (!scan_.empty()) {
     for (const std::uint32_t l : scan_) f->find_stage1(lanes_[l].probe);
-    for (std::uint32_t pos = 0; pos < scan_.size();) {
-      Lane& lane = lanes_[scan_[pos]];
-      const std::uint32_t idx = f->find_stage2(lane.probe);
+    batch_.clear();
+    for (const std::uint32_t l : scan_) batch_.push(lanes_[l].probe);
+    f->find_stage2_batch(batch_);
+    scan_next_.clear();
+    for (std::size_t i = 0; i < scan_.size(); ++i) {
+      Lane& lane = lanes_[scan_[i]];
+      const std::uint32_t idx = batch_.out[i];
       const FlatScheme::LabelEntryView* chosen = nullptr;
       if (target.policy != RoutingPolicy::kMinEstimate) {
         if (idx != FlatScheme::kNotFound) {
@@ -266,7 +277,7 @@ void FlatBatchEngine::prepare_tz_direct(const FlatBatchTarget& target,
       if (chosen == nullptr) {  // scan continues with the next entry
         lane.probe = FlatScheme::FindProbe{lane.s, lane.lab_it->w};
         f->find_stage0(lane.probe);
-        ++pos;
+        scan_next_.push_back(scan_[i]);
         continue;
       }
       lane.root = chosen->w;
@@ -274,9 +285,8 @@ void FlatBatchEngine::prepare_tz_direct(const FlatBatchTarget& target,
       lane.light = f->label_light_pool() + chosen->light_off;
       lane.light_len = chosen->light_len;
       lane.bits = f->header_bits_for(chosen->light_len);
-      scan_[pos] = scan_.back();
-      scan_.pop_back();
     }
+    scan_.swap(scan_next_);
   }
   // Enter the walk: every lane decides first at its source.
   for (std::uint32_t pos = 0; pos < live_count_; ++pos) {
@@ -297,21 +307,23 @@ void FlatBatchEngine::prepare_tz_handshake(const FlatBatchTarget& target) {
   scan_.assign(live_.begin(), live_.begin() + live_count_);
   while (!scan_.empty()) {
     for (const std::uint32_t l : scan_) f->find_stage1(lanes_[l].probe);
-    for (std::uint32_t pos = 0; pos < scan_.size();) {
-      Lane& lane = lanes_[scan_[pos]];
-      const std::uint32_t idx = f->find_stage2(lane.probe);
+    batch_.clear();
+    for (const std::uint32_t l : scan_) batch_.push(lanes_[l].probe);
+    f->find_stage2_batch(batch_);
+    scan_next_.clear();
+    for (std::size_t i = 0; i < scan_.size(); ++i) {
+      Lane& lane = lanes_[scan_[i]];
+      const std::uint32_t idx = batch_.out[i];
       if (idx != FlatScheme::kNotFound) {
         if (lane.hs_done || lane.hs_v == lane.t) {
           lane.pool_idx = idx;
           f->prefetch_own_label(idx);
-          scan_[pos] = scan_.back();
-          scan_.pop_back();
           continue;
         }
         lane.hs_done = true;  // meeting found; resolve t's own label next
         lane.probe = FlatScheme::FindProbe{lane.t, lane.hs_w};
         f->find_stage0(lane.probe);
-        ++pos;
+        scan_next_.push_back(scan_[i]);
         continue;
       }
       CROUTE_ASSERT(!lane.hs_done,
@@ -324,8 +336,9 @@ void FlatBatchEngine::prepare_tz_handshake(const FlatBatchTarget& target) {
           f->base().preprocessing().effective_pivot(lane.hs_i, lane.hs_u);
       lane.probe = FlatScheme::FindProbe{lane.hs_v, lane.hs_w};
       f->find_stage0(lane.probe);
-      ++pos;
+      scan_next_.push_back(scan_[i]);
     }
+    scan_.swap(scan_next_);
   }
   for (std::uint32_t pos = 0; pos < live_count_; ++pos) {
     Lane& lane = lanes_[live_[pos]];
@@ -352,10 +365,16 @@ void FlatBatchEngine::walk_tz(const FlatBatchTarget& target,
     for (std::uint32_t pos = 0; pos < live_count_; ++pos) {
       f->find_stage1(lanes_[live_[pos]].probe);
     }
-    // B: resolve the probe, prefetch the node record.
+    // B: resolve every lane's probe in one SIMD kernel call, prefetch
+    // the node records.
+    batch_.clear();
+    for (std::uint32_t pos = 0; pos < live_count_; ++pos) {
+      batch_.push(lanes_[live_[pos]].probe);
+    }
+    f->find_stage2_batch(batch_);
     for (std::uint32_t pos = 0; pos < live_count_; ++pos) {
       Lane& lane = lanes_[live_[pos]];
-      const std::uint32_t idx = f->find_stage2(lane.probe);
+      const std::uint32_t idx = batch_.out[pos];
       CROUTE_ASSERT(idx != FlatScheme::kNotFound,
                     "packet left the routing tree: vertex has no entry "
                     "for it");
@@ -471,10 +490,17 @@ void FlatBatchEngine::walk_cowen(const FlatBatchTarget& target,
       c->load_slice(lane.here, lane.probe.off, lane.probe.len);
       ++pos;
     }
-    // B: cluster probe; hits prefetch their exact first-hop port.
+    // B: cluster probe — all lanes in one SIMD kernel call; hits
+    // prefetch their exact first-hop port.
+    batch_.clear();
     for (std::uint32_t pos = 0; pos < live_count_; ++pos) {
       Lane& lane = lanes_[live_[pos]];
-      lane.pool_idx = c->find_at(lane.probe.off, lane.probe.len, lane.t);
+      batch_.push_slice(lane.probe.off, lane.probe.len, lane.t);
+    }
+    c->find_at_batch(batch_);
+    for (std::uint32_t pos = 0; pos < live_count_; ++pos) {
+      Lane& lane = lanes_[live_[pos]];
+      lane.pool_idx = batch_.out[pos];
       if (lane.pool_idx != FlatCowen::kNotFound) {
         c->prefetch_cluster_port(lane.pool_idx);
       }

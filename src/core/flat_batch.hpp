@@ -15,7 +15,8 @@
 /// (the classic batched-Eytzinger / group-prefetch technique): each lane
 /// is a tiny state machine whose stage boundaries sit exactly where the
 /// next dependent load would stall, and every stage ends by issuing
-/// `__builtin_prefetch` for the memory its *next* stage will read. While
+/// a prefetch (CROUTE_PREFETCH) for the memory its *next* stage will
+/// read. While
 /// lane A's line travels from DRAM, lanes B…G execute their stages, so up
 /// to G misses are in flight instead of one. Answers are byte-identical
 /// to the scalar FlatRouter/FlatCowen/FlatFullTable path — the stages
@@ -33,6 +34,14 @@
 /// Prepare (rule-0 directory probe + label pivot scan), the handshake's
 /// bidirectional pivot walk, and the Cowen/full-table per-hop reads are
 /// staged the same way.
+///
+/// The probe stages are *vectorized* (src/simd/): each round compacts
+/// the live lanes' probes into SoA scratch arrays and resolves them in
+/// one lane-parallel kernel call — the Eytzinger compare-and-step runs
+/// across 8 lanes per AVX2 register (masked gathers keep retired lanes
+/// off memory), the FKS slot check gathers 4 slot keys at once, and the
+/// generic implementation is the exact scalar loop, so answers stay
+/// byte-identical on every ISA (tests/test_simd.cpp pins the matrix).
 ///
 /// Scheduling is *lockstep*: queries run in generations of G lanes, and
 /// each pipeline stage is one tight loop over the live lanes (compact
@@ -246,7 +255,12 @@ class FlatBatchEngine {
   std::vector<Lane> lanes_;
   std::vector<std::uint32_t> live_;  ///< live lane indices, compacted
   std::uint32_t live_count_ = 0;
-  std::vector<std::uint32_t> scan_;  ///< prepare-phase unresolved lanes
+  std::vector<std::uint32_t> scan_;       ///< prepare-phase unresolved lanes
+  std::vector<std::uint32_t> scan_next_;  ///< survivors of a scan round
+  /// SoA probe compaction: each stage-B round pushes the live lanes'
+  /// probes here and one SIMD kernel call (simd::ops()) resolves them
+  /// all — comparands contiguous, so a 256-bit register carries 8 lanes.
+  FlatScheme::FindBatchScratch batch_;
   std::vector<std::vector<VertexId>> lane_paths_;
 };
 

@@ -67,6 +67,8 @@
 #include "core/tz_router.hpp"
 #include "core/tz_scheme.hpp"
 #include "hash/perfect_hash.hpp"
+#include "simd/simd.hpp"
+#include "util/prefetch.hpp"
 
 namespace croute {
 
@@ -99,7 +101,7 @@ inline std::uint32_t eytzinger_find(const VertexId* keys, std::uint32_t len,
 inline void prefetch_span(const void* p, std::size_t bytes) noexcept {
   const char* c = static_cast<const char*>(p);
   const std::size_t lines = std::min<std::size_t>((bytes + 63) / 64, 8);
-  for (std::size_t l = 0; l < lines; ++l) __builtin_prefetch(c + 64 * l);
+  for (std::size_t l = 0; l < lines; ++l) CROUTE_PREFETCH(c + 64 * l);
 }
 
 }  // namespace flat_detail
@@ -204,7 +206,7 @@ class FlatScheme {
     if (tbl_hash_) {
       tbl_hash_->prefetch_bucket(flat_detail::pack_key(p.v, p.w));
     } else {
-      __builtin_prefetch(&tbl_off_[p.v]);
+      CROUTE_PREFETCH(&tbl_off_[p.v]);
     }
   }
   void find_stage1(FindProbe& p) const noexcept {
@@ -233,7 +235,7 @@ class FlatScheme {
     if (dir_hash_) {
       dir_hash_->prefetch_bucket(flat_detail::pack_key(p.v, p.w));
     } else {
-      __builtin_prefetch(&dir_off_[p.v]);
+      CROUTE_PREFETCH(&dir_off_[p.v]);
     }
   }
   void dir_find_stage1(FindProbe& p) const noexcept {
@@ -258,19 +260,73 @@ class FlatScheme {
     return pos == p.len ? kNotFound : p.off + pos;
   }
 
+  /// --- batched stage2 (SIMD kernels, src/simd/) ---------------------------
+  /// SoA scratch for resolving a whole round of staged probes in one
+  /// kernel call. The batch engine compacts its live lanes' probes here
+  /// each round — comparands contiguous in memory, so on AVX2 one
+  /// 256-bit register carries 8 lanes' search keys — and reads the pool
+  /// indices back from out[]. One instance per engine, reused across
+  /// generations (no allocation once warm).
+  struct FindBatchScratch {
+    std::vector<std::uint32_t> offs, lens, xs, out;
+    std::vector<std::uint64_t> slots, want;
+    std::uint32_t count = 0;
+
+    void clear() noexcept { count = 0; }
+    /// Pre-sizes all arrays for \p n lanes (push never grows them).
+    void reserve(std::uint32_t n) {
+      offs.resize(n);
+      lens.resize(n);
+      xs.resize(n);
+      out.resize(n);
+      slots.resize(n);
+      want.resize(n);
+    }
+    /// Pushes one staged probe (all index fields, unconditionally — the
+    /// resolving side reads the ones its lookup layout uses).
+    void push(const FindProbe& p) noexcept {
+      offs[count] = p.off;
+      lens[count] = p.len;
+      xs[count] = p.w;
+      slots[count] = p.slot;
+      want[count] = flat_detail::pack_key(p.v, p.w);
+      ++count;
+    }
+    /// Pushes one bare Eytzinger slice probe (FlatCowen's cluster scan).
+    void push_slice(std::uint32_t off, std::uint32_t len,
+                    std::uint32_t x) noexcept {
+      offs[count] = off;
+      lens[count] = len;
+      xs[count] = x;
+      ++count;
+    }
+  };
+
+  /// Resolves every pushed probe at once: b.out[i] = find(v_i, w_i) —
+  /// exactly find_stage2 per lane, computed by the selected SIMD
+  /// implementation (simd::ops() is re-read per call, so force() /
+  /// CROUTE_SIMD take effect on the next batch).
+  void find_stage2_batch(FindBatchScratch& b) const noexcept {
+    resolve_batch(tbl_hash_, tbl_key_, b);
+  }
+  /// Batched dir_find_stage2 (rule-0 directory probes).
+  void dir_find_stage2_batch(FindBatchScratch& b) const noexcept {
+    resolve_batch(dir_hash_, dir_key_, b);
+  }
+
   /// Payload prefetches for resolved pool indices (next round's loads).
   void prefetch_record(std::uint32_t idx) const noexcept {
-    __builtin_prefetch(&tbl_record_[idx]);
+    CROUTE_PREFETCH(&tbl_record_[idx]);
   }
   void prefetch_own_label(std::uint32_t idx) const noexcept {
-    __builtin_prefetch(&tbl_own_dfs_[idx]);
-    __builtin_prefetch(&tbl_own_light_off_[idx]);
-    __builtin_prefetch(&tbl_own_light_len_[idx]);
+    CROUTE_PREFETCH(&tbl_own_dfs_[idx]);
+    CROUTE_PREFETCH(&tbl_own_light_off_[idx]);
+    CROUTE_PREFETCH(&tbl_own_light_len_[idx]);
   }
   void prefetch_dir_payload(std::uint32_t idx) const noexcept {
-    __builtin_prefetch(&dir_dfs_[idx]);
-    __builtin_prefetch(&dir_light_off_[idx]);
-    __builtin_prefetch(&dir_light_len_[idx]);
+    CROUTE_PREFETCH(&dir_dfs_[idx]);
+    CROUTE_PREFETCH(&dir_light_off_[idx]);
+    CROUTE_PREFETCH(&dir_light_len_[idx]);
   }
 
   std::uint32_t table_size(VertexId v) const noexcept {
@@ -352,6 +408,29 @@ class FlatScheme {
   void compile_directories(ThreadPool* pool);
   void compile_labels(ThreadPool* pool);
   void compile_hashes(ThreadPool* pool);
+
+  /// The shared batched-stage2 body behind find_stage2_batch /
+  /// dir_find_stage2_batch: one kernel call over the compacted probes,
+  /// then the same miss/offset mapping find_stage2 applies per lane.
+  void resolve_batch(const std::optional<PerfectHashMap>& hash,
+                     const std::vector<VertexId>& keys,
+                     FindBatchScratch& b) const noexcept {
+    static_assert(simd::kNotFound == kNotFound,
+                  "kernel miss sentinel must feed the engine unchanged");
+    static_assert(simd::kNoSlot == PerfectHashMap::kNoSlot,
+                  "kernel slot sentinel must match the hash map's");
+    const simd::Ops& k = simd::ops();
+    if (hash) {
+      k.fks_value_batch(hash->slot_keys(), hash->slot_values(),
+                        b.slots.data(), b.want.data(), b.out.data(), b.count);
+      return;  // the kernel already yields kNotFound on a miss
+    }
+    k.eytzinger_batch(keys.data(), b.offs.data(), b.lens.data(), b.xs.data(),
+                      b.out.data(), b.count);
+    for (std::uint32_t i = 0; i < b.count; ++i) {
+      b.out[i] = b.out[i] == b.lens[i] ? kNotFound : b.offs[i] + b.out[i];
+    }
+  }
 
   const TZScheme* base_;
   FlatSchemeOptions options_;
@@ -463,12 +542,12 @@ class FlatCowen {
 
   /// --- staged probe pieces for the batch engine ---------------------------
   void prefetch_label(VertexId t) const noexcept {
-    __builtin_prefetch(&labels_[t]);
+    CROUTE_PREFETCH(&labels_[t]);
   }
   void prefetch_meta(VertexId v, const Label& dest) const noexcept {
-    __builtin_prefetch(&cl_off_[v]);
+    CROUTE_PREFETCH(&cl_off_[v]);
     if (dest.home_col != kNoColumn) {
-      __builtin_prefetch(
+      CROUTE_PREFETCH(
           &lport_[std::size_t{v} * num_landmarks_ + dest.home_col]);
     }
   }
@@ -484,8 +563,18 @@ class FlatCowen {
         flat_detail::eytzinger_find(cl_key_.data() + off, len, t);
     return pos == len ? kNotFound : off + pos;
   }
+  /// Batched find_at over probes pushed with push_slice: b.out[i] =
+  /// find_at(off_i, len_i, t_i), via the selected SIMD kernel (the
+  /// cluster probe is the same Eytzinger descent the TZ tables use).
+  void find_at_batch(FlatScheme::FindBatchScratch& b) const noexcept {
+    simd::ops().eytzinger_batch(cl_key_.data(), b.offs.data(), b.lens.data(),
+                                b.xs.data(), b.out.data(), b.count);
+    for (std::uint32_t i = 0; i < b.count; ++i) {
+      b.out[i] = b.out[i] == b.lens[i] ? kNotFound : b.offs[i] + b.out[i];
+    }
+  }
   void prefetch_cluster_port(std::uint32_t idx) const noexcept {
-    __builtin_prefetch(&cl_port_[idx]);
+    CROUTE_PREFETCH(&cl_port_[idx]);
   }
   Port cluster_port(std::uint32_t idx) const noexcept { return cl_port_[idx]; }
   Port landmark_port(VertexId v, std::uint32_t col) const noexcept {
@@ -518,7 +607,7 @@ class FlatFullTable {
     return hops_[std::size_t{v} * n_ + t];
   }
   void prefetch_hop(VertexId v, VertexId t) const noexcept {
-    __builtin_prefetch(&hops_[std::size_t{v} * n_ + t]);
+    CROUTE_PREFETCH(&hops_[std::size_t{v} * n_ + t]);
   }
 
   std::uint64_t table_bits(VertexId v) const noexcept;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/prefetch.hpp"
 
 namespace croute {
 
@@ -94,10 +95,10 @@ class Graph {
   /// offset entry of \p v (what degree()/arcs() read first), and one arc
   /// (valid once the offset entry is cached — issue after the first).
   void prefetch_offsets(VertexId v) const noexcept {
-    __builtin_prefetch(&offsets_[v]);
+    CROUTE_PREFETCH(&offsets_[v]);
   }
   void prefetch_arc(VertexId v, Port port) const noexcept {
-    __builtin_prefetch(&arcs_[offsets_[v] + port]);
+    CROUTE_PREFETCH(&arcs_[offsets_[v] + port]);
   }
 
  private:

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "hash/pairwise.hpp"
+#include "util/prefetch.hpp"
 #include "util/random.hpp"
 
 namespace croute {
@@ -63,9 +64,9 @@ class PerfectHashMap {
   void prefetch_bucket(std::uint64_t key) const noexcept {
     if (size_ == 0) return;
     const std::uint64_t i = (*top_)(key);
-    __builtin_prefetch(&bucket_offset_[i]);
-    __builtin_prefetch(&bucket_a_[i]);
-    __builtin_prefetch(&bucket_b_[i]);
+    CROUTE_PREFETCH(&bucket_offset_[i]);
+    CROUTE_PREFETCH(&bucket_a_[i]);
+    CROUTE_PREFETCH(&bucket_b_[i]);
   }
 
   std::uint64_t locate_slot(std::uint64_t key) const noexcept {
@@ -79,8 +80,8 @@ class PerfectHashMap {
 
   void prefetch_slot(std::uint64_t slot) const noexcept {
     if (slot == kNoSlot) return;
-    __builtin_prefetch(&keys_[slot]);
-    __builtin_prefetch(&values_[slot]);
+    CROUTE_PREFETCH(&keys_[slot]);
+    CROUTE_PREFETCH(&values_[slot]);
   }
 
   std::optional<std::uint32_t> value_at(std::uint64_t slot,
@@ -88,6 +89,15 @@ class PerfectHashMap {
     if (slot == kNoSlot || keys_[slot] != key) return std::nullopt;
     return values_[slot];
   }
+
+  /// --- raw slot arrays (batched SIMD slot check) -------------------------
+  /// The level-2 slot key / value arrays, indexed by locate_slot results.
+  /// Free slots hold the kEmpty key (~0), which never equals a packed
+  /// (vertex, key) pair, so a batched compare needs no emptiness test —
+  /// simd::Ops::fks_value_batch gathers slot_keys()[slot], compares, and
+  /// blends slot_values()[slot] exactly as value_at does per lane.
+  const std::uint64_t* slot_keys() const noexcept { return keys_.data(); }
+  const std::uint32_t* slot_values() const noexcept { return values_.data(); }
 
   bool contains(std::uint64_t key) const noexcept {
     return find(key).has_value();

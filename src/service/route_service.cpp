@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "simd/simd.hpp"
+
 namespace croute {
 
 namespace {
@@ -86,6 +88,11 @@ struct alignas(64) RouteService::Shard {
 
 RouteService::RouteService(const Graph& g, const RouteServiceOptions& options)
     : options_(options) {
+  CROUTE_REQUIRE(
+      options_.batch_group == 0 ||
+          (options_.batch_group & (options_.batch_group - 1)) == 0,
+      "batch_group must be 0 (scalar serving) or a power of two "
+      "(e.g. 16, 32, 64)");
   SchemePackagePtr pkg =
       build_scheme_package(std::make_shared<const Graph>(g), options);
   num_vertices_ = pkg->graph->num_vertices();
@@ -143,6 +150,16 @@ RouteService::RouteService(const Graph& g, const RouteServiceOptions& options)
     gauge_lane_occupancy_ = &metrics_->gauge(
         "croute_batch_lane_occupancy",
         "Sampled fraction of pipeline slots doing useful work");
+    // Constant-1 build-info gauge, Prometheus style: the interesting
+    // facts ride in the labels so dashboards can join serving metrics
+    // against the SIMD implementation that produced them.
+    gauge_build_info_ = &metrics_->gauge(
+        std::string("croute_build_info{simd_isa=\"") + simd::ops().name +
+            "\",batch_group=\"" + std::to_string(options_.batch_group) +
+            "\"}",
+        "Constant 1; labels carry the dispatched SIMD implementation and "
+        "the pipeline group size");
+    gauge_build_info_->set(1);
     for (BatchScratch& ws : batch_scratch_) {
       ws.engine.set_stats_sample_every(64);
     }

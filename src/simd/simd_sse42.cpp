@@ -1,0 +1,95 @@
+/// \file simd_sse42.cpp
+/// \brief SSE4.2 kernels: 4 × 32-bit lanes for the Eytzinger descent.
+///
+/// Pre-AVX2 x86 has no gather, so the per-lane key loads stay scalar
+/// (four independent loads the out-of-order core overlaps anyway) and
+/// the vector unit carries the compare-and-step arithmetic and the
+/// active-lane bookkeeping. The FKS slot check keeps the shared scalar
+/// loop — with loads scalar there is nothing left to vectorize in a
+/// 2-lane 64-bit compare.
+///
+/// Compiled with `-msse4.2` on x86 (CMakeLists.txt); elsewhere this TU
+/// exports a null table. Unsigned compares use the sign-flip trick (see
+/// simd_avx2.cpp).
+
+#include "simd/ops_tables.hpp"
+
+#if defined(__SSE4_2__)
+
+#include <nmmintrin.h>
+
+#include "simd/scalar_kernels.hpp"
+
+namespace croute::simd {
+namespace {
+
+void eytzinger_batch_sse42(const std::uint32_t* keys,
+                           const std::uint32_t* offs,
+                           const std::uint32_t* lens, const std::uint32_t* xs,
+                           std::uint32_t* out, std::uint32_t count) {
+  const __m128i sign = _mm_set1_epi32(INT32_MIN);
+  const __m128i zero = _mm_setzero_si128();
+  std::uint32_t base = 0;
+  for (; base + 4 <= count; base += 4) {
+    const __m128i vlen = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(lens + base));
+    const __m128i vx = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(xs + base));
+    const __m128i vx_s = _mm_xor_si128(vx, sign);
+    const __m128i vlen_s = _mm_xor_si128(vlen, sign);
+    const std::uint32_t o0 = offs[base + 0], o1 = offs[base + 1];
+    const std::uint32_t o2 = offs[base + 2], o3 = offs[base + 3];
+    __m128i vi = _mm_set1_epi32(1);
+    for (;;) {
+      const __m128i done = _mm_cmpgt_epi32(_mm_xor_si128(vi, sign), vlen_s);
+      const int done_mask = _mm_movemask_epi8(done);
+      if (done_mask == 0xFFFF) break;
+      alignas(16) std::uint32_t i4[4];
+      _mm_store_si128(reinterpret_cast<__m128i*>(i4), vi);
+      // Scalar loads; retired lanes must not touch memory (their index
+      // left the slice, and an empty slice's offset may be pool end).
+      const std::uint32_t k0 =
+          (done_mask & 0x000F) ? 0 : keys[o0 + i4[0] - 1];
+      const std::uint32_t k1 =
+          (done_mask & 0x00F0) ? 0 : keys[o1 + i4[1] - 1];
+      const std::uint32_t k2 =
+          (done_mask & 0x0F00) ? 0 : keys[o2 + i4[2] - 1];
+      const std::uint32_t k3 =
+          (done_mask & 0xF000) ? 0 : keys[o3 + i4[3] - 1];
+      const __m128i vkey = _mm_set_epi32(
+          static_cast<int>(k3), static_cast<int>(k2), static_cast<int>(k1),
+          static_cast<int>(k0));
+      const __m128i lt = _mm_cmpgt_epi32(vx_s, _mm_xor_si128(vkey, sign));
+      const __m128i stepped = _mm_sub_epi32(_mm_slli_epi32(vi, 1), lt);
+      const __m128i active = _mm_cmpeq_epi32(done, zero);
+      vi = _mm_blendv_epi8(vi, stepped, active);
+    }
+    alignas(16) std::uint32_t fi[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(fi), vi);
+    for (std::uint32_t l = 0; l < 4; ++l) {
+      out[base + l] = detail::eytzinger_epilogue(
+          keys, offs[base + l], lens[base + l], xs[base + l], fi[l]);
+    }
+  }
+  detail::eytzinger_batch_scalar(keys, offs + base, lens + base, xs + base,
+                                 out + base, count - base);
+}
+
+}  // namespace
+
+const Ops kSse42Ops = {
+    Isa::kSSE42,
+    "sse42",
+    &eytzinger_batch_sse42,
+    &detail::fks_value_batch_scalar,
+};
+
+}  // namespace croute::simd
+
+#else  // !__SSE4_2__
+
+namespace croute::simd {
+const Ops kSse42Ops = {Isa::kSSE42, "sse42", nullptr, nullptr};
+}  // namespace croute::simd
+
+#endif

@@ -1,0 +1,23 @@
+/// \file prefetch.hpp
+/// \brief Portability shims for compiler builtins used on the hot path.
+///
+/// The batch-pipelined serving path leans on software prefetching
+/// (`__builtin_prefetch`) to keep G cache-miss chains in flight. The
+/// builtin is a GCC/Clang extension; scattering bare calls through the
+/// stage loops ties every serving translation unit to those compilers.
+/// This header is the single place that knows which compiler provides
+/// what — everyone else uses the CROUTE_PREFETCH macro and compiles
+/// cleanly (prefetches degrade to no-ops) on toolchains without it.
+///
+/// Prefetches are *hints*: eliding them changes performance, never
+/// results, so the no-op fallback is semantically safe.
+
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+/// Prefetch the cache line of \p addr for reading (may be any address,
+/// including invalid ones — prefetch never faults).
+#define CROUTE_PREFETCH(addr) __builtin_prefetch(addr)
+#else
+#define CROUTE_PREFETCH(addr) ((void)sizeof(addr))
+#endif
