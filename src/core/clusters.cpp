@@ -4,7 +4,7 @@
 
 namespace croute {
 
-TZPreprocessing::TZPreprocessing(const Graph& g,
+CROUTE_DETERMINISTIC TZPreprocessing::TZPreprocessing(const Graph& g,
                                  const PreprocessOptions& options, Rng& rng)
     : g_(&g) {
   CROUTE_REQUIRE(g.num_vertices() >= 1, "graph must be non-empty");
@@ -25,8 +25,8 @@ TZPreprocessing::TZPreprocessing(const Graph& g,
   }
 }
 
-std::uint32_t TZPreprocessing::effective_level(std::uint32_t level,
-                                               VertexId v) const {
+CROUTE_HOT std::uint32_t TZPreprocessing::effective_level(
+    std::uint32_t level, VertexId v) const {
   CROUTE_REQUIRE(level < k(), "level out of range");
   std::uint32_t j = level;
   while (j + 1 < k() && pivots_[j].owner[v] == pivots_[j + 1].owner[v]) {

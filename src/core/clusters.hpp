@@ -32,6 +32,7 @@
 
 #include "core/landmarks.hpp"
 #include "graph/spt.hpp"
+#include "util/annotations.hpp"
 
 namespace croute {
 
@@ -46,7 +47,9 @@ class TZPreprocessing {
  public:
   /// Runs hierarchy sampling and one multi-source Dijkstra per level.
   /// Requires a connected graph with >= 1 vertex.
-  TZPreprocessing(const Graph& g, const PreprocessOptions& options, Rng& rng);
+  CROUTE_DETERMINISTIC TZPreprocessing(const Graph& g,
+                                       const PreprocessOptions& options,
+                                       Rng& rng);
 
   const Graph& graph() const noexcept { return *g_; }
   std::uint32_t k() const noexcept { return hierarchy_.k; }
@@ -59,7 +62,7 @@ class TZPreprocessing {
   }
 
   /// p_i(v): the lexicographically nearest A_i vertex to v.
-  VertexId pivot(std::uint32_t level, VertexId v) const {
+  CROUTE_HOT VertexId pivot(std::uint32_t level, VertexId v) const {
     return pivots_[level].owner[v];
   }
   /// d(A_i, v).
@@ -69,10 +72,11 @@ class TZPreprocessing {
 
   /// The effective pivot level for (level, v): the first j >= level with
   /// p_j(v) != p_{j+1}(v), or k-1. v ∈ C(p_j(v)) is guaranteed.
-  std::uint32_t effective_level(std::uint32_t level, VertexId v) const;
+  CROUTE_HOT std::uint32_t effective_level(std::uint32_t level,
+                                           VertexId v) const;
 
   /// Effective pivot ŵ_level(v) (see file comment).
-  VertexId effective_pivot(std::uint32_t level, VertexId v) const {
+  CROUTE_HOT VertexId effective_pivot(std::uint32_t level, VertexId v) const {
     return pivot(effective_level(level, v), v);
   }
 

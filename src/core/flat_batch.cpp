@@ -7,26 +7,44 @@ namespace croute {
 namespace {
 
 /// The serving hop budget (same bound RouteService::serve uses).
-std::uint32_t default_max_hops(const Graph& g) noexcept {
+CROUTE_HOT std::uint32_t default_max_hops(const Graph& g) noexcept {
   return 4 * g.num_vertices() + 16;
+}
+
+/// Appends one vertex to a lane's path buffer (diagnostic mode only).
+CROUTE_HOT inline void path_append(std::vector<VertexId>* path, VertexId v) {
+  if (path == nullptr) return;
+  CROUTE_LINT_SUPPRESS(hot_path,
+                       "opt-in path recording: the per-lane buffers keep "
+                       "their high-water capacity across batches");
+  path->push_back(v);
 }
 
 }  // namespace
 
-void FlatBatchEngine::route(const FlatBatchTarget& target,
+CROUTE_HOT void FlatBatchEngine::route(const FlatBatchTarget& target,
                             std::span<const FlatBatchQuery> queries,
                             std::span<FlatBatchAnswer> answers,
                             std::vector<VertexId>* path_arena) {
   run(target, queries, answers, path_arena, /*decisions_only=*/false);
 }
 
-void FlatBatchEngine::decide(const FlatBatchTarget& target,
+CROUTE_HOT void FlatBatchEngine::decide(const FlatBatchTarget& target,
                              std::span<const FlatBatchQuery> queries,
                              std::span<FlatBatchAnswer> answers) {
   run(target, queries, answers, nullptr, /*decisions_only=*/true);
 }
 
-void FlatBatchEngine::finish(Lane& lane, FlatBatchAnswer& answer,
+void FlatBatchEngine::ensure_scratch(bool want_paths) {
+  lanes_.resize(group_);
+  live_.resize(group_);
+  scan_.resize(group_);
+  scan_next_.resize(group_);
+  batch_.reserve(group_);
+  if (want_paths) lane_paths_.resize(group_);
+}
+
+CROUTE_HOT void FlatBatchEngine::finish(Lane& lane, FlatBatchAnswer& answer,
                              RouteStatus status,
                              std::vector<VertexId>* path_arena) const {
   answer.status = status;
@@ -36,12 +54,16 @@ void FlatBatchEngine::finish(Lane& lane, FlatBatchAnswer& answer,
   if (lane.path != nullptr && path_arena != nullptr) {
     answer.path_off = static_cast<std::uint32_t>(path_arena->size());
     answer.path_len = static_cast<std::uint32_t>(lane.path->size());
+    CROUTE_LINT_SUPPRESS(hot_path,
+                         "opt-in path recording flushes into the "
+                         "caller-owned arena, which keeps its high-water "
+                         "capacity across batches");
     path_arena->insert(path_arena->end(), lane.path->begin(),
                        lane.path->end());
   }
 }
 
-void FlatBatchEngine::run(const FlatBatchTarget& target,
+CROUTE_HOT void FlatBatchEngine::run(const FlatBatchTarget& target,
                           std::span<const FlatBatchQuery> queries,
                           std::span<FlatBatchAnswer> answers,
                           std::vector<VertexId>* path_arena,
@@ -76,10 +98,10 @@ void FlatBatchEngine::run(const FlatBatchTarget& target,
                                      ? target.max_hops
                                      : default_max_hops(*target.graph);
   const Graph& g = *target.graph;
-  lanes_.resize(group_);
-  live_.resize(group_);
-  batch_.reserve(group_);
-  if (path_arena != nullptr) lane_paths_.resize(group_);
+  CROUTE_LINT_SUPPRESS(hot_path,
+                       "scratch warmup: every resize is a no-op once the "
+                       "engine has served its first batch");
+  ensure_scratch(path_arena != nullptr);
   using clock = std::chrono::steady_clock;
 
   for (std::size_t base = 0; base < queries.size(); base += group_) {
@@ -101,7 +123,7 @@ void FlatBatchEngine::run(const FlatBatchTarget& target,
       lane.path = path_arena != nullptr ? &lane_paths_[j] : nullptr;
       if (lane.path != nullptr) {
         lane.path->clear();
-        lane.path->push_back(q.s);
+        path_append(lane.path, q.s);
       }
       if (q.s == q.t) {
         // Self-query: the packet never leaves the source — delivered, 0
@@ -193,8 +215,8 @@ void FlatBatchEngine::run(const FlatBatchTarget& target,
   }
 }
 
-void FlatBatchEngine::prepare_tz_direct(const FlatBatchTarget& target,
-                                        std::span<FlatBatchAnswer> answers) {
+CROUTE_HOT void FlatBatchEngine::prepare_tz_direct(
+    const FlatBatchTarget& target, std::span<FlatBatchAnswer> answers) {
   (void)answers;
   const FlatScheme* f = target.flat;
   // Rule 0, lockstep: every lane probes its source's cluster directory
@@ -231,21 +253,25 @@ void FlatBatchEngine::prepare_tz_direct(const FlatBatchTarget& target,
   // round probes every unresolved lane's current entry (three loops =
   // the three find stages, so lane A's slice prefetch flies while lanes
   // B…G descend).
-  scan_.clear();
+  scan_count_ = 0;
   for (std::uint32_t pos = 0; pos < live_count_; ++pos) {
     Lane& lane = lanes_[live_[pos]];
     if (lane.root != kNoVertex) continue;  // rule-0 hit
     lane.probe = FlatScheme::FindProbe{lane.s, lane.lab_it->w};
     f->find_stage0(lane.probe);
-    scan_.push_back(live_[pos]);
+    scan_[scan_count_++] = live_[pos];
   }
-  while (!scan_.empty()) {
-    for (const std::uint32_t l : scan_) f->find_stage1(lanes_[l].probe);
+  while (scan_count_ > 0) {
+    for (std::uint32_t i = 0; i < scan_count_; ++i) {
+      f->find_stage1(lanes_[scan_[i]].probe);
+    }
     batch_.clear();
-    for (const std::uint32_t l : scan_) batch_.push(lanes_[l].probe);
+    for (std::uint32_t i = 0; i < scan_count_; ++i) {
+      batch_.push(lanes_[scan_[i]].probe);
+    }
     f->find_stage2_batch(batch_);
-    scan_next_.clear();
-    for (std::size_t i = 0; i < scan_.size(); ++i) {
+    scan_next_count_ = 0;
+    for (std::uint32_t i = 0; i < scan_count_; ++i) {
       Lane& lane = lanes_[scan_[i]];
       const std::uint32_t idx = batch_.out[i];
       const FlatScheme::LabelEntryView* chosen = nullptr;
@@ -277,7 +303,7 @@ void FlatBatchEngine::prepare_tz_direct(const FlatBatchTarget& target,
       if (chosen == nullptr) {  // scan continues with the next entry
         lane.probe = FlatScheme::FindProbe{lane.s, lane.lab_it->w};
         f->find_stage0(lane.probe);
-        scan_next_.push_back(scan_[i]);
+        scan_next_[scan_next_count_++] = scan_[i];
         continue;
       }
       lane.root = chosen->w;
@@ -287,6 +313,7 @@ void FlatBatchEngine::prepare_tz_direct(const FlatBatchTarget& target,
       lane.bits = f->header_bits_for(chosen->light_len);
     }
     scan_.swap(scan_next_);
+    scan_count_ = scan_next_count_;
   }
   // Enter the walk: every lane decides first at its source.
   for (std::uint32_t pos = 0; pos < live_count_; ++pos) {
@@ -297,21 +324,29 @@ void FlatBatchEngine::prepare_tz_direct(const FlatBatchTarget& target,
   }
 }
 
-void FlatBatchEngine::prepare_tz_handshake(const FlatBatchTarget& target) {
+CROUTE_HOT void FlatBatchEngine::prepare_tz_handshake(
+    const FlatBatchTarget& target) {
   const FlatScheme* f = target.flat;
   // Bidirectional pivot walks, lockstep: each round runs one membership
   // probe per unresolved lane (as TZRouter::prepare_handshake, with flat
   // probes). A lane whose walk meets switches to the final find(t, w) —
   // unless the meeting probe already was one — and resolves to its
   // destination-side own label.
-  scan_.assign(live_.begin(), live_.begin() + live_count_);
-  while (!scan_.empty()) {
-    for (const std::uint32_t l : scan_) f->find_stage1(lanes_[l].probe);
+  for (std::uint32_t pos = 0; pos < live_count_; ++pos) {
+    scan_[pos] = live_[pos];
+  }
+  scan_count_ = live_count_;
+  while (scan_count_ > 0) {
+    for (std::uint32_t i = 0; i < scan_count_; ++i) {
+      f->find_stage1(lanes_[scan_[i]].probe);
+    }
     batch_.clear();
-    for (const std::uint32_t l : scan_) batch_.push(lanes_[l].probe);
+    for (std::uint32_t i = 0; i < scan_count_; ++i) {
+      batch_.push(lanes_[scan_[i]].probe);
+    }
     f->find_stage2_batch(batch_);
-    scan_next_.clear();
-    for (std::size_t i = 0; i < scan_.size(); ++i) {
+    scan_next_count_ = 0;
+    for (std::uint32_t i = 0; i < scan_count_; ++i) {
       Lane& lane = lanes_[scan_[i]];
       const std::uint32_t idx = batch_.out[i];
       if (idx != FlatScheme::kNotFound) {
@@ -323,7 +358,7 @@ void FlatBatchEngine::prepare_tz_handshake(const FlatBatchTarget& target) {
         lane.hs_done = true;  // meeting found; resolve t's own label next
         lane.probe = FlatScheme::FindProbe{lane.t, lane.hs_w};
         f->find_stage0(lane.probe);
-        scan_next_.push_back(scan_[i]);
+        scan_next_[scan_next_count_++] = scan_[i];
         continue;
       }
       CROUTE_ASSERT(!lane.hs_done,
@@ -336,9 +371,10 @@ void FlatBatchEngine::prepare_tz_handshake(const FlatBatchTarget& target) {
           f->base().preprocessing().effective_pivot(lane.hs_i, lane.hs_u);
       lane.probe = FlatScheme::FindProbe{lane.hs_v, lane.hs_w};
       f->find_stage0(lane.probe);
-      scan_next_.push_back(scan_[i]);
+      scan_next_[scan_next_count_++] = scan_[i];
     }
     scan_.swap(scan_next_);
+    scan_count_ = scan_next_count_;
   }
   for (std::uint32_t pos = 0; pos < live_count_; ++pos) {
     Lane& lane = lanes_[live_[pos]];
@@ -354,10 +390,11 @@ void FlatBatchEngine::prepare_tz_handshake(const FlatBatchTarget& target) {
   }
 }
 
-void FlatBatchEngine::walk_tz(const FlatBatchTarget& target,
-                              std::span<FlatBatchAnswer> answers,
-                              std::vector<VertexId>* path_arena,
-                              bool decisions_only, std::uint32_t max_hops) {
+CROUTE_HOT void FlatBatchEngine::walk_tz(const FlatBatchTarget& target,
+                                         std::span<FlatBatchAnswer> answers,
+                                         std::vector<VertexId>* path_arena,
+                                         bool decisions_only,
+                                         std::uint32_t max_hops) {
   const FlatScheme* f = target.flat;
   const Graph& g = *target.graph;
   while (live_count_ > 0) {
@@ -444,7 +481,7 @@ void FlatBatchEngine::walk_tz(const FlatBatchTarget& target,
       lane.length += arc.weight;
       ++lane.hops;
       lane.here = arc.head;
-      if (lane.path != nullptr) lane.path->push_back(lane.here);
+      path_append(lane.path, lane.here);
       if (lane.hops >= max_hops) {
         finish(lane, answers[lane.qi], RouteStatus::kHopLimit, path_arena);
         retire(pos);
@@ -458,11 +495,10 @@ void FlatBatchEngine::walk_tz(const FlatBatchTarget& target,
   }
 }
 
-void FlatBatchEngine::walk_cowen(const FlatBatchTarget& target,
-                                 std::span<FlatBatchAnswer> answers,
-                                 std::vector<VertexId>* path_arena,
-                                 bool decisions_only,
-                                 std::uint32_t max_hops) {
+CROUTE_HOT void FlatBatchEngine::walk_cowen(
+    const FlatBatchTarget& target, std::span<FlatBatchAnswer> answers,
+    std::vector<VertexId>* path_arena, bool decisions_only,
+    std::uint32_t max_hops) {
   const FlatCowen* c = target.cowen;
   const Graph& g = *target.graph;
   // Resolve labels (prefetched at init) and issue the first prefetches.
@@ -548,7 +584,7 @@ void FlatBatchEngine::walk_cowen(const FlatBatchTarget& target,
       lane.length += arc.weight;
       ++lane.hops;
       lane.here = arc.head;
-      if (lane.path != nullptr) lane.path->push_back(lane.here);
+      path_append(lane.path, lane.here);
       if (lane.hops >= max_hops) {
         finish(lane, answers[lane.qi], RouteStatus::kHopLimit, path_arena);
         retire(pos);
@@ -561,11 +597,10 @@ void FlatBatchEngine::walk_cowen(const FlatBatchTarget& target,
   }
 }
 
-void FlatBatchEngine::walk_full(const FlatBatchTarget& target,
-                                std::span<FlatBatchAnswer> answers,
-                                std::vector<VertexId>* path_arena,
-                                bool decisions_only,
-                                std::uint32_t max_hops) {
+CROUTE_HOT void FlatBatchEngine::walk_full(
+    const FlatBatchTarget& target, std::span<FlatBatchAnswer> answers,
+    std::vector<VertexId>* path_arena, bool decisions_only,
+    std::uint32_t max_hops) {
   const FlatFullTable* ft = target.full;
   const Graph& g = *target.graph;
   while (live_count_ > 0) {
@@ -607,7 +642,7 @@ void FlatBatchEngine::walk_full(const FlatBatchTarget& target,
       lane.length += arc.weight;
       ++lane.hops;
       lane.here = arc.head;
-      if (lane.path != nullptr) lane.path->push_back(lane.here);
+      path_append(lane.path, lane.here);
       if (lane.hops >= max_hops) {
         finish(lane, answers[lane.qi], RouteStatus::kHopLimit, path_arena);
         retire(pos);

@@ -67,6 +67,7 @@
 
 #include "core/flat_scheme.hpp"
 #include "sim/packet.hpp"
+#include "util/annotations.hpp"
 
 namespace croute {
 
@@ -169,17 +170,17 @@ class FlatBatchEngine {
   /// in flight. When \p path_arena is non-null each query's visited
   /// vertices are appended to it (contiguous per query, in completion
   /// order) and answers[i].path_off/path_len index the slice.
-  void route(const FlatBatchTarget& target,
-             std::span<const FlatBatchQuery> queries,
-             std::span<FlatBatchAnswer> answers,
-             std::vector<VertexId>* path_arena = nullptr);
+  CROUTE_HOT void route(const FlatBatchTarget& target,
+                        std::span<const FlatBatchQuery> queries,
+                        std::span<FlatBatchAnswer> answers,
+                        std::vector<VertexId>* path_arena = nullptr);
 
   /// The micro-bench op: only the *source decision* — prepare plus the
   /// first per-hop step — batched. Fills status/header_bits and the
   /// decide() extras; no edges are traversed.
-  void decide(const FlatBatchTarget& target,
-              std::span<const FlatBatchQuery> queries,
-              std::span<FlatBatchAnswer> answers);
+  CROUTE_HOT void decide(const FlatBatchTarget& target,
+                         std::span<const FlatBatchQuery> queries,
+                         std::span<FlatBatchAnswer> answers);
 
  private:
   struct Lane {
@@ -241,12 +242,17 @@ class FlatBatchEngine {
                  std::vector<VertexId>* path_arena, bool decisions_only,
                  std::uint32_t max_hops);
 
-  void finish(Lane& lane, FlatBatchAnswer& answer, RouteStatus status,
-              std::vector<VertexId>* path_arena) const;
+  CROUTE_HOT void finish(Lane& lane, FlatBatchAnswer& answer,
+                         RouteStatus status,
+                         std::vector<VertexId>* path_arena) const;
   /// Drops live_[pos] from the live list (swap-with-last).
-  void retire(std::uint32_t pos) {
+  CROUTE_HOT void retire(std::uint32_t pos) {
     live_[pos] = live_[--live_count_];
   }
+  /// Warms the lane/scan/probe scratch to group_ capacity. All resizes
+  /// are no-ops after the engine's first batch (capacity persists), so
+  /// the stage loops themselves never allocate.
+  void ensure_scratch(bool want_paths);
 
   std::uint32_t group_;
   std::uint32_t stats_sample_every_ = 0;  ///< 0 = sampling off
@@ -255,8 +261,13 @@ class FlatBatchEngine {
   std::vector<Lane> lanes_;
   std::vector<std::uint32_t> live_;  ///< live lane indices, compacted
   std::uint32_t live_count_ = 0;
-  std::vector<std::uint32_t> scan_;       ///< prepare-phase unresolved lanes
-  std::vector<std::uint32_t> scan_next_;  ///< survivors of a scan round
+  /// Prepare-phase unresolved lanes and the survivors of a scan round:
+  /// counted arrays pre-sized to group_ (like live_/live_count_), so the
+  /// scan loops write slots instead of push_back-ing.
+  std::vector<std::uint32_t> scan_;
+  std::uint32_t scan_count_ = 0;
+  std::vector<std::uint32_t> scan_next_;
+  std::uint32_t scan_next_count_ = 0;
   /// SoA probe compaction: each stage-B round pushes the live lanes'
   /// probes here and one SIMD kernel call (simd::ops()) resolves them
   /// all — comparands contiguous, so a 256-bit register carries 8 lanes.

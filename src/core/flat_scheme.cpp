@@ -65,7 +65,8 @@ const char* flat_lookup_name(FlatLookup lookup) noexcept {
   return "?";
 }
 
-FlatScheme::FlatScheme(const TZScheme& scheme, const FlatSchemeOptions& options)
+CROUTE_DETERMINISTIC FlatScheme::FlatScheme(const TZScheme& scheme,
+                                            const FlatSchemeOptions& options)
     : base_(&scheme), options_(options) {
   using clock = std::chrono::steady_clock;
   ThreadPool* pool = options.pool;
@@ -305,7 +306,8 @@ void FlatScheme::compile_hashes(ThreadPool* pool) {
       tbl_stats.bucket_retries + dir_stats.bucket_retries;
 }
 
-std::uint32_t FlatScheme::find(VertexId v, VertexId w) const noexcept {
+CROUTE_HOT std::uint32_t FlatScheme::find(VertexId v,
+                                          VertexId w) const noexcept {
   if (tbl_hash_) {
     const auto idx = tbl_hash_->find(pack_key(v, w));
     return idx ? *idx : kNotFound;
@@ -316,7 +318,8 @@ std::uint32_t FlatScheme::find(VertexId v, VertexId w) const noexcept {
   return pos == len ? kNotFound : off + pos;
 }
 
-std::uint32_t FlatScheme::dir_find(VertexId v, VertexId t) const noexcept {
+CROUTE_HOT std::uint32_t FlatScheme::dir_find(VertexId v,
+                                              VertexId t) const noexcept {
   if (dir_hash_) {
     const auto idx = dir_hash_->find(pack_key(v, t));
     return idx ? *idx : kNotFound;
@@ -345,12 +348,12 @@ std::uint64_t FlatScheme::pool_bytes() const noexcept {
   return total;
 }
 
-FlatHeader FlatRouter::prepare(VertexId s, VertexId t,
-                               RoutingPolicy policy) const {
+CROUTE_HOT FlatHeader FlatRouter::prepare(VertexId s, VertexId t,
+                                          RoutingPolicy policy) const {
   return prepare_resolved(s, t, flat_->label(t), policy);
 }
 
-FlatHeader FlatRouter::prepare_resolved(
+CROUTE_HOT FlatHeader FlatRouter::prepare_resolved(
     VertexId s, VertexId t, std::span<const FlatScheme::LabelEntryView> label,
     RoutingPolicy policy) const {
   const FlatScheme& f = *flat_;
@@ -403,7 +406,8 @@ FlatHeader FlatRouter::prepare_resolved(
                     f.header_bits_for(chosen->light_len)};
 }
 
-FlatHeader FlatRouter::prepare_handshake(VertexId s, VertexId t) const {
+CROUTE_HOT FlatHeader FlatRouter::prepare_handshake(VertexId s,
+                                                    VertexId t) const {
   const FlatScheme& f = *flat_;
   const TZPreprocessing& pre = f.base().preprocessing();
   const std::uint32_t k = f.k();
@@ -430,7 +434,8 @@ FlatHeader FlatRouter::prepare_handshake(VertexId s, VertexId t) const {
                     f.header_bits_for(static_cast<std::uint32_t>(ports.size()))};
 }
 
-TreeDecision FlatRouter::step(VertexId v, const FlatHeader& header) const {
+CROUTE_HOT TreeDecision FlatRouter::step(VertexId v,
+                                         const FlatHeader& header) const {
   const std::uint32_t idx = flat_->find(v, header.tree_root);
   CROUTE_ASSERT(idx != FlatScheme::kNotFound,
                 "packet left the routing tree: vertex has no entry for it");
@@ -451,7 +456,8 @@ TreeDecision FlatRouter::step(VertexId v, const FlatHeader& header) const {
   return TreeDecision{false, header.light[here.light_depth]};
 }
 
-FlatCowen::FlatCowen(const CowenScheme& cowen, const Graph& g)
+CROUTE_DETERMINISTIC FlatCowen::FlatCowen(const CowenScheme& cowen,
+                                          const Graph& g)
     : g_(&g),
       n_(g.num_vertices()),
       id_bits_(bits_for_universe(g.num_vertices())),
@@ -489,7 +495,8 @@ FlatCowen::FlatCowen(const CowenScheme& cowen, const Graph& g)
   }
 }
 
-TreeDecision FlatCowen::step(VertexId v, const Label& dest) const {
+CROUTE_HOT TreeDecision FlatCowen::step(VertexId v,
+                                        const Label& dest) const {
   if (v == dest.t) return TreeDecision{true, kNoPort};
   // Exact hop if t ∈ C(v): one Eytzinger probe with the port alongside.
   const std::uint32_t off = cl_off_[v];

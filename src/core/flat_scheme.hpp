@@ -68,6 +68,7 @@
 #include "core/tz_scheme.hpp"
 #include "hash/perfect_hash.hpp"
 #include "simd/simd.hpp"
+#include "util/annotations.hpp"
 #include "util/prefetch.hpp"
 
 namespace croute {
@@ -79,14 +80,15 @@ class FullTableScheme;
 namespace flat_detail {
 
 /// Packs a (vertex, key) pair into one 64-bit FKS key.
-inline std::uint64_t pack_key(VertexId v, VertexId w) noexcept {
+CROUTE_HOT inline std::uint64_t pack_key(VertexId v, VertexId w) noexcept {
   return (std::uint64_t{v} << 32) | w;
 }
 
 /// Branch-free Eytzinger lower-bound probe over one slice. Returns the
 /// 0-based slice position of the key equal to \p x, or len (miss).
-inline std::uint32_t eytzinger_find(const VertexId* keys, std::uint32_t len,
-                                    VertexId x) noexcept {
+CROUTE_HOT inline std::uint32_t eytzinger_find(const VertexId* keys,
+                                               std::uint32_t len,
+                                               VertexId x) noexcept {
   std::uint32_t i = 1;
   while (i <= len) i = 2 * i + (keys[i - 1] < x);
   i >>= std::countr_one(i) + 1;
@@ -98,7 +100,8 @@ inline std::uint32_t eytzinger_find(const VertexId* keys, std::uint32_t len,
 /// per-vertex key slices this guards are a few lines; for the rare larger
 /// slice the descent's upper levels (the slice front — that is the point
 /// of the Eytzinger order) are still covered.
-inline void prefetch_span(const void* p, std::size_t bytes) noexcept {
+CROUTE_HOT inline void prefetch_span(const void* p,
+                                     std::size_t bytes) noexcept {
   const char* c = static_cast<const char*>(p);
   const std::size_t lines = std::min<std::size_t>((bytes + 63) / 64, 8);
   for (std::size_t l = 0; l < lines; ++l) CROUTE_PREFETCH(c + 64 * l);
@@ -170,18 +173,21 @@ class FlatScheme {
     std::uint32_t light_len = 0;
   };
 
-  explicit FlatScheme(const TZScheme& scheme,
-                      const FlatSchemeOptions& options = {});
+  /// Compiles the flat view (deterministic: the pooled bytes are a pure
+  /// function of the scheme, the options and the seed — at every pool
+  /// size).
+  CROUTE_DETERMINISTIC explicit FlatScheme(
+      const TZScheme& scheme, const FlatSchemeOptions& options = {});
 
-  const TZScheme& base() const noexcept { return *base_; }
+  CROUTE_HOT const TZScheme& base() const noexcept { return *base_; }
   const Graph& graph() const noexcept { return base_->graph(); }
-  std::uint32_t k() const noexcept { return base_->k(); }
+  CROUTE_HOT std::uint32_t k() const noexcept { return base_->k(); }
   FlatLookup lookup_kind() const noexcept { return options_.lookup; }
 
   /// --- bunch lookups ------------------------------------------------------
   /// Pool index of v's entry for tree root w, or kNotFound. This is the
   /// per-hop operation: Eytzinger descent or one perfect-hash probe.
-  std::uint32_t find(VertexId v, VertexId w) const noexcept;
+  CROUTE_HOT std::uint32_t find(VertexId v, VertexId w) const noexcept;
 
   /// --- staged probes (software-pipelined batch engine) --------------------
   /// One find split into three rounds so a caller can keep G probes in
@@ -202,14 +208,14 @@ class FlatScheme {
     std::uint64_t slot = 0;  ///< FKS: resolved slot (or kNoSlot)
   };
 
-  void find_stage0(FindProbe& p) const noexcept {
+  CROUTE_HOT void find_stage0(FindProbe& p) const noexcept {
     if (tbl_hash_) {
       tbl_hash_->prefetch_bucket(flat_detail::pack_key(p.v, p.w));
     } else {
       CROUTE_PREFETCH(&tbl_off_[p.v]);
     }
   }
-  void find_stage1(FindProbe& p) const noexcept {
+  CROUTE_HOT void find_stage1(FindProbe& p) const noexcept {
     if (tbl_hash_) {
       p.slot = tbl_hash_->locate_slot(flat_detail::pack_key(p.v, p.w));
       tbl_hash_->prefetch_slot(p.slot);
@@ -220,7 +226,7 @@ class FlatScheme {
                                  p.len * sizeof(VertexId));
     }
   }
-  std::uint32_t find_stage2(const FindProbe& p) const noexcept {
+  CROUTE_HOT std::uint32_t find_stage2(const FindProbe& p) const noexcept {
     if (tbl_hash_) {
       const auto idx = tbl_hash_->value_at(
           p.slot, flat_detail::pack_key(p.v, p.w));
@@ -231,14 +237,14 @@ class FlatScheme {
     return pos == p.len ? kNotFound : p.off + pos;
   }
 
-  void dir_find_stage0(FindProbe& p) const noexcept {
+  CROUTE_HOT void dir_find_stage0(FindProbe& p) const noexcept {
     if (dir_hash_) {
       dir_hash_->prefetch_bucket(flat_detail::pack_key(p.v, p.w));
     } else {
       CROUTE_PREFETCH(&dir_off_[p.v]);
     }
   }
-  void dir_find_stage1(FindProbe& p) const noexcept {
+  CROUTE_HOT void dir_find_stage1(FindProbe& p) const noexcept {
     if (dir_hash_) {
       p.slot = dir_hash_->locate_slot(flat_detail::pack_key(p.v, p.w));
       dir_hash_->prefetch_slot(p.slot);
@@ -249,7 +255,8 @@ class FlatScheme {
                                  p.len * sizeof(VertexId));
     }
   }
-  std::uint32_t dir_find_stage2(const FindProbe& p) const noexcept {
+  CROUTE_HOT std::uint32_t dir_find_stage2(
+      const FindProbe& p) const noexcept {
     if (dir_hash_) {
       const auto idx = dir_hash_->value_at(
           p.slot, flat_detail::pack_key(p.v, p.w));
@@ -272,7 +279,7 @@ class FlatScheme {
     std::vector<std::uint64_t> slots, want;
     std::uint32_t count = 0;
 
-    void clear() noexcept { count = 0; }
+    CROUTE_HOT void clear() noexcept { count = 0; }
     /// Pre-sizes all arrays for \p n lanes (push never grows them).
     void reserve(std::uint32_t n) {
       offs.resize(n);
@@ -284,7 +291,7 @@ class FlatScheme {
     }
     /// Pushes one staged probe (all index fields, unconditionally — the
     /// resolving side reads the ones its lookup layout uses).
-    void push(const FindProbe& p) noexcept {
+    CROUTE_HOT void push(const FindProbe& p) noexcept {
       offs[count] = p.off;
       lens[count] = p.len;
       xs[count] = p.w;
@@ -293,8 +300,8 @@ class FlatScheme {
       ++count;
     }
     /// Pushes one bare Eytzinger slice probe (FlatCowen's cluster scan).
-    void push_slice(std::uint32_t off, std::uint32_t len,
-                    std::uint32_t x) noexcept {
+    CROUTE_HOT void push_slice(std::uint32_t off, std::uint32_t len,
+                               std::uint32_t x) noexcept {
       offs[count] = off;
       lens[count] = len;
       xs[count] = x;
@@ -306,24 +313,24 @@ class FlatScheme {
   /// exactly find_stage2 per lane, computed by the selected SIMD
   /// implementation (simd::ops() is re-read per call, so force() /
   /// CROUTE_SIMD take effect on the next batch).
-  void find_stage2_batch(FindBatchScratch& b) const noexcept {
+  CROUTE_HOT void find_stage2_batch(FindBatchScratch& b) const noexcept {
     resolve_batch(tbl_hash_, tbl_key_, b);
   }
   /// Batched dir_find_stage2 (rule-0 directory probes).
-  void dir_find_stage2_batch(FindBatchScratch& b) const noexcept {
+  CROUTE_HOT void dir_find_stage2_batch(FindBatchScratch& b) const noexcept {
     resolve_batch(dir_hash_, dir_key_, b);
   }
 
   /// Payload prefetches for resolved pool indices (next round's loads).
-  void prefetch_record(std::uint32_t idx) const noexcept {
+  CROUTE_HOT void prefetch_record(std::uint32_t idx) const noexcept {
     CROUTE_PREFETCH(&tbl_record_[idx]);
   }
-  void prefetch_own_label(std::uint32_t idx) const noexcept {
+  CROUTE_HOT void prefetch_own_label(std::uint32_t idx) const noexcept {
     CROUTE_PREFETCH(&tbl_own_dfs_[idx]);
     CROUTE_PREFETCH(&tbl_own_light_off_[idx]);
     CROUTE_PREFETCH(&tbl_own_light_len_[idx]);
   }
-  void prefetch_dir_payload(std::uint32_t idx) const noexcept {
+  CROUTE_HOT void prefetch_dir_payload(std::uint32_t idx) const noexcept {
     CROUTE_PREFETCH(&dir_dfs_[idx]);
     CROUTE_PREFETCH(&dir_light_off_[idx]);
     CROUTE_PREFETCH(&dir_light_len_[idx]);
@@ -332,48 +339,52 @@ class FlatScheme {
   std::uint32_t table_size(VertexId v) const noexcept {
     return tbl_off_[v + 1] - tbl_off_[v];
   }
-  const TreeNodeRecord& record(std::uint32_t idx) const noexcept {
+  CROUTE_HOT const TreeNodeRecord& record(std::uint32_t idx) const noexcept {
     return tbl_record_[idx];
   }
-  Weight dist(std::uint32_t idx) const noexcept { return tbl_dist_[idx]; }
-  std::uint32_t level(std::uint32_t idx) const noexcept {
+  CROUTE_HOT Weight dist(std::uint32_t idx) const noexcept {
+    return tbl_dist_[idx];
+  }
+  CROUTE_HOT std::uint32_t level(std::uint32_t idx) const noexcept {
     return tbl_level_[idx];
   }
   /// v's own tree label in T_w for entry \p idx (handshake destination
   /// side), as non-owning pieces.
-  std::uint32_t own_dfs(std::uint32_t idx) const noexcept {
+  CROUTE_HOT std::uint32_t own_dfs(std::uint32_t idx) const noexcept {
     return tbl_own_dfs_[idx];
   }
-  std::span<const Port> own_light_ports(std::uint32_t idx) const noexcept {
+  CROUTE_HOT std::span<const Port> own_light_ports(
+      std::uint32_t idx) const noexcept {
     return {tbl_light_pool_.data() + tbl_own_light_off_[idx],
             tbl_own_light_len_[idx]};
   }
 
   /// --- rule-0 directory lookups -------------------------------------------
   /// Pool index of t within v's cluster directory, or kNotFound.
-  std::uint32_t dir_find(VertexId v, VertexId t) const noexcept;
+  CROUTE_HOT std::uint32_t dir_find(VertexId v, VertexId t) const noexcept;
 
   std::uint32_t dir_size(VertexId v) const noexcept {
     return dir_off_[v + 1] - dir_off_[v];
   }
-  std::uint32_t dir_dfs(std::uint32_t idx) const noexcept {
+  CROUTE_HOT std::uint32_t dir_dfs(std::uint32_t idx) const noexcept {
     return dir_dfs_[idx];
   }
-  std::span<const Port> dir_light_ports(std::uint32_t idx) const noexcept {
+  CROUTE_HOT std::span<const Port> dir_light_ports(
+      std::uint32_t idx) const noexcept {
     return {dir_light_pool_.data() + dir_light_off_[idx],
             dir_light_len_[idx]};
   }
 
   /// --- pooled destination labels ------------------------------------------
-  std::span<const LabelEntryView> label(VertexId t) const noexcept {
+  CROUTE_HOT std::span<const LabelEntryView> label(VertexId t) const noexcept {
     return {lab_entries_.data() + lab_off_[t],
             lab_off_[t + 1] - lab_off_[t]};
   }
-  std::span<const Port> label_light_ports(
+  CROUTE_HOT std::span<const Port> label_light_ports(
       const LabelEntryView& e) const noexcept {
     return {lab_light_pool_.data() + e.light_off, e.light_len};
   }
-  const Port* label_light_pool() const noexcept {
+  CROUTE_HOT const Port* label_light_pool() const noexcept {
     return lab_light_pool_.data();
   }
 
@@ -382,7 +393,8 @@ class FlatScheme {
   /// for every length the pools contain, closed form beyond it (a
   /// caller-decoded label may be longer); agrees bit-for-bit with
   /// TZRouter::header_bits.
-  std::uint64_t header_bits_for(std::uint32_t light_len) const noexcept {
+  CROUTE_HOT std::uint64_t header_bits_for(
+      std::uint32_t light_len) const noexcept {
     if (light_len < bits_by_len_.size()) return bits_by_len_[light_len];
     return header_fixed_bits_ +
            2 * floor_log2(std::uint64_t{light_len} + 1) + 1 +
@@ -412,9 +424,9 @@ class FlatScheme {
   /// The shared batched-stage2 body behind find_stage2_batch /
   /// dir_find_stage2_batch: one kernel call over the compacted probes,
   /// then the same miss/offset mapping find_stage2 applies per lane.
-  void resolve_batch(const std::optional<PerfectHashMap>& hash,
-                     const std::vector<VertexId>& keys,
-                     FindBatchScratch& b) const noexcept {
+  CROUTE_HOT void resolve_batch(const std::optional<PerfectHashMap>& hash,
+                                const std::vector<VertexId>& keys,
+                                FindBatchScratch& b) const noexcept {
     static_assert(simd::kNotFound == kNotFound,
                   "kernel miss sentinel must feed the engine unchanged");
     static_assert(simd::kNoSlot == PerfectHashMap::kNoSlot,
@@ -476,28 +488,29 @@ class FlatRouter {
  public:
   explicit FlatRouter(const FlatScheme& flat) : flat_(&flat) {}
 
-  const FlatScheme& scheme() const noexcept { return *flat_; }
+  CROUTE_HOT const FlatScheme& scheme() const noexcept { return *flat_; }
 
   /// Source decision without handshake (stretch ≤ 4k−5). Uses the pooled
   /// label of \p t; chooses the same pivot as TZRouter::prepare under
   /// every policy.
-  FlatHeader prepare(VertexId s, VertexId t,
-                     RoutingPolicy policy = RoutingPolicy::kMinLevel) const;
+  CROUTE_HOT FlatHeader prepare(
+      VertexId s, VertexId t,
+      RoutingPolicy policy = RoutingPolicy::kMinLevel) const;
 
   /// prepare with the label already resolved (the batched serving path
   /// resolves each distinct destination once per batch and reuses it).
-  FlatHeader prepare_resolved(
+  CROUTE_HOT FlatHeader prepare_resolved(
       VertexId s, VertexId t, std::span<const FlatScheme::LabelEntryView> label,
       RoutingPolicy policy = RoutingPolicy::kMinLevel) const;
 
   /// Source decision with handshake (stretch ≤ 2k−1).
-  FlatHeader prepare_handshake(VertexId s, VertexId t) const;
+  CROUTE_HOT FlatHeader prepare_handshake(VertexId s, VertexId t) const;
 
   /// Per-hop decision at vertex v. Requires v ∈ C(header.tree_root).
-  TreeDecision step(VertexId v, const FlatHeader& header) const;
+  CROUTE_HOT TreeDecision step(VertexId v, const FlatHeader& header) const;
 
   /// Exact wire size of \p header (precomputed at compile time).
-  std::uint64_t header_bits(const FlatHeader& header) const noexcept {
+  CROUTE_HOT std::uint64_t header_bits(const FlatHeader& header) const noexcept {
     return header.bits;
   }
 
@@ -528,37 +541,37 @@ class FlatCowen {
   };
 
   /// Compiles the pooled view; \p cowen may be destroyed afterwards.
-  FlatCowen(const CowenScheme& cowen, const Graph& g);
+  CROUTE_DETERMINISTIC FlatCowen(const CowenScheme& cowen, const Graph& g);
 
-  Label label(VertexId t) const noexcept { return labels_[t]; }
+  CROUTE_HOT Label label(VertexId t) const noexcept { return labels_[t]; }
   std::uint32_t num_landmarks() const noexcept { return num_landmarks_; }
 
   /// Scalar per-hop decision, same contract as CowenScheme::step.
-  TreeDecision step(VertexId v, const Label& dest) const;
+  CROUTE_HOT TreeDecision step(VertexId v, const Label& dest) const;
 
   /// Exact table bits at v (same accounting as CowenScheme::table_bits).
   std::uint64_t table_bits(VertexId v) const noexcept;
-  std::uint64_t label_bits() const noexcept { return label_bits_; }
+  CROUTE_HOT std::uint64_t label_bits() const noexcept { return label_bits_; }
 
   /// --- staged probe pieces for the batch engine ---------------------------
-  void prefetch_label(VertexId t) const noexcept {
+  CROUTE_HOT void prefetch_label(VertexId t) const noexcept {
     CROUTE_PREFETCH(&labels_[t]);
   }
-  void prefetch_meta(VertexId v, const Label& dest) const noexcept {
+  CROUTE_HOT void prefetch_meta(VertexId v, const Label& dest) const noexcept {
     CROUTE_PREFETCH(&cl_off_[v]);
     if (dest.home_col != kNoColumn) {
       CROUTE_PREFETCH(
           &lport_[std::size_t{v} * num_landmarks_ + dest.home_col]);
     }
   }
-  void load_slice(VertexId v, std::uint32_t& off,
-                  std::uint32_t& len) const noexcept {
+  CROUTE_HOT void load_slice(VertexId v, std::uint32_t& off,
+                             std::uint32_t& len) const noexcept {
     off = cl_off_[v];
     len = cl_off_[v + 1] - off;
     flat_detail::prefetch_span(cl_key_.data() + off, len * sizeof(VertexId));
   }
-  std::uint32_t find_at(std::uint32_t off, std::uint32_t len,
-                        VertexId t) const noexcept {
+  CROUTE_HOT std::uint32_t find_at(std::uint32_t off, std::uint32_t len,
+                                   VertexId t) const noexcept {
     const std::uint32_t pos =
         flat_detail::eytzinger_find(cl_key_.data() + off, len, t);
     return pos == len ? kNotFound : off + pos;
@@ -566,18 +579,22 @@ class FlatCowen {
   /// Batched find_at over probes pushed with push_slice: b.out[i] =
   /// find_at(off_i, len_i, t_i), via the selected SIMD kernel (the
   /// cluster probe is the same Eytzinger descent the TZ tables use).
-  void find_at_batch(FlatScheme::FindBatchScratch& b) const noexcept {
+  CROUTE_HOT void find_at_batch(
+      FlatScheme::FindBatchScratch& b) const noexcept {
     simd::ops().eytzinger_batch(cl_key_.data(), b.offs.data(), b.lens.data(),
                                 b.xs.data(), b.out.data(), b.count);
     for (std::uint32_t i = 0; i < b.count; ++i) {
       b.out[i] = b.out[i] == b.lens[i] ? kNotFound : b.offs[i] + b.out[i];
     }
   }
-  void prefetch_cluster_port(std::uint32_t idx) const noexcept {
+  CROUTE_HOT void prefetch_cluster_port(std::uint32_t idx) const noexcept {
     CROUTE_PREFETCH(&cl_port_[idx]);
   }
-  Port cluster_port(std::uint32_t idx) const noexcept { return cl_port_[idx]; }
-  Port landmark_port(VertexId v, std::uint32_t col) const noexcept {
+  CROUTE_HOT Port cluster_port(std::uint32_t idx) const noexcept {
+    return cl_port_[idx];
+  }
+  CROUTE_HOT Port landmark_port(VertexId v,
+                                std::uint32_t col) const noexcept {
     return lport_[std::size_t{v} * num_landmarks_ + col];
   }
 
@@ -603,15 +620,15 @@ class FlatFullTable {
   /// Takes the hop matrix over (no copy); \p full is empty afterwards.
   FlatFullTable(FullTableScheme&& full, const Graph& g);
 
-  Port next_hop(VertexId v, VertexId t) const noexcept {
+  CROUTE_HOT Port next_hop(VertexId v, VertexId t) const noexcept {
     return hops_[std::size_t{v} * n_ + t];
   }
-  void prefetch_hop(VertexId v, VertexId t) const noexcept {
+  CROUTE_HOT void prefetch_hop(VertexId v, VertexId t) const noexcept {
     CROUTE_PREFETCH(&hops_[std::size_t{v} * n_ + t]);
   }
 
   std::uint64_t table_bits(VertexId v) const noexcept;
-  std::uint64_t label_bits() const noexcept { return label_bits_; }
+  CROUTE_HOT std::uint64_t label_bits() const noexcept { return label_bits_; }
 
  private:
   const Graph* g_;

@@ -473,7 +473,8 @@ class IncrementalRebuilder {
   }
 };
 
-TZScheme rebuild_tz_incremental(const TZScheme& previous, const Graph& g,
+CROUTE_DETERMINISTIC TZScheme rebuild_tz_incremental(const TZScheme& previous,
+                                                     const Graph& g,
                                 const GraphDelta& delta,
                                 const TZSchemeOptions& options, Rng& rng,
                                 IncrementalRebuildStats* stats) {

@@ -105,7 +105,8 @@ std::vector<VertexId> center_sample_level(
   return a;
 }
 
-LandmarkHierarchy build_hierarchy(const Graph& g, std::uint32_t k,
+CROUTE_DETERMINISTIC LandmarkHierarchy build_hierarchy(const Graph& g,
+                                                       std::uint32_t k,
                                   const std::vector<std::uint32_t>& rank,
                                   Rng& rng, const HierarchyOptions& options) {
   const VertexId n = g.num_vertices();

@@ -5,7 +5,7 @@
 namespace croute {
 namespace tz_build {
 
-NeededLabels label_skeletons(const TZPreprocessing& pre,
+CROUTE_DETERMINISTIC NeededLabels label_skeletons(const TZPreprocessing& pre,
                              std::vector<RoutingLabel>& labels) {
   const VertexId n = pre.graph().num_vertices();
   const std::uint32_t k = pre.k();
@@ -33,7 +33,8 @@ NeededLabels label_skeletons(const TZPreprocessing& pre,
   return needed;
 }
 
-void consume_cluster(VertexId w, std::uint32_t level, const LocalTree& tree,
+CROUTE_DETERMINISTIC void consume_cluster(VertexId w, std::uint32_t level,
+                                          const LocalTree& tree,
                      const TreeRoutingScheme::Codec& tree_codec,
                      std::uint32_t id_bits,
                      std::vector<PendingTable>& pending,

@@ -6,7 +6,9 @@
 
 namespace croute {
 
-TZScheme::TZScheme(const Graph& g, const TZSchemeOptions& options, Rng& rng)
+CROUTE_DETERMINISTIC TZScheme::TZScheme(const Graph& g,
+                                        const TZSchemeOptions& options,
+                                        Rng& rng)
     : g_(&g),
       options_(options),
       pre_(g, options.pre, rng),

@@ -28,6 +28,7 @@
 #include "core/clusters.hpp"
 #include "core/tz_labels.hpp"
 #include "core/tz_tables.hpp"
+#include "util/annotations.hpp"
 
 namespace croute {
 
@@ -46,12 +47,18 @@ struct TZSchemeOptions {
 class TZScheme {
  public:
   /// Preprocesses \p g. The graph must stay alive as long as the scheme.
-  TZScheme(const Graph& g, const TZSchemeOptions& options, Rng& rng);
+  /// Deterministic in (graph, options, rng state): same bytes every run.
+  CROUTE_DETERMINISTIC TZScheme(const Graph& g,
+                                const TZSchemeOptions& options, Rng& rng);
 
   const Graph& graph() const noexcept { return *g_; }
-  std::uint32_t k() const noexcept { return pre_.k(); }
-  const TZPreprocessing& preprocessing() const noexcept { return pre_; }
-  const TZSchemeOptions& options() const noexcept { return options_; }
+  CROUTE_HOT std::uint32_t k() const noexcept { return pre_.k(); }
+  CROUTE_HOT const TZPreprocessing& preprocessing() const noexcept {
+    return pre_;
+  }
+  CROUTE_HOT const TZSchemeOptions& options() const noexcept {
+    return options_;
+  }
 
   /// Routing table of vertex v.
   const VertexTable& table(VertexId v) const { return tables_[v]; }

@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "util/annotations.hpp"
 #include "util/assert.hpp"
 #include "util/prefetch.hpp"
 
@@ -47,7 +48,7 @@ class Graph {
   Graph() = default;
 
   /// Number of vertices.
-  VertexId num_vertices() const noexcept {
+  CROUTE_HOT VertexId num_vertices() const noexcept {
     return static_cast<VertexId>(offsets_.size() - 1);
   }
 
@@ -55,7 +56,7 @@ class Graph {
   std::uint64_t num_edges() const noexcept { return arcs_.size() / 2; }
 
   /// Degree of \p v (== number of ports).
-  Port degree(VertexId v) const {
+  CROUTE_HOT Port degree(VertexId v) const {
     CROUTE_DCHECK(v < num_vertices(), "vertex out of range");
     return static_cast<Port>(offsets_[v + 1] - offsets_[v]);
   }
@@ -67,13 +68,15 @@ class Graph {
   }
 
   /// The arc out of \p v through \p port.
-  const Arc& arc(VertexId v, Port port) const {
+  CROUTE_HOT const Arc& arc(VertexId v, Port port) const {
     CROUTE_DCHECK(port < degree(v), "port out of range");
     return arcs_[offsets_[v] + port];
   }
 
   /// Neighbor reached from \p v through \p port.
-  VertexId neighbor(VertexId v, Port port) const { return arc(v, port).head; }
+  CROUTE_HOT VertexId neighbor(VertexId v, Port port) const {
+    return arc(v, port).head;
+  }
 
   /// Port of the edge {v, u} at \p v, or kNoPort if not adjacent.
   /// O(log deg(v)) — arcs are sorted by head.
@@ -94,10 +97,10 @@ class Graph {
   /// Prefetch hints for the software-pipelined batch engine: the CSR
   /// offset entry of \p v (what degree()/arcs() read first), and one arc
   /// (valid once the offset entry is cached — issue after the first).
-  void prefetch_offsets(VertexId v) const noexcept {
+  CROUTE_HOT void prefetch_offsets(VertexId v) const noexcept {
     CROUTE_PREFETCH(&offsets_[v]);
   }
-  void prefetch_arc(VertexId v, Port port) const noexcept {
+  CROUTE_HOT void prefetch_arc(VertexId v, Port port) const noexcept {
     CROUTE_PREFETCH(&arcs_[offsets_[v] + port]);
   }
 

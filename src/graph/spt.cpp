@@ -59,7 +59,8 @@ LocalTree make_local_tree(const ShortestPathTree& spt) {
   return make_local_tree(members);
 }
 
-LocalTree make_canonical_spt(const Graph& g, VertexId root,
+CROUTE_DETERMINISTIC LocalTree make_canonical_spt(const Graph& g,
+                                                  VertexId root,
                              const std::vector<Weight>& dist) {
   const VertexId n = g.num_vertices();
   CROUTE_REQUIRE(dist.size() == n, "distance field size mismatch");

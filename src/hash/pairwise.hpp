@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "util/annotations.hpp"
 #include "util/random.hpp"
 
 namespace croute {
@@ -26,13 +27,14 @@ class PairwiseHash {
   /// b < p). Used when reproducing a published seed.
   PairwiseHash(std::uint64_t a, std::uint64_t b, std::uint64_t range);
 
-  std::uint64_t operator()(std::uint64_t x) const noexcept {
+  CROUTE_HOT std::uint64_t operator()(std::uint64_t x) const noexcept {
     return eval(a_, b_, range_, x);
   }
 
   /// Stateless evaluation — lets containers store raw (a, b) parameters.
-  static std::uint64_t eval(std::uint64_t a, std::uint64_t b,
-                            std::uint64_t range, std::uint64_t x) noexcept {
+  CROUTE_HOT static std::uint64_t eval(std::uint64_t a, std::uint64_t b,
+                                       std::uint64_t range,
+                                       std::uint64_t x) noexcept {
     return mod_p(mul_mod_p(a, mod_p(x)) + b) % range;
   }
 
@@ -42,7 +44,7 @@ class PairwiseHash {
 
  private:
   /// x mod (2^61 − 1) without division, valid for x < 2^62 + p.
-  static std::uint64_t mod_p(std::uint64_t x) noexcept {
+  CROUTE_HOT static std::uint64_t mod_p(std::uint64_t x) noexcept {
     std::uint64_t r = (x & kPrime) + (x >> 61);
     if (r >= kPrime) r -= kPrime;
     return r;
@@ -51,7 +53,8 @@ class PairwiseHash {
   // which GCC and Clang both provide on all 64-bit targets we support.
   __extension__ typedef unsigned __int128 uint128;
 
-  static std::uint64_t mul_mod_p(std::uint64_t x, std::uint64_t y) noexcept {
+  CROUTE_HOT static std::uint64_t mul_mod_p(std::uint64_t x,
+                                            std::uint64_t y) noexcept {
     const uint128 z = static_cast<uint128>(x) * static_cast<uint128>(y);
     const std::uint64_t lo = static_cast<std::uint64_t>(z) & kPrime;
     const std::uint64_t hi = static_cast<std::uint64_t>(z >> 61);

@@ -92,7 +92,7 @@ PerfectHashMap PerfectHashMap::build(
   return m;
 }
 
-std::optional<std::uint32_t> PerfectHashMap::find(
+CROUTE_HOT std::optional<std::uint32_t> PerfectHashMap::find(
     std::uint64_t key) const noexcept {
   if (size_ == 0) return std::nullopt;
   const std::uint64_t i = (*top_)(key);

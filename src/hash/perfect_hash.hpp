@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "hash/pairwise.hpp"
+#include "util/annotations.hpp"
 #include "util/prefetch.hpp"
 #include "util/random.hpp"
 
@@ -47,7 +48,8 @@ class PerfectHashMap {
       Rng& rng, BuildStats* stats = nullptr);
 
   /// Value for \p key, or std::nullopt. O(1) worst case.
-  std::optional<std::uint32_t> find(std::uint64_t key) const noexcept;
+  CROUTE_HOT std::optional<std::uint32_t> find(
+      std::uint64_t key) const noexcept;
 
   /// --- staged probe (the software-pipelined batch engine) ---------------
   /// A find is two dependent loads: bucket parameters, then the slot. The
@@ -61,7 +63,7 @@ class PerfectHashMap {
   /// "no slot" sentinel of locate_slot (empty map or empty bucket).
   static constexpr std::uint64_t kNoSlot = ~std::uint64_t{0};
 
-  void prefetch_bucket(std::uint64_t key) const noexcept {
+  CROUTE_HOT void prefetch_bucket(std::uint64_t key) const noexcept {
     if (size_ == 0) return;
     const std::uint64_t i = (*top_)(key);
     CROUTE_PREFETCH(&bucket_offset_[i]);
@@ -69,7 +71,7 @@ class PerfectHashMap {
     CROUTE_PREFETCH(&bucket_b_[i]);
   }
 
-  std::uint64_t locate_slot(std::uint64_t key) const noexcept {
+  CROUTE_HOT std::uint64_t locate_slot(std::uint64_t key) const noexcept {
     if (size_ == 0) return kNoSlot;
     const std::uint64_t i = (*top_)(key);
     const std::uint64_t base = bucket_offset_[i];
@@ -78,14 +80,14 @@ class PerfectHashMap {
     return base + PairwiseHash::eval(bucket_a_[i], bucket_b_[i], width, key);
   }
 
-  void prefetch_slot(std::uint64_t slot) const noexcept {
+  CROUTE_HOT void prefetch_slot(std::uint64_t slot) const noexcept {
     if (slot == kNoSlot) return;
     CROUTE_PREFETCH(&keys_[slot]);
     CROUTE_PREFETCH(&values_[slot]);
   }
 
-  std::optional<std::uint32_t> value_at(std::uint64_t slot,
-                                        std::uint64_t key) const noexcept {
+  CROUTE_HOT std::optional<std::uint32_t> value_at(
+      std::uint64_t slot, std::uint64_t key) const noexcept {
     if (slot == kNoSlot || keys_[slot] != key) return std::nullopt;
     return values_[slot];
   }
@@ -96,8 +98,12 @@ class PerfectHashMap {
   /// (vertex, key) pair, so a batched compare needs no emptiness test —
   /// simd::Ops::fks_value_batch gathers slot_keys()[slot], compares, and
   /// blends slot_values()[slot] exactly as value_at does per lane.
-  const std::uint64_t* slot_keys() const noexcept { return keys_.data(); }
-  const std::uint32_t* slot_values() const noexcept { return values_.data(); }
+  CROUTE_HOT const std::uint64_t* slot_keys() const noexcept {
+    return keys_.data();
+  }
+  CROUTE_HOT const std::uint32_t* slot_values() const noexcept {
+    return values_.data();
+  }
 
   bool contains(std::uint64_t key) const noexcept {
     return find(key).has_value();

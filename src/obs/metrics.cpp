@@ -7,7 +7,7 @@
 
 namespace croute::obs {
 
-std::uint32_t LogHistogram::bucket_index(double value) noexcept {
+CROUTE_HOT std::uint32_t LogHistogram::bucket_index(double value) noexcept {
   if (!(value > 0)) return 0;  // non-positive and NaN → underflow
   const std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
   const int biased = static_cast<int>((bits >> 52) & 0x7ff);

@@ -41,6 +41,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/annotations.hpp"
+
 namespace croute::obs {
 
 /// One cache-line-padded atomic cell (the shard unit of Counter and the
@@ -61,11 +63,11 @@ class Counter {
   Counter& operator=(const Counter&) = delete;
 
   /// Lock-free, wait-free; \p shard must be < shards().
-  void add(unsigned shard, std::uint64_t n = 1) noexcept {
+  CROUTE_HOT void add(unsigned shard, std::uint64_t n = 1) noexcept {
     cells_[shard].v.fetch_add(n, std::memory_order_relaxed);
   }
   /// Single-shard convenience for unsharded counters.
-  void inc(std::uint64_t n = 1) noexcept { add(0, n); }
+  CROUTE_HOT void inc(std::uint64_t n = 1) noexcept { add(0, n); }
 
   unsigned shards() const noexcept {
     return static_cast<unsigned>(cells_.size());
@@ -92,7 +94,7 @@ class Gauge {
   Gauge(const Gauge&) = delete;
   Gauge& operator=(const Gauge&) = delete;
 
-  void set(double value) noexcept {
+  CROUTE_HOT void set(double value) noexcept {
     v_.store(value, std::memory_order_relaxed);
   }
   double value() const noexcept {
@@ -145,7 +147,7 @@ class LogHistogram {
   /// NaN values), kBuckets-1 for value >= 2^kMaxExp, else
   /// 1 + (octave - kMinExp)*4 + top-2-mantissa-bits. Buckets cover
   /// [lower, upper) half-open ranges.
-  static std::uint32_t bucket_index(double value) noexcept;
+  CROUTE_HOT static std::uint32_t bucket_index(double value) noexcept;
 
   /// Upper edge of bucket \p index (the percentile representative).
   /// The overflow bucket reports 2^kMaxExp (its lower edge — there is no
@@ -153,7 +155,7 @@ class LogHistogram {
   static double bucket_upper(std::uint32_t index) noexcept;
 
   /// Records one sample into \p shard's cells. Lock-free, wait-free.
-  void record(unsigned shard, double value) noexcept {
+  CROUTE_HOT void record(unsigned shard, double value) noexcept {
     Shard& s = shards_[shard];
     s.buckets[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
     // Fixed-point sum (value * 256) so the hot path never needs a
@@ -164,7 +166,8 @@ class LogHistogram {
 
   /// Records \p n samples of the same value (batched serving amortizes
   /// one generation's wall time over its lanes — one add, not n).
-  void record_n(unsigned shard, double value, std::uint64_t n) noexcept {
+  CROUTE_HOT void record_n(unsigned shard, double value,
+                           std::uint64_t n) noexcept {
     Shard& s = shards_[shard];
     s.buckets[bucket_index(value)].fetch_add(n, std::memory_order_relaxed);
     s.sum.v.fetch_add(to_fixed(value) * n, std::memory_order_relaxed);
@@ -184,7 +187,7 @@ class LogHistogram {
     PaddedCell sum;  ///< fixed-point (x256) sum of recorded values
   };
 
-  static std::uint64_t to_fixed(double value) noexcept {
+  CROUTE_HOT static std::uint64_t to_fixed(double value) noexcept {
     return value > 0 ? static_cast<std::uint64_t>(value * 256.0) : 0;
   }
 

@@ -12,7 +12,8 @@ namespace croute {
 namespace {
 
 /// Monotone max over an atomic double (no fetch_max for floats in C++20).
-void atomic_fetch_max(std::atomic<double>& target, double value) noexcept {
+CROUTE_HOT void atomic_fetch_max(std::atomic<double>& target,
+                                 double value) noexcept {
   double seen = target.load(std::memory_order_relaxed);
   while (value > seen &&
          !target.compare_exchange_weak(seen, value,
@@ -20,8 +21,8 @@ void atomic_fetch_max(std::atomic<double>& target, double value) noexcept {
   }
 }
 
-void atomic_fetch_max(std::atomic<std::uint64_t>& target,
-                      std::uint64_t value) noexcept {
+CROUTE_HOT void atomic_fetch_max(std::atomic<std::uint64_t>& target,
+                                 std::uint64_t value) noexcept {
   std::uint64_t seen = target.load(std::memory_order_relaxed);
   while (value > seen &&
          !target.compare_exchange_weak(seen, value,
@@ -29,13 +30,27 @@ void atomic_fetch_max(std::atomic<std::uint64_t>& target,
   }
 }
 
+/// Appends one vertex to the (optional) diagnostic path arena. Arenas are
+/// caller-owned and keep their high-water capacity across batches, so the
+/// append is allocation-free in steady state — and path recording is the
+/// opt-in record_paths diagnostic mode in the first place.
+CROUTE_HOT inline void record_hop(std::vector<VertexId>* path, VertexId v) {
+  if (path == nullptr) return;
+  CROUTE_LINT_SUPPRESS(hot_path,
+                       "opt-in path recording appends into a caller-owned "
+                       "arena that keeps its high-water capacity across "
+                       "batches");
+  path->push_back(v);
+}
+
 /// The hop-by-hop walk of the flat serving path: same contract as
 /// Simulator::run (statuses, hop budget, path recording) but monomorphic —
 /// the step callable inlines, and the path lands in a caller-owned arena.
 template <typename StepFn>
-void walk(const Graph& g, VertexId s, VertexId t, std::uint32_t max_hops,
-          StepFn&& step, std::vector<VertexId>* path, RouteAnswer& a) {
-  if (path) path->push_back(s);
+CROUTE_HOT void walk(const Graph& g, VertexId s, VertexId t,
+                     std::uint32_t max_hops, StepFn&& step,
+                     std::vector<VertexId>* path, RouteAnswer& a) {
+  record_hop(path, s);
   VertexId here = s;
   while (true) {
     const TreeDecision d = step(here);
@@ -52,7 +67,7 @@ void walk(const Graph& g, VertexId s, VertexId t, std::uint32_t max_hops,
     a.length += arc.weight;
     ++a.hops;
     here = arc.head;
-    if (path) path->push_back(here);
+    record_hop(path, here);
     if (a.hops >= max_hops) {
       a.status = RouteStatus::kHopLimit;
       return;
@@ -245,10 +260,10 @@ RouteAnswer RouteService::serve_legacy(const SchemePackage& pkg,
   return a;
 }
 
-RouteAnswer RouteService::serve(const SchemePackage& pkg,
-                                const RouteQuery& query,
-                                std::vector<VertexId>* path_out,
-                                const DestMemo* memo) const {
+CROUTE_HOT RouteAnswer RouteService::serve(const SchemePackage& pkg,
+                                           const RouteQuery& query,
+                                           std::vector<VertexId>* path_out,
+                                           const DestMemo* memo) const {
   const Graph& g = *pkg.graph;
   const VertexId n = g.num_vertices();
   CROUTE_REQUIRE(query.s < n && query.t < n, "endpoint out of range");
@@ -259,10 +274,13 @@ RouteAnswer RouteService::serve(const SchemePackage& pkg,
     // (d(s,s) = 0 is the true distance, not an unknown sentinel).
     a.status = RouteStatus::kDelivered;
     a.stretch = 1.0;
-    if (path_out) path_out->push_back(query.s);
+    record_hop(path_out, query.s);
     return a;
   }
   if (!options_.use_flat) {
+    CROUTE_LINT_SUPPRESS(hot_path,
+                         "legacy comparison path (use_flat=false) serves "
+                         "through the allocating simulator by design");
     a = serve_legacy(pkg, query, path_out);
   } else {
     const std::uint32_t max_hops = 4 * n + 16;
@@ -319,7 +337,7 @@ RouteAnswer RouteService::serve(const SchemePackage& pkg,
   return a;
 }
 
-RouteAnswer RouteService::route_one(const RouteQuery& query) const {
+CROUTE_HOT RouteAnswer RouteService::route_one(const RouteQuery& query) const {
   using clock = std::chrono::steady_clock;
   const SchemePackagePtr pkg = package();  // pin this generation
   const auto begin = clock::now();

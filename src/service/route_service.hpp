@@ -82,6 +82,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "service/scheme_package.hpp"
+#include "util/annotations.hpp"
 #include "util/parallel.hpp"
 
 namespace croute {
@@ -145,7 +146,7 @@ struct RouteAnswer {
   double queue_wait_us = 0;
   std::span<const VertexId> path;  ///< visited vertices (record_paths)
 
-  bool delivered() const noexcept {
+  CROUTE_HOT bool delivered() const noexcept {
     return status == RouteStatus::kDelivered;
   }
 };
@@ -225,7 +226,12 @@ class RouteService {
   /// shared_ptr under a tiny mutex — two refcount ops, once per *batch*
   /// (route_batch pins once and serves every query from the pin), so the
   /// query hot path never touches it.
-  SchemePackagePtr package() const {
+  CROUTE_HOT SchemePackagePtr package() const {
+    CROUTE_LINT_SUPPRESS(hot_path,
+                         "RCU pin: two refcount ops under a tiny mutex, once "
+                         "per batch / route_one call, never per query; kept a "
+                         "mutex (not atomic<shared_ptr>) so TSan can see the "
+                         "swap seam");
     std::lock_guard<std::mutex> lock(package_mutex_);
     return package_current_;
   }
@@ -259,7 +265,7 @@ class RouteService {
   /// arena: it invalidates only the previous route_one answer's path,
   /// never a batch's (see RouteAnswer::path). With record_paths off this
   /// is safe to call concurrently (telemetry lands in an atomic slot).
-  RouteAnswer route_one(const RouteQuery& query) const;
+  CROUTE_HOT RouteAnswer route_one(const RouteQuery& query) const;
 
   /// Merged telemetry over all worker shards, the route_one slot, and
   /// the swap counters — a single consistent snapshot, safe from ANY
@@ -335,9 +341,10 @@ class RouteService {
 
   /// Serves one query against \p pkg, writing the path (if any) into
   /// \p path_out.
-  RouteAnswer serve(const SchemePackage& pkg, const RouteQuery& query,
-                    std::vector<VertexId>* path_out,
-                    const DestMemo* memo) const;
+  CROUTE_HOT RouteAnswer serve(const SchemePackage& pkg,
+                               const RouteQuery& query,
+                               std::vector<VertexId>* path_out,
+                               const DestMemo* memo) const;
   RouteAnswer serve_legacy(const SchemePackage& pkg, const RouteQuery& query,
                            std::vector<VertexId>* path_out) const;
 

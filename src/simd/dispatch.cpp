@@ -118,11 +118,15 @@ std::vector<Isa> compiled() {
   return out;
 }
 
-const Ops& ops() noexcept {
+CROUTE_HOT const Ops& ops() noexcept {
   const Ops* table = g_selected.load(std::memory_order_acquire);
   if (table == nullptr) {
     // Benign race: resolve_initial is idempotent and every winner stores
     // a valid table.
+    CROUTE_LINT_SUPPRESS(hot_path,
+                         "one-time lazy ISA resolution (getenv + possible "
+                         "stderr warning); every later call is one acquire "
+                         "load");
     table = resolve_initial();
     g_selected.store(table, std::memory_order_release);
   }

@@ -19,12 +19,14 @@
 
 #include "simd/simd.hpp"
 
+#include "util/annotations.hpp"
+
 namespace croute::simd::detail {
 
 /// One Eytzinger lower-bound probe over the slice keys[off .. off+len):
 /// slice position of the key equal to \p x, or len on a miss. Same
 /// recurrence, same epilogue as flat_detail::eytzinger_find.
-inline std::uint32_t eytzinger_one(const std::uint32_t* keys,
+CROUTE_HOT inline std::uint32_t eytzinger_one(const std::uint32_t* keys,
                                    std::uint32_t off, std::uint32_t len,
                                    std::uint32_t x) noexcept {
   const std::uint32_t* slice = keys + off;
@@ -41,7 +43,7 @@ inline std::uint32_t eytzinger_one(const std::uint32_t* keys,
 /// and finish each lane through this — the trailing-ones shift has no
 /// vector form on SSE/AVX2/NEON, and the final equality re-reads a key
 /// the descent just gathered (cache-hot).
-inline std::uint32_t eytzinger_epilogue(const std::uint32_t* keys,
+CROUTE_HOT inline std::uint32_t eytzinger_epilogue(const std::uint32_t* keys,
                                         std::uint32_t off, std::uint32_t len,
                                         std::uint32_t x,
                                         std::uint32_t i) noexcept {
@@ -51,7 +53,7 @@ inline std::uint32_t eytzinger_epilogue(const std::uint32_t* keys,
 }
 
 /// Scalar eytzinger_batch (the generic kernel and every tail loop).
-inline void eytzinger_batch_scalar(const std::uint32_t* keys,
+CROUTE_HOT inline void eytzinger_batch_scalar(const std::uint32_t* keys,
                                    const std::uint32_t* offs,
                                    const std::uint32_t* lens,
                                    const std::uint32_t* xs, std::uint32_t* out,
@@ -63,7 +65,7 @@ inline void eytzinger_batch_scalar(const std::uint32_t* keys,
 
 /// Scalar fks_value_batch (the generic kernel and every tail loop).
 /// Mirrors PerfectHashMap::value_at with the miss mapped to kNotFound.
-inline void fks_value_batch_scalar(const std::uint64_t* slot_keys,
+CROUTE_HOT inline void fks_value_batch_scalar(const std::uint64_t* slot_keys,
                                    const std::uint32_t* slot_values,
                                    const std::uint64_t* slots,
                                    const std::uint64_t* want,

@@ -41,6 +41,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/annotations.hpp"
+
 namespace croute::simd {
 
 /// The implementations this layer knows. Order is preference order for
@@ -116,7 +118,7 @@ std::vector<Isa> compiled();
 /// The currently selected implementation. First call resolves the
 /// selection: CROUTE_SIMD if set (unavailable values warn + generic),
 /// else the widest available ISA. Thread-safe; never null.
-const Ops& ops() noexcept;
+CROUTE_HOT const Ops& ops() noexcept;
 
 /// The selected ISA (== ops().isa).
 Isa selected() noexcept;

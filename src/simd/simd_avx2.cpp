@@ -35,7 +35,8 @@ struct Desc8 {
   bool done;       // all 8 lanes retired
 };
 
-inline Desc8 desc8_load(const std::uint32_t* offs, const std::uint32_t* lens,
+CROUTE_HOT inline Desc8 desc8_load(const std::uint32_t* offs,
+                                   const std::uint32_t* lens,
                         const std::uint32_t* xs, std::uint32_t base,
                         __m256i sign, __m256i one) {
   Desc8 d;
@@ -53,7 +54,8 @@ inline Desc8 desc8_load(const std::uint32_t* offs, const std::uint32_t* lens,
 
 /// One descent level for all still-active lanes of the group; sets
 /// d.done once every lane has left its slice.
-inline void desc8_step(Desc8& d, const std::uint32_t* keys, __m256i sign,
+CROUTE_HOT inline void desc8_step(Desc8& d, const std::uint32_t* keys,
+                                  __m256i sign,
                        __m256i one, __m256i zero) {
   // active ⇔ i <= len, i.e. !(i > len) in the sign-flipped domain.
   const __m256i done_m =
@@ -77,7 +79,7 @@ inline void desc8_step(Desc8& d, const std::uint32_t* keys, __m256i sign,
   d.vi = _mm256_blendv_epi8(d.vi, stepped, active);
 }
 
-inline void desc8_finish(const Desc8& d, const std::uint32_t* keys,
+CROUTE_HOT inline void desc8_finish(const Desc8& d, const std::uint32_t* keys,
                          const std::uint32_t* offs, const std::uint32_t* lens,
                          const std::uint32_t* xs, std::uint32_t* out,
                          std::uint32_t base) {
@@ -89,7 +91,7 @@ inline void desc8_finish(const Desc8& d, const std::uint32_t* keys,
   }
 }
 
-void eytzinger_batch_avx2(const std::uint32_t* keys, const std::uint32_t* offs,
+CROUTE_HOT void eytzinger_batch_avx2(const std::uint32_t* keys, const std::uint32_t* offs,
                           const std::uint32_t* lens, const std::uint32_t* xs,
                           std::uint32_t* out, std::uint32_t count) {
   const __m256i sign = _mm256_set1_epi32(INT32_MIN);
@@ -122,7 +124,7 @@ void eytzinger_batch_avx2(const std::uint32_t* keys, const std::uint32_t* offs,
                                  out + base, count - base);
 }
 
-void fks_value_batch_avx2(const std::uint64_t* slot_keys,
+CROUTE_HOT void fks_value_batch_avx2(const std::uint64_t* slot_keys,
                           const std::uint32_t* slot_values,
                           const std::uint64_t* slots,
                           const std::uint64_t* want, std::uint32_t* out,

@@ -20,7 +20,7 @@
 namespace croute::simd {
 namespace {
 
-void eytzinger_batch_neon(const std::uint32_t* keys, const std::uint32_t* offs,
+CROUTE_HOT void eytzinger_batch_neon(const std::uint32_t* keys, const std::uint32_t* offs,
                           const std::uint32_t* lens, const std::uint32_t* xs,
                           std::uint32_t* out, std::uint32_t count) {
   std::uint32_t base = 0;

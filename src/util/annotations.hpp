@@ -1,0 +1,55 @@
+/// \file annotations.hpp
+/// \brief Contract annotations checked statically by tools/lint.
+///
+/// The repo's three load-bearing guarantees are *contracts* on specific
+/// functions, and these macros mark which functions carry which contract
+/// so the lint suite (tools/lint/run_lint.py, wired into ctest and CI)
+/// can enforce them on every change instead of hoping a test trips:
+///
+///   CROUTE_HOT            zero-allocation serving path. The body and
+///                         every project function it calls must not
+///                         allocate (operator new / malloc / growing
+///                         vector/string methods), construct a
+///                         std::function, take a mutex, throw, or touch
+///                         iostream/printf I/O. Enforced by the
+///                         hot_path checker as an annotation closure: a
+///                         CROUTE_HOT function may only call project
+///                         functions that are themselves CROUTE_HOT.
+///
+///   CROUTE_DETERMINISTIC  byte-identity root. Everything reachable
+///                         from this function (name-based call-graph
+///                         walk) must avoid nondeterminism sources:
+///                         unordered-container iteration, pointer-keyed
+///                         ordering/hash containers, rand()/time()/
+///                         random_device/system_clock, and
+///                         address-as-value casts. steady_clock is
+///                         allowed — monotonic *duration* timing feeds
+///                         stats, never routed bytes.
+///
+///   CROUTE_LINT_SUPPRESS(check, "reason")
+///                         statement-position marker that waives the
+///                         named check ("hot_path", "determinism",
+///                         "atomics") for the next statement line.
+///                         Every suppression needs a reason string; the
+///                         lint report lists them all, and the CI
+///                         budget caps the repo at ten.
+///
+/// Under clang the contract macros also expand to annotate attributes,
+/// so AST-level tooling (the optional libclang backend, clang-tidy
+/// plugins) sees the same marks the textual analyzer reads. Under gcc
+/// they compile away entirely.
+
+#pragma once
+
+#if defined(__clang__)
+#define CROUTE_HOT __attribute__((annotate("croute::hot")))
+#define CROUTE_DETERMINISTIC __attribute__((annotate("croute::deterministic")))
+#else
+#define CROUTE_HOT
+#define CROUTE_DETERMINISTIC
+#endif
+
+/// Expands to nothing; used in statement position with a trailing
+/// semicolon. The lint frontends read it straight from the token
+/// stream, so it needs no compiler support.
+#define CROUTE_LINT_SUPPRESS(check, reason)

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/annotations.hpp"
 #include "util/assert.hpp"
 
 namespace croute {
@@ -26,7 +27,7 @@ constexpr std::uint32_t bits_for_universe(std::uint64_t n) noexcept {
 }
 
 /// Position of the highest set bit (floor(log2 x)); requires x > 0.
-constexpr std::uint32_t floor_log2(std::uint64_t x) noexcept {
+CROUTE_HOT constexpr std::uint32_t floor_log2(std::uint64_t x) noexcept {
   std::uint32_t r = 0;
   while (x >>= 1) ++r;
   return r;
@@ -35,7 +36,7 @@ constexpr std::uint32_t floor_log2(std::uint64_t x) noexcept {
 /// Length in bits of BitWriter::write_gamma(v): a unary length prefix of
 /// len+1 bits plus len payload bits. The single source of truth for
 /// arithmetic bit accounting — must mirror write_gamma exactly.
-constexpr std::uint64_t gamma_bits(std::uint64_t v) noexcept {
+CROUTE_HOT constexpr std::uint64_t gamma_bits(std::uint64_t v) noexcept {
   return 2 * std::uint64_t{floor_log2(v)} + 1;
 }
 

@@ -47,7 +47,10 @@ void parallel_for(std::uint64_t count,
 
   auto body = [&] {
     while (!failed.load(std::memory_order_relaxed)) {
-      const std::uint64_t begin = next.fetch_add(grain);
+      // Relaxed: workers only claim disjoint ranges; the pool join is
+      // the synchronization edge for the work they produce.
+      const std::uint64_t begin =
+          next.fetch_add(grain, std::memory_order_relaxed);
       if (begin >= count) return;
       const std::uint64_t end = std::min(begin + grain, count);
       for (std::uint64_t i = begin; i < end; ++i) {
@@ -171,7 +174,10 @@ void ThreadPool::for_each(std::uint64_t count,
   for (unsigned d = 0; d < drivers; ++d) {
     submit([state, &fn, count, grain](unsigned worker) {
       while (!state->failed.load(std::memory_order_relaxed)) {
-        const std::uint64_t begin = state->next.fetch_add(grain);
+        // Relaxed, as in for_each above: claims are disjoint and the
+        // completion latch is the synchronization edge.
+        const std::uint64_t begin =
+            state->next.fetch_add(grain, std::memory_order_relaxed);
         if (begin >= count) break;
         const std::uint64_t end = std::min(begin + grain, count);
         for (std::uint64_t i = begin; i < end; ++i) {

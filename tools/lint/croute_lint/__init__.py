@@ -1,0 +1,1 @@
+"""croute contract lint: hot-path, determinism, and atomics checkers."""

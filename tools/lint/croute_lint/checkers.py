@@ -1,0 +1,393 @@
+"""The three contract checkers.
+
+* hot_path — annotation closure over CROUTE_HOT functions: no heap
+  allocation, std::function, mutex, throw, or stream I/O in a hot body,
+  and every project function a hot body calls must itself be hot.
+* determinism — name-based call-graph walk from CROUTE_DETERMINISTIC
+  roots; reachable bodies must avoid unordered-container iteration,
+  pointer-keyed hashing/ordering, and wall-clock / rand / environment
+  nondeterminism (steady_clock is explicitly allowed).
+* atomics — inventories std::atomic declarations; flags operations with
+  a defaulted (seq_cst) memory order, implicit-order operator forms,
+  and release-stores with no matching acquire-side load on the field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, asdict
+
+from .model import Call, Function, Model, calls_in, is_macroish
+from .model import scan_unordered_decls
+from .tokenizer import KIND_ID, KIND_PUNCT, Token, match_forward
+
+CHECKS = ("hot_path", "determinism", "atomics")
+
+
+@dataclass
+class Finding:
+    check: str
+    file: str
+    line: int
+    function: str  # qualified name, or "" for file-scope findings
+    message: str
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+class Findings:
+    def __init__(self, model: Model):
+        self.model = model
+        self.active: list[Finding] = []
+        self.suppressed: list[tuple[Finding, str]] = []
+        self._seen: set[tuple] = set()
+
+    def add(self, check: str, file: str, line: int, function: str,
+            message: str) -> None:
+        key = (check, file, line, message)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        f = Finding(check, file, line, function, message)
+        sup = self.model.suppressed(check, file, line)
+        if sup is not None:
+            self.suppressed.append((f, sup.reason))
+        else:
+            self.active.append(f)
+
+
+# --------------------------------------------------------------------------
+# hot_path
+# --------------------------------------------------------------------------
+
+# Free functions that allocate.
+_ALLOC_CALLS = {
+    "malloc", "calloc", "realloc", "aligned_alloc", "strdup",
+    "make_unique", "make_shared", "to_string",
+}
+# Container members that can grow (allocate) — flagged on member-call
+# syntax regardless of the receiver's static type.
+_GROWTH_METHODS = {
+    "push_back", "emplace_back", "resize", "reserve", "insert",
+    "emplace", "emplace_hint", "append", "assign", "shrink_to_fit",
+    "push_front", "emplace_front", "push", "pop",
+}
+_MUTEX_TYPES = {"lock_guard", "unique_lock", "scoped_lock", "shared_lock"}
+_MUTEX_METHODS = {"lock", "try_lock", "lock_shared", "try_lock_shared"}
+_IO_IDENTS = {
+    "cout", "cerr", "clog", "endl", "printf", "fprintf", "puts",
+    "putchar", "fputs", "fwrite", "ostringstream", "istringstream",
+    "stringstream", "ofstream", "ifstream", "fstream",
+}
+# std-ish names a hot body may always call: cheap accessors, atomics,
+# bit tricks, chrono reads. Checked before the project index so shared
+# names (e.g. `count`) don't force annotations onto std calls.
+_STD_ALLOW = {
+    "size", "data", "begin", "end", "cbegin", "cend", "empty", "front",
+    "back", "min", "max", "clamp", "abs", "swap", "get", "count",
+    "load", "store", "exchange", "fetch_add", "fetch_sub", "fetch_or",
+    "fetch_and", "fetch_xor", "compare_exchange_weak",
+    "compare_exchange_strong", "now", "duration_cast", "duration",
+    "move", "forward", "memcpy", "memmove", "memset", "memcmp",
+    "popcount", "countr_zero", "countl_zero", "bit_width", "bit_cast",
+    "distance", "advance", "addressof", "launder", "assume_aligned",
+    "c_str", "tie", "first", "second", "value", "has_value", "span",
+    "subspan", "test",
+}
+
+
+def check_hot_path(model: Model, out: Findings) -> None:
+    idx = model.index_by_name()
+    hot = [f for f in model.functions if "hot" in f.annotations]
+    for f in hot:
+        _scan_hot_body(f, idx, out)
+
+
+def _scan_hot_body(f: Function, idx: dict[str, list[Function]],
+                   out: Findings) -> None:
+    body = f.body
+    n = len(body)
+    for i, t in enumerate(body):
+        if t.kind != KIND_ID:
+            continue
+        x = t.text
+        if x == "new":
+            out.add("hot_path", f.file, t.line, f.qualname,
+                    "heap allocation: operator new on the hot path")
+        elif x == "delete" and (i + 1 >= n or body[i + 1].text != ";"):
+            out.add("hot_path", f.file, t.line, f.qualname,
+                    "heap deallocation: operator delete on the hot path")
+        elif x == "throw":
+            out.add("hot_path", f.file, t.line, f.qualname,
+                    "throw expression on the hot path")
+        elif x == "function" and i + 1 < n and body[i + 1].text == "<":
+            out.add("hot_path", f.file, t.line, f.qualname,
+                    "std::function construction on the hot path "
+                    "(type-erased callables allocate)")
+        elif x in _MUTEX_TYPES:
+            out.add("hot_path", f.file, t.line, f.qualname,
+                    f"mutex acquisition ({x}) on the hot path")
+        elif x in _IO_IDENTS:
+            out.add("hot_path", f.file, t.line, f.qualname,
+                    f"stream/stdio I/O ({x}) on the hot path")
+    for c in calls_in(body):
+        if is_macroish(c.name):
+            continue  # opaque macro (CROUTE_REQUIRE/CROUTE_PREFETCH/…)
+        if c.is_member and c.name in _GROWTH_METHODS:
+            # A project method that shadows a std growth name (e.g.
+            # FindBatchScratch::push writes pre-sized slots) is fine
+            # when its own definition carries CROUTE_HOT.
+            if not any("hot" in g.annotations for g in idx.get(c.name, ())):
+                out.add("hot_path", f.file, c.line, f.qualname,
+                        f"allocating container method .{c.name}() on the "
+                        "hot path")
+            continue
+        if c.is_member and c.name in _MUTEX_METHODS:
+            out.add("hot_path", f.file, c.line, f.qualname,
+                    f"mutex acquisition (.{c.name}()) on the hot path")
+            continue
+        if c.name in _ALLOC_CALLS:
+            out.add("hot_path", f.file, c.line, f.qualname,
+                    f"heap allocation ({c.name}) on the hot path")
+            continue
+        if c.name in _IO_IDENTS:
+            out.add("hot_path", f.file, c.line, f.qualname,
+                    f"stdio call ({c.name}) on the hot path")
+            continue
+        if c.name in _STD_ALLOW:
+            continue
+        if c.quals and c.quals[0] == "std":
+            continue
+        defs = idx.get(c.name)
+        if defs is None:
+            continue  # not project-defined: extern/library, assume ok
+        if any("hot" in g.annotations for g in defs):
+            continue
+        out.add("hot_path", f.file, c.line, f.qualname,
+                f"calls project function '{c.name}' which is not "
+                "CROUTE_HOT (annotate the callee or suppress with a "
+                "reason)")
+
+
+# --------------------------------------------------------------------------
+# determinism
+# --------------------------------------------------------------------------
+
+_NONDET_CALLS = {
+    "rand", "srand", "rand_r", "random", "srandom", "drand48",
+    "lrand48", "mrand48", "time", "gettimeofday", "clock", "getenv",
+}
+_NONDET_IDENTS = {"random_device", "system_clock", "high_resolution_clock"}
+
+
+def check_determinism(model: Model, out: Findings) -> None:
+    idx = model.index_by_name()
+    roots = [f for f in model.functions if "deterministic" in f.annotations]
+    # Name-based reachability: an edge for every project definition
+    # sharing the callee's name (overload-insensitive, errs wide).
+    reached: dict[int, Function] = {}
+    work = list(roots)
+    for f in work:
+        if id(f) in reached:
+            continue
+        reached[id(f)] = f
+        for c in calls_in(f.body):
+            if is_macroish(c.name):
+                continue
+            for g in idx.get(c.name, []):
+                if id(g) not in reached:
+                    work.append(g)
+    for f in reached.values():
+        _scan_det_body(f, model, out)
+
+
+def _scan_det_body(f: Function, model: Model, out: Findings) -> None:
+    body = f.body
+    n = len(body)
+    unordered = model.unordered_vars.get(f.file, set())
+    for i, t in enumerate(body):
+        if t.kind != KIND_ID:
+            continue
+        x = t.text
+        if x in _NONDET_IDENTS:
+            out.add("determinism", f.file, t.line, f.qualname,
+                    f"nondeterminism source '{x}' reachable from a "
+                    "CROUTE_DETERMINISTIC root")
+        elif x == "hash" and i + 1 < n and body[i + 1].text == "<":
+            close = match_forward(body, i + 1, "<", ">")
+            if any(a.text == "*" for a in body[i + 1 : close]):
+                out.add("determinism", f.file, t.line, f.qualname,
+                        "std::hash over a pointer type: hashes vary "
+                        "run to run with ASLR")
+        elif x == "reinterpret_cast" and i + 2 < n:
+            close_i = i + 1
+            seg = body[i : i + 12]
+            if any(a.text in ("uintptr_t", "intptr_t", "size_t") and
+                   a.kind == KIND_ID for a in seg):
+                out.add("determinism", f.file, t.line, f.qualname,
+                        "address-as-value cast: pointer bits are not "
+                        "stable across runs")
+        elif x == "for" and i + 1 < n and body[i + 1].text == "(":
+            base = _range_for_base(body, i + 1)
+            if base is not None and base in unordered:
+                out.add("determinism", f.file, t.line, f.qualname,
+                        f"iteration over unordered container '{base}': "
+                        "visit order is hash-seed dependent")
+    for c in calls_in(body):
+        if c.name in _NONDET_CALLS and not c.is_member and not c.quals:
+            out.add("determinism", f.file, c.line, f.qualname,
+                    f"nondeterministic call {c.name}() reachable from "
+                    "a CROUTE_DETERMINISTIC root")
+        elif c.name in ("now",) and any(
+                q in _NONDET_IDENTS for q in c.quals):
+            out.add("determinism", f.file, c.line, f.qualname,
+                    "wall-clock read reachable from a "
+                    "CROUTE_DETERMINISTIC root")
+        elif c.is_member and c.name in ("begin", "cbegin") \
+                and c.receiver in unordered:
+            # end()/cend() alone is a lookup sentinel (`it != m.end()`),
+            # which is order-independent; traversal always needs begin().
+            out.add("determinism", f.file, c.line, f.qualname,
+                    f"iterator over unordered container '{c.receiver}': "
+                    "visit order is hash-seed dependent")
+    _names, ptr_keys = scan_unordered_decls(body)
+    for name, line, container in ptr_keys:
+        out.add("determinism", f.file, line, f.qualname,
+                f"pointer-keyed {container} '{name}': hash/order keys "
+                "on addresses are not run-stable")
+
+
+def _range_for_base(body: list[Token], paren: int) -> str | None:
+    """Base identifier of a range-for's range expression, else None."""
+    end = match_forward(body, paren, "(", ")")
+    inner = body[paren + 1 : end - 1]
+    depth = 0
+    colon = None
+    for j, t in enumerate(inner):
+        if t.text in ("(", "[", "{"):
+            depth += 1
+        elif t.text in (")", "]", "}"):
+            depth -= 1
+        elif depth == 0 and t.text == ";":
+            return None  # classic for loop
+        elif depth == 0 and t.text == ":" and colon is None:
+            colon = j
+    if colon is None:
+        return None
+    for t in inner[colon + 1 :]:
+        if t.kind == KIND_ID and t.text not in ("const", "auto", "std"):
+            return t.text
+    return None
+
+
+# --------------------------------------------------------------------------
+# atomics
+# --------------------------------------------------------------------------
+
+_ORDER_WORDS = {"relaxed", "acquire", "release", "acq_rel", "seq_cst",
+                "consume"}
+_RMW_OPS = {"fetch_add", "fetch_sub", "fetch_and", "fetch_or", "fetch_xor",
+            "exchange", "compare_exchange_weak", "compare_exchange_strong"}
+_ORDERED_OPS = {"load", "store"} | _RMW_OPS
+_OP_FORM = {"++", "--", "+=", "-=", "|=", "&=", "^="}
+
+
+def _orders_in(args: list[Token]) -> set[str]:
+    got: set[str] = set()
+    for j, a in enumerate(args):
+        if a.kind != KIND_ID:
+            continue
+        if a.text.startswith("memory_order"):
+            suffix = a.text[len("memory_order"):].lstrip("_")
+            if suffix:
+                got.add(suffix)
+            elif j + 2 < len(args) and args[j + 1].text == "::":
+                got.add(args[j + 2].text)
+        elif a.text in _ORDER_WORDS and j > 0 and args[j - 1].text == "::":
+            got.add(a.text)
+    return got
+
+
+def check_atomics(model: Model, out: Findings) -> None:
+    names = {a.name for a in model.atomics}
+    if not names:
+        return
+    decl_lines = {(a.file, a.line) for a in model.atomics}
+    release_stores: dict[str, list[tuple[str, int]]] = {}
+    acquire_loads: set[str] = set()
+    any_loads: dict[str, set[str]] = {}   # name -> files with loads
+    fence_files: set[str] = set()
+
+    for path, toks in sorted(model.file_tokens.items()):
+        n = len(toks)
+        i = 0
+        while i < n:
+            t = toks[i]
+            if t.kind != KIND_ID:
+                i += 1
+                continue
+            if t.text == "atomic_thread_fence":
+                if i + 1 < n and toks[i + 1].text == "(":
+                    close = match_forward(toks, i + 1, "(", ")")
+                    if _orders_in(toks[i + 2 : close - 1]) & {
+                            "acquire", "acq_rel", "seq_cst"}:
+                        fence_files.add(path)
+                i += 1
+                continue
+            if t.text not in names:
+                i += 1
+                continue
+            name = t.text
+            # Operator form: name++ / name += … with implicit seq_cst.
+            prev = toks[i - 1] if i > 0 else None
+            nxt = toks[i + 1] if i + 1 < n else None
+            if (path, t.line) not in decl_lines and \
+                    name not in model.ambiguous_atomic_names and \
+                    (prev is None or prev.text not in ("::", ".", "->")):
+                if (nxt is not None and nxt.text in _OP_FORM) or \
+                        (prev is not None and prev.text in ("++", "--")):
+                    out.add("atomics", path, t.line, "",
+                            f"operator form on std::atomic '{name}' is "
+                            "an implicit seq_cst RMW; use an explicit "
+                            "fetch_* with a memory order")
+                    i += 1
+                    continue
+            # Member-op form: name[...]*.op( / name->op(
+            j = i + 1
+            while j < n and toks[j].text == "[":
+                j = match_forward(toks, j, "[", "]")
+            if j < n and toks[j].text in (".", "->") and j + 2 < n and \
+                    toks[j + 1].kind == KIND_ID and toks[j + 2].text == "(":
+                op = toks[j + 1].text
+                if op in _ORDERED_OPS:
+                    close = match_forward(toks, j + 2, "(", ")")
+                    orders = _orders_in(toks[j + 3 : close - 1])
+                    if not orders:
+                        out.add("atomics", path, toks[j + 1].line, "",
+                                f"defaulted memory order (seq_cst) on "
+                                f"'{name}.{op}()'; state the intended "
+                                "order explicitly")
+                    if op == "load" or op.startswith("compare_exchange"):
+                        any_loads.setdefault(name, set()).add(path)
+                        if orders & {"acquire", "acq_rel", "seq_cst",
+                                     "consume"}:
+                            acquire_loads.add(name)
+                    if (op == "store" or op in _RMW_OPS) and \
+                            orders & {"release", "acq_rel"}:
+                        release_stores.setdefault(name, []).append(
+                            (path, toks[j + 1].line))
+                    i = close
+                    continue
+            i += 1
+
+    for name, sites in sorted(release_stores.items()):
+        if name in acquire_loads:
+            continue
+        load_files = any_loads.get(name, set())
+        if load_files & fence_files:
+            continue  # relaxed loads paired with an acquire fence
+        path, line = sites[0]
+        out.add("atomics", path, line, "",
+                f"release-store on '{name}' has no matching "
+                "acquire-side load of the same field — the released "
+                "writes are never safely observed")

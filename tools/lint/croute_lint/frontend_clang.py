@@ -1,0 +1,154 @@
+"""Optional libclang frontend (CI only; the dev container has no
+libclang, so the textual frontend is the default everywhere).
+
+Uses clang.cindex — over compile_commands.json when available — for
+*function discovery*: precise definition extents, qualified names, and
+the annotate attributes the contract macros expand to under clang. The
+bodies are then re-tokenized with the shared tokenizer so the checkers
+run over exactly the same Model shape as the textual frontend; the
+whole-file scans (suppressions, atomics inventory, unordered
+declarations) are shared outright.
+
+Select with `run_lint.py --backend clang`. Experimental: the gating CI
+step and the ctest targets run the builtin backend; this one runs as a
+non-gating cross-check.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from .model import ANNOTATION_NAMES, Function, Model
+from .model import scan_ambiguous_names, scan_atomics, scan_suppressions
+from .model import scan_unordered_decls
+from .tokenizer import tokenize
+
+_ANNOTATION_SPELLING = {
+    "croute::hot": "hot",
+    "croute::deterministic": "deterministic",
+}
+
+
+def available() -> bool:
+    try:
+        import clang.cindex  # noqa: F401
+        return True
+    except Exception:
+        return False
+
+
+def _compile_args(compile_commands: str | None, path: str) -> list[str]:
+    if compile_commands and os.path.exists(compile_commands):
+        try:
+            with open(compile_commands, encoding="utf-8") as fh:
+                for entry in json.load(fh):
+                    if os.path.realpath(entry.get("file", "")) == \
+                            os.path.realpath(path):
+                        args = entry.get("arguments")
+                        if args is None:
+                            args = entry.get("command", "").split()
+                        # Drop the compiler, -c/-o pairs and the file.
+                        out: list[str] = []
+                        skip = False
+                        for a in args[1:]:
+                            if skip:
+                                skip = False
+                                continue
+                            if a in ("-c", path, entry.get("file")):
+                                continue
+                            if a == "-o":
+                                skip = True
+                                continue
+                            out.append(a)
+                        return out
+            # fall through: not a TU in the database (e.g. a header)
+        except (OSError, json.JSONDecodeError, KeyError):
+            pass
+    return ["-std=c++20", "-xc++"]
+
+
+def build_model(files: dict[str, str],
+                compile_commands: str | None = None,
+                include_dirs: list[str] | None = None) -> Model:
+    import clang.cindex as ci
+
+    model = Model()
+    index = ci.Index.create()
+    inc = [f"-I{d}" for d in (include_dirs or [])]
+
+    for path, text in sorted(files.items()):
+        toks = tokenize(text)
+        model.file_tokens[path] = toks
+        model.suppressions.extend(scan_suppressions(path, toks))
+        model.atomics.extend(scan_atomics(path, toks))
+        names, _ptr = scan_unordered_decls(toks)
+        model.unordered_vars[path] = names
+
+        args = _compile_args(compile_commands, path) + inc
+        try:
+            tu = index.parse(path, args=args,
+                             options=ci.TranslationUnit.PARSE_INCOMPLETE)
+        except ci.TranslationUnitLoadError:
+            continue
+        lines = text.splitlines(keepends=True)
+        offsets = [0]
+        for ln in lines:
+            offsets.append(offsets[-1] + len(ln))
+
+        def visit(cursor) -> None:
+            for child in cursor.get_children():
+                loc = child.location
+                if loc.file is None or \
+                        os.path.realpath(loc.file.name) != \
+                        os.path.realpath(path):
+                    continue
+                if child.kind in (ci.CursorKind.FUNCTION_DECL,
+                                  ci.CursorKind.CXX_METHOD,
+                                  ci.CursorKind.CONSTRUCTOR,
+                                  ci.CursorKind.DESTRUCTOR,
+                                  ci.CursorKind.FUNCTION_TEMPLATE) and \
+                        child.is_definition():
+                    annotations = {
+                        _ANNOTATION_SPELLING[a.spelling]
+                        for a in child.get_children()
+                        if a.kind == ci.CursorKind.ANNOTATE_ATTR
+                        and a.spelling in _ANNOTATION_SPELLING
+                    }
+                    ext = child.extent
+                    start = offsets[ext.start.line - 1] + ext.start.column - 1
+                    end = offsets[ext.end.line - 1] + ext.end.column - 1
+                    body_src = text[start:end]
+                    brace = body_src.find("{")
+                    body_toks = tokenize(body_src[max(brace, 0):]) \
+                        if brace != -1 else []
+                    # Re-base line numbers onto the file.
+                    body_toks = [
+                        t.__class__(t.kind, t.text,
+                                    t.line + ext.start.line - 1)
+                        for t in body_toks
+                    ]
+                    qualname = child.spelling
+                    p = child.semantic_parent
+                    while p is not None and p.spelling and \
+                            p.kind != ci.CursorKind.TRANSLATION_UNIT:
+                        qualname = f"{p.spelling}::{qualname}"
+                        p = p.semantic_parent
+                    model.functions.append(Function(
+                        name=child.spelling,
+                        qualname=qualname,
+                        file=path,
+                        line=ext.start.line,
+                        annotations=annotations,
+                        body=body_toks,
+                    ))
+                visit(child)
+
+        visit(tu.cursor)
+
+    atomic_names = {a.name for a in model.atomics}
+    for p, toks in model.file_tokens.items():
+        lines_here = {a.line for a in model.atomics if a.file == p}
+        model.ambiguous_atomic_names |= scan_ambiguous_names(
+            toks, atomic_names, lines_here)
+    return model

@@ -1,0 +1,355 @@
+"""Textual frontend: builds the checker Model straight from tokens.
+
+This is the always-available backend (the dev container and tier-1
+ctest have no libclang). It walks the token stream with a namespace /
+class scope stack, recognizes function *definitions* (including
+constructors with init lists, operators, and template headers), and
+records the contract annotations found in each definition's declaration
+prefix. Macros are not expanded — CROUTE_REQUIRE-style macros appear as
+opaque ALL_CAPS calls, which the checkers deliberately skip; the
+contract macros themselves are recognized by name.
+"""
+
+from __future__ import annotations
+
+from .model import (
+    ANNOTATION_NAMES,
+    Function,
+    Model,
+    scan_ambiguous_names,
+    scan_atomics,
+    scan_suppressions,
+    scan_unordered_decls,
+)
+from .tokenizer import (
+    KIND_ID,
+    Token,
+    match_angle_forward,
+    match_forward,
+    tokenize,
+)
+
+_NOT_A_FUNCTION_HEAD = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof",
+    "alignof", "decltype", "noexcept", "static_assert", "alignas",
+    "typeid", "defined", "requires",
+}
+
+_SIG_TAIL_OK = {
+    "const", "noexcept", "override", "final", "mutable", "&", "&&",
+    "->", "::", "*", "requires", "throw", "try",
+}
+
+
+class _FileParser:
+    def __init__(self, file: str, toks: list[Token]):
+        self.file = file
+        self.toks = toks
+        self.n = len(toks)
+        self.scope: list[str] = []      # namespace/class names, "" = anon
+        self.scope_kind: list[str] = [] # "ns" | "class" | "block"
+        self.decl: list[Token] = []     # tokens since last statement edge
+        self.functions: list[Function] = []
+
+    # -- small helpers -------------------------------------------------
+    def _tx(self, i: int) -> str:
+        return self.toks[i].text if 0 <= i < self.n else ""
+
+    def _skip_angles(self, i: int) -> int:
+        """i points at '<'; returns index past the matching '>'."""
+        end = match_angle_forward(self.toks, i)
+        return end if end is not None else i + 1
+
+    # -- main loop -----------------------------------------------------
+    def parse(self) -> list[Function]:
+        i = 0
+        while i < self.n:
+            t = self.toks[i]
+            x = t.text
+            if x == "template" and self._tx(i + 1) == "<":
+                close = self._skip_angles(i + 1)
+                self.decl.extend(self.toks[i:close])
+                i = close
+                continue
+            if x == "namespace" and t.kind == KIND_ID and not self._decl_has("using"):
+                j = i + 1
+                name_parts: list[str] = []
+                while self._tx(j) not in ("{", ";", "=", "") and j < i + 8:
+                    if self.toks[j].kind == KIND_ID:
+                        name_parts.append(self.toks[j].text)
+                    j += 1
+                if self._tx(j) == "{":
+                    self.scope.append("::".join(name_parts))
+                    self.scope_kind.append("ns")
+                    self.decl = []
+                    i = j + 1
+                    continue
+                # namespace alias / using namespace: fall through to ';'
+                i = j
+                continue
+            if x == "enum":
+                i = self._skip_enum(i)
+                self.decl = []
+                continue
+            if x in ("class", "struct", "union") and t.kind == KIND_ID:
+                nxt = self._class_open(i)
+                if nxt is not None:
+                    name, body_open = nxt
+                    self.scope.append(name)
+                    self.scope_kind.append("class")
+                    self.decl = []
+                    i = body_open + 1
+                    continue
+                self.decl.append(t)
+                i += 1
+                continue
+            if x == "{":
+                # Initializer braces (decl has '='), or a stray block:
+                # skip balanced either way — no function defs hide at
+                # statement scope we care about.
+                end = match_forward(self.toks, i, "{", "}")
+                i = end
+                self.decl = []
+                continue
+            if x == "}":
+                if self.scope:
+                    self.scope.pop()
+                    self.scope_kind.pop()
+                self.decl = []
+                i += 1
+                # class } may be followed by ';' — consumed naturally.
+                continue
+            if x == ";":
+                self.decl = []
+                i += 1
+                continue
+            if x == ":" and self.decl and self.decl[-1].text in (
+                "public", "private", "protected"
+            ):
+                self.decl = []
+                i += 1
+                continue
+            if x == "(":
+                handled, i2 = self._maybe_function(i)
+                if handled:
+                    i = i2
+                    self.decl = []
+                    continue
+                end = match_forward(self.toks, i, "(", ")")
+                self.decl.extend(self.toks[i:end])
+                i = end
+                continue
+            self.decl.append(t)
+            i += 1
+        return self.functions
+
+    def _decl_has(self, word: str) -> bool:
+        return any(d.text == word for d in self.decl[-6:])
+
+    def _skip_enum(self, i: int) -> int:
+        j = i
+        while j < self.n and self._tx(j) not in ("{", ";"):
+            j += 1
+        if self._tx(j) == "{":
+            return match_forward(self.toks, j, "{", "}")
+        return j + 1
+
+    def _class_open(self, i: int) -> tuple[str, int] | None:
+        """For a class/struct/union *definition*, (name, index of '{')."""
+        j = i + 1
+        name = ""
+        while j < self.n:
+            x = self._tx(j)
+            if x == "{":
+                return (name, j) if name or True else None
+            if x in (";", "=", ")"):
+                return None  # forward decl / elaborated type use
+            if x == "(":    # alignas(...) etc.
+                j = match_forward(self.toks, j, "(", ")")
+                continue
+            if x == "<":
+                j = self._skip_angles(j)
+                continue
+            if x == ":":
+                # base clause: the name is settled; scan on for '{'
+                k = j
+                while k < self.n and self._tx(k) not in ("{", ";"):
+                    if self._tx(k) == "(":
+                        k = match_forward(self.toks, k, "(", ")")
+                        continue
+                    if self._tx(k) == "<":
+                        k = self._skip_angles(k)
+                        continue
+                    k += 1
+                if self._tx(k) == "{":
+                    return (name, k)
+                return None
+            if self.toks[j].kind == KIND_ID and x not in ("final", "alignas"):
+                name = x
+            j += 1
+        return None
+
+    def _maybe_function(self, i: int) -> tuple[bool, int]:
+        """toks[i] == '('. Try to parse a function definition whose
+        parameter list starts here. Returns (handled, next index)."""
+        # An initializer context ("= f(x)") is never a definition.
+        for d in self.decl:
+            if d.text == "=":
+                return False, i
+        # Name: walk back from the '(' over the declarator.
+        name, quals = self._head_name(i)
+        if name is None:
+            return False, i
+        params_end = match_forward(self.toks, i, "(", ")")
+        j = params_end
+        # Signature tail: const/noexcept(...)/-> ret/requires... until a
+        # decisive token.
+        while j < self.n:
+            x = self._tx(j)
+            if x == "{":
+                return True, self._record(name, quals, i, j)
+            if x in (";", ","):
+                return False, j  # declaration (or declarator list)
+            if x == "=":
+                return False, j  # = default / = delete / = 0
+            if x == ":":
+                body = self._skip_ctor_inits(j + 1)
+                if body is None:
+                    return False, j
+                return True, self._record(name, quals, i, body)
+            if x == "(":
+                j = match_forward(self.toks, j, "(", ")")
+                continue
+            if x == "<":
+                nxt = match_angle_forward(self.toks, j)
+                if nxt is None:
+                    return False, j
+                j = nxt
+                continue
+            if x == "[":
+                j = match_forward(self.toks, j, "[", "]")
+                continue
+            if self.toks[j].kind == KIND_ID or x in _SIG_TAIL_OK:
+                j += 1
+                continue
+            return False, j
+        return False, j
+
+    def _head_name(self, i: int) -> tuple[str | None, tuple[str, ...]]:
+        k = i - 1
+        if k < 0 or self.toks[k].kind != KIND_ID:
+            # operator()( — name is 'operator' two tokens back via '()'.
+            if self._tx(k) == ")" and self._tx(k - 1) == "(" and \
+                    self._tx(k - 2) == "operator":
+                return "operator()", ()
+            # operator+(, operator<( etc.
+            if self.toks[k].kind == "punct" and self._tx(k - 1) == "operator":
+                return "operator" + self._tx(k), ()
+            if self._tx(k) == "]" and self._tx(k - 1) == "[" and \
+                    self._tx(k - 2) == "operator":
+                return "operator[]", ()
+            return None, ()
+        name = self.toks[k].text
+        if name in _NOT_A_FUNCTION_HEAD:
+            return None, ()
+        if self._tx(k - 1) == "operator":  # conversion op: skip
+            return "operator", ()
+        if self._tx(k - 1) == "~":
+            name = "~" + name
+            k -= 1
+        quals: list[str] = []
+        j = k - 1
+        while j - 1 >= 0 and self._tx(j) == "::" and self.toks[j - 1].kind == KIND_ID:
+            quals.insert(0, self.toks[j - 1].text)
+            j -= 2
+        return name, tuple(quals)
+
+    def _skip_ctor_inits(self, j: int) -> int | None:
+        """j points after ':'. Returns index of the body '{', or None."""
+        guard = 0
+        while j < self.n and guard < 2000:
+            guard += 1
+            # member name (possibly qualified / templated)
+            while self._tx(j) == "::" or (self.toks[j].kind == KIND_ID):
+                if self._tx(j + 1) == "<":
+                    nxt = match_angle_forward(self.toks, j + 1)
+                    if nxt is None:
+                        break
+                    j = nxt
+                    continue
+                j += 1
+            x = self._tx(j)
+            if x == "(":
+                j = match_forward(self.toks, j, "(", ")")
+            elif x == "{":
+                # Brace-init of a member only if followed by ',' or
+                # another init; a body '{' follows ')' or '}' of the
+                # previous item — disambiguate by what comes after.
+                end = match_forward(self.toks, j, "{", "}")
+                if self._tx(end) == ",":
+                    j = end
+                else:
+                    # Could be the body, or the last member's init
+                    # braces followed by the body. A body is followed by
+                    # material that doesn't continue an init list; the
+                    # prior loop consumed the member name, so '{' right
+                    # after a name is its init.
+                    prev = self._tx(j - 1)
+                    if prev in (")", "}", ":", ","):
+                        return j
+                    j = end
+                    continue
+            if self._tx(j) == ",":
+                j += 1
+                continue
+            if self._tx(j) == "{":
+                return j
+            if self._tx(j) in (";", ""):
+                return None
+            if self._tx(j) == ",":
+                j += 1
+                continue
+            # tolerate stray tokens (e.g. comments stripped oddly)
+            if self.toks[j].kind != KIND_ID and self._tx(j) not in ("::",):
+                return None
+        return None
+
+    def _record(self, name: str, quals: tuple[str, ...], paren: int,
+                body_open: int) -> int:
+        body_end = match_forward(self.toks, body_open, "{", "}")
+        annotations = {
+            ANNOTATION_NAMES[d.text]
+            for d in self.decl
+            if d.kind == KIND_ID and d.text in ANNOTATION_NAMES
+        }
+        scope_parts = [s for s in self.scope if s]
+        qual_parts = [q for q in quals if q]
+        qualname = "::".join(scope_parts + qual_parts + [name])
+        self.functions.append(Function(
+            name=name,
+            qualname=qualname,
+            file=self.file,
+            line=self.toks[paren].line,
+            annotations=annotations,
+            body=self.toks[body_open:body_end],
+        ))
+        return body_end
+
+
+def build_model(files: dict[str, str]) -> Model:
+    """files: path -> source text."""
+    model = Model()
+    for path, text in sorted(files.items()):
+        toks = tokenize(text)
+        model.file_tokens[path] = toks
+        model.functions.extend(_FileParser(path, toks).parse())
+        model.suppressions.extend(scan_suppressions(path, toks))
+        model.atomics.extend(scan_atomics(path, toks))
+        names, _ptr = scan_unordered_decls(toks)
+        model.unordered_vars[path] = names
+    atomic_names = {a.name for a in model.atomics}
+    for path, toks in model.file_tokens.items():
+        lines_here = {a.line for a in model.atomics if a.file == path}
+        model.ambiguous_atomic_names |= scan_ambiguous_names(
+            toks, atomic_names, lines_here)
+    return model

@@ -1,0 +1,314 @@
+"""Shared translation-unit model the checkers run over.
+
+Both frontends (the always-available textual one and the optional
+libclang one) produce the same shapes: Function records with contract
+annotations and body token slices, plus whole-file scans for
+suppressions, std::atomic declarations, and unordered-container
+declarations. Checkers never look at raw source again.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .tokenizer import (
+    KIND_ID,
+    KIND_PUNCT,
+    KIND_STR,
+    Token,
+    match_angle_back,
+    match_angle_forward,
+    match_forward,
+)
+
+ANNOTATION_NAMES = {
+    "CROUTE_HOT": "hot",
+    "CROUTE_DETERMINISTIC": "deterministic",
+}
+
+# Names that can never be call expressions even when followed by '('.
+NON_CALL_KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof",
+    "alignof", "decltype", "noexcept", "static_assert", "alignas",
+    "typeid", "co_await", "co_return", "co_yield", "throw", "assert",
+    "defined", "requires", "explicit", "delete", "new",
+    "static_cast", "dynamic_cast", "const_cast", "reinterpret_cast",
+}
+
+_MACRO_RE = re.compile(r"[A-Z][A-Z0-9_]*\Z")
+
+
+@dataclass
+class Function:
+    name: str                      # last component, e.g. "find"
+    qualname: str                  # e.g. "croute::FlatScheme::find"
+    file: str
+    line: int                      # line of the opening signature
+    annotations: set[str]          # subset of {"hot", "deterministic"}
+    body: list[Token] = field(default_factory=list)
+
+
+@dataclass
+class Suppression:
+    file: str
+    line: int                      # line the macro appears on
+    check: str
+    reason: str
+    lines: set[int] = field(default_factory=set)  # lines it covers
+    used: bool = False
+
+
+@dataclass
+class AtomicDecl:
+    name: str
+    file: str
+    line: int
+
+
+@dataclass
+class Call:
+    name: str
+    quals: tuple[str, ...]         # e.g. ("std",) for std::min
+    is_member: bool                # obj.name(...) / obj->name(...)
+    receiver: str | None           # base identifier of the receiver
+    line: int
+
+
+@dataclass
+class Model:
+    functions: list[Function] = field(default_factory=list)
+    suppressions: list[Suppression] = field(default_factory=list)
+    atomics: list[AtomicDecl] = field(default_factory=list)
+    # file -> set of variable/member names declared as unordered
+    # containers anywhere in that file (locals, members and parameters
+    # are deliberately conflated; name collisions err toward flagging).
+    unordered_vars: dict[str, set[str]] = field(default_factory=dict)
+    # file -> token stream (for the atomics checker's access scan)
+    file_tokens: dict[str, list[Token]] = field(default_factory=dict)
+    # names that appear in *non-atomic* declarations too — the operator
+    # form of the atomics checker skips these to avoid false positives
+    # on plain struct fields sharing a name with an atomic member.
+    ambiguous_atomic_names: set[str] = field(default_factory=set)
+
+    def index_by_name(self) -> dict[str, list[Function]]:
+        idx: dict[str, list[Function]] = {}
+        for f in self.functions:
+            idx.setdefault(f.name, []).append(f)
+        return idx
+
+    def suppressed(self, check: str, file: str, line: int) -> Suppression | None:
+        for s in self.suppressions:
+            if s.check == check and s.file == file and line in s.lines:
+                s.used = True
+                return s
+        return None
+
+
+def is_macroish(name: str) -> bool:
+    """ALL_CAPS identifiers are treated as macros and skipped."""
+    return bool(_MACRO_RE.match(name)) and len(name) > 1
+
+
+def scan_suppressions(file: str, toks: list[Token]) -> list[Suppression]:
+    out: list[Suppression] = []
+    for i, t in enumerate(toks):
+        if t.kind != KIND_ID or t.text != "CROUTE_LINT_SUPPRESS":
+            continue
+        if i + 1 >= len(toks) or toks[i + 1].text != "(":
+            continue
+        end = match_forward(toks, i + 1, "(", ")")
+        args = toks[i + 2 : end - 1]
+        if not args:
+            continue
+        check = args[0].text
+        reason = ""
+        for a in args:
+            if a.kind == KIND_STR:
+                reason += a.text.strip('"')
+        # The suppression covers every line the macro call spans (it may
+        # wrap its reason string) and the next line that carries a token
+        # (the statement it precedes).
+        macro_end_line = toks[end - 1].line
+        covered = set(range(t.line, macro_end_line + 1))
+        for a in toks[end:]:
+            if a.text == ";" and a.line == macro_end_line:
+                continue  # the macro's own trailing semicolon
+            if a.line >= macro_end_line:
+                covered.add(a.line)
+                break
+        out.append(Suppression(file=file, line=t.line, check=check,
+                               reason=reason, lines=covered))
+    return out
+
+
+def _decl_name_after(toks: list[Token], j: int) -> tuple[str, int] | None:
+    """First declarator identifier at/after j, skipping &, *, const."""
+    n = len(toks)
+    while j < n and toks[j].text in ("&", "*", "const", "&&"):
+        j += 1
+    if j < n and toks[j].kind == KIND_ID:
+        return toks[j].text, j
+    return None
+
+
+def scan_atomics(file: str, toks: list[Token]) -> list[AtomicDecl]:
+    """std::atomic<...> (and std::array<std::atomic<...>, N>) decls."""
+    out: list[AtomicDecl] = []
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind != KIND_ID or t.text not in ("atomic", "array"):
+            continue
+        if i + 1 >= n or toks[i + 1].text != "<":
+            continue
+        close = match_angle_forward(toks, i + 1)
+        if close is None:
+            continue
+        args = toks[i + 2 : close - 1]
+        if t.text == "array" and not any(
+            a.kind == KIND_ID and a.text == "atomic" for a in args
+        ):
+            continue
+        if t.text == "atomic":
+            # Skip the inner match of array<atomic<...>, N> (the array
+            # branch records it) — detect by a following ',' or '>'.
+            if close < n and toks[close].text in (",", ">", ">>", ")"):
+                continue
+        got = _decl_name_after(toks, close)
+        if got is None:
+            continue
+        name, j = got
+        if j + 1 < n and toks[j + 1].text in (";", "{", "=", ",", ")"):
+            out.append(AtomicDecl(name=name, file=file, line=toks[j].line))
+    return out
+
+
+_UNORDERED = {"unordered_map", "unordered_set",
+              "unordered_multimap", "unordered_multiset"}
+# Ordered/sequence templates used for the name-collision guard: a name
+# declared as one of these *and* as an unordered container in the same
+# file is ambiguous, and iteration over it is not flagged (the textual
+# frontend has no scopes, so erring toward silence avoids false
+# positives on reused local names).
+_ORDERED = {"vector", "array", "span", "deque", "list", "set", "map",
+            "multiset", "multimap", "basic_string"}
+
+
+def scan_unordered_decls(toks: list[Token]) -> tuple[set[str], list[tuple[str, int, str]]]:
+    """Returns (var names declared unordered, pointer-key decl findings).
+
+    The second element lists (name, line, container) for declarations
+    whose key type is a raw pointer. Names that are also declared with
+    an ordered container template in the same token stream are omitted
+    from the first set (see _ORDERED).
+    """
+    names: set[str] = set()
+    ordered_names: set[str] = set()
+    ptr_keys: list[tuple[str, int, str]] = []
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind != KIND_ID or t.text not in _UNORDERED and t.text not in _ORDERED:
+            continue
+        if i + 1 >= n or toks[i + 1].text != "<":
+            continue
+        close = match_angle_forward(toks, i + 1)
+        if close is None:
+            continue
+        args = toks[i + 2 : close - 1]
+        # Key type: tokens before the first top-level ',' (maps), or the
+        # whole argument list (sets).
+        key_toks: list[Token] = []
+        depth = 0
+        for a in args:
+            if a.text in ("<", "("):
+                depth += 1
+            elif a.text in (">", ")"):
+                depth -= 1
+            elif a.text == "," and depth == 0:
+                break
+            key_toks.append(a)
+        got = _decl_name_after(toks, close)
+        if got is None:
+            continue
+        name, j = got
+        if j + 1 < n and toks[j + 1].text in (";", "{", "=", ",", ")", "("):
+            if t.text in _ORDERED:
+                ordered_names.add(name)
+            else:
+                names.add(name)
+                if any(k.text == "*" for k in key_toks):
+                    ptr_keys.append((name, t.line, t.text))
+    return names - ordered_names, ptr_keys
+
+
+def scan_ambiguous_names(toks: list[Token], atomic_names: set[str],
+                         atomic_lines: set[int]) -> set[str]:
+    """Names from the atomic inventory that also appear in what looks
+    like a non-atomic declaration (``std::uint64_t delivered = 0;`` or a
+    parameter ``std::span<...> queries,``)."""
+    out: set[str] = set()
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind != KIND_ID or t.text not in atomic_names:
+            continue
+        if t.line in atomic_lines:
+            continue
+        prev = toks[i - 1] if i > 0 else None
+        nxt = toks[i + 1] if i + 1 < n else None
+        if prev is None or nxt is None:
+            continue
+        declish_prev = (prev.kind == KIND_ID and prev.text not in
+                        ("return", "delete")) or prev.text in (">", "*", "&", ">>")
+        declish_next = nxt.text in (";", "=", "{", ",", ")")
+        if declish_prev and declish_next:
+            out.add(t.text)
+    return out
+
+
+def calls_in(body: list[Token]) -> list[Call]:
+    out: list[Call] = []
+    n = len(body)
+    for i, t in enumerate(body):
+        if t.text != "(" or t.kind != KIND_PUNCT or i == 0:
+            continue
+        k = i - 1
+        if body[k].text in (">", ">>") and body[k].kind == KIND_PUNCT:
+            opened = match_angle_back(body, k)
+            if opened is None or opened == 0:
+                continue
+            k = opened - 1
+        if body[k].kind != KIND_ID:
+            continue
+        name = body[k].text
+        if name in NON_CALL_KEYWORDS:
+            continue
+        quals: list[str] = []
+        j = k - 1
+        while j - 1 >= 0 and body[j].text == "::" and body[j - 1].kind == KIND_ID:
+            quals.insert(0, body[j - 1].text)
+            j -= 2
+        if j >= 0 and body[j].text == "::":  # global-scope ::name(
+            j -= 1
+        is_member = False
+        receiver: str | None = None
+        if j >= 0 and body[j].text in (".", "->"):
+            is_member = True
+            r = j - 1
+            # Walk back over a simple postfix chain to the base name:
+            # words[w].store → base "words"; a().b( → base None.
+            while r >= 0 and body[r].text == "]":
+                depth = 0
+                while r >= 0:
+                    if body[r].text == "]":
+                        depth += 1
+                    elif body[r].text == "[":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    r -= 1
+                r -= 1
+            if r >= 0 and body[r].kind == KIND_ID:
+                receiver = body[r].text
+        out.append(Call(name=name, quals=tuple(quals), is_member=is_member,
+                        receiver=receiver, line=body[k].line))
+    return out

@@ -1,0 +1,257 @@
+"""C++ token stream for the croute contract checkers.
+
+A deliberately small lexer: comments vanish, string/char literals
+collapse to single tokens (text preserved, so suppression reasons
+survive), preprocessor directives are dropped line-by-line, and
+everything else becomes (kind, text, line) tuples. It does not
+preprocess — macros stay as identifier tokens, which is exactly what
+the textual frontend wants (CROUTE_HOT / CROUTE_LINT_SUPPRESS are
+recognized by name).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+KIND_ID = "id"
+KIND_NUM = "num"
+KIND_STR = "str"
+KIND_CHR = "chr"
+KIND_PUNCT = "punct"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+
+    def __repr__(self) -> str:  # compact for debugging
+        return f"{self.text}@{self.line}"
+
+
+_ID_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+# Numeric literal: digits with hex/bin/octal bodies, digit separators,
+# suffixes, and exponent signs (1e-5, 0x1.8p+3).
+_NUM_RE = re.compile(r"\.?[0-9](?:[0-9a-zA-Z_'.]|[eEpP][+-])*")
+
+# Longest-match punctuation. Order matters only within the sort below.
+_PUNCTS = sorted(
+    [
+        "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "+=", "-=",
+        "*=", "/=", "%=", "&=", "|=", "^=", "==", "!=", "<=", ">=",
+        "&&", "||", "<<", ">>", ".*", "##", "{", "}", "(", ")", "[",
+        "]", ";", ",", ".", "<", ">", "+", "-", "*", "/", "%", "&",
+        "|", "^", "!", "~", "=", "?", ":", "#",
+    ],
+    key=len,
+    reverse=True,
+)
+
+
+def tokenize(text: str) -> list[Token]:
+    toks: list[Token] = []
+    i = 0
+    n = len(text)
+    line = 1
+
+    def bump(seg: str) -> None:
+        nonlocal line
+        line += seg.count("\n")
+
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        # Comments.
+        if c == "/" and i + 1 < n:
+            if text[i + 1] == "/":
+                j = text.find("\n", i)
+                # Line continuations keep a // comment going.
+                while j != -1 and text[j - 1] == "\\":
+                    j = text.find("\n", j + 1)
+                if j == -1:
+                    break
+                bump(text[i:j])
+                i = j
+                continue
+            if text[i + 1] == "*":
+                j = text.find("*/", i + 2)
+                j = n if j == -1 else j + 2
+                bump(text[i:j])
+                i = j
+                continue
+        # Preprocessor directive: drop the whole (continued) line.
+        if c == "#" and (not toks or toks[-1].line != line):
+            j = i
+            while True:
+                k = text.find("\n", j)
+                if k == -1:
+                    j = n
+                    break
+                if text[k - 1] == "\\":
+                    j = k + 1
+                    continue
+                j = k
+                break
+            bump(text[i:j])
+            i = j
+            continue
+        # Raw strings: [encoding-prefix]R"delim( ... )delim".
+        m = _ID_RE.match(text, i)
+        if m:
+            word = m.group(0)
+            if word in ("R", "LR", "uR", "UR", "u8R") and m.end() < n and text[m.end()] == '"':
+                dend = text.find("(", m.end() + 1)
+                if dend != -1:
+                    delim = text[m.end() + 1 : dend]
+                    close = ")" + delim + '"'
+                    j = text.find(close, dend + 1)
+                    j = n if j == -1 else j + len(close)
+                    start = line
+                    bump(text[i:j])
+                    toks.append(Token(KIND_STR, text[i:j], start))
+                    i = j
+                    continue
+            toks.append(Token(KIND_ID, word, line))
+            i = m.end()
+            continue
+        # String / char literals (the prefix, if any, was consumed above
+        # as an identifier only when not directly followed by a quote —
+        # handle u8"x" style by merging here).
+        if c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    j += 1
+                    break
+                if text[j] == "\n":  # unterminated; bail at EOL
+                    break
+                j += 1
+            lit = text[i:j]
+            prefix = ""
+            if toks and toks[-1].kind == KIND_ID and toks[-1].text in (
+                "L", "u", "U", "u8"
+            ) and toks[-1].line == line:
+                prefix = toks.pop().text
+            kind = KIND_STR if quote == '"' else KIND_CHR
+            toks.append(Token(kind, prefix + lit, line))
+            i = j
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
+            m = _NUM_RE.match(text, i)
+            toks.append(Token(KIND_NUM, m.group(0), line))
+            i = m.end()
+            continue
+        for p in _PUNCTS:
+            if text.startswith(p, i):
+                toks.append(Token(KIND_PUNCT, p, line))
+                i += len(p)
+                break
+        else:
+            i += 1  # unknown byte; skip
+    return toks
+
+
+def match_forward(toks: list[Token], i: int, open_: str, close: str) -> int:
+    """Index just past the token matching toks[i] (which must be open_).
+
+    Returns len(toks) if unbalanced.
+    """
+    depth = 0
+    n = len(toks)
+    while i < n:
+        t = toks[i].text
+        if t == open_:
+            depth += 1
+        elif t == close:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return n
+
+
+def match_angle_forward(toks: list[Token], i: int) -> int | None:
+    """Index just past the '>' matching toks[i] == '<'.
+
+    Angle depth is only tracked outside parens/brackets/braces, and
+    shift tokens count double. Returns None when this does not look
+    like a balanced template-argument list (comparison operator, or
+    runaway scan).
+    """
+    assert toks[i].text == "<"
+    depth = 0
+    other = 0
+    n = len(toks)
+    j = i
+    limit = i + 400
+    while j < n and j < limit:
+        t = toks[j].text
+        if other == 0:
+            if t == "<":
+                depth += 1
+            elif t == "<<":
+                depth += 2
+            elif t == ">":
+                depth -= 1
+                if depth == 0:
+                    return j + 1
+            elif t == ">>":
+                depth -= 2
+                if depth <= 0:
+                    return j + 1
+            elif t in (";", "{", "}") or t in ("&&", "||"):
+                return None
+        if t in ("(", "[",):
+            other += 1
+        elif t in (")", "]"):
+            other -= 1
+            if other < 0:
+                return None
+        j += 1
+    return None
+
+
+def match_angle_back(toks: list[Token], i: int) -> int | None:
+    """Given toks[i] == '>', index of the matching '<' — or None."""
+    assert toks[i].text in (">", ">>")
+    depth = 0
+    other = 0
+    j = i
+    limit = max(0, i - 400)
+    while j >= limit:
+        t = toks[j].text
+        if other == 0:
+            if t == ">":
+                depth += 1
+            elif t == ">>":
+                depth += 2
+            elif t == "<":
+                depth -= 1
+                if depth <= 0:
+                    return j
+            elif t == "<<":
+                depth -= 2
+                if depth <= 0:
+                    return j
+            elif t in (";", "{", "}", "&&", "||"):
+                return None
+        if t in (")", "]"):
+            other += 1
+        elif t in ("(", "["):
+            other -= 1
+            if other < 0:
+                return None
+        j -= 1
+    return None

@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""croute contract lint driver.
+
+Runs the three project-specific checkers (hot_path, determinism,
+atomics — see src/util/annotations.hpp for the contracts) over the
+source tree and exits non-zero on any unsuppressed finding.
+
+Typical invocations:
+
+    # whole production tree (what ctest's lint_production_tree runs)
+    python3 tools/lint/run_lint.py --repo-root .
+
+    # one file / fixture (what the selftest runs)
+    python3 tools/lint/run_lint.py --src tools/lint/tests/fixtures/hot_bad.cpp
+
+    # machine-readable report + suppression inventory
+    python3 tools/lint/run_lint.py --repo-root . --report lint-report.json \
+        --list-suppressions
+
+Backends: `builtin` (default — the pure-Python token-level frontend,
+zero dependencies) or `clang` (libclang over compile_commands.json,
+CI's non-gating cross-check; requires the `libclang` wheel).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from croute_lint import checkers, frontend_text  # noqa: E402
+from croute_lint.checkers import Findings  # noqa: E402
+
+_EXTS = (".hpp", ".h", ".cpp", ".cc", ".cxx")
+
+
+def collect_files(roots: list[str]) -> dict[str, str]:
+    files: dict[str, str] = {}
+    for root in roots:
+        if os.path.isfile(root):
+            paths = [root]
+        else:
+            paths = []
+            for dirpath, _dirs, names in os.walk(root):
+                for name in names:
+                    if name.endswith(_EXTS):
+                        paths.append(os.path.join(dirpath, name))
+        for p in paths:
+            try:
+                with open(p, encoding="utf-8", errors="replace") as fh:
+                    files[os.path.normpath(p)] = fh.read()
+            except OSError as e:
+                print(f"lint: cannot read {p}: {e}", file=sys.stderr)
+    return files
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--repo-root", help="repo root; lints <root>/src")
+    ap.add_argument("--src", action="append", default=[],
+                    help="file or directory to lint (repeatable; "
+                         "overrides --repo-root's default of src/)")
+    ap.add_argument("--checks", default="hot_path,determinism,atomics",
+                    help="comma-separated subset of: "
+                         + ",".join(checkers.CHECKS))
+    ap.add_argument("--backend", choices=("builtin", "clang"),
+                    default="builtin")
+    ap.add_argument("--compile-commands", default=None,
+                    help="compile_commands.json (clang backend flag "
+                         "lookup; the builtin backend ignores it)")
+    ap.add_argument("--report", default=None,
+                    help="write a JSON findings report here")
+    ap.add_argument("--list-suppressions", action="store_true",
+                    help="print the suppression inventory")
+    ap.add_argument("--max-suppressions", type=int, default=None,
+                    help="fail if more than N suppressions exist "
+                         "(CI budget)")
+    ap.add_argument("--quiet", action="store_true")
+    args = ap.parse_args(argv)
+
+    roots = list(args.src)
+    if not roots:
+        base = args.repo_root or "."
+        roots = [os.path.join(base, "src")]
+    files = collect_files(roots)
+    if not files:
+        print("lint: no input files", file=sys.stderr)
+        return 2
+
+    if args.backend == "clang":
+        from croute_lint import frontend_clang
+        if not frontend_clang.available():
+            print("lint: --backend clang requested but clang.cindex is "
+                  "not importable (pip install libclang)", file=sys.stderr)
+            return 2
+        include_dirs = []
+        if args.repo_root:
+            include_dirs.append(os.path.join(args.repo_root, "src"))
+        model = frontend_clang.build_model(
+            files, args.compile_commands, include_dirs)
+    else:
+        model = frontend_text.build_model(files)
+
+    wanted = [c.strip() for c in args.checks.split(",") if c.strip()]
+    for c in wanted:
+        if c not in checkers.CHECKS:
+            print(f"lint: unknown check '{c}'", file=sys.stderr)
+            return 2
+
+    out = Findings(model)
+    if "hot_path" in wanted:
+        checkers.check_hot_path(model, out)
+    if "determinism" in wanted:
+        checkers.check_determinism(model, out)
+    if "atomics" in wanted:
+        checkers.check_atomics(model, out)
+
+    hot_n = sum(1 for f in model.functions if "hot" in f.annotations)
+    det_n = sum(1 for f in model.functions
+                if "deterministic" in f.annotations)
+
+    if not args.quiet:
+        for f in sorted(out.active, key=lambda f: (f.file, f.line)):
+            where = f" [{f.function}]" if f.function else ""
+            print(f"{f.file}:{f.line}: [{f.check}]{where} {f.message}")
+        print(f"lint: {len(files)} files, {len(model.functions)} "
+              f"functions ({hot_n} hot, {det_n} deterministic, "
+              f"{len(model.atomics)} atomics) — "
+              f"{len(out.active)} finding(s), "
+              f"{len(out.suppressed)} suppressed")
+        unused = [s for s in model.suppressions if not s.used]
+        for s in unused:
+            print(f"{s.file}:{s.line}: warning: unused suppression "
+                  f"({s.check}): {s.reason}")
+
+    if args.list_suppressions and model.suppressions:
+        print("suppressions:")
+        for s in sorted(model.suppressions,
+                        key=lambda s: (s.file, s.line)):
+            mark = "used" if s.used else "UNUSED"
+            print(f"  {s.file}:{s.line} [{s.check}] ({mark}) {s.reason}")
+
+    if args.report:
+        report = {
+            "backend": args.backend,
+            "files": len(files),
+            "functions": len(model.functions),
+            "hot_functions": hot_n,
+            "deterministic_roots": det_n,
+            "atomic_decls": [
+                {"name": a.name, "file": a.file, "line": a.line}
+                for a in model.atomics
+            ],
+            "findings": [f.to_dict() for f in out.active],
+            "suppressed_findings": [
+                {**f.to_dict(), "reason": r} for f, r in out.suppressed
+            ],
+            "suppressions": [
+                {"file": s.file, "line": s.line, "check": s.check,
+                 "reason": s.reason, "used": s.used}
+                for s in model.suppressions
+            ],
+        }
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+
+    if args.max_suppressions is not None and \
+            len(model.suppressions) > args.max_suppressions:
+        print(f"lint: suppression budget exceeded: "
+              f"{len(model.suppressions)} > {args.max_suppressions}",
+              file=sys.stderr)
+        return 1
+    return 1 if out.active else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+// Seeded atomics violations. `run_lint.py --checks atomics` must exit
+// non-zero with one finding per numbered seed.
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+struct Counters {
+  std::atomic<std::uint64_t> served{0};
+  std::atomic<std::uint64_t> ticks{0};
+  std::atomic<bool> published{false};
+
+  std::uint64_t read_defaulted() const {
+    return served.load();  // seed 1: defaulted memory order (seq_cst)
+  }
+
+  void bump_defaulted() {
+    served.fetch_add(1);   // seed 2: defaulted memory order on an RMW
+  }
+
+  void bump_operator() {
+    ticks++;               // seed 3: operator form, implicit seq_cst RMW
+  }
+
+  void publish() {
+    // seed 4: release-store with no acquire-side load anywhere in the
+    // file — the released writes can never be safely observed.
+    published.store(true, std::memory_order_release);
+  }
+
+  bool peek() const {
+    return published.load(std::memory_order_relaxed);
+  }
+};
+
+}  // namespace fixture

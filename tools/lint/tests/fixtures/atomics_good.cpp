@@ -1,0 +1,32 @@
+// Atomics-clean code: every operation states its order, RMWs use
+// fetch_* forms, and the release-store is paired with an acquire load
+// of the same field. `run_lint.py --checks atomics` must exit 0.
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+struct Counters {
+  std::atomic<std::uint64_t> served{0};
+  std::atomic<bool> published{false};
+
+  std::uint64_t read() const {
+    return served.load(std::memory_order_relaxed);
+  }
+
+  void bump() {
+    // Relaxed: a statistics counter; readers only need eventual totals.
+    served.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void publish() {
+    published.store(true, std::memory_order_release);
+  }
+
+  bool ready() const {
+    return published.load(std::memory_order_acquire);
+  }
+};
+
+}  // namespace fixture

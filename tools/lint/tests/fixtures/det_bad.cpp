@@ -1,0 +1,43 @@
+// Seeded determinism violations, all reachable from the single
+// CROUTE_DETERMINISTIC root (the checker walks the name-based call
+// graph). `run_lint.py --checks determinism` must exit non-zero with
+// one finding per numbered seed.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Node;
+
+std::uint32_t seed_helper() {
+  return static_cast<std::uint32_t>(rand());  // seed 1: rand()
+}
+
+struct Builder {
+  std::unordered_map<std::uint32_t, std::uint32_t> owners;
+
+  std::uint64_t stamp() const {
+    // seed 2: wall clock (steady_clock would be fine; system_clock not)
+    return static_cast<std::uint64_t>(
+        std::chrono::system_clock::now().time_since_epoch().count());
+  }
+
+  std::uint32_t walk() const {
+    std::uint32_t acc = 0;
+    for (const auto& kv : owners) {  // seed 3: unordered iteration order
+      acc += kv.second;
+    }
+    std::unordered_map<Node*, std::uint32_t> by_addr;  // seed 4: ptr key
+    return acc + static_cast<std::uint32_t>(by_addr.size());
+  }
+
+  CROUTE_DETERMINISTIC std::uint32_t build() {
+    return seed_helper() + walk() + static_cast<std::uint32_t>(stamp());
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,52 @@
+// Determinism-clean code exercising the checker's allowed patterns:
+// steady_clock, ordered iteration, unordered containers used only for
+// order-independent lookups (`it != m.end()`), and a name declared as a
+// vector in one function and an unordered_set in another (the
+// file-level collision guard must stay silent on the vector loop).
+// `run_lint.py --checks determinism` must exit 0.
+
+#include <chrono>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct Builder {
+  std::unordered_map<std::uint32_t, std::uint32_t> owners;
+
+  std::uint64_t elapsed_ok() const {
+    // steady_clock is explicitly allowed (monotonic, never keyed on).
+    return static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+  }
+
+  bool has_owner(std::uint32_t v) const {
+    auto it = owners.find(v);   // lookup sentinel: order-independent
+    return it != owners.end();
+  }
+
+  std::uint32_t sweep(const std::vector<std::uint32_t>& prev) const {
+    std::uint32_t acc = 0;
+    for (std::uint32_t v : prev) {  // `prev` is a vector in this scope;
+      if (has_owner(v)) ++acc;      // the unordered_set of the same name
+    }                               // in validate() must not poison it
+    return acc;
+  }
+
+  bool validate(const std::vector<std::uint32_t>& order) const {
+    std::unordered_set<std::uint32_t> prev(order.begin(), order.end());
+    return prev.size() == order.size();  // membership only, never iterated
+  }
+
+  CROUTE_DETERMINISTIC std::uint32_t build(
+      const std::vector<std::uint32_t>& order) {
+    std::uint32_t acc = 0;
+    for (std::uint32_t v : order) acc += v;
+    if (!validate(order)) return 0;
+    return acc + sweep(order) + static_cast<std::uint32_t>(elapsed_ok());
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// Seeded hot_path violations. Every numbered comment below must be
+// reported by `run_lint.py --checks hot_path` — the selftest asserts
+// a non-zero exit and one finding per seed.
+//
+// The fixture is scanned textually, so the annotation macros appear as
+// plain tokens; no include of annotations.hpp is needed (or wanted —
+// fixtures must stay single-file).
+
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <mutex>
+#include <vector>
+
+namespace fixture {
+
+std::uint32_t cold_helper(std::uint32_t x) {  // deliberately not hot
+  return x + 1;
+}
+
+struct Router {
+  std::vector<std::uint32_t> stops;
+  std::mutex m;
+
+  CROUTE_HOT std::uint32_t step(std::uint32_t v) {
+    stops.push_back(v);                 // seed 1: growth method
+    auto* scratch = new std::uint32_t[4];  // seed 2: operator new
+    scratch[0] = v;
+    std::lock_guard<std::mutex> g(m);   // seed 3: mutex acquisition
+    std::function<int(int)> f = [](int x) { return x; };  // seed 4
+    std::cout << v << "\n";             // seed 5: stream I/O
+    return cold_helper(v) + f(0) + scratch[0];  // seed 6: non-hot callee
+  }
+};
+
+}  // namespace fixture

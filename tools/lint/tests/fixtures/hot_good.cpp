@@ -1,0 +1,42 @@
+// Clean hot-path code: pre-sized indexed writes, std calls from the
+// allow list, hot-to-hot project calls, and one justified suppression.
+// `run_lint.py --checks hot_path` must exit 0 on this file.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+CROUTE_HOT inline std::uint32_t clamp_hops(std::uint32_t h) {
+  return std::min<std::uint32_t>(h, 64u);
+}
+
+struct Lanes {
+  std::vector<std::uint32_t> slots;
+  std::uint32_t count = 0;
+  std::atomic<std::uint64_t> routed{0};
+
+  void warmup(std::size_t n) { slots.resize(n); }  // not hot: setup path
+
+  CROUTE_HOT void push_slot(std::uint32_t v) {
+    slots[count++] = v;  // pre-sized by warmup(); no allocation
+  }
+
+  CROUTE_HOT std::uint32_t drain() {
+    std::uint32_t acc = 0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      acc += clamp_hops(slots[i]);
+    }
+    routed.fetch_add(count, std::memory_order_relaxed);
+    count = 0;
+    CROUTE_LINT_SUPPRESS(hot_path,
+                         "fixture: demonstrates a reasoned opt-out; the "
+                         "vector keeps its high-water capacity");
+    slots.push_back(acc);
+    return acc;
+  }
+};
+
+}  // namespace fixture

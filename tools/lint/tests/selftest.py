@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Lint self-test: seeded-violation fixtures must fail, clean fixtures
+must pass, and the suppression budget must be enforced.
+
+Run directly or via ctest (registered as `lint_selftest`):
+
+    python3 tools/lint/tests/selftest.py
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+RUN_LINT = os.path.join(HERE, os.pardir, "run_lint.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+failures: list[str] = []
+
+
+def run(fixture: str, checks: str, *extra: str) -> tuple[int, str]:
+    proc = subprocess.run(
+        [sys.executable, RUN_LINT,
+         "--src", os.path.join(FIXTURES, fixture),
+         "--checks", checks, *extra],
+        capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def expect_findings(fixture: str, checks: str, needles: list[str]) -> None:
+    code, out = run(fixture, checks)
+    if code == 0:
+        failures.append(f"{fixture}: expected a non-zero exit, got 0\n{out}")
+        return
+    for needle in needles:
+        if needle not in out:
+            failures.append(f"{fixture}: missing expected finding "
+                            f"{needle!r}\n{out}")
+
+
+def expect_clean(fixture: str, checks: str) -> None:
+    code, out = run(fixture, checks)
+    if code != 0:
+        failures.append(f"{fixture}: expected exit 0, got {code}\n{out}")
+    elif "0 finding(s)" not in out:
+        failures.append(f"{fixture}: expected '0 finding(s)'\n{out}")
+
+
+def main() -> int:
+    expect_findings("hot_bad.cpp", "hot_path", [
+        "allocating container method .push_back()",
+        "operator new on the hot path",
+        "mutex acquisition (lock_guard)",
+        "std::function construction",
+        "stream/stdio I/O (cout)",
+        "calls project function 'cold_helper'",
+    ])
+    expect_clean("hot_good.cpp", "hot_path")
+
+    expect_findings("det_bad.cpp", "determinism", [
+        "nondeterministic call rand()",
+        "nondeterminism source 'system_clock'",
+        "iteration over unordered container 'owners'",
+        "pointer-keyed unordered_map 'by_addr'",
+    ])
+    expect_clean("det_good.cpp", "determinism")
+
+    expect_findings("atomics_bad.cpp", "atomics", [
+        "defaulted memory order (seq_cst) on 'served.load()'",
+        "defaulted memory order (seq_cst) on 'served.fetch_add()'",
+        "operator form on std::atomic 'ticks'",
+        "release-store on 'published' has no matching",
+    ])
+    expect_clean("atomics_good.cpp", "atomics")
+
+    # The suppression in hot_good.cpp must count against the budget.
+    code, out = run("hot_good.cpp", "hot_path", "--max-suppressions", "0")
+    if code == 0:
+        failures.append("hot_good.cpp: suppression budget of 0 must fail\n"
+                        + out)
+    elif "suppression budget exceeded" not in out:
+        failures.append("hot_good.cpp: missing budget diagnostic\n" + out)
+
+    # And a budget that accommodates it must pass again.
+    code, out = run("hot_good.cpp", "hot_path", "--max-suppressions", "1")
+    if code != 0:
+        failures.append(f"hot_good.cpp: budget of 1 must pass, got {code}\n"
+                        + out)
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        print(f"lint selftest: {len(failures)} failure(s)", file=sys.stderr)
+        return 1
+    print("lint selftest: all fixture expectations hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
