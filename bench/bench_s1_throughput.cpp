@@ -39,12 +39,19 @@
 ///        --sampling=centered|bernoulli (landmark sampler; bernoulli's
 ///        graph-independent hierarchy roughly doubles churn SPT reuse)
 ///
+/// Persist mode (always on): after the serving rows, one artifact
+/// publish + recover cycle prices the crash-safe persistence tier —
+/// artifact size, encode/write seconds, and the service start from disk
+/// versus a fresh preprocessing+compile build (the `persist_*` keys in
+/// the JSON), with the recovered service checked answer-identical.
+///
 /// Note: the speedup column reflects the machine's core count; on a
 /// single-core container every thread count serves at the same rate, but
 /// the flat-vs-legacy ratio is visible at any core count.
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -52,6 +59,7 @@
 
 #include "bench_common.hpp"
 #include "obs/export.hpp"
+#include "persist/artifact_store.hpp"
 #include "service/hot_swap.hpp"
 #include "service/route_service.hpp"
 #include "service/workload.hpp"
@@ -365,6 +373,75 @@ int main(int argc, char** argv) try {
     report.set("churn_identical", std::string(churn_ok ? "yes" : "no"));
   }
   all_identical = all_identical && churn_ok;
+
+  // --- persist mode: artifact publish + recover-from-disk start ----------
+  // What the crash-safe artifact tier buys on this instance: a service
+  // start that reads + verifies + decodes the published artifact instead
+  // of rerunning TZ preprocessing and the flat compile. The recovered
+  // service must answer byte-identically to the fresh one it was encoded
+  // from.
+  {
+    const std::string dir = "/tmp/croute_bench_s1_artifacts";
+    std::filesystem::remove_all(dir);
+    RouteServiceOptions opt;
+    opt.scheme = scheme;
+    opt.threads = 1;
+    opt.k = k;
+    opt.seed = seed + 2;
+    opt.sampling = sampling;
+    opt.batch_group = batch_group;
+
+    bench::Stopwatch fresh_watch;
+    RouteService fresh_svc(g, opt);
+    const double fresh_build_s = fresh_watch.seconds();
+
+    persist::ArtifactStore store({dir, 2});
+    const persist::PublishResult pub =
+        store.publish_generation(*fresh_svc.package());
+    if (!pub.ok) {
+      std::fprintf(stderr, "persist publish failed: %s\n", pub.error.c_str());
+      all_identical = false;
+    } else {
+      opt.artifact_dir = dir;
+      bench::Stopwatch recover_watch;
+      RouteService recovered_svc(g, opt);
+      const double publish_from_disk_s = recover_watch.seconds();
+
+      std::vector<RouteQuery> probe(
+          traffic.begin(),
+          traffic.begin() + std::min<std::size_t>(traffic.size(), batch));
+      for (RouteQuery& q : probe) q.exact = kUnknownDistance;
+      const std::vector<RouteAnswer> a = fresh_svc.route_batch(probe);
+      const std::vector<RouteAnswer> b = recovered_svc.route_batch(probe);
+      bool identical = recovered_svc.recovered_from_artifact() &&
+                       a.size() == b.size();
+      for (std::size_t i = 0; identical && i < a.size(); ++i) {
+        identical = same_route(a[i], b[i]);
+      }
+      all_identical = all_identical && identical;
+
+      std::printf("\npersist: artifact %.1f MiB, encode %.3fs, write %.3fs; "
+                  "start from disk %.3fs vs fresh build %.3fs (%.1fx); "
+                  "identical %s\n",
+                  static_cast<double>(pub.bytes) / (1024.0 * 1024.0),
+                  pub.encode_s, pub.write_s, publish_from_disk_s,
+                  fresh_build_s,
+                  publish_from_disk_s > 0 ? fresh_build_s / publish_from_disk_s
+                                          : 0,
+                  identical ? "yes" : "NO");
+      report.set("persist_artifact_bytes", pub.bytes)
+          .set("persist_encode_s", pub.encode_s)
+          .set("persist_write_s", pub.write_s)
+          .set("persist_publish_from_disk_s", publish_from_disk_s)
+          .set("persist_fresh_build_s", fresh_build_s)
+          .set("persist_speedup_vs_fresh",
+               publish_from_disk_s > 0 ? fresh_build_s / publish_from_disk_s
+                                       : 0)
+          .set("persist_identical", std::string(identical ? "yes" : "no"));
+    }
+    std::filesystem::remove_all(dir);
+  }
+
   if (!json_path.empty()) {
     report.write(json_path);
     std::printf("wrote %s\n", json_path.c_str());

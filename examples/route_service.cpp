@@ -38,6 +38,17 @@
 /// JSON on exit — load into chrome://tracing or ui.perfetto.dev)
 /// [--no-metrics] (disable the observability layer entirely — overhead
 /// A/B runs)
+/// --artifact-dir=DIR (crash-safe persistence: recover the newest valid
+/// scheme artifact from DIR on start — falling back to fresh
+/// preprocessing when none verifies — and persist every published
+/// generation there; covers every scheme kind, unlike --warm)
+/// --artifact-retain=N (keep the newest N generations on disk, plus the
+/// manifest-pinned live/backup pair; default 2)
+/// --rebuild-retries=R (retry a failed background rebuild up to R times
+/// under capped exponential backoff before surfacing; default 0)
+/// [--verify-recovery] (after start, rebuild fresh on the same graph and
+/// prove the serving generation answers a seeded probe identically —
+/// exits 1 on divergence; pair with --artifact-dir)
 
 #include <cstdio>
 #include <string>
@@ -75,6 +86,24 @@ int main(int argc, char** argv) {
   try {
     const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
 
+    // Flag-combination errors should fire before any graph or
+    // preprocessing work: --warm carries a scheme_io TZ file, which only
+    // the TZ schemes can load.
+    {
+      const SchemeKind scheme = parse_scheme(flags.get_string("scheme", "tz"));
+      const std::string warm = flags.get_string("warm", "");
+      const bool is_tz = scheme == SchemeKind::kTZDirect ||
+                         scheme == SchemeKind::kTZHandshake;
+      if (!warm.empty() && !is_tz) {
+        throw std::invalid_argument(
+            "--warm=" + warm +
+            " is a scheme_io TZ preprocessing file, which --scheme=" +
+            scheme_name(scheme) +
+            " cannot load — drop --warm, or use --artifact-dir (the "
+            "persist tier covers every scheme kind)");
+      }
+    }
+
     Graph g;
     const std::string graph_path = flags.get_string("graph", "");
     if (!graph_path.empty()) {
@@ -106,6 +135,11 @@ int main(int argc, char** argv) {
           "(e.g. 16, 32, 64), got " +
           std::to_string(opt.batch_group));
     }
+    opt.artifact_dir = flags.get_string("artifact-dir", "");
+    opt.artifact_retain = static_cast<std::uint32_t>(
+        flags.get_int("artifact-retain", static_cast<int>(opt.artifact_retain)));
+    opt.rebuild_retries = static_cast<std::uint32_t>(
+        flags.get_int("rebuild-retries", static_cast<int>(opt.rebuild_retries)));
     opt.metrics = !flags.get_bool("no-metrics", false);
     const std::string metrics_out = flags.get_string("metrics-out", "");
     const std::string trace_out = flags.get_string("trace-out", "");
@@ -127,6 +161,50 @@ int main(int argc, char** argv) {
                 opt.warm_start_path.empty()
                     ? ""
                     : (" (warm start: " + opt.warm_start_path + ")").c_str());
+    if (!opt.artifact_dir.empty()) {
+      if (service.recovered_from_artifact()) {
+        std::printf("persist: recovered generation %llu from %s (%s)\n",
+                    static_cast<unsigned long long>(
+                        service.recovered_generation()),
+                    opt.artifact_dir.c_str(), service.recovery_note().c_str());
+      } else {
+        std::printf("persist: fresh build%s%s\n",
+                    service.recovery_note().empty() ? "" : " — ",
+                    service.recovery_note().c_str());
+      }
+    }
+
+    if (flags.get_bool("verify-recovery", false)) {
+      // Recovery proof: a service preprocessed from scratch on the same
+      // graph and construction options must answer identically to the
+      // serving generation (whether that generation was recovered from
+      // disk or just built). Diverging answers mean a corrupt or
+      // mismatched artifact slipped past verification — fail loudly.
+      RouteServiceOptions fresh_opt = opt;
+      fresh_opt.artifact_dir.clear();
+      fresh_opt.warm_start_path.clear();
+      const RouteService fresh(service.graph(), fresh_opt);
+      Rng prng(seed + 4);
+      const VertexId n = service.graph().num_vertices();
+      const int probes = 4096;
+      int mismatches = 0;
+      for (int i = 0; i < probes; ++i) {
+        RouteQuery q;
+        q.s = static_cast<VertexId>(prng.next_below(n));
+        q.t = static_cast<VertexId>(prng.next_below(n));
+        if (!same_route(service.route_one(q), fresh.route_one(q)))
+          ++mismatches;
+      }
+      std::printf("verify-recovery: matches fresh build on %d probes ... %s\n",
+                  probes, mismatches == 0 ? "yes" : "NO");
+      if (mismatches != 0) {
+        std::fprintf(stderr,
+                     "error: serving generation diverges from a fresh "
+                     "build on %d/%d probes\n",
+                     mismatches, probes);
+        return 1;
+      }
+    }
 
     const WorkloadKind workload =
         parse_workload(flags.get_string("workload", "uniform"));

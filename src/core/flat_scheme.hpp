@@ -416,6 +416,14 @@ class FlatScheme {
   const FlatCompileStats& compile_stats() const noexcept { return stats_; }
 
  private:
+  /// The persistence codec (src/persist/artifact.cpp) reconstructs a
+  /// compiled view from its pooled bytes: default-construct, fill the
+  /// pools, rebind base_, rebuild the FKS indexes via compile_hashes
+  /// (derived state — same seeds, same bytes). Same friend-serializer
+  /// pattern as SchemeSerializer over TZScheme.
+  friend class ArtifactCodec;
+  FlatScheme() = default;
+
   void compile_tables(ThreadPool* pool);
   void compile_directories(ThreadPool* pool);
   void compile_labels(ThreadPool* pool);
@@ -444,7 +452,7 @@ class FlatScheme {
     }
   }
 
-  const TZScheme* base_;
+  const TZScheme* base_ = nullptr;
   FlatSchemeOptions options_;
   FlatCompileStats stats_;
 
@@ -599,7 +607,10 @@ class FlatCowen {
   }
 
  private:
-  const Graph* g_;
+  friend class ArtifactCodec;  ///< persistence: pools in, pools out
+  FlatCowen() = default;
+
+  const Graph* g_ = nullptr;
   VertexId n_ = 0;
   std::uint32_t id_bits_ = 0;
   std::uint32_t num_landmarks_ = 0;
@@ -631,7 +642,10 @@ class FlatFullTable {
   CROUTE_HOT std::uint64_t label_bits() const noexcept { return label_bits_; }
 
  private:
-  const Graph* g_;
+  friend class ArtifactCodec;  ///< persistence: pools in, pools out
+  FlatFullTable() = default;
+
+  const Graph* g_ = nullptr;
   VertexId n_ = 0;
   std::uint64_t label_bits_ = 0;
   std::vector<Port> hops_;  ///< n*n, row per source

@@ -1,11 +1,14 @@
 #include "graph/io.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+
+#include "util/crc32c.hpp"
 
 namespace croute {
 
@@ -15,13 +18,31 @@ void write_graph(std::ostream& os, const Graph& g, const std::string& comment) {
     std::string line;
     while (std::getline(lines, line)) os << "c " << line << '\n';
   }
-  os << "p croute " << g.num_vertices() << ' ' << g.num_edges() << '\n';
-  os << std::setprecision(17);
+  // Checksum the payload lines (problem line + edges; comments are
+  // free-form and excluded) and append the sum as a trailer comment.
+  // read_graph verifies it when present, so a bit-rotted graph file is
+  // rejected instead of silently routing over the wrong network; files
+  // without the trailer (hand-written, older) still load unchecked.
+  std::uint32_t crc = 0;
+  const auto emit = [&](const std::string& line) {
+    crc = crc32c(line.data(), line.size(), crc);
+    os << line;
+  };
+  emit("p croute " + std::to_string(g.num_vertices()) + ' ' +
+       std::to_string(g.num_edges()) + '\n');
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     for (const Arc& a : g.arcs(v)) {
-      if (a.head > v) os << "e " << v << ' ' << a.head << ' ' << a.weight << '\n';
+      if (a.head > v) {
+        std::ostringstream ls;
+        ls << std::setprecision(17) << "e " << v << ' ' << a.head << ' '
+           << a.weight << '\n';
+        emit(ls.str());
+      }
     }
   }
+  char trailer[32];
+  std::snprintf(trailer, sizeof trailer, "c crc32c %08x\n", crc);
+  os << trailer;
   if (!os) throw std::runtime_error("write_graph: stream failure");
 }
 
@@ -30,9 +51,23 @@ Graph read_graph(std::istream& is) {
   bool have_header = false;
   VertexId n = 0;
   std::uint64_t m = 0, seen = 0;
+  std::uint32_t crc = 0;
+  bool have_expected_crc = false;
+  std::uint32_t expected_crc = 0;
   GraphBuilder builder(0);
   while (std::getline(is, line)) {
-    if (line.empty() || line[0] == 'c') continue;
+    if (line.empty() || line[0] == 'c') {
+      // "c crc32c <hex>" is the integrity trailer write_graph appends;
+      // every other comment is ignored.
+      unsigned long long parsed = 0;
+      if (std::sscanf(line.c_str(), "c crc32c %llx", &parsed) == 1) {
+        have_expected_crc = true;
+        expected_crc = static_cast<std::uint32_t>(parsed);
+      }
+      continue;
+    }
+    crc = crc32c(line.data(), line.size(), crc);
+    crc = crc32c("\n", 1, crc);
     std::istringstream ls(line);
     char kind = 0;
     ls >> kind;
@@ -59,6 +94,14 @@ Graph read_graph(std::istream& is) {
     }
   }
   if (!have_header) throw std::invalid_argument("read_graph: missing header");
+  if (have_expected_crc && crc != expected_crc) {
+    char msg[96];
+    std::snprintf(msg, sizeof msg,
+                  "read_graph: checksum mismatch (file says crc32c %08x, "
+                  "payload hashes to %08x)",
+                  expected_crc, crc);
+    throw std::invalid_argument(msg);
+  }
   if (seen != m) {
     throw std::invalid_argument("read_graph: edge count mismatch (header says " +
                                 std::to_string(m) + ", saw " +

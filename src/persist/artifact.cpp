@@ -1,0 +1,792 @@
+#include "persist/artifact.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <streambuf>
+#include <utility>
+#include <vector>
+
+#include "core/scheme_io.hpp"
+#include "simd/simd.hpp"
+#include "util/crc32c.hpp"
+#include "util/random.hpp"
+#include "util/serialize.hpp"
+
+namespace croute {
+namespace {
+
+/// "croutea1" as a little-endian u64 (artifact, format family 1).
+constexpr std::uint64_t kMagic = 0x31616574756F7263ULL;
+
+// Section ids. An artifact carries whichever of these its package does;
+// the loader locates them by id, so the order on disk is irrelevant
+// (relocatable) and unknown future ids are a clean version-skew error,
+// never an out-of-bounds read.
+constexpr std::uint32_t kSecGraph = 1;      ///< edge list, rebuilt via GraphBuilder
+constexpr std::uint32_t kSecTZ = 2;         ///< scheme_io bytes (TZ preprocessing)
+constexpr std::uint32_t kSecFlatTZ = 3;     ///< FlatScheme pools
+constexpr std::uint32_t kSecFlatCowen = 4;  ///< FlatCowen pools
+constexpr std::uint32_t kSecFlatFull = 5;   ///< FlatFullTable pools
+
+constexpr std::uint32_t kMaxSections = 16;
+constexpr std::uint32_t kMaxHostLen = 256;
+
+[[noreturn]] void reject(const std::string& what) {
+  throw std::invalid_argument("artifact: " + what);
+}
+
+/// Bounds-checked little-endian reader over a byte span. Unlike
+/// BinaryReader (streams) this never copies payload bytes into an
+/// istream first — sections decode straight out of the mapped artifact —
+/// and every failure carries the absolute byte offset where it died.
+class SpanReader {
+ public:
+  SpanReader(std::string_view bytes, std::uint64_t base_offset = 0)
+      : data_(bytes.data()), size_(bytes.size()), base_(base_offset) {}
+
+  std::uint64_t offset() const noexcept { return base_ + pos_; }
+  std::uint64_t remaining() const noexcept { return size_ - pos_; }
+
+  std::uint8_t u8() { return scalar<std::uint8_t>(); }
+  std::uint32_t u32() { return scalar<std::uint32_t>(); }
+  std::uint64_t u64() { return scalar<std::uint64_t>(); }
+  double f64() {
+    const std::uint64_t bits = scalar<std::uint64_t>();
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+  }
+
+  template <typename T>
+  std::vector<T> vec_u32() {
+    static_assert(sizeof(T) == 4);
+    return vec<T>();
+  }
+  std::vector<std::uint64_t> vec_u64() { return vec<std::uint64_t>(); }
+  std::vector<double> vec_f64() { return vec<double>(); }
+
+  std::string str() {
+    const std::uint64_t len = u32();
+    if (len > kMaxHostLen) {
+      reject("implausible string length at byte offset " +
+             std::to_string(offset() - 4));
+    }
+    need(len);
+    std::string s(data_ + pos_, len);
+    pos_ += len;
+    return s;
+  }
+
+ private:
+  template <typename T>
+  T scalar() {
+    static_assert(std::endian::native == std::endian::little,
+                  "big-endian hosts need byte swaps here");
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  template <typename T>
+  std::vector<T> vec() {
+    const std::uint64_t count = u64();
+    // A hostile length prefix must fail here, not in operator new: the
+    // remaining span bounds what any honest count can be.
+    if (count > remaining() / sizeof(T)) {
+      reject("implausible array length at byte offset " +
+             std::to_string(offset() - 8));
+    }
+    std::vector<T> v(count);
+    if (count > 0) {
+      std::memcpy(v.data(), data_ + pos_, count * sizeof(T));
+      pos_ += count * sizeof(T);
+    }
+    return v;
+  }
+  void need(std::uint64_t bytes) {
+    if (bytes > remaining()) {
+      reject("truncated at byte offset " + std::to_string(offset()) +
+             " (wanted " + std::to_string(bytes) + " more bytes)");
+    }
+  }
+
+  const char* data_;
+  std::uint64_t size_;
+  std::uint64_t base_;  ///< absolute offset of data_[0] in the artifact
+  std::uint64_t pos_ = 0;
+};
+
+/// Read-only streambuf over artifact bytes, so the TZ section feeds
+/// scheme_io's istream loader without copying megabytes into a string.
+class MemBuf final : public std::streambuf {
+ public:
+  MemBuf(const char* p, std::size_t n) {
+    char* b = const_cast<char*>(p);  // setg wants char*; we never write
+    setg(b, b, b + n);
+  }
+};
+
+struct Section {
+  std::uint32_t id = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  std::uint32_t crc = 0;
+};
+
+struct ParsedHeader {
+  persist::ArtifactMeta meta;
+  std::vector<Section> sections;
+  std::uint64_t header_bytes = 0;  ///< size of header incl. its CRC
+};
+
+const char* section_name(std::uint32_t id) {
+  switch (id) {
+    case kSecGraph: return "GRAPH";
+    case kSecTZ: return "TZ";
+    case kSecFlatTZ: return "FLAT_TZ";
+    case kSecFlatCowen: return "FLAT_COWEN";
+    case kSecFlatFull: return "FLAT_FULL";
+  }
+  return "?";
+}
+
+}  // namespace
+
+/// The friend serializer FlatScheme/FlatCowen/FlatFullTable grant pool
+/// access to (the SchemeSerializer pattern scheme_io uses over TZScheme).
+/// Not in the anonymous namespace — the friend declarations name
+/// croute::ArtifactCodec. Encode writes pools verbatim; decode fills a
+/// default-constructed view, validates every CSR invariant the routers
+/// rely on, rebinds the base pointer, and recomputes the only derived
+/// state (FKS indexes) from the persisted seed — same seed, same bytes.
+class ArtifactCodec {
+ public:
+  // --- FlatScheme -----------------------------------------------------------
+  static void encode_flat(BinaryWriter& w, const FlatScheme& f) {
+    w.u8(f.options_.lookup == FlatLookup::kFKS ? 1 : 0);
+    w.u64(f.options_.hash_seed);
+    w.vec_u32(f.tbl_off_);
+    w.vec_u32(f.tbl_key_);
+    w.u64(f.tbl_record_.size());
+    for (const TreeNodeRecord& r : f.tbl_record_) {
+      w.u32(r.dfs_in);
+      w.u32(r.dfs_out);
+      w.u32(r.heavy_in);
+      w.u32(r.heavy_out);
+      w.u32(r.heavy_port);
+      w.u32(r.parent_port);
+      w.u32(r.light_depth);
+    }
+    w.vec_f64(f.tbl_dist_);
+    w.vec_u32(f.tbl_level_);
+    w.vec_u32(f.tbl_own_dfs_);
+    w.vec_u32(f.tbl_own_light_off_);
+    w.vec_u32(f.tbl_own_light_len_);
+    w.vec_u32(f.tbl_light_pool_);
+    w.vec_u32(f.dir_off_);
+    w.vec_u32(f.dir_key_);
+    w.vec_u32(f.dir_dfs_);
+    w.vec_u32(f.dir_light_off_);
+    w.vec_u32(f.dir_light_len_);
+    w.vec_u32(f.dir_light_pool_);
+    w.vec_u32(f.lab_off_);
+    w.u64(f.lab_entries_.size());
+    for (const FlatScheme::LabelEntryView& e : f.lab_entries_) {
+      w.u32(e.level);
+      w.u32(e.w);
+      w.f64(e.dist);
+      w.u32(e.dfs_in);
+      w.u32(e.light_off);
+      w.u32(e.light_len);
+    }
+    w.vec_u32(f.lab_light_pool_);
+    w.vec_u64(f.bits_by_len_);
+    w.u64(f.header_fixed_bits_);
+    w.u32(f.port_bits_);
+  }
+
+  static std::unique_ptr<const FlatScheme> decode_flat(SpanReader& r,
+                                                       const TZScheme& tz) {
+    std::unique_ptr<FlatScheme> f(new FlatScheme());
+    const std::uint8_t lookup = r.u8();
+    if (lookup > 1) reject("FLAT_TZ: unknown lookup layout");
+    f->options_.lookup = lookup == 1 ? FlatLookup::kFKS : FlatLookup::kEytzinger;
+    f->options_.hash_seed = r.u64();
+    f->tbl_off_ = r.vec_u32<std::uint32_t>();
+    f->tbl_key_ = r.vec_u32<VertexId>();
+    const std::uint64_t nrec = r.u64();
+    if (nrec != f->tbl_key_.size()) reject("FLAT_TZ: record/key count mismatch");
+    f->tbl_record_.resize(nrec);
+    for (TreeNodeRecord& rec : f->tbl_record_) {
+      rec.dfs_in = r.u32();
+      rec.dfs_out = r.u32();
+      rec.heavy_in = r.u32();
+      rec.heavy_out = r.u32();
+      rec.heavy_port = r.u32();
+      rec.parent_port = r.u32();
+      rec.light_depth = r.u32();
+    }
+    f->tbl_dist_ = r.vec_f64();
+    f->tbl_level_ = r.vec_u32<std::uint32_t>();
+    f->tbl_own_dfs_ = r.vec_u32<std::uint32_t>();
+    f->tbl_own_light_off_ = r.vec_u32<std::uint32_t>();
+    f->tbl_own_light_len_ = r.vec_u32<std::uint32_t>();
+    f->tbl_light_pool_ = r.vec_u32<Port>();
+    check_csr("FLAT_TZ tables", tz.graph().num_vertices(), f->tbl_off_,
+              f->tbl_key_.size());
+    if (f->tbl_dist_.size() != nrec || f->tbl_level_.size() != nrec ||
+        f->tbl_own_dfs_.size() != nrec || f->tbl_own_light_off_.size() != nrec ||
+        f->tbl_own_light_len_.size() != nrec) {
+      reject("FLAT_TZ: table payload arrays disagree on entry count");
+    }
+    check_slices("FLAT_TZ own-light", f->tbl_own_light_off_,
+                 f->tbl_own_light_len_, f->tbl_light_pool_.size());
+
+    f->dir_off_ = r.vec_u32<std::uint32_t>();
+    f->dir_key_ = r.vec_u32<VertexId>();
+    f->dir_dfs_ = r.vec_u32<std::uint32_t>();
+    f->dir_light_off_ = r.vec_u32<std::uint32_t>();
+    f->dir_light_len_ = r.vec_u32<std::uint32_t>();
+    f->dir_light_pool_ = r.vec_u32<Port>();
+    check_csr("FLAT_TZ directories", tz.graph().num_vertices(), f->dir_off_,
+              f->dir_key_.size());
+    if (f->dir_dfs_.size() != f->dir_key_.size() ||
+        f->dir_light_off_.size() != f->dir_key_.size() ||
+        f->dir_light_len_.size() != f->dir_key_.size()) {
+      reject("FLAT_TZ: directory payload arrays disagree on entry count");
+    }
+    check_slices("FLAT_TZ dir-light", f->dir_light_off_, f->dir_light_len_,
+                 f->dir_light_pool_.size());
+
+    f->lab_off_ = r.vec_u32<std::uint32_t>();
+    const std::uint64_t nlab = r.u64();
+    f->lab_entries_.resize(nlab);
+    for (FlatScheme::LabelEntryView& e : f->lab_entries_) {
+      e.level = r.u32();
+      e.w = r.u32();
+      e.dist = r.f64();
+      e.dfs_in = r.u32();
+      e.light_off = r.u32();
+      e.light_len = r.u32();
+    }
+    f->lab_light_pool_ = r.vec_u32<Port>();
+    check_csr("FLAT_TZ labels", tz.graph().num_vertices(), f->lab_off_, nlab);
+    for (const FlatScheme::LabelEntryView& e : f->lab_entries_) {
+      if (std::uint64_t{e.light_off} + e.light_len >
+          f->lab_light_pool_.size()) {
+        reject("FLAT_TZ: label light slice out of pool bounds");
+      }
+    }
+    f->bits_by_len_ = r.vec_u64();
+    f->header_fixed_bits_ = r.u64();
+    f->port_bits_ = r.u32();
+
+    f->base_ = &tz;
+    // The FKS indexes are derived state: rebuilt from the persisted seed
+    // they come out byte-identical to the original compile's (the same
+    // invariant scheme_io relies on for TZScheme's hash index).
+    f->compile_hashes(nullptr);
+    f->stats_.pool_bytes = f->pool_bytes();
+    f->stats_.threads = 1;
+    return f;
+  }
+
+  // --- FlatCowen ------------------------------------------------------------
+  static void encode_cowen(BinaryWriter& w, const FlatCowen& c) {
+    w.u32(c.n_);
+    w.u32(c.id_bits_);
+    w.u32(c.num_landmarks_);
+    w.u64(c.label_bits_);
+    w.vec_u32(c.cl_off_);
+    w.vec_u32(c.cl_key_);
+    w.vec_u32(c.cl_port_);
+    w.vec_u32(c.lport_);
+    w.u64(c.labels_.size());
+    for (const FlatCowen::Label& l : c.labels_) {
+      w.u32(l.t);
+      w.u32(l.home);
+      w.u32(l.port_at_home);
+      w.u32(l.home_col);
+    }
+  }
+
+  static std::unique_ptr<const FlatCowen> decode_cowen(SpanReader& r,
+                                                       const Graph& g) {
+    std::unique_ptr<FlatCowen> c(new FlatCowen());
+    c->n_ = r.u32();
+    if (c->n_ != g.num_vertices()) {
+      reject("FLAT_COWEN: vertex count disagrees with the graph section");
+    }
+    c->id_bits_ = r.u32();
+    c->num_landmarks_ = r.u32();
+    c->label_bits_ = r.u64();
+    c->cl_off_ = r.vec_u32<std::uint32_t>();
+    c->cl_key_ = r.vec_u32<VertexId>();
+    c->cl_port_ = r.vec_u32<Port>();
+    c->lport_ = r.vec_u32<Port>();
+    check_csr("FLAT_COWEN clusters", c->n_, c->cl_off_, c->cl_key_.size());
+    if (c->cl_port_.size() != c->cl_key_.size()) {
+      reject("FLAT_COWEN: cluster port/key count mismatch");
+    }
+    if (c->lport_.size() !=
+        std::uint64_t{c->n_} * c->num_landmarks_) {
+      reject("FLAT_COWEN: landmark port matrix has the wrong shape");
+    }
+    const std::uint64_t nlab = r.u64();
+    if (nlab != c->n_) reject("FLAT_COWEN: label count != n");
+    c->labels_.resize(nlab);
+    for (FlatCowen::Label& l : c->labels_) {
+      l.t = r.u32();
+      l.home = r.u32();
+      l.port_at_home = r.u32();
+      l.home_col = r.u32();
+      if (l.home_col != FlatCowen::kNoColumn &&
+          l.home_col >= c->num_landmarks_) {
+        reject("FLAT_COWEN: label home column out of range");
+      }
+    }
+    c->g_ = &g;
+    return c;
+  }
+
+  // --- FlatFullTable --------------------------------------------------------
+  static void encode_full(BinaryWriter& w, const FlatFullTable& t) {
+    w.u32(t.n_);
+    w.u64(t.label_bits_);
+    w.vec_u32(t.hops_);
+  }
+
+  static std::unique_ptr<const FlatFullTable> decode_full(SpanReader& r,
+                                                          const Graph& g) {
+    std::unique_ptr<FlatFullTable> t(new FlatFullTable());
+    t->n_ = r.u32();
+    if (t->n_ != g.num_vertices()) {
+      reject("FLAT_FULL: vertex count disagrees with the graph section");
+    }
+    t->label_bits_ = r.u64();
+    t->hops_ = r.vec_u32<Port>();
+    if (t->hops_.size() != std::uint64_t{t->n_} * t->n_) {
+      reject("FLAT_FULL: hop matrix has the wrong shape");
+    }
+    t->g_ = &g;
+    return t;
+  }
+
+ private:
+  /// CSR offsets invariants every router lookup assumes: size n+1,
+  /// starts at 0, monotone, last == pool size.
+  static void check_csr(const char* what, VertexId n,
+                        const std::vector<std::uint32_t>& off,
+                        std::uint64_t pool) {
+    if (off.size() != std::uint64_t{n} + 1 || off.front() != 0 ||
+        off.back() != pool) {
+      reject(std::string(what) + ": CSR offsets have the wrong shape");
+    }
+    for (std::size_t i = 1; i < off.size(); ++i) {
+      if (off[i] < off[i - 1]) {
+        reject(std::string(what) + ": CSR offsets not monotone");
+      }
+    }
+  }
+  static void check_slices(const char* what,
+                           const std::vector<std::uint32_t>& offs,
+                           const std::vector<std::uint32_t>& lens,
+                           std::uint64_t pool) {
+    for (std::size_t i = 0; i < offs.size(); ++i) {
+      if (std::uint64_t{offs[i]} + lens[i] > pool) {
+        reject(std::string(what) + ": slice out of pool bounds");
+      }
+    }
+  }
+};
+
+}  // namespace croute
+
+namespace croute::persist {
+
+namespace {
+
+std::string isa_stamp() {
+  return std::string(simd::ops().name) + "/" + crc32c_backend();
+}
+
+std::string encode_graph_section(const Graph& g) {
+  std::ostringstream os(std::ios::binary);
+  BinaryWriter w(os);
+  w.u32(g.num_vertices());
+  w.u64(g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const Arc& a : g.arcs(v)) {
+      if (a.head > v) {
+        w.u32(v);
+        w.u32(a.head);
+        w.f64(a.weight);
+      }
+    }
+  }
+  return std::move(os).str();
+}
+
+std::shared_ptr<const Graph> decode_graph_section(std::string_view bytes,
+                                                  std::uint64_t base) {
+  SpanReader r(bytes, base);
+  const VertexId n = r.u32();
+  const std::uint64_t m = r.u64();
+  if (m > bytes.size() / 16) {  // 16 bytes per edge record
+    reject("GRAPH: implausible edge count");
+  }
+  GraphBuilder builder(n);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    const VertexId u = r.u32();
+    const VertexId v = r.u32();
+    const Weight w = r.f64();
+    if (u >= n || v >= n) reject("GRAPH: edge endpoint out of range");
+    builder.add_edge(u, v, w);
+  }
+  // GraphBuilder::build canonicalizes (sorted arcs, deterministic
+  // reverse ports), so this reconstruction is bit-identical to the
+  // graph the artifact was written from — the fingerprint check in
+  // decode_package pins it.
+  return std::make_shared<const Graph>(builder.build());
+}
+
+void write_header(BinaryWriter& w, const ArtifactMeta& meta,
+                  const std::vector<Section>& sections) {
+  w.u64(kMagic);
+  w.u32(kArtifactFormatVersion);
+  w.u8(static_cast<std::uint8_t>(meta.scheme));
+  w.u8(static_cast<std::uint8_t>(meta.sampling));
+  w.u8(meta.use_flat ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(meta.flat_lookup));
+  w.u8(meta.warm_started ? 1 : 0);
+  w.u32(meta.k);
+  w.u32(meta.n);
+  w.u64(meta.seed);
+  w.u64(meta.options_digest);
+  w.u64(meta.graph_digest);
+  w.u64(meta.generation);
+  w.u32(static_cast<std::uint32_t>(meta.build_host.size()));
+  for (const char c : meta.build_host) {
+    w.u8(static_cast<std::uint8_t>(c));
+  }
+  w.u32(static_cast<std::uint32_t>(sections.size()));
+  for (const Section& s : sections) {
+    w.u32(s.id);
+    w.u64(s.offset);
+    w.u64(s.size);
+    w.u32(s.crc);
+  }
+}
+
+/// Parses and validates the header: magic, version, field sanity, the
+/// header CRC, and the section table's geometry (contiguous, inside the
+/// payload area, no duplicate ids). Everything after this function is
+/// entitled to trust the table's offsets.
+ParsedHeader parse_header(std::string_view bytes) {
+  SpanReader r(bytes);
+  ParsedHeader h;
+  const std::uint64_t magic = r.u64();
+  if (magic != kMagic) {
+    reject("bad magic (not an artifact, or the header is corrupt)");
+  }
+  h.meta.format_version = r.u32();
+  if (h.meta.format_version != kArtifactFormatVersion) {
+    reject("format version " + std::to_string(h.meta.format_version) +
+           " (this build reads version " +
+           std::to_string(kArtifactFormatVersion) + ")");
+  }
+  const std::uint8_t scheme = r.u8();
+  if (scheme > static_cast<std::uint8_t>(SchemeKind::kFullTable)) {
+    reject("unknown scheme kind in header");
+  }
+  h.meta.scheme = static_cast<SchemeKind>(scheme);
+  const std::uint8_t sampling = r.u8();
+  if (sampling > 1) reject("unknown sampling mode in header");
+  h.meta.sampling = static_cast<SamplingMode>(sampling);
+  h.meta.use_flat = r.u8() != 0;
+  const std::uint8_t lookup = r.u8();
+  if (lookup > 1) reject("unknown flat lookup layout in header");
+  h.meta.flat_lookup = static_cast<FlatLookup>(lookup);
+  h.meta.warm_started = r.u8() != 0;
+  h.meta.k = r.u32();
+  h.meta.n = r.u32();
+  h.meta.seed = r.u64();
+  h.meta.options_digest = r.u64();
+  h.meta.graph_digest = r.u64();
+  h.meta.generation = r.u64();
+  h.meta.build_host = r.str();
+  const std::uint32_t nsec = r.u32();
+  if (nsec == 0 || nsec > kMaxSections) {
+    reject("implausible section count in header");
+  }
+  h.sections.resize(nsec);
+  for (Section& s : h.sections) {
+    s.id = r.u32();
+    s.offset = r.u64();
+    s.size = r.u64();
+    s.crc = r.u32();
+  }
+  const std::uint64_t crc_at = r.offset();
+  const std::uint32_t header_crc = r.u32();
+  if (crc32c(bytes.data(), crc_at) != header_crc) {
+    reject("header checksum mismatch (torn or corrupted header)");
+  }
+  h.header_bytes = r.offset();
+
+  // Geometry: sections are laid out back to back between the header and
+  // the 4-byte whole-file CRC trailer. Anything else — overlap, gaps,
+  // duplicated sections, a table pointing past the end — is rejected
+  // here so no later stage computes an out-of-bounds slice.
+  if (bytes.size() < h.header_bytes + 4) reject("no room for the file trailer");
+  std::uint64_t expect = h.header_bytes;
+  std::uint32_t seen_ids = 0;
+  for (const Section& s : h.sections) {
+    if (s.id == 0 || s.id > 31) reject("unknown section id in table");
+    if (seen_ids & (1u << s.id)) {
+      reject(std::string("duplicated section ") + section_name(s.id));
+    }
+    seen_ids |= 1u << s.id;
+    if (s.offset != expect) reject("section table is not contiguous");
+    if (s.size > bytes.size() - 4 - s.offset) {
+      reject("section table points past the end of the file");
+    }
+    expect = s.offset + s.size;
+  }
+  if (expect != bytes.size() - 4) {
+    reject("payload size disagrees with the section table");
+  }
+  return h;
+}
+
+void verify_file_crc(std::string_view bytes) {
+  std::uint32_t file_crc;
+  std::memcpy(&file_crc, bytes.data() + bytes.size() - 4, 4);
+  if (crc32c(bytes.data(), bytes.size() - 4) != file_crc) {
+    reject("whole-file checksum mismatch (torn or truncated artifact)");
+  }
+}
+
+const Section* find_section(const ParsedHeader& h, std::uint32_t id) {
+  for (const Section& s : h.sections) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+std::string_view section_bytes(std::string_view bytes, const ParsedHeader& h,
+                               std::uint32_t id) {
+  const Section* s = find_section(h, id);
+  if (s == nullptr) {
+    reject(std::string("missing required section ") + section_name(id));
+  }
+  // Localize corruption: the per-section sum says WHICH section rotted,
+  // where the whole-file sum only says "something did".
+  if (crc32c(bytes.data() + s->offset, s->size) != s->crc) {
+    reject(std::string("section ") + section_name(id) +
+           " checksum mismatch (payload corrupted at bytes [" +
+           std::to_string(s->offset) + ", " +
+           std::to_string(s->offset + s->size) + "))");
+  }
+  return bytes.substr(s->offset, s->size);
+}
+
+}  // namespace
+
+std::uint64_t content_options_digest(const RouteServiceOptions& options) {
+  // Only fields that determine the package's *bytes* participate;
+  // serving knobs (threads, batch_group, metrics, record_paths) change
+  // how a package is driven, never what it contains.
+  std::uint64_t h = 0x6172746966616374ULL;  // "artifact"
+  h = mix64(h ^ static_cast<std::uint64_t>(options.scheme));
+  h = mix64(h ^ options.k);
+  h = mix64(h ^ static_cast<std::uint64_t>(options.sampling));
+  h = mix64(h ^ options.seed);
+  h = mix64(h ^ (options.use_flat ? 1 : 2));
+  h = mix64(h ^ static_cast<std::uint64_t>(options.flat_lookup));
+  return h;
+}
+
+bool package_persistable(const SchemePackage& pkg, std::string* reason) {
+  const bool is_tz = pkg.options.scheme == SchemeKind::kTZDirect ||
+                     pkg.options.scheme == SchemeKind::kTZHandshake;
+  if (!pkg.options.use_flat && !is_tz) {
+    if (reason != nullptr) {
+      *reason =
+          "legacy (use_flat=false) Cowen/full-table preprocessing has no "
+          "serialized form — only their flat pools do";
+    }
+    return false;
+  }
+  if (reason != nullptr) reason->clear();
+  return true;
+}
+
+std::string encode_package(const SchemePackage& pkg,
+                           std::uint64_t generation) {
+  std::string why;
+  if (!package_persistable(pkg, &why)) {
+    throw std::invalid_argument("encode_package: " + why);
+  }
+
+  std::vector<std::pair<std::uint32_t, std::string>> payloads;
+  payloads.emplace_back(kSecGraph, encode_graph_section(*pkg.graph));
+  if (pkg.tz != nullptr) {
+    std::ostringstream os(std::ios::binary);
+    save_scheme(os, *pkg.tz);
+    payloads.emplace_back(kSecTZ, std::move(os).str());
+  }
+  const auto pooled = [&](std::uint32_t id, const auto& view, auto encode) {
+    std::ostringstream os(std::ios::binary);
+    BinaryWriter w(os);
+    encode(w, view);
+    payloads.emplace_back(id, std::move(os).str());
+  };
+  if (pkg.flat != nullptr) {
+    pooled(kSecFlatTZ, *pkg.flat, ArtifactCodec::encode_flat);
+  }
+  if (pkg.flat_cowen != nullptr) {
+    pooled(kSecFlatCowen, *pkg.flat_cowen, ArtifactCodec::encode_cowen);
+  }
+  if (pkg.flat_full != nullptr) {
+    pooled(kSecFlatFull, *pkg.flat_full, ArtifactCodec::encode_full);
+  }
+
+  ArtifactMeta meta;
+  meta.format_version = kArtifactFormatVersion;
+  meta.scheme = pkg.options.scheme;
+  meta.sampling = pkg.options.sampling;
+  meta.use_flat = pkg.options.use_flat;
+  meta.flat_lookup = pkg.options.flat_lookup;
+  meta.warm_started = !pkg.options.warm_start_path.empty();
+  meta.k = pkg.options.k;
+  meta.n = pkg.graph->num_vertices();
+  meta.seed = pkg.options.seed;
+  meta.options_digest = content_options_digest(pkg.options);
+  meta.graph_digest = graph_fingerprint(*pkg.graph);
+  meta.generation = generation;
+  meta.build_host = isa_stamp();
+
+  std::vector<Section> sections(payloads.size());
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    sections[i].id = payloads[i].first;
+    sections[i].size = payloads[i].second.size();
+    sections[i].crc =
+        crc32c(payloads[i].second.data(), payloads[i].second.size());
+  }
+
+  // Two-pass header: the fields are fixed-width, so a dry run with zero
+  // offsets yields the exact header size, which fixes every offset.
+  std::ostringstream dry(std::ios::binary);
+  {
+    BinaryWriter w(dry);
+    write_header(w, meta, sections);
+  }
+  const std::uint64_t header_size = dry.str().size() + 4;  // + header CRC
+  std::uint64_t off = header_size;
+  for (Section& s : sections) {
+    s.offset = off;
+    off += s.size;
+  }
+  std::ostringstream hs(std::ios::binary);
+  {
+    BinaryWriter w(hs);
+    write_header(w, meta, sections);
+  }
+  std::string header = std::move(hs).str();
+  const std::uint32_t header_crc = crc32c(header.data(), header.size());
+  header.append(reinterpret_cast<const char*>(&header_crc), 4);
+
+  std::string out;
+  out.reserve(off + 4);
+  out += header;
+  for (const auto& [id, body] : payloads) out += body;
+  const std::uint32_t file_crc = crc32c(out.data(), out.size());
+  out.append(reinterpret_cast<const char*>(&file_crc), 4);
+  return out;
+}
+
+ArtifactMeta read_artifact_meta(std::string_view bytes) {
+  ParsedHeader h = parse_header(bytes);
+  verify_file_crc(bytes);
+  return std::move(h.meta);
+}
+
+SchemePackagePtr decode_package(std::string_view bytes,
+                                const RouteServiceOptions& serving,
+                                ArtifactMeta* meta_out) {
+  using clock = std::chrono::steady_clock;
+  const auto begin = clock::now();
+
+  const ParsedHeader h = parse_header(bytes);
+  verify_file_crc(bytes);
+  if (h.meta.scheme != serving.scheme) {
+    reject(std::string("built for scheme '") + scheme_name(h.meta.scheme) +
+           "', service runs '" + scheme_name(serving.scheme) + "'");
+  }
+  if (h.meta.options_digest != content_options_digest(serving)) {
+    reject(
+        "built under different construction options (digest mismatch: "
+        "k/sampling/seed/use_flat/flat_lookup changed) — refusing to serve "
+        "it");
+  }
+
+  auto pkg = std::make_shared<SchemePackage>();
+  pkg->options = serving;
+  // A recovered generation is NOT a warm start: its bytes are the fresh
+  // build's bytes on (graph, seed), so it can anchor incremental rebuilds
+  // — unless the artifact itself came from a warm-started build, whose
+  // preprocessing is not a function of the seed.
+  pkg->options.warm_start_path = h.meta.warm_started ? "(artifact)" : "";
+
+  const Section* graph_sec = find_section(h, kSecGraph);
+  const std::string_view graph_bytes = section_bytes(bytes, h, kSecGraph);
+  pkg->graph = decode_graph_section(graph_bytes, graph_sec->offset);
+  if (graph_fingerprint(*pkg->graph) != h.meta.graph_digest) {
+    reject("graph payload does not match its recorded fingerprint");
+  }
+  const Graph& g = *pkg->graph;
+
+  const bool is_tz = serving.scheme == SchemeKind::kTZDirect ||
+                     serving.scheme == SchemeKind::kTZHandshake;
+  if (is_tz) {
+    const std::string_view tz_bytes = section_bytes(bytes, h, kSecTZ);
+    MemBuf buf(tz_bytes.data(), tz_bytes.size());
+    std::istream is(&buf);
+    pkg->tz = std::make_unique<const TZScheme>(load_scheme(is, g));
+    if (serving.use_flat) {
+      const Section* sec = find_section(h, kSecFlatTZ);
+      const std::string_view fb = section_bytes(bytes, h, kSecFlatTZ);
+      SpanReader r(fb, sec->offset);
+      pkg->flat = ArtifactCodec::decode_flat(r, *pkg->tz);
+      if (pkg->flat->lookup_kind() != serving.flat_lookup) {
+        reject("FLAT_TZ: pooled lookup layout disagrees with the header");
+      }
+      pkg->flat_router = std::make_unique<const FlatRouter>(*pkg->flat);
+      pkg->flat_stats = pkg->flat->compile_stats();
+    } else {
+      pkg->sim = std::make_unique<const Simulator>(
+          g, SimOptions{0, serving.record_paths});
+    }
+  } else if (serving.scheme == SchemeKind::kCowen) {
+    const Section* sec = find_section(h, kSecFlatCowen);
+    const std::string_view cb = section_bytes(bytes, h, kSecFlatCowen);
+    SpanReader r(cb, sec->offset);
+    pkg->flat_cowen = ArtifactCodec::decode_cowen(r, g);
+  } else {
+    const Section* sec = find_section(h, kSecFlatFull);
+    const std::string_view fb = section_bytes(bytes, h, kSecFlatFull);
+    SpanReader r(fb, sec->offset);
+    pkg->flat_full = ArtifactCodec::decode_full(r, g);
+  }
+
+  pkg->incr_stats.fallback_reason = "recovered from artifact";
+  pkg->build_seconds =
+      std::chrono::duration<double>(clock::now() - begin).count();
+  if (meta_out != nullptr) *meta_out = h.meta;
+  return pkg;
+}
+
+}  // namespace croute::persist

@@ -1,0 +1,59 @@
+#include "persist/fault_injection.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace croute::persist {
+
+FaultPlan plan_from_env() {
+  // Reading the environment is fine here: this function is called once
+  // per store construction on the persistence control path, which is
+  // never reachable from the deterministic preprocessing roots.
+  const char* raw = std::getenv("CROUTE_PERSIST_FAULT");
+  if (raw == nullptr || *raw == '\0') return {};
+  const std::string spec(raw);
+  const auto bad = [&](const char* why) -> FaultPlan {
+    throw std::invalid_argument(std::string("CROUTE_PERSIST_FAULT: ") + why +
+                                " (want <action>:<op>:<n>, e.g. "
+                                "crash:write:3): " +
+                                spec);
+  };
+  const std::size_t c1 = spec.find(':');
+  const std::size_t c2 = c1 == std::string::npos ? c1 : spec.find(':', c1 + 1);
+  if (c1 == std::string::npos || c2 == std::string::npos) {
+    return bad("missing ':'");
+  }
+  const std::string action = spec.substr(0, c1);
+  const std::string op = spec.substr(c1 + 1, c2 - c1 - 1);
+  const std::string count = spec.substr(c2 + 1);
+
+  FaultPlan plan;
+  if (action == "fail") {
+    plan.action = FaultAction::kFail;
+  } else if (action == "short") {
+    plan.action = FaultAction::kShort;
+  } else if (action == "enospc") {
+    plan.action = FaultAction::kEnospc;
+  } else if (action == "crash") {
+    plan.action = FaultAction::kCrash;
+  } else {
+    return bad("unknown action");
+  }
+  if (op == "write") {
+    plan.op = FaultOp::kWrite;
+  } else if (op == "fsync") {
+    plan.op = FaultOp::kFsync;
+  } else if (op == "rename") {
+    plan.op = FaultOp::kRename;
+  } else {
+    return bad("unknown op");
+  }
+  char* end = nullptr;
+  plan.at = std::strtoull(count.c_str(), &end, 10);
+  if (end == count.c_str() || *end != '\0' || plan.at == 0) {
+    return bad("bad count");
+  }
+  return plan;
+}
+
+}  // namespace croute::persist

@@ -1,0 +1,89 @@
+/// \file fault_injection.hpp
+/// \brief Deterministic filesystem fault injection for the artifact tier.
+///
+/// The crash-safety claims of src/persist are only as good as the failure
+/// paths somebody actually exercised. FaultInjector is the lever: the
+/// artifact store threads every write/fsync/rename through it, and a test
+/// (or the CI kill/recover job, via the CROUTE_PERSIST_FAULT environment
+/// variable) arms exactly one fault — fail the Nth write, write half of
+/// it, report ENOSPC, fail the fsync, or SIGKILL the whole process at
+/// that point. Whatever the injector does, the invariant under test is
+/// the same: the previous generation's artifact and manifest stay intact,
+/// so recovery always has something valid to land on.
+///
+/// Env syntax (parsed once by plan_from_env):
+///   CROUTE_PERSIST_FAULT=<action>:<op>:<n>
+/// with action ∈ fail|short|enospc|crash, op ∈ write|fsync|rename and n
+/// the 1-based count of the faulting operation across the process's
+/// store. Unset or malformed ⇒ no fault (a typo must never make CI pass
+/// vacuously, so malformed values throw).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace croute::persist {
+
+/// Which filesystem operation a fault targets.
+enum class FaultOp : std::uint8_t { kWrite = 0, kFsync = 1, kRename = 2 };
+
+/// What happens when the armed operation count is reached.
+enum class FaultAction : std::uint8_t {
+  kNone,    ///< no fault armed
+  kFail,    ///< the op fails cleanly (EIO-style)
+  kShort,   ///< write half the bytes, then fail (torn write)
+  kEnospc,  ///< the op fails as if the disk filled
+  kCrash,   ///< SIGKILL the process at the op (kill/recover smoke)
+};
+
+struct FaultPlan {
+  FaultAction action = FaultAction::kNone;
+  FaultOp op = FaultOp::kWrite;
+  std::uint64_t at = 0;  ///< 1-based count of the faulting operation
+};
+
+/// Parses CROUTE_PERSIST_FAULT (empty plan when unset; throws
+/// std::invalid_argument on malformed values).
+FaultPlan plan_from_env();
+
+/// Counts operations and fires the armed plan once. Not thread-safe by
+/// design: the store serializes publishes, and tests drive it single-
+/// threaded.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultPlan plan) : plan_(plan) {}
+
+  /// Registers one operation of kind \p op and returns the action the
+  /// caller must apply to it (kNone until the armed count is reached;
+  /// the plan fires exactly once).
+  FaultAction on_op(FaultOp op) noexcept {
+    const auto idx = static_cast<std::size_t>(op);
+    ++counts_[idx];
+    if (fired_ || plan_.action == FaultAction::kNone || plan_.op != op ||
+        counts_[idx] != plan_.at) {
+      return FaultAction::kNone;
+    }
+    fired_ = true;
+    return plan_.action;
+  }
+
+  void arm(FaultPlan plan) noexcept {
+    plan_ = plan;
+    fired_ = false;
+    counts_[0] = counts_[1] = counts_[2] = 0;
+  }
+
+  std::uint64_t ops_seen(FaultOp op) const noexcept {
+    return counts_[static_cast<std::size_t>(op)];
+  }
+  bool fired() const noexcept { return fired_; }
+
+ private:
+  FaultPlan plan_;
+  bool fired_ = false;
+  std::uint64_t counts_[3] = {0, 0, 0};
+};
+
+}  // namespace croute::persist

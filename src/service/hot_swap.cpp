@@ -1,5 +1,7 @@
 #include "service/hot_swap.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <utility>
 
 namespace croute {
@@ -92,6 +94,12 @@ SchemePackagePtr SchemeManager::rebuild_now(Graph g, RebuildMode mode) {
     obs::TraceRecorder::Span publish_span(trace, "publish_flip", "swap");
     service_->publish(pkg);
   }
+  // Persist the just-published generation. On rebuild_async this runs on
+  // the rebuild thread — the disk write happens in the background while
+  // batches already serve the new generation; a persist failure is
+  // graceful (the disk copy goes one generation stale, counted in the
+  // telemetry) and never fails the rebuild.
+  service_->persist_current();
   rebuild_span.arg("build_seconds", pkg->build_seconds);
   rebuild_span.arg("incremental", pkg->incr_stats.used ? 1 : 0);
   return pkg;
@@ -101,10 +109,29 @@ void SchemeManager::rebuild_async(Graph g, RebuildMode mode) {
   wait();  // at most one rebuild in flight; surfaces a prior failure
   in_flight_.store(true, std::memory_order_release);
   worker_ = std::thread([this, g = std::move(g), mode]() mutable {
-    try {
-      rebuild_now(std::move(g), mode);
-    } catch (...) {
-      error_ = std::current_exception();
+    // Capped exponential backoff (options.rebuild_retries; default 0 =
+    // fail fast). A transient failure — ENOSPC during persist's encode,
+    // an allocation blip — costs a delay, not the rebuild; a
+    // deterministic one (disconnected graph) exhausts the budget and
+    // surfaces on wait() exactly like the retry-free path. The service
+    // serves the old generation throughout.
+    const std::uint32_t retries = service_->options().rebuild_retries;
+    for (std::uint32_t attempt = 0;; ++attempt) {
+      try {
+        // The final attempt consumes the graph; earlier ones copy it so
+        // a retry still has something to rebuild.
+        rebuild_now(attempt < retries ? Graph(g) : std::move(g), mode);
+        break;
+      } catch (...) {
+        if (attempt >= retries) {
+          error_ = std::current_exception();
+          break;
+        }
+        service_->note_rebuild_retry();
+        const std::uint64_t delay_ms =
+            std::min<std::uint64_t>(std::uint64_t{10} << attempt, 500);
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      }
     }
     in_flight_.store(false, std::memory_order_release);
   });

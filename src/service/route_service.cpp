@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "persist/artifact_store.hpp"
 #include "simd/simd.hpp"
 
 namespace croute {
@@ -108,8 +109,36 @@ RouteService::RouteService(const Graph& g, const RouteServiceOptions& options)
           (options_.batch_group & (options_.batch_group - 1)) == 0,
       "batch_group must be 0 (scalar serving) or a power of two "
       "(e.g. 16, 32, 64)");
-  SchemePackagePtr pkg =
-      build_scheme_package(std::make_shared<const Graph>(g), options);
+  // Observability objects exist before the initial package: the artifact
+  // store registers its croute_persist_* instruments and emits its
+  // recover spans into the same registry/recorder the serving metrics
+  // use (instrument registration below still happens after the pool is
+  // sized — only construction moves up).
+  if (options_.metrics) {
+    metrics_ = std::make_unique<obs::MetricRegistry>();
+    trace_ = std::make_unique<obs::TraceRecorder>();
+  }
+  SchemePackagePtr pkg;
+  if (!options_.artifact_dir.empty()) {
+    store_ = std::make_unique<persist::ArtifactStore>(
+        persist::StoreOptions{options_.artifact_dir, options_.artifact_retain},
+        metrics_.get(), trace_.get());
+    // Recover-or-rebuild ladder: newest valid artifact → retained backup
+    // → any intact older generation → fresh preprocessing. Whatever
+    // happens, the reason lands in recovery_note() — a corrupt store
+    // degrades, it never crashes the service.
+    persist::RecoverResult rec =
+        store_->recover_newest(options_, g.num_vertices());
+    recovery_note_ = rec.note;
+    if (rec.package != nullptr) {
+      pkg = std::move(rec.package);
+      recovered_ = true;
+      recovered_generation_ = rec.meta.generation;
+    }
+  }
+  if (pkg == nullptr) {
+    pkg = build_scheme_package(std::make_shared<const Graph>(g), options);
+  }
   num_vertices_ = pkg->graph->num_vertices();
   flat_compile_seconds_.store(pkg->flat_stats.total_ms / 1e3,
                               std::memory_order_relaxed);
@@ -130,8 +159,6 @@ RouteService::RouteService(const Graph& g, const RouteServiceOptions& options)
   dest_slot_.resize(num_vertices_, 0);
   dest_epoch_.resize(num_vertices_, 0);
   if (options_.metrics) {
-    metrics_ = std::make_unique<obs::MetricRegistry>();
-    trace_ = std::make_unique<obs::TraceRecorder>();
     // One histogram/counter shard per pool worker plus one for the
     // driver thread and route_one callers (index pool size).
     const unsigned ms = pool_->size() + 1;
@@ -179,9 +206,32 @@ RouteService::RouteService(const Graph& g, const RouteServiceOptions& options)
       ws.engine.set_stats_sample_every(64);
     }
   }
+  // A freshly-built initial generation is persisted right away so the
+  // NEXT start can recover it; a recovered one is already on disk.
+  // Failure is graceful (counted, note kept) — the service serves from
+  // memory either way.
+  if (store_ != nullptr && !recovered_) {
+    if (!persist_current() && recovery_note_.empty()) {
+      recovery_note_ = "initial persist failed";
+    }
+  }
 }
 
 RouteService::~RouteService() = default;
+
+bool RouteService::persist_current() {
+  if (store_ == nullptr) return false;
+  // Pin the generation for the whole encode: a concurrent publish may
+  // retire it mid-write, and the pin keeps its pools alive.
+  const SchemePackagePtr pkg = package();
+  const persist::PublishResult res = store_->publish_generation(*pkg);
+  if (res.ok) {
+    artifacts_persisted_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    persist_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return res.ok;
+}
 
 void RouteService::publish(SchemePackagePtr next) {
   CROUTE_REQUIRE(next != nullptr, "publish needs a package");
@@ -670,6 +720,9 @@ ServiceTelemetry RouteService::snapshot() const {
   t.clusters_total = clusters_total_.load(std::memory_order_relaxed);
   t.incremental_preprocess_seconds =
       incremental_preprocess_seconds_.load(std::memory_order_relaxed);
+  t.artifacts_persisted = artifacts_persisted_.load(std::memory_order_relaxed);
+  t.persist_failures = persist_failures_.load(std::memory_order_relaxed);
+  t.rebuild_retries = rebuild_retries_.load(std::memory_order_relaxed);
   return t;
 }
 

@@ -87,6 +87,10 @@
 
 namespace croute {
 
+namespace persist {
+class ArtifactStore;  // service/route_service.cpp owns the full type
+}  // namespace persist
+
 /// RouteQuery::exact value meaning "true distance unknown". Distances in
 /// croute are nonnegative (weights are positive), so any negative value
 /// is unambiguous — unlike 0, which is the *true* distance of an s == t
@@ -192,6 +196,15 @@ struct ServiceTelemetry {
   /// rebuild_seconds the incremental path spent; complements
   /// flat_compile_seconds in the rebuild attribution).
   double incremental_preprocess_seconds = 0;
+  // --- persistence seam (zeros unless options.artifact_dir is set) ---
+  /// Generations persisted atomically to the artifact store.
+  std::uint64_t artifacts_persisted = 0;
+  /// Persist attempts that failed (the service kept serving; the disk
+  /// copy is one generation stale until the next successful publish).
+  std::uint64_t persist_failures = 0;
+  /// Backoff retries background rebuilds took before succeeding or
+  /// giving up (options.rebuild_retries).
+  std::uint64_t rebuild_retries = 0;
 };
 
 /// A concurrent route-query engine over immutable scheme generations.
@@ -307,6 +320,38 @@ class RouteService {
     return package()->flat.get();
   }
 
+  // --- persistence seam (options.artifact_dir) ------------------------------
+
+  /// Whether construction recovered its initial generation from the
+  /// artifact store instead of preprocessing. recovery_note() says what
+  /// happened either way (which generation served, or why every
+  /// candidate was rejected and a fresh build ran).
+  bool recovered_from_artifact() const noexcept { return recovered_; }
+  /// Store generation number of the recovered artifact (0 when none).
+  std::uint64_t recovered_generation() const noexcept {
+    return recovered_generation_;
+  }
+  const std::string& recovery_note() const noexcept { return recovery_note_; }
+
+  /// The artifact store, or nullptr when options.artifact_dir is empty.
+  /// Exposed for drivers that need publish/recover details (the CLI's
+  /// --verify-recovery, tests); lives as long as the service.
+  persist::ArtifactStore* artifact_store() const noexcept {
+    return store_.get();
+  }
+
+  /// Persists the CURRENT generation to the artifact store (atomic
+  /// publish + retention). Returns success; failures are counted in the
+  /// telemetry and never throw — a full disk must not take down serving.
+  /// No-op (false) without a store. Thread-safe; called by SchemeManager
+  /// after every published rebuild.
+  bool persist_current();
+
+  /// Counts one rebuild backoff retry (SchemeManager's retry loop).
+  void note_rebuild_retry() noexcept {
+    rebuild_retries_.fetch_add(1, std::memory_order_relaxed);
+  }
+
  private:
   struct Shard;  ///< per-worker telemetry scratch, cache-line padded
 
@@ -356,6 +401,15 @@ class RouteService {
   RouteServiceOptions options_;
   VertexId num_vertices_ = 0;  ///< fixed across swaps (publish enforces)
   std::unique_ptr<ThreadPool> pool_;
+
+  // --- persistence (present iff options.artifact_dir) ---
+  std::unique_ptr<persist::ArtifactStore> store_;
+  bool recovered_ = false;
+  std::uint64_t recovered_generation_ = 0;
+  std::string recovery_note_;  ///< set once at construction
+  std::atomic<std::uint64_t> artifacts_persisted_{0};
+  std::atomic<std::uint64_t> persist_failures_{0};
+  std::atomic<std::uint64_t> rebuild_retries_{0};
 
   /// The RCU cell: current generation, flipped by publish(). Guarded by
   /// a mutex rather than std::atomic<shared_ptr>: the critical section

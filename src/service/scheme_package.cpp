@@ -74,8 +74,17 @@ SchemePackagePtr build_package(std::shared_ptr<const Graph> graph,
                  "component via PartitionedScheme upstream)");
   const bool is_tz = options.scheme == SchemeKind::kTZDirect ||
                      options.scheme == SchemeKind::kTZHandshake;
-  CROUTE_REQUIRE(options.warm_start_path.empty() || is_tz,
-                 "warm start (scheme_io) is available for TZ schemes only");
+  if (!options.warm_start_path.empty() && !is_tz) {
+    // User input (a CLI flag combination) lands here: be actionable, not
+    // terse — say what to change, and point at the path that does cover
+    // this scheme kind.
+    throw std::invalid_argument(
+        std::string("warm start: '") + options.warm_start_path +
+        "' is a scheme_io TZ preprocessing file, which scheme '" +
+        scheme_name(options.scheme) +
+        "' cannot load — drop --warm, or use --artifact-dir (the persist "
+        "tier covers every scheme kind)");
+  }
 
   const auto begin = clock::now();
   auto pkg = std::make_shared<SchemePackage>();

@@ -3,9 +3,12 @@
 ///
 /// Fixed little-endian layout, explicit sizes, a magic/version header per
 /// top-level object, and fail-loud reads (std::invalid_argument on
-/// truncation or corruption). Used by core/scheme_io to persist
-/// preprocessed routing schemes so that routers can load tables instead
-/// of re-running preprocessing.
+/// truncation or corruption). Both ends track the byte offset consumed or
+/// produced so far, and every failure message carries it — a truncated or
+/// bit-flipped stream reports *where* it died, which is what makes the
+/// persistence tier's corruption diagnostics actionable. Used by
+/// core/scheme_io and src/persist to persist preprocessed routing schemes
+/// so that routers can load tables instead of re-running preprocessing.
 
 #pragma once
 
@@ -51,6 +54,9 @@ class BinaryWriter {
     if (!v.empty()) raw(v.data(), v.size() * 8);
   }
 
+  /// Bytes written so far (error messages and section-offset accounting).
+  std::uint64_t offset() const noexcept { return offset_; }
+
  private:
   template <typename T>
   void scalar(T v) {
@@ -61,9 +67,12 @@ class BinaryWriter {
   void raw(const void* p, std::size_t bytes) {
     os_->write(static_cast<const char*>(p),
                static_cast<std::streamsize>(bytes));
-    CROUTE_REQUIRE(os_->good(), "write failed");
+    CROUTE_REQUIRE(os_->good(),
+                   "write failed at byte offset " + std::to_string(offset_));
+    offset_ += bytes;
   }
   std::ostream* os_;
+  std::uint64_t offset_ = 0;
 };
 
 /// Streaming binary reader; throws std::invalid_argument on short reads.
@@ -106,6 +115,11 @@ class BinaryReader {
     return v;
   }
 
+  /// Bytes consumed so far. Failure messages carry this, so "truncated
+  /// stream at byte 80481" points a corruption report at the section that
+  /// died instead of at "somewhere".
+  std::uint64_t offset() const noexcept { return offset_; }
+
  private:
   template <typename T>
   T scalar() {
@@ -119,15 +133,20 @@ class BinaryReader {
     const std::uint64_t count = u64();
     // Guard against hostile/corrupt length prefixes.
     CROUTE_REQUIRE(count < (std::uint64_t{1} << 40) / elem_bytes,
-                   "implausible array length in stream");
+                   "implausible array length in stream at byte offset " +
+                       std::to_string(offset_ - 8));
     return count;
   }
   void raw(void* p, std::size_t bytes) {
     is_->read(static_cast<char*>(p), static_cast<std::streamsize>(bytes));
     CROUTE_REQUIRE(is_->gcount() == static_cast<std::streamsize>(bytes),
-                   "truncated stream");
+                   "truncated stream at byte offset " +
+                       std::to_string(offset_) + " (wanted " +
+                       std::to_string(bytes) + " more bytes)");
+    offset_ += bytes;
   }
   std::istream* is_;
+  std::uint64_t offset_ = 0;
 };
 
 }  // namespace croute

@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "baseline/cowen.hpp"
@@ -17,6 +19,8 @@
 #include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
 #include "oracle/distance_oracle.hpp"
+#include "persist/artifact.hpp"
+#include "service/scheme_package.hpp"
 #include "sim/experiment.hpp"
 #include "sim/simulator.hpp"
 #include "util/random.hpp"
@@ -174,6 +178,84 @@ TEST(Determinism, IndependentOfThreadCount) {
       ASSERT_EQ(full1.next_hop(v, t), full3.next_hop(v, t));
     }
   }
+}
+
+TEST(Fuzz, ArtifactMutationCorpusNeverCrashesOrMisroutes) {
+  // Hostile-bytes contract of the persist tier (persist/artifact.hpp):
+  // for ANY mutation of a valid artifact, decode either throws a clean
+  // std::invalid_argument or — only when the mutation happened to leave
+  // the bytes equivalent — produces the identical package. Anything else
+  // (a crash, another exception type, a silently different scheme that
+  // would mis-route) fails this test. The mutation corpus mixes bit
+  // flips, truncations, duplicated slices, zeroed ranges, and splices of
+  // two valid artifacts.
+  Rng graph_rng(1234);
+  const Graph g =
+      largest_component(erdos_renyi_gnm(130, 520, graph_rng)).graph;
+  RouteServiceOptions opt;
+  opt.scheme = SchemeKind::kTZDirect;
+  opt.k = 3;
+  opt.seed = 55;
+  opt.metrics = false;
+  const SchemePackagePtr pkg =
+      build_scheme_package(std::make_shared<const Graph>(g), opt);
+  const std::string bytes = persist::encode_package(*pkg, 1);
+  const std::string other = persist::encode_package(*pkg, 2);
+
+  Rng rng(0xa57f00d);
+  int rejected = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    std::string mut = bytes;
+    switch (rng.next_below(5)) {
+      case 0: {  // flip 1–8 random bits
+        const std::uint64_t flips = 1 + rng.next_below(8);
+        for (std::uint64_t i = 0; i < flips; ++i) {
+          const std::size_t at = rng.next_below(mut.size());
+          mut[at] = static_cast<char>(mut[at] ^ (1u << rng.next_below(8)));
+        }
+        break;
+      }
+      case 1:  // truncate anywhere
+        mut.resize(rng.next_below(mut.size()));
+        break;
+      case 2: {  // duplicate a random slice in place (shifts the tail)
+        const std::size_t at = rng.next_below(mut.size());
+        const std::size_t len =
+            1 + rng.next_below(std::min<std::size_t>(4096, mut.size() - at));
+        mut.insert(at, mut.substr(at, len));
+        break;
+      }
+      case 3: {  // zero a random range
+        const std::size_t at = rng.next_below(mut.size());
+        const std::size_t len =
+            1 + rng.next_below(std::min<std::size_t>(512, mut.size() - at));
+        for (std::size_t i = 0; i < len; ++i) mut[at + i] = '\0';
+        break;
+      }
+      default: {  // splice: head of this artifact + tail of another
+        const std::size_t cut = rng.next_below(mut.size());
+        mut = bytes.substr(0, cut) + other.substr(
+                  std::min(other.size(), static_cast<std::size_t>(cut)));
+        break;
+      }
+    }
+    // Zeroing a range that was already zero is an identity mutation; it
+    // must decode. Anything that actually changed a byte must be thrown
+    // out cleanly — CRC32C at three granularities makes accidental
+    // acceptance of a real mutation essentially impossible.
+    const bool changed = mut != bytes;
+    try {
+      const SchemePackagePtr decoded = persist::decode_package(mut, opt);
+      ASSERT_FALSE(changed) << "iter " << iter
+                            << ": a mutated artifact decoded";
+      ASSERT_NE(decoded, nullptr);
+    } catch (const std::invalid_argument&) {
+      ASSERT_TRUE(changed) << "iter " << iter
+                           << ": an untouched artifact was rejected";
+      ++rejected;  // the defined failure mode
+    }
+  }
+  EXPECT_GT(rejected, 300);  // the corpus overwhelmingly mutates for real
 }
 
 }  // namespace
