@@ -1,0 +1,500 @@
+/// \file bench_net_openloop.cpp
+/// \brief Experiment NET — open-loop offered load against the wire front-end.
+///
+/// Claim: a closed-loop driver (send, wait, repeat) cannot see queueing
+/// delay — its arrival rate adapts to the server, so latency percentiles
+/// stay flat right up to saturation and then the driver simply slows
+/// down. An open-loop driver offers load on a fixed schedule regardless
+/// of completions (how real clients behave), so as offered load
+/// approaches saturation the pending-batch queue grows and p99 *sojourn*
+/// (scheduled-send → answer, queueing included) rises sharply above the
+/// closed-loop p99 at the same throughput. The server's own
+/// croute_queue_wait_us histogram must account for the gap: the extra
+/// client-observed latency is time queued, not time served.
+///
+/// Phases (self-hosted mode):
+///   1. byte-identity: answers over the socket == route_collect answers
+///      computed before the server thread takes the driver role;
+///   2. saturation: C closed-loop connections measure peak socket qps and
+///      the closed-loop latency baseline;
+///   3. sweep: open-loop points at --loads fractions of saturation; each
+///      point reports offered vs achieved qps, sojourn p50/p95/p99, the
+///      server-side queue-wait p99 over exactly that window (metrics
+///      delta), and overload rejections.
+///
+/// Open-loop accounting is strict: frame i of a connection is *scheduled*
+/// at start + i·interval, and its sojourn is measured from the schedule,
+/// not from the (possibly later) send — if the socket back-pressures the
+/// sender, that slip IS queueing delay and is charged to the answer.
+///
+/// Flags: shared serving flags (service/cli.hpp: --n --family --scheme
+///        --threads --seed --workload ...), plus
+///        --connections=C (parallel sockets, default 4)
+///        --frame=Q (queries per QUERY frame, default 64)
+///        --duration=S (seconds per measured point, default 1.5)
+///        --loads=F,F,... (fractions of saturation, default .5,.8,.95)
+///        --labels (address queries by wire label instead of vertex id)
+///        --net-coalesce --net-max-pending (server admission control)
+///        --connect=HOST:PORT (drive an external server; server-side
+///        metrics phases are skipped) --verify (with --connect: build an
+///        in-process twin from the same flags — preprocessing is seeded
+///        and deterministic — and assert cross-process byte-identity)
+///        --json out.json
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "obs/export.hpp"
+#include "service/cli.hpp"
+#include "service/route_service.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace croute;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::vector<double> parse_loads(const std::string& spec) {
+  std::vector<double> loads;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const double f = std::strtod(item.c_str(), nullptr);
+    if (f > 0 && f < 2.0) loads.push_back(f);
+  }
+  if (loads.empty()) loads = {0.5, 0.8, 0.95};
+  return loads;
+}
+
+/// The query stream one connection sends: wire queries (vertex- or
+/// label-addressed) sliced into frames, cycled when exhausted. Label
+/// storage is owned here so spans stay valid for the whole run.
+struct WireTraffic {
+  std::vector<net::WireQuery> queries;
+  std::vector<net::OwnedLabel> labels;  // backing store for label spans
+
+  std::span<const net::WireQuery> frame(std::uint64_t i,
+                                        std::uint32_t size) const {
+    const std::size_t start = (i * size) % queries.size();
+    const std::size_t len = std::min<std::size_t>(size,
+                                                  queries.size() - start);
+    return {queries.data() + start, len};
+  }
+};
+
+WireTraffic build_wire_traffic(const std::vector<RouteQuery>& traffic,
+                               net::NetClient* label_source) {
+  WireTraffic wt;
+  wt.queries.reserve(traffic.size());
+  if (label_source != nullptr) {
+    std::vector<VertexId> targets(traffic.size());
+    for (std::size_t i = 0; i < traffic.size(); ++i) targets[i] = traffic[i].t;
+    wt.labels = label_source->fetch_labels(targets);
+    for (std::size_t i = 0; i < traffic.size(); ++i) {
+      wt.queries.push_back({traffic[i].s, kNoVertex, wt.labels[i].bytes,
+                            wt.labels[i].bits});
+    }
+  } else {
+    for (const RouteQuery& q : traffic) {
+      wt.queries.push_back({q.s, q.t, {}, 0});
+    }
+  }
+  return wt;
+}
+
+/// What one measured point produced, merged over all connections.
+struct PointResult {
+  double wall_s = 0;
+  std::uint64_t answered = 0;  ///< queries answered
+  std::uint64_t errors = 0;    ///< ERROR frames (overload/malformed)
+  std::vector<double> sojourn_us;
+
+  double qps() const { return wall_s > 0 ? answered / wall_s : 0; }
+};
+
+/// One closed-loop connection: send a frame, block for its answer,
+/// repeat. The arrival rate adapts to the server — the classic loop.
+void closed_loop_conn(const std::string& host, std::uint16_t port,
+                      const WireTraffic& wt, bool labeled,
+                      std::uint32_t frame, double duration_s,
+                      PointResult& out) {
+  net::NetClient client;
+  client.connect(host, port);
+  const std::uint64_t start = now_ns();
+  const auto deadline =
+      start + static_cast<std::uint64_t>(duration_s * 1e9);
+  std::uint64_t i = 0;
+  while (now_ns() < deadline) {
+    const auto slice = wt.frame(i++, frame);
+    const std::uint64_t t0 = now_ns();
+    try {
+      const std::vector<net::WireAnswer> answers =
+          client.query(slice, labeled);
+      const double rtt_us = static_cast<double>(now_ns() - t0) / 1000.0;
+      out.answered += answers.size();
+      // Every query in the frame shares the frame's round trip.
+      out.sojourn_us.insert(out.sojourn_us.end(), answers.size(), rtt_us);
+    } catch (const std::runtime_error&) {
+      out.errors += 1;
+    }
+  }
+  out.wall_s = static_cast<double>(now_ns() - start) / 1e9;
+}
+
+/// One open-loop connection: a sender fires frames on a fixed schedule
+/// (never waiting for answers) while a receiver drains ANSWER frames and
+/// charges each query the time from its frame's *scheduled* send. The
+/// two threads share one socket through NetClient's split send/receive
+/// paths.
+void open_loop_conn(const std::string& host, std::uint16_t port,
+                    const WireTraffic& wt, bool labeled, std::uint32_t frame,
+                    double duration_s, double frame_interval_s,
+                    PointResult& out) {
+  net::NetClient client;
+  client.connect(host, port);
+
+  std::mutex mu;  // guards sched + the send path's req_id handoff
+  std::unordered_map<std::uint64_t, std::pair<std::uint64_t, std::uint32_t>>
+      sched;  // req_id -> (scheduled ns, query count)
+  std::atomic<std::uint64_t> sent_frames{0};
+  std::atomic<bool> sender_done{false};
+
+  std::thread sender([&] {
+    const std::uint64_t start = now_ns();
+    const auto interval_ns =
+        static_cast<std::uint64_t>(frame_interval_s * 1e9);
+    const auto deadline =
+        start + static_cast<std::uint64_t>(duration_s * 1e9);
+    std::uint64_t i = 0;
+    for (;;) {
+      const std::uint64_t target = start + i * interval_ns;
+      if (target >= deadline) break;
+      while (now_ns() < target) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+      const auto slice = wt.frame(i, frame);
+      {
+        // Lock spans the send so the receiver can never see an ANSWER
+        // whose req_id is not in sched yet.
+        std::lock_guard<std::mutex> lock(mu);
+        const std::uint64_t req_id = client.send_query(slice, labeled);
+        sched.emplace(req_id,
+                      std::make_pair(target,
+                                     static_cast<std::uint32_t>(
+                                         slice.size())));
+      }
+      sent_frames.fetch_add(1, std::memory_order_relaxed);
+      ++i;
+    }
+    sender_done.store(true, std::memory_order_release);
+  });
+
+  const std::uint64_t start = now_ns();
+  std::uint64_t settled_frames = 0;
+  int idle_polls = 0;
+  net::Reply reply;
+  for (;;) {
+    const bool done = sender_done.load(std::memory_order_acquire);
+    if (done && settled_frames >= sent_frames.load()) break;
+    if (!client.try_read_reply(reply, 100)) {
+      if (client.eof()) break;
+      // Drain grace after the sender stops: answers for the last frames
+      // are still in flight; give the server a bounded window.
+      if (done && ++idle_polls > 20) break;
+      continue;
+    }
+    idle_polls = 0;
+    const std::uint64_t arrival = now_ns();
+    if (reply.type == static_cast<std::uint8_t>(net::FrameType::kAnswer) ||
+        reply.type == static_cast<std::uint8_t>(net::FrameType::kError)) {
+      std::uint64_t scheduled = 0;
+      bool known = false;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        const auto it = sched.find(reply.req_id);
+        if (it != sched.end()) {
+          scheduled = it->second.first;
+          known = true;
+          sched.erase(it);
+        }
+      }
+      if (!known) continue;
+      ++settled_frames;
+      if (reply.type == static_cast<std::uint8_t>(net::FrameType::kError)) {
+        out.errors += 1;
+        continue;
+      }
+      const double sojourn_us =
+          static_cast<double>(arrival - scheduled) / 1000.0;
+      out.answered += reply.answers.size();
+      out.sojourn_us.insert(out.sojourn_us.end(), reply.answers.size(),
+                            sojourn_us);
+    }
+  }
+  sender.join();
+  out.wall_s = static_cast<double>(now_ns() - start) / 1e9;
+}
+
+/// Runs \p per_conn on \p connections threads and merges the results.
+template <typename PerConn>
+PointResult run_point(unsigned connections, PerConn&& per_conn) {
+  std::vector<PointResult> parts(connections);
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  for (unsigned c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] { per_conn(parts[c]); });
+  }
+  for (auto& t : threads) t.join();
+  PointResult merged;
+  for (PointResult& p : parts) {
+    merged.wall_s = std::max(merged.wall_s, p.wall_s);
+    merged.answered += p.answered;
+    merged.errors += p.errors;
+    merged.sojourn_us.insert(merged.sojourn_us.end(), p.sojourn_us.begin(),
+                             p.sojourn_us.end());
+  }
+  return merged;
+}
+
+struct Percentiles {
+  double p50 = 0, p95 = 0, p99 = 0;
+};
+
+Percentiles percentiles_of(std::vector<double> sample) {
+  if (sample.empty()) return {};
+  std::sort(sample.begin(), sample.end());
+  return {percentile_sorted(sample, 50), percentile_sorted(sample, 95),
+          percentile_sorted(sample, 99)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const Flags flags(argc, argv);
+  ServiceSetup setup = parse_service_setup(flags);
+  if (!flags.has("queries")) setup.queries = 20000;  // cycled, not consumed
+  const unsigned connections =
+      static_cast<unsigned>(flags.get_int("connections", 4));
+  const auto frame = static_cast<std::uint32_t>(flags.get_int("frame", 64));
+  const double duration_s = flags.get_double("duration", 1.5);
+  const std::vector<double> loads =
+      parse_loads(flags.get_string("loads", "0.5,0.8,0.95"));
+  const bool labeled = flags.get_bool("labels", false);
+  const std::string json_path = flags.get_string("json", "");
+  const std::string connect = flags.get_string("connect", "");
+
+  bench::banner(
+      "NET",
+      "open-loop offered load exposes queueing delay a closed loop hides",
+      ("family=" + flags.get_string("family", "er") +
+       " n=" + std::to_string(setup.n) +
+       " scheme=" + std::string(scheme_name(setup.service.scheme)) +
+       " connections=" + std::to_string(connections) + " frame=" +
+       std::to_string(frame) + (labeled ? " addressing=label" : ""))
+          .c_str());
+
+  // --- serving side: in-process server, or an external --connect target --
+  std::unique_ptr<RouteService> service;
+  std::unique_ptr<net::NetServer> server;
+  std::thread server_thread;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::vector<RouteQuery> traffic;
+  std::vector<RouteAnswer> reference;
+
+  if (connect.empty()) {
+    const Graph g = setup.build_graph();
+    traffic = setup.build_traffic(g);
+    service = std::make_unique<RouteService>(g, setup.service);
+    // The byte-identity reference computes BEFORE the server thread takes
+    // the service's driver role (route() is driver-thread-only).
+    std::vector<RouteQuery> probe(
+        traffic.begin(),
+        traffic.begin() + std::min<std::size_t>(traffic.size(), 256));
+    reference = service->route_collect(probe);
+
+    net::NetServerOptions nopt;
+    nopt.coalesce = static_cast<std::uint32_t>(
+        flags.get_int("net-coalesce", static_cast<int>(nopt.coalesce)));
+    nopt.max_pending = static_cast<std::uint32_t>(
+        flags.get_int("net-max-pending", static_cast<int>(nopt.max_pending)));
+    server = std::make_unique<net::NetServer>(*service, nopt);
+    port = server->port();
+    server_thread = std::thread([&server] { server->run(); });
+  } else {
+    const std::size_t colon = connect.rfind(':');
+    if (colon == std::string::npos) {
+      throw std::invalid_argument("--connect expects HOST:PORT");
+    }
+    host = connect.substr(0, colon);
+    port = static_cast<std::uint16_t>(
+        std::strtoul(connect.c_str() + colon + 1, nullptr, 10));
+    if (flags.get_bool("verify", false)) {
+      // Cross-process byte-identity: preprocessing is seeded and
+      // deterministic, so a server started with the SAME flags serves
+      // the same scheme — build the in-process twin and use its answers
+      // as the reference for the socket probes.
+      const Graph g = setup.build_graph();
+      traffic = setup.build_traffic(g);
+      RouteService twin(g, setup.service);
+      std::vector<RouteQuery> probe(
+          traffic.begin(),
+          traffic.begin() + std::min<std::size_t>(traffic.size(), 256));
+      reference = twin.route_collect(probe);
+    } else {
+      // External servers serve their own graph; drive uniform traffic
+      // over the vertex domain the WELCOME advertises.
+      net::NetClient probe;
+      probe.connect(host, port);
+      Rng rng(setup.seed + 2);
+      traffic.resize(setup.queries);
+      for (RouteQuery& q : traffic) {
+        q.s = static_cast<VertexId>(rng.next_below(probe.welcome().n));
+        q.t = static_cast<VertexId>(rng.next_below(probe.welcome().n));
+      }
+    }
+  }
+
+  bench::JsonReport report;
+  report.set("experiment", std::string("net_openloop"))
+      .set("n", std::uint64_t{setup.n})
+      .set("scheme", std::string(scheme_name(setup.service.scheme)))
+      .set("connections", std::uint64_t{connections})
+      .set("frame", std::uint64_t{frame})
+      .set("duration_s", duration_s)
+      .set("addressing", std::string(labeled ? "label" : "vertex"))
+      .set("seed", setup.seed);
+  bench::add_host_metadata(report);
+
+  // Labels come over the wire like a real client's would.
+  net::NetClient label_client;
+  WireTraffic wt;
+  if (labeled) {
+    label_client.connect(host, port);
+    wt = build_wire_traffic(traffic, &label_client);
+  } else {
+    wt = build_wire_traffic(traffic, nullptr);
+  }
+
+  // --- phase 1: byte-identity over the socket --------------------------
+  bool identical = true;
+  if (!reference.empty()) {
+    net::NetClient verify;
+    verify.connect(host, port);
+    std::vector<net::WireQuery> probe_wire(
+        wt.queries.begin(),
+        wt.queries.begin() + std::min<std::size_t>(wt.queries.size(), 256));
+    const std::vector<net::WireAnswer> got =
+        verify.query(probe_wire, labeled);
+    identical = got.size() == reference.size();
+    for (std::size_t i = 0; identical && i < got.size(); ++i) {
+      identical = got[i].status ==
+                      static_cast<std::uint8_t>(reference[i].status) &&
+                  got[i].hops == reference[i].hops &&
+                  got[i].header_bits == reference[i].header_bits;
+    }
+    std::printf("byte-identity: socket answers match route_collect on %zu "
+                "probes ... %s\n",
+                reference.size(), identical ? "yes" : "NO");
+    report.set("socket_identical", std::string(identical ? "yes" : "no"));
+  }
+
+  // --- phase 2: closed-loop saturation baseline ------------------------
+  const PointResult closed = run_point(connections, [&](PointResult& out) {
+    closed_loop_conn(host, port, wt, labeled, frame, duration_s, out);
+  });
+  const Percentiles closed_p = percentiles_of(closed.sojourn_us);
+  const double saturation_qps = closed.qps();
+  std::printf("closed loop (%u conns): %.0f qps saturation; "
+              "sojourn p50 %.0fus p95 %.0fus p99 %.0fus\n",
+              connections, saturation_qps, closed_p.p50, closed_p.p95,
+              closed_p.p99);
+  report.set("saturation_qps", saturation_qps)
+      .set("closed_p50_us", closed_p.p50)
+      .set("closed_p95_us", closed_p.p95)
+      .set("closed_p99_us", closed_p.p99)
+      .set("closed_errors", closed.errors);
+
+  // --- phase 3: the open-loop sweep ------------------------------------
+  std::printf("%8s %12s %12s %10s %10s %10s %12s %8s\n", "load", "offered",
+              "achieved", "p50_us", "p95_us", "p99_us", "srv_wait_p99",
+              "errors");
+  for (const double f : loads) {
+    const double offered_qps = f * saturation_qps;
+    if (offered_qps <= 0) break;
+    const double frame_interval_s =
+        static_cast<double>(frame) * connections / offered_qps;
+
+    const bool have_metrics =
+        service != nullptr && service->metrics_registry() != nullptr;
+    obs::MetricsSnapshot before;
+    if (have_metrics) {
+      before = obs::snapshot_metrics(*service->metrics_registry());
+    }
+    const PointResult open = run_point(connections, [&](PointResult& out) {
+      open_loop_conn(host, port, wt, labeled, frame, duration_s,
+                     frame_interval_s, out);
+    });
+    double srv_wait_p99 = 0;
+    if (have_metrics) {
+      const obs::MetricsSnapshot delta = obs::metrics_delta(
+          obs::snapshot_metrics(*service->metrics_registry()), before);
+      const auto* hist = delta.find_histogram("croute_queue_wait_us");
+      if (hist != nullptr) srv_wait_p99 = hist->hist.percentile(99);
+    }
+
+    const Percentiles p = percentiles_of(open.sojourn_us);
+    std::printf("%7.0f%% %12.0f %12.0f %10.0f %10.0f %10.0f %12.0f %8llu\n",
+                100 * f, offered_qps, open.qps(), p.p50, p.p95, p.p99,
+                srv_wait_p99, static_cast<unsigned long long>(open.errors));
+    report.add_row("openloop")
+        .set("load_fraction", f)
+        .set("offered_qps", offered_qps)
+        .set("achieved_qps", open.qps())
+        .set("p50_us", p.p50)
+        .set("p95_us", p.p95)
+        .set("p99_us", p.p99)
+        .set("queue_wait_p99_us", srv_wait_p99)
+        .set("closed_p99_us", closed_p.p99)
+        .set("errors", open.errors)
+        .set("answered", open.answered);
+  }
+
+  if (server != nullptr) {
+    server->stop();
+    server_thread.join();
+    std::printf("server: %llu queries in %llu frames over %llu "
+                "connections\n",
+                static_cast<unsigned long long>(server->queries_served()),
+                static_cast<unsigned long long>(server->frames_served()),
+                static_cast<unsigned long long>(
+                    server->connections_accepted()));
+  }
+
+  if (!json_path.empty()) {
+    report.write(json_path);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return identical ? 0 : 1;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

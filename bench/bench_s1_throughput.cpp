@@ -59,6 +59,7 @@
 
 #include "bench_common.hpp"
 #include "obs/export.hpp"
+#include "service/cli.hpp"
 #include "persist/artifact_store.hpp"
 #include "service/hot_swap.hpp"
 #include "service/route_service.hpp"
@@ -82,39 +83,27 @@ std::vector<unsigned> parse_thread_list(const std::string& spec) {
   return threads;
 }
 
-GraphFamily parse_family(const std::string& name) {
-  if (name == "er") return GraphFamily::kErdosRenyi;
-  if (name == "geometric") return GraphFamily::kGeometric;
-  if (name == "ba") return GraphFamily::kBarabasiAlbert;
-  if (name == "ws") return GraphFamily::kWattsStrogatz;
-  if (name == "ring") return GraphFamily::kRingOfCliques;
-  throw std::invalid_argument("unknown family: " + name);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) try {
   const Flags flags(argc, argv);
-  const auto n = static_cast<VertexId>(flags.get_int("n", 10000));
+  // Shared serving flags (graph, scheme, traffic, driver) parse through
+  // the one helper every serving binary uses; the bench keeps only its
+  // sweep-specific knobs (thread list, churn shape, JSON path).
+  ServiceSetup setup = parse_service_setup(flags);
+  if (!flags.has("queries")) setup.queries = 50000;  // bench-sized default
+  setup.exact = true;  // stretch columns need true distances
+  const VertexId n = setup.n;
   const std::string family = flags.get_string("family", "er");
-  const SchemeKind scheme = parse_scheme(flags.get_string("scheme", "tz"));
-  const WorkloadKind workload =
-      parse_workload(flags.get_string("workload", "uniform"));
-  const auto queries =
-      static_cast<std::uint32_t>(flags.get_int("queries", 50000));
-  const auto batch = static_cast<std::uint32_t>(flags.get_int("batch", 2048));
-  const auto k = static_cast<std::uint32_t>(flags.get_int("k", 3));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const SchemeKind scheme = setup.service.scheme;
+  const WorkloadKind workload = setup.workload;
+  const std::uint32_t queries = setup.queries;
+  const std::uint32_t batch = setup.driver.batch_size;
+  const std::uint64_t seed = setup.seed;
   const std::vector<unsigned> thread_counts =
       parse_thread_list(flags.get_string("threads", "1,2,4"));
-  const std::uint32_t batch_group = bench::parse_batch_group(
-      flags.get_string("batch-group",
-                       std::to_string(RouteServiceOptions{}.batch_group)));
-  // Landmark sampler (TZ): centered is the paper default; bernoulli's
-  // hierarchy is churn-stable, which roughly doubles the SPT reuse the
-  // incremental churn rows report.
-  const SamplingMode sampling =
-      parse_sampling(flags.get_string("sampling", "centered"));
+  const std::uint32_t batch_group = setup.service.batch_group;
+  const SamplingMode sampling = setup.service.sampling;
   const std::string json_path = flags.get_string("json", "");
 
   bench::banner(
@@ -126,17 +115,10 @@ int main(int argc, char** argv) try {
        workload_name(workload) + " queries=" + std::to_string(queries))
           .c_str());
 
-  Rng grng(seed);
-  const Graph g = make_workload(parse_family(family), n, grng);
-
-  // Bound the frontend fleet so exact-stretch accounting (one Dijkstra
-  // per distinct source) stays cheap at any query count.
-  TrafficOptions topt;
-  topt.source_pool = 64;
-  Rng trng(seed + 1);
-  std::vector<RouteQuery> traffic =
-      make_traffic(g, workload, queries, trng, topt);
-  attach_exact_distances(g, traffic);
+  const Graph g = setup.build_graph();
+  // Source pool bounds the Dijkstra count of exact-stretch accounting
+  // (helper default 64); exact distances attach because setup.exact.
+  std::vector<RouteQuery> traffic = setup.build_traffic(g);
 
   std::printf("%8s %8s %12s %9s %10s %10s %10s %8s %6s\n", "path", "threads",
               "qps", "speedup", "p50_us", "p95_us", "p99_us", "stretch",
@@ -170,14 +152,9 @@ int main(int argc, char** argv) try {
   bool all_identical = true;
   for (const bool use_flat : flat_modes) {
     for (const unsigned t : thread_counts) {
-      RouteServiceOptions opt;
-      opt.scheme = scheme;
+      RouteServiceOptions opt = setup.service;
       opt.threads = t;
-      opt.k = k;
-      opt.seed = seed + 2;
-      opt.sampling = sampling;
       opt.use_flat = use_flat;
-      opt.batch_group = batch_group;
       bench::Stopwatch preprocess_watch;
       auto service = std::make_unique<RouteService>(g, opt);
       const double preprocess_s = preprocess_watch.seconds();
@@ -186,7 +163,7 @@ int main(int argc, char** argv) try {
       const std::vector<RouteQuery> warm(
           traffic.begin(),
           traffic.begin() + std::min<std::size_t>(traffic.size(), batch));
-      service->route_batch(warm);
+      service->route_collect(warm);
 
       DriverOptions dopt;
       dopt.batch_size = batch;
@@ -202,7 +179,7 @@ int main(int argc, char** argv) try {
 
       // Invariance: every run (either path, any thread count) serves the
       // same answers as the first run.
-      std::vector<RouteAnswer> answers = service->route_batch(traffic);
+      std::vector<RouteAnswer> answers = service->route_collect(traffic);
       bool identical = true;
       if (reference.empty()) {
         reference = std::move(answers);
@@ -298,16 +275,11 @@ int main(int argc, char** argv) try {
                 "rebuild_s", "reuse", "ok");
     for (const unsigned t : thread_counts) {
       for (const bool full_rebuild : {true, false}) {
-        RouteServiceOptions opt;
-        opt.scheme = scheme;
+        RouteServiceOptions opt = setup.service;
         opt.threads = t;
-        opt.k = k;
-        opt.seed = seed + 2;
-        opt.sampling = sampling;
-        opt.batch_group = batch_group;
         RouteService service(g, opt);
         SchemeManager manager(service);
-        service.route_batch(std::vector<RouteQuery>(
+        service.route_collect(std::vector<RouteQuery>(
             traffic.begin(),
             traffic.begin() + std::min<std::size_t>(traffic.size(), batch)));
 
@@ -329,8 +301,8 @@ int main(int argc, char** argv) try {
             traffic.begin() + std::min<std::size_t>(traffic.size(), batch));
         std::vector<RouteQuery> probe_unknown = probe;
         for (RouteQuery& q : probe_unknown) q.exact = kUnknownDistance;
-        const std::vector<RouteAnswer> a = service.route_batch(probe_unknown);
-        const std::vector<RouteAnswer> b = fresh.route_batch(probe_unknown);
+        const std::vector<RouteAnswer> a = service.route_collect(probe_unknown);
+        const std::vector<RouteAnswer> b = fresh.route_collect(probe_unknown);
         bool identical = a.size() == b.size();
         for (std::size_t i = 0; identical && i < a.size(); ++i) {
           identical = same_route(a[i], b[i]);
@@ -383,13 +355,8 @@ int main(int argc, char** argv) try {
   {
     const std::string dir = "/tmp/croute_bench_s1_artifacts";
     std::filesystem::remove_all(dir);
-    RouteServiceOptions opt;
-    opt.scheme = scheme;
+    RouteServiceOptions opt = setup.service;
     opt.threads = 1;
-    opt.k = k;
-    opt.seed = seed + 2;
-    opt.sampling = sampling;
-    opt.batch_group = batch_group;
 
     bench::Stopwatch fresh_watch;
     RouteService fresh_svc(g, opt);
@@ -402,7 +369,7 @@ int main(int argc, char** argv) try {
       std::fprintf(stderr, "persist publish failed: %s\n", pub.error.c_str());
       all_identical = false;
     } else {
-      opt.artifact_dir = dir;
+      opt.persist.dir = dir;
       bench::Stopwatch recover_watch;
       RouteService recovered_svc(g, opt);
       const double publish_from_disk_s = recover_watch.seconds();
@@ -411,8 +378,8 @@ int main(int argc, char** argv) try {
           traffic.begin(),
           traffic.begin() + std::min<std::size_t>(traffic.size(), batch));
       for (RouteQuery& q : probe) q.exact = kUnknownDistance;
-      const std::vector<RouteAnswer> a = fresh_svc.route_batch(probe);
-      const std::vector<RouteAnswer> b = recovered_svc.route_batch(probe);
+      const std::vector<RouteAnswer> a = fresh_svc.route_collect(probe);
+      const std::vector<RouteAnswer> b = recovered_svc.route_collect(probe);
       bool identical = recovered_svc.recovered_from_artifact() &&
                        a.size() == b.size();
       for (std::size_t i = 0; identical && i < a.size(); ++i) {

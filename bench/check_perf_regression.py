@@ -15,11 +15,16 @@ Gated:
     against the committed FULL-rebuild row at the same thread count, so
     the incremental path must stay at least as fast as the committed
     full-rebuild baseline (and a regression of the full path itself
-    fails the same gate).
+    fails the same gate);
+  - NET serving: the wire front-end's served qps (the closed-loop
+    saturation scalar of BENCH_net.json) — the whole socket pipeline
+    (framing, decode, coalescing, route, encode) gates as one number.
+    The byte-identity marker must also still read "yes".
 
 Usage:
   check_perf_regression.py <micro_baseline> <micro_fresh> [threshold]
                            [--s1 <s1_baseline> <s1_fresh>]
+                           [--net <net_baseline> <net_fresh>]
 """
 
 import json
@@ -118,16 +123,44 @@ def gate_s1_churn(baseline, fresh, threshold, failures):
                 f"({ratio:.2f}x > {threshold:.1f}x)")
 
 
+def gate_net(baseline, fresh, threshold, failures):
+    if "saturation_qps" not in baseline:
+        print("  skip net/saturation_qps: not in baseline")
+    elif "saturation_qps" not in fresh:
+        failures.append("net/saturation_qps: missing from fresh measurement")
+    else:
+        base = float(baseline["saturation_qps"])
+        now = float(fresh["saturation_qps"])
+        ratio = base / now if now > 0 else float("inf")  # slowdown factor
+        verdict = "FAIL" if ratio > threshold else "ok"
+        print(f"  {verdict} net/saturation_qps: baseline {base:.0f}, fresh "
+              f"{now:.0f} ({ratio:.2f}x slowdown, limit {threshold:.1f}x)")
+        if ratio > threshold:
+            failures.append(
+                f"net/saturation_qps: {now:.0f} qps vs baseline {base:.0f} "
+                f"({ratio:.2f}x slowdown > {threshold:.1f}x)")
+    # Not a perf number, but the cheapest place to keep the contract
+    # loud: socket answers must stay byte-identical to in-process ones.
+    if fresh.get("socket_identical", "yes") != "yes":
+        failures.append("net/socket_identical: fresh run answered "
+                        "differently over the socket than in-process")
+
+
+def extract_pair(args, flag):
+    if flag not in args:
+        return args, None
+    i = args.index(flag)
+    pair = args[i + 1:i + 3]
+    if len(pair) != 2:
+        print(__doc__)
+        sys.exit(2)
+    return args[:i] + args[i + 3:], pair
+
+
 def main() -> int:
     args = sys.argv[1:]
-    s1_paths = None
-    if "--s1" in args:
-        i = args.index("--s1")
-        s1_paths = args[i + 1:i + 3]
-        if len(s1_paths) != 2:
-            print(__doc__)
-            return 2
-        args = args[:i] + args[i + 3:]
+    args, s1_paths = extract_pair(args, "--s1")
+    args, net_paths = extract_pair(args, "--net")
     if len(args) < 2:
         print(__doc__)
         return 2
@@ -139,6 +172,8 @@ def main() -> int:
         s1_baseline, s1_fresh = load(s1_paths[0]), load(s1_paths[1])
         gate_s1_serving(s1_baseline, s1_fresh, threshold, failures)
         gate_s1_churn(s1_baseline, s1_fresh, threshold, failures)
+    if net_paths is not None:
+        gate_net(load(net_paths[0]), load(net_paths[1]), threshold, failures)
 
     if failures:
         print("perf regression gate FAILED:")

@@ -5,7 +5,8 @@
 #   bench/run_benches.sh [build-dir]
 #
 # Expects a Release build (cmake -B build -S . && cmake --build build -j).
-# Knobs via env: MICRO_ARGS / S1_ARGS are appended to the bench commands.
+# Knobs via env: MICRO_ARGS / S1_ARGS / NET_ARGS are appended to the
+# bench commands.
 
 set -euo pipefail
 
@@ -30,4 +31,13 @@ fi
     --n 10000 --queries 50000 --threads 1,2,4 --churn 3 \
     --json "$repo_root/BENCH_s1.json" ${S1_ARGS:-}
 
-echo "wrote $repo_root/BENCH_micro.json and $repo_root/BENCH_s1.json"
+# NET: wire front-end under open-loop offered load — socket byte-identity,
+# closed-loop saturation qps (the gated scalar), and the open-loop sweep
+# where p99 sojourn at >=80% load exposes the queueing a closed loop hides.
+"$build_dir/bench_net_openloop" \
+    --n 10000 --queries 20000 --threads 2 --connections 4 \
+    --loads 0.5,0.8,0.95 --duration 1.5 \
+    --json "$repo_root/BENCH_net.json" ${NET_ARGS:-}
+
+echo "wrote $repo_root/BENCH_micro.json, $repo_root/BENCH_s1.json and" \
+     "$repo_root/BENCH_net.json"

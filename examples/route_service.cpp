@@ -1,65 +1,49 @@
 /// \file route_service.cpp
 /// \brief CLI front end for the concurrent route-query engine.
 ///
-/// Spins up a RouteService over a generated (or loaded) graph, drives one
-/// of the traffic scenarios through it in a closed loop, and prints the
-/// serving report: throughput, latency percentiles, stretch, and space.
+/// Spins up a RouteService over a generated (or loaded) graph, then
+/// either drives one of the traffic scenarios through it in a closed
+/// loop and prints the serving report (throughput, latency percentiles,
+/// stretch, space), or — with --listen — serves the wire protocol over
+/// TCP until SIGINT/SIGTERM.
 ///
 /// ```
 /// ./route_service --scheme=tz --workload=hotspot --threads=4 --seed=7
 /// ./route_service --family=ba --n=20000 --scheme=cowen --workload=gravity
 /// ./route_service --graph=g.gr --warm=scheme.bin --workload=far
 /// ./route_service --workload=hotspot --churn=3     # hot-swap under load
+/// ./route_service --listen --port=4800             # network serving
 /// ```
 ///
-/// Flags: --scheme=tz|tz-handshake|cowen|full  --workload=uniform|gravity|
-/// hotspot|far  --threads=N (0 = all cores)  --seed=S  --family --n
-/// [--weighted]  --graph=FILE (instead of --family/--n)  --warm=FILE
-/// (scheme_io warm start, TZ only)  --queries --batch --k --source-pool
-/// [--exact] (attach exact distances for stretch even off the far workload)
-/// [--legacy] (serve through the sim/ adapters instead of the flat view)
-/// --lookup=fks|eytzinger (flat lookup layout)
-/// --batch-group=G (flat pipeline depth: G in-flight descents per worker;
-/// must be a power of two, or 0 = scalar serving)
-/// env CROUTE_SIMD=generic|sse42|avx2|neon forces the SIMD implementation
-/// the batch kernels dispatch to (unavailable values fall back to generic)
-/// --churn=C (run the closed loop under C background rebuild+swap cycles;
-/// prints swap, blackout and rebuild telemetry incl. the delta-aware
-/// rebuild's SPT reuse ratio)
-/// [--full-rebuild] (churn escape hatch: full preprocessing per rebuild
-/// instead of the default delta-aware incremental path)
-/// --sampling=centered|bernoulli (TZ landmark sampler; bernoulli's
-/// graph-independent hierarchy roughly doubles churn SPT reuse at the
-/// price of expected- instead of worst-case table bounds)
-/// --metrics-out=FILE (write the service's metric registry as Prometheus
-/// text format on exit; under --churn the file is also rewritten every
-/// --metrics-every batches, so a scraper watching it sees the run live)
-/// --trace-out=FILE (write the rebuild/swap trace as Chrome trace-event
-/// JSON on exit — load into chrome://tracing or ui.perfetto.dev)
-/// [--no-metrics] (disable the observability layer entirely — overhead
-/// A/B runs)
-/// --artifact-dir=DIR (crash-safe persistence: recover the newest valid
-/// scheme artifact from DIR on start — falling back to fresh
-/// preprocessing when none verifies — and persist every published
-/// generation there; covers every scheme kind, unlike --warm)
-/// --artifact-retain=N (keep the newest N generations on disk, plus the
-/// manifest-pinned live/backup pair; default 2)
-/// --rebuild-retries=R (retry a failed background rebuild up to R times
-/// under capped exponential backoff before surfacing; default 0)
-/// [--verify-recovery] (after start, rebuild fresh on the same graph and
-/// prove the serving generation answers a seeded probe identically —
-/// exits 1 on divergence; pair with --artifact-dir)
+/// Shared flags (parsed by service/cli.hpp, used by every serving
+/// binary): --graph | --family --n [--weighted]  --scheme --k --sampling
+/// --seed --threads --lookup --batch-group [--legacy] --warm
+/// --artifact-dir --artifact-retain --rebuild-retries [--no-metrics]
+/// --workload --queries --batch --source-pool [--exact]
+///
+/// Binary-specific flags:
+/// --churn=C (run the closed loop under C background rebuild+swap
+/// cycles) [--full-rebuild] (full preprocessing per churn rebuild)
+/// --metrics-out=FILE (Prometheus text on exit; under --churn rewritten
+/// every --metrics-every batches) --trace-out=FILE (Chrome trace JSON)
+/// [--verify-recovery] (prove the serving generation matches a fresh
+/// build on seeded probes; pair with --artifact-dir)
+/// [--listen] (serve the wire protocol instead of driving traffic)
+/// --port=P (listen port; 0 = ephemeral, printed) --net-coalesce=N
+/// --net-max-pending=N --net-max-connections=N (front-end admission
+/// control; see net/server.hpp)
+/// env CROUTE_SIMD=generic|sse42|avx2|neon forces the SIMD batch kernels
 
+#include <csignal>
 #include <cstdio>
 #include <string>
 
-#include "graph/generators.hpp"
-#include "graph/io.hpp"
+#include "net/server.hpp"
 #include "obs/export.hpp"
+#include "service/cli.hpp"
 #include "service/hot_swap.hpp"
 #include "service/route_service.hpp"
 #include "service/workload.hpp"
-#include "sim/experiment.hpp"
 #include "simd/simd.hpp"
 #include "util/flags.hpp"
 #include "util/stats.hpp"
@@ -68,15 +52,38 @@ namespace {
 
 using namespace croute;
 
-GraphFamily parse_family(const std::string& name) {
-  if (name == "er") return GraphFamily::kErdosRenyi;
-  if (name == "geometric") return GraphFamily::kGeometric;
-  if (name == "grid") return GraphFamily::kGrid;
-  if (name == "torus") return GraphFamily::kTorus;
-  if (name == "ba") return GraphFamily::kBarabasiAlbert;
-  if (name == "ws") return GraphFamily::kWattsStrogatz;
-  if (name == "ring") return GraphFamily::kRingOfCliques;
-  throw std::invalid_argument("unknown family: " + name);
+net::NetServer* g_server = nullptr;
+
+void handle_signal(int) {
+  if (g_server != nullptr) g_server->stop();
+}
+
+/// Network serving mode: blocks on the epoll loop until SIGINT/SIGTERM.
+int run_listen_mode(RouteService& service, const Flags& flags) {
+  net::NetServerOptions nopt;
+  nopt.port = static_cast<std::uint16_t>(flags.get_int("port", 0));
+  nopt.coalesce = static_cast<std::uint32_t>(
+      flags.get_int("net-coalesce", static_cast<int>(nopt.coalesce)));
+  nopt.max_pending = static_cast<std::uint32_t>(
+      flags.get_int("net-max-pending", static_cast<int>(nopt.max_pending)));
+  nopt.max_connections = static_cast<std::uint32_t>(flags.get_int(
+      "net-max-connections", static_cast<int>(nopt.max_connections)));
+  net::NetServer server(service, nopt);
+  g_server = &server;
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  // The port line is a readiness signal: CI greps for it before
+  // connecting, so flush immediately.
+  std::printf("listening on 127.0.0.1:%u\n", server.port());
+  std::fflush(stdout);
+  server.run();
+  g_server = nullptr;
+  std::printf("net: served %llu queries in %llu frames over %llu "
+              "connections\n",
+              static_cast<unsigned long long>(server.queries_served()),
+              static_cast<unsigned long long>(server.frames_served()),
+              static_cast<unsigned long long>(server.connections_accepted()));
+  return 0;
 }
 
 }  // namespace
@@ -84,68 +91,14 @@ GraphFamily parse_family(const std::string& name) {
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   try {
-    const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
-
-    // Flag-combination errors should fire before any graph or
-    // preprocessing work: --warm carries a scheme_io TZ file, which only
-    // the TZ schemes can load.
-    {
-      const SchemeKind scheme = parse_scheme(flags.get_string("scheme", "tz"));
-      const std::string warm = flags.get_string("warm", "");
-      const bool is_tz = scheme == SchemeKind::kTZDirect ||
-                         scheme == SchemeKind::kTZHandshake;
-      if (!warm.empty() && !is_tz) {
-        throw std::invalid_argument(
-            "--warm=" + warm +
-            " is a scheme_io TZ preprocessing file, which --scheme=" +
-            scheme_name(scheme) +
-            " cannot load — drop --warm, or use --artifact-dir (the "
-            "persist tier covers every scheme kind)");
-      }
-    }
-
-    Graph g;
-    const std::string graph_path = flags.get_string("graph", "");
-    if (!graph_path.empty()) {
-      g = load_graph(graph_path);
-    } else {
-      Rng grng(seed);
-      g = make_workload(parse_family(flags.get_string("family", "er")),
-                        static_cast<VertexId>(flags.get_int("n", 10000)),
-                        grng, flags.get_bool("weighted", false));
-    }
-
-    RouteServiceOptions opt;
-    opt.scheme = parse_scheme(flags.get_string("scheme", "tz"));
-    opt.threads = static_cast<unsigned>(flags.get_int("threads", 0));
-    opt.k = static_cast<std::uint32_t>(flags.get_int("k", 3));
-    opt.sampling = parse_sampling(flags.get_string("sampling", "centered"));
-    opt.seed = seed + 1;
-    opt.warm_start_path = flags.get_string("warm", "");
-    opt.use_flat = !flags.get_bool("legacy", false);
-    const std::string lookup = flags.get_string("lookup", "eytzinger");
-    opt.flat_lookup =
-        lookup == "fks" ? FlatLookup::kFKS : FlatLookup::kEytzinger;
-    opt.batch_group = static_cast<std::uint32_t>(
-        flags.get_int("batch-group", opt.batch_group));
-    if (opt.batch_group != 0 &&
-        (opt.batch_group & (opt.batch_group - 1)) != 0) {
-      throw std::invalid_argument(
-          "--batch-group expects 0 (scalar serving) or a power of two "
-          "(e.g. 16, 32, 64), got " +
-          std::to_string(opt.batch_group));
-    }
-    opt.artifact_dir = flags.get_string("artifact-dir", "");
-    opt.artifact_retain = static_cast<std::uint32_t>(
-        flags.get_int("artifact-retain", static_cast<int>(opt.artifact_retain)));
-    opt.rebuild_retries = static_cast<std::uint32_t>(
-        flags.get_int("rebuild-retries", static_cast<int>(opt.rebuild_retries)));
-    opt.metrics = !flags.get_bool("no-metrics", false);
+    const ServiceSetup setup = parse_service_setup(flags);
+    const RouteServiceOptions& opt = setup.service;
     const std::string metrics_out = flags.get_string("metrics-out", "");
     const std::string trace_out = flags.get_string("trace-out", "");
     const auto metrics_every =
         static_cast<std::uint64_t>(flags.get_int("metrics-every", 50));
 
+    Graph g = setup.build_graph();
     std::printf("graph: n=%u m=%llu\n", g.num_vertices(),
                 static_cast<unsigned long long>(g.num_edges()));
     RouteService service(g, opt);
@@ -161,12 +114,12 @@ int main(int argc, char** argv) {
                 opt.warm_start_path.empty()
                     ? ""
                     : (" (warm start: " + opt.warm_start_path + ")").c_str());
-    if (!opt.artifact_dir.empty()) {
+    if (!opt.persist.dir.empty()) {
       if (service.recovered_from_artifact()) {
         std::printf("persist: recovered generation %llu from %s (%s)\n",
                     static_cast<unsigned long long>(
                         service.recovered_generation()),
-                    opt.artifact_dir.c_str(), service.recovery_note().c_str());
+                    opt.persist.dir.c_str(), service.recovery_note().c_str());
       } else {
         std::printf("persist: fresh build%s%s\n",
                     service.recovery_note().empty() ? "" : " — ",
@@ -181,10 +134,10 @@ int main(int argc, char** argv) {
       // disk or just built). Diverging answers mean a corrupt or
       // mismatched artifact slipped past verification — fail loudly.
       RouteServiceOptions fresh_opt = opt;
-      fresh_opt.artifact_dir.clear();
+      fresh_opt.persist.dir.clear();
       fresh_opt.warm_start_path.clear();
       const RouteService fresh(service.graph(), fresh_opt);
-      Rng prng(seed + 4);
+      Rng prng(setup.seed + 4);
       const VertexId n = service.graph().num_vertices();
       const int probes = 4096;
       int mismatches = 0;
@@ -206,25 +159,13 @@ int main(int argc, char** argv) {
       }
     }
 
-    const WorkloadKind workload =
-        parse_workload(flags.get_string("workload", "uniform"));
-    TrafficOptions topt;
-    topt.source_pool =
-        static_cast<std::uint32_t>(flags.get_int("source-pool", 64));
-    Rng trng(seed + 2);
-    std::vector<RouteQuery> traffic = make_traffic(
-        g, workload,
-        static_cast<std::uint32_t>(flags.get_int("queries", 100000)), trng,
-        topt);
-    if (flags.get_bool("exact", false) ||
-        workload == WorkloadKind::kFarPairs) {
-      attach_exact_distances(g, traffic);
+    if (flags.get_bool("listen", false)) {
+      return run_listen_mode(service, flags);
     }
 
-    DriverOptions dopt;
-    dopt.batch_size =
-        static_cast<std::uint32_t>(flags.get_int("batch", 2048));
+    std::vector<RouteQuery> traffic = setup.build_traffic(g);
 
+    DriverOptions dopt = setup.driver;
     const auto churn_cycles =
         static_cast<std::uint32_t>(flags.get_int("churn", 0));
     // Periodic metrics dump under churn: rewrite the Prometheus file
@@ -246,7 +187,7 @@ int main(int argc, char** argv) {
       SchemeManager manager(service);
       ChurnOptions copt;
       copt.cycles = churn_cycles;
-      copt.seed = seed + 3;
+      copt.seed = setup.seed + 3;
       copt.full_rebuild = flags.get_bool("full-rebuild", false);
       const ChurnReport churn =
           run_closed_loop_churn(service, manager, traffic, dopt, copt);
@@ -272,7 +213,7 @@ int main(int argc, char** argv) {
     }
 
     std::printf("traffic: %s, %llu queries in batches of %u\n",
-                workload_name(workload),
+                workload_name(setup.workload),
                 static_cast<unsigned long long>(r.queries),
                 dopt.batch_size);
     std::printf("served:  %.0f qps, wall %.3fs, delivered %llu/%llu\n",

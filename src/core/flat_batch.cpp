@@ -141,6 +141,9 @@ CROUTE_HOT void FlatBatchEngine::run(const FlatBatchTarget& target,
           lane.lab_it = q.label.data();
           lane.lab_end = q.label.data() + q.label.size();
           lane.lab_best = nullptr;
+          lane.lab_pool = q.light_pool != nullptr
+                              ? q.light_pool
+                              : target.flat->label_light_pool();
           lane.best_est = kInfiniteWeight;
           CROUTE_PREFETCH(lane.lab_it);
           if (target.policy != RoutingPolicy::kLabelOnly) {
@@ -308,7 +311,7 @@ CROUTE_HOT void FlatBatchEngine::prepare_tz_direct(
       }
       lane.root = chosen->w;
       lane.dfs_in = chosen->dfs_in;
-      lane.light = f->label_light_pool() + chosen->light_off;
+      lane.light = lane.lab_pool + chosen->light_off;
       lane.light_len = chosen->light_len;
       lane.bits = f->header_bits_for(chosen->light_len);
     }

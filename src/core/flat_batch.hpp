@@ -94,12 +94,16 @@ struct FlatBatchTarget {
   std::uint32_t max_hops = 0;
 };
 
-/// One query. For kTZDirect \p label must be the destination's pooled
+/// One query. For kTZDirect \p label must be the destination's resolved
 /// label (the service's per-batch memo resolves each distinct t once).
 struct FlatBatchQuery {
   VertexId s = kNoVertex;
   VertexId t = kNoVertex;
   std::span<const FlatScheme::LabelEntryView> label;
+  /// Base of the light-port pool the label's light_off fields index.
+  /// nullptr = the scheme's own pool (pooled labels); a wire-decoded
+  /// label points this at its batch-owned port buffer instead.
+  const Port* light_pool = nullptr;
 };
 
 /// One answer. The deterministic fields (status, length, hops,
@@ -199,6 +203,7 @@ class FlatBatchEngine {
     const FlatScheme::LabelEntryView* lab_it = nullptr;
     const FlatScheme::LabelEntryView* lab_end = nullptr;
     const FlatScheme::LabelEntryView* lab_best = nullptr;
+    const Port* lab_pool = nullptr;  ///< light-port pool of this label
     Weight best_est = 0;
     // handshake walk
     VertexId hs_u = kNoVertex, hs_v = kNoVertex, hs_w = kNoVertex;

@@ -355,7 +355,7 @@ CROUTE_HOT FlatHeader FlatRouter::prepare(VertexId s, VertexId t,
 
 CROUTE_HOT FlatHeader FlatRouter::prepare_resolved(
     VertexId s, VertexId t, std::span<const FlatScheme::LabelEntryView> label,
-    RoutingPolicy policy) const {
+    const Port* light_pool, RoutingPolicy policy) const {
   const FlatScheme& f = *flat_;
   CROUTE_REQUIRE(!label.empty(), "malformed destination label");
   // Rule 0: t ∈ C(s) — one directory probe (index + payload views).
@@ -401,7 +401,7 @@ CROUTE_HOT FlatHeader FlatRouter::prepare_resolved(
   return FlatHeader{t,
                     chosen->w,
                     chosen->dfs_in,
-                    f.label_light_pool() + chosen->light_off,
+                    light_pool + chosen->light_off,
                     chosen->light_len,
                     f.header_bits_for(chosen->light_len)};
 }
@@ -538,6 +538,39 @@ std::uint64_t FlatFullTable::table_bits(VertexId v) const noexcept {
   const std::uint32_t port_bits =
       bits_for_universe(std::uint64_t{g_->degree(v)} + 1);
   return std::uint64_t{n_ - 1} * port_bits;
+}
+
+VertexId decode_wire_label(const LabelCodec& codec, VertexId n, BitReader& r,
+                           std::vector<FlatScheme::LabelEntryView>& entries,
+                           std::vector<Port>& ports) {
+  // Mirrors LabelCodec::encode field-for-field (tz_labels.cpp); any drift
+  // between the two is caught by the round-trip tests. Every size read
+  // from the stream drives a loop that consumes at least one bit per
+  // claimed element, so the stream's bit budget bounds the append.
+  const auto t = static_cast<VertexId>(r.read_bits(codec.id_bits()));
+  CROUTE_REQUIRE(t < n, "label target out of range");
+  const std::uint64_t count = r.read_gamma();
+  CROUTE_REQUIRE(count >= 1, "empty routing label");
+  const std::uint32_t dfs_bits = codec.tree_codec().dfs_bits;
+  const std::uint32_t port_bits = codec.tree_codec().port_bits;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    FlatScheme::LabelEntryView e;
+    e.level = static_cast<std::uint32_t>(r.read_gamma() - 1);
+    e.w = static_cast<VertexId>(r.read_bits(codec.id_bits()));
+    CROUTE_REQUIRE(e.w < n, "label pivot out of range");
+    e.dist = codec.carries_distances()
+                 ? std::bit_cast<Weight>(r.read_bits(64))
+                 : 0;
+    e.dfs_in = static_cast<std::uint32_t>(r.read_bits(dfs_bits));
+    const std::uint64_t nports = r.read_gamma() - 1;
+    e.light_off = static_cast<std::uint32_t>(ports.size());
+    for (std::uint64_t p = 0; p < nports; ++p) {
+      ports.push_back(static_cast<Port>(r.read_bits(port_bits)));
+    }
+    e.light_len = static_cast<std::uint32_t>(ports.size()) - e.light_off;
+    entries.push_back(e);
+  }
+  return t;
 }
 
 }  // namespace croute

@@ -509,6 +509,20 @@ class FlatRouter {
   /// resolves each distinct destination once per batch and reuses it).
   CROUTE_HOT FlatHeader prepare_resolved(
       VertexId s, VertexId t, std::span<const FlatScheme::LabelEntryView> label,
+      RoutingPolicy policy = RoutingPolicy::kMinLevel) const {
+    return prepare_resolved(s, t, label, flat_->label_light_pool(), policy);
+  }
+
+  /// prepare_resolved with the label's light ports in a caller-owned pool:
+  /// each entry's light_off indexes \p light_pool instead of the scheme's
+  /// pooled ports. This is the wire seam — a LabelCodec-decoded label
+  /// lives in batch-owned buffers, and the header it produces is
+  /// byte-identical to the pooled-label one as long as the decoded
+  /// contents match (the codec round-trips exactly). \p light_pool must
+  /// outlive the returned header's use.
+  CROUTE_HOT FlatHeader prepare_resolved(
+      VertexId s, VertexId t, std::span<const FlatScheme::LabelEntryView> label,
+      const Port* light_pool,
       RoutingPolicy policy = RoutingPolicy::kMinLevel) const;
 
   /// Source decision with handshake (stretch ≤ 2k−1).
@@ -650,5 +664,23 @@ class FlatFullTable {
   std::uint64_t label_bits_ = 0;
   std::vector<Port> hops_;  ///< n*n, row per source
 };
+
+/// Decodes one LabelCodec-encoded routing label from \p r into flat entry
+/// views — the wire seam of label-addressed serving. Appends the entries
+/// to \p entries and their light ports to \p ports (light_off fields are
+/// absolute offsets into \p ports; pass ports.data() as the light pool
+/// once the batch's decodes are done). Returns the label's target vertex.
+///
+/// Unlike LabelCodec::decode this parser is *incremental*: it never
+/// pre-sizes a container from an untrusted count, so a hostile length
+/// field exhausts the bit stream (throwing std::invalid_argument) before
+/// it can balloon memory — every claimed entry/port must actually be
+/// present in the bits. Also validated: the target and every pivot id are
+/// < \p n, and the label has at least one entry. On throw the containers
+/// may hold a partial append; callers treat the batch arenas as
+/// invalidated (the service rewinds, the tests expect the throw).
+VertexId decode_wire_label(const LabelCodec& codec, VertexId n, BitReader& r,
+                           std::vector<FlatScheme::LabelEntryView>& entries,
+                           std::vector<Port>& ports);
 
 }  // namespace croute

@@ -56,6 +56,16 @@ class LabelCodec {
 
   bool carries_distances() const noexcept { return carry_distances_; }
 
+  /// Bit width of a vertex id in this codec. Wire peers need it to read
+  /// the leading target id off an encoded label without a full decode.
+  std::uint32_t id_bits() const noexcept { return id_bits_; }
+
+  /// The per-tree sub-codec (dfs/port widths), for incremental decoders
+  /// that refuse to pre-size from untrusted counts.
+  const TreeRoutingScheme::Codec& tree_codec() const noexcept {
+    return tree_codec_;
+  }
+
  private:
   std::uint32_t id_bits_ = 1;
   TreeRoutingScheme::Codec tree_codec_;

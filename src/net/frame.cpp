@@ -1,0 +1,120 @@
+#include "net/frame.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "util/assert.hpp"
+
+namespace croute::net {
+
+namespace {
+
+constexpr std::array<FrameClass, 256> build_type_table() {
+  std::array<FrameClass, 256> table{};
+  for (int b = 0; b < 256; ++b) {
+    if (b == 0x00 || b == 0xFF) {
+      table[static_cast<std::size_t>(b)] = FrameClass::kInvalid;
+    } else if (b <= 0x0A) {
+      table[static_cast<std::size_t>(b)] = FrameClass::kActive;
+    } else if (b <= 0xAF) {
+      table[static_cast<std::size_t>(b)] = FrameClass::kUnknown;
+    } else {
+      table[static_cast<std::size_t>(b)] = FrameClass::kReserved;
+    }
+  }
+  return table;
+}
+
+constexpr std::array<FrameClass, 256> kTypeTable = build_type_table();
+
+}  // namespace
+
+FrameClass classify_type(std::uint8_t type) noexcept {
+  return kTypeTable[type];
+}
+
+std::size_t encode_header(std::uint8_t type, std::size_t payload_size,
+                          std::vector<std::uint8_t>& out) {
+  CROUTE_REQUIRE(payload_size <= kMaxPayload,
+                 "frame payload exceeds kMaxPayload (65535 bytes) — split "
+                 "the batch");
+  out.push_back(type);
+  if (payload_size < 128) {
+    out.push_back(static_cast<std::uint8_t>(payload_size));
+    return 2;
+  }
+  out.push_back(0x80);
+  out.push_back(static_cast<std::uint8_t>(payload_size & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(payload_size >> 8));
+  return 4;
+}
+
+void FrameDecoder::feed(std::span<const std::uint8_t> bytes) {
+  // Compact consumed bytes away first so the buffer never grows past
+  // one partial frame plus what just arrived.
+  if (pos_ > 0) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+bool FrameDecoder::next(Frame& out) {
+  if (error_ != DecodeError::kNone) return false;
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < 2) return false;  // not even a short header yet
+
+  const std::uint8_t type = buf_[pos_];
+  switch (classify_type(type)) {
+    case FrameClass::kActive: break;
+    case FrameClass::kInvalid: error_ = DecodeError::kInvalidType; return false;
+    case FrameClass::kUnknown: error_ = DecodeError::kUnknownType; return false;
+    case FrameClass::kReserved:
+      error_ = DecodeError::kReservedType;
+      return false;
+  }
+
+  const std::uint8_t b1 = buf_[pos_ + 1];
+  std::size_t header = 2;
+  std::size_t size = 0;
+  if ((b1 & 0x80) == 0) {
+    size = b1;
+  } else {
+    // Extended form: low 7 bits of byte 1 must be zero, and the 16-bit
+    // size must not fit the short form — both are canonical-encoding
+    // requirements, so a peer can't smuggle two encodings of one frame.
+    if ((b1 & 0x7F) != 0) {
+      error_ = DecodeError::kNonCanonicalSize;
+      return false;
+    }
+    if (avail < 4) return false;  // extended header still in flight
+    header = 4;
+    size = static_cast<std::size_t>(buf_[pos_ + 2]) |
+           (static_cast<std::size_t>(buf_[pos_ + 3]) << 8);
+    if (size < 128) {
+      error_ = DecodeError::kNonCanonicalSize;
+      return false;
+    }
+  }
+  if (avail < header + size) return false;  // payload still in flight
+
+  out.type = type;
+  out.payload = std::span<const std::uint8_t>(buf_.data() + pos_ + header,
+                                              size);
+  pos_ += header + size;
+  return true;
+}
+
+const char* decode_error_name(DecodeError e) noexcept {
+  switch (e) {
+    case DecodeError::kNone: return "none";
+    case DecodeError::kInvalidType: return "invalid-type";
+    case DecodeError::kUnknownType: return "unknown-type";
+    case DecodeError::kReservedType: return "reserved-type";
+    case DecodeError::kNonCanonicalSize: return "non-canonical-size";
+  }
+  return "?";
+}
+
+}  // namespace croute::net

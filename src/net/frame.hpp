@@ -1,0 +1,79 @@
+/// \file frame.hpp
+/// \brief Frame header codec and the incremental stream decoder.
+///
+/// The header format and type table are specified in protocol.hpp. This
+/// layer is pure bytes-in/frames-out: it neither understands payloads
+/// nor owns sockets, so the edge-case tests (truncated headers,
+/// non-canonical sizes, unknown types, mutation fuzz) run against plain
+/// buffers.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/protocol.hpp"
+
+namespace croute::net {
+
+/// The 256-entry type-byte classification table (built once, constexpr).
+FrameClass classify_type(std::uint8_t type) noexcept;
+
+/// Appends a frame header for (\p type, \p payload_size) to \p out and
+/// returns the header length (2 or 4). Canonical by construction: sizes
+/// < 128 use the short form. Throws std::invalid_argument when
+/// payload_size > kMaxPayload.
+std::size_t encode_header(std::uint8_t type, std::size_t payload_size,
+                          std::vector<std::uint8_t>& out);
+
+/// One decoded frame. \p payload aliases the decoder's internal buffer
+/// and is valid until the next feed()/next() call — copy out to keep.
+struct Frame {
+  std::uint8_t type = 0;
+  std::span<const std::uint8_t> payload;
+};
+
+/// Why the decoder rejected the stream (fatal: the connection is dead).
+enum class DecodeError : std::uint8_t {
+  kNone = 0,
+  kInvalidType,      ///< 0x00 / 0xFF
+  kUnknownType,      ///< 0x0B..0xAF
+  kReservedType,     ///< 0xB0..0xFE
+  kNonCanonicalSize, ///< E=1 with size < 128, or nonzero low bits in byte1
+};
+
+const char* decode_error_name(DecodeError e) noexcept;
+
+/// Incremental frame decoder: feed() bytes as they arrive, then drain
+/// complete frames with next(). A malformed header poisons the decoder
+/// (error() != kNone and next() returns false forever) — framing errors
+/// are not recoverable on a byte stream, the connection must drop.
+///
+/// Partial frames simply wait for more bytes; only structurally illegal
+/// headers are errors. Consumed bytes are compacted away so the buffer
+/// holds at most one partial frame plus unread completes.
+class FrameDecoder {
+ public:
+  /// Appends \p bytes to the stream. No parsing happens here.
+  void feed(std::span<const std::uint8_t> bytes);
+
+  /// Extracts the next complete frame into \p out. Returns false when
+  /// the buffer holds no complete frame (or the decoder is poisoned —
+  /// check error()). The frame's payload aliases the internal buffer
+  /// and is invalidated by the next feed() or next() call.
+  bool next(Frame& out);
+
+  DecodeError error() const noexcept { return error_; }
+
+  /// Bytes buffered but not yet returned (partial frame tail).
+  std::size_t pending() const noexcept { return buf_.size() - pos_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  ///< start of the first unparsed byte
+  DecodeError error_ = DecodeError::kNone;
+};
+
+}  // namespace croute::net

@@ -1,0 +1,244 @@
+#include "net/wire.hpp"
+
+namespace croute::net {
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+bool PayloadReader::read_varint(std::uint64_t& v) noexcept {
+  v = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    if (pos_ >= p_.size()) return false;
+    const std::uint8_t b = p_[pos_++];
+    // The 10th byte may only carry the final bit of a 64-bit value.
+    if (shift == 63 && (b & 0xFE) != 0) return false;
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return true;
+  }
+  return false;
+}
+
+bool PayloadReader::read_u8(std::uint8_t& v) noexcept {
+  if (pos_ >= p_.size()) return false;
+  v = p_[pos_++];
+  return true;
+}
+
+bool PayloadReader::read_bytes(std::size_t count,
+                               std::span<const std::uint8_t>& out) noexcept {
+  if (remaining() < count) return false;
+  out = p_.subspan(pos_, count);
+  pos_ += count;
+  return true;
+}
+
+namespace {
+
+inline std::size_t label_bytes(std::uint32_t bits) noexcept {
+  return (static_cast<std::size_t>(bits) + 7) / 8;
+}
+
+// Vertex ids must fit VertexId; a varint read gives 64 bits.
+inline bool as_vertex(std::uint64_t v, VertexId& out) noexcept {
+  if (v > ~VertexId{0}) return false;
+  out = static_cast<VertexId>(v);
+  return true;
+}
+
+}  // namespace
+
+void encode_hello(std::vector<std::uint8_t>& payload, std::uint32_t version) {
+  put_varint(payload, version);
+}
+
+bool decode_hello(std::span<const std::uint8_t> payload,
+                  std::uint32_t& version) {
+  PayloadReader r(payload);
+  std::uint64_t v = 0;
+  if (!r.read_varint(v) || !r.done() || v == 0 || v > 0xFFFFFFFFull)
+    return false;
+  version = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+void encode_welcome(std::vector<std::uint8_t>& payload, const Welcome& w) {
+  put_varint(payload, w.version);
+  put_varint(payload, w.n);
+  payload.push_back(w.scheme);
+  put_varint(payload, w.id_bits);
+}
+
+bool decode_welcome(std::span<const std::uint8_t> payload, Welcome& w) {
+  PayloadReader r(payload);
+  std::uint64_t version = 0, n = 0, id_bits = 0;
+  if (!r.read_varint(version) || !r.read_varint(n) || !r.read_u8(w.scheme) ||
+      !r.read_varint(id_bits) || !r.done()) {
+    return false;
+  }
+  if (version == 0 || version > 0xFFFFFFFFull || id_bits > 64) return false;
+  if (!as_vertex(n, w.n)) return false;
+  w.version = static_cast<std::uint32_t>(version);
+  w.id_bits = static_cast<std::uint32_t>(id_bits);
+  return true;
+}
+
+void encode_query(std::vector<std::uint8_t>& payload, std::uint64_t req_id,
+                  std::span<const WireQuery> queries, bool labeled) {
+  put_varint(payload, req_id);
+  put_varint(payload, queries.size());
+  for (const WireQuery& q : queries) {
+    put_varint(payload, q.s);
+    if (labeled) {
+      put_varint(payload, q.label_bits);
+      payload.insert(payload.end(), q.label.begin(),
+                     q.label.begin() + static_cast<std::ptrdiff_t>(
+                                           label_bytes(q.label_bits)));
+    } else {
+      put_varint(payload, q.t);
+    }
+  }
+}
+
+bool decode_query(std::span<const std::uint8_t> payload, bool labeled,
+                  std::uint64_t& req_id, std::vector<WireQuery>& out) {
+  PayloadReader r(payload);
+  std::uint64_t count = 0;
+  if (!r.read_varint(req_id) || !r.read_varint(count)) return false;
+  // Every query costs >= 2 payload bytes — a count past that bound is a
+  // lie; reject before parsing (and never pre-size from it).
+  if (count > r.remaining() / 2) return false;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    WireQuery q;
+    std::uint64_t s = 0;
+    if (!r.read_varint(s) || !as_vertex(s, q.s)) return false;
+    if (labeled) {
+      std::uint64_t bits = 0;
+      if (!r.read_varint(bits) || bits == 0 || bits > 8 * kMaxPayload)
+        return false;
+      q.label_bits = static_cast<std::uint32_t>(bits);
+      if (!r.read_bytes(label_bytes(q.label_bits), q.label)) return false;
+    } else {
+      std::uint64_t t = 0;
+      if (!r.read_varint(t) || !as_vertex(t, q.t)) return false;
+    }
+    out.push_back(q);
+  }
+  return r.done();
+}
+
+void encode_answer(std::vector<std::uint8_t>& payload, std::uint64_t req_id,
+                   std::uint32_t version,
+                   std::span<const WireAnswer> answers) {
+  put_varint(payload, req_id);
+  put_varint(payload, answers.size());
+  for (const WireAnswer& a : answers) {
+    payload.push_back(a.status);
+    put_varint(payload, a.hops);
+    put_varint(payload, a.header_bits);
+    if (version >= 2) {
+      put_varint(payload, a.latency_ns);
+      put_varint(payload, a.queue_wait_ns);
+    }
+  }
+}
+
+bool decode_answer(std::span<const std::uint8_t> payload,
+                   std::uint32_t version, std::uint64_t& req_id,
+                   std::vector<WireAnswer>& out) {
+  PayloadReader r(payload);
+  std::uint64_t count = 0;
+  if (!r.read_varint(req_id) || !r.read_varint(count)) return false;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    WireAnswer a;
+    std::uint64_t hops = 0;
+    if (!r.read_u8(a.status) || !r.read_varint(hops) ||
+        !r.read_varint(a.header_bits)) {
+      return false;
+    }
+    if (hops > 0xFFFFFFFFull) return false;
+    a.hops = static_cast<std::uint32_t>(hops);
+    if (version >= 2) {
+      if (!r.read_varint(a.latency_ns) || !r.read_varint(a.queue_wait_ns))
+        return false;
+    }
+    out.push_back(a);
+  }
+  return r.done();
+}
+
+void encode_error(std::vector<std::uint8_t>& payload, std::uint32_t code,
+                  std::uint64_t req_id, std::string_view message) {
+  put_varint(payload, code);
+  put_varint(payload, req_id);
+  payload.insert(payload.end(), message.begin(), message.end());
+}
+
+bool decode_error(std::span<const std::uint8_t> payload, std::uint32_t& code,
+                  std::uint64_t& req_id, std::string& message) {
+  PayloadReader r(payload);
+  std::uint64_t c = 0;
+  if (!r.read_varint(c) || c > 0xFFFFFFFFull || !r.read_varint(req_id))
+    return false;
+  code = static_cast<std::uint32_t>(c);
+  std::span<const std::uint8_t> msg;
+  if (!r.read_bytes(r.remaining(), msg)) return false;
+  message.assign(msg.begin(), msg.end());
+  return true;
+}
+
+void encode_label_req(std::vector<std::uint8_t>& payload,
+                      std::span<const VertexId> vertices) {
+  put_varint(payload, vertices.size());
+  for (const VertexId v : vertices) put_varint(payload, v);
+}
+
+bool decode_label_req(std::span<const std::uint8_t> payload,
+                      std::vector<VertexId>& out) {
+  PayloadReader r(payload);
+  std::uint64_t count = 0;
+  if (!r.read_varint(count)) return false;
+  if (count > r.remaining()) return false;  // each vertex costs >= 1 byte
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t v = 0;
+    VertexId id = kNoVertex;
+    if (!r.read_varint(v) || !as_vertex(v, id)) return false;
+    out.push_back(id);
+  }
+  return r.done();
+}
+
+void encode_label_resp(std::vector<std::uint8_t>& payload,
+                       std::span<const WireLabel> labels) {
+  put_varint(payload, labels.size());
+  for (const WireLabel& l : labels) {
+    put_varint(payload, l.label_bits);
+    payload.insert(payload.end(), l.bytes.begin(),
+                   l.bytes.begin() + static_cast<std::ptrdiff_t>(
+                                         label_bytes(l.label_bits)));
+  }
+}
+
+bool decode_label_resp(std::span<const std::uint8_t> payload,
+                       std::vector<WireLabel>& out) {
+  PayloadReader r(payload);
+  std::uint64_t count = 0;
+  if (!r.read_varint(count)) return false;
+  if (count > r.remaining() && count != 0) return false;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    WireLabel l;
+    std::uint64_t bits = 0;
+    if (!r.read_varint(bits) || bits == 0 || bits > 8 * kMaxPayload)
+      return false;
+    l.label_bits = static_cast<std::uint32_t>(bits);
+    if (!r.read_bytes(label_bytes(l.label_bits), l.bytes)) return false;
+    out.push_back(l);
+  }
+  return r.done();
+}
+
+}  // namespace croute::net

@@ -1,0 +1,122 @@
+/// \file wire.hpp
+/// \brief Payload codecs for the frame types in protocol.hpp.
+///
+/// Encoders append payload bytes to a caller buffer (the caller frames
+/// them with encode_header); decoders parse a complete frame payload and
+/// return false on ANY structural problem — truncation, varint overflow,
+/// trailing garbage, counts that cannot fit the remaining bytes — so the
+/// caller answers kErrMalformed without tearing the connection down.
+/// Decoded spans (labels, messages) alias the input payload: copy out to
+/// keep past the frame.
+///
+/// Varints are unsigned LEB128 (7-bit groups, little-endian, high bit =
+/// continuation, ≤ 10 bytes). Counts are never trusted for pre-sizing:
+/// a claimed element consumes bytes before its slot exists, so a hostile
+/// 2^60 count fails on the first missing byte instead of allocating.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "net/protocol.hpp"
+
+namespace croute::net {
+
+/// Appends \p v as LEB128 to \p out.
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v);
+
+/// Bounds-checked sequential reader over one frame payload.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::span<const std::uint8_t> payload) noexcept
+      : p_(payload) {}
+
+  bool read_varint(std::uint64_t& v) noexcept;
+  bool read_u8(std::uint8_t& v) noexcept;
+  /// Views the next \p count bytes without copying.
+  bool read_bytes(std::size_t count,
+                  std::span<const std::uint8_t>& out) noexcept;
+
+  std::size_t remaining() const noexcept { return p_.size() - pos_; }
+  bool done() const noexcept { return pos_ == p_.size(); }
+
+ private:
+  std::span<const std::uint8_t> p_;
+  std::size_t pos_ = 0;
+};
+
+/// WELCOME payload: what a client needs to address queries.
+struct Welcome {
+  std::uint32_t version = 0;  ///< negotiated protocol version
+  VertexId n = 0;             ///< vertex-id domain of the serving graph
+  std::uint8_t scheme = 0;    ///< SchemeKind as a byte
+  std::uint32_t id_bits = 0;  ///< leading id width of wire labels (0 = no
+                              ///< label addressing on this scheme)
+};
+
+/// One query as it crosses the wire. `label` empty ⇒ vertex-addressed.
+struct WireQuery {
+  VertexId s = kNoVertex;
+  VertexId t = kNoVertex;
+  std::span<const std::uint8_t> label;
+  std::uint32_t label_bits = 0;
+};
+
+/// One answer as it crosses the wire. Times are nanoseconds so varints
+/// stay integral; version 1 peers don't get the timing pair at all.
+struct WireAnswer {
+  std::uint8_t status = 0;
+  std::uint32_t hops = 0;
+  std::uint64_t header_bits = 0;
+  std::uint64_t latency_ns = 0;
+  std::uint64_t queue_wait_ns = 0;
+};
+
+/// One encoded label (LABEL_RESP entry).
+struct WireLabel {
+  std::uint32_t label_bits = 0;
+  std::span<const std::uint8_t> bytes;
+};
+
+void encode_hello(std::vector<std::uint8_t>& payload, std::uint32_t version);
+bool decode_hello(std::span<const std::uint8_t> payload,
+                  std::uint32_t& version);
+
+void encode_welcome(std::vector<std::uint8_t>& payload, const Welcome& w);
+bool decode_welcome(std::span<const std::uint8_t> payload, Welcome& w);
+
+/// QUERY_V / QUERY_L. encode_query picks the fields by \p labeled;
+/// decode_query appends to \p out (spans alias \p payload).
+void encode_query(std::vector<std::uint8_t>& payload, std::uint64_t req_id,
+                  std::span<const WireQuery> queries, bool labeled);
+bool decode_query(std::span<const std::uint8_t> payload, bool labeled,
+                  std::uint64_t& req_id, std::vector<WireQuery>& out);
+
+void encode_answer(std::vector<std::uint8_t>& payload, std::uint64_t req_id,
+                   std::uint32_t version,
+                   std::span<const WireAnswer> answers);
+bool decode_answer(std::span<const std::uint8_t> payload,
+                   std::uint32_t version, std::uint64_t& req_id,
+                   std::vector<WireAnswer>& out);
+
+void encode_error(std::vector<std::uint8_t>& payload, std::uint32_t code,
+                  std::uint64_t req_id, std::string_view message);
+bool decode_error(std::span<const std::uint8_t> payload, std::uint32_t& code,
+                  std::uint64_t& req_id, std::string& message);
+
+void encode_label_req(std::vector<std::uint8_t>& payload,
+                      std::span<const VertexId> vertices);
+bool decode_label_req(std::span<const std::uint8_t> payload,
+                      std::vector<VertexId>& out);
+
+void encode_label_resp(std::vector<std::uint8_t>& payload,
+                       std::span<const WireLabel> labels);
+bool decode_label_resp(std::span<const std::uint8_t> payload,
+                       std::vector<WireLabel>& out);
+
+}  // namespace croute::net

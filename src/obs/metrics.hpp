@@ -213,6 +213,14 @@ class MetricRegistry {
   /// nullptr when absent.
   const LogHistogram* find_histogram(std::string_view name) const noexcept;
   const Counter* find_counter(std::string_view name) const noexcept;
+  /// Mutable lookup: lets a second subsystem (the net front-end) record
+  /// into an instrument the owner registered, instead of registering a
+  /// duplicate name. Same before-concurrent-use contract as
+  /// registration; recording itself is lock-free afterwards.
+  LogHistogram* find_histogram(std::string_view name) noexcept {
+    return const_cast<LogHistogram*>(
+        static_cast<const MetricRegistry*>(this)->find_histogram(name));
+  }
 
   // --- exporter iteration (obs/export.hpp) ---
   struct CounterEntry {

@@ -115,7 +115,7 @@ void SchemeManager::rebuild_async(Graph g, RebuildMode mode) {
     // deterministic one (disconnected graph) exhausts the budget and
     // surfaces on wait() exactly like the retry-free path. The service
     // serves the old generation throughout.
-    const std::uint32_t retries = service_->options().rebuild_retries;
+    const std::uint32_t retries = service_->options().persist.rebuild_retries;
     for (std::uint32_t attempt = 0;; ++attempt) {
       try {
         // The final attempt consumes the graph; earlier ones copy it so

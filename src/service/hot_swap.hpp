@@ -31,11 +31,11 @@
 /// joins any previous one first. wait() joins and rethrows a background
 /// build failure (the service keeps serving the old generation when a
 /// rebuild throws — a failed rebuild never damages the data plane).
-/// With RouteServiceOptions::rebuild_retries > 0 a failed background
+/// With RouteServiceOptions::persist.rebuild_retries > 0 a failed background
 /// rebuild retries under capped exponential backoff (10 ms · 2^attempt,
 /// ≤ 500 ms) before surfacing; retries are counted in the telemetry.
 ///
-/// Persistence: when the service has an artifact store (artifact_dir),
+/// Persistence: when the service has an artifact store (persist.dir),
 /// every published rebuild is persisted right after the flip — on the
 /// rebuild thread, so the disk write overlaps serving, and gracefully
 /// (a failed persist leaves the disk copy one generation stale and the

@@ -78,7 +78,7 @@ CROUTE_HOT void walk(const Graph& g, VertexId s, VertexId t,
 
 }  // namespace
 
-bool same_route(const RouteAnswer& a, const RouteAnswer& b) noexcept {
+bool same_route(const RouteAnswer& a, const RouteAnswer& b) {
   return a.status == b.status && a.length == b.length && a.hops == b.hops &&
          a.header_bits == b.header_bits && a.stretch == b.stretch &&
          a.path.size() == b.path.size() &&
@@ -104,11 +104,8 @@ struct alignas(64) RouteService::Shard {
 
 RouteService::RouteService(const Graph& g, const RouteServiceOptions& options)
     : options_(options) {
-  CROUTE_REQUIRE(
-      options_.batch_group == 0 ||
-          (options_.batch_group & (options_.batch_group - 1)) == 0,
-      "batch_group must be 0 (scalar serving) or a power of two "
-      "(e.g. 16, 32, 64)");
+  const std::string invalid = options_.validate();
+  CROUTE_REQUIRE(invalid.empty(), invalid);
   // Observability objects exist before the initial package: the artifact
   // store registers its croute_persist_* instruments and emits its
   // recover spans into the same registry/recorder the serving metrics
@@ -119,9 +116,9 @@ RouteService::RouteService(const Graph& g, const RouteServiceOptions& options)
     trace_ = std::make_unique<obs::TraceRecorder>();
   }
   SchemePackagePtr pkg;
-  if (!options_.artifact_dir.empty()) {
+  if (!options_.persist.dir.empty()) {
     store_ = std::make_unique<persist::ArtifactStore>(
-        persist::StoreOptions{options_.artifact_dir, options_.artifact_retain},
+        persist::StoreOptions{options_.persist.dir, options_.persist.retain},
         metrics_.get(), trace_.get());
     // Recover-or-rebuild ladder: newest valid artifact → retained backup
     // → any intact older generation → fresh preprocessing. Whatever
@@ -338,8 +335,11 @@ CROUTE_HOT RouteAnswer RouteService::serve(const SchemePackage& pkg,
       case SchemeKind::kTZDirect: {
         const FlatHeader h =
             memo != nullptr
-                ? pkg.flat_router->prepare_resolved(query.s, query.t,
-                                                    memo->label)
+                ? pkg.flat_router->prepare_resolved(
+                      query.s, query.t, memo->label,
+                      memo->light_pool != nullptr
+                          ? memo->light_pool
+                          : pkg.flat->label_light_pool())
                 : pkg.flat_router->prepare(query.s, query.t);
         a.header_bits = h.bits;
         walk(
@@ -388,18 +388,57 @@ CROUTE_HOT RouteAnswer RouteService::serve(const SchemePackage& pkg,
 }
 
 CROUTE_HOT RouteAnswer RouteService::route_one(const RouteQuery& query) const {
-  using clock = std::chrono::steady_clock;
   const SchemePackagePtr pkg = package();  // pin this generation
+  return route_one_served(*pkg, query, nullptr);
+}
+
+RouteAnswer RouteService::route_one(const RouteRequest& request) const {
+  if (request.label.empty()) {
+    CROUTE_REQUIRE(request.t != kNoVertex,
+                   "request needs a destination: a vertex id or a label");
+    return route_one(RouteQuery{request.s, request.t, request.exact});
+  }
+  const SchemePackagePtr pkg = package();
+  CROUTE_REQUIRE(
+      options_.scheme == SchemeKind::kTZDirect && options_.use_flat &&
+          pkg->flat != nullptr && pkg->tz != nullptr,
+      "label-addressed requests need the flat kTZDirect serving path");
+  // Locally decoded label (route_one is the single-query path — no batch
+  // arenas to share; the allocations are why the label form is not HOT).
+  std::vector<FlatScheme::LabelEntryView> entries;
+  std::vector<Port> ports;
+  const BitWriter bw = from_bytes(request.label, request.label_bits);
+  BitReader r(bw);
+  const VertexId t = decode_wire_label(pkg->tz->label_codec(), num_vertices_,
+                                       r, entries, ports);
+  CROUTE_REQUIRE(r.position() == request.label_bits,
+                 "trailing garbage after the label");
+  DestMemo memo;
+  memo.t = t;
+  memo.label = {entries.data(), entries.size()};
+  memo.light_pool = ports.data();
+  return route_one_served(*pkg, RouteQuery{request.s, t, request.exact},
+                          &memo);
+}
+
+CROUTE_HOT RouteAnswer RouteService::route_one_served(const SchemePackage& pkg,
+                                           const RouteQuery& query,
+                                           const DestMemo* memo) const {
+  using clock = std::chrono::steady_clock;
   const auto begin = clock::now();
   RouteAnswer a;
   if (!options_.record_paths) {
-    a = serve(*pkg, query, nullptr, nullptr);
+    a = serve(pkg, query, nullptr, memo);
   } else {
     // The arena makes route_one single-caller with record_paths on; the
-    // answer's path invalidates only the previous route_one path.
+    // answer's path invalidates only the previous route_one path — the
+    // stamp bump makes that previous view fail loudly from here on.
+    const std::uint64_t stamp =
+        one_path_gen_.fetch_add(1, std::memory_order_relaxed) + 1;
     one_arena_.clear();
-    a = serve(*pkg, query, &one_arena_, nullptr);
-    a.path = {one_arena_.data(), one_arena_.size()};
+    a = serve(pkg, query, &one_arena_, memo);
+    a.path = PathView{one_arena_.data(), one_arena_.size(), &one_path_gen_,
+                      stamp};
   }
   const double sec =
       std::chrono::duration<double>(clock::now() - begin).count();
@@ -421,13 +460,16 @@ CROUTE_HOT RouteAnswer RouteService::route_one(const RouteQuery& query) const {
 }
 
 void RouteService::group_by_destination(
-    const SchemePackage& pkg, const std::vector<RouteQuery>& queries) {
+    const SchemePackage& pkg, std::span<const RouteQuery> queries,
+    std::span<const RouteRequest> requests) {
   const auto nq = static_cast<std::uint32_t>(queries.size());
   order_.resize(nq);
   ++epoch_;
   dest_memos_.clear();
   // Pass 1: one memo slot per distinct destination (epoch-gated, so the
-  // n-sized maps never need clearing).
+  // n-sized maps never need clearing). The first request naming a
+  // destination decides how its memo resolves: pooled label (vertex
+  // form) or the request's own wire label (label form).
   for (std::uint32_t i = 0; i < nq; ++i) {
     const VertexId t = queries[i].t;
     CROUTE_REQUIRE(queries[i].s < num_vertices_ && t < num_vertices_,
@@ -435,7 +477,10 @@ void RouteService::group_by_destination(
     if (dest_epoch_[t] != epoch_) {
       dest_epoch_[t] = epoch_;
       dest_slot_[t] = static_cast<std::uint32_t>(dest_memos_.size());
-      dest_memos_.push_back(DestMemo{t, 0, 0, {}});
+      DestMemo m;
+      m.t = t;
+      if (i < requests.size() && !requests[i].label.empty()) m.lab_first = i;
+      dest_memos_.push_back(m);
     }
     ++dest_memos_[dest_slot_[t]].count;
   }
@@ -450,16 +495,41 @@ void RouteService::group_by_destination(
     DestMemo& m = dest_memos_[dest_slot_[queries[i].t]];
     order_[m.begin + m.count++] = i;
   }
-  // Resolve each destination's pooled label once per batch (flat TZ
-  // direct: the per-query prepare starts from the resolved view). The
-  // views point into \p pkg, which the caller pins for the whole batch.
+  // Resolve each destination's label once per batch (flat TZ direct: the
+  // per-query prepare starts from the resolved view). Pooled views point
+  // into \p pkg, which the caller pins for the whole batch; wire labels
+  // decode into the batch arenas — every decode first (the arenas may
+  // reallocate while appending), span fix-up after.
   if (pkg.flat && options_.scheme == SchemeKind::kTZDirect) {
-    for (DestMemo& m : dest_memos_) m.label = pkg.flat->label(m.t);
+    lab_entries_.clear();
+    lab_ports_.clear();
+    for (DestMemo& m : dest_memos_) {
+      if (m.lab_first == kNoRequest) continue;
+      const RouteRequest& rq = requests[m.lab_first];
+      const BitWriter bw = from_bytes(rq.label, rq.label_bits);
+      BitReader r(bw);
+      m.lab_begin = static_cast<std::uint32_t>(lab_entries_.size());
+      const VertexId t = decode_wire_label(
+          pkg.tz->label_codec(), num_vertices_, r, lab_entries_, lab_ports_);
+      CROUTE_REQUIRE(t == m.t, "label target does not match its request");
+      CROUTE_REQUIRE(r.position() == rq.label_bits,
+                     "trailing garbage after the label");
+      m.lab_count =
+          static_cast<std::uint32_t>(lab_entries_.size()) - m.lab_begin;
+    }
+    for (DestMemo& m : dest_memos_) {
+      if (m.lab_first == kNoRequest) {
+        m.label = pkg.flat->label(m.t);
+      } else {
+        m.label = {lab_entries_.data() + m.lab_begin, m.lab_count};
+        m.light_pool = lab_ports_.data();
+      }
+    }
   }
 }
 
-std::vector<RouteAnswer> RouteService::route_batch(
-    const std::vector<RouteQuery>& queries) {
+void RouteService::route(std::span<const RouteRequest> requests,
+                         RouteSink& sink) {
   using clock = std::chrono::steady_clock;
   // Read the swap sequence BEFORE pinning: a flip landing between the
   // two then counts as straddled (conservative) instead of hiding a
@@ -471,14 +541,53 @@ std::vector<RouteAnswer> RouteService::route_batch(
   const SchemePackagePtr pkg = package();
   const auto batch_begin = clock::now();
 
-  std::vector<RouteAnswer> answers(queries.size());
+  // Resolve phase: every request becomes a vertex-form query. A
+  // label-addressed request's destination is peeked from the label's
+  // leading id field here (a few byte loads); the full decode happens
+  // once per distinct destination in group_by_destination.
+  const auto nq = static_cast<std::uint32_t>(requests.size());
+  resolved_.resize(nq);
+  for (std::uint32_t i = 0; i < nq; ++i) {
+    const RouteRequest& rq = requests[i];
+    RouteQuery& q = resolved_[i];
+    q.s = rq.s;
+    q.exact = rq.exact;
+    if (rq.label.empty()) {
+      q.t = rq.t;
+    } else {
+      CROUTE_REQUIRE(
+          options_.scheme == SchemeKind::kTZDirect && options_.use_flat &&
+              pkg->flat != nullptr && pkg->tz != nullptr,
+          "label-addressed requests need the flat kTZDirect serving path");
+      const LabelCodec& codec = pkg->tz->label_codec();
+      const std::uint32_t id_bits = codec.id_bits();
+      CROUTE_REQUIRE(rq.label_bits >= id_bits &&
+                         std::uint64_t{8} * rq.label.size() >= rq.label_bits,
+                     "label too short for its id field");
+      std::uint64_t v = 0;
+      const std::uint32_t nbytes = (id_bits + 7) / 8;
+      for (std::uint32_t b = 0; b < nbytes; ++b) {
+        v |= std::uint64_t{rq.label[b]} << (8 * b);
+      }
+      q.t = static_cast<VertexId>(v & ((std::uint64_t{1} << id_bits) - 1));
+    }
+  }
+  const std::span<const RouteQuery> queries{resolved_};
+
+  answers_.assign(nq, RouteAnswer{});
+  std::vector<RouteAnswer>& answers = answers_;
   const bool grouped = options_.use_flat;
   if (grouped) {
-    group_by_destination(*pkg, queries);
+    group_by_destination(*pkg, queries, requests);
   }
   const bool memo_active =
       pkg->flat != nullptr && options_.scheme == SchemeKind::kTZDirect;
+  std::uint64_t path_stamp = 0;
   if (options_.record_paths) {
+    // Bump the arena generation FIRST: from here on, every path view a
+    // previous batch returned fails its stamp check loudly instead of
+    // silently reading this batch's reused arena memory.
+    path_stamp = batch_path_gen_.fetch_add(1, std::memory_order_relaxed) + 1;
     path_refs_.assign(queries.size(), PathRef{});
     for (auto& arena : arenas_) arena.clear();  // keeps capacity
   }
@@ -528,9 +637,14 @@ std::vector<RouteAnswer> RouteService::route_batch(
             const RouteQuery& q = queries[i];
             ws.queries[j].s = q.s;
             ws.queries[j].t = q.t;
-            ws.queries[j].label =
-                memo_active ? dest_memos_[dest_slot_[q.t]].label
-                            : std::span<const FlatScheme::LabelEntryView>{};
+            if (memo_active) {
+              const DestMemo& m = dest_memos_[dest_slot_[q.t]];
+              ws.queries[j].label = m.label;
+              ws.queries[j].light_pool = m.light_pool;
+            } else {
+              ws.queries[j].label = {};
+              ws.queries[j].light_pool = nullptr;
+            }
           }
           std::vector<VertexId>* arena =
               options_.record_paths ? &arenas_[worker] : nullptr;
@@ -648,7 +762,8 @@ std::vector<RouteAnswer> RouteService::route_batch(
     // Arenas are append-only during the batch; pointers are stable now.
     for (std::size_t i = 0; i < answers.size(); ++i) {
       const PathRef& r = path_refs_[i];
-      answers[i].path = {arenas_[r.worker].data() + r.off, r.len};
+      answers[i].path = PathView{arenas_[r.worker].data() + r.off, r.len,
+                                 &batch_path_gen_, path_stamp};
     }
   }
   batches_.fetch_add(1, std::memory_order_relaxed);
@@ -679,7 +794,49 @@ std::vector<RouteAnswer> RouteService::route_batch(
     }
     if (agg.slots > 0) gauge_lane_occupancy_->set(agg.occupancy());
   }
-  return answers;
+  sink.on_answers(0, answers);
+}
+
+namespace {
+
+/// route_collect's sink: copies the batch's answers out.
+class CollectSink final : public RouteSink {
+ public:
+  explicit CollectSink(std::vector<RouteAnswer>& out) : out_(&out) {}
+  void on_answers(std::uint32_t first,
+                  std::span<const RouteAnswer> answers) override {
+    if (out_->size() < first + answers.size()) {
+      out_->resize(first + answers.size());
+    }
+    std::copy(answers.begin(), answers.end(), out_->begin() + first);
+  }
+
+ private:
+  std::vector<RouteAnswer>* out_;
+};
+
+}  // namespace
+
+std::vector<RouteAnswer> RouteService::route_collect(
+    std::span<const RouteRequest> requests) {
+  std::vector<RouteAnswer> out;
+  CollectSink sink(out);
+  route(requests, sink);
+  return out;
+}
+
+std::vector<RouteAnswer> RouteService::route_collect(
+    std::span<const RouteQuery> queries) {
+  std::vector<RouteRequest> requests(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    requests[i] = to_request(queries[i]);
+  }
+  return route_collect(std::span<const RouteRequest>{requests});
+}
+
+std::vector<RouteAnswer> RouteService::route_batch(
+    const std::vector<RouteQuery>& queries) {
+  return route_collect(std::span<const RouteQuery>{queries});
 }
 
 ServiceTelemetry RouteService::snapshot() const {

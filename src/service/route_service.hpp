@@ -70,6 +70,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -83,6 +84,7 @@
 #include "obs/trace.hpp"
 #include "service/scheme_package.hpp"
 #include "util/annotations.hpp"
+#include "util/assert.hpp"
 #include "util/parallel.hpp"
 
 namespace croute {
@@ -106,6 +108,85 @@ struct RouteQuery {
   VertexId s = kNoVertex;
   VertexId t = kNoVertex;
   Weight exact = kUnknownDistance;
+};
+
+/// Transport-neutral route request — the request type of the serving API.
+/// The destination is either a vertex id (`t`; the in-process form) or a
+/// pre-encoded routing label (`label` + `label_bits`; the wire form:
+/// Thorup–Zwick's labeled routing makes the label itself the address, so
+/// a socket front-end forwards the label bytes it received and the
+/// service decodes each distinct destination once per batch into its
+/// destination memo). `label` empty ⇒ `t` addresses the destination;
+/// `label` non-empty ⇒ `t` is ignored (leave it kNoVertex) and the
+/// label's leading id field names the destination.
+///
+/// Label-addressed requests require the flat kTZDirect serving path and
+/// are validated strictly: a truncated, trailing-garbage or out-of-range
+/// label makes route() throw std::invalid_argument for the whole batch.
+/// Front-ends serving untrusted bytes (src/net/) pre-validate each frame
+/// and reject it alone instead.
+struct RouteRequest {
+  VertexId s = kNoVertex;
+  VertexId t = kNoVertex;  ///< destination vertex (vertex-addressed form)
+  /// LabelCodec bit stream packed LSB-first into bytes (to_bytes /
+  /// from_bytes, util/bit_io.hpp). Not owned: must stay alive for the
+  /// route() call serving it.
+  std::span<const std::uint8_t> label;
+  std::uint32_t label_bits = 0;     ///< exact bit length of `label`
+  Weight exact = kUnknownDistance;  ///< true distance when known (stretch)
+};
+
+/// The vertex-addressed request for a legacy RouteQuery.
+inline RouteRequest to_request(const RouteQuery& q) noexcept {
+  RouteRequest r;
+  r.s = q.s;
+  r.t = q.t;
+  r.exact = q.exact;
+  return r;
+}
+
+/// A guarded, non-owning view of an answer's recorded path. Behaves like
+/// (and converts to) std::span<const VertexId>, but every access checks a
+/// generation stamp against the owning arena's current generation: using
+/// a view that a later route()/route_batch/route_one call invalidated
+/// fails loudly (std::logic_error via CROUTE_ASSERT) instead of silently
+/// reading reused arena memory. The check is always on — CI runs Release
+/// (NDEBUG) builds, where CROUTE_DCHECK would vanish — and costs one
+/// relaxed load per access on an opt-in diagnostics path (record_paths).
+class PathView {
+ public:
+  PathView() = default;
+  PathView(const VertexId* data, std::size_t size,
+           const std::atomic<std::uint64_t>* gen,
+           std::uint64_t stamp) noexcept
+      : data_(data), size_(size), gen_(gen), stamp_(stamp) {}
+
+  const VertexId* data() const { check(); return data_; }
+  std::size_t size() const { check(); return size_; }
+  bool empty() const { check(); return size_ == 0; }
+  const VertexId* begin() const { check(); return data_; }
+  const VertexId* end() const { check(); return data_ + size_; }
+  const VertexId& operator[](std::size_t i) const { check(); return data_[i]; }
+  const VertexId& front() const { check(); return data_[0]; }
+  const VertexId& back() const { check(); return data_[size_ - 1]; }
+  operator std::span<const VertexId>() const {
+    check();
+    return {data_, size_};
+  }
+
+ private:
+  void check() const {
+    CROUTE_ASSERT(gen_ == nullptr ||
+                      gen_->load(std::memory_order_relaxed) == stamp_,
+                  "stale RouteAnswer::path: a later route call reused the "
+                  "arena this view points into — copy paths out before the "
+                  "next call");
+  }
+
+  const VertexId* data_ = nullptr;
+  std::size_t size_ = 0;
+  const std::atomic<std::uint64_t>* gen_ = nullptr;
+  std::uint64_t stamp_ = 0;
 };
 
 /// One served answer. Everything except \p latency_us is a pure function
@@ -148,7 +229,7 @@ struct RouteAnswer {
   /// a chunk shares the value); scalar serving per query. Zero for
   /// route_one (no pool dispatch).
   double queue_wait_us = 0;
-  std::span<const VertexId> path;  ///< visited vertices (record_paths)
+  PathView path;  ///< visited vertices (record_paths); stamp-guarded view
 
   CROUTE_HOT bool delivered() const noexcept {
     return status == RouteStatus::kDelivered;
@@ -156,8 +237,23 @@ struct RouteAnswer {
 };
 
 /// Deterministic comparison ignoring telemetry (latency). Paths compare
-/// by content, not by storage.
-bool same_route(const RouteAnswer& a, const RouteAnswer& b) noexcept;
+/// by content, not by storage. Not noexcept: comparing a stale path view
+/// propagates its std::logic_error instead of terminating.
+bool same_route(const RouteAnswer& a, const RouteAnswer& b);
+
+/// Receiver of served answers. route() fills its per-batch answer scratch
+/// and hands the whole span over in one callback on the calling (driver)
+/// thread; the answers — and any path views inside them — are valid
+/// during the callback and until the next route()/route_one call, so a
+/// sink that needs them longer copies them out. \p first is the index of
+/// answers[0]'s request (always 0 today; the parameter leaves room for
+/// chunked delivery without an API break).
+class RouteSink {
+ public:
+  virtual ~RouteSink() = default;
+  virtual void on_answers(std::uint32_t first,
+                          std::span<const RouteAnswer> answers) = 0;
+};
 
 /// Aggregate counters since construction, merged over worker shards, the
 /// route_one slot, and the swap/rebuild counters.
@@ -196,7 +292,7 @@ struct ServiceTelemetry {
   /// rebuild_seconds the incremental path spent; complements
   /// flat_compile_seconds in the rebuild attribution).
   double incremental_preprocess_seconds = 0;
-  // --- persistence seam (zeros unless options.artifact_dir is set) ---
+  // --- persistence seam (zeros unless options.persist.dir is set) ---
   /// Generations persisted atomically to the artifact store.
   std::uint64_t artifacts_persisted = 0;
   /// Persist attempts that failed (the service kept serving; the disk
@@ -265,19 +361,42 @@ class RouteService {
     return swap_seq_.load(std::memory_order_acquire);
   }
 
-  /// Serves a batch: answers[i] is the route for queries[i]. Sharded over
-  /// the worker pool in destination-grouped order; deterministic for
-  /// every thread count. The whole batch is served from one pinned
-  /// generation. Answers' paths point into per-worker arenas and stay
-  /// valid until the next route_batch call (route_one does not touch
-  /// them — see RouteAnswer::path).
+  /// THE serving entry point. Serves \p requests — vertex-addressed,
+  /// label-addressed (wire form), or a mix — and delivers every answer
+  /// through \p sink in one callback: answers[i] is the route for
+  /// requests[i]. Sharded over the worker pool in destination-grouped
+  /// order; deterministic for every thread count; the whole batch is
+  /// served from one pinned generation. The socket front-end (src/net/),
+  /// route_collect and the deprecated route_batch shim all funnel here —
+  /// one pipeline, one set of invariants. Driver-thread only (one caller
+  /// at a time; route_one stays concurrent).
+  void route(std::span<const RouteRequest> requests, RouteSink& sink);
+
+  /// Adapter over route(): collects the answers into a vector (the
+  /// in-process convenience form; one copy of the answer structs).
+  std::vector<RouteAnswer> route_collect(
+      std::span<const RouteRequest> requests);
+  /// Adapter over route() for vertex-addressed legacy queries.
+  std::vector<RouteAnswer> route_collect(std::span<const RouteQuery> queries);
+
+  /// Deprecated shim over route() — kept source-compatible for old
+  /// callers; answers are byte-identical to route_collect(queries)
+  /// (tests/test_net.cpp proves it).
+  [[deprecated(
+      "route_batch is a shim; use route(requests, sink) or "
+      "route_collect")]]
   std::vector<RouteAnswer> route_batch(const std::vector<RouteQuery>& queries);
 
-  /// Serves one query on the calling thread (no pool dispatch) against
-  /// the current generation. The answer's path points into a dedicated
-  /// arena: it invalidates only the previous route_one answer's path,
-  /// never a batch's (see RouteAnswer::path). With record_paths off this
-  /// is safe to call concurrently (telemetry lands in an atomic slot).
+  /// Serves one request on the calling thread (no pool dispatch) against
+  /// the current generation. Label-addressed requests decode the label
+  /// locally (kTZDirect flat path only). The answer's path points into a
+  /// dedicated arena: it invalidates only the previous route_one answer's
+  /// path, never a batch's (see RouteAnswer::path). With record_paths off
+  /// this is safe to call concurrently (telemetry lands in an atomic
+  /// slot).
+  RouteAnswer route_one(const RouteRequest& request) const;
+
+  /// route_one for the legacy vertex-addressed query form.
   CROUTE_HOT RouteAnswer route_one(const RouteQuery& query) const;
 
   /// Merged telemetry over all worker shards, the route_one slot, and
@@ -302,6 +421,14 @@ class RouteService {
     return metrics_.get();
   }
 
+  /// Mutable registry for co-located front-ends (src/net/ registers its
+  /// croute_net_* instruments here so one scrape covers serving and
+  /// transport). Register before concurrent use, per MetricRegistry's
+  /// contract; nullptr when options.metrics is off.
+  obs::MetricRegistry* mutable_metrics_registry() noexcept {
+    return metrics_.get();
+  }
+
   /// The rebuild/swap trace recorder, or nullptr when options.metrics is
   /// off. SchemeManager records rebuild phase spans here; the closed-loop
   /// driver records swap blackouts. Export via obs::to_chrome_trace.
@@ -320,7 +447,7 @@ class RouteService {
     return package()->flat.get();
   }
 
-  // --- persistence seam (options.artifact_dir) ------------------------------
+  // --- persistence seam (options.persist.dir) ------------------------------
 
   /// Whether construction recovered its initial generation from the
   /// artifact store instead of preprocessing. recovery_note() says what
@@ -333,7 +460,7 @@ class RouteService {
   }
   const std::string& recovery_note() const noexcept { return recovery_note_; }
 
-  /// The artifact store, or nullptr when options.artifact_dir is empty.
+  /// The artifact store, or nullptr when options.persist.dir is empty.
   /// Exposed for drivers that need publish/recover details (the CLI's
   /// --verify-recovery, tests); lives as long as the service.
   persist::ArtifactStore* artifact_store() const noexcept {
@@ -366,15 +493,30 @@ class RouteService {
     explicit BatchScratch(std::uint32_t group) : engine(group) {}
   };
 
+  static constexpr std::uint32_t kNoRequest = ~std::uint32_t{0};
+
   /// Per-batch memo for one distinct destination: its slice of the
-  /// processing order and, on the flat TZ path, the resolved pooled label
-  /// (looked up once per batch in the batch's pinned package, reused by
-  /// every query aimed at t).
+  /// processing order and, on the flat TZ path, the resolved label —
+  /// either the generation's pooled label (vertex-addressed) or the
+  /// client's wire label decoded once into the batch arenas
+  /// (label-addressed). A batch mixing both forms for the same t serves
+  /// every query to t from whichever form arrived FIRST; for a genuine
+  /// label the two resolve identical views, so answers don't differ.
   struct DestMemo {
     VertexId t = kNoVertex;
     std::uint32_t begin = 0;  ///< first slot in order_
     std::uint32_t count = 0;
     std::span<const FlatScheme::LabelEntryView> label;
+    /// Light-port pool the label's light_off fields index: nullptr = the
+    /// pinned generation's own pool, else the batch's decoded-label
+    /// arena (lab_ports_).
+    const Port* light_pool = nullptr;
+    /// Request whose wire label resolves this memo (first label-addressed
+    /// occurrence), or kNoRequest for pooled resolution.
+    std::uint32_t lab_first = kNoRequest;
+    /// Slice of lab_entries_ this memo decoded into (label-addressed).
+    std::uint32_t lab_begin = 0;
+    std::uint32_t lab_count = 0;
   };
 
   /// Where a batch answer's path landed: worker arena + slice.
@@ -393,16 +535,26 @@ class RouteService {
   RouteAnswer serve_legacy(const SchemePackage& pkg, const RouteQuery& query,
                            std::vector<VertexId>* path_out) const;
 
-  /// Fills order_ / dest_memos_ / dest_slot_ for this batch, resolving
-  /// labels in \p pkg.
+  /// route_one's shared tail: serve + timing + the one-slot telemetry
+  /// (memo carries a locally decoded label for the label-addressed form).
+  CROUTE_HOT RouteAnswer route_one_served(const SchemePackage& pkg,
+                               const RouteQuery& query,
+                               const DestMemo* memo) const;
+
+  /// Fills order_ / dest_memos_ / dest_slot_ for this batch over the
+  /// resolved \p queries, resolving each distinct destination's label
+  /// once: pooled from \p pkg for vertex-addressed destinations, decoded
+  /// from the owning request in \p requests into the batch arenas for
+  /// label-addressed ones.
   void group_by_destination(const SchemePackage& pkg,
-                            const std::vector<RouteQuery>& queries);
+                            std::span<const RouteQuery> queries,
+                            std::span<const RouteRequest> requests);
 
   RouteServiceOptions options_;
   VertexId num_vertices_ = 0;  ///< fixed across swaps (publish enforces)
   std::unique_ptr<ThreadPool> pool_;
 
-  // --- persistence (present iff options.artifact_dir) ---
+  // --- persistence (present iff options.persist.dir) ---
   std::unique_ptr<persist::ArtifactStore> store_;
   bool recovered_ = false;
   std::uint64_t recovered_generation_ = 0;
@@ -478,7 +630,7 @@ class RouteService {
   std::vector<BatchScratch> batch_scratch_;
 
   // Reusable per-batch scratch (amortized allocation-free). Touched only
-  // by the driver thread inside route_batch — never by publish() or a
+  // by the driver thread inside route() — never by publish() or a
   // background rebuild, so a swap cannot race an in-flight batch here.
   std::vector<std::uint32_t> order_;      ///< destination-grouped indices
   std::vector<PathRef> path_refs_;
@@ -486,6 +638,18 @@ class RouteService {
   std::vector<std::uint32_t> dest_slot_;   ///< t → memo slot (epoch-gated)
   std::vector<std::uint64_t> dest_epoch_;  ///< t → last batch touching it
   std::uint64_t epoch_ = 0;
+  std::vector<RouteQuery> resolved_;   ///< requests with t resolved
+  std::vector<RouteAnswer> answers_;   ///< per-batch answer scratch
+  // Wire-label decode arenas: all label-addressed destinations of the
+  // batch decode here once; memo spans are fixed up after every decode
+  // lands (the vectors may reallocate while appending).
+  std::vector<FlatScheme::LabelEntryView> lab_entries_;
+  std::vector<Port> lab_ports_;
+
+  // Path-arena generation stamps (see PathView): bumped when the arenas
+  // are reused, so stale views fail loudly instead of reading new data.
+  std::atomic<std::uint64_t> batch_path_gen_{0};
+  mutable std::atomic<std::uint64_t> one_path_gen_{0};
 };
 
 }  // namespace croute

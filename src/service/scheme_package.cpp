@@ -41,6 +41,38 @@ SamplingMode parse_sampling(const std::string& name) {
                               " (want centered|bernoulli)");
 }
 
+std::string RouteServiceOptions::validate() const {
+  if (batch_group != 0 && (batch_group & (batch_group - 1)) != 0) {
+    return "batch_group must be 0 (scalar serving) or a power of two "
+           "(e.g. 16, 32, 64); got " +
+           std::to_string(batch_group);
+  }
+  const bool is_tz =
+      scheme == SchemeKind::kTZDirect || scheme == SchemeKind::kTZHandshake;
+  if (is_tz && k < 1) {
+    return "k must be >= 1 for TZ schemes; got " + std::to_string(k);
+  }
+  if (is_tz && k > 64) {
+    return "k = " + std::to_string(k) +
+           " is past any useful hierarchy depth (want 1..64)";
+  }
+  if (!warm_start_path.empty() && !is_tz) {
+    return std::string("warm start: '") + warm_start_path +
+           "' is a scheme_io TZ preprocessing file, which scheme '" +
+           scheme_name(scheme) +
+           "' cannot load — drop --warm, or use --artifact-dir (the persist "
+           "tier covers every scheme kind)";
+  }
+  if (persist.dir.empty() && persist.retain != 2) {
+    return "persist.retain is set but persist.dir is empty — persistence "
+           "is off; set persist.dir or drop the retain override";
+  }
+  if (!persist.dir.empty() && persist.retain < 1) {
+    return "persist.retain must be >= 1 (the live artifact itself); got 0";
+  }
+  return "";
+}
+
 std::uint64_t SchemePackage::table_bits(VertexId v) const {
   switch (options.scheme) {
     case SchemeKind::kTZDirect:

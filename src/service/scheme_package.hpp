@@ -114,23 +114,39 @@ struct RouteServiceOptions {
   /// Applies to the initial package only — a rebuilt graph has a new
   /// fingerprint, so rebuilds always preprocess.
   std::string warm_start_path;
-  /// Optional crash-safe artifact directory (src/persist). When set, the
-  /// service recovers the newest valid artifact at construction instead
-  /// of preprocessing (degrading gracefully — a corrupt or incompatible
-  /// store falls back to a fresh build with a recorded reason), and
-  /// persists every generation (initial + rebuilds) atomically after
-  /// publishing it. Unlike warm_start_path this covers EVERY scheme
-  /// kind, carries the generation's own graph, and survives crashes at
-  /// any byte (tmp → fsync → rename + MANIFEST).
-  std::string artifact_dir;
-  /// Artifact generations retained on disk; older ones are unlinked
-  /// after each publish (the MANIFEST's live + backup are always kept).
-  std::uint32_t artifact_retain = 2;
-  /// Retries a failed background rebuild takes before surfacing the
-  /// error, with capped exponential backoff (10 ms · 2^attempt, capped
-  /// at 500 ms) between attempts. 0 (default) = fail fast on wait().
-  /// Either way the service keeps serving the old generation.
-  std::uint32_t rebuild_retries = 0;
+  /// Crash-safe persistence + rebuild-resilience knobs, nested as one
+  /// sub-struct (they configure the same src/persist seam and travel
+  /// together through CLIs and tests).
+  struct PersistOptions {
+    /// Optional crash-safe artifact directory (src/persist). When set,
+    /// the service recovers the newest valid artifact at construction
+    /// instead of preprocessing (degrading gracefully — a corrupt or
+    /// incompatible store falls back to a fresh build with a recorded
+    /// reason), and persists every generation (initial + rebuilds)
+    /// atomically after publishing it. Unlike warm_start_path this
+    /// covers EVERY scheme kind, carries the generation's own graph, and
+    /// survives crashes at any byte (tmp → fsync → rename + MANIFEST).
+    /// Empty = persistence off.
+    std::string dir;
+    /// Artifact generations retained on disk; older ones are unlinked
+    /// after each publish (the MANIFEST's live + backup are always
+    /// kept).
+    std::uint32_t retain = 2;
+    /// Retries a failed background rebuild takes before surfacing the
+    /// error, with capped exponential backoff (10 ms · 2^attempt, capped
+    /// at 500 ms) between attempts. 0 (default) = fail fast on wait().
+    /// Either way the service keeps serving the old generation.
+    std::uint32_t rebuild_retries = 0;
+  };
+  PersistOptions persist;
+
+  /// Validates the whole option surface in one place. Returns "" when
+  /// every field is consistent, else one actionable message naming the
+  /// offending flag and the accepted values. RouteService's constructor
+  /// calls it (throwing std::invalid_argument on a non-empty result);
+  /// CLIs call it right after parsing so a typo fails before minutes of
+  /// preprocessing.
+  std::string validate() const;
 };
 
 /// One immutable scheme generation: the graph it was built over plus

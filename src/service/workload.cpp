@@ -29,6 +29,41 @@ WorkloadKind parse_workload(const std::string& name) {
                               " (want uniform|gravity|hotspot|far)");
 }
 
+std::string TrafficOptions::validate() const {
+  if (hotspot_fraction < 0.0 || hotspot_fraction > 1.0) {
+    return "hotspot_fraction must be in [0, 1]; got " +
+           std::to_string(hotspot_fraction);
+  }
+  if (hotspots == 0 && hotspot_fraction > 0.0) {
+    return "hotspots = 0 with hotspot_fraction > 0 leaves hot traffic "
+           "with no destinations; set hotspots >= 1 or the fraction to 0";
+  }
+  if (far_tail <= 0.0 || far_tail > 1.0) {
+    return "far_tail must be in (0, 1]; got " + std::to_string(far_tail);
+  }
+  if (far_roots == 0) {
+    return "far_roots must be >= 1 (the far tail is harvested from "
+           "Dijkstra runs)";
+  }
+  return "";
+}
+
+std::string DriverOptions::validate() const {
+  if (batch_size == 0) {
+    return "batch_size must be >= 1 (a closed loop with empty batches "
+           "never drains)";
+  }
+  return "";
+}
+
+std::string ChurnOptions::validate() const {
+  if (cycles == 0) {
+    return "cycles must be >= 1 (a churn run with no rebuild cycles is "
+           "run_closed_loop)";
+  }
+  return "";
+}
+
 namespace {
 
 /// Draws sources either uniformly or from a bounded pool of distinct
@@ -237,7 +272,7 @@ DriverReport closed_loop(RouteService& service,
     const std::vector<RouteQuery> slice(traffic.begin() + begin,
                                         traffic.begin() + end);
     const auto batch_start = clock::now();
-    const std::vector<RouteAnswer> answers = service.route_batch(slice);
+    const std::vector<RouteAnswer> answers = service.route_collect(slice);
     after_batch(
         std::chrono::duration<double>(clock::now() - batch_start).count());
     for (std::size_t i = 0; i < answers.size(); ++i) {
@@ -368,7 +403,7 @@ ChurnReport run_closed_loop_churn(RouteService& service, SchemeManager& manager,
   std::uint64_t tail_batches = (traffic.size() + batch - 1) / batch;
   auto timed_tail_batch = [&]() {
     const auto t0 = churn_clock::now();
-    service.route_batch(tail);
+    service.route_collect(tail);
     note_batch(
         std::chrono::duration<double>(churn_clock::now() - t0).count());
     if (options.on_batch) options.on_batch(++tail_batches);

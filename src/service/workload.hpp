@@ -73,6 +73,10 @@ struct TrafficOptions {
   /// far tail, and the tail fraction considered "far".
   std::uint32_t far_roots = 32;
   double far_tail = 0.05;
+
+  /// "" when consistent, else one actionable message (see
+  /// RouteServiceOptions::validate for the convention).
+  std::string validate() const;
 };
 
 /// Generates \p count queries over \p g under \p kind. Deterministic in
@@ -101,6 +105,9 @@ struct DriverOptions {
   /// uses to dump metrics periodically under churn. Keep it cheap; its
   /// wall time counts against the run (closed loop). Null = no-op.
   std::function<void(std::uint64_t batches_done)> on_batch;
+
+  /// "" when consistent, else one actionable message.
+  std::string validate() const;
 };
 
 /// What one closed-loop run observed.
@@ -154,6 +161,9 @@ struct ChurnOptions {
   /// the attribution baseline; the default is the delta-aware
   /// incremental path (byte-identical results either way).
   bool full_rebuild = false;
+
+  /// "" when consistent, else one actionable message.
+  std::string validate() const;
 };
 
 /// What one churn run observed, beyond the plain closed-loop report.

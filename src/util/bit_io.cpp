@@ -1,5 +1,7 @@
 #include "util/bit_io.hpp"
 
+#include <algorithm>
+
 namespace croute {
 
 void BitWriter::write_bits(std::uint64_t value, std::uint32_t width) {
@@ -88,6 +90,43 @@ std::uint64_t BitReader::read_delta() {
   const std::uint64_t mantissa =
       (len > 0) ? read_bits(static_cast<std::uint32_t>(len)) : 0;
   return (std::uint64_t{1} << len) | mantissa;
+}
+
+std::vector<std::uint8_t> to_bytes(const BitWriter& w) {
+  const std::uint64_t nbytes = (w.bit_size() + 7) / 8;
+  std::vector<std::uint8_t> out(nbytes);
+  const std::vector<std::uint64_t>& words = w.words();
+  for (std::uint64_t i = 0; i < nbytes; ++i) {
+    out[i] = static_cast<std::uint8_t>(words[i >> 3] >> ((i & 7) * 8));
+  }
+  // Zero the pad bits of the last byte so equal streams pack to equal
+  // bytes regardless of what the writer's last word held beyond bit_size.
+  const std::uint32_t tail = static_cast<std::uint32_t>(w.bit_size() & 7);
+  if (tail != 0) out[nbytes - 1] &= static_cast<std::uint8_t>((1u << tail) - 1);
+  return out;
+}
+
+BitWriter from_bytes(std::span<const std::uint8_t> bytes, std::uint64_t bits) {
+  CROUTE_REQUIRE(bits <= std::uint64_t{8} * bytes.size(),
+                 "bit length exceeds the byte buffer");
+  BitWriter w;
+  std::uint64_t done = 0;
+  while (done < bits) {
+    // done stays 64-aligned except on the final chunk, so done / 8 is a
+    // byte offset.
+    const std::uint32_t width =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(64, bits - done));
+    const std::uint64_t base = done >> 3;
+    std::uint64_t word = 0;
+    const std::uint32_t nbytes = (width + 7) / 8;
+    for (std::uint32_t b = 0; b < nbytes && base + b < bytes.size(); ++b) {
+      word |= std::uint64_t{bytes[base + b]} << (8 * b);
+    }
+    if (width < 64) word &= (std::uint64_t{1} << width) - 1;
+    w.write_bits(word, width);
+    done += width;
+  }
+  return w;
 }
 
 std::uint64_t BitReader::read_varint() {

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/annotations.hpp"
@@ -102,5 +103,17 @@ class BitReader {
   std::uint64_t limit_;
   std::uint64_t pos_ = 0;
 };
+
+/// Packs a BitWriter's stream into bytes, LSB-first (bit i of the stream
+/// is bit i%8 of byte i/8) — the wire representation of a bit-encoded
+/// label. Returns ceil(bit_size/8) bytes; trailing pad bits are zero.
+std::vector<std::uint8_t> to_bytes(const BitWriter& w);
+
+/// Rebuilds a BitWriter from \p bits bits packed LSB-first in \p bytes
+/// (the inverse of to_bytes), so a BitReader can parse a stream received
+/// off the wire. Requires bytes to hold at least \p bits bits; pad bits
+/// beyond \p bits are ignored. Round-trip exact:
+/// from_bytes(to_bytes(w), w.bit_size()) reproduces w's stream.
+BitWriter from_bytes(std::span<const std::uint8_t> bytes, std::uint64_t bits);
 
 }  // namespace croute

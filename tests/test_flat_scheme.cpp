@@ -224,7 +224,7 @@ TEST(FlatService, MatchesLegacyServiceAtEveryThreadCount) {
     legacy_opt.record_paths = true;
     legacy_opt.use_flat = false;
     RouteService legacy(g, legacy_opt);
-    const std::vector<RouteAnswer> reference = legacy.route_batch(queries);
+    const std::vector<RouteAnswer> reference = legacy.route_collect(queries);
 
     for (const FlatLookup layout : kLayouts) {
       for (const unsigned threads : {1u, 2u, 4u, 8u}) {
@@ -234,7 +234,7 @@ TEST(FlatService, MatchesLegacyServiceAtEveryThreadCount) {
         opt.threads = threads;
         RouteService flat_service(g, opt);
         const std::vector<RouteAnswer> answers =
-            flat_service.route_batch(queries);
+            flat_service.route_collect(queries);
         ASSERT_EQ(answers.size(), reference.size());
         for (std::size_t i = 0; i < answers.size(); ++i) {
           ASSERT_TRUE(same_route(reference[i], answers[i]))
@@ -267,7 +267,7 @@ TEST(FlatService, DestinationMemoMatchesRouteOne) {
   opt.seed = 93;
   opt.record_paths = true;
   RouteService service(g, opt);
-  const std::vector<RouteAnswer> answers = service.route_batch(traffic);
+  const std::vector<RouteAnswer> answers = service.route_collect(traffic);
   for (std::size_t i = 0; i < answers.size(); ++i) {
     const RouteAnswer ref = service.route_one(traffic[i]);
     ASSERT_TRUE(same_route(answers[i], ref)) << "query " << i;
@@ -308,14 +308,14 @@ TEST(FlatBatch, BatchedMatchesScalarAcrossKindsLayoutsAndGroups) {
         scalar_opt.batch_group = 0;  // scalar reference
         RouteService scalar(g, scalar_opt);
         const std::vector<RouteAnswer> reference =
-            scalar.route_batch(queries);
+            scalar.route_collect(queries);
 
         for (const std::uint32_t group : {1u, 4u, 8u, 16u}) {
           RouteServiceOptions opt = scalar_opt;
           opt.batch_group = group;
           RouteService batched(g, opt);
           const std::vector<RouteAnswer> answers =
-              batched.route_batch(queries);
+              batched.route_collect(queries);
           ASSERT_EQ(answers.size(), reference.size());
           for (std::size_t i = 0; i < answers.size(); ++i) {
             ASSERT_TRUE(same_route(reference[i], answers[i]))
@@ -345,9 +345,9 @@ TEST(FlatBatch, RejectsOutOfRangeEndpoints) {
   opt.seed = 42;
   RouteService service(g, opt);
   const VertexId n = g.num_vertices();
-  EXPECT_THROW(service.route_batch({RouteQuery{n, 0, kUnknownDistance}}),
+  EXPECT_THROW(service.route_collect(std::vector<RouteQuery>{RouteQuery{n, 0, kUnknownDistance}}),
                std::invalid_argument);
-  EXPECT_THROW(service.route_batch({RouteQuery{0, n, kUnknownDistance}}),
+  EXPECT_THROW(service.route_collect(std::vector<RouteQuery>{RouteQuery{0, n, kUnknownDistance}}),
                std::invalid_argument);
 }
 
@@ -535,7 +535,7 @@ TEST(FlatService, ArenaPathsAreStableWithinBatch) {
   opt.seed = 19;
   opt.record_paths = true;
   RouteService service(g, opt);
-  const std::vector<RouteAnswer> answers = service.route_batch(queries);
+  const std::vector<RouteAnswer> answers = service.route_collect(queries);
   for (std::size_t i = 0; i < answers.size(); ++i) {
     ASSERT_FALSE(answers[i].path.empty());
     EXPECT_EQ(answers[i].path.front(), queries[i].s);

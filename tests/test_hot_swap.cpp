@@ -148,15 +148,15 @@ TEST(SchemePackage, PublishedGenerationMatchesFreshService) {
   RouteService service(g0, opt);
   RouteService fresh0(g0, opt);
   RouteService fresh1(g1, opt);
-  expect_same_answers(service.route_batch(queries),
-                      fresh0.route_batch(queries), "before swap");
+  expect_same_answers(service.route_collect(queries),
+                      fresh0.route_collect(queries), "before swap");
 
   service.publish(build_scheme_package(std::make_shared<const Graph>(g1),
                                        opt));
   EXPECT_EQ(service.swap_count(), 1u);
   EXPECT_EQ(service.graph().num_edges(), g1.num_edges());
-  expect_same_answers(service.route_batch(queries),
-                      fresh1.route_batch(queries), "after swap");
+  expect_same_answers(service.route_collect(queries),
+                      fresh1.route_collect(queries), "after swap");
   const ServiceTelemetry tel = service.telemetry();
   EXPECT_EQ(tel.swaps, 1u);
 }
@@ -221,10 +221,10 @@ TEST(HotSwap, DeterministicUnderConcurrentBatchesAtEveryThreadCount) {
     {
       const RouteServiceOptions opt = swap_options(kind, 2);
       RouteService ref0(g0, opt);
-      reference.push_back(ref0.route_batch(queries));
+      reference.push_back(ref0.route_collect(queries));
       for (const Graph& g : schedule) {
         RouteService ref(g, opt);
-        reference.push_back(ref.route_batch(queries));
+        reference.push_back(ref.route_collect(queries));
       }
     }
 
@@ -238,7 +238,7 @@ TEST(HotSwap, DeterministicUnderConcurrentBatchesAtEveryThreadCount) {
         int rounds = 0;
         do {
           const std::vector<RouteAnswer> answers =
-              service.route_batch(queries);
+              service.route_collect(queries);
           const bool matches_old = answers_equal(answers, reference[version]);
           const bool matches_new = answers_equal(answers, reference[cycle]);
           ASSERT_TRUE(matches_old || matches_new)
@@ -247,7 +247,7 @@ TEST(HotSwap, DeterministicUnderConcurrentBatchesAtEveryThreadCount) {
         } while (manager.rebuild_in_flight() && ++rounds < 10000);
         manager.wait();
         version = cycle;
-        expect_same_answers(service.route_batch(queries), reference[version],
+        expect_same_answers(service.route_collect(queries), reference[version],
                             "settled after swap");
       }
       const ServiceTelemetry tel = service.telemetry();
@@ -273,8 +273,8 @@ TEST(SchemeManager, RebuildNowSwapsSynchronously) {
   EXPECT_EQ(service.swap_count(), 1u);
   RouteService fresh(g1, opt);
   const std::vector<RouteQuery> queries = swap_queries(g0, 200);
-  expect_same_answers(service.route_batch(queries),
-                      fresh.route_batch(queries), "rebuild_now");
+  expect_same_answers(service.route_collect(queries),
+                      fresh.route_collect(queries), "rebuild_now");
   const ServiceTelemetry tel = service.telemetry();
   EXPECT_EQ(tel.rebuilds, 1u);
   EXPECT_GT(tel.rebuild_seconds, 0.0);
@@ -325,7 +325,7 @@ TEST(ChurnDriver, CompletesAllCyclesAndReportsSwapTelemetry) {
   // build on report.final_graph.
   RouteService fresh(report.final_graph, opt);
   const std::vector<RouteQuery> probe = swap_queries(g0, 300);
-  expect_same_answers(service.route_batch(probe), fresh.route_batch(probe),
+  expect_same_answers(service.route_collect(probe), fresh.route_collect(probe),
                       "final generation");
   const ServiceTelemetry tel = service.telemetry();
   EXPECT_EQ(tel.swaps, 3u);

@@ -347,7 +347,7 @@ TEST(IncrementalHotSwap, RebuildNowMatchesFreshServiceEitherMode) {
       make_traffic(g1, WorkloadKind::kUniform, 400, qrng);
 
   RouteService fresh(g1, opt);
-  const std::vector<RouteAnswer> expected = fresh.route_batch(queries);
+  const std::vector<RouteAnswer> expected = fresh.route_collect(queries);
 
   for (const RebuildMode mode :
        {RebuildMode::kIncremental, RebuildMode::kFull}) {
@@ -355,7 +355,7 @@ TEST(IncrementalHotSwap, RebuildNowMatchesFreshServiceEitherMode) {
     SchemeManager manager(service);
     const SchemePackagePtr pkg = manager.rebuild_now(g1, mode);
     EXPECT_EQ(pkg->incr_stats.used, mode == RebuildMode::kIncremental);
-    const std::vector<RouteAnswer> got = service.route_batch(queries);
+    const std::vector<RouteAnswer> got = service.route_collect(queries);
     ASSERT_EQ(got.size(), expected.size());
     for (std::size_t i = 0; i < got.size(); ++i) {
       ASSERT_TRUE(same_route(got[i], expected[i]))
@@ -390,15 +390,15 @@ TEST(IncrementalHotSwap, AsyncIncrementalCyclesUnderLiveBatches) {
     current = perturb_graph(current, drng, localized);
     manager.rebuild_async(current);
     while (manager.rebuild_in_flight()) {
-      (void)service.route_batch(queries);
+      (void)service.route_collect(queries);
     }
     manager.wait();
 
     std::vector<RouteQuery> stripped = queries;
     for (RouteQuery& q : stripped) q.exact = kUnknownDistance;
     RouteService fresh(current, opt);
-    const std::vector<RouteAnswer> a = service.route_batch(stripped);
-    const std::vector<RouteAnswer> b = fresh.route_batch(stripped);
+    const std::vector<RouteAnswer> a = service.route_collect(stripped);
+    const std::vector<RouteAnswer> b = fresh.route_collect(stripped);
     ASSERT_EQ(a.size(), b.size());
     for (std::size_t i = 0; i < a.size(); ++i) {
       ASSERT_TRUE(same_route(a[i], b[i]))

@@ -337,7 +337,7 @@ TEST(ServiceObs, MetricsOffDisablesRegistryAndCostsNothing) {
   EXPECT_EQ(service.trace_recorder(), nullptr);
   Rng trng(24);
   const auto traffic = make_traffic(g, WorkloadKind::kUniform, 500, trng);
-  const auto answers = service.route_batch(traffic);
+  const auto answers = service.route_collect(traffic);
   EXPECT_EQ(answers.size(), traffic.size());
   EXPECT_EQ(service.telemetry().queries, traffic.size());
 }
@@ -365,7 +365,7 @@ TEST(ServiceObs, ConcurrentSnapshotNeverSeesDeliveredAboveQueries) {
       service.route_one(traffic[1]);
     }
   });
-  for (int round = 0; round < 20; ++round) service.route_batch(traffic);
+  for (int round = 0; round < 20; ++round) service.route_collect(traffic);
   stop.store(true, std::memory_order_release);
   snapshotter.join();
   prober.join();
@@ -455,7 +455,7 @@ TEST(ServiceObs, BatchEngineOccupancySampling) {
   Rng trng(34);
   // Enough queries that the 1-in-64 generation sampler fires.
   const auto traffic = make_traffic(g, WorkloadKind::kUniform, 20000, trng);
-  service.route_batch(traffic);
+  service.route_collect(traffic);
   const obs::MetricsSnapshot snap =
       obs::snapshot_metrics(*service.metrics_registry());
   double occupancy = -1;

@@ -450,7 +450,7 @@ TEST_P(PersistLifecycle, RecoveredServiceAnswersIdentically) {
       scratch_dir((std::string("svc_") + scheme_name(GetParam())).c_str());
   const Graph g = test_graph(19);
   RouteServiceOptions opt = base_options(GetParam());
-  opt.artifact_dir = dir;
+  opt.persist.dir = dir;
 
   RouteService first(g, opt);  // fresh build; persists generation 1
   EXPECT_FALSE(first.recovered_from_artifact());
@@ -461,13 +461,13 @@ TEST_P(PersistLifecycle, RecoveredServiceAnswersIdentically) {
   EXPECT_EQ(second.recovered_generation(), 1u);
 
   RouteServiceOptions plain = opt;
-  plain.artifact_dir.clear();
+  plain.persist.dir.clear();
   RouteService fresh(g, plain);
 
   const std::vector<RouteQuery> queries = probe_queries(g, 1500);
-  expect_same_answers(second.route_batch(queries), fresh.route_batch(queries),
+  expect_same_answers(second.route_collect(queries), fresh.route_collect(queries),
                       "recovered vs fresh");
-  expect_same_answers(first.route_batch(queries), fresh.route_batch(queries),
+  expect_same_answers(first.route_collect(queries), fresh.route_collect(queries),
                       "persisting vs fresh");
 }
 
@@ -481,7 +481,7 @@ TEST(PersistLifecycle, CorruptStoreDegradesToFreshBuildWithReason) {
   const std::string dir = scratch_dir("svc_degrade");
   const Graph g = test_graph(20, 200);
   RouteServiceOptions opt = base_options(SchemeKind::kTZDirect);
-  opt.artifact_dir = dir;
+  opt.persist.dir = dir;
   { RouteService seed_store(g, opt); }  // persists generation 1
   // Rot every artifact: recovery must fall back to preprocessing and say
   // why, and the service must still serve correctly.
@@ -497,10 +497,10 @@ TEST(PersistLifecycle, CorruptStoreDegradesToFreshBuildWithReason) {
   EXPECT_FALSE(svc.recovered_from_artifact());
   EXPECT_FALSE(svc.recovery_note().empty());
   RouteServiceOptions plain = opt;
-  plain.artifact_dir.clear();
+  plain.persist.dir.clear();
   RouteService fresh(g, plain);
   const std::vector<RouteQuery> queries = probe_queries(g, 800);
-  expect_same_answers(svc.route_batch(queries), fresh.route_batch(queries),
+  expect_same_answers(svc.route_collect(queries), fresh.route_collect(queries),
                       "degraded vs fresh");
 }
 
@@ -508,7 +508,7 @@ TEST(PersistLifecycle, RebuildPersistsNextGenerationInBackground) {
   const std::string dir = scratch_dir("svc_rebuild");
   const Graph g = test_graph(21, 200);
   RouteServiceOptions opt = base_options(SchemeKind::kTZDirect);
-  opt.artifact_dir = dir;
+  opt.persist.dir = dir;
   RouteService svc(g, opt);
   SchemeManager manager(svc);
   Rng rng(5);
@@ -523,7 +523,7 @@ TEST(PersistLifecycle, RebuildPersistsNextGenerationInBackground) {
 TEST(PersistLifecycle, RebuildRetriesWithBackoffThenSurfaces) {
   const Graph g = test_graph(22, 150);
   RouteServiceOptions opt = base_options(SchemeKind::kTZDirect);
-  opt.rebuild_retries = 2;
+  opt.persist.rebuild_retries = 2;
   RouteService svc(g, opt);
   SchemeManager manager(svc);
   // A disconnected graph fails preprocessing deterministically: every
@@ -536,7 +536,7 @@ TEST(PersistLifecycle, RebuildRetriesWithBackoffThenSurfaces) {
   EXPECT_EQ(svc.telemetry().rebuild_retries, 2u);
   // The service still serves the original generation.
   const std::vector<RouteQuery> queries = probe_queries(g, 200);
-  EXPECT_EQ(svc.route_batch(queries).size(), queries.size());
+  EXPECT_EQ(svc.route_collect(queries).size(), queries.size());
 }
 
 TEST(PersistLifecycle, WarmStartWithNonTZSchemeIsAGracefulError) {
@@ -557,7 +557,7 @@ TEST(PersistLifecycle, PersistFailureIsCountedNotFatal) {
   const std::string dir = scratch_dir("svc_persist_fail");
   const Graph g = test_graph(24, 150);
   RouteServiceOptions opt = base_options(SchemeKind::kTZDirect);
-  opt.artifact_dir = dir;
+  opt.persist.dir = dir;
   RouteService svc(g, opt);
   ASSERT_NE(svc.artifact_store(), nullptr);
   svc.artifact_store()->fault_injector().arm(
@@ -568,7 +568,7 @@ TEST(PersistLifecycle, PersistFailureIsCountedNotFatal) {
   EXPECT_EQ(tel.persist_failures, 1u);
   // Serving is untouched.
   const std::vector<RouteQuery> queries = probe_queries(g, 200);
-  EXPECT_EQ(svc.route_batch(queries).size(), queries.size());
+  EXPECT_EQ(svc.route_collect(queries).size(), queries.size());
 }
 
 }  // namespace

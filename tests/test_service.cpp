@@ -153,7 +153,7 @@ TEST(RouteService, MatchesSingleThreadedSimAdapters) {
         SchemeKind::kFullTable}) {
     RouteService service(fx.g, service_options(kind, 4));
     const std::vector<RouteAnswer> answers =
-        service.route_batch(fx.queries());
+        service.route_collect(fx.queries());
 
     // Rebuild the identical scheme the service preprocessed.
     Rng rng(99);
@@ -213,7 +213,7 @@ TEST(RouteService, DeterministicAcrossThreadCounts) {
     for (const unsigned threads : {1u, 2u, 3u, 8u}) {
       auto service =
           std::make_unique<RouteService>(fx.g, service_options(kind, threads));
-      std::vector<RouteAnswer> answers = service->route_batch(queries);
+      std::vector<RouteAnswer> answers = service->route_collect(queries);
       ASSERT_EQ(answers.size(), queries.size());
       if (reference.empty()) {
         reference = std::move(answers);
@@ -233,9 +233,9 @@ TEST(RouteService, StretchRespectsSchemeBounds) {
   const ServiceFixture fx;
   RouteService tz(fx.g, service_options(SchemeKind::kTZDirect, 4));
   RouteService full(fx.g, service_options(SchemeKind::kFullTable, 4));
-  const std::vector<RouteAnswer> tz_answers = tz.route_batch(fx.queries());
+  const std::vector<RouteAnswer> tz_answers = tz.route_collect(fx.queries());
   const std::vector<RouteAnswer> full_answers =
-      full.route_batch(fx.queries());
+      full.route_collect(fx.queries());
   const double bound = 4.0 * 3 - 5;  // k = 3 direct
   for (std::size_t i = 0; i < tz_answers.size(); ++i) {
     ASSERT_TRUE(tz_answers[i].delivered());
@@ -258,8 +258,8 @@ TEST(RouteService, WarmStartServesIdenticalAnswers) {
   opt.seed = 12345;  // must be ignored on warm start
   RouteService warm(fx.g, opt);
 
-  const std::vector<RouteAnswer> a = cold.route_batch(queries);
-  const std::vector<RouteAnswer> b = warm.route_batch(queries);
+  const std::vector<RouteAnswer> a = cold.route_collect(queries);
+  const std::vector<RouteAnswer> b = warm.route_collect(queries);
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_TRUE(same_route(a[i], b[i])) << "pair " << i;
   }
@@ -277,8 +277,8 @@ TEST(RouteService, TelemetryCountsServedQueries) {
   const ServiceFixture fx;
   RouteService service(fx.g, service_options(SchemeKind::kTZDirect, 4));
   const std::vector<RouteQuery> queries = fx.queries();
-  service.route_batch(queries);
-  service.route_batch(queries);
+  service.route_collect(queries);
+  service.route_collect(queries);
   const ServiceTelemetry tel = service.telemetry();
   EXPECT_EQ(tel.queries, 2 * queries.size());
   EXPECT_EQ(tel.delivered, 2 * queries.size());
@@ -425,7 +425,7 @@ TEST(RouteService, SelfQueriesHaveDefinedAnswers) {
     queries.push_back({4, 4, 0});
     queries.push_back({fx.pairs[0].s, fx.pairs[0].t, fx.pairs[0].exact});
     queries.push_back({9, 9, kUnknownDistance});
-    const std::vector<RouteAnswer> answers = service.route_batch(queries);
+    const std::vector<RouteAnswer> answers = service.route_collect(queries);
     for (const std::size_t i : {std::size_t{0}, std::size_t{2}}) {
       EXPECT_TRUE(answers[i].delivered()) << "flat=" << use_flat;
       EXPECT_EQ(answers[i].hops, 0u);
@@ -448,7 +448,7 @@ TEST(RouteService, RouteOneLandsInTelemetry) {
   RouteService service(fx.g, service_options(SchemeKind::kTZDirect, 2,
                                              /*record_paths=*/false));
   const std::vector<RouteQuery> queries = fx.queries();
-  service.route_batch(queries);
+  service.route_collect(queries);
   const ServiceTelemetry before = service.telemetry();
   EXPECT_EQ(before.queries, queries.size());
   for (int i = 0; i < 5; ++i) service.route_one(queries[i]);
@@ -497,7 +497,7 @@ TEST(ServiceStress, AllSchemesManyBatchesConcurrently) {
                          service_options(kind, 8, /*record_paths=*/false));
     std::vector<RouteAnswer> first;
     for (int round = 0; round < 3; ++round) {
-      std::vector<RouteAnswer> answers = service.route_batch(queries);
+      std::vector<RouteAnswer> answers = service.route_collect(queries);
       std::uint64_t delivered = 0;
       for (const auto& a : answers) delivered += a.delivered() ? 1 : 0;
       EXPECT_EQ(delivered, answers.size()) << scheme_name(kind);

@@ -218,7 +218,7 @@ TEST(SimdEngine, CrossIsaRoutesAreByteIdentical) {
       scalar_opt.flat_lookup = layout;
       scalar_opt.batch_group = 0;  // the kernel-free scalar reference
       RouteService scalar(g, scalar_opt);
-      const std::vector<RouteAnswer> reference = scalar.route_batch(queries);
+      const std::vector<RouteAnswer> reference = scalar.route_collect(queries);
 
       for (const std::uint32_t group : {16u, 32u, 64u}) {
         RouteServiceOptions opt = scalar_opt;
@@ -227,7 +227,7 @@ TEST(SimdEngine, CrossIsaRoutesAreByteIdentical) {
         for (const simd::Isa isa : isas) {
           ASSERT_TRUE(simd::force(isa));
           const std::vector<RouteAnswer> answers =
-              batched.route_batch(queries);
+              batched.route_collect(queries);
           ASSERT_EQ(answers.size(), reference.size());
           for (std::size_t i = 0; i < answers.size(); ++i) {
             ASSERT_TRUE(same_route(reference[i], answers[i]))
